@@ -1,0 +1,111 @@
+//! Fig. 7: (a) best reducer count vs. map output volume + the Eq. 10
+//! curve; (b) the fitted distributions of the system variables `p`
+//! (spill) and `q` (connection service) vs. map output volume.
+//!
+//! The k_R probe runs the *chain theta-join* operator (the job whose
+//! reducer count Eq. 10 governs): a 2-relation band join partitioned by
+//! the Hilbert curve, swept over k_R, with the empirically fastest
+//! count compared against the analytic choice.
+
+use mwtj_bench::header;
+use mwtj_cost::kr::effective_candidates;
+use mwtj_cost::{choose_k_r, Calibrator, LAMBDA};
+use mwtj_datagen::SyntheticGen;
+use mwtj_hilbert::PartitionStrategy;
+use mwtj_join::ChainThetaJob;
+use mwtj_mapreduce::{ClusterConfig, Dfs, Engine, InputSpec};
+use mwtj_query::{ColExpr, QueryBuilder, ThetaOp};
+use mwtj_storage::Schema;
+
+/// Run the chain band-join at each k_R; return (map output bytes,
+/// empirically best k_R, measured output rows).
+fn probe(rows: usize) -> (f64, u32, f64) {
+    let cfg = ClusterConfig::with_units(96);
+    let gen = SyntheticGen::default();
+    let rel = gen.uniform_numeric("s", rows, 10_000);
+    let dfs = Dfs::new();
+    dfs.put_relation("s", &rel, &cfg);
+    let l = Schema::new("l", rel.schema().fields().to_vec());
+    let r = Schema::new("r", rel.schema().fields().to_vec());
+    // Band join: l.k < r.k < l.k + 200 (the itinerary-style window).
+    let q = QueryBuilder::new("band")
+        .relation(l)
+        .relation(r)
+        .join("l", "k", ThetaOp::Lt, "r", "k")
+        .and_expr(
+            ColExpr::col("r", "k"),
+            ThetaOp::Lt,
+            ColExpr::col_plus("l", "k", 200.0),
+        )
+        .build()
+        .expect("band query");
+    let engine = Engine::new(cfg, dfs);
+    let cards = [rows as u64, rows as u64];
+    let mut best = (1u32, f64::INFINITY);
+    let mut map_out = 0.0f64;
+    let mut out_rows = 0.0f64;
+    for k_r in [1u32, 2, 4, 8, 16, 32, 64] {
+        let job = ChainThetaJob::new(&q, &[0], &cards, k_r, PartitionStrategy::Hilbert);
+        let m = engine
+            .run(
+                &job,
+                &[InputSpec::new("s", 0), InputSpec::new("s", 1)],
+                96,
+                job.reducers(),
+                None,
+            )
+            .metrics;
+        map_out = map_out.max(m.map_output_bytes as f64);
+        out_rows = m.output_records as f64;
+        if m.sim_total_secs < best.1 {
+            best = (k_r, m.sim_total_secs);
+        }
+    }
+    (map_out, best.0, out_rows)
+}
+
+fn main() {
+    header(
+        "Fig. 7(a)",
+        "best k_R for the chain theta-join vs map output volume (measured vs Eq.10)",
+    );
+    println!(
+        "{:<18} {:>14} {:>14}",
+        "map output (B)", "measured best", "Eq.10 choice"
+    );
+    let cfg = ClusterConfig::with_units(96);
+    for rows in [1_000usize, 3_000, 8_000, 20_000] {
+        let (map_out, measured, out_rows) = probe(rows);
+        let cards = [rows as u64, rows as u64];
+        let eff = effective_candidates(&cards, out_rows);
+        let predicted = choose_k_r(&cards, 45.0, eff, &cfg.hardware, 96, LAMBDA).k_r;
+        println!("{map_out:<18.0} {measured:>14} {predicted:>14}");
+    }
+    println!("(paper's guideline: best k_R grows with map output volume)");
+
+    header(
+        "Fig. 7(b)",
+        "fitted distributions of p and q vs map output volume",
+    );
+    let params = Calibrator {
+        rows: 6_000,
+        key_counts: vec![6_000, 1_500, 400, 100],
+        reducer_counts: vec![2, 8, 32],
+        config: ClusterConfig::with_units(32),
+    }
+    .calibrate();
+    println!(
+        "fitted: p0={:.3e} s/B, v0={:.0} B, q0={:.3e} s (fanout coef {:.2}, volume coef {:.2})",
+        params.p0, params.v0, params.q0, params.q_fanout, params.q_volume
+    );
+    println!(
+        "\n{:<18} {:>14} {:>14}",
+        "map output (B)", "p (s/B)", "q (s/conn)"
+    );
+    let mut obs = params.observations.clone();
+    obs.sort_by(|a, b| a.0.total_cmp(&b.0));
+    for (vol, p, q) in obs {
+        println!("{vol:<18.0} {p:>14.3e} {q:>14.3e}");
+    }
+    println!("\n(paper: both p and q grow with map output volume)");
+}

@@ -1,0 +1,116 @@
+//! Criterion micro-benchmarks for the hot primitives: Hilbert curve
+//! conversion, space-partition construction and lookup, the tuple
+//! codec, and predicate evaluation.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use mwtj_hilbert::{HilbertCurve, PartitionStrategy, SpacePartition};
+use mwtj_query::theta::{eval_theta, ThetaOp};
+use mwtj_storage::{codec, Value};
+use std::time::Duration;
+
+fn bench_hilbert(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hilbert");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    let curve3 = HilbertCurve::new(3, 6);
+    g.bench_function("index_3d_b6", |b| {
+        b.iter(|| {
+            let mut acc = 0u64;
+            for i in 0..1_000u64 {
+                acc ^= curve3.index(black_box(&[i % 64, (i * 7) % 64, (i * 13) % 64]));
+            }
+            acc
+        })
+    });
+    g.bench_function("coords_3d_b6", |b| {
+        let mut buf = vec![0u64; 3];
+        b.iter(|| {
+            for h in (0..100_000u64).step_by(101) {
+                curve3.coords_into(black_box(h % curve3.num_cells()), &mut buf);
+            }
+            buf[0]
+        })
+    });
+    g.finish();
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let mut g = c.benchmark_group("partition");
+    g.measurement_time(Duration::from_secs(3)).sample_size(10);
+    g.bench_function("build_hilbert_3d_k64", |b| {
+        b.iter(|| {
+            SpacePartition::new(
+                PartitionStrategy::Hilbert,
+                black_box(&[10_000, 10_000, 10_000]),
+                64,
+                4,
+            )
+        })
+    });
+    let p = SpacePartition::hilbert(&[10_000, 10_000, 10_000], 64);
+    g.bench_function("stripe_lookup", |b| {
+        b.iter(|| {
+            let mut acc = 0usize;
+            for id in 0..10_000u64 {
+                acc += p.components_for(black_box(0), id).len();
+            }
+            acc
+        })
+    });
+    g.bench_function("owner_of_cell", |b| {
+        let side = 1u64 << p.bits();
+        b.iter(|| {
+            let mut acc = 0u32;
+            for i in 0..1_000u64 {
+                acc ^= p.owner_of_cell(black_box(&[i % side, (i * 3) % side, (i * 7) % side]));
+            }
+            acc
+        })
+    });
+    g.finish();
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut g = c.benchmark_group("codec");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    let row = vec![
+        Value::Int(123_456),
+        Value::Int(20081015),
+        Value::Int(43200),
+        Value::Int(120),
+        Value::Int(1776),
+    ];
+    g.bench_function("encode_mobile_row", |b| {
+        b.iter(|| codec::encode_tuple(black_box(&row)))
+    });
+    let enc = codec::encode_tuple(&row);
+    g.bench_function("decode_mobile_row", |b| {
+        b.iter(|| codec::decode_tuple(black_box(&enc)).expect("valid"))
+    });
+    g.bench_function("encoded_len_mobile_row", |b| {
+        b.iter(|| codec::encoded_len(black_box(&row)))
+    });
+    g.finish();
+}
+
+fn bench_predicates(c: &mut Criterion) {
+    let mut g = c.benchmark_group("predicates");
+    g.measurement_time(Duration::from_secs(2)).sample_size(20);
+    let a = Value::Int(42);
+    let b_val = Value::Int(87);
+    g.bench_function("eval_theta_le", |bch| {
+        bch.iter(|| eval_theta(black_box(&a), 0.0, ThetaOp::Le, black_box(&b_val), 0.0))
+    });
+    g.bench_function("eval_theta_offset", |bch| {
+        bch.iter(|| eval_theta(black_box(&a), 3.0, ThetaOp::Gt, black_box(&b_val), 0.0))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_hilbert,
+    bench_partition,
+    bench_codec,
+    bench_predicates
+);
+criterion_main!(benches);

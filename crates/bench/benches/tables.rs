@@ -1,0 +1,99 @@
+//! Tables 1–3: cluster configuration and benchmark query statistics,
+//! regenerated from the running system (the "Result Sel." columns are
+//! *measured* by executing each query at the smallest bench scale).
+
+use mwtj_bench::{header, mobile_system, tpch_system};
+use mwtj_core::benchqueries::{mobile_query, tpch_query, MobileQuery, TpchQuery};
+use mwtj_core::Method;
+use mwtj_mapreduce::ClusterConfig;
+use mwtj_query::ThetaOp;
+
+fn ops_of(q: &mwtj_query::MultiwayQuery) -> String {
+    let mut set: Vec<String> = q
+        .conditions
+        .iter()
+        .flat_map(|(_, _, p)| p.iter().map(|x| x.op))
+        .collect::<std::collections::BTreeSet<ThetaOp>>()
+        .into_iter()
+        .map(|o| o.to_string())
+        .collect();
+    set.dedup();
+    format!("{{{}}}", set.join(","))
+}
+
+fn main() {
+    // ------------------------------------------------- Table 1
+    header("Table 1", "Hadoop parameter configuration (scaled 1:1000)");
+    let cfg = ClusterConfig::default();
+    println!("{:<28} {:>14}", "parameter", "set");
+    println!("{:<28} {:>14}", "fs.blocksize", format!("{}KB", cfg.params.block_bytes / 1024));
+    println!("{:<28} {:>14}", "io.sort.mb", format!("{}KB", cfg.params.io_sort_bytes / 1024));
+    println!(
+        "{:<28} {:>14}",
+        "io.sort.spill.percentage", cfg.params.spill_fraction
+    );
+    println!("{:<28} {:>14}", "dfs.replication", cfg.params.replication);
+    println!("{:<28} {:>14}", "nodes", cfg.nodes);
+    println!("{:<28} {:>14}", "processing units (k_P)", cfg.processing_units);
+    println!(
+        "{:<28} {:>14}",
+        "disk write (MB/s)",
+        cfg.hardware.disk_write_bps / 1e6
+    );
+    println!(
+        "{:<28} {:>14}",
+        "disk read (MB/s)",
+        cfg.hardware.disk_read_bps / 1e6
+    );
+
+    // ------------------------------------------------- Table 2
+    header("Table 2", "mobile benchmark query statistics (Result Sel. measured)");
+    println!(
+        "{:<6} {:<10} {:<16} {:>10} {:>14}",
+        "Q", "Relations", "Inequality", "Join Cnt", "Result Sel."
+    );
+    for which in MobileQuery::ALL {
+        let q = mobile_query(which);
+        let sys = mobile_system(which.instances(), 120, 24);
+        let out = sys.run(&q, Method::Ours).output.len() as f64;
+        let cube: f64 = q
+            .schemas
+            .iter()
+            .map(|s| sys.stats_of(s.name()).expect("loaded").cardinality as f64)
+            .product();
+        println!(
+            "{:<6} {:<10} {:<16} {:>10} {:>14.6}",
+            format!("{which:?}"),
+            q.num_relations(),
+            ops_of(&q),
+            q.num_conditions(),
+            out / cube
+        );
+    }
+
+    // ------------------------------------------------- Table 3
+    header("Table 3", "TPC-H benchmark query statistics (Result Sel. measured)");
+    println!(
+        "{:<6} {:<10} {:<16} {:>10} {:>14}",
+        "Q", "Relations", "Inequality", "Join Cnt", "Result Sel."
+    );
+    for which in TpchQuery::ALL {
+        let q = tpch_query(which);
+        let sys = tpch_system(which.instances(), 0.0002, 24);
+        let out = sys.run(&q, Method::Ours).output.len() as f64;
+        let cube: f64 = q
+            .schemas
+            .iter()
+            .map(|s| sys.stats_of(s.name()).expect("loaded").cardinality as f64)
+            .product();
+        let atoms: usize = q.conditions.iter().map(|(_, _, p)| p.len()).sum();
+        println!(
+            "{:<6} {:<10} {:<16} {:>10} {:>14.3e}",
+            format!("{which:?}"),
+            q.num_relations(),
+            ops_of(&q),
+            atoms,
+            out / cube
+        );
+    }
+}

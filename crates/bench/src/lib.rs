@@ -1,0 +1,152 @@
+//! # mwtj-bench
+//!
+//! The benchmark harness regenerating every table and figure of the
+//! paper's evaluation (§6). Each `benches/figNN_*.rs` target prints the
+//! same rows/series the paper reports; `EXPERIMENTS.md` records the
+//! paper-vs-measured comparison.
+//!
+//! **Scaling.** The paper runs 20 GB–1 TB on a 13-node cluster; this
+//! harness runs laptop-scale data with the same *ratios* (labels keep
+//! the paper's GB names). Absolute numbers are not comparable; the
+//! claims under test are the *shapes*: who wins, by what factor, where
+//! the crossovers fall.
+
+#![warn(missing_docs)]
+
+use mwtj_core::{Method, ThetaJoinSystem};
+use mwtj_datagen::{MobileGen, TpchGen};
+use mwtj_storage::{Relation, Schema};
+
+/// A data-scale point: the paper's label and our scaled row count /
+/// scale factor.
+#[derive(Debug, Clone, Copy)]
+pub struct ScalePoint {
+    /// The paper's axis label (e.g. "20GB").
+    pub label: &'static str,
+    /// Rows per mobile relation instance at this point.
+    pub mobile_rows: usize,
+    /// TPC-H scale factor at this point.
+    pub tpch_sf: f64,
+}
+
+/// The mobile-data volumes of Figs. 9–10 (paper: 20/100/500 GB).
+pub const MOBILE_SCALES: [ScalePoint; 3] = [
+    ScalePoint { label: "20GB", mobile_rows: 120, tpch_sf: 0.0 },
+    ScalePoint { label: "100GB", mobile_rows: 200, tpch_sf: 0.0 },
+    ScalePoint { label: "500GB", mobile_rows: 320, tpch_sf: 0.0 },
+];
+
+/// The TPC-H volumes of Figs. 12–13 (paper: 200/500/1000 GB).
+pub const TPCH_SCALES: [ScalePoint; 3] = [
+    ScalePoint { label: "200GB", mobile_rows: 0, tpch_sf: 0.00010 },
+    ScalePoint { label: "500GB", mobile_rows: 0, tpch_sf: 0.00025 },
+    ScalePoint { label: "1000GB", mobile_rows: 0, tpch_sf: 0.00050 },
+];
+
+/// The four methods compared in every query figure.
+pub const METHODS: [Method; 4] = [Method::Ours, Method::YSmart, Method::Hive, Method::Pig];
+
+/// Standard mobile generator for the benches (fixed seed).
+pub fn mobile_gen() -> MobileGen {
+    MobileGen {
+        users: 400,
+        base_stations: 40,
+        days: 10,
+        ..Default::default()
+    }
+}
+
+/// Build a system with the mobile calls table loaded under every
+/// instance alias a query needs.
+pub fn mobile_system(instances: &[&str], rows: usize, k_p: u32) -> ThetaJoinSystem {
+    let mut sys = ThetaJoinSystem::with_units(k_p);
+    let calls = mobile_gen().generate("calls", rows);
+    for inst in instances {
+        sys.load_alias(&calls, inst);
+    }
+    sys
+}
+
+/// Build a system with the TPC-H tables a query needs, at `sf`.
+pub fn tpch_system(instances: &[(&str, &str)], sf: f64, k_p: u32) -> ThetaJoinSystem {
+    let mut sys = ThetaJoinSystem::with_units(k_p);
+    let gen = TpchGen {
+        scale: sf,
+        ..Default::default()
+    };
+    for (inst, base) in instances {
+        let data: Relation = match *base {
+            "supplier" => gen.supplier(),
+            "customer" => gen.customer(),
+            "orders" => gen.orders(),
+            "part" => gen.part(),
+            "nation" => gen.nation(),
+            "lineitem" => gen.lineitem(),
+            other => panic!("unknown TPC-H table `{other}`"),
+        };
+        let renamed = Relation::from_rows_unchecked(
+            Schema::new(*inst, data.schema().fields().to_vec()),
+            data.rows().to_vec(),
+        );
+        sys.load_relation(&renamed);
+    }
+    sys
+}
+
+/// Print a figure header.
+pub fn header(figure: &str, caption: &str) {
+    println!("\n================================================================");
+    println!("{figure} — {caption}");
+    println!("================================================================");
+}
+
+/// Print one comparison row: method name then per-scale values.
+pub fn row(label: &str, values: &[f64]) {
+    print!("{label:<10}");
+    for v in values {
+        print!(" {v:>12.3}");
+    }
+    println!();
+}
+
+/// Print a column header row.
+pub fn cols(first: &str, labels: &[&str]) {
+    print!("{first:<10}");
+    for l in labels {
+        print!(" {l:>12}");
+    }
+    println!();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwtj_core::benchqueries::{mobile_query, MobileQuery};
+
+    #[test]
+    fn mobile_system_loads_all_instances() {
+        let q = MobileQuery::Q1;
+        let sys = mobile_system(q.instances(), 50, 8);
+        for inst in q.instances() {
+            assert!(sys.stats_of(inst).is_some(), "{inst} missing");
+        }
+        // And the query actually runs on it.
+        let run = sys.run(&mobile_query(q), Method::Ours);
+        assert_eq!(run.output.len(), sys.oracle(&mobile_query(q)).len());
+    }
+
+    #[test]
+    fn tpch_system_loads_tables() {
+        use mwtj_core::benchqueries::TpchQuery;
+        let sys = tpch_system(TpchQuery::Q17.instances(), 0.0002, 8);
+        assert!(sys.stats_of("l1").is_some());
+        assert!(sys.stats_of("part").is_some());
+        assert!(sys.stats_of("l2").is_some());
+    }
+
+    #[test]
+    fn scales_are_ascending() {
+        assert!(MOBILE_SCALES.windows(2).all(|w| w[0].mobile_rows < w[1].mobile_rows));
+        assert!(TPCH_SCALES.windows(2).all(|w| w[0].tpch_sf < w[1].tpch_sf));
+    }
+}

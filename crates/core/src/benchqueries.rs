@@ -1,0 +1,356 @@
+//! The paper's benchmark queries.
+//!
+//! §6.3.1's four multi-way theta-join queries over the mobile-calls
+//! data set (Table 2) and §6.3.2's four TPC-H queries (Table 3),
+//! amended with inequality join conditions exactly as the paper does
+//! ("since some queries only involve Equi-join, we slightly amend the
+//! join predicate to add inequality join conditions").
+//!
+//! Each constructor returns a [`MultiwayQuery`] over schema *instances*
+//! (`t1`, `t2`, … / `l1`, `l2`, …); load the corresponding data with
+//! [`ThetaJoinSystem::load_alias`](crate::ThetaJoinSystem::load_alias).
+
+use mwtj_datagen::{MobileGen, TpchGen};
+use mwtj_query::{ColExpr, MultiwayQuery, QueryBuilder, ThetaOp};
+use mwtj_storage::Schema;
+
+/// The four mobile-data benchmark queries (§6.3.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MobileQuery {
+    /// Concurrent phone calls at the *same* base station.
+    Q1,
+    /// Concurrent phone calls at *different* base stations.
+    Q2,
+    /// Calls handled by the same base station 3 days in a row.
+    Q3,
+    /// Calls handled by different base stations 3 days in a row.
+    Q4,
+}
+
+impl MobileQuery {
+    /// All four queries.
+    pub const ALL: [MobileQuery; 4] = [
+        MobileQuery::Q1,
+        MobileQuery::Q2,
+        MobileQuery::Q3,
+        MobileQuery::Q4,
+    ];
+
+    /// The relation-instance names the query joins.
+    pub fn instances(&self) -> &'static [&'static str] {
+        match self {
+            MobileQuery::Q1 | MobileQuery::Q2 => &["t1", "t2", "t3"],
+            MobileQuery::Q3 | MobileQuery::Q4 => &["t1", "t2", "t3", "t4"],
+        }
+    }
+}
+
+/// Build a mobile benchmark query.
+///
+/// * Q1: `SELECT t3.id WHERE t1.bt≤t2.bt, t1.l≥t2.l, t2.bsc=t3.bsc,
+///   t2.d=t3.d`
+/// * Q2: like Q1 with `t2.bsc≠t3.bsc`
+/// * Q3: `SELECT t1.id WHERE t1.d<t2.d, t2.d<t3.d, t1.d+3>t3.d,
+///   t1.bsc=t4.bsc`
+/// * Q4: like Q3 with `t1.bsc≠t4.bsc`
+pub fn mobile_query(which: MobileQuery) -> MultiwayQuery {
+    let t = |name: &str| MobileGen::schema(name);
+    match which {
+        MobileQuery::Q1 | MobileQuery::Q2 => {
+            let bsc_op = if which == MobileQuery::Q1 {
+                ThetaOp::Eq
+            } else {
+                ThetaOp::Ne
+            };
+            QueryBuilder::new(format!("{which:?}"))
+                .relation(t("t1"))
+                .relation(t("t2"))
+                .relation(t("t3"))
+                .join("t1", "bt", ThetaOp::Le, "t2", "bt")
+                .join("t1", "l", ThetaOp::Ge, "t2", "l")
+                .join("t2", "bsc", bsc_op, "t3", "bsc")
+                .and_expr(ColExpr::col("t2", "d"), ThetaOp::Eq, ColExpr::col("t3", "d"))
+                .project("t3", "id")
+                .build()
+                .expect("mobile query builds")
+        }
+        MobileQuery::Q3 | MobileQuery::Q4 => {
+            let bsc_op = if which == MobileQuery::Q3 {
+                ThetaOp::Eq
+            } else {
+                ThetaOp::Ne
+            };
+            QueryBuilder::new(format!("{which:?}"))
+                .relation(t("t1"))
+                .relation(t("t2"))
+                .relation(t("t3"))
+                .relation(t("t4"))
+                .join("t1", "d", ThetaOp::Lt, "t2", "d")
+                .join("t2", "d", ThetaOp::Lt, "t3", "d")
+                .join_expr(
+                    ColExpr::col_plus("t1", "d", 3.0),
+                    ThetaOp::Gt,
+                    ColExpr::col("t3", "d"),
+                )
+                .join("t1", "bsc", bsc_op, "t4", "bsc")
+                .project("t1", "id")
+                .build()
+                .expect("mobile query builds")
+        }
+    }
+}
+
+/// The four TPC-H benchmark queries (§6.3.2, Table 3), with the
+/// paper's inequality amendments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TpchQuery {
+    /// Volume shipping (5 relations, 8 join atoms, {≤, ≥, ≠}).
+    Q7,
+    /// Small-quantity-order revenue (3 relations, 4 join atoms, {≤}).
+    Q17,
+    /// Large-volume customers (4 relations, 4 join atoms, {≥}).
+    Q18,
+    /// Suppliers who kept orders waiting (6 relations, 8 join atoms,
+    /// {≥, ≠}).
+    Q21,
+}
+
+impl TpchQuery {
+    /// All four queries.
+    pub const ALL: [TpchQuery; 4] = [
+        TpchQuery::Q7,
+        TpchQuery::Q17,
+        TpchQuery::Q18,
+        TpchQuery::Q21,
+    ];
+
+    /// `(instance name, base table)` pairs the query needs loaded.
+    pub fn instances(&self) -> &'static [(&'static str, &'static str)] {
+        match self {
+            TpchQuery::Q7 => &[
+                ("supplier", "supplier"),
+                ("lineitem", "lineitem"),
+                ("orders", "orders"),
+                ("customer", "customer"),
+                ("nation", "nation"),
+            ],
+            TpchQuery::Q17 => &[
+                ("l1", "lineitem"),
+                ("part", "part"),
+                ("l2", "lineitem"),
+            ],
+            TpchQuery::Q18 => &[
+                ("customer", "customer"),
+                ("orders", "orders"),
+                ("l1", "lineitem"),
+                ("l2", "lineitem"),
+            ],
+            TpchQuery::Q21 => &[
+                ("supplier", "supplier"),
+                ("l1", "lineitem"),
+                ("orders", "orders"),
+                ("nation", "nation"),
+                ("l2", "lineitem"),
+                ("l3", "lineitem"),
+            ],
+        }
+    }
+}
+
+fn tpch_schema(instance: &str, base: &str) -> Schema {
+    let g = TpchGen::default();
+    let proto = match base {
+        "supplier" => g.supplier().schema().clone(),
+        "customer" => g.customer().schema().clone(),
+        "orders" => g.orders().schema().clone(),
+        "part" => g.part().schema().clone(),
+        "nation" => g.nation().schema().clone(),
+        "lineitem" => TpchGen::lineitem_schema("lineitem"),
+        other => panic!("unknown TPC-H table `{other}`"),
+    };
+    Schema::new(instance, proto.fields().to_vec())
+}
+
+/// Build a TPC-H benchmark query (with inequality amendments).
+pub fn tpch_query(which: TpchQuery) -> MultiwayQuery {
+    let s = |i: &str, b: &str| tpch_schema(i, b);
+    match which {
+        TpchQuery::Q7 => QueryBuilder::new("Q7")
+            .relation(s("supplier", "supplier"))
+            .relation(s("lineitem", "lineitem"))
+            .relation(s("orders", "orders"))
+            .relation(s("customer", "customer"))
+            .relation(s("nation", "nation"))
+            .join("supplier", "s_suppkey", ThetaOp::Eq, "lineitem", "l_suppkey")
+            .join("lineitem", "l_orderkey", ThetaOp::Eq, "orders", "o_orderkey")
+            .and_expr(
+                ColExpr::col("orders", "o_orderdate"),
+                ThetaOp::Le,
+                ColExpr::col("lineitem", "l_shipdate"),
+            )
+            .and_expr(
+                ColExpr::col("orders", "o_orderdate"),
+                ThetaOp::Le,
+                ColExpr::col("lineitem", "l_receiptdate"),
+            )
+            .and_expr(
+                ColExpr::col("orders", "o_totalprice"),
+                ThetaOp::Ge,
+                ColExpr::col("lineitem", "l_extendedprice"),
+            )
+            .join("orders", "o_custkey", ThetaOp::Eq, "customer", "c_custkey")
+            .join("supplier", "s_nationkey", ThetaOp::Eq, "nation", "n_nationkey")
+            .join("supplier", "s_nationkey", ThetaOp::Ne, "customer", "c_nationkey")
+            .project("supplier", "s_name")
+            .project("customer", "c_name")
+            .build()
+            .expect("Q7 builds"),
+        TpchQuery::Q17 => QueryBuilder::new("Q17")
+            .relation(s("l1", "lineitem"))
+            .relation(s("part", "part"))
+            .relation(s("l2", "lineitem"))
+            .join("l1", "l_partkey", ThetaOp::Eq, "part", "p_partkey")
+            .join("part", "p_partkey", ThetaOp::Eq, "l2", "l_partkey")
+            .join("l1", "l_quantity", ThetaOp::Le, "l2", "l_quantity")
+            .and_expr(
+                ColExpr::col("l1", "l_shipdate"),
+                ThetaOp::Le,
+                ColExpr::col("l2", "l_receiptdate"),
+            )
+            .project("l1", "l_extendedprice")
+            .build()
+            .expect("Q17 builds"),
+        TpchQuery::Q18 => QueryBuilder::new("Q18")
+            .relation(s("customer", "customer"))
+            .relation(s("orders", "orders"))
+            .relation(s("l1", "lineitem"))
+            .relation(s("l2", "lineitem"))
+            .join("customer", "c_custkey", ThetaOp::Eq, "orders", "o_custkey")
+            .join("orders", "o_orderkey", ThetaOp::Eq, "l1", "l_orderkey")
+            .join("orders", "o_orderkey", ThetaOp::Eq, "l2", "l_orderkey")
+            .join("l1", "l_quantity", ThetaOp::Ge, "l2", "l_quantity")
+            .project("customer", "c_name")
+            .build()
+            .expect("Q18 builds"),
+        TpchQuery::Q21 => QueryBuilder::new("Q21")
+            .relation(s("supplier", "supplier"))
+            .relation(s("l1", "lineitem"))
+            .relation(s("orders", "orders"))
+            .relation(s("nation", "nation"))
+            .relation(s("l2", "lineitem"))
+            .relation(s("l3", "lineitem"))
+            .join("supplier", "s_suppkey", ThetaOp::Eq, "l1", "l_suppkey")
+            .join("l1", "l_orderkey", ThetaOp::Eq, "orders", "o_orderkey")
+            .join("supplier", "s_nationkey", ThetaOp::Eq, "nation", "n_nationkey")
+            .join("l1", "l_orderkey", ThetaOp::Eq, "l2", "l_orderkey")
+            .and_expr(
+                ColExpr::col("l2", "l_suppkey"),
+                ThetaOp::Ne,
+                ColExpr::col("l1", "l_suppkey"),
+            )
+            .join("l1", "l_orderkey", ThetaOp::Eq, "l3", "l_orderkey")
+            .and_expr(
+                ColExpr::col("l3", "l_suppkey"),
+                ThetaOp::Ne,
+                ColExpr::col("l1", "l_suppkey"),
+            )
+            .and_expr(
+                ColExpr::col("l3", "l_receiptdate"),
+                ThetaOp::Ge,
+                ColExpr::col("l1", "l_commitdate"),
+            )
+            .project("supplier", "s_name")
+            .build()
+            .expect("Q21 builds"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mobile_queries_match_table2() {
+        // Table 2: Q1/Q2 have 3 join conditions, Q3/Q4 have 4.
+        for q in [MobileQuery::Q1, MobileQuery::Q2] {
+            let mq = mobile_query(q);
+            assert_eq!(mq.num_relations(), 3, "{q:?}");
+            assert_eq!(mq.num_conditions(), 3, "{q:?}");
+        }
+        for q in [MobileQuery::Q3, MobileQuery::Q4] {
+            let mq = mobile_query(q);
+            assert_eq!(mq.num_relations(), 4, "{q:?}");
+            assert_eq!(mq.num_conditions(), 4, "{q:?}");
+        }
+    }
+
+    #[test]
+    fn mobile_q2_uses_ne() {
+        let q = mobile_query(MobileQuery::Q2);
+        let has_ne = q
+            .conditions
+            .iter()
+            .flat_map(|(_, _, p)| p)
+            .any(|p| p.op == ThetaOp::Ne);
+        assert!(has_ne);
+    }
+
+    #[test]
+    fn mobile_queries_are_connected() {
+        for q in MobileQuery::ALL {
+            assert!(mobile_query(q).join_graph().is_connected(), "{q:?}");
+        }
+    }
+
+    #[test]
+    fn tpch_queries_match_table3() {
+        // Table 3: relation counts 5/3/4/6, join atom counts 8/4/4/8.
+        let expect = [
+            (TpchQuery::Q7, 5usize, 8usize),
+            (TpchQuery::Q17, 3, 4),
+            (TpchQuery::Q18, 4, 4),
+            (TpchQuery::Q21, 6, 8),
+        ];
+        for (q, rels, atoms) in expect {
+            let tq = tpch_query(q);
+            assert_eq!(tq.num_relations(), rels, "{q:?} relations");
+            let n_atoms: usize = tq.conditions.iter().map(|(_, _, p)| p.len()).sum();
+            assert_eq!(n_atoms, atoms, "{q:?} atoms");
+            assert!(tq.join_graph().is_connected(), "{q:?}");
+        }
+    }
+
+    #[test]
+    fn tpch_inequality_sets_match_table3() {
+        let ops = |q: TpchQuery| -> Vec<ThetaOp> {
+            tpch_query(q)
+                .conditions
+                .iter()
+                .flat_map(|(_, _, p)| p.iter().map(|x| x.op))
+                .filter(|o| !o.is_equality())
+                .collect()
+        };
+        assert!(ops(TpchQuery::Q17).iter().all(|o| *o == ThetaOp::Le));
+        assert!(ops(TpchQuery::Q18).iter().all(|o| *o == ThetaOp::Ge));
+        assert!(ops(TpchQuery::Q21)
+            .iter()
+            .all(|o| matches!(o, ThetaOp::Ge | ThetaOp::Ne)));
+        assert!(!ops(TpchQuery::Q7).is_empty());
+    }
+
+    #[test]
+    fn instances_align_with_query_relations() {
+        for q in TpchQuery::ALL {
+            let tq = tpch_query(q);
+            let inst = q.instances();
+            assert_eq!(tq.num_relations(), inst.len(), "{q:?}");
+            for (i, (name, _)) in inst.iter().enumerate() {
+                assert_eq!(tq.schemas[i].name(), *name, "{q:?} instance {i}");
+            }
+        }
+        for q in MobileQuery::ALL {
+            let mq = mobile_query(q);
+            assert_eq!(mq.num_relations(), q.instances().len());
+        }
+    }
+}

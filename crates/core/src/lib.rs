@@ -1,0 +1,38 @@
+//! # mwtj-core
+//!
+//! The public façade of the reproduction: [`ThetaJoinSystem`] loads
+//! relations into the simulated cluster (upload + the paper's
+//! load-time sampling/statistics pass, §6.3), takes a
+//! [`MultiwayQuery`](mwtj_query::MultiwayQuery), plans it with the paper's method or one of the
+//! baseline emulations, executes on the MapReduce runtime, and reports
+//! results plus both clocks.
+//!
+//! ```
+//! use mwtj_core::{Method, ThetaJoinSystem};
+//! use mwtj_query::{QueryBuilder, ThetaOp};
+//! use mwtj_storage::{tuple, DataType, Relation, Schema};
+//!
+//! let mut sys = ThetaJoinSystem::with_units(16);
+//! let schema = Schema::from_pairs("r", &[("a", DataType::Int)]);
+//! let rel = Relation::from_rows_unchecked(schema.clone(), vec![tuple![1], tuple![5]]);
+//! let schema2 = Schema::from_pairs("s", &[("a", DataType::Int)]);
+//! let rel2 = Relation::from_rows_unchecked(schema2.clone(), vec![tuple![3]]);
+//! sys.load_relation(&rel);
+//! sys.load_relation(&rel2);
+//! let q = QueryBuilder::new("demo")
+//!     .relation(schema)
+//!     .relation(schema2)
+//!     .join("r", "a", ThetaOp::Lt, "s", "a")
+//!     .build()
+//!     .unwrap();
+//! let run = sys.run(&q, Method::Ours);
+//! assert_eq!(run.output.len(), 1); // only (1, 3)
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod benchqueries;
+pub mod system;
+
+pub use benchqueries::{mobile_query, tpch_query, MobileQuery, TpchQuery};
+pub use system::{LoadReport, Method, ThetaJoinSystem};

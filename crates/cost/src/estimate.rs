@@ -1,0 +1,394 @@
+//! Statistics → cost-model inputs.
+//!
+//! Turns load-time [`RelationStats`] into [`JobShape`]s for candidate
+//! MRJs: per-condition theta selectivities from sampled columns, chain
+//! shuffle volumes from the Hilbert replication closed form, pairwise
+//! shuffle volumes per strategy, and output-cardinality estimates under
+//! the usual independence assumption. These estimates weight the edges
+//! of `G'_JP` (the `w(e')` of Definition 3).
+
+use crate::kr::hilbert_replication_factor;
+use crate::model::JobShape;
+use mwtj_mapreduce::ClusterConfig;
+use mwtj_query::theta::ThetaOp;
+use mwtj_query::MultiwayQuery;
+use mwtj_storage::stats::estimate_theta_selectivity;
+use mwtj_storage::RelationStats;
+
+/// Estimated size/shape of one candidate MRJ plus its output, so
+/// cascades can chain estimates (the output of step *i* is the input of
+/// step *i+1*).
+#[derive(Debug, Clone)]
+pub struct JobEstimate {
+    /// The model inputs for this job.
+    pub shape: JobShape,
+    /// Estimated output rows.
+    pub out_rows: f64,
+    /// Estimated output bytes.
+    pub out_bytes: f64,
+}
+
+/// Per-relation inputs to an estimate: cardinality and total bytes
+/// (base stats or a previous step's [`JobEstimate`] output).
+#[derive(Debug, Clone, Copy)]
+pub struct SideStats {
+    /// Row count.
+    pub rows: f64,
+    /// Encoded bytes.
+    pub bytes: f64,
+}
+
+impl SideStats {
+    /// From load-time relation statistics.
+    pub fn of(stats: &RelationStats) -> Self {
+        SideStats {
+            rows: stats.cardinality as f64,
+            bytes: stats.bytes as f64,
+        }
+    }
+
+    /// From a previous estimate's output.
+    pub fn from_output(est: &JobEstimate) -> Self {
+        SideStats {
+            rows: est.out_rows,
+            bytes: est.out_bytes,
+        }
+    }
+
+    fn row_bytes(&self) -> f64 {
+        if self.rows <= 0.0 {
+            0.0
+        } else {
+            self.bytes / self.rows
+        }
+    }
+}
+
+/// Estimate the selectivity of condition `edge` of `query` using the
+/// relations' sampled column statistics. Conjunctions multiply.
+pub fn condition_selectivity(
+    query: &MultiwayQuery,
+    edge: usize,
+    stats: &[&RelationStats],
+) -> f64 {
+    let (_, _, preds) = &query.conditions[edge];
+    let mut sel = 1.0;
+    for p in preds {
+        let li = query
+            .relation_index(&p.left.relation)
+            .expect("predicate relation");
+        let ri = query
+            .relation_index(&p.right.relation)
+            .expect("predicate relation");
+        let ls = stats[li].column(&p.left.column);
+        let rs = stats[ri].column(&p.right.column);
+        let s = match (ls, rs) {
+            (Some(l), Some(r)) if !l.sample.is_empty() && !r.sample.is_empty() => {
+                // Shift the left sample by the offsets so the empirical
+                // count evaluates (a + lo) op (b + ro).
+                let lo = p.left.offset;
+                let ro = p.right.offset;
+                let shifted: Vec<f64> = l.sample.iter().map(|&x| x + lo - ro).collect();
+                estimate_theta_selectivity(&shifted, &r.sample, |ord| p.op.holds(ord))
+            }
+            // No numeric sample (string columns): fall back to the
+            // classic 1/max(distinct) for equality, ½ for inequality.
+            _ => default_selectivity(p.op, stats, li, ri, &p.left.column, &p.right.column),
+        };
+        sel *= s.clamp(0.0, 1.0);
+    }
+    sel
+}
+
+fn default_selectivity(
+    op: ThetaOp,
+    stats: &[&RelationStats],
+    li: usize,
+    ri: usize,
+    lcol: &str,
+    rcol: &str,
+) -> f64 {
+    let ld = stats[li]
+        .column(lcol)
+        .map(|c| c.distinct_estimate)
+        .unwrap_or(1.0);
+    let rd = stats[ri]
+        .column(rcol)
+        .map(|c| c.distinct_estimate)
+        .unwrap_or(1.0);
+    let eq = 1.0 / ld.max(rd).max(1.0);
+    match op {
+        ThetaOp::Eq => eq,
+        ThetaOp::Ne => 1.0 - eq,
+        _ => 0.5,
+    }
+}
+
+/// Wire-format overhead per shuffled record (tag + aux), matching
+/// `TaggedRecord::wire_bytes`.
+const WIRE_OVERHEAD: f64 = 9.0;
+
+/// Estimate a chain theta-join MRJ over `sides` (one per cube
+/// dimension) with combined predicate selectivity `selectivity`,
+/// `k_r` reducers and `units` processing units.
+pub fn chain_job(
+    config: &ClusterConfig,
+    sides: &[SideStats],
+    selectivity: f64,
+    k_r: u32,
+    units: u32,
+) -> JobEstimate {
+    let d = sides.len().max(1);
+    let input_bytes: f64 = sides.iter().map(|s| s.bytes).sum();
+    let repl = hilbert_replication_factor(d, k_r);
+    let shuffle_bytes: f64 = sides
+        .iter()
+        .map(|s| s.rows * repl * (s.row_bytes() + WIRE_OVERHEAD))
+        .sum();
+    let out_rows = sides.iter().map(|s| s.rows).product::<f64>() * selectivity;
+    let out_row_bytes: f64 = sides.iter().map(|s| s.row_bytes()).sum();
+    let out_bytes = out_rows * out_row_bytes;
+    let candidates: f64 = sides.iter().map(|s| s.rows).product();
+    let shape = JobShape {
+        input_bytes,
+        map_tasks: map_tasks(config, input_bytes),
+        alpha: ratio(shuffle_bytes, input_bytes),
+        beta: ratio(out_bytes, shuffle_bytes),
+        reducers: k_r,
+        units,
+        // Hilbert components are balanced by construction; allow a
+        // small residual imbalance.
+        sigma_bytes: 0.05 * shuffle_bytes / k_r.max(1) as f64,
+        reduce_cpu_secs: candidates * config.hardware.cpu_per_candidate_secs,
+    };
+    JobEstimate {
+        shape,
+        out_rows,
+        out_bytes,
+    }
+}
+
+/// Estimate a hash-partitioned equi-join (or merge) MRJ.
+pub fn pair_equi_job(
+    config: &ClusterConfig,
+    left: SideStats,
+    right: SideStats,
+    selectivity: f64,
+    key_distinct: f64,
+    reducers: u32,
+    units: u32,
+) -> JobEstimate {
+    let input_bytes = left.bytes + right.bytes;
+    let shuffle_bytes = left.rows * (left.row_bytes() + WIRE_OVERHEAD)
+        + right.rows * (right.row_bytes() + WIRE_OVERHEAD);
+    let out_rows = left.rows * right.rows * selectivity;
+    let out_bytes = out_rows * (left.row_bytes() + right.row_bytes());
+    // Per-key candidate work: (l/k)·(r/k) per key, k keys.
+    let k = key_distinct.max(1.0);
+    let candidates = (left.rows / k) * (right.rows / k) * k;
+    // Hash skew: with fewer distinct keys than reducers, some reducers
+    // idle while one carries a whole key.
+    let mean_in = shuffle_bytes / reducers.max(1) as f64;
+    let sigma = if k < reducers as f64 {
+        mean_in * (reducers as f64 / k - 1.0).min(3.0)
+    } else {
+        0.15 * mean_in
+    };
+    let shape = JobShape {
+        input_bytes,
+        map_tasks: map_tasks(config, input_bytes),
+        alpha: ratio(shuffle_bytes, input_bytes),
+        beta: ratio(out_bytes, shuffle_bytes),
+        reducers,
+        units,
+        sigma_bytes: sigma,
+        reduce_cpu_secs: candidates * config.hardware.cpu_per_candidate_secs,
+    };
+    JobEstimate {
+        shape,
+        out_rows,
+        out_bytes,
+    }
+}
+
+/// Estimate a broadcast (fragment-replicate) theta-join MRJ: the
+/// smaller side is copied to every reducer.
+pub fn pair_broadcast_job(
+    config: &ClusterConfig,
+    left: SideStats,
+    right: SideStats,
+    selectivity: f64,
+    reducers: u32,
+    units: u32,
+) -> JobEstimate {
+    let (small, big) = if left.bytes <= right.bytes {
+        (left, right)
+    } else {
+        (right, left)
+    };
+    let n = reducers.max(1) as f64;
+    let input_bytes = left.bytes + right.bytes;
+    let shuffle_bytes = small.rows * (small.row_bytes() + WIRE_OVERHEAD) * n
+        + big.rows * (big.row_bytes() + WIRE_OVERHEAD);
+    let out_rows = left.rows * right.rows * selectivity;
+    let out_bytes = out_rows * (left.row_bytes() + right.row_bytes());
+    let candidates = left.rows * right.rows; // full cross per partition union
+    let shape = JobShape {
+        input_bytes,
+        map_tasks: map_tasks(config, input_bytes),
+        alpha: ratio(shuffle_bytes, input_bytes),
+        beta: ratio(out_bytes, shuffle_bytes),
+        reducers,
+        units,
+        sigma_bytes: 0.1 * shuffle_bytes / n,
+        reduce_cpu_secs: candidates * config.hardware.cpu_per_candidate_secs,
+    };
+    JobEstimate {
+        shape,
+        out_rows,
+        out_bytes,
+    }
+}
+
+/// Estimate a 1-Bucket-Theta pairwise MRJ (√k_R duplication per side).
+pub fn pair_onebucket_job(
+    config: &ClusterConfig,
+    left: SideStats,
+    right: SideStats,
+    selectivity: f64,
+    reducers: u32,
+    units: u32,
+) -> JobEstimate {
+    let root = (reducers.max(1) as f64).sqrt();
+    let input_bytes = left.bytes + right.bytes;
+    let shuffle_bytes = left.rows * (left.row_bytes() + WIRE_OVERHEAD) * root
+        + right.rows * (right.row_bytes() + WIRE_OVERHEAD) * root;
+    let out_rows = left.rows * right.rows * selectivity;
+    let out_bytes = out_rows * (left.row_bytes() + right.row_bytes());
+    let candidates = left.rows * right.rows;
+    let shape = JobShape {
+        input_bytes,
+        map_tasks: map_tasks(config, input_bytes),
+        alpha: ratio(shuffle_bytes, input_bytes),
+        beta: ratio(out_bytes, shuffle_bytes),
+        reducers,
+        units,
+        sigma_bytes: 0.05 * shuffle_bytes / reducers.max(1) as f64,
+        reduce_cpu_secs: candidates * config.hardware.cpu_per_candidate_secs,
+    };
+    JobEstimate {
+        shape,
+        out_rows,
+        out_bytes,
+    }
+}
+
+fn map_tasks(config: &ClusterConfig, input_bytes: f64) -> u32 {
+    ((input_bytes / config.params.block_bytes as f64).ceil() as u32).max(1)
+}
+
+fn ratio(num: f64, den: f64) -> f64 {
+    if den <= 0.0 {
+        0.0
+    } else {
+        num / den
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwtj_datagen::SyntheticGen;
+    use mwtj_query::{QueryBuilder, ThetaOp};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn stats_for(n: usize, domain: i64) -> RelationStats {
+        let rel = SyntheticGen::default().uniform_numeric("t", n, domain);
+        let mut rng = StdRng::seed_from_u64(5);
+        RelationStats::collect(&rel, 512, &mut rng)
+    }
+
+    #[test]
+    fn selectivity_lt_uniform_is_half() {
+        let s1 = stats_for(2_000, 1_000);
+        let rel = SyntheticGen { seed: 9, ..Default::default() }.uniform_numeric("u", 2_000, 1_000);
+        let mut rng = StdRng::seed_from_u64(6);
+        let s2 = RelationStats::collect(&rel, 512, &mut rng);
+        let q = QueryBuilder::new("q")
+            .relation(SyntheticGen::schema("t"))
+            .relation(SyntheticGen::schema("u"))
+            .join("t", "k", ThetaOp::Lt, "u", "k")
+            .build()
+            .unwrap();
+        let sel = condition_selectivity(&q, 0, &[&s1, &s2]);
+        assert!((sel - 0.5).abs() < 0.07, "{sel}");
+    }
+
+    #[test]
+    fn selectivity_conjunction_multiplies() {
+        let s1 = stats_for(2_000, 1_000);
+        let s2 = stats_for(2_000, 1_000);
+        let q = QueryBuilder::new("q")
+            .relation(SyntheticGen::schema("t"))
+            .relation(SyntheticGen::schema("u"))
+            .join("t", "k", ThetaOp::Lt, "u", "k")
+            .and_expr(
+                mwtj_query::ColExpr::col("t", "v"),
+                ThetaOp::Lt,
+                mwtj_query::ColExpr::col("u", "v"),
+            )
+            .build()
+            .unwrap();
+        let sel = condition_selectivity(&q, 0, &[&s1, &s2]);
+        assert!(sel < 0.35, "conjunction should multiply: {sel}");
+    }
+
+    #[test]
+    fn chain_alpha_grows_with_kr() {
+        let cfg = ClusterConfig::default();
+        let sides = [
+            SideStats { rows: 10_000.0, bytes: 400_000.0 },
+            SideStats { rows: 10_000.0, bytes: 400_000.0 },
+            SideStats { rows: 10_000.0, bytes: 400_000.0 },
+        ];
+        let a1 = chain_job(&cfg, &sides, 0.01, 1, 16).shape.alpha;
+        let a64 = chain_job(&cfg, &sides, 0.01, 64, 16).shape.alpha;
+        assert!(a64 > a1 * 5.0, "{a64} vs {a1}");
+    }
+
+    #[test]
+    fn broadcast_shuffle_beats_onebucket_only_for_tiny_sides() {
+        let cfg = ClusterConfig::default();
+        let small = SideStats { rows: 100.0, bytes: 4_000.0 };
+        let big = SideStats { rows: 100_000.0, bytes: 4_000_000.0 };
+        let even = SideStats { rows: 50_000.0, bytes: 2_000_000.0 };
+        // Tiny × huge: broadcast cheaper.
+        let b = pair_broadcast_job(&cfg, small, big, 0.1, 16, 16);
+        let o = pair_onebucket_job(&cfg, small, big, 0.1, 16, 16);
+        assert!(b.shape.alpha < o.shape.alpha);
+        // Even × even: 1-bucket cheaper.
+        let b2 = pair_broadcast_job(&cfg, even, even, 0.1, 16, 16);
+        let o2 = pair_onebucket_job(&cfg, even, even, 0.1, 16, 16);
+        assert!(o2.shape.alpha < b2.shape.alpha);
+    }
+
+    #[test]
+    fn equi_skew_appears_when_keys_scarce() {
+        let cfg = ClusterConfig::default();
+        let side = SideStats { rows: 10_000.0, bytes: 400_000.0 };
+        let skewed = pair_equi_job(&cfg, side, side, 0.001, 4.0, 32, 32);
+        let smooth = pair_equi_job(&cfg, side, side, 0.001, 10_000.0, 32, 32);
+        assert!(skewed.shape.sigma_bytes > smooth.shape.sigma_bytes * 2.0);
+    }
+
+    #[test]
+    fn outputs_chain_into_next_step() {
+        let cfg = ClusterConfig::default();
+        let side = SideStats { rows: 1_000.0, bytes: 40_000.0 };
+        let step1 = pair_equi_job(&cfg, side, side, 0.01, 100.0, 8, 8);
+        let next = SideStats::from_output(&step1);
+        assert!((next.rows - 10_000.0).abs() < 1e-6);
+        assert!(next.bytes > 0.0);
+    }
+}

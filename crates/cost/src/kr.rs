@@ -1,0 +1,192 @@
+//! Equation 10: choosing the reducer count `k_R` for a chain
+//! theta-join.
+//!
+//! `Δ(k_R) = λ · copy-cost(k_R) + (1−λ) · work-per-reducer(k_R)` with
+//! the paper's λ = 0.4 (§5.1 footnote: observed λ ∈ (0.38, 0.46)).
+//!
+//! The copy cost uses the closed-form Hilbert replication factor: a
+//! curve segment of `N/k_R` cells is a compact d-dimensional region, so
+//! each of the `k_R` components intersects `≈ (N/k_R)^(1/d)` stripes
+//! per axis, giving `Score(k_R) ≈ Σ_i |R_i| · k_R^((d−1)/d)` — the
+//! d-dimensional generalisation of 1-Bucket-Theta's `√k_R` duplication.
+
+use mwtj_mapreduce::HardwareProfile;
+
+/// The paper's λ (importance of network copy vs. reducer workload).
+pub const LAMBDA: f64 = 0.4;
+
+/// Closed-form per-tuple replication for a Hilbert partition of a
+/// `d`-cube into `k_R` segments.
+pub fn hilbert_replication_factor(d: usize, k_r: u32) -> f64 {
+    (k_r as f64).powf((d as f64 - 1.0) / d as f64)
+}
+
+/// Result of the `k_R` search.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct KrChoice {
+    /// The chosen reducer count.
+    pub k_r: u32,
+    /// Δ at the optimum.
+    pub delta: f64,
+    /// The copy-cost component at the optimum (seconds).
+    pub copy_cost: f64,
+    /// The work component at the optimum (seconds).
+    pub work_cost: f64,
+}
+
+/// Choose `k_R ∈ [1, k_max]` minimising Eq. 10 for a chain over
+/// relations with the given cardinalities and average encoded row
+/// width. Both Δ terms are converted to seconds so λ weighs
+/// commensurable quantities: copies at the network byte rate, reducer
+/// work at the per-candidate CPU rate.
+///
+/// `effective_candidates` is the estimated number of combinations the
+/// reducers will actually examine across the whole job. The raw
+/// hyper-cube volume `Π|R_i|` is an upper bound that early predicate
+/// pruning slashes; callers pass the pruned estimate (see
+/// [`effective_candidates`]).
+pub fn choose_k_r(
+    cardinalities: &[u64],
+    avg_row_bytes: f64,
+    effective_candidates: f64,
+    hw: &HardwareProfile,
+    k_max: u32,
+    lambda: f64,
+) -> KrChoice {
+    assert!(!cardinalities.is_empty());
+    assert!(k_max >= 1);
+    let d = cardinalities.len();
+    let tuples: f64 = cardinalities.iter().map(|&c| c as f64).sum();
+    let mut best = KrChoice {
+        k_r: 1,
+        delta: f64::INFINITY,
+        copy_cost: 0.0,
+        work_cost: 0.0,
+    };
+    // Every copied byte is spilled map-side (≈ the DFS write rate) and
+    // crosses the network; replication inflates both, so both belong in
+    // the Δ copy term. Copies are produced by map tasks running k_max
+    // wide, so their makespan contribution amortises over that width,
+    // while reducer work only parallelises k wide — Δ compares
+    // *makespan* contributions, which is what the schedule feels.
+    let per_copy_byte = (hw.c2() + 1.0 / hw.disk_write_bps) / k_max.max(1) as f64;
+    for k in 1..=k_max {
+        let score = tuples * hilbert_replication_factor(d, k);
+        let copy_cost = score * avg_row_bytes * per_copy_byte;
+        let work_cost =
+            effective_candidates / k as f64 * hw.cpu_per_candidate_secs;
+        let delta = lambda * copy_cost + (1.0 - lambda) * work_cost;
+        if delta < best.delta {
+            best = KrChoice {
+                k_r: k,
+                delta,
+                copy_cost,
+                work_cost,
+            };
+        }
+    }
+    best
+}
+
+/// Heuristic estimate of the combinations a chain reducer examines
+/// after depth-wise predicate pruning. Two regimes bound it:
+///
+/// * the first nesting level always enumerates the two largest
+///   dimensions' cross product — pruning cannot start before one
+///   comparison per pair;
+/// * deeper levels are cut by compounding selectivities, modelled as
+///   the geometric mean of the full hyper-cube volume and the output
+///   cardinality.
+pub fn effective_candidates(cardinalities: &[u64], out_rows: f64) -> f64 {
+    let cells: f64 = cardinalities.iter().map(|&c| c as f64).product();
+    let mut sorted: Vec<f64> = cardinalities.iter().map(|&c| c as f64).collect();
+    sorted.sort_by(|a, b| b.total_cmp(a));
+    let first_level = sorted[0] * sorted.get(1).copied().unwrap_or(1.0);
+    let pruned = (cells * out_rows.max(1.0)).sqrt();
+    first_level.max(pruned).min(cells)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwtj_hilbert::SpacePartition;
+
+    #[test]
+    fn replication_factor_limits() {
+        // d=1: no replication regardless of k.
+        assert!((hilbert_replication_factor(1, 64) - 1.0).abs() < 1e-12);
+        // d=2: sqrt(k), matching 1-Bucket-Theta.
+        assert!((hilbert_replication_factor(2, 16) - 4.0).abs() < 1e-9);
+        // d=3: k^(2/3).
+        assert!((hilbert_replication_factor(3, 27) - 9.0).abs() < 1e-9);
+    }
+
+    /// The closed form should approximate the real partition's measured
+    /// score within a small constant factor (segments are not perfect
+    /// cubes, but the exponent is right).
+    #[test]
+    fn closed_form_tracks_measured_score() {
+        let cards = [50_000u64, 50_000, 50_000];
+        for k in [8u32, 27, 64] {
+            let p = SpacePartition::hilbert(&cards, k);
+            let measured = p.score();
+            let tuples: f64 = cards.iter().map(|&c| c as f64).sum();
+            let predicted = tuples * hilbert_replication_factor(3, p.num_components());
+            let ratio = measured / predicted;
+            assert!(
+                (0.3..=3.5).contains(&ratio),
+                "k={k}: measured {measured} vs predicted {predicted} (ratio {ratio})"
+            );
+        }
+    }
+
+    #[test]
+    fn interior_optimum_exists() {
+        let hw = HardwareProfile::default();
+        // Small pruned work against heavy per-copy cost (wide rows, few
+        // units to amortise over): work pushes k up, copies push it
+        // down; the optimum must be interior.
+        let cards = [50_000u64, 50_000, 50_000];
+        let cand = 5e9; // heavily pruned vs the 1.25e14 cube
+        let choice = choose_k_r(&cards, 400.0, cand, &hw, 8_192, LAMBDA);
+        assert!(
+            choice.k_r > 1 && choice.k_r < 8_192,
+            "k_r = {} not interior",
+            choice.k_r
+        );
+        // Δ at the optimum beats the k=1 extreme.
+        let k1 = choose_k_r(&cards, 400.0, cand, &hw, 1, LAMBDA);
+        assert!(choice.delta <= k1.delta);
+    }
+
+    #[test]
+    fn tiny_work_prefers_one_reducer() {
+        let hw = HardwareProfile::default();
+        // Minuscule work: any parallelism just costs copies.
+        let choice = choose_k_r(&[10, 10], 1000.0, 100.0, &hw, 64, LAMBDA);
+        assert_eq!(choice.k_r, 1);
+    }
+
+    #[test]
+    fn lambda_shifts_the_optimum() {
+        let hw = HardwareProfile::default();
+        let cards = [100_000u64, 100_000, 100_000];
+        let cand = 1e10;
+        // λ→1: only copies matter, k_r collapses; λ→0: only work
+        // matters, k_r maxes out.
+        let copy_heavy = choose_k_r(&cards, 40.0, cand, &hw, 128, 0.99);
+        let work_heavy = choose_k_r(&cards, 40.0, cand, &hw, 128, 0.01);
+        assert!(copy_heavy.k_r < work_heavy.k_r);
+        assert_eq!(work_heavy.k_r, 128);
+    }
+
+    #[test]
+    fn effective_candidates_between_output_and_cube() {
+        let cards = [1_000u64, 1_000, 1_000];
+        let cube = 1e9;
+        let e = effective_candidates(&cards, 1e3);
+        assert!(e < cube && e > 1e3, "{e}");
+        // Never exceeds the cube even for absurd output estimates.
+        assert!(effective_candidates(&cards, 1e20) <= cube);
+    }
+}

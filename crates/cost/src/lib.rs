@@ -1,0 +1,37 @@
+//! # mwtj-cost
+//!
+//! The paper's §4 cost model, split the way the paper splits it:
+//!
+//! * [`model`] — Equations 1–6: predicted execution time `T` of a
+//!   single MRJ from input size, map-task count, output ratios α and β,
+//!   reducer count `n`, available units, and the calibrated system
+//!   variables `p` (spill) and `q` (connection service).
+//! * [`calibrate`] — §6.2's methodology: run an output-controllable
+//!   self-join sweep, observe execution, and fit the constants of the
+//!   `p`/`q` families (Fig. 7(b)) so the model predicts *without*
+//!   peeking at the engine's internals.
+//! * [`kr`] — Equation 10: pick the reducer count `k_R` for a chain
+//!   theta-join by minimising `Δ = λ·copy-cost + (1−λ)·work-per-reducer`
+//!   with the paper's λ = 0.4, using the closed-form Hilbert
+//!   replication `k_R^((d−1)/d)` per relation.
+//! * [`group`] — §4.2: estimated makespan `C(T)` of a *set* of MRJs on
+//!   `k_P` processing units — greedy malleable-task allotment standing
+//!   in for Jansen's AFPTAS \[19\], exactly as the paper "adopts the
+//!   methodology".
+//! * [`estimate`] — statistics → model inputs: per-condition theta
+//!   selectivities from sampled histograms, chain-job shuffle volumes
+//!   from partition scores, output cardinalities under independence.
+
+#![warn(missing_docs)]
+
+pub mod calibrate;
+pub mod estimate;
+pub mod group;
+pub mod kr;
+pub mod model;
+
+pub use calibrate::{CalibratedParams, Calibrator};
+pub use estimate::JobEstimate;
+pub use group::{schedule_malleable, MalleableJob, Schedule};
+pub use kr::{choose_k_r, hilbert_replication_factor, KrChoice, LAMBDA};
+pub use model::{CostModel, PredictedTime};

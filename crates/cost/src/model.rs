@@ -1,0 +1,250 @@
+//! Equations 1–6: single-MRJ execution time prediction.
+
+use crate::calibrate::CalibratedParams;
+use mwtj_mapreduce::ClusterConfig;
+
+/// Predicted phase times for one MRJ (all in simulated seconds).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PredictedTime {
+    /// Per-map-task time `t_M` (Eq. 1).
+    pub t_m: f64,
+    /// Map phase total `J_M` (Eq. 2).
+    pub j_m: f64,
+    /// Per-map copy time `t_CP` (Eq. 3).
+    pub t_cp: f64,
+    /// Copy phase total `J_CP` (Eq. 4).
+    pub j_cp: f64,
+    /// Reduce phase `J_R` (Eq. 5), driven by the largest reducer input
+    /// `S*_r`.
+    pub j_r: f64,
+    /// Total `T` (Eq. 6, with map/copy overlap).
+    pub total: f64,
+}
+
+/// Inputs the model needs about a prospective job. Everything here is
+/// *estimable before running* (from statistics); nothing comes from the
+/// engine.
+#[derive(Debug, Clone, Copy)]
+pub struct JobShape {
+    /// Total input size `S_I` in bytes.
+    pub input_bytes: f64,
+    /// Number of map tasks `m` (⌈S_I / block⌉ unless known).
+    pub map_tasks: u32,
+    /// Map output ratio α (shuffle bytes / input bytes).
+    pub alpha: f64,
+    /// Reduce output ratio β (output bytes / shuffle bytes).
+    pub beta: f64,
+    /// Number of reduce tasks `n`.
+    pub reducers: u32,
+    /// Processing units available to the job (map wave width `m'`).
+    pub units: u32,
+    /// Std-dev of reducer input sizes in bytes (the σ of §4.1's normal
+    /// approximation); 0 for perfectly balanced partitions.
+    pub sigma_bytes: f64,
+    /// Reduce-side CPU seconds (candidate checking), total across
+    /// reducers — the paper folds this into `p`; we expose it because
+    /// theta-joins are candidate-heavy.
+    pub reduce_cpu_secs: f64,
+}
+
+/// The cost model: cluster constants + calibrated `p`/`q`.
+#[derive(Debug, Clone)]
+pub struct CostModel {
+    config: ClusterConfig,
+    params: CalibratedParams,
+}
+
+impl CostModel {
+    /// Build from a cluster config and calibration results.
+    pub fn new(config: ClusterConfig, params: CalibratedParams) -> Self {
+        CostModel { config, params }
+    }
+
+    /// The calibrated parameters.
+    pub fn params(&self) -> &CalibratedParams {
+        &self.params
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// Predict the execution time of a job (Equations 1–6).
+    pub fn predict(&self, shape: &JobShape) -> PredictedTime {
+        let hw = &self.config.hardware;
+        let c1 = hw.c1();
+        let c2 = hw.c2();
+        let m = shape.map_tasks.max(1) as f64;
+        let n = shape.reducers.max(1) as f64;
+        let units = shape.units.max(1) as f64;
+        let s_i = shape.input_bytes.max(0.0);
+        let per_task_in = s_i / m;
+        let per_task_out = shape.alpha * per_task_in;
+
+        // Eq. 1: t_M = (C1 + p·α) · S_I/m  — read + spill per map task.
+        let p = self.params.p(per_task_out);
+        let t_m = (c1 + p * shape.alpha) * per_task_in;
+
+        // Eq. 2: J_M = t_M · m/m'  (waves).
+        let waves = (m / units).ceil().max(1.0);
+        let j_m = t_m * waves;
+
+        // Eq. 3: t_CP = C2·α·S_I/(n·m) + q·n.
+        let q = self.params.q(shape.reducers.max(1), per_task_out);
+        let t_cp = c2 * per_task_out / n + q * n;
+
+        // Eq. 4: J_CP = m/m' · t_CP.
+        let j_cp = waves * t_cp;
+
+        // Eq. 5: S*_r = α·S_I/n + 3σ ; J_R = (p + β·C_w) · S*_r. We price
+        // the β (output) term at the replicated DFS *write* rate — the
+        // paper folds output cost into β·C1, but intermediates are
+        // written through the replication pipeline, which our substrate
+        // measures at the TestDFSIO write rate. Candidate-checking CPU
+        // is charged on the straggler: per-reducer CPU scales with the
+        // *square* of the input skew (group sizes enter candidate counts
+        // quadratically in joins).
+        let mean_r = (shape.alpha * s_i / n).max(1.0);
+        let s_star = shape.alpha * s_i / n + 3.0 * shape.sigma_bytes;
+        let skew = (s_star / mean_r).max(1.0);
+        let c_w = 1.0 / self.config.hardware.disk_write_bps;
+        let reduce_waves = (n / units).ceil().max(1.0);
+        let j_r = (p + shape.beta * c_w) * s_star * reduce_waves
+            + (shape.reduce_cpu_secs / n) * skew * skew * reduce_waves;
+
+        // Eq. 6: overlap between map and copy — the slower of the two
+        // pipelines hides the other's steady state.
+        let total = if t_m >= t_cp {
+            j_m + t_cp + j_r
+        } else {
+            t_m + j_cp + j_r
+        };
+        PredictedTime {
+            t_m,
+            j_m,
+            t_cp,
+            j_cp,
+            j_r,
+            total,
+        }
+    }
+
+    /// Convenience: predicted total only.
+    pub fn predict_total(&self, shape: &JobShape) -> f64 {
+        self.predict(shape).total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model() -> CostModel {
+        CostModel::new(ClusterConfig::default(), CalibratedParams::default())
+    }
+
+    fn base_shape() -> JobShape {
+        JobShape {
+            input_bytes: 64.0 * 1024.0 * 100.0,
+            map_tasks: 100,
+            alpha: 1.2,
+            beta: 0.1,
+            reducers: 8,
+            units: 16,
+            sigma_bytes: 0.0,
+            reduce_cpu_secs: 0.0,
+        }
+    }
+
+    #[test]
+    fn more_input_takes_longer() {
+        let m = model();
+        let small = m.predict_total(&base_shape());
+        let big = m.predict_total(&JobShape {
+            input_bytes: base_shape().input_bytes * 10.0,
+            map_tasks: 1000,
+            ..base_shape()
+        });
+        assert!(big > small * 5.0, "{big} vs {small}");
+    }
+
+    #[test]
+    fn fewer_units_never_faster() {
+        let m = model();
+        let mut prev = f64::INFINITY;
+        for units in [1u32, 2, 4, 8, 16, 32] {
+            let t = m.predict_total(&JobShape {
+                units,
+                ..base_shape()
+            });
+            assert!(t <= prev * 1.0001, "units={units}: {t} > {prev}");
+            prev = t;
+        }
+    }
+
+    #[test]
+    fn skew_increases_reduce_time() {
+        let m = model();
+        let balanced = m.predict(&base_shape());
+        let skewed = m.predict(&JobShape {
+            sigma_bytes: 1e6,
+            ..base_shape()
+        });
+        assert!(skewed.j_r > balanced.j_r);
+        assert!(skewed.total > balanced.total);
+    }
+
+    /// The paper's observation 1 (§3.1): more reducers is NOT always
+    /// faster — the q·n term eventually dominates.
+    #[test]
+    fn reducer_count_has_interior_optimum() {
+        let m = model();
+        // A shuffle-heavy job large enough that splitting the reduce
+        // input pays at first.
+        let t_at = |n: u32| {
+            m.predict_total(&JobShape {
+                reducers: n,
+                units: 1024,
+                map_tasks: 1600,
+                input_bytes: 100e6,
+                alpha: 1.0,
+                beta: 0.1,
+                sigma_bytes: 0.0,
+                reduce_cpu_secs: 0.0,
+            })
+        };
+        let t2 = t_at(2);
+        let t16 = t_at(16);
+        let t512 = t_at(512);
+        let t16384 = t_at(16_384);
+        assert!(t16 < t2, "{t16} !< {t2}");
+        assert!(t16384 > t512, "q·n should bite: {t16384} !> {t512}");
+    }
+
+    #[test]
+    fn overlap_picks_dominating_phase() {
+        let m = model();
+        // Tiny α, few reducers: map-bound, so total ≈ J_M + t_CP + J_R.
+        let map_bound = m.predict(&JobShape {
+            alpha: 0.01,
+            reducers: 2,
+            ..base_shape()
+        });
+        assert!(map_bound.t_m >= map_bound.t_cp);
+        assert!((map_bound.total - (map_bound.j_m + map_bound.t_cp + map_bound.j_r)).abs() < 1e-9);
+        // Small map output fanned out to very many reducers: the q·n
+        // connection service dominates the short map task — copy-bound
+        // (the paper's Case 2 in Fig. 3).
+        let copy_bound = m.predict(&JobShape {
+            alpha: 0.05,
+            reducers: 512,
+            units: 512,
+            ..base_shape()
+        });
+        assert!(copy_bound.t_cp >= copy_bound.t_m);
+        assert!(
+            (copy_bound.total - (copy_bound.t_m + copy_bound.j_cp + copy_bound.j_r)).abs() < 1e-9
+        );
+    }
+}

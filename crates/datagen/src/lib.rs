@@ -1,0 +1,27 @@
+//! # mwtj-datagen
+//!
+//! Deterministic data generators for the paper's two evaluation data
+//! sets plus calibration workloads:
+//!
+//! * [`mobile`] — the mobile-calls data set (§6.1: `(id, d, bt, l,
+//!   bsc)`, 2,113,968 users over 2000+ base stations, 61 days). The
+//!   paper scales this set synthetically "following the distribution of
+//!   the number of phone calls along a day-time, which is a diurnal
+//!   pattern (a periodical function with 24-hour cycles)"; we generate
+//!   with that same stated diurnal mixture at any target size.
+//! * [`tpch`] — a from-scratch TPC-H `dbgen` subset: the eight standard
+//!   tables with standard relative cardinalities per scale factor,
+//!   restricted to the columns Q7/Q17/Q18/Q21 touch.
+//! * [`synthetic`] — output-controllable self-join workloads, used to
+//!   calibrate the cost model's `p` and `q` exactly as §6.2 does ("an
+//!   output controllable self-join program over a synthetic data set").
+
+#![warn(missing_docs)]
+
+pub mod mobile;
+pub mod synthetic;
+pub mod tpch;
+
+pub use mobile::MobileGen;
+pub use synthetic::SyntheticGen;
+pub use tpch::TpchGen;

@@ -1,0 +1,241 @@
+//! The mobile-calls data set.
+//!
+//! Schema (§6.1 of the paper): `id, d (date), bt (begin time), l
+//! (length), bsc (base station code)`. Call volume over the day follows
+//! a diurnal pattern — we use a two-peak (morning/evening) mixture over
+//! 24 hours, periodic across days. Base stations have a skewed (Zipf)
+//! popularity, which is what produces the join-key skew the paper's
+//! partitioning has to survive.
+
+use mwtj_storage::{DataType, Relation, Schema, Tuple, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of seconds in a day.
+const DAY_SECS: i64 = 86_400;
+
+/// Generator for mobile-calls relations.
+#[derive(Debug, Clone)]
+pub struct MobileGen {
+    /// Number of distinct users.
+    pub users: u32,
+    /// Number of base stations (paper: "over 2000").
+    pub base_stations: u32,
+    /// Days covered (paper: 61, Oct 1 – Nov 30, 2008).
+    pub days: u32,
+    /// Zipf exponent for base-station popularity (0 = uniform).
+    pub bsc_zipf: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for MobileGen {
+    fn default() -> Self {
+        MobileGen {
+            users: 21_140,      // paper's 2,113,968 users, scaled 1:100
+            base_stations: 2_000,
+            days: 61,
+            bsc_zipf: 0.8,
+            seed: 0x5eed_ca11,
+        }
+    }
+}
+
+impl MobileGen {
+    /// The relation schema. Dates are day ordinals, begin times are
+    /// seconds since midnight, lengths are seconds.
+    pub fn schema(name: &str) -> Schema {
+        Schema::from_pairs(
+            name,
+            &[
+                ("id", DataType::Int),
+                ("d", DataType::Int),
+                ("bt", DataType::Int),
+                ("l", DataType::Int),
+                ("bsc", DataType::Int),
+            ],
+        )
+    }
+
+    /// Generate `n` calls under relation name `name`.
+    pub fn generate(&self, name: &str, n: usize) -> Relation {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let zipf = ZipfSampler::new(self.base_stations as usize, self.bsc_zipf);
+        let rows: Vec<Tuple> = (0..n)
+            .map(|_| {
+                let id = rng.gen_range(0..self.users) as i64;
+                let d = rng.gen_range(0..self.days) as i64;
+                let bt = diurnal_second(&mut rng);
+                // Call lengths: exponential-ish, mean ~120 s, capped at
+                // 2 h.
+                let l = (-(rng.gen::<f64>().max(1e-12)).ln() * 120.0)
+                    .min(7_200.0)
+                    .ceil() as i64;
+                let bsc = zipf.sample(&mut rng) as i64;
+                Tuple::new(vec![
+                    Value::Int(id),
+                    Value::Int(d),
+                    Value::Int(bt),
+                    Value::Int(l),
+                    Value::Int(bsc),
+                ])
+            })
+            .collect();
+        Relation::from_rows_unchecked(Self::schema(name), rows)
+    }
+
+    /// Generate a relation of approximately `target_bytes` encoded
+    /// bytes (the benchmark's "underlying data volume" axis).
+    pub fn generate_bytes(&self, name: &str, target_bytes: usize) -> Relation {
+        // Measure a small probe to get bytes/row, then size accordingly.
+        let probe = self.generate(name, 256);
+        let per_row = probe.avg_row_bytes().max(1.0);
+        let n = ((target_bytes as f64 / per_row).round() as usize).max(1);
+        self.generate(name, n)
+    }
+}
+
+/// Sample a second-of-day from the diurnal two-peak mixture: 20% uniform
+/// background, 45% morning peak (~10:00), 35% evening peak (~20:00).
+fn diurnal_second(rng: &mut impl Rng) -> i64 {
+    let u: f64 = rng.gen();
+    let hour = if u < 0.20 {
+        rng.gen::<f64>() * 24.0
+    } else if u < 0.65 {
+        gaussian(rng, 10.0, 2.5).rem_euclid(24.0)
+    } else {
+        gaussian(rng, 20.0, 2.0).rem_euclid(24.0)
+    };
+    ((hour / 24.0) * DAY_SECS as f64) as i64
+}
+
+fn gaussian(rng: &mut impl Rng, mean: f64, sd: f64) -> f64 {
+    // Box–Muller; rand's default feature set in this workspace has no
+    // distributions module, so roll the classic transform.
+    let u1: f64 = rng.gen::<f64>().max(1e-12);
+    let u2: f64 = rng.gen();
+    mean + sd * (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Zipf sampler over ranks `0..n` via inverse-CDF table.
+#[derive(Debug, Clone)]
+struct ZipfSampler {
+    cdf: Vec<f64>,
+}
+
+impl ZipfSampler {
+    fn new(n: usize, exponent: f64) -> Self {
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += 1.0 / (k as f64).powf(exponent);
+            cdf.push(acc);
+        }
+        let total = acc.max(1e-12);
+        for c in &mut cdf {
+            *c /= total;
+        }
+        ZipfSampler { cdf }
+    }
+
+    fn sample(&self, rng: &mut impl Rng) -> usize {
+        let u: f64 = rng.gen();
+        match self
+            .cdf
+            .binary_search_by(|p| p.partial_cmp(&u).expect("cdf is finite"))
+        {
+            Ok(i) => i,
+            Err(i) => i.min(self.cdf.len() - 1),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schema_matches_paper() {
+        let s = MobileGen::schema("calls");
+        assert_eq!(s.arity(), 5);
+        let names: Vec<&str> = s.fields().iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["id", "d", "bt", "l", "bsc"]);
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let g = MobileGen::default();
+        let a = g.generate("c", 500);
+        let b = g.generate("c", 500);
+        assert_eq!(a.sorted_rows(), b.sorted_rows());
+        let g2 = MobileGen {
+            seed: 99,
+            ..Default::default()
+        };
+        assert_ne!(g2.generate("c", 500).sorted_rows(), a.sorted_rows());
+    }
+
+    #[test]
+    fn values_in_domain() {
+        let g = MobileGen {
+            users: 100,
+            base_stations: 50,
+            days: 7,
+            ..Default::default()
+        };
+        let r = g.generate("c", 2_000);
+        for row in r.rows() {
+            let id = row.get(0).as_int().unwrap();
+            let d = row.get(1).as_int().unwrap();
+            let bt = row.get(2).as_int().unwrap();
+            let l = row.get(3).as_int().unwrap();
+            let bsc = row.get(4).as_int().unwrap();
+            assert!((0..100).contains(&id));
+            assert!((0..7).contains(&d));
+            assert!((0..DAY_SECS).contains(&bt));
+            assert!(l >= 1 && l <= 7_200);
+            assert!((0..50).contains(&bsc));
+        }
+    }
+
+    #[test]
+    fn diurnal_pattern_has_daytime_peak() {
+        let g = MobileGen::default();
+        let r = g.generate("c", 20_000);
+        let mut by_hour = [0usize; 24];
+        for row in r.rows() {
+            let bt = row.get(2).as_int().unwrap();
+            by_hour[(bt / 3600) as usize] += 1;
+        }
+        let night: usize = (0..6).map(|h| by_hour[h]).sum();
+        let day: usize = (8..22).map(|h| by_hour[h]).sum();
+        assert!(
+            day > night * 3,
+            "diurnal pattern missing: day {day} vs night {night}"
+        );
+    }
+
+    #[test]
+    fn zipf_skews_base_stations() {
+        let g = MobileGen::default();
+        let r = g.generate("c", 20_000);
+        let mut counts = std::collections::HashMap::new();
+        for row in r.rows() {
+            *counts.entry(row.get(4).as_int().unwrap()).or_insert(0usize) += 1;
+        }
+        let max = *counts.values().max().unwrap();
+        let mean = 20_000.0 / counts.len() as f64;
+        assert!(max as f64 > mean * 3.0, "no skew: max {max}, mean {mean}");
+    }
+
+    #[test]
+    fn generate_bytes_hits_target() {
+        let g = MobileGen::default();
+        let r = g.generate_bytes("c", 64 * 1024);
+        let got = r.encoded_bytes() as f64;
+        assert!(
+            (got / 65536.0 - 1.0).abs() < 0.15,
+            "got {got} bytes for 64 KiB target"
+        );
+    }
+}

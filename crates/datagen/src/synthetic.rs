@@ -1,0 +1,175 @@
+//! Output-controllable synthetic workloads for cost-model calibration.
+//!
+//! §6.2 of the paper computes the distributions of `p` and `q` "by
+//! studying an output controllable self-join program over a synthetic
+//! data set". [`SyntheticGen`] produces relations whose self-equi-join
+//! output size is analytically known: `n` rows spread over `k` distinct
+//! keys gives `Σ (n/k)² ≈ n²/k` join pairs, so sweeping `k` sweeps the
+//! map/reduce output ratio precisely.
+
+use mwtj_storage::{DataType, Relation, Schema, Tuple, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generator for calibration relations.
+#[derive(Debug, Clone)]
+pub struct SyntheticGen {
+    /// RNG seed.
+    pub seed: u64,
+    /// Bytes of string padding appended to each row (to set row width
+    /// independently of key count).
+    pub pad_bytes: usize,
+}
+
+impl Default for SyntheticGen {
+    fn default() -> Self {
+        SyntheticGen {
+            seed: 0xface,
+            pad_bytes: 32,
+        }
+    }
+}
+
+impl SyntheticGen {
+    /// Schema: `(k INT, v INT, pad STRING)`.
+    pub fn schema(name: &str) -> Schema {
+        Schema::from_pairs(
+            name,
+            &[
+                ("k", DataType::Int),
+                ("v", DataType::Int),
+                ("pad", DataType::Str),
+            ],
+        )
+    }
+
+    /// `n` rows over `distinct_keys` uniformly-popular keys. The
+    /// self-equi-join on `k` produces ~`n²/distinct_keys` pairs.
+    pub fn uniform_keys(&self, name: &str, n: usize, distinct_keys: usize) -> Relation {
+        assert!(distinct_keys >= 1);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let pad: String = "x".repeat(self.pad_bytes);
+        let rows = (0..n)
+            .map(|i| {
+                Tuple::new(vec![
+                    Value::Int(rng.gen_range(0..distinct_keys) as i64),
+                    Value::Int(i as i64),
+                    Value::from(pad.clone()),
+                ])
+            })
+            .collect();
+        Relation::from_rows_unchecked(Self::schema(name), rows)
+    }
+
+    /// `n` rows with one "hot" key receiving `hot_fraction` of the rows
+    /// and the rest uniform over `distinct_keys` — the skew torture
+    /// case for partitioners.
+    pub fn skewed_keys(
+        &self,
+        name: &str,
+        n: usize,
+        distinct_keys: usize,
+        hot_fraction: f64,
+    ) -> Relation {
+        assert!((0.0..=1.0).contains(&hot_fraction));
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x5e);
+        let pad: String = "x".repeat(self.pad_bytes);
+        let rows = (0..n)
+            .map(|i| {
+                let k = if rng.gen::<f64>() < hot_fraction {
+                    0
+                } else {
+                    rng.gen_range(0..distinct_keys) as i64
+                };
+                Tuple::new(vec![
+                    Value::Int(k),
+                    Value::Int(i as i64),
+                    Value::from(pad.clone()),
+                ])
+            })
+            .collect();
+        Relation::from_rows_unchecked(Self::schema(name), rows)
+    }
+
+    /// Rows with a uniform numeric column in `[0, domain)` — band /
+    /// inequality join workloads with analytically-known selectivity.
+    pub fn uniform_numeric(&self, name: &str, n: usize, domain: i64) -> Relation {
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xd0);
+        let pad: String = "x".repeat(self.pad_bytes);
+        let rows = (0..n)
+            .map(|i| {
+                Tuple::new(vec![
+                    Value::Int(rng.gen_range(0..domain)),
+                    Value::Int(i as i64),
+                    Value::from(pad.clone()),
+                ])
+            })
+            .collect();
+        Relation::from_rows_unchecked(Self::schema(name), rows)
+    }
+
+    /// Analytic expected self-equi-join output pairs for
+    /// [`SyntheticGen::uniform_keys`].
+    pub fn expected_self_join_pairs(n: usize, distinct_keys: usize) -> f64 {
+        (n as f64) * (n as f64) / distinct_keys as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[test]
+    fn self_join_size_is_controllable() {
+        let g = SyntheticGen::default();
+        let r = g.uniform_keys("s", 2_000, 50);
+        let mut by_key: HashMap<i64, usize> = HashMap::new();
+        for row in r.rows() {
+            *by_key.entry(row.get(0).as_int().unwrap()).or_insert(0) += 1;
+        }
+        let pairs: f64 = by_key.values().map(|&c| (c * c) as f64).sum();
+        let expect = SyntheticGen::expected_self_join_pairs(2_000, 50);
+        assert!(
+            (pairs / expect - 1.0).abs() < 0.1,
+            "pairs {pairs} vs expected {expect}"
+        );
+    }
+
+    #[test]
+    fn skew_concentrates_on_key_zero() {
+        let g = SyntheticGen::default();
+        let r = g.skewed_keys("s", 10_000, 100, 0.3);
+        let zero = r
+            .rows()
+            .iter()
+            .filter(|t| t.get(0).as_int() == Some(0))
+            .count();
+        assert!(zero > 2_500, "hot key got {zero} rows");
+    }
+
+    #[test]
+    fn pad_controls_row_width() {
+        let small = SyntheticGen {
+            pad_bytes: 4,
+            ..Default::default()
+        }
+        .uniform_keys("s", 100, 10);
+        let big = SyntheticGen {
+            pad_bytes: 200,
+            ..Default::default()
+        }
+        .uniform_keys("s", 100, 10);
+        assert!(big.avg_row_bytes() > small.avg_row_bytes() + 150.0);
+    }
+
+    #[test]
+    fn uniform_numeric_in_domain() {
+        let g = SyntheticGen::default();
+        let r = g.uniform_numeric("u", 1_000, 500);
+        for row in r.rows() {
+            let v = row.get(0).as_int().unwrap();
+            assert!((0..500).contains(&v));
+        }
+    }
+}

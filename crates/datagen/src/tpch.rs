@@ -1,0 +1,346 @@
+//! A from-scratch TPC-H `dbgen` subset.
+//!
+//! The eight standard tables at their standard relative cardinalities
+//! per scale factor (SF 1 = 10k suppliers, 150k customers, 200k parts,
+//! 800k partsupps, 1.5M orders, ~6M lineitems, 25 nations, 5 regions),
+//! restricted to the columns the paper's benchmark queries (Q7, Q17,
+//! Q18, Q21) touch. Deterministic per seed.
+
+use mwtj_storage::{DataType, Relation, Schema, Tuple, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Day ordinal of 1992-01-01 (epoch for date columns).
+pub const DATE_LO: i64 = 0;
+/// Day ordinal just past 1998-12-31 — dates are uniform in
+/// `[DATE_LO, DATE_HI)`, mirroring dbgen's 7-year span.
+pub const DATE_HI: i64 = 2_556;
+
+/// TPC-H generator.
+#[derive(Debug, Clone)]
+pub struct TpchGen {
+    /// Scale factor. SF 1 is the full benchmark; the repro default in
+    /// the benches is ~0.001–0.01.
+    pub scale: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for TpchGen {
+    fn default() -> Self {
+        TpchGen {
+            scale: 0.001,
+            seed: 0x7bc4,
+        }
+    }
+}
+
+macro_rules! count {
+    ($self:ident, $base:expr) => {
+        ((($base as f64) * $self.scale).round() as usize).max(1)
+    };
+}
+
+impl TpchGen {
+    /// `nation(n_nationkey, n_name)` — fixed 25 rows.
+    pub fn nation(&self) -> Relation {
+        let schema = Schema::from_pairs(
+            "nation",
+            &[("n_nationkey", DataType::Int), ("n_name", DataType::Str)],
+        );
+        const NAMES: [&str; 25] = [
+            "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE",
+            "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA",
+            "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM",
+            "RUSSIA", "UNITED KINGDOM", "UNITED STATES",
+        ];
+        let rows = NAMES
+            .iter()
+            .enumerate()
+            .map(|(i, n)| Tuple::new(vec![Value::Int(i as i64), Value::from(*n)]))
+            .collect();
+        Relation::from_rows_unchecked(schema, rows)
+    }
+
+    /// `supplier(s_suppkey, s_name, s_nationkey)` — 10k·SF rows.
+    pub fn supplier(&self) -> Relation {
+        let n = count!(self, 10_000);
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x51);
+        let schema = Schema::from_pairs(
+            "supplier",
+            &[
+                ("s_suppkey", DataType::Int),
+                ("s_name", DataType::Str),
+                ("s_nationkey", DataType::Int),
+            ],
+        );
+        let rows = (0..n)
+            .map(|i| {
+                Tuple::new(vec![
+                    Value::Int(i as i64),
+                    Value::from(format!("Supplier#{i:09}")),
+                    Value::Int(rng.gen_range(0..25)),
+                ])
+            })
+            .collect();
+        Relation::from_rows_unchecked(schema, rows)
+    }
+
+    /// `customer(c_custkey, c_name, c_nationkey)` — 150k·SF rows.
+    pub fn customer(&self) -> Relation {
+        let n = count!(self, 150_000);
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0xc5);
+        let schema = Schema::from_pairs(
+            "customer",
+            &[
+                ("c_custkey", DataType::Int),
+                ("c_name", DataType::Str),
+                ("c_nationkey", DataType::Int),
+            ],
+        );
+        let rows = (0..n)
+            .map(|i| {
+                Tuple::new(vec![
+                    Value::Int(i as i64),
+                    Value::from(format!("Customer#{i:09}")),
+                    Value::Int(rng.gen_range(0..25)),
+                ])
+            })
+            .collect();
+        Relation::from_rows_unchecked(schema, rows)
+    }
+
+    /// `part(p_partkey, p_brand, p_container, p_retailprice)` —
+    /// 200k·SF rows. Brands `Brand#11..Brand#55`, containers from
+    /// dbgen's vocabulary.
+    pub fn part(&self) -> Relation {
+        let n = count!(self, 200_000);
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x9a);
+        let schema = Schema::from_pairs(
+            "part",
+            &[
+                ("p_partkey", DataType::Int),
+                ("p_brand", DataType::Str),
+                ("p_container", DataType::Str),
+                ("p_retailprice", DataType::Double),
+            ],
+        );
+        const CONTAINERS: [&str; 8] = [
+            "SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "JUMBO PKG",
+            "WRAP JAR",
+        ];
+        let rows = (0..n)
+            .map(|i| {
+                let brand = format!(
+                    "Brand#{}{}",
+                    rng.gen_range(1..=5),
+                    rng.gen_range(1..=5)
+                );
+                Tuple::new(vec![
+                    Value::Int(i as i64),
+                    Value::from(brand),
+                    Value::from(CONTAINERS[rng.gen_range(0..CONTAINERS.len())]),
+                    Value::Double(rng.gen_range(900.0..2_000.0)),
+                ])
+            })
+            .collect();
+        Relation::from_rows_unchecked(schema, rows)
+    }
+
+    /// `partsupp(ps_partkey, ps_suppkey, ps_availqty, ps_supplycost)` —
+    /// 4 suppliers per part.
+    pub fn partsupp(&self) -> Relation {
+        let parts = count!(self, 200_000);
+        let sups = count!(self, 10_000);
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x65);
+        let schema = Schema::from_pairs(
+            "partsupp",
+            &[
+                ("ps_partkey", DataType::Int),
+                ("ps_suppkey", DataType::Int),
+                ("ps_availqty", DataType::Int),
+                ("ps_supplycost", DataType::Double),
+            ],
+        );
+        let mut rows = Vec::with_capacity(parts * 4);
+        for p in 0..parts {
+            for _ in 0..4 {
+                rows.push(Tuple::new(vec![
+                    Value::Int(p as i64),
+                    Value::Int(rng.gen_range(0..sups) as i64),
+                    Value::Int(rng.gen_range(1..10_000)),
+                    Value::Double(rng.gen_range(1.0..1_000.0)),
+                ]));
+            }
+        }
+        Relation::from_rows_unchecked(schema, rows)
+    }
+
+    /// `orders(o_orderkey, o_custkey, o_orderstatus, o_totalprice,
+    /// o_orderdate)` — 1.5M·SF rows.
+    pub fn orders(&self) -> Relation {
+        let n = count!(self, 1_500_000);
+        let custs = count!(self, 150_000);
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x0d);
+        let schema = Schema::from_pairs(
+            "orders",
+            &[
+                ("o_orderkey", DataType::Int),
+                ("o_custkey", DataType::Int),
+                ("o_orderstatus", DataType::Str),
+                ("o_totalprice", DataType::Double),
+                ("o_orderdate", DataType::Int),
+            ],
+        );
+        let rows = (0..n)
+            .map(|i| {
+                let status = match rng.gen_range(0..4) {
+                    0 => "F",
+                    1 => "O",
+                    2 => "P",
+                    _ => "F",
+                };
+                Tuple::new(vec![
+                    Value::Int(i as i64),
+                    Value::Int(rng.gen_range(0..custs) as i64),
+                    Value::from(status),
+                    Value::Double(rng.gen_range(1_000.0..500_000.0)),
+                    Value::Int(rng.gen_range(DATE_LO..DATE_HI)),
+                ])
+            })
+            .collect();
+        Relation::from_rows_unchecked(schema, rows)
+    }
+
+    /// `lineitem(l_orderkey, l_partkey, l_suppkey, l_linenumber,
+    /// l_quantity, l_extendedprice, l_discount, l_shipdate,
+    /// l_commitdate, l_receiptdate)` — 1–7 lines per order (~4 avg),
+    /// like dbgen.
+    pub fn lineitem(&self) -> Relation {
+        let orders = count!(self, 1_500_000);
+        let parts = count!(self, 200_000);
+        let sups = count!(self, 10_000);
+        let mut rng = StdRng::seed_from_u64(self.seed ^ 0x11);
+        let schema = Self::lineitem_schema("lineitem");
+        let mut rows = Vec::with_capacity(orders * 4);
+        for o in 0..orders {
+            let lines = rng.gen_range(1..=7);
+            for ln in 0..lines {
+                let ship = rng.gen_range(DATE_LO..DATE_HI - 60);
+                let commit = ship + rng.gen_range(-30i64..60);
+                let receipt = ship + rng.gen_range(1i64..30);
+                rows.push(Tuple::new(vec![
+                    Value::Int(o as i64),
+                    Value::Int(rng.gen_range(0..parts) as i64),
+                    Value::Int(rng.gen_range(0..sups) as i64),
+                    Value::Int(ln as i64),
+                    Value::Int(rng.gen_range(1..=50)),
+                    Value::Double(rng.gen_range(900.0..100_000.0)),
+                    Value::Double(rng.gen_range(0.0..0.1)),
+                    Value::Int(ship),
+                    Value::Int(commit),
+                    Value::Int(receipt),
+                ]));
+            }
+        }
+        Relation::from_rows_unchecked(schema, rows)
+    }
+
+    /// The lineitem schema under an arbitrary relation name (self-joins
+    /// in Q21 need `l1`, `l2`, `l3` instances).
+    pub fn lineitem_schema(name: &str) -> Schema {
+        Schema::from_pairs(
+            name,
+            &[
+                ("l_orderkey", DataType::Int),
+                ("l_partkey", DataType::Int),
+                ("l_suppkey", DataType::Int),
+                ("l_linenumber", DataType::Int),
+                ("l_quantity", DataType::Int),
+                ("l_extendedprice", DataType::Double),
+                ("l_discount", DataType::Double),
+                ("l_shipdate", DataType::Int),
+                ("l_commitdate", DataType::Int),
+                ("l_receiptdate", DataType::Int),
+            ],
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn gen() -> TpchGen {
+        TpchGen {
+            scale: 0.001,
+            seed: 42,
+        }
+    }
+
+    #[test]
+    fn cardinality_ratios_match_dbgen() {
+        let g = gen();
+        assert_eq!(g.nation().len(), 25);
+        assert_eq!(g.supplier().len(), 10);
+        assert_eq!(g.customer().len(), 150);
+        assert_eq!(g.part().len(), 200);
+        assert_eq!(g.partsupp().len(), 800);
+        assert_eq!(g.orders().len(), 1_500);
+        let li = g.lineitem().len();
+        assert!((1_500..=10_500).contains(&li), "lineitem {li}");
+    }
+
+    #[test]
+    fn foreign_keys_resolve() {
+        let g = gen();
+        let custs = g.customer().len() as i64;
+        for row in g.orders().rows() {
+            let ck = row.get(1).as_int().unwrap();
+            assert!((0..custs).contains(&ck));
+        }
+        let sups = g.supplier().len() as i64;
+        let parts = g.part().len() as i64;
+        for row in g.lineitem().rows() {
+            assert!((0..parts).contains(&row.get(1).as_int().unwrap()));
+            assert!((0..sups).contains(&row.get(2).as_int().unwrap()));
+        }
+        for row in g.supplier().rows() {
+            assert!((0..25).contains(&row.get(2).as_int().unwrap()));
+        }
+    }
+
+    #[test]
+    fn dates_in_span_and_receipt_after_ship() {
+        let g = gen();
+        for row in g.lineitem().rows() {
+            let ship = row.get(7).as_int().unwrap();
+            let receipt = row.get(9).as_int().unwrap();
+            assert!((DATE_LO..DATE_HI).contains(&ship));
+            assert!(receipt > ship);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = gen().orders();
+        let b = gen().orders();
+        assert_eq!(a.sorted_rows(), b.sorted_rows());
+        let c = TpchGen {
+            seed: 1,
+            ..gen()
+        }
+        .orders();
+        assert_ne!(c.sorted_rows(), a.sorted_rows());
+    }
+
+    #[test]
+    fn brands_are_dbgen_shaped() {
+        let g = gen();
+        for row in g.part().rows() {
+            let b = row.get(1).as_str().unwrap();
+            assert!(b.starts_with("Brand#"), "{b}");
+            assert_eq!(b.len(), 8);
+        }
+    }
+}

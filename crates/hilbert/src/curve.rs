@@ -1,0 +1,256 @@
+//! d-dimensional Hilbert curve, index ⇄ coordinates.
+//!
+//! Implementation of John Skilling, "Programming the Hilbert curve",
+//! AIP Conference Proceedings 707, 381 (2004): work in the *transposed*
+//! representation (one machine word per dimension, each holding that
+//! dimension's bits of the index) and convert with O(d·b) bit twiddling.
+
+/// A Hilbert curve over a `dims`-dimensional grid with `bits` bits per
+/// dimension, i.e. `2^bits` cells per axis and `2^(dims·bits)` cells
+/// total.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HilbertCurve {
+    dims: usize,
+    bits: u32,
+}
+
+impl HilbertCurve {
+    /// Create a curve. `dims ≥ 1`, `bits ≥ 1`, and `dims·bits ≤ 63` so the
+    /// flat index fits a `u64`.
+    pub fn new(dims: usize, bits: u32) -> Self {
+        assert!(dims >= 1, "need at least one dimension");
+        assert!(bits >= 1, "need at least one bit per dimension");
+        assert!(
+            dims as u32 * bits <= 63,
+            "dims*bits = {} exceeds u64 index space",
+            dims as u32 * bits
+        );
+        HilbertCurve { dims, bits }
+    }
+
+    /// Number of dimensions.
+    pub fn dims(&self) -> usize {
+        self.dims
+    }
+
+    /// Bits per dimension.
+    pub fn bits(&self) -> u32 {
+        self.bits
+    }
+
+    /// Cells per axis (`2^bits`).
+    pub fn side(&self) -> u64 {
+        1u64 << self.bits
+    }
+
+    /// Total number of cells (`2^(dims·bits)`), the curve length `|H|`.
+    pub fn num_cells(&self) -> u64 {
+        1u64 << (self.dims as u32 * self.bits)
+    }
+
+    /// Hilbert index of the cell at `coords` (each `< 2^bits`).
+    pub fn index(&self, coords: &[u64]) -> u64 {
+        assert_eq!(coords.len(), self.dims);
+        debug_assert!(coords.iter().all(|&c| c < self.side()));
+        let mut x: Vec<u64> = coords.to_vec();
+        axes_to_transpose(&mut x, self.bits);
+        self.interleave(&x)
+    }
+
+    /// Coordinates of the cell with Hilbert index `h`, written to `out`
+    /// (length `dims`). Buffer-reuse variant of [`HilbertCurve::coords`]
+    /// for the hot curve-walk loop.
+    pub fn coords_into(&self, h: u64, out: &mut [u64]) {
+        assert_eq!(out.len(), self.dims);
+        debug_assert!(h < self.num_cells());
+        self.deinterleave(h, out);
+        transpose_to_axes(out, self.bits);
+    }
+
+    /// Coordinates of the cell with Hilbert index `h`.
+    pub fn coords(&self, h: u64) -> Vec<u64> {
+        let mut out = vec![0u64; self.dims];
+        self.coords_into(h, &mut out);
+        out
+    }
+
+    /// Pack the transposed form into a flat index: bit `(bits-1-i)` of
+    /// each `x[j]` (j ascending) yields consecutive index bits, MSB first.
+    fn interleave(&self, x: &[u64]) -> u64 {
+        let mut h = 0u64;
+        for i in (0..self.bits).rev() {
+            for xj in x {
+                h = (h << 1) | ((xj >> i) & 1);
+            }
+        }
+        h
+    }
+
+    /// Inverse of [`HilbertCurve::interleave`].
+    fn deinterleave(&self, mut h: u64, x: &mut [u64]) {
+        x.fill(0);
+        // Consume index bits LSB-first, assigning to (dim, bit) pairs in
+        // reverse interleaving order.
+        for i in 0..self.bits {
+            for j in (0..self.dims).rev() {
+                x[j] |= (h & 1) << i;
+                h >>= 1;
+            }
+        }
+    }
+}
+
+/// Skilling: axes → transpose (in place). `b` = bits per dimension.
+fn axes_to_transpose(x: &mut [u64], b: u32) {
+    let n = x.len();
+    let m = 1u64 << (b - 1);
+    // Inverse undo.
+    let mut q = m;
+    while q > 1 {
+        let p = q - 1;
+        for i in 0..n {
+            if x[i] & q != 0 {
+                x[0] ^= p; // invert low bits of x[0]
+            } else {
+                let t = (x[0] ^ x[i]) & p;
+                x[0] ^= t;
+                x[i] ^= t;
+            }
+        }
+        q >>= 1;
+    }
+    // Gray encode.
+    for i in 1..n {
+        x[i] ^= x[i - 1];
+    }
+    let mut t = 0u64;
+    let mut q = m;
+    while q > 1 {
+        if x[n - 1] & q != 0 {
+            t ^= q - 1;
+        }
+        q >>= 1;
+    }
+    for xi in x.iter_mut() {
+        *xi ^= t;
+    }
+}
+
+/// Skilling: transpose → axes (in place). `b` = bits per dimension.
+fn transpose_to_axes(x: &mut [u64], b: u32) {
+    let n = x.len();
+    // Gray decode.
+    let t = x[n - 1] >> 1;
+    for i in (1..n).rev() {
+        x[i] ^= x[i - 1];
+    }
+    x[0] ^= t;
+    // Undo excess work.
+    let mut q = 2u64;
+    while q != 1u64 << b {
+        let p = q - 1;
+        for i in (0..n).rev() {
+            if x[i] & q != 0 {
+                x[0] ^= p;
+            } else {
+                let t = (x[0] ^ x[i]) & p;
+                x[0] ^= t;
+                x[i] ^= t;
+            }
+        }
+        q <<= 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The canonical order-1 2D Hilbert curve visits (0,0) (0,1) (1,1)
+    /// (1,0).
+    #[test]
+    fn order1_2d_shape() {
+        let c = HilbertCurve::new(2, 1);
+        let walk: Vec<Vec<u64>> = (0..4).map(|h| c.coords(h)).collect();
+        assert_eq!(
+            walk,
+            vec![vec![0, 0], vec![0, 1], vec![1, 1], vec![1, 0]],
+            "order-1 2D curve must be the U shape"
+        );
+    }
+
+    #[test]
+    fn bijective_2d_order4() {
+        let c = HilbertCurve::new(2, 4);
+        let mut seen = vec![false; c.num_cells() as usize];
+        for h in 0..c.num_cells() {
+            let xy = c.coords(h);
+            assert_eq!(c.index(&xy), h);
+            let flat = (xy[0] * c.side() + xy[1]) as usize;
+            assert!(!seen[flat], "cell visited twice");
+            seen[flat] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn bijective_3d_order3() {
+        let c = HilbertCurve::new(3, 3);
+        for h in 0..c.num_cells() {
+            assert_eq!(c.index(&c.coords(h)), h);
+        }
+    }
+
+    #[test]
+    fn bijective_5d_order2() {
+        let c = HilbertCurve::new(5, 2);
+        for h in 0..c.num_cells() {
+            assert_eq!(c.index(&c.coords(h)), h);
+        }
+    }
+
+    /// Consecutive curve positions differ in exactly one coordinate by
+    /// exactly 1 — the defining adjacency property of a Hilbert curve.
+    #[test]
+    fn adjacency_property() {
+        for (d, b) in [(2usize, 5u32), (3, 3), (4, 2)] {
+            let c = HilbertCurve::new(d, b);
+            let mut prev = c.coords(0);
+            for h in 1..c.num_cells() {
+                let cur = c.coords(h);
+                let dist: u64 = prev
+                    .iter()
+                    .zip(&cur)
+                    .map(|(&a, &b)| a.abs_diff(b))
+                    .sum();
+                assert_eq!(dist, 1, "step {h} in {d}D order {b} is not unit");
+                prev = cur;
+            }
+        }
+    }
+
+    #[test]
+    fn one_dimension_is_identity() {
+        let c = HilbertCurve::new(1, 8);
+        for h in 0..256 {
+            assert_eq!(c.coords(h), vec![h]);
+            assert_eq!(c.index(&[h]), h);
+        }
+    }
+
+    #[test]
+    fn coords_into_matches_coords() {
+        let c = HilbertCurve::new(3, 4);
+        let mut buf = vec![0u64; 3];
+        for h in (0..c.num_cells()).step_by(97) {
+            c.coords_into(h, &mut buf);
+            assert_eq!(buf, c.coords(h));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds u64")]
+    fn rejects_oversized_curves() {
+        HilbertCurve::new(8, 8);
+    }
+}

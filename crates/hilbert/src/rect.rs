@@ -1,0 +1,161 @@
+//! 2-D rectangle partitioning: Okcan & Riedewald's 1-Bucket-Theta
+//! (SIGMOD 2011, the paper's reference \[25\]).
+//!
+//! For a pairwise theta-join `R ⋈_θ S` the |R| × |S| result matrix is
+//! tiled with `k_R` near-square rectangles. Every R-tuple is replicated
+//! to the rectangles intersecting its row, every S-tuple to those
+//! intersecting its column; each rectangle is one reducer and evaluates
+//! θ on its sub-matrix. This is the operator the *baseline* planners use
+//! for inequality joins, and the paper's starting point that does not
+//! generalise to d > 2 (which is why the Hilbert partition exists).
+
+/// A 1-Bucket-Theta tiling of the `|R| × |S|` join matrix.
+#[derive(Debug, Clone)]
+pub struct RectPartition {
+    rows: u64,
+    cols: u64,
+    /// Lattice shape: `row_bands × col_bands = k_R` (after rounding).
+    row_bands: u64,
+    col_bands: u64,
+}
+
+impl RectPartition {
+    /// Build the optimal near-square tiling for matrix `|R| = rows` by
+    /// `|S| = cols` with (at most) `k_r` rectangles.
+    ///
+    /// Duplication cost is `col_bands · |R| + row_bands · |S|`; subject
+    /// to `row_bands · col_bands = k_r` this is minimised when rectangle
+    /// aspect matches the matrix aspect: `row_bands/col_bands ≈
+    /// rows/cols · col?` — we search divisor pairs and keep the best,
+    /// which is exact rather than the continuous approximation.
+    pub fn new(rows: u64, cols: u64, k_r: u32) -> Self {
+        assert!(k_r >= 1);
+        let k = k_r as u64;
+        let mut best = (1u64, 1u64);
+        let mut best_cost = u64::MAX;
+        for rb in 1..=k {
+            let cb = k / rb; // use at most k rectangles
+            if cb == 0 {
+                break;
+            }
+            // Clamp bands to matrix extent (no point in empty bands).
+            let rb_c = rb.min(rows.max(1));
+            let cb_c = cb.min(cols.max(1));
+            let cost = cb_c.saturating_mul(rows) + rb_c.saturating_mul(cols);
+            if cost < best_cost || (cost == best_cost && rb_c * cb_c > best.0 * best.1) {
+                best_cost = cost;
+                best = (rb_c, cb_c);
+            }
+        }
+        RectPartition {
+            rows: rows.max(1),
+            cols: cols.max(1),
+            row_bands: best.0,
+            col_bands: best.1,
+        }
+    }
+
+    /// Number of rectangles actually used.
+    pub fn num_components(&self) -> u32 {
+        (self.row_bands * self.col_bands) as u32
+    }
+
+    /// Lattice shape `(row_bands, col_bands)`.
+    pub fn shape(&self) -> (u64, u64) {
+        (self.row_bands, self.col_bands)
+    }
+
+    /// Row band of an R-tuple with `global_id ∈ [0, rows)`.
+    pub fn row_band(&self, global_id: u64) -> u64 {
+        (global_id as u128 * self.row_bands as u128 / self.rows as u128) as u64
+    }
+
+    /// Column band of an S-tuple with `global_id ∈ [0, cols)`.
+    pub fn col_band(&self, global_id: u64) -> u64 {
+        (global_id as u128 * self.col_bands as u128 / self.cols as u128) as u64
+    }
+
+    /// Component id of rectangle `(row_band, col_band)`.
+    pub fn component(&self, row_band: u64, col_band: u64) -> u32 {
+        (row_band * self.col_bands + col_band) as u32
+    }
+
+    /// Components an R-tuple must be copied to (its whole row of
+    /// rectangles).
+    pub fn components_for_row(&self, global_id: u64) -> impl Iterator<Item = u32> + '_ {
+        let rb = self.row_band(global_id);
+        (0..self.col_bands).map(move |cb| self.component(rb, cb))
+    }
+
+    /// Components an S-tuple must be copied to (its whole column of
+    /// rectangles).
+    pub fn components_for_col(&self, global_id: u64) -> impl Iterator<Item = u32> + '_ {
+        let cb = self.col_band(global_id);
+        (0..self.row_bands).map(move |rb| self.component(rb, cb))
+    }
+
+    /// Total `(tuple, component)` copies — the 2-D analogue of Eq. 7's
+    /// partition score.
+    pub fn score(&self) -> u64 {
+        self.rows * self.col_bands + self.cols * self.row_bands
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn square_matrix_gets_square_lattice() {
+        let p = RectPartition::new(1000, 1000, 16);
+        assert_eq!(p.shape(), (4, 4));
+        assert_eq!(p.num_components(), 16);
+    }
+
+    #[test]
+    fn skewed_matrix_gets_skewed_lattice() {
+        // |R| >> |S|: duplicate the small side more, i.e. more row bands.
+        let p = RectPartition::new(1_000_000, 1_000, 16);
+        let (rb, cb) = p.shape();
+        assert!(rb > cb, "shape {:?} should favour row bands", p.shape());
+    }
+
+    #[test]
+    fn every_pair_is_covered_exactly_once() {
+        let p = RectPartition::new(30, 20, 6);
+        for r in 0..30u64 {
+            for s in 0..20u64 {
+                let target = p.component(p.row_band(r), p.col_band(s));
+                let row_comps: Vec<u32> = p.components_for_row(r).collect();
+                let col_comps: Vec<u32> = p.components_for_col(s).collect();
+                let both: Vec<u32> = row_comps
+                    .iter()
+                    .filter(|c| col_comps.contains(c))
+                    .copied()
+                    .collect();
+                assert_eq!(both, vec![target], "pair ({r},{s})");
+            }
+        }
+    }
+
+    #[test]
+    fn score_matches_replication() {
+        let p = RectPartition::new(100, 100, 4);
+        let (rb, cb) = p.shape();
+        assert_eq!(p.score(), 100 * cb + 100 * rb);
+    }
+
+    #[test]
+    fn one_component_degenerates_to_cross() {
+        let p = RectPartition::new(10, 10, 1);
+        assert_eq!(p.num_components(), 1);
+        assert_eq!(p.score(), 20);
+    }
+
+    #[test]
+    fn bands_clamped_for_tiny_matrices() {
+        let p = RectPartition::new(2, 2, 64);
+        let (rb, cb) = p.shape();
+        assert!(rb <= 2 && cb <= 2);
+    }
+}

@@ -1,0 +1,171 @@
+//! Single-threaded nested-loop oracle for multi-way theta-joins.
+//!
+//! Ground truth for every distributed operator: evaluates the full
+//! query by depth-first enumeration with early predicate pruning, and
+//! returns the projected result rows. Deliberately simple — its only
+//! job is to be obviously correct.
+
+use mwtj_query::MultiwayQuery;
+use mwtj_storage::{Relation, Tuple};
+
+/// Evaluate `query` over `relations` (one per query relation, in query
+/// order) and return the projected output rows in unspecified order.
+///
+/// # Panics
+/// Panics if `relations.len()` differs from the query's relation count
+/// or a schema mismatches.
+pub fn oracle_join(query: &MultiwayQuery, relations: &[&Relation]) -> Vec<Tuple> {
+    assert_eq!(
+        relations.len(),
+        query.num_relations(),
+        "one relation per query relation"
+    );
+    for (s, r) in query.schemas.iter().zip(relations) {
+        assert_eq!(
+            s.arity(),
+            r.schema().arity(),
+            "schema arity mismatch for `{}`",
+            s.name()
+        );
+    }
+    let compiled = query.compile().expect("query must compile");
+    // Predicates checkable once relation `d` is bound (all their
+    // relation references ≤ d).
+    let n = query.num_relations();
+    let mut by_depth: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let flat: Vec<_> = compiled
+        .per_condition
+        .iter()
+        .flat_map(|c| c.iter().copied())
+        .collect();
+    for (pi, p) in flat.iter().enumerate() {
+        by_depth[p.left_rel.max(p.right_rel)].push(pi);
+    }
+
+    let mut out = Vec::new();
+    let mut stack: Vec<&Tuple> = Vec::with_capacity(n);
+    descend(
+        query,
+        relations,
+        &flat,
+        &by_depth,
+        &mut stack,
+        &mut out,
+    );
+    out
+}
+
+fn descend<'a>(
+    query: &MultiwayQuery,
+    relations: &[&'a Relation],
+    preds: &[mwtj_query::theta::CompiledPredicate],
+    by_depth: &[Vec<usize>],
+    stack: &mut Vec<&'a Tuple>,
+    out: &mut Vec<Tuple>,
+) {
+    let depth = stack.len();
+    if depth == relations.len() {
+        out.push(query.project(stack));
+        return;
+    }
+    'rows: for row in relations[depth].rows() {
+        stack.push(row);
+        for &pi in &by_depth[depth] {
+            if !preds[pi].eval(stack) {
+                stack.pop();
+                continue 'rows;
+            }
+        }
+        descend(query, relations, preds, by_depth, stack, out);
+        stack.pop();
+    }
+}
+
+/// Sorted copy of `rows` for multiset comparison.
+pub fn canonicalize(mut rows: Vec<Tuple>) -> Vec<Tuple> {
+    rows.sort_by(|a, b| a.total_cmp(b));
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwtj_query::{QueryBuilder, ThetaOp};
+    use mwtj_storage::{tuple, DataType, Schema};
+
+    fn rel(name: &str, vals: &[(i64, i64)]) -> Relation {
+        let schema = Schema::from_pairs(name, &[("a", DataType::Int), ("b", DataType::Int)]);
+        Relation::from_rows_unchecked(
+            schema,
+            vals.iter().map(|&(a, b)| tuple![a, b]).collect(),
+        )
+    }
+
+    #[test]
+    fn two_way_inequality() {
+        let r = rel("r", &[(1, 0), (2, 0), (3, 0)]);
+        let s = rel("s", &[(2, 0), (3, 0)]);
+        let q = QueryBuilder::new("q")
+            .relation(r.schema().clone())
+            .relation(s.schema().clone())
+            .join("r", "a", ThetaOp::Lt, "s", "a")
+            .build()
+            .unwrap();
+        let out = oracle_join(&q, &[&r, &s]);
+        // pairs with r.a < s.a: (1,2),(1,3),(2,3) -> 3 rows
+        assert_eq!(out.len(), 3);
+    }
+
+    #[test]
+    fn three_way_chain_counts() {
+        let r = rel("r", &[(1, 0), (5, 0)]);
+        let s = rel("s", &[(2, 10), (6, 20)]);
+        let t = rel("t", &[(0, 15), (0, 25)]);
+        let q = QueryBuilder::new("q")
+            .relation(r.schema().clone())
+            .relation(s.schema().clone())
+            .relation(t.schema().clone())
+            .join("r", "a", ThetaOp::Lt, "s", "a") // (1,2),(1,6),(5,6)
+            .join("s", "b", ThetaOp::Lt, "t", "b")
+            .build()
+            .unwrap();
+        let out = oracle_join(&q, &[&r, &s, &t]);
+        // (1,2): s.b=10 < t.b in {15,25} -> 2
+        // (1,6): s.b=20 < 25 -> 1 ; (5,6): -> 1. total 4
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn projection_applies() {
+        let r = rel("r", &[(1, 7)]);
+        let s = rel("s", &[(2, 9)]);
+        let q = QueryBuilder::new("q")
+            .relation(r.schema().clone())
+            .relation(s.schema().clone())
+            .join("r", "a", ThetaOp::Lt, "s", "a")
+            .project("s", "b")
+            .build()
+            .unwrap();
+        let out = oracle_join(&q, &[&r, &s]);
+        assert_eq!(out, vec![tuple![9]]);
+    }
+
+    #[test]
+    fn empty_input_empty_output() {
+        let r = rel("r", &[]);
+        let s = rel("s", &[(2, 9)]);
+        let q = QueryBuilder::new("q")
+            .relation(r.schema().clone())
+            .relation(s.schema().clone())
+            .join("r", "a", ThetaOp::Lt, "s", "a")
+            .build()
+            .unwrap();
+        assert!(oracle_join(&q, &[&r, &s]).is_empty());
+    }
+
+    #[test]
+    fn canonicalize_sorts() {
+        let rows = vec![tuple![2], tuple![1]];
+        assert_eq!(canonicalize(rows), vec![tuple![1], tuple![2]]);
+    }
+}

@@ -1,0 +1,199 @@
+//! Intermediate-row layout.
+//!
+//! Every operator's output row is the concatenation of whole base-table
+//! tuples for some subset of the query's relations, ordered by query
+//! relation index. [`IntermediateShape`] records which relations those
+//! are and where each one's columns start, so downstream jobs (merges,
+//! cascade steps) can address `rel.col` in O(1) without schema lookups.
+
+use mwtj_query::MultiwayQuery;
+use mwtj_storage::{Schema, Tuple, Value};
+
+/// Layout of an intermediate row covering a set of query relations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct IntermediateShape {
+    /// Query relation indices present, sorted ascending.
+    pub rels: Vec<usize>,
+    /// Column offset of each relation's slice in the combined row,
+    /// parallel to `rels`.
+    pub offsets: Vec<usize>,
+    /// Column count of each relation, parallel to `rels`.
+    pub widths: Vec<usize>,
+    /// Qualified schema of the combined row.
+    pub schema: Schema,
+}
+
+impl IntermediateShape {
+    /// Shape covering exactly the given query relations (deduplicated
+    /// and sorted).
+    pub fn of(query: &MultiwayQuery, rels: &[usize]) -> Self {
+        let mut rels: Vec<usize> = rels.to_vec();
+        rels.sort_unstable();
+        rels.dedup();
+        let mut offsets = Vec::with_capacity(rels.len());
+        let mut widths = Vec::with_capacity(rels.len());
+        let mut off = 0usize;
+        for &r in &rels {
+            offsets.push(off);
+            let w = query.schemas[r].arity();
+            widths.push(w);
+            off += w;
+        }
+        let parts: Vec<&Schema> = rels.iter().map(|&r| &query.schemas[r]).collect();
+        let name = format!(
+            "i_{}",
+            rels.iter()
+                .map(|r| r.to_string())
+                .collect::<Vec<_>>()
+                .join("_")
+        );
+        let schema = Schema::concat(name, &parts);
+        IntermediateShape {
+            rels,
+            offsets,
+            widths,
+            schema,
+        }
+    }
+
+    /// Shape of a single base relation.
+    pub fn base(query: &MultiwayQuery, rel: usize) -> Self {
+        Self::of(query, &[rel])
+    }
+
+    /// Shape of the union of two shapes.
+    pub fn union(query: &MultiwayQuery, a: &IntermediateShape, b: &IntermediateShape) -> Self {
+        let mut rels = a.rels.clone();
+        rels.extend_from_slice(&b.rels);
+        Self::of(query, &rels)
+    }
+
+    /// Query relations present in both shapes (the merge key set).
+    pub fn shared(a: &IntermediateShape, b: &IntermediateShape) -> Vec<usize> {
+        a.rels
+            .iter()
+            .copied()
+            .filter(|r| b.rels.contains(r))
+            .collect()
+    }
+
+    /// Does this shape carry relation `rel`?
+    pub fn has(&self, rel: usize) -> bool {
+        self.rels.binary_search(&rel).is_ok()
+    }
+
+    /// Position of `rel` within `rels`.
+    fn pos(&self, rel: usize) -> usize {
+        self.rels
+            .binary_search(&rel)
+            .unwrap_or_else(|_| panic!("relation {rel} not in shape {:?}", self.rels))
+    }
+
+    /// The value of `rel.col` in a combined row.
+    #[inline]
+    pub fn value<'a>(&self, row: &'a Tuple, rel: usize, col: usize) -> &'a Value {
+        row.get(self.offsets[self.pos(rel)] + col)
+    }
+
+    /// The slice of values belonging to `rel` in a combined row.
+    pub fn rel_values<'a>(&self, row: &'a Tuple, rel: usize) -> &'a [Value] {
+        let p = self.pos(rel);
+        &row.values()[self.offsets[p]..self.offsets[p] + self.widths[p]]
+    }
+
+    /// Build a combined row of this shape from per-relation source rows:
+    /// `sources` yields `(shape, row)` pairs; for every relation in
+    /// `self`, the first source carrying it provides the columns.
+    pub fn assemble(&self, sources: &[(&IntermediateShape, &Tuple)]) -> Tuple {
+        let total: usize = self.widths.iter().sum();
+        let mut values = Vec::with_capacity(total);
+        for &r in &self.rels {
+            let (shape, row) = sources
+                .iter()
+                .find(|(s, _)| s.has(r))
+                .unwrap_or_else(|| panic!("no source provides relation {r}"));
+            values.extend_from_slice(shape.rel_values(row, r));
+        }
+        Tuple::new(values)
+    }
+
+    /// Total column count.
+    pub fn arity(&self) -> usize {
+        self.widths.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwtj_query::{QueryBuilder, ThetaOp};
+    use mwtj_storage::{tuple, DataType};
+
+    fn query() -> MultiwayQuery {
+        let s = |n: &str| {
+            Schema::from_pairs(n, &[("a", DataType::Int), ("b", DataType::Int)])
+        };
+        QueryBuilder::new("q")
+            .relation(s("r0"))
+            .relation(s("r1"))
+            .relation(s("r2"))
+            .join("r0", "a", ThetaOp::Lt, "r1", "a")
+            .join("r1", "b", ThetaOp::Eq, "r2", "b")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn offsets_and_lookup() {
+        let q = query();
+        let s = IntermediateShape::of(&q, &[2, 0]);
+        assert_eq!(s.rels, vec![0, 2]);
+        assert_eq!(s.offsets, vec![0, 2]);
+        assert_eq!(s.arity(), 4);
+        let row = tuple![10, 11, 20, 21];
+        assert_eq!(s.value(&row, 0, 1), &Value::Int(11));
+        assert_eq!(s.value(&row, 2, 0), &Value::Int(20));
+        assert_eq!(s.rel_values(&row, 2), &[Value::Int(20), Value::Int(21)]);
+        assert!(s.has(0) && !s.has(1));
+    }
+
+    #[test]
+    fn union_and_shared() {
+        let q = query();
+        let a = IntermediateShape::of(&q, &[0, 1]);
+        let b = IntermediateShape::of(&q, &[1, 2]);
+        let u = IntermediateShape::union(&q, &a, &b);
+        assert_eq!(u.rels, vec![0, 1, 2]);
+        assert_eq!(IntermediateShape::shared(&a, &b), vec![1]);
+        assert_eq!(IntermediateShape::shared(&a, &a), vec![0, 1]);
+    }
+
+    #[test]
+    fn assemble_takes_first_source() {
+        let q = query();
+        let a = IntermediateShape::of(&q, &[0, 1]);
+        let b = IntermediateShape::of(&q, &[1, 2]);
+        let u = IntermediateShape::union(&q, &a, &b);
+        let ra = tuple![1, 2, 3, 4]; // r0=(1,2) r1=(3,4)
+        let rb = tuple![3, 4, 5, 6]; // r1=(3,4) r2=(5,6)
+        let row = u.assemble(&[(&a, &ra), (&b, &rb)]);
+        assert_eq!(row, tuple![1, 2, 3, 4, 5, 6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "not in shape")]
+    fn missing_relation_panics() {
+        let q = query();
+        let s = IntermediateShape::of(&q, &[0]);
+        let row = tuple![1, 2];
+        s.value(&row, 1, 0);
+    }
+
+    #[test]
+    fn schema_is_qualified() {
+        let q = query();
+        let s = IntermediateShape::of(&q, &[0, 1]);
+        assert_eq!(s.schema.fields()[0].name, "r0.a");
+        assert_eq!(s.schema.fields()[2].name, "r1.a");
+    }
+}

@@ -1,0 +1,176 @@
+//! Cluster configuration: the knobs of the paper's Table 1 plus the
+//! hardware rates measured in §6.1.
+
+/// Hadoop-style parameters (Table 1 of the paper). Defaults are the
+/// paper's "Set" column, with sizes scaled 1:1000 (GB→MB ⇒ MB→KB) so
+/// laptop-scale runs keep the same block counts and spill behaviour as
+/// the paper's cluster-scale runs.
+#[derive(Debug, Clone)]
+pub struct HadoopParams {
+    /// `fs.blocksize`: DFS block size in bytes (paper: 64 MB; scaled
+    /// default 64 KB).
+    pub block_bytes: usize,
+    /// `io.sort.mb`: map-side sort buffer in bytes (paper: 512 MB;
+    /// scaled default 512 KB).
+    pub io_sort_bytes: usize,
+    /// `io.sort.spill.percentage`: buffer fill fraction that triggers a
+    /// spill (paper: 0.9).
+    pub spill_fraction: f64,
+    /// `dfs.replication` (paper: 3).
+    pub replication: u32,
+}
+
+impl Default for HadoopParams {
+    fn default() -> Self {
+        HadoopParams {
+            block_bytes: 64 * 1024,
+            io_sort_bytes: 512 * 1024,
+            spill_fraction: 0.9,
+            replication: 3,
+        }
+    }
+}
+
+/// I/O and network rates. Defaults are the paper's measured values
+/// (§6.1: TestDFSIO write 14.69 MB/s, read 74.26 MB/s; 10 Gb switch,
+/// of which a single stream realistically sustains ~100 MB/s with
+/// protocol overhead).
+#[derive(Debug, Clone)]
+pub struct HardwareProfile {
+    /// Sequential disk read, bytes/second.
+    pub disk_read_bps: f64,
+    /// Replicated DFS write, bytes/second (already includes pipeline
+    /// replication cost, as TestDFSIO's number does).
+    pub disk_write_bps: f64,
+    /// Per-stream network throughput, bytes/second.
+    pub net_bps: f64,
+    /// Fixed cost of serving one shuffle connection, seconds. This is
+    /// the paper's `q` at its floor; the effective `q` grows with map
+    /// output volume (see [`HardwareProfile::q_conn_secs`]). Scaled
+    /// 1:1000 along with the data sizes (the paper's clusters pay ~5 ms
+    /// per connection against 64 MB blocks; we pay ~5 µs against 64 KB
+    /// blocks) so the map/copy balance keeps the paper's shape.
+    pub conn_setup_secs: f64,
+    /// CPU cost of evaluating one candidate combination in a reducer,
+    /// seconds (simple comparisons dominate, §4.1).
+    pub cpu_per_candidate_secs: f64,
+    /// CPU cost of mapping one input record, seconds.
+    pub cpu_per_record_secs: f64,
+}
+
+impl Default for HardwareProfile {
+    fn default() -> Self {
+        HardwareProfile {
+            disk_read_bps: 74.26e6,
+            disk_write_bps: 14.69e6,
+            net_bps: 100.0e6,
+            conn_setup_secs: 5e-6,
+            cpu_per_candidate_secs: 8e-9,
+            cpu_per_record_secs: 1.5e-7,
+        }
+    }
+}
+
+impl HardwareProfile {
+    /// The paper's `C1`: seconds per byte of sequential disk read.
+    pub fn c1(&self) -> f64 {
+        1.0 / self.disk_read_bps
+    }
+
+    /// The paper's `C2`: seconds per byte copied over the network.
+    pub fn c2(&self) -> f64 {
+        1.0 / self.net_bps
+    }
+
+    /// The paper's `p`: seconds per byte of map-side spill, as a
+    /// function of the spilled volume per task. Spilling is a multi-pass
+    /// external sort: each doubling of the output beyond the sort buffer
+    /// adds a merge pass, so `p` grows logarithmically with volume —
+    /// matching the measured shape of Fig. 7(b).
+    pub fn p_spill_secs_per_byte(&self, task_output_bytes: f64, params: &HadoopParams) -> f64 {
+        let buffer = params.io_sort_bytes as f64 * params.spill_fraction;
+        let passes = if task_output_bytes <= buffer {
+            1.0
+        } else {
+            1.0 + (task_output_bytes / buffer).log2().max(0.0)
+        };
+        passes / self.disk_write_bps
+    }
+
+    /// The paper's `q`: seconds of per-connection service overhead when
+    /// one map task feeds `n` reducers with `task_output_bytes` of
+    /// output. Grows with both `n` ("rapid growth of q while n gets
+    /// larger", §4.1) and volume (Fig. 7(b)).
+    pub fn q_conn_secs(&self, n: u32, task_output_bytes: f64) -> f64 {
+        let vol_factor = 1.0 + (task_output_bytes / 1e6).max(0.0).sqrt() * 0.05;
+        self.conn_setup_secs * (1.0 + (n as f64).ln().max(0.0) * 0.25) * vol_factor
+    }
+}
+
+/// Full cluster description.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// Number of worker nodes (paper: 12 workers + 1 master).
+    pub nodes: u32,
+    /// Total processing units `k_P` — slots that can run either a map or
+    /// a reduce task (paper: 104 cores; experiments cap at 96 or 64).
+    pub processing_units: u32,
+    /// Hadoop-style parameters.
+    pub params: HadoopParams,
+    /// Hardware rates.
+    pub hardware: HardwareProfile,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            nodes: 12,
+            processing_units: 96,
+            params: HadoopParams::default(),
+            hardware: HardwareProfile::default(),
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// A config with `k_P` processing units, other knobs default.
+    pub fn with_units(processing_units: u32) -> Self {
+        ClusterConfig {
+            processing_units,
+            ..Default::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper_measurements() {
+        let h = HardwareProfile::default();
+        assert!((h.disk_read_bps - 74.26e6).abs() < 1.0);
+        assert!((h.disk_write_bps - 14.69e6).abs() < 1.0);
+        let p = HadoopParams::default();
+        assert_eq!(p.replication, 3);
+        assert!((p.spill_fraction - 0.9).abs() < 1e-12);
+    }
+
+    #[test]
+    fn p_grows_with_spill_volume() {
+        let h = HardwareProfile::default();
+        let params = HadoopParams::default();
+        let small = h.p_spill_secs_per_byte(1e3, &params);
+        let large = h.p_spill_secs_per_byte(1e8, &params);
+        assert!(large > small, "{large} vs {small}");
+        // And equals 1/write-rate below the buffer.
+        assert!((small - 1.0 / h.disk_write_bps).abs() < 1e-15);
+    }
+
+    #[test]
+    fn q_grows_with_fanout_and_volume() {
+        let h = HardwareProfile::default();
+        assert!(h.q_conn_secs(64, 1e6) > h.q_conn_secs(2, 1e6));
+        assert!(h.q_conn_secs(8, 1e9) > h.q_conn_secs(8, 1e3));
+    }
+}

@@ -1,0 +1,241 @@
+//! A model of the distributed file system: named files split into
+//! blocks, blocks replicated across nodes, with data locality for map
+//! scheduling and priced uploads.
+//!
+//! Blocks hold decoded tuples (host memory is our disk) but their
+//! *accounted* size is the encoded byte length, so block counts and all
+//! I/O pricing match what a real HDFS would see.
+
+use crate::config::ClusterConfig;
+use mwtj_storage::{Relation, Schema, Tuple};
+use parking_lot::RwLock;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Identifies one block of one file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockId {
+    /// File-unique block ordinal.
+    pub index: u32,
+}
+
+/// One replicated block.
+#[derive(Debug, Clone)]
+pub struct Block {
+    /// Rows stored in this block.
+    pub rows: Arc<Vec<Tuple>>,
+    /// Encoded byte size of the rows.
+    pub bytes: usize,
+    /// Nodes holding a replica.
+    pub replicas: Vec<u32>,
+}
+
+/// A named DFS file: a schema and its blocks.
+#[derive(Debug, Clone)]
+pub struct DfsFile {
+    /// Schema of the rows in the file.
+    pub schema: Schema,
+    /// The blocks, in order.
+    pub blocks: Vec<Block>,
+    /// Total encoded bytes.
+    pub bytes: usize,
+    /// Total rows.
+    pub rows: usize,
+}
+
+impl DfsFile {
+    /// Iterate all rows in block order (testing/oracle use; the engine
+    /// reads per block).
+    pub fn all_rows(&self) -> impl Iterator<Item = &Tuple> {
+        self.blocks.iter().flat_map(|b| b.rows.iter())
+    }
+}
+
+/// The file system. Cheap to clone (shared interior).
+#[derive(Debug, Clone, Default)]
+pub struct Dfs {
+    inner: Arc<RwLock<HashMap<String, Arc<DfsFile>>>>,
+}
+
+impl Dfs {
+    /// Create an empty DFS.
+    pub fn new() -> Self {
+        Dfs::default()
+    }
+
+    /// Store a relation as a file named `name`, splitting into blocks of
+    /// `config.params.block_bytes` and placing `replication` replicas of
+    /// each block on distinct random nodes. Returns the simulated upload
+    /// time in seconds (each datanode uploads from local disk in
+    /// parallel, §6.3: "uploading is performed by each DataNode from
+    /// their local disk").
+    pub fn put_relation(&self, name: &str, rel: &Relation, config: &ClusterConfig) -> f64 {
+        let mut rng = StdRng::seed_from_u64(hash_name(name));
+        let block_bytes = config.params.block_bytes.max(1);
+        let nodes: Vec<u32> = (0..config.nodes).collect();
+        let mut blocks = Vec::new();
+        let mut cur: Vec<Tuple> = Vec::new();
+        let mut cur_bytes = 0usize;
+        for row in rel.rows() {
+            let len = row.encoded_len();
+            if cur_bytes + len > block_bytes && !cur.is_empty() {
+                blocks.push(Self::seal_block(&mut cur, &mut cur_bytes, &nodes, config, &mut rng));
+            }
+            cur_bytes += len;
+            cur.push(row.clone());
+        }
+        if !cur.is_empty() || blocks.is_empty() {
+            blocks.push(Self::seal_block(&mut cur, &mut cur_bytes, &nodes, config, &mut rng));
+        }
+        let file = DfsFile {
+            schema: rel.schema().clone(),
+            blocks,
+            bytes: rel.encoded_bytes(),
+            rows: rel.len(),
+        };
+        self.inner
+            .write()
+            .insert(name.to_string(), Arc::new(file));
+        // Parallel upload by all datanodes; the pipeline write rate
+        // already includes replication (TestDFSIO semantics).
+        let per_node_bytes = rel.encoded_bytes() as f64 / config.nodes.max(1) as f64;
+        per_node_bytes / config.hardware.disk_write_bps
+    }
+
+    fn seal_block(
+        cur: &mut Vec<Tuple>,
+        cur_bytes: &mut usize,
+        nodes: &[u32],
+        config: &ClusterConfig,
+        rng: &mut impl Rng,
+    ) -> Block {
+        let k = (config.params.replication as usize).min(nodes.len().max(1));
+        let mut choice: Vec<u32> = nodes.to_vec();
+        choice.shuffle(rng);
+        choice.truncate(k);
+        Block {
+            rows: Arc::new(std::mem::take(cur)),
+            bytes: std::mem::take(cur_bytes),
+            replicas: choice,
+        }
+    }
+
+    /// Fetch a file.
+    pub fn get(&self, name: &str) -> Option<Arc<DfsFile>> {
+        self.inner.read().get(name).cloned()
+    }
+
+    /// Remove a file (e.g. a consumed intermediate), returning whether it
+    /// existed.
+    pub fn remove(&self, name: &str) -> bool {
+        self.inner.write().remove(name).is_some()
+    }
+
+    /// All file names.
+    pub fn list(&self) -> Vec<String> {
+        let mut v: Vec<String> = self.inner.read().keys().cloned().collect();
+        v.sort();
+        v
+    }
+
+    /// Read a whole file back into a relation (final-result collection).
+    pub fn read_relation(&self, name: &str) -> Option<Relation> {
+        let f = self.get(name)?;
+        let rows: Vec<Tuple> = f.all_rows().cloned().collect();
+        Some(Relation::from_rows_unchecked(f.schema.clone(), rows))
+    }
+}
+
+fn hash_name(name: &str) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    name.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwtj_storage::{tuple, DataType};
+
+    fn rel(n: usize) -> Relation {
+        let schema = Schema::from_pairs("t", &[("a", DataType::Int), ("b", DataType::Str)]);
+        let rows = (0..n)
+            .map(|i| tuple![i as i64, format!("row-{i:06}")])
+            .collect();
+        Relation::from_rows_unchecked(schema, rows)
+    }
+
+    #[test]
+    fn blocks_respect_size_and_hold_all_rows() {
+        let cfg = ClusterConfig::default();
+        let dfs = Dfs::new();
+        let r = rel(20_000);
+        let t = dfs.put_relation("t", &r, &cfg);
+        assert!(t > 0.0);
+        let f = dfs.get("t").unwrap();
+        assert_eq!(f.rows, 20_000);
+        assert_eq!(f.bytes, r.encoded_bytes());
+        assert!(f.blocks.len() > 1, "expected multiple blocks");
+        for b in &f.blocks {
+            assert!(b.bytes <= cfg.params.block_bytes * 2, "oversized block");
+            assert_eq!(
+                b.replicas.len(),
+                cfg.params.replication as usize,
+                "replication factor"
+            );
+            let mut sorted = b.replicas.clone();
+            sorted.sort_unstable();
+            sorted.dedup();
+            assert_eq!(sorted.len(), b.replicas.len(), "replicas on distinct nodes");
+        }
+        let total: usize = f.blocks.iter().map(|b| b.rows.len()).sum();
+        assert_eq!(total, 20_000);
+    }
+
+    #[test]
+    fn empty_relation_gets_one_empty_block() {
+        let cfg = ClusterConfig::default();
+        let dfs = Dfs::new();
+        let r = rel(0);
+        dfs.put_relation("e", &r, &cfg);
+        let f = dfs.get("e").unwrap();
+        assert_eq!(f.blocks.len(), 1);
+        assert_eq!(f.rows, 0);
+    }
+
+    #[test]
+    fn read_back_roundtrips() {
+        let cfg = ClusterConfig::default();
+        let dfs = Dfs::new();
+        let r = rel(1234);
+        dfs.put_relation("t", &r, &cfg);
+        let back = dfs.read_relation("t").unwrap();
+        assert_eq!(back.len(), r.len());
+        assert_eq!(back.sorted_rows(), r.sorted_rows());
+    }
+
+    #[test]
+    fn upload_time_scales_with_bytes() {
+        let cfg = ClusterConfig::default();
+        let dfs = Dfs::new();
+        let t_small = dfs.put_relation("s", &rel(1000), &cfg);
+        let t_big = dfs.put_relation("b", &rel(10_000), &cfg);
+        assert!(t_big > t_small * 5.0, "{t_big} vs {t_small}");
+    }
+
+    #[test]
+    fn list_and_remove() {
+        let cfg = ClusterConfig::default();
+        let dfs = Dfs::new();
+        dfs.put_relation("a", &rel(1), &cfg);
+        dfs.put_relation("b", &rel(1), &cfg);
+        assert_eq!(dfs.list(), vec!["a".to_string(), "b".to_string()]);
+        assert!(dfs.remove("a"));
+        assert!(!dfs.remove("a"));
+        assert_eq!(dfs.list(), vec!["b".to_string()]);
+    }
+}

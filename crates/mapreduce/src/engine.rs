@@ -1,0 +1,512 @@
+//! Single-MRJ execution: real map/shuffle/reduce over DFS blocks with a
+//! discrete-event simulated clock realising the paper's §4 phase
+//! structure (Fig. 3: map waves, overlapped copy phase, straggler-bound
+//! reduce phase).
+
+use crate::config::ClusterConfig;
+use crate::dfs::Dfs;
+use crate::faults::{FaultPlan, TaskKind};
+use crate::job::{InputSpec, MrJob, TaggedRecord};
+use crate::metrics::JobMetrics;
+use mwtj_storage::{Relation, Tuple};
+use parking_lot::Mutex;
+use std::collections::BinaryHeap;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Instant;
+
+/// The execution engine: a cluster config plus a DFS.
+#[derive(Debug, Clone)]
+pub struct Engine {
+    config: ClusterConfig,
+    dfs: Dfs,
+    host_threads: usize,
+    faults: FaultPlan,
+}
+
+/// Result of running one job.
+#[derive(Debug)]
+pub struct JobRun {
+    /// The output rows (also written to DFS if requested).
+    pub output: Relation,
+    /// Measurements on both clocks.
+    pub metrics: JobMetrics,
+}
+
+/// Outcome of one executed map task, before shuffle pricing.
+struct MapTaskOut {
+    /// Per-reducer emitted records.
+    per_reducer: Vec<Vec<TaggedRecord>>,
+    input_bytes: u64,
+    input_records: u64,
+    output_bytes: u64,
+    output_records: u64,
+}
+
+impl Engine {
+    /// Create an engine over `dfs` with `config`.
+    pub fn new(config: ClusterConfig, dfs: Dfs) -> Self {
+        let host_threads = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        Engine {
+            config,
+            dfs,
+            host_threads,
+            faults: FaultPlan::none(),
+        }
+    }
+
+    /// Replace the fault-injection plan (default: no faults). Injected
+    /// failures rerun tasks on the simulated clock; results are
+    /// unaffected because tasks are deterministic in their inputs.
+    pub fn set_fault_plan(&mut self, faults: FaultPlan) {
+        self.faults = faults;
+    }
+
+    /// The active fault plan.
+    pub fn fault_plan(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// The cluster configuration.
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// The DFS.
+    pub fn dfs(&self) -> &Dfs {
+        &self.dfs
+    }
+
+    /// Run `job` over `inputs` with `units` processing units, `reducers`
+    /// reduce tasks, and optionally persist the output as DFS file
+    /// `out_file` (persisting charges a replicated write on the
+    /// simulated clock — the intermediate-materialisation overhead that
+    /// makes MRJ cascades expensive, §2.1).
+    pub fn run(
+        &self,
+        job: &dyn MrJob,
+        inputs: &[InputSpec],
+        units: u32,
+        reducers: u32,
+        out_file: Option<&str>,
+    ) -> JobRun {
+        assert!(units >= 1, "a job needs at least one processing unit");
+        assert!(reducers >= 1, "a job needs at least one reduce task");
+        let wall_start = Instant::now();
+        let hw = &self.config.hardware;
+        let params = &self.config.params;
+
+        // ---- collect input blocks (map tasks) ----
+        let mut tasks: Vec<(u8, std::sync::Arc<Vec<Tuple>>, usize, u64)> = Vec::new();
+        for spec in inputs {
+            let file = self
+                .dfs
+                .get(&spec.file)
+                .unwrap_or_else(|| panic!("missing DFS file `{}`", spec.file));
+            for (bi, block) in file.blocks.iter().enumerate() {
+                let seed = block_seed(&job.name(), &spec.file, bi as u64);
+                tasks.push((spec.tag, block.rows.clone(), block.bytes, seed));
+            }
+        }
+        let m = tasks.len().max(1) as u32;
+
+        // ---- map phase (real, parallel on host) ----
+        let n_red = reducers as usize;
+        let results: Vec<Mutex<Option<MapTaskOut>>> =
+            (0..tasks.len()).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        let workers = self.host_threads.min(tasks.len().max(1));
+        crossbeam::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= tasks.len() {
+                        break;
+                    }
+                    let (tag, rows, bytes, seed) = (
+                        tasks[i].0,
+                        tasks[i].1.clone(),
+                        tasks[i].2,
+                        tasks[i].3,
+                    );
+                    let mut per_reducer: Vec<Vec<TaggedRecord>> =
+                        (0..n_red).map(|_| Vec::new()).collect();
+                    let mut out_bytes = 0u64;
+                    let mut out_records = 0u64;
+                    {
+                        let mut emit = |key: u64, rec: TaggedRecord| {
+                            let r = (key % reducers as u64) as usize;
+                            out_bytes += rec.wire_bytes() as u64;
+                            out_records += 1;
+                            per_reducer[r].push(rec);
+                        };
+                        for (ri, row) in rows.iter().enumerate() {
+                            job.map(tag, row, seed, ri, &mut emit);
+                        }
+                    }
+                    *results[i].lock() = Some(MapTaskOut {
+                        per_reducer,
+                        input_bytes: bytes as u64,
+                        input_records: rows.len() as u64,
+                        output_bytes: out_bytes,
+                        output_records: out_records,
+                    });
+                });
+            }
+        })
+        .expect("map phase panicked");
+
+        let map_outs: Vec<MapTaskOut> = results
+            .into_iter()
+            .map(|m| m.into_inner().expect("map task missing"))
+            .collect();
+
+        // ---- simulated map + copy phases ----
+        // Each map task: sequential block read + per-record CPU + spill.
+        // Tasks run in waves over `units` slots (the paper's m/m' rounds,
+        // Eq. 2/4); each task's copy starts when the task ends (overlap,
+        // Fig. 3) and ends after its network transfer + connection
+        // service (Eq. 3).
+        let mut slot_heap: BinaryHeap<std::cmp::Reverse<NotNanF64>> = (0..units)
+            .map(|_| std::cmp::Reverse(NotNanF64(0.0)))
+            .collect();
+        let mut sim_map_end = 0.0f64;
+        let mut sim_shuffle_end = 0.0f64;
+        let mut map_attempts = 0u32;
+        for (ti, mo) in map_outs.iter().enumerate() {
+            let read = mo.input_bytes as f64 * hw.c1();
+            let cpu = mo.input_records as f64 * hw.cpu_per_record_secs;
+            let spill = mo.output_bytes as f64
+                * hw.p_spill_secs_per_byte(mo.output_bytes as f64, params);
+            let attempts = self.faults.attempts_for(TaskKind::Map, ti as u32);
+            map_attempts += attempts;
+            let dur = (read + cpu + spill) * attempts as f64;
+            let std::cmp::Reverse(NotNanF64(free_at)) =
+                slot_heap.pop().expect("slot heap nonempty");
+            let end = free_at + dur;
+            slot_heap.push(std::cmp::Reverse(NotNanF64(end)));
+            sim_map_end = sim_map_end.max(end);
+            let tcp = hw.c2() * mo.output_bytes as f64 / reducers as f64
+                + hw.q_conn_secs(reducers, mo.output_bytes as f64) * reducers as f64;
+            sim_shuffle_end = sim_shuffle_end.max(end + tcp);
+        }
+
+        // ---- shuffle (real) ----
+        let mut reducer_inputs: Vec<Vec<TaggedRecord>> =
+            (0..n_red).map(|_| Vec::new()).collect();
+        let mut input_bytes = 0u64;
+        let mut input_records = 0u64;
+        let mut map_output_bytes = 0u64;
+        let mut map_output_records = 0u64;
+        for mo in map_outs {
+            input_bytes += mo.input_bytes;
+            input_records += mo.input_records;
+            map_output_bytes += mo.output_bytes;
+            map_output_records += mo.output_records;
+            for (r, recs) in mo.per_reducer.into_iter().enumerate() {
+                reducer_inputs[r].extend(recs);
+            }
+        }
+
+        // ---- reduce phase (real, parallel on host) ----
+        // (output rows, input bytes, candidates examined) per reducer.
+        type ReduceOut = (Vec<Tuple>, u64, u64);
+        let reduce_results: Vec<Mutex<Option<ReduceOut>>> =
+            (0..n_red).map(|_| Mutex::new(None)).collect();
+        let next_r = AtomicUsize::new(0);
+        let rworkers = self.host_threads.min(n_red);
+        crossbeam::scope(|s| {
+            for _ in 0..rworkers {
+                s.spawn(|_| loop {
+                    let r = next_r.fetch_add(1, Ordering::Relaxed);
+                    if r >= n_red {
+                        break;
+                    }
+                    let records = &reducer_inputs[r];
+                    // Group by key; process keys in sorted order for
+                    // determinism (Hadoop's sort phase).
+                    let mut groups: HashMap<u64, Vec<TaggedRecord>> = HashMap::new();
+                    for rec in records {
+                        groups
+                            .entry(rec_key(rec, reducers, r))
+                            .or_default()
+                            .push(rec.clone());
+                    }
+                    let mut keys: Vec<u64> = groups.keys().copied().collect();
+                    keys.sort_unstable();
+                    let mut out = Vec::new();
+                    let mut candidates = 0u64;
+                    for k in keys {
+                        let recs = &groups[&k];
+                        candidates = candidates.saturating_add(job.reduce(k, recs, &mut out));
+                    }
+                    let in_bytes: u64 =
+                        records.iter().map(|x| x.wire_bytes() as u64).sum();
+                    *reduce_results[r].lock() = Some((out, in_bytes, candidates));
+                });
+            }
+        })
+        .expect("reduce phase panicked");
+
+        // ---- simulated reduce phase ----
+        // n reduce tasks list-scheduled (longest first) over `units`
+        // slots, starting when the copy phase ends; each charges a merge
+        // read of its input, CPU per candidate, and the output write
+        // (replicated if persisted to DFS, plain local write otherwise).
+        let mut per_reduce: Vec<(f64, u32, usize)> = Vec::with_capacity(n_red);
+        let mut output_rows: Vec<Tuple> = Vec::new();
+        let mut reduce_input_max = 0u64;
+        let mut reduce_input_sum = 0u64;
+        let mut reduce_candidates = 0u64;
+        let mut output_bytes = 0u64;
+        let mut output_records = 0u64;
+        for (r, cell) in reduce_results.into_iter().enumerate() {
+            let (out, in_bytes, candidates) = cell.into_inner().expect("reduce task missing");
+            reduce_input_max = reduce_input_max.max(in_bytes);
+            reduce_input_sum += in_bytes;
+            reduce_candidates = reduce_candidates.saturating_add(candidates);
+            let out_bytes: u64 = out.iter().map(|t| t.encoded_len() as u64).sum();
+            output_bytes += out_bytes;
+            output_records += out.len() as u64;
+            let write_rate = if out_file.is_some() {
+                hw.disk_write_bps // replicated DFS pipeline rate
+            } else {
+                hw.disk_read_bps // local materialisation only
+            };
+            let attempts = self.faults.attempts_for(TaskKind::Reduce, r as u32);
+            let dur = (in_bytes as f64 * hw.c1()
+                + candidates as f64 * hw.cpu_per_candidate_secs
+                + out_bytes as f64 / write_rate)
+                * attempts as f64;
+            per_reduce.push((dur, attempts, r));
+            output_rows.extend(out);
+        }
+        per_reduce.sort_by(|a, b| b.0.total_cmp(&a.0)); // longest first
+        let reduce_attempts: u32 = per_reduce.iter().map(|x| x.1).sum();
+        let mut rslots: BinaryHeap<std::cmp::Reverse<NotNanF64>> = (0..units)
+            .map(|_| std::cmp::Reverse(NotNanF64(sim_shuffle_end)))
+            .collect();
+        let mut sim_total = sim_shuffle_end.max(sim_map_end);
+        for (dur, _, _) in &per_reduce {
+            let std::cmp::Reverse(NotNanF64(free_at)) =
+                rslots.pop().expect("reduce slot heap nonempty");
+            let end = free_at + dur;
+            rslots.push(std::cmp::Reverse(NotNanF64(end)));
+            sim_total = sim_total.max(end);
+        }
+
+        let output = Relation::from_rows_unchecked(job.output_schema(), output_rows);
+        if let Some(name) = out_file {
+            self.dfs.put_relation(name, &output, &self.config);
+        }
+
+        let metrics = JobMetrics {
+            name: job.name(),
+            map_tasks: m,
+            reduce_tasks: reducers,
+            units,
+            input_bytes,
+            input_records,
+            map_output_bytes,
+            map_output_records,
+            reduce_input_max_bytes: reduce_input_max,
+            reduce_input_mean_bytes: reduce_input_sum as f64 / n_red as f64,
+            reduce_candidates,
+            output_bytes,
+            output_records,
+            sim_map_end_secs: sim_map_end,
+            sim_shuffle_end_secs: sim_shuffle_end,
+            sim_total_secs: sim_total,
+            real_secs: wall_start.elapsed().as_secs_f64(),
+            map_attempts,
+            reduce_attempts,
+        };
+        JobRun { output, metrics }
+    }
+}
+
+/// Reduce-side grouping key for a record that landed in reducer `r`.
+///
+/// Two kinds of jobs flow through the engine. *Partition* jobs (Hilbert
+/// chain join, 1-Bucket-Theta) emit the reduce component id as the
+/// partition key and want the whole partition as a single group — their
+/// records group under `r`. *Hash* jobs (equi-join, merges) need one
+/// group per distinct key even when several keys share a reducer — they
+/// set the [`GROUP_BY_AUX`] bit and stash the full grouping key in
+/// [`TaggedRecord::aux`].
+fn rec_key(rec: &TaggedRecord, _reducers: u32, r: usize) -> u64 {
+    if rec.aux & GROUP_BY_AUX != 0 {
+        rec.aux & !GROUP_BY_AUX
+    } else {
+        r as u64
+    }
+}
+
+/// f64 wrapper ordered by total order, for the slot heaps.
+#[derive(PartialEq)]
+struct NotNanF64(f64);
+
+impl Eq for NotNanF64 {}
+
+impl PartialOrd for NotNanF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for NotNanF64 {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+fn block_seed(job: &str, file: &str, block: u64) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    job.hash(&mut h);
+    file.hash(&mut h);
+    block.hash(&mut h);
+    h.finish()
+}
+
+/// Mask marking [`TaggedRecord::aux`] as the reduce grouping key (see
+/// `rec_key`).
+pub const GROUP_BY_AUX: u64 = 1 << 63;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ClusterConfig;
+    use mwtj_storage::{tuple, DataType, Schema};
+
+    /// Word-count-ish job: counts rows per residue of column 0.
+    struct CountByMod {
+        k: u64,
+    }
+
+    impl MrJob for CountByMod {
+        fn name(&self) -> String {
+            "count_by_mod".into()
+        }
+
+        fn output_schema(&self) -> Schema {
+            Schema::from_pairs("counts", &[("key", DataType::Int), ("n", DataType::Int)])
+        }
+
+        fn map(
+            &self,
+            _tag: u8,
+            row: &Tuple,
+            _seed: u64,
+            _ri: usize,
+            emit: &mut crate::job::Emit<'_>,
+        ) {
+            let k = row.get(0).as_int().unwrap() as u64 % self.k;
+            emit(
+                k,
+                TaggedRecord {
+                    tag: 0,
+                    aux: GROUP_BY_AUX | k,
+                    tuple: row.clone(),
+                },
+            );
+        }
+
+        fn reduce(&self, key: u64, records: &[TaggedRecord], out: &mut Vec<Tuple>) -> u64 {
+            out.push(tuple![key as i64, records.len() as i64]);
+            records.len() as u64
+        }
+    }
+
+    fn setup(rows: usize) -> (Engine, ClusterConfig) {
+        let cfg = ClusterConfig::default();
+        let dfs = Dfs::new();
+        let schema = Schema::from_pairs("t", &[("a", DataType::Int)]);
+        let rel = Relation::from_rows_unchecked(
+            schema,
+            (0..rows).map(|i| tuple![i as i64]).collect(),
+        );
+        dfs.put_relation("t", &rel, &cfg);
+        (Engine::new(cfg.clone(), dfs), cfg)
+    }
+
+    #[test]
+    fn count_job_is_correct() {
+        let (engine, _) = setup(10_000);
+        let job = CountByMod { k: 7 };
+        let run = engine.run(&job, &[InputSpec::new("t", 0)], 8, 4, None);
+        let mut counts: Vec<(i64, i64)> = run
+            .output
+            .rows()
+            .iter()
+            .map(|t| (t.get(0).as_int().unwrap(), t.get(1).as_int().unwrap()))
+            .collect();
+        counts.sort_unstable();
+        assert_eq!(counts.len(), 7);
+        let total: i64 = counts.iter().map(|(_, n)| n).sum();
+        assert_eq!(total, 10_000);
+        // keys 0..10000 mod 7: keys 0..3 appear 1429 times, others 1428.
+        for (k, n) in counts {
+            let expect = if (k as u64) < 10_000 % 7 { 1429 } else { 1428 };
+            assert_eq!(n, expect, "key {k}");
+        }
+    }
+
+    #[test]
+    fn metrics_account_bytes_and_records() {
+        let (engine, _) = setup(5_000);
+        let job = CountByMod { k: 3 };
+        let run = engine.run(&job, &[InputSpec::new("t", 0)], 8, 4, None);
+        let m = &run.metrics;
+        assert_eq!(m.input_records, 5_000);
+        assert_eq!(m.map_output_records, 5_000);
+        assert_eq!(m.output_records, 3);
+        assert!(m.input_bytes > 0);
+        assert!(m.map_output_bytes > m.input_bytes, "wire overhead");
+        assert!(m.map_tasks >= 1);
+        assert!(m.sim_total_secs > 0.0);
+        assert!(m.sim_map_end_secs <= m.sim_shuffle_end_secs);
+        assert!(m.sim_shuffle_end_secs <= m.sim_total_secs);
+        assert!(m.real_secs > 0.0);
+    }
+
+    #[test]
+    fn fewer_units_means_longer_simulated_time() {
+        let (engine, _) = setup(50_000);
+        let job = CountByMod { k: 16 };
+        let fast = engine.run(&job, &[InputSpec::new("t", 0)], 32, 16, None);
+        let slow = engine.run(&job, &[InputSpec::new("t", 0)], 2, 16, None);
+        assert!(
+            slow.metrics.sim_total_secs > fast.metrics.sim_total_secs,
+            "{} vs {}",
+            slow.metrics.sim_total_secs,
+            fast.metrics.sim_total_secs
+        );
+        // Same real answer either way.
+        assert_eq!(fast.output.sorted_rows(), slow.output.sorted_rows());
+    }
+
+    #[test]
+    fn persisting_output_charges_more_and_writes_file() {
+        let (engine, _) = setup(20_000);
+        let job = CountByMod { k: 1000 };
+        let local = engine.run(&job, &[InputSpec::new("t", 0)], 8, 8, None);
+        let dfs = engine.run(&job, &[InputSpec::new("t", 0)], 8, 8, Some("out"));
+        assert!(dfs.metrics.sim_total_secs >= local.metrics.sim_total_secs);
+        let f = engine.dfs().read_relation("out").unwrap();
+        assert_eq!(f.len(), 1000);
+    }
+
+    #[test]
+    fn deterministic_across_runs() {
+        let (engine, _) = setup(3_000);
+        let job = CountByMod { k: 13 };
+        let a = engine.run(&job, &[InputSpec::new("t", 0)], 8, 5, None);
+        let b = engine.run(&job, &[InputSpec::new("t", 0)], 8, 5, None);
+        assert_eq!(a.output.sorted_rows(), b.output.sorted_rows());
+        assert_eq!(a.metrics.map_output_bytes, b.metrics.map_output_bytes);
+        assert!((a.metrics.sim_total_secs - b.metrics.sim_total_secs).abs() < 1e-12);
+    }
+}

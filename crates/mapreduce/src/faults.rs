@@ -1,0 +1,158 @@
+//! Task-failure injection.
+//!
+//! MapReduce's claim to fame in the paper's setting is "strong fault
+//! tolerance" (§1): any map or reduce task can die and be rerun from
+//! its input without corrupting the job, *because* task outputs are
+//! materialised and tasks are deterministic functions of their input
+//! split. This module makes that property testable: a seeded
+//! [`FaultPlan`] decides which task attempts fail; the engine reruns
+//! failed attempts (Hadoop's retry) and charges the wasted attempts on
+//! the simulated clock.
+//!
+//! Determinism contract: a task's *output* is identical across
+//! attempts (the [`crate::MrJob::map`] seeding rules guarantee it), so
+//! injected failures must never change job results — only timings.
+//! `tests/` and the integration suite assert exactly that.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which phase a task belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TaskKind {
+    /// A map task (identified by block ordinal).
+    Map,
+    /// A reduce task (identified by partition ordinal).
+    Reduce,
+}
+
+/// A deterministic failure plan: every `(kind, task, attempt)` triple
+/// either fails or succeeds, decided by a seeded hash, with at most
+/// `max_attempts - 1` failures per task so jobs always finish
+/// (mirroring `mapreduce.map.maxattempts`, default 4).
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    /// Probability that any given attempt fails.
+    pub fail_probability: f64,
+    /// Attempts allowed per task (≥ 1). The final allowed attempt
+    /// never fails.
+    pub max_attempts: u32,
+    /// Seed for the attempt-level coin flips.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// A plan that never fails anything.
+    pub fn none() -> Self {
+        FaultPlan {
+            fail_probability: 0.0,
+            max_attempts: 1,
+            seed: 0,
+        }
+    }
+
+    /// A plan failing attempts with probability `p`, up to 4 attempts
+    /// per task (Hadoop's default).
+    pub fn with_probability(p: f64, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "probability must be in [0,1)");
+        FaultPlan {
+            fail_probability: p,
+            max_attempts: 4,
+            seed,
+        }
+    }
+
+    /// Does `attempt` (0-based) of `task` fail?
+    pub fn fails(&self, kind: TaskKind, task: u32, attempt: u32) -> bool {
+        if self.fail_probability <= 0.0 || attempt + 1 >= self.max_attempts {
+            return false;
+        }
+        let mut h = self.seed;
+        for x in [
+            match kind {
+                TaskKind::Map => 0x6d61u64,
+                TaskKind::Reduce => 0x7265u64,
+            },
+            task as u64,
+            attempt as u64,
+        ] {
+            h ^= x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            h = h.rotate_left(17).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        }
+        let mut rng = StdRng::seed_from_u64(h);
+        rng.gen::<f64>() < self.fail_probability
+    }
+
+    /// Number of attempts `task` consumes (the successful attempt plus
+    /// the failures before it).
+    pub fn attempts_for(&self, kind: TaskKind, task: u32) -> u32 {
+        let mut a = 0;
+        while self.fails(kind, task, a) {
+            a += 1;
+        }
+        a + 1
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_fails() {
+        let p = FaultPlan::none();
+        for t in 0..100 {
+            assert_eq!(p.attempts_for(TaskKind::Map, t), 1);
+            assert_eq!(p.attempts_for(TaskKind::Reduce, t), 1);
+        }
+    }
+
+    #[test]
+    fn failures_are_deterministic() {
+        let p = FaultPlan::with_probability(0.5, 42);
+        for t in 0..50 {
+            for a in 0..4 {
+                assert_eq!(
+                    p.fails(TaskKind::Map, t, a),
+                    p.fails(TaskKind::Map, t, a),
+                    "task {t} attempt {a} must be stable"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn final_attempt_never_fails() {
+        let p = FaultPlan::with_probability(0.99, 7);
+        for t in 0..200 {
+            assert!(!p.fails(TaskKind::Map, t, p.max_attempts - 1));
+            assert!(p.attempts_for(TaskKind::Map, t) <= p.max_attempts);
+        }
+    }
+
+    #[test]
+    fn failure_rate_roughly_matches_probability() {
+        let p = FaultPlan::with_probability(0.3, 13);
+        let fails = (0..2_000)
+            .filter(|&t| p.fails(TaskKind::Reduce, t, 0))
+            .count();
+        let rate = fails as f64 / 2_000.0;
+        assert!((rate - 0.3).abs() < 0.05, "observed rate {rate}");
+    }
+
+    #[test]
+    fn map_and_reduce_streams_are_independent() {
+        let p = FaultPlan::with_probability(0.5, 99);
+        let same = (0..200)
+            .filter(|&t| p.fails(TaskKind::Map, t, 0) == p.fails(TaskKind::Reduce, t, 0))
+            .count();
+        // Independent coin flips agree about half the time.
+        assert!((60..140).contains(&same), "agreement {same}/200");
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn rejects_certain_failure() {
+        FaultPlan::with_probability(1.0, 0);
+    }
+}

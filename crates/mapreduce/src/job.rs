@@ -1,0 +1,111 @@
+//! The MRJ programming model.
+//!
+//! A job reads one or more DFS files, each carrying a small integer
+//! *tag* (the relation's position in the join chain), maps every input
+//! row to zero or more `(partition key, tagged record)` pairs, shuffles
+//! by partition key, and reduces each key group.
+//!
+//! This is deliberately the narrow waist all of the paper's jobs fit
+//! through: Hilbert chain joins emit component ids as keys; equi-joins
+//! emit value hashes; 1-Bucket-Theta emits rectangle ids; merges emit
+//! shared-key hashes.
+
+use mwtj_storage::{Schema, Tuple};
+
+/// One input file with its chain tag.
+#[derive(Debug, Clone)]
+pub struct InputSpec {
+    /// DFS file name.
+    pub file: String,
+    /// Tag delivered to the mapper with every row of this file
+    /// (typically the relation's index in the job's chain).
+    pub tag: u8,
+}
+
+impl InputSpec {
+    /// Build an input spec.
+    pub fn new(file: impl Into<String>, tag: u8) -> Self {
+        InputSpec {
+            file: file.into(),
+            tag,
+        }
+    }
+}
+
+/// A record in flight between map and reduce: the source tag plus the
+/// tuple payload. `aux` carries a mapper-chosen 64-bit value (the
+/// paper's Algorithm 1 uses it for the tuple's random global id, so the
+/// reducer can re-derive the tuple's stripe without a global view).
+#[derive(Debug, Clone)]
+pub struct TaggedRecord {
+    /// Source tag (which input relation).
+    pub tag: u8,
+    /// Mapper-assigned auxiliary value (global id / band index / hash).
+    pub aux: u64,
+    /// The row.
+    pub tuple: Tuple,
+}
+
+impl TaggedRecord {
+    /// Bytes this record occupies on the wire: encoded tuple + tag byte
+    /// + aux (varint-ish, call it 8) — the unit of shuffle accounting.
+    pub fn wire_bytes(&self) -> usize {
+        self.tuple.encoded_len() + 1 + 8
+    }
+}
+
+/// Map-side emitter: `(partition key, record)`.
+pub type Emit<'a> = dyn FnMut(u64, TaggedRecord) + 'a;
+
+/// A MapReduce job. Implementations must be `Sync`: map and reduce
+/// tasks run on a thread pool.
+pub trait MrJob: Sync {
+    /// Human-readable job name (for metrics and plan traces).
+    fn name(&self) -> String;
+
+    /// Schema of the job's output rows.
+    fn output_schema(&self) -> Schema;
+
+    /// Map one input row. `tag` is the [`InputSpec::tag`] of the file
+    /// the row came from; `block_seed` is a per-map-task seed and
+    /// `row_idx` the row's position within its block. Together they let
+    /// a mapper draw *deterministic* pseudo-random values per row
+    /// (Algorithm 1's random global IDs) while staying rerunnable —
+    /// exactly Hadoop's task-retry contract: no global view, but
+    /// deterministic given the block.
+    fn map(&self, tag: u8, row: &Tuple, block_seed: u64, row_idx: usize, emit: &mut Emit<'_>);
+
+    /// Reduce one key group. `records` arrive grouped by key,
+    /// *unordered* within the group (hash shuffle, no secondary sort).
+    ///
+    /// Returns the number of candidate combinations the reducer
+    /// *actually examined* — the engine charges
+    /// `cpu_per_candidate_secs` per unit on the simulated clock, so
+    /// jobs that prune early (the chain join's depth-wise predicate
+    /// pruning) are priced by their real work, not the raw cross
+    /// product.
+    fn reduce(&self, key: u64, records: &[TaggedRecord], out: &mut Vec<Tuple>) -> u64;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwtj_storage::tuple;
+
+    #[test]
+    fn wire_bytes_includes_overhead() {
+        let r = TaggedRecord {
+            tag: 3,
+            aux: 42,
+            tuple: tuple![1, 2, 3],
+        };
+        assert_eq!(r.wire_bytes(), r.tuple.encoded_len() + 9);
+    }
+
+    #[test]
+    fn input_spec_builder() {
+        let i = InputSpec::new("f", 2);
+        assert_eq!(i.file, "f");
+        assert_eq!(i.tag, 2);
+    }
+}

@@ -1,0 +1,110 @@
+//! Execution metrics for one MRJ, on both clocks.
+
+/// Everything measured while running one job: real byte/record counts
+/// (ground truth for the cost model) and the simulated-clock phase
+/// timings that realise the paper's Fig. 3 execution structure.
+#[derive(Debug, Clone, Default)]
+pub struct JobMetrics {
+    /// Job name.
+    pub name: String,
+    /// Number of map tasks (= input blocks).
+    pub map_tasks: u32,
+    /// Number of reduce tasks `n` (`RN(MRJ)` in the paper).
+    pub reduce_tasks: u32,
+    /// Processing units the job was allotted (bounds map and reduce
+    /// parallelism).
+    pub units: u32,
+
+    /// Total input bytes `S_I`.
+    pub input_bytes: u64,
+    /// Total input records.
+    pub input_records: u64,
+    /// Total map-output (= shuffle) bytes `S_CP`.
+    pub map_output_bytes: u64,
+    /// Total map-output records.
+    pub map_output_records: u64,
+    /// Largest single reduce task input in bytes (`S*_r`, the skew term
+    /// the paper bounds with the three-sigma rule).
+    pub reduce_input_max_bytes: u64,
+    /// Mean reduce task input in bytes.
+    pub reduce_input_mean_bytes: f64,
+    /// Total candidate combinations checked by reducers (CPU work).
+    pub reduce_candidates: u64,
+    /// Total output bytes.
+    pub output_bytes: u64,
+    /// Total output records.
+    pub output_records: u64,
+
+    /// Simulated seconds when the last map task finished (`J_M` +
+    /// queueing across waves).
+    pub sim_map_end_secs: f64,
+    /// Simulated seconds when the last map output finished copying
+    /// (end of the copy phase; overlaps the map phase as in Fig. 3).
+    pub sim_shuffle_end_secs: f64,
+    /// Simulated seconds when the last reduce task finished — the job
+    /// makespan `T`.
+    pub sim_total_secs: f64,
+    /// Host wall-clock seconds actually spent executing.
+    pub real_secs: f64,
+    /// Total map task attempts (= map_tasks when no faults injected).
+    pub map_attempts: u32,
+    /// Total reduce task attempts (= reduce_tasks when no faults).
+    pub reduce_attempts: u32,
+}
+
+impl JobMetrics {
+    /// The map output ratio α = map-output bytes / input bytes.
+    pub fn alpha(&self) -> f64 {
+        if self.input_bytes == 0 {
+            0.0
+        } else {
+            self.map_output_bytes as f64 / self.input_bytes as f64
+        }
+    }
+
+    /// The reduce output ratio β = output bytes / shuffle bytes.
+    pub fn beta(&self) -> f64 {
+        if self.map_output_bytes == 0 {
+            0.0
+        } else {
+            self.output_bytes as f64 / self.map_output_bytes as f64
+        }
+    }
+
+    /// Reducer skew: max/mean input bytes (1.0 = perfectly balanced).
+    pub fn skew(&self) -> f64 {
+        if self.reduce_input_mean_bytes <= 0.0 {
+            1.0
+        } else {
+            self.reduce_input_max_bytes as f64 / self.reduce_input_mean_bytes
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_guard_division_by_zero() {
+        let m = JobMetrics::default();
+        assert_eq!(m.alpha(), 0.0);
+        assert_eq!(m.beta(), 0.0);
+        assert_eq!(m.skew(), 1.0);
+    }
+
+    #[test]
+    fn ratios_compute() {
+        let m = JobMetrics {
+            input_bytes: 100,
+            map_output_bytes: 50,
+            output_bytes: 25,
+            reduce_input_max_bytes: 20,
+            reduce_input_mean_bytes: 10.0,
+            ..Default::default()
+        };
+        assert!((m.alpha() - 0.5).abs() < 1e-12);
+        assert!((m.beta() - 0.5).abs() < 1e-12);
+        assert!((m.skew() - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,421 @@
+//! Algorithm 2: constructing the pruned join-path graph `G'_JP`.
+//!
+//! Every no-edge-repeating path of `G_J` is a candidate MRJ evaluating
+//! all its conditions in one job. Full enumeration is #P-complete
+//! (Theorem 1), so, like the paper, we enumerate in increasing hop
+//! count and prune:
+//!
+//! * **Lemma 1** — a candidate is dropped when a set of
+//!   already-accepted candidates covers (at least) its conditions with
+//!   a smaller max weight and no more total scheduling demand;
+//! * **Lemma 2** — once a candidate is dropped, every candidate whose
+//!   condition set strictly contains the dropped one's is dropped
+//!   without evaluation (implemented as a pruned-mask subset test
+//!   before costing).
+
+use mwtj_cost::estimate::{chain_job, SideStats};
+use mwtj_cost::kr::effective_candidates;
+use mwtj_cost::{choose_k_r, CostModel, LAMBDA};
+use mwtj_query::{JoinPath, MultiwayQuery};
+use mwtj_storage::RelationStats;
+
+/// How a candidate MRJ will be executed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CandidateOp {
+    /// Hilbert-partitioned chain theta-join (Algorithm 1).
+    Chain,
+    /// Hash-partitioned equi-join — available for single edges whose
+    /// predicates are all equalities; one copy per tuple instead of
+    /// `k_R^((d−1)/d)`, exactly the pairwise jobs the paper's plan
+    /// space also contains.
+    PairEqui,
+}
+
+/// One candidate MRJ — an edge of `G'_JP`.
+#[derive(Debug, Clone)]
+pub struct MrjCandidate {
+    /// The underlying no-edge-repeating path.
+    pub path: JoinPath,
+    /// Condition-edge bitmask (`l'(e')`).
+    pub mask: u64,
+    /// Distinct query relations touched, sorted.
+    pub rels: Vec<usize>,
+    /// Estimated minimum execution time `w(e')` in simulated seconds.
+    pub w: f64,
+    /// Selection weight for the set cover: `w` plus the
+    /// output-handling penalty (materialise + reshuffle + merge) a
+    /// *partial* result incurs. Candidates covering the whole query
+    /// pay no penalty — their output is final.
+    pub w_select: f64,
+    /// Scheduling demand `s(e')`: the reducer/unit count at which
+    /// `w(e')` is achieved (`RN(MRJ)`).
+    pub s: u32,
+    /// Estimated output rows (for merge-cost estimation downstream).
+    pub out_rows: f64,
+    /// Estimated output bytes.
+    pub out_bytes: f64,
+    /// Predicted duration at every allotment `1..=k_p` (the malleable
+    /// profile for group scheduling).
+    pub profile: Vec<f64>,
+    /// The operator the candidate will execute with.
+    pub op: CandidateOp,
+}
+
+/// Options bounding the construction.
+#[derive(Debug, Clone)]
+pub struct GjpOptions {
+    /// Maximum path length (hops) considered.
+    pub max_hops: usize,
+    /// Cap on raw paths enumerated before pruning.
+    pub max_paths: usize,
+    /// λ for the `k_R` choice (Eq. 10).
+    pub lambda: f64,
+}
+
+impl Default for GjpOptions {
+    fn default() -> Self {
+        GjpOptions {
+            max_hops: 6,
+            max_paths: 4_096,
+            lambda: LAMBDA,
+        }
+    }
+}
+
+/// Build `G'_JP`: evaluate and prune candidate MRJs for `query`.
+///
+/// `stats` holds one [`RelationStats`] per query relation, in order.
+/// `k_p` bounds both `k_R` choices and scheduling demand.
+pub fn build_gjp(
+    query: &MultiwayQuery,
+    stats: &[&RelationStats],
+    model: &CostModel,
+    k_p: u32,
+    opts: &GjpOptions,
+) -> Vec<MrjCandidate> {
+    let graph = query.join_graph();
+    let paths = graph.enumerate_paths(opts.max_hops, opts.max_paths);
+    let all_mask: u64 = (0..query.num_conditions()).fold(0, |m, e| m | (1 << e));
+    let mut accepted: Vec<MrjCandidate> = Vec::new();
+    let mut pruned_masks: Vec<u64> = Vec::new();
+
+    'paths: for path in paths {
+        let mask = path.edge_mask();
+        // Lemma 2: a strict superset of a pruned condition set is
+        // pruned without costing. Full-cover candidates are exempt for
+        // the same reason as in the Lemma 1 test below.
+        if mask != all_mask {
+            for &pm in &pruned_masks {
+                if pm & mask == pm && pm != mask {
+                    continue 'paths;
+                }
+            }
+        }
+        let cand = cost_candidate(query, stats, model, k_p, opts, &path, all_mask);
+        // Lemma 1 (greedy instantiation): try to cover this candidate's
+        // conditions with accepted candidates of smaller weight. If a
+        // cover exists with max-w below w(e') and total demand ≤ s(e'),
+        // drop e'. Full-cover candidates are exempt: they answer the
+        // query without any merge step, which the per-MRJ weights of a
+        // substitute set do not account for — the plan assembler makes
+        // that comparison with merge costs included.
+        if mask != all_mask && lemma1_dominated(&cand, &accepted) {
+            pruned_masks.push(mask);
+            continue;
+        }
+        accepted.push(cand);
+        // Keep the accepted list sorted by weight: Algorithm 2's WL.
+        accepted.sort_by(|a, b| a.w.total_cmp(&b.w));
+    }
+    accepted
+}
+
+/// Estimate one candidate: chain job over the path's distinct
+/// relations, `k_R` from Eq. 10 (capped at `k_p`), weight from the
+/// cost model, profile over all allotments.
+#[allow(clippy::too_many_arguments)]
+fn cost_candidate(
+    query: &MultiwayQuery,
+    stats: &[&RelationStats],
+    model: &CostModel,
+    k_p: u32,
+    opts: &GjpOptions,
+    path: &JoinPath,
+    all_mask: u64,
+) -> MrjCandidate {
+    let rels = path.distinct_vertices();
+    let sides: Vec<SideStats> = rels.iter().map(|&r| SideStats::of(stats[r])).collect();
+    let cards: Vec<u64> = rels.iter().map(|&r| stats[r].cardinality as u64).collect();
+    // Combined selectivity of the covered conditions (independence).
+    let mut selectivity = 1.0;
+    for &e in &path.edges {
+        selectivity *= mwtj_cost::estimate::condition_selectivity(query, e, stats);
+    }
+    let cube: f64 = cards.iter().map(|&c| c as f64).product();
+    let out_rows = cube * selectivity;
+    let avg_row: f64 = {
+        let rows: f64 = sides.iter().map(|s| s.rows).sum();
+        let bytes: f64 = sides.iter().map(|s| s.bytes).sum();
+        if rows > 0.0 {
+            bytes / rows
+        } else {
+            1.0
+        }
+    };
+    let eff = effective_candidates(&cards, out_rows);
+    let kr = choose_k_r(
+        &cards,
+        avg_row,
+        eff,
+        &model.config().hardware,
+        k_p,
+        opts.lambda,
+    );
+    // Single edges whose predicates are all offset-free equalities can
+    // run as a hash-partitioned pair join (one copy per tuple); offer
+    // that operator when it is cheaper than the chain.
+    let all_eq_single = path.edges.len() == 1 && rels.len() == 2 && {
+        let (_, _, preds) = &query.conditions[path.edges[0]];
+        preds
+            .iter()
+            .all(|p| p.op.is_equality() && p.left.offset == 0.0 && p.right.offset == 0.0)
+    };
+    let equi_est = |n: u32, units: u32| {
+        let key_distinct = stats[rels[0]]
+            .columns
+            .iter()
+            .map(|c| c.distinct_estimate)
+            .fold(1.0f64, f64::max);
+        mwtj_cost::estimate::pair_equi_job(
+            model.config(),
+            sides[0],
+            sides[1],
+            selectivity,
+            key_distinct,
+            n,
+            units,
+        )
+    };
+    let mut op = CandidateOp::Chain;
+    let mut best_n = kr.k_r;
+    let mut w = {
+        let est = chain_job(model.config(), &sides, selectivity, kr.k_r, k_p);
+        model.predict_total(&est.shape)
+    };
+    if all_eq_single {
+        // Sweep a few reducer counts for the hash variant.
+        for n in [2u32, 4, 8, 16, 32, 64] {
+            if n > k_p {
+                break;
+            }
+            let t = model.predict_total(&equi_est(n, k_p).shape);
+            if t < w {
+                w = t;
+                op = CandidateOp::PairEqui;
+                best_n = n;
+            }
+        }
+    }
+    // Malleable profile for the winning operator: duration at every
+    // allotment (reducers = min of the chosen count and the allotment).
+    let mut profile = Vec::with_capacity(k_p as usize);
+    for u in 1..=k_p {
+        let t = match op {
+            CandidateOp::Chain => {
+                let est = chain_job(model.config(), &sides, selectivity, best_n.min(u), u);
+                model.predict_total(&est.shape)
+            }
+            CandidateOp::PairEqui => model.predict_total(&equi_est(best_n.min(u), u).shape),
+        };
+        profile.push(t);
+    }
+    let est = match op {
+        CandidateOp::Chain => chain_job(model.config(), &sides, selectivity, best_n, k_p),
+        CandidateOp::PairEqui => equi_est(best_n, k_p),
+    };
+    let mask = path.edge_mask();
+    // Output-handling penalty for partial results: a non-final
+    // intermediate is written replicated to the DFS, re-read, hashed
+    // across the network and re-written by the merge — roughly three
+    // byte passes, parallelised over the cluster.
+    let hw = &model.config().hardware;
+    let w_select = if mask == all_mask {
+        w
+    } else {
+        let per_byte = 1.0 / hw.disk_write_bps + hw.c1() + hw.c2();
+        w + est.out_bytes * per_byte / (k_p as f64).max(1.0) * 3.0
+    };
+    MrjCandidate {
+        path: path.clone(),
+        mask,
+        rels,
+        w,
+        w_select,
+        s: best_n,
+        out_rows: est.out_rows,
+        out_bytes: est.out_bytes,
+        profile,
+        op,
+    }
+}
+
+/// Lemma 1 test: can `cand`'s conditions be covered by accepted
+/// candidates all strictly cheaper, with total demand not exceeding
+/// `cand`'s?
+fn lemma1_dominated(cand: &MrjCandidate, accepted: &[MrjCandidate]) -> bool {
+    // Greedy cover from the cheap end of WL (accepted is sorted by w).
+    let mut covered = 0u64;
+    let mut total_s = 0u64;
+    let mut max_w = 0.0f64;
+    for a in accepted {
+        if a.w >= cand.w {
+            break; // all further candidates are at least as expensive
+        }
+        if a.mask & cand.mask == 0 {
+            continue; // contributes nothing
+        }
+        if a.mask & !cand.mask != 0 {
+            continue; // evaluates conditions outside e' — not a substitute
+        }
+        if a.mask & !covered == 0 {
+            continue; // adds nothing new
+        }
+        covered |= a.mask;
+        total_s += a.s as u64;
+        max_w = max_w.max(a.w);
+        if covered & cand.mask == cand.mask {
+            return total_s <= cand.s as u64 && max_w < cand.w;
+        }
+    }
+    false
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwtj_cost::CalibratedParams;
+    use mwtj_datagen::SyntheticGen;
+    use mwtj_mapreduce::ClusterConfig;
+    use mwtj_query::{QueryBuilder, ThetaOp};
+    use mwtj_storage::Relation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn stats_of(rel: &Relation) -> RelationStats {
+        let mut rng = StdRng::seed_from_u64(17);
+        RelationStats::collect(rel, 256, &mut rng)
+    }
+
+    fn model() -> CostModel {
+        CostModel::new(ClusterConfig::default(), CalibratedParams::default())
+    }
+
+    fn three_chain() -> (MultiwayQuery, Vec<Relation>) {
+        let gen = SyntheticGen::default();
+        let mk = |name: &str, n: usize| {
+            let r = gen.uniform_numeric("x", n, 1_000);
+            Relation::from_rows_unchecked(
+                mwtj_storage::Schema::new(name, r.schema().fields().to_vec()),
+                r.rows().to_vec(),
+            )
+        };
+        let r0 = mk("r0", 2_000);
+        let r1 = mk("r1", 1_500);
+        let r2 = mk("r2", 1_000);
+        let q = QueryBuilder::new("q")
+            .relation(r0.schema().clone())
+            .relation(r1.schema().clone())
+            .relation(r2.schema().clone())
+            .join("r0", "k", ThetaOp::Lt, "r1", "k")
+            .join("r1", "v", ThetaOp::Eq, "r2", "v")
+            .build()
+            .unwrap();
+        (q, vec![r0, r1, r2])
+    }
+
+    #[test]
+    fn gjp_covers_every_condition() {
+        let (q, rels) = three_chain();
+        let stats: Vec<RelationStats> = rels.iter().map(stats_of).collect();
+        let refs: Vec<&RelationStats> = stats.iter().collect();
+        let cands = build_gjp(&q, &refs, &model(), 32, &GjpOptions::default());
+        assert!(!cands.is_empty());
+        let all: u64 = cands.iter().fold(0, |m, c| m | c.mask);
+        assert_eq!(all, 0b11, "all conditions representable");
+        // Single-edge candidates always survive (nothing cheaper covers
+        // them before they are seen).
+        assert!(cands.iter().any(|c| c.mask == 0b01));
+        assert!(cands.iter().any(|c| c.mask == 0b10));
+    }
+
+    #[test]
+    fn candidates_have_sane_weights_and_profiles() {
+        let (q, rels) = three_chain();
+        let stats: Vec<RelationStats> = rels.iter().map(stats_of).collect();
+        let refs: Vec<&RelationStats> = stats.iter().collect();
+        let cands = build_gjp(&q, &refs, &model(), 16, &GjpOptions::default());
+        for c in &cands {
+            assert!(c.w > 0.0 && c.w.is_finite());
+            assert!(c.s >= 1 && c.s <= 16);
+            assert_eq!(c.profile.len(), 16);
+            for win in c.profile.windows(2) {
+                assert!(win[1] <= win[0] * 1.5, "profile wildly non-monotone");
+            }
+            // The two-hop candidate touches all three relations.
+            if c.mask == 0b11 {
+                assert_eq!(c.rels, vec![0, 1, 2]);
+            }
+        }
+    }
+
+    #[test]
+    fn lemma2_prunes_supersets() {
+        // Construct a candidate list where a 1-edge path is pruned by
+        // hand and verify the subset test logic.
+        let cheap = MrjCandidate {
+            path: JoinPath {
+                edges: vec![0],
+                vertices: vec![0, 1],
+            },
+            mask: 0b01,
+            rels: vec![0, 1],
+            w: 1.0,
+            w_select: 1.0,
+            s: 1,
+            out_rows: 1.0,
+            out_bytes: 1.0,
+            profile: vec![1.0],
+            op: CandidateOp::Chain,
+        };
+        let expensive_same = MrjCandidate {
+            mask: 0b01,
+            w: 10.0,
+            w_select: 10.0,
+            s: 4,
+            ..cheap.clone()
+        };
+        assert!(lemma1_dominated(&expensive_same, &[cheap.clone()]));
+        // Not dominated when the candidate covers MORE conditions.
+        let two_edge = MrjCandidate {
+            mask: 0b11,
+            w: 10.0,
+            w_select: 10.0,
+            s: 4,
+            ..cheap.clone()
+        };
+        assert!(!lemma1_dominated(&two_edge, &[cheap]));
+    }
+
+    #[test]
+    fn hop_cap_limits_candidates() {
+        let (q, rels) = three_chain();
+        let stats: Vec<RelationStats> = rels.iter().map(stats_of).collect();
+        let refs: Vec<&RelationStats> = stats.iter().collect();
+        let opts = GjpOptions {
+            max_hops: 1,
+            ..Default::default()
+        };
+        let cands = build_gjp(&q, &refs, &model(), 16, &opts);
+        assert!(cands.iter().all(|c| c.path.len() == 1));
+    }
+}

@@ -1,0 +1,821 @@
+//! Executable plans: ours (chain MRJs + malleable scheduling + merges)
+//! and the Hive/Pig/YSmart-style pairwise-cascade baselines.
+//!
+//! Execution is incremental: each stage's *actual* output sizes feed
+//! the next stage's job construction (reducer counts, rectangle
+//! shapes), while the simulated clock accumulates stage makespans —
+//! concurrent jobs inside a stage cost the max, sequential stages sum,
+//! exactly the accounting of the paper's Fig. 4.
+
+use crate::gjp::{build_gjp, CandidateOp, GjpOptions, MrjCandidate};
+use crate::setcover::greedy_cover;
+use mwtj_cost::estimate::condition_selectivity;
+use mwtj_cost::{schedule_malleable, CostModel, MalleableJob};
+use mwtj_hilbert::PartitionStrategy;
+use mwtj_join::{ChainThetaJob, IntermediateShape, PairJob, PairStrategy};
+use mwtj_mapreduce::{Cluster, InputSpec, JobMetrics, PlanJob, PlanStage};
+use mwtj_query::theta::CompiledPredicate;
+use mwtj_query::MultiwayQuery;
+use mwtj_storage::{Relation, RelationStats, Tuple};
+
+/// Which baseline planner to emulate (§6's comparison systems).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Baseline {
+    /// Hive-style: left-deep pairwise cascade, always requesting the
+    /// maximum reducer count ("Hive always try to employ as many
+    /// Reduce tasks as possible", §6.3.2).
+    Hive,
+    /// Pig-style: pairwise cascade with the 1-reducer-per-data-chunk
+    /// heuristic.
+    Pig,
+    /// YSmart-style: pairwise cascade with cost-model-chosen reducer
+    /// counts, but `k_P`-unaware ("YSmart does not take this factor
+    /// into consideration").
+    YSmart,
+}
+
+/// Result of planning + executing a query.
+#[derive(Debug)]
+pub struct QueryRun {
+    /// Final projected output.
+    pub output: Relation,
+    /// Human-readable plan description.
+    pub plan: String,
+    /// Planner's predicted makespan (simulated seconds).
+    pub predicted_secs: f64,
+    /// Achieved simulated makespan.
+    pub sim_secs: f64,
+    /// Host wall-clock seconds.
+    pub real_secs: f64,
+    /// Per-job metrics in execution order.
+    pub jobs: Vec<JobMetrics>,
+}
+
+/// A summary of the chosen plan before execution (for inspection).
+#[derive(Debug, Clone)]
+pub struct ExecutablePlan {
+    /// Chosen candidate MRJs (edge sets).
+    pub chosen_masks: Vec<u64>,
+    /// Unit allotments per chosen MRJ.
+    pub allotments: Vec<u32>,
+    /// Shelf index per chosen MRJ.
+    pub shelves: Vec<usize>,
+    /// Predicted makespan of the MRJ phase.
+    pub predicted_secs: f64,
+}
+
+/// The planner: owns a cost model; plans and executes against a
+/// [`Cluster`] whose DFS already holds every base relation under its
+/// schema name.
+pub struct Planner {
+    model: CostModel,
+    /// `G'_JP` bounds.
+    pub gjp_opts: GjpOptions,
+}
+
+impl Planner {
+    /// Build a planner.
+    pub fn new(model: CostModel) -> Self {
+        Planner {
+            model,
+            gjp_opts: GjpOptions::default(),
+        }
+    }
+
+    /// The cost model.
+    pub fn model(&self) -> &CostModel {
+        &self.model
+    }
+
+    // ------------------------------------------------------------------
+    // Our method (§5)
+    // ------------------------------------------------------------------
+
+    /// Plan the query with the paper's method: `G'_JP` → greedy cover →
+    /// malleable schedule. Returns the chosen candidates and plan
+    /// summary without executing.
+    pub fn plan_ours(
+        &self,
+        query: &MultiwayQuery,
+        stats: &[&RelationStats],
+        k_p: u32,
+    ) -> (Vec<MrjCandidate>, ExecutablePlan) {
+        let cands = build_gjp(query, stats, &self.model, k_p, &self.gjp_opts);
+        let all_mask: u64 = (0..query.num_conditions()).fold(0, |m, e| m | (1 << e));
+        let cover = greedy_cover(&cands, all_mask)
+            .expect("connected query must be coverable");
+        let mut chosen: Vec<MrjCandidate> =
+            cover.chosen.iter().map(|&i| cands[i].clone()).collect();
+        // The greedy objective cannot see merge-join costs (partial
+        // results multiply on shared relations before the uncovered-
+        // between-parts structure cuts them down). If a single
+        // full-cover candidate exists, compare the greedy cover's
+        // estimated total (jobs + merge chain) against it and keep the
+        // cheaper plan — the paper's "single MRJ vs several" decision
+        // made with both sides of the ledger.
+        if chosen.len() > 1 {
+            let merge_est = self.estimate_merges(&chosen, stats, k_p);
+            let greedy_total: f64 =
+                chosen.iter().map(|c| c.w).sum::<f64>() + merge_est;
+            if let Some(full) = cands
+                .iter()
+                .filter(|c| c.mask & all_mask == all_mask)
+                .min_by(|a, b| a.w.total_cmp(&b.w))
+            {
+                if full.w < greedy_total {
+                    chosen = vec![full.clone()];
+                }
+            }
+        }
+        let jobs: Vec<MalleableJob> = chosen
+            .iter()
+            .map(|c| MalleableJob::new(format!("{}", c.path), c.profile.clone()))
+            .collect();
+        let schedule = schedule_malleable(&jobs, k_p);
+        let plan = ExecutablePlan {
+            chosen_masks: chosen.iter().map(|c| c.mask).collect(),
+            allotments: schedule.allotments.clone(),
+            shelves: schedule.shelves.clone(),
+            predicted_secs: schedule.makespan,
+        };
+        (chosen, plan)
+    }
+
+    /// Rough cost of folding the chosen candidates' outputs together:
+    /// walk the same largest-overlap merge order the executor uses,
+    /// upper-bounding each join's output by the containment bound
+    /// `|A|·|B| / Π|R_shared|` and pricing each merge as an equi-hash
+    /// job over the running intermediates.
+    fn estimate_merges(
+        &self,
+        chosen: &[MrjCandidate],
+        stats: &[&RelationStats],
+        k_p: u32,
+    ) -> f64 {
+        use mwtj_cost::estimate::{pair_equi_job, SideStats};
+        let mut parts: Vec<(Vec<usize>, f64, f64)> = chosen
+            .iter()
+            .map(|c| (c.rels.clone(), c.out_rows.max(1.0), c.out_bytes.max(1.0)))
+            .collect();
+        let mut total = 0.0;
+        while parts.len() > 1 {
+            // Largest shared-relation overlap, as the executor picks.
+            let (mut bi, mut bj, mut best) = (0usize, 1usize, 0usize);
+            for i in 0..parts.len() {
+                for j in i + 1..parts.len() {
+                    let shared =
+                        parts[i].0.iter().filter(|r| parts[j].0.contains(r)).count();
+                    if shared > best {
+                        (bi, bj, best) = (i, j, shared);
+                    }
+                }
+            }
+            if best == 0 {
+                break; // disconnected — executor will panic anyway
+            }
+            let (rb, rows_b, bytes_b) = parts.swap_remove(bj.max(bi));
+            let (ra, rows_a, bytes_a) = parts.swap_remove(bi.min(bj));
+            let shared_card: f64 = ra
+                .iter()
+                .filter(|r| rb.contains(r))
+                .map(|&r| (stats[r].cardinality as f64).max(1.0))
+                .product();
+            let key_distinct = shared_card.max(1.0);
+            let est = pair_equi_job(
+                self.model.config(),
+                SideStats { rows: rows_a, bytes: bytes_a },
+                SideStats { rows: rows_b, bytes: bytes_b },
+                1.0 / key_distinct,
+                key_distinct,
+                ((rows_a + rows_b) as u64 / 4_096).max(1) as u32,
+                k_p,
+            );
+            total += self.model.predict_total(&est.shape);
+            let mut union = ra;
+            for r in rb {
+                if !union.contains(&r) {
+                    union.push(r);
+                }
+            }
+            union.sort_unstable();
+            parts.push((union, est.out_rows.max(1.0), est.out_bytes.max(1.0)));
+        }
+        total
+    }
+
+    /// Plan and execute with the paper's method.
+    pub fn execute_ours(
+        &self,
+        query: &MultiwayQuery,
+        stats: &[&RelationStats],
+        cluster: &Cluster,
+    ) -> QueryRun {
+        self.execute_ours_with(query, stats, cluster, PartitionStrategy::Hilbert)
+    }
+
+    /// Like [`Planner::execute_ours`] but with an explicit partition
+    /// strategy (the grid variant is the ablation baseline).
+    pub fn execute_ours_with(
+        &self,
+        query: &MultiwayQuery,
+        stats: &[&RelationStats],
+        cluster: &Cluster,
+        strategy: PartitionStrategy,
+    ) -> QueryRun {
+        let wall = std::time::Instant::now();
+        let k_p = cluster.config().processing_units;
+        let (chosen, plan) = self.plan_ours(query, stats, k_p);
+        let cards: Vec<u64> = stats.iter().map(|s| s.cardinality as u64).collect();
+
+        // --- MRJ phase: shelves of concurrent chain jobs ---
+        let n_shelves = plan.shelves.iter().copied().max().unwrap_or(0) + 1;
+        let single = chosen.len() == 1;
+        let mut stages: Vec<PlanStage> = Vec::with_capacity(n_shelves);
+        let mut part_files: Vec<(String, IntermediateShape)> = Vec::new();
+        for shelf in 0..n_shelves {
+            let mut jobs = Vec::new();
+            for (ci, cand) in chosen.iter().enumerate() {
+                if plan.shelves[ci] != shelf {
+                    continue;
+                }
+                let units = plan.allotments[ci].max(1);
+                let k_r = cand.s.min(units).max(1);
+                let (job, inputs, reducers, out_shape): (
+                    Box<dyn mwtj_mapreduce::MrJob>,
+                    Vec<InputSpec>,
+                    u32,
+                    IntermediateShape,
+                ) = match cand.op {
+                    CandidateOp::Chain => {
+                        let job =
+                            ChainThetaJob::new(query, &cand.path.edges, &cards, k_r, strategy);
+                        let inputs: Vec<InputSpec> = job
+                            .dims()
+                            .iter()
+                            .enumerate()
+                            .map(|(dim, &r)| {
+                                InputSpec::new(query.schemas[r].name(), dim as u8)
+                            })
+                            .collect();
+                        let reducers = job.reducers();
+                        let shape = job.out_shape().clone();
+                        (Box::new(job), inputs, reducers, shape)
+                    }
+                    CandidateOp::PairEqui => {
+                        let compiled = query.compile().expect("query compiles");
+                        let e = cand.path.edges[0];
+                        let (lrel, rrel) = (cand.rels[0], cand.rels[1]);
+                        let job = PairJob::new(
+                            format!("equi[θ{e}]"),
+                            query,
+                            IntermediateShape::base(query, lrel),
+                            IntermediateShape::base(query, rrel),
+                            compiled.per_condition[e].clone(),
+                            PairStrategy::EquiHash,
+                            (cards[lrel], cards[rrel]),
+                            k_r,
+                        );
+                        let inputs = vec![
+                            InputSpec::new(query.schemas[lrel].name(), 0),
+                            InputSpec::new(query.schemas[rrel].name(), 1),
+                        ];
+                        let reducers = job.reducers();
+                        let shape = job.out_shape().clone();
+                        (Box::new(job), inputs, reducers, shape)
+                    }
+                };
+                let out_file = if single {
+                    None
+                } else {
+                    let f = format!("__part_{ci}");
+                    part_files.push((f.clone(), out_shape));
+                    Some(f)
+                };
+                jobs.push(PlanJob {
+                    job,
+                    inputs,
+                    reducers,
+                    units,
+                    out_file,
+                });
+            }
+            if !jobs.is_empty() {
+                stages.push(PlanStage { jobs });
+            }
+        }
+        let exec = cluster.run_plan(stages);
+        let mut sim_secs = exec.total_secs;
+        let mut jobs_metrics = exec.job_metrics;
+        let mut plan_desc = format!(
+            "ours: {} chain MRJ(s) {:?}, {} shelf(s)",
+            chosen.len(),
+            plan.chosen_masks,
+            n_shelves
+        );
+
+        // --- merge phase: fold intermediates on shared relations ---
+        let final_rows;
+        let final_shape;
+        if single {
+            final_shape = IntermediateShape::of(&query.clone(), &chosen[0].rels);
+            final_rows = exec.output.into_rows();
+        } else {
+            let (rows, shape, merge_secs, mut mm) =
+                self.merge_parts(query, cluster, part_files, k_p);
+            sim_secs += merge_secs;
+            jobs_metrics.append(&mut mm);
+            plan_desc.push_str(&format!(", {} merge job(s)", mm_count(&jobs_metrics)));
+            final_rows = rows;
+            final_shape = shape;
+        }
+
+        // --- final projection (in-memory; trivial column selection) ---
+        let output = project_rows(query, &final_shape, final_rows);
+        QueryRun {
+            output,
+            plan: plan_desc,
+            predicted_secs: plan.predicted_secs,
+            sim_secs,
+            real_secs: wall.elapsed().as_secs_f64(),
+            jobs: jobs_metrics,
+        }
+    }
+
+    /// Merge part files pairwise on shared relations until one remains.
+    fn merge_parts(
+        &self,
+        query: &MultiwayQuery,
+        cluster: &Cluster,
+        mut parts: Vec<(String, IntermediateShape)>,
+        k_p: u32,
+    ) -> (Vec<Tuple>, IntermediateShape, f64, Vec<JobMetrics>) {
+        let mut sim = 0.0;
+        let mut metrics = Vec::new();
+        let mut merge_id = 0usize;
+        while parts.len() > 1 {
+            // Pick the pair with the largest shared-relation overlap
+            // (merging unconnected parts would be a cross product).
+            let (mut bi, mut bj, mut best_shared) = (0usize, 1usize, usize::MAX);
+            let mut found = false;
+            for i in 0..parts.len() {
+                for j in i + 1..parts.len() {
+                    let shared =
+                        IntermediateShape::shared(&parts[i].1, &parts[j].1).len();
+                    if shared > 0 && (!found || shared > best_shared) {
+                        (bi, bj, best_shared) = (i, j, shared);
+                        found = true;
+                    }
+                }
+            }
+            assert!(
+                found,
+                "disconnected partial results cannot be merged (T not sufficient?)"
+            );
+            let (rf, rshape) = parts.swap_remove(bj.max(bi));
+            let (lf, lshape) = parts.swap_remove(bi.min(bj));
+            let lrows = cluster.dfs().get(&lf).map(|f| f.rows as u64).unwrap_or(0);
+            let rrows = cluster.dfs().get(&rf).map(|f| f.rows as u64).unwrap_or(0);
+            let reducers = merge_reducers(lrows, rrows, k_p);
+            let job = PairJob::new(
+                format!("merge_{merge_id}"),
+                query,
+                lshape.clone(),
+                rshape.clone(),
+                vec![],
+                PairStrategy::EquiHash,
+                (lrows, rrows),
+                reducers,
+            );
+            let last = parts.is_empty();
+            let out_file = format!("__merged_{merge_id}");
+            let out_shape = job.out_shape().clone();
+            let run = cluster.engine().run(
+                &job,
+                &[InputSpec::new(&lf, 0), InputSpec::new(&rf, 1)],
+                k_p,
+                job.reducers(),
+                if last { None } else { Some(&out_file) },
+            );
+            sim += run.metrics.sim_total_secs;
+            metrics.push(run.metrics);
+            cluster.dfs().remove(&lf);
+            cluster.dfs().remove(&rf);
+            if last {
+                return (run.output.into_rows(), out_shape, sim, metrics);
+            }
+            parts.push((out_file, out_shape));
+            merge_id += 1;
+        }
+        // Single part: read it back.
+        let (f, shape) = parts.pop().expect("at least one part");
+        let rel = cluster
+            .dfs()
+            .read_relation(&f)
+            .expect("part file present");
+        cluster.dfs().remove(&f);
+        (rel.into_rows(), shape, sim, metrics)
+    }
+
+    // ------------------------------------------------------------------
+    // Baselines (§6: YSmart / Hive / Pig)
+    // ------------------------------------------------------------------
+
+    /// Plan and execute a pairwise left-deep cascade in the style of
+    /// `baseline`.
+    pub fn execute_baseline(
+        &self,
+        baseline: Baseline,
+        query: &MultiwayQuery,
+        stats: &[&RelationStats],
+        cluster: &Cluster,
+    ) -> QueryRun {
+        let wall = std::time::Instant::now();
+        let k_p = cluster.config().processing_units;
+        let compiled = query.compile().expect("query compiles");
+        let order = cascade_order(query);
+        let mut sim = 0.0;
+        let mut metrics: Vec<JobMetrics> = Vec::new();
+        let mut desc_steps: Vec<String> = Vec::new();
+
+        // Current intermediate: starts as the first base relation.
+        let mut cur_shape = IntermediateShape::base(query, order[0]);
+        let mut cur_file = query.schemas[order[0]].name().to_string();
+        let mut cur_rows = stats[order[0]].cardinality as u64;
+        let mut cur_is_base = true;
+        let mut applied: Vec<bool> = vec![false; query.num_conditions()];
+
+        for (step, &next) in order.iter().enumerate().skip(1) {
+            let right_shape = IntermediateShape::base(query, next);
+            // Conditions joining the current set with `next`.
+            let mut preds: Vec<CompiledPredicate> = Vec::new();
+            let mut sel = 1.0;
+            for (e, (u, v, _)) in query.conditions.iter().enumerate() {
+                let joins_next = (cur_shape.has(*u) && *v == next)
+                    || (cur_shape.has(*v) && *u == next);
+                if joins_next && !applied[e] {
+                    applied[e] = true;
+                    preds.extend(compiled.per_condition[e].iter().copied());
+                    sel *= condition_selectivity(query, e, stats);
+                }
+            }
+            let right_rows = stats[next].cardinality as u64;
+            let has_eq = preds
+                .iter()
+                .any(|p| p.op.is_equality() && p.left_off == 0.0 && p.right_off == 0.0);
+            let strategy = if has_eq {
+                PairStrategy::EquiHash
+            } else {
+                // Replicate the smaller side to every reducer.
+                PairStrategy::Broadcast {
+                    replicated: if cur_rows <= right_rows { 0 } else { 1 },
+                }
+            };
+            let reducers = self.baseline_reducers(
+                baseline,
+                cluster,
+                cur_rows,
+                right_rows,
+                sel,
+                k_p,
+            );
+            let job = PairJob::new(
+                format!("{baseline:?}_step{step}"),
+                query,
+                cur_shape.clone(),
+                right_shape,
+                preds,
+                strategy,
+                (cur_rows.max(1), right_rows.max(1)),
+                reducers,
+            );
+            let last = step + 1 == order.len();
+            let out_file = format!("__casc_{step}");
+            let out_shape = job.out_shape().clone();
+            desc_steps.push(format!(
+                "⋈{}({:?},n={})",
+                query.schemas[next].name(),
+                strategy_tag(strategy),
+                job.reducers()
+            ));
+            let run = cluster.engine().run(
+                &job,
+                &[
+                    InputSpec::new(&cur_file, 0),
+                    InputSpec::new(query.schemas[next].name(), 1),
+                ],
+                // Cascades get the whole cluster per step, but a
+                // kP-unaware reducer request beyond k_p simply waves.
+                k_p,
+                job.reducers(),
+                if last { None } else { Some(&out_file) },
+            );
+            sim += run.metrics.sim_total_secs;
+            metrics.push(run.metrics);
+            if !cur_is_base {
+                cluster.dfs().remove(&cur_file);
+            }
+            cur_shape = out_shape;
+            cur_rows = run.output.len() as u64;
+            cur_is_base = false;
+            if last {
+                let output = project_rows(query, &cur_shape, run.output.into_rows());
+                return QueryRun {
+                    output,
+                    plan: format!("{baseline:?}: {}", desc_steps.join(" → ")),
+                    predicted_secs: 0.0,
+                    sim_secs: sim,
+                    real_secs: wall.elapsed().as_secs_f64(),
+                    jobs: metrics,
+                };
+            }
+            cur_file = out_file;
+        }
+        unreachable!("cascade always has a final step for ≥2 relations");
+    }
+
+    /// Reducer-count policy per baseline.
+    fn baseline_reducers(
+        &self,
+        baseline: Baseline,
+        cluster: &Cluster,
+        left_rows: u64,
+        right_rows: u64,
+        sel: f64,
+        k_p: u32,
+    ) -> u32 {
+        match baseline {
+            // Hive: as many reduce tasks as there are units.
+            Baseline::Hive => k_p,
+            // Pig: one reducer per data chunk (scaled analogue of
+            // 1 reducer/GB), at least 1 — ignores k_p.
+            Baseline::Pig => {
+                let bytes = (left_rows + right_rows) * 40; // ~row width
+                ((bytes / (16 * cluster.config().params.block_bytes as u64)).max(1) as u32)
+                    .min(256)
+            }
+            // YSmart: sweep the cost model for the best n, but ignore
+            // k_p (assume unlimited concurrent units).
+            Baseline::YSmart => {
+                let mut best = (1u32, f64::INFINITY);
+                let cfg = self.model.config();
+                for n in [1u32, 2, 4, 8, 16, 32, 64, 96, 128] {
+                    let est = mwtj_cost::estimate::pair_onebucket_job(
+                        cfg,
+                        mwtj_cost::estimate::SideStats {
+                            rows: left_rows as f64,
+                            bytes: left_rows as f64 * 40.0,
+                        },
+                        mwtj_cost::estimate::SideStats {
+                            rows: right_rows as f64,
+                            bytes: right_rows as f64 * 40.0,
+                        },
+                        sel,
+                        n,
+                        n, // unlimited-units assumption
+                    );
+                    let t = self.model.predict_total(&est.shape);
+                    if t < best.1 {
+                        best = (n, t);
+                    }
+                }
+                best.0
+            }
+        }
+    }
+}
+
+fn mm_count(all: &[JobMetrics]) -> usize {
+    all.iter().filter(|m| m.name.starts_with("merge_")).count()
+}
+
+fn strategy_tag(s: PairStrategy) -> &'static str {
+    match s {
+        PairStrategy::EquiHash => "hash",
+        PairStrategy::Broadcast { .. } => "bcast",
+        PairStrategy::OneBucket => "1bkt",
+    }
+}
+
+/// Left-deep cascade order: query order, reordered minimally so each
+/// next relation connects to the already-joined set when possible.
+fn cascade_order(query: &MultiwayQuery) -> Vec<usize> {
+    let n = query.num_relations();
+    let mut order = vec![0usize];
+    let mut used = vec![false; n];
+    used[0] = true;
+    while order.len() < n {
+        let connected = (0..n).find(|&r| {
+            !used[r]
+                && query.conditions.iter().any(|(u, v, _)| {
+                    (order.contains(u) && *v == r) || (order.contains(v) && *u == r)
+                })
+        });
+        let next = connected.unwrap_or_else(|| {
+            (0..n).find(|&r| !used[r]).expect("unused relation exists")
+        });
+        used[next] = true;
+        order.push(next);
+    }
+    order
+}
+
+/// Apply the query projection to rows of `shape` (must cover every
+/// relation the projection references; for empty projections the rows
+/// pass through).
+fn project_rows(query: &MultiwayQuery, shape: &IntermediateShape, rows: Vec<Tuple>) -> Relation {
+    if query.projection.is_empty() {
+        return Relation::from_rows_unchecked(shape.schema.clone(), rows);
+    }
+    let out_schema = query.output_schema();
+    let projected = rows
+        .into_iter()
+        .map(|row| {
+            Tuple::new(
+                query
+                    .projection
+                    .iter()
+                    .map(|&(r, c)| shape.value(&row, r, c).clone())
+                    .collect(),
+            )
+        })
+        .collect();
+    Relation::from_rows_unchecked(out_schema, projected)
+}
+
+/// Reducer count for a merge job: proportional to the data, capped.
+fn merge_reducers(l: u64, r: u64, k_p: u32) -> u32 {
+    (((l + r) / 4_096).max(1) as u32).min(k_p)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwtj_cost::CalibratedParams;
+    use mwtj_join::oracle::{canonicalize, oracle_join};
+    use mwtj_mapreduce::ClusterConfig;
+    use mwtj_query::{QueryBuilder, ThetaOp};
+    use mwtj_storage::{tuple, DataType, Schema};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    /// Relations with a unique rowid column (merge identity, as the
+    /// system layer guarantees).
+    fn rel(name: &str, n: usize, seed: u64, domain: i64) -> Relation {
+        let schema = Schema::from_pairs(
+            name,
+            &[
+                ("a", DataType::Int),
+                ("b", DataType::Int),
+                ("__rid", DataType::Int),
+            ],
+        );
+        let mut rng = StdRng::seed_from_u64(seed);
+        Relation::from_rows_unchecked(
+            schema,
+            (0..n)
+                .map(|i| {
+                    tuple![
+                        rng.gen_range(0..domain),
+                        rng.gen_range(0..domain),
+                        i as i64
+                    ]
+                })
+                .collect(),
+        )
+    }
+
+    fn setup(
+        rels: &[&Relation],
+        k_p: u32,
+    ) -> (Cluster, Vec<RelationStats>, Planner) {
+        let cfg = ClusterConfig::with_units(k_p);
+        let cluster = Cluster::new(cfg.clone());
+        let mut stats = Vec::new();
+        let mut rng = StdRng::seed_from_u64(99);
+        for r in rels {
+            cluster.dfs().put_relation(r.name(), r, &cfg);
+            stats.push(RelationStats::collect(r, 256, &mut rng));
+        }
+        let planner = Planner::new(CostModel::new(cfg, CalibratedParams::default()));
+        (cluster, stats, planner)
+    }
+
+    fn three_way() -> (MultiwayQuery, Vec<Relation>) {
+        let r0 = rel("r0", 120, 1, 40);
+        let r1 = rel("r1", 100, 2, 40);
+        let r2 = rel("r2", 80, 3, 40);
+        let q = QueryBuilder::new("q3")
+            .relation(r0.schema().clone())
+            .relation(r1.schema().clone())
+            .relation(r2.schema().clone())
+            .join("r0", "a", ThetaOp::Lt, "r1", "a")
+            .join("r1", "b", ThetaOp::Eq, "r2", "b")
+            .project("r2", "__rid")
+            .build()
+            .unwrap();
+        (q, vec![r0, r1, r2])
+    }
+
+    #[test]
+    fn ours_matches_oracle_three_way() {
+        let (q, rels) = three_way();
+        let refs: Vec<&Relation> = rels.iter().collect();
+        let (cluster, stats, planner) = setup(&refs, 32);
+        let srefs: Vec<&RelationStats> = stats.iter().collect();
+        let run = planner.execute_ours(&q, &srefs, &cluster);
+        let want = canonicalize(oracle_join(&q, &refs));
+        let got = canonicalize(run.output.into_rows());
+        assert_eq!(got, want);
+        assert!(run.sim_secs > 0.0);
+        assert!(!run.jobs.is_empty());
+    }
+
+    #[test]
+    fn baselines_match_oracle_three_way() {
+        let (q, rels) = three_way();
+        let refs: Vec<&Relation> = rels.iter().collect();
+        let want = canonicalize(oracle_join(&q, &refs));
+        for b in [Baseline::Hive, Baseline::Pig, Baseline::YSmart] {
+            let (cluster, stats, planner) = setup(&refs, 32);
+            let srefs: Vec<&RelationStats> = stats.iter().collect();
+            let run = planner.execute_baseline(b, &q, &srefs, &cluster);
+            let got = canonicalize(run.output.into_rows());
+            assert_eq!(got, want, "{b:?}");
+        }
+    }
+
+    #[test]
+    fn ours_plan_covers_all_conditions() {
+        let (q, rels) = three_way();
+        let refs: Vec<&Relation> = rels.iter().collect();
+        let (_cluster, stats, planner) = setup(&refs, 16);
+        let srefs: Vec<&RelationStats> = stats.iter().collect();
+        let (chosen, plan) = planner.plan_ours(&q, &srefs, 16);
+        let covered: u64 = chosen.iter().fold(0, |m, c| m | c.mask);
+        assert_eq!(covered & 0b11, 0b11);
+        assert!(plan.predicted_secs > 0.0);
+        assert_eq!(plan.allotments.len(), chosen.len());
+    }
+
+    #[test]
+    fn cascade_order_keeps_connectivity() {
+        let (q, _) = three_way();
+        assert_eq!(cascade_order(&q), vec![0, 1, 2]);
+        // Star query: r0-r2 edge only, r0-r1 edge only: order must
+        // never insert an unconnected relation between.
+        let s = |n: &str| Schema::from_pairs(n, &[("a", DataType::Int)]);
+        let q2 = QueryBuilder::new("star")
+            .relation(s("x"))
+            .relation(s("y"))
+            .relation(s("z"))
+            .join("x", "a", ThetaOp::Eq, "z", "a")
+            .join("x", "a", ThetaOp::Lt, "y", "a")
+            .build()
+            .unwrap();
+        let o = cascade_order(&q2);
+        assert_eq!(o[0], 0);
+        assert_eq!(o.len(), 3);
+    }
+
+    #[test]
+    fn four_way_with_merge_matches_oracle() {
+        // A path query long enough that the greedy cover may pick two
+        // chain MRJs and merge them.
+        let r0 = rel("r0", 60, 11, 30);
+        let r1 = rel("r1", 50, 12, 30);
+        let r2 = rel("r2", 40, 13, 30);
+        let r3 = rel("r3", 30, 14, 30);
+        let q = QueryBuilder::new("q4")
+            .relation(r0.schema().clone())
+            .relation(r1.schema().clone())
+            .relation(r2.schema().clone())
+            .relation(r3.schema().clone())
+            .join("r0", "a", ThetaOp::Lt, "r1", "a")
+            .join("r1", "b", ThetaOp::Eq, "r2", "b")
+            .join("r2", "a", ThetaOp::Ge, "r3", "a")
+            .build()
+            .unwrap();
+        let rels = [&r0, &r1, &r2, &r3];
+        let (cluster, stats, planner) = setup(&rels, 24);
+        let srefs: Vec<&RelationStats> = stats.iter().collect();
+        let run = planner.execute_ours(&q, &srefs, &cluster);
+        let want = canonicalize(oracle_join(&q, &rels));
+        let got = canonicalize(run.output.into_rows());
+        assert_eq!(got.len(), want.len());
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn pig_requests_fewer_reducers_than_hive() {
+        let (q, rels) = three_way();
+        let refs: Vec<&Relation> = rels.iter().collect();
+        let (cluster, stats, planner) = setup(&refs, 64);
+        let srefs: Vec<&RelationStats> = stats.iter().collect();
+        let hive = planner.execute_baseline(Baseline::Hive, &q, &srefs, &cluster);
+        let pig = planner.execute_baseline(Baseline::Pig, &q, &srefs, &cluster);
+        let hive_n: u32 = hive.jobs.iter().map(|j| j.reduce_tasks).max().unwrap();
+        let pig_n: u32 = pig.jobs.iter().map(|j| j.reduce_tasks).max().unwrap();
+        assert!(hive_n >= pig_n, "hive {hive_n} vs pig {pig_n}");
+        assert_eq!(hive_n, 64);
+    }
+}

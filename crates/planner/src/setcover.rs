@@ -1,0 +1,176 @@
+//! `T_opt` selection: weighted set cover over the `G'_JP` candidates.
+//!
+//! Choosing the cheapest sufficient set of MRJs is a set-cover variant
+//! (NP-hard, §3.2); the paper selects greedily "following the
+//! methodology presented in \[14\]" — Feige's ln n-approximate greedy.
+//! We implement that, plus an exhaustive optimum for small instances
+//! (≤ 20 candidates) used by tests and the ablation bench to measure
+//! the greedy gap.
+
+use crate::gjp::MrjCandidate;
+
+/// A selected cover.
+#[derive(Debug, Clone)]
+pub struct CoverResult {
+    /// Indices into the candidate slice, in selection order.
+    pub chosen: Vec<usize>,
+    /// Total weight (Σ w of chosen candidates — the greedy objective;
+    /// the *schedule* cost is computed later by the plan assembler).
+    pub total_w: f64,
+}
+
+/// Greedy weighted set cover: repeatedly take the candidate minimising
+/// `w / |newly covered conditions|` until every condition is covered.
+///
+/// Returns `None` if the candidates cannot cover `all_mask` (should not
+/// happen for a `G'_JP` built from a connected query).
+pub fn greedy_cover(cands: &[MrjCandidate], all_mask: u64) -> Option<CoverResult> {
+    let mut covered = 0u64;
+    let mut chosen = Vec::new();
+    let mut total_w = 0.0;
+    while covered & all_mask != all_mask {
+        let mut best: Option<(usize, f64)> = None;
+        for (i, c) in cands.iter().enumerate() {
+            let new = (c.mask & all_mask) & !covered;
+            if new == 0 {
+                continue;
+            }
+            let ratio = c.w_select / new.count_ones() as f64;
+            if best.is_none_or(|(_, r)| ratio < r) {
+                best = Some((i, ratio));
+            }
+        }
+        let (i, _) = best?;
+        covered |= cands[i].mask;
+        total_w += cands[i].w_select;
+        chosen.push(i);
+    }
+    Some(CoverResult { chosen, total_w })
+}
+
+/// Exhaustive minimum-total-weight cover for small candidate sets.
+///
+/// # Panics
+/// Panics if more than 20 candidates are passed (2^20 subsets is the
+/// supported budget).
+pub fn exhaustive_cover(cands: &[MrjCandidate], all_mask: u64) -> Option<CoverResult> {
+    assert!(
+        cands.len() <= 20,
+        "exhaustive cover limited to 20 candidates"
+    );
+    let n = cands.len();
+    let mut best: Option<CoverResult> = None;
+    for subset in 1u32..(1 << n) {
+        let mut covered = 0u64;
+        let mut w = 0.0;
+        let mut chosen = Vec::new();
+        for (i, c) in cands.iter().enumerate() {
+            if subset & (1 << i) != 0 {
+                covered |= c.mask;
+                w += c.w_select;
+                chosen.push(i);
+            }
+        }
+        if covered & all_mask == all_mask
+            && best.as_ref().is_none_or(|b| w < b.total_w)
+        {
+            best = Some(CoverResult {
+                chosen,
+                total_w: w,
+            });
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwtj_query::JoinPath;
+
+    fn cand(mask: u64, w: f64) -> MrjCandidate {
+        MrjCandidate {
+            path: JoinPath {
+                edges: (0..64)
+                    .filter(|&e| mask & (1 << e) != 0)
+                    .collect(),
+                vertices: vec![0],
+            },
+            mask,
+            rels: vec![],
+            w,
+            w_select: w,
+            s: 1,
+            out_rows: 0.0,
+            out_bytes: 0.0,
+            profile: vec![w],
+            op: crate::gjp::CandidateOp::Chain,
+        }
+    }
+
+    #[test]
+    fn greedy_picks_cheap_combined_job() {
+        // One 2-condition job cheaper than the two singles combined.
+        let cands = vec![cand(0b01, 5.0), cand(0b10, 5.0), cand(0b11, 6.0)];
+        let res = greedy_cover(&cands, 0b11).unwrap();
+        assert_eq!(res.chosen, vec![2]);
+        assert!((res.total_w - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn greedy_prefers_singles_when_combo_expensive() {
+        let cands = vec![cand(0b01, 2.0), cand(0b10, 2.0), cand(0b11, 100.0)];
+        let res = greedy_cover(&cands, 0b11).unwrap();
+        assert_eq!(res.chosen.len(), 2);
+        assert!((res.total_w - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn greedy_handles_overlapping_masks() {
+        let cands = vec![cand(0b011, 3.0), cand(0b110, 3.0), cand(0b100, 2.5)];
+        let res = greedy_cover(&cands, 0b111).unwrap();
+        let mut covered = 0u64;
+        for &i in &res.chosen {
+            covered |= cands[i].mask;
+        }
+        assert_eq!(covered & 0b111, 0b111);
+    }
+
+    #[test]
+    fn greedy_returns_none_when_uncoverable() {
+        let cands = vec![cand(0b01, 1.0)];
+        assert!(greedy_cover(&cands, 0b11).is_none());
+    }
+
+    #[test]
+    fn exhaustive_matches_or_beats_greedy() {
+        // Classic greedy-suboptimal instance: elements {1,2},
+        // candidates {1}:1.0, {2}:1.0, {1,2}:1.9 — greedy takes the
+        // combo (ratio 0.95 < 1.0), optimal is the combo too (1.9 <
+        // 2.0). Flip weights so greedy errs:
+        // {1,2}:1.9 ratio .95; singles ratio 0.9 each → greedy takes
+        // singles (1.8) = optimal. Make combo 1.7: greedy ratio .85
+        // takes combo = optimal. Greedy needs 3 elements to err:
+        let cands = vec![
+            cand(0b011, 2.0), // ratio 1.0
+            cand(0b110, 2.0),
+            cand(0b100, 1.0),
+            cand(0b001, 1.0),
+            cand(0b010, 1.05),
+        ];
+        let g = greedy_cover(&cands, 0b111).unwrap();
+        let e = exhaustive_cover(&cands, 0b111).unwrap();
+        assert!(e.total_w <= g.total_w + 1e-12);
+    }
+
+    #[test]
+    fn exhaustive_finds_true_optimum() {
+        let cands = vec![
+            cand(0b01, 5.0),
+            cand(0b10, 5.0),
+            cand(0b11, 6.0),
+        ];
+        let e = exhaustive_cover(&cands, 0b11).unwrap();
+        assert!((e.total_w - 6.0).abs() < 1e-12);
+    }
+}

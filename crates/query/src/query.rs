@@ -1,0 +1,433 @@
+//! The N-join query object and compiled predicate evaluation.
+
+use crate::graph::JoinGraph;
+use crate::theta::{ColExpr, CompiledPredicate, Predicate, ThetaOp};
+use mwtj_storage::{Error, Result, Schema, Tuple};
+use std::fmt;
+
+/// A multi-way theta-join query: a set of relations (schemas), a set of
+/// join conditions, and an optional projection over the concatenated
+/// output row.
+#[derive(Debug, Clone)]
+pub struct MultiwayQuery {
+    /// Relation schemas, in query order. Relation *instances*: a
+    /// self-join registers the same base table twice under different
+    /// names (`t1`, `t2`, …), exactly as the benchmark queries do.
+    pub schemas: Vec<Schema>,
+    /// The join conditions, each `(u, v, predicates)` by relation index.
+    pub conditions: Vec<(usize, usize, Vec<Predicate>)>,
+    /// Output columns as `(relation index, column index)` pairs; empty
+    /// means "all columns of all relations".
+    pub projection: Vec<(usize, usize)>,
+    /// Query name, for reporting.
+    pub name: String,
+}
+
+impl MultiwayQuery {
+    /// Number of relations.
+    pub fn num_relations(&self) -> usize {
+        self.schemas.len()
+    }
+
+    /// Number of join conditions (θ functions / edges of `G_J`).
+    pub fn num_conditions(&self) -> usize {
+        self.conditions.len()
+    }
+
+    /// Relation index by name.
+    pub fn relation_index(&self, name: &str) -> Result<usize> {
+        self.schemas
+            .iter()
+            .position(|s| s.name() == name)
+            .ok_or_else(|| Error::UnknownColumn {
+                column: "<relation>".into(),
+                schema: name.into(),
+            })
+    }
+
+    /// The join graph `G_J` of this query.
+    pub fn join_graph(&self) -> JoinGraph {
+        let mut g = JoinGraph::new(self.schemas.iter().map(|s| s.name().to_string()).collect());
+        for (u, v, preds) in &self.conditions {
+            g.add_edge(*u, *v, preds.clone());
+        }
+        g
+    }
+
+    /// Compile every condition's predicates to index form.
+    pub fn compile(&self) -> Result<CompiledConditions> {
+        let mut per_condition = Vec::with_capacity(self.conditions.len());
+        for (u, v, preds) in &self.conditions {
+            let mut compiled = Vec::with_capacity(preds.len());
+            for p in preds {
+                compiled.push(self.compile_predicate(p)?);
+                // Sanity: predicate endpoints must be the condition's.
+                let lr = self.relation_index(&p.left.relation)?;
+                let rr = self.relation_index(&p.right.relation)?;
+                if !((lr == *u && rr == *v) || (lr == *v && rr == *u)) {
+                    return Err(Error::SchemaMismatch {
+                        detail: format!(
+                            "predicate `{p}` does not join relations {u} and {v}"
+                        ),
+                    });
+                }
+            }
+            per_condition.push(compiled);
+        }
+        Ok(CompiledConditions { per_condition })
+    }
+
+    fn compile_predicate(&self, p: &Predicate) -> Result<CompiledPredicate> {
+        let left_rel = self.relation_index(&p.left.relation)?;
+        let right_rel = self.relation_index(&p.right.relation)?;
+        Ok(CompiledPredicate {
+            left_rel,
+            left_col: self.schemas[left_rel].index_of(&p.left.column)?,
+            left_off: p.left.offset,
+            op: p.op,
+            right_rel,
+            right_col: self.schemas[right_rel].index_of(&p.right.column)?,
+            right_off: p.right.offset,
+        })
+    }
+
+    /// Output schema: projection applied to the concatenation of all
+    /// relation schemas.
+    pub fn output_schema(&self) -> Schema {
+        let parts: Vec<&Schema> = self.schemas.iter().collect();
+        let full = Schema::concat(format!("{}_out", self.name), &parts);
+        if self.projection.is_empty() {
+            return full;
+        }
+        let mut fields = Vec::with_capacity(self.projection.len());
+        for &(r, c) in &self.projection {
+            let f = &self.schemas[r].fields()[c];
+            fields.push(mwtj_storage::Field::new(
+                format!("{}.{}", self.schemas[r].name(), f.name),
+                f.data_type,
+            ));
+        }
+        Schema::new(format!("{}_out", self.name), fields)
+    }
+
+    /// Apply the projection to one tuple per relation, producing the
+    /// output row.
+    pub fn project(&self, tuples: &[&Tuple]) -> Tuple {
+        if self.projection.is_empty() {
+            return Tuple::concat_all(tuples);
+        }
+        Tuple::new(
+            self.projection
+                .iter()
+                .map(|&(r, c)| tuples[r].get(c).clone())
+                .collect(),
+        )
+    }
+}
+
+impl fmt::Display for MultiwayQuery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: ", self.name)?;
+        for (i, s) in self.schemas.iter().enumerate() {
+            if i > 0 {
+                write!(f, " ⋈ ")?;
+            }
+            write!(f, "{}", s.name())?;
+        }
+        write!(f, " ON ")?;
+        let mut first = true;
+        for (_, _, preds) in &self.conditions {
+            for p in preds {
+                if !first {
+                    write!(f, " AND ")?;
+                }
+                first = false;
+                write!(f, "{p}")?;
+            }
+        }
+        Ok(())
+    }
+}
+
+/// All conditions compiled to index form. `per_condition[i]` holds the
+/// conjunction for condition/edge `i`; an MRJ covering edges `E` must
+/// check exactly `⋃_{i∈E} per_condition[i]`.
+#[derive(Debug, Clone)]
+pub struct CompiledConditions {
+    /// Compiled predicates per condition edge.
+    pub per_condition: Vec<Vec<CompiledPredicate>>,
+}
+
+impl CompiledConditions {
+    /// Evaluate the conjunction of the conditions in `edges` against one
+    /// tuple per relation.
+    #[inline]
+    pub fn eval_edges(&self, edges: &[usize], tuples: &[&Tuple]) -> bool {
+        edges
+            .iter()
+            .all(|&e| self.per_condition[e].iter().all(|p| p.eval(tuples)))
+    }
+
+    /// Evaluate *all* conditions (the full query).
+    #[inline]
+    pub fn eval_all(&self, tuples: &[&Tuple]) -> bool {
+        self.per_condition
+            .iter()
+            .all(|c| c.iter().all(|p| p.eval(tuples)))
+    }
+}
+
+/// Fluent builder for [`MultiwayQuery`].
+///
+/// ```
+/// use mwtj_query::{QueryBuilder, ThetaOp};
+/// use mwtj_storage::{DataType, Schema};
+///
+/// let calls = Schema::from_pairs("t1", &[("id", DataType::Int), ("bt", DataType::Int)]);
+/// let calls2 = Schema::from_pairs("t2", &[("id", DataType::Int), ("bt", DataType::Int)]);
+/// let q = QueryBuilder::new("q")
+///     .relation(calls)
+///     .relation(calls2)
+///     .join("t1", "bt", ThetaOp::Le, "t2", "bt")
+///     .project("t2", "id")
+///     .build()
+///     .unwrap();
+/// assert_eq!(q.num_conditions(), 1);
+/// ```
+#[derive(Debug, Clone)]
+pub struct QueryBuilder {
+    name: String,
+    schemas: Vec<Schema>,
+    conditions: Vec<(usize, usize, Vec<Predicate>)>,
+    projection: Vec<(String, String)>,
+    error: Option<Error>,
+}
+
+impl QueryBuilder {
+    /// Start building a query called `name`.
+    pub fn new(name: impl Into<String>) -> Self {
+        QueryBuilder {
+            name: name.into(),
+            schemas: Vec::new(),
+            conditions: Vec::new(),
+            projection: Vec::new(),
+            error: None,
+        }
+    }
+
+    /// Register a relation instance. Order matters: it fixes the chain
+    /// dimension order used by the Hilbert partitioner.
+    pub fn relation(mut self, schema: Schema) -> Self {
+        self.schemas.push(schema);
+        self
+    }
+
+    fn rel_idx(&mut self, name: &str) -> Option<usize> {
+        match self.schemas.iter().position(|s| s.name() == name) {
+            Some(i) => Some(i),
+            None => {
+                self.error = Some(Error::UnknownColumn {
+                    column: "<relation>".into(),
+                    schema: name.into(),
+                });
+                None
+            }
+        }
+    }
+
+    /// Add a join condition edge `l.lcol θ r.rcol`.
+    pub fn join(
+        self,
+        l: &str,
+        lcol: &str,
+        op: ThetaOp,
+        r: &str,
+        rcol: &str,
+    ) -> Self {
+        self.join_expr(ColExpr::col(l, lcol), op, ColExpr::col(r, rcol))
+    }
+
+    /// Add a join condition edge with explicit column expressions
+    /// (offsets allowed).
+    pub fn join_expr(mut self, left: ColExpr, op: ThetaOp, right: ColExpr) -> Self {
+        let (Some(u), Some(v)) = (
+            self.rel_idx(&left.relation.clone()),
+            self.rel_idx(&right.relation.clone()),
+        ) else {
+            return self;
+        };
+        self.conditions
+            .push((u, v, vec![Predicate::new(left, op, right)]));
+        self
+    }
+
+    /// Add an extra predicate to the *most recently added* condition
+    /// edge (conjunction on the same edge, e.g. `t2.bsc=t3.bsc AND
+    /// t2.d=t3.d` as one θ function).
+    pub fn and_expr(mut self, left: ColExpr, op: ThetaOp, right: ColExpr) -> Self {
+        let (Some(lu), Some(lv)) = (
+            self.rel_idx(&left.relation.clone()),
+            self.rel_idx(&right.relation.clone()),
+        ) else {
+            return self;
+        };
+        match self.conditions.last_mut() {
+            Some((u, v, preds))
+                if (lu == *u && lv == *v) || (lu == *v && lv == *u) =>
+            {
+                preds.push(Predicate::new(left, op, right));
+            }
+            _ => {
+                self.error = Some(Error::SchemaMismatch {
+                    detail: "and_expr endpoints differ from previous join".into(),
+                });
+            }
+        }
+        self
+    }
+
+    /// Append an output column.
+    pub fn project(mut self, rel: &str, col: &str) -> Self {
+        self.projection.push((rel.into(), col.into()));
+        self
+    }
+
+    /// Finish, validating every reference.
+    pub fn build(self) -> Result<MultiwayQuery> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        let mut projection = Vec::with_capacity(self.projection.len());
+        let q = MultiwayQuery {
+            schemas: self.schemas,
+            conditions: self.conditions,
+            projection: Vec::new(),
+            name: self.name,
+        };
+        for (rel, col) in &self.projection {
+            let r = q.relation_index(rel)?;
+            let c = q.schemas[r].index_of(col)?;
+            projection.push((r, c));
+        }
+        let q = MultiwayQuery { projection, ..q };
+        // Compile once to validate all predicates.
+        q.compile()?;
+        Ok(q)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwtj_storage::{tuple, DataType};
+
+    fn calls(name: &str) -> Schema {
+        Schema::from_pairs(
+            name,
+            &[
+                ("id", DataType::Int),
+                ("d", DataType::Int),
+                ("bt", DataType::Int),
+                ("l", DataType::Int),
+                ("bsc", DataType::Int),
+            ],
+        )
+    }
+
+    /// Benchmark query Q1 from §6.3.1.
+    fn q1() -> MultiwayQuery {
+        QueryBuilder::new("Q1")
+            .relation(calls("t1"))
+            .relation(calls("t2"))
+            .relation(calls("t3"))
+            .join("t1", "bt", ThetaOp::Le, "t2", "bt")
+            .join("t1", "l", ThetaOp::Ge, "t2", "l")
+            .join("t2", "bsc", ThetaOp::Eq, "t3", "bsc")
+            .and_expr(
+                ColExpr::col("t2", "d"),
+                ThetaOp::Eq,
+                ColExpr::col("t3", "d"),
+            )
+            .project("t3", "id")
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn q1_shape() {
+        let q = q1();
+        assert_eq!(q.num_relations(), 3);
+        assert_eq!(q.num_conditions(), 3);
+        let g = q.join_graph();
+        assert!(g.is_connected());
+        assert_eq!(g.edges[2].predicates.len(), 2);
+    }
+
+    #[test]
+    fn compiled_eval_all() {
+        let q = q1();
+        let cc = q.compile().unwrap();
+        // t1.bt<=t2.bt, t1.l>=t2.l, t2.bsc=t3.bsc, t2.d=t3.d
+        let t1 = tuple![1, 10, 100, 50, 7];
+        let t2 = tuple![2, 10, 120, 40, 7];
+        let t3 = tuple![3, 10, 130, 30, 7];
+        assert!(cc.eval_all(&[&t1, &t2, &t3]));
+        let t3bad = tuple![3, 11, 130, 30, 7]; // d mismatch
+        assert!(!cc.eval_all(&[&t1, &t2, &t3bad]));
+        // subsets of edges
+        assert!(cc.eval_edges(&[0, 1], &[&t1, &t2, &t3bad]));
+        assert!(!cc.eval_edges(&[2], &[&t1, &t2, &t3bad]));
+    }
+
+    #[test]
+    fn projection_and_output_schema() {
+        let q = q1();
+        let out = q.output_schema();
+        assert_eq!(out.arity(), 1);
+        assert_eq!(out.fields()[0].name, "t3.id");
+        let t1 = tuple![1, 10, 100, 50, 7];
+        let t2 = tuple![2, 10, 120, 40, 7];
+        let t3 = tuple![3, 10, 130, 30, 7];
+        assert_eq!(q.project(&[&t1, &t2, &t3]), tuple![3]);
+    }
+
+    #[test]
+    fn empty_projection_concats_everything() {
+        let q = QueryBuilder::new("q")
+            .relation(calls("a"))
+            .relation(calls("b"))
+            .join("a", "bt", ThetaOp::Lt, "b", "bt")
+            .build()
+            .unwrap();
+        assert_eq!(q.output_schema().arity(), 10);
+    }
+
+    #[test]
+    fn builder_rejects_unknown_names() {
+        assert!(QueryBuilder::new("q")
+            .relation(calls("a"))
+            .join("a", "bt", ThetaOp::Lt, "zz", "bt")
+            .build()
+            .is_err());
+        assert!(QueryBuilder::new("q")
+            .relation(calls("a"))
+            .relation(calls("b"))
+            .join("a", "nope", ThetaOp::Lt, "b", "bt")
+            .build()
+            .is_err());
+        assert!(QueryBuilder::new("q")
+            .relation(calls("a"))
+            .relation(calls("b"))
+            .join("a", "bt", ThetaOp::Lt, "b", "bt")
+            .project("a", "nope")
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn display_mentions_predicates() {
+        let s = q1().to_string();
+        assert!(s.contains("t1.bt <= t2.bt"), "{s}");
+        assert!(s.contains("⋈"));
+    }
+}

@@ -1,0 +1,483 @@
+//! A SQL-subset parser for N-join queries.
+//!
+//! The paper presents its benchmark workload "in a SQL-like style"
+//! (§6.3.1); this module parses exactly that dialect into a
+//! [`MultiwayQuery`]:
+//!
+//! ```sql
+//! SELECT t3.id, t1.bt
+//! FROM table t1, table t2, table t3
+//! WHERE t1.bt <= t2.bt AND t1.l >= t2.l
+//!   AND t2.bsc = t3.bsc AND t2.d = t3.d
+//!   AND t1.d + 3 > t3.d
+//! ```
+//!
+//! Supported grammar (case-insensitive keywords):
+//!
+//! ```text
+//! query   := SELECT cols FROM rels WHERE conj
+//! cols    := '*' | colref (',' colref)*
+//! rels    := rel (',' rel)*
+//! rel     := ident [ident]          -- "base alias" or just "alias"
+//! conj    := cmp (AND cmp)*
+//! cmp     := operand op operand
+//! operand := colref [('+'|'-') number]
+//! colref  := ident '.' ident
+//! op      := '<' | '<=' | '=' | '>=' | '>' | '!=' | '<>'
+//! ```
+//!
+//! Every comparison must reference two *different* relations (join
+//! predicates only — single-relation filters are outside the paper's
+//! scope). Consecutive predicates over the same relation pair are
+//! folded onto one join-graph edge, matching how the paper counts its
+//! θ functions.
+
+use crate::query::{MultiwayQuery, QueryBuilder};
+use crate::theta::{ColExpr, ThetaOp};
+use mwtj_storage::{Error, Result, Schema};
+
+/// Parse `sql` into a query. `schema_of` resolves a FROM-clause base
+/// table name to its schema; each relation instance gets the schema's
+/// columns under its alias.
+pub fn parse_query(
+    name: &str,
+    sql: &str,
+    schema_of: &dyn Fn(&str) -> Option<Schema>,
+) -> Result<MultiwayQuery> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        sql,
+    };
+    p.parse(name, schema_of)
+}
+
+// ---------------------------------------------------------------- lexer
+
+#[derive(Debug, Clone, PartialEq)]
+enum Tok {
+    Ident(String),
+    Number(f64),
+    Comma,
+    Dot,
+    Star,
+    Plus,
+    Minus,
+    Op(ThetaOp),
+    Keyword(Kw),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Kw {
+    Select,
+    From,
+    Where,
+    And,
+}
+
+fn tokenize(sql: &str) -> Result<Vec<Tok>> {
+    let mut out = Vec::new();
+    let mut chars = sql.char_indices().peekable();
+    while let Some(&(i, c)) = chars.peek() {
+        match c {
+            c if c.is_whitespace() => {
+                chars.next();
+            }
+            ',' => {
+                out.push(Tok::Comma);
+                chars.next();
+            }
+            '.' => {
+                // Disambiguate "t1.id" (dot) from "0.5" (number) by the
+                // previous token: after an ident it's a field access.
+                if matches!(out.last(), Some(Tok::Ident(_))) {
+                    out.push(Tok::Dot);
+                    chars.next();
+                } else {
+                    out.push(lex_number(&mut chars, sql, i)?);
+                }
+            }
+            '*' => {
+                out.push(Tok::Star);
+                chars.next();
+            }
+            '+' => {
+                out.push(Tok::Plus);
+                chars.next();
+            }
+            '-' => {
+                out.push(Tok::Minus);
+                chars.next();
+            }
+            '<' | '>' | '=' | '!' => {
+                chars.next();
+                let second = chars.peek().map(|&(_, c2)| c2);
+                let op = match (c, second) {
+                    ('<', Some('=')) => {
+                        chars.next();
+                        ThetaOp::Le
+                    }
+                    ('<', Some('>')) => {
+                        chars.next();
+                        ThetaOp::Ne
+                    }
+                    ('<', _) => ThetaOp::Lt,
+                    ('>', Some('=')) => {
+                        chars.next();
+                        ThetaOp::Ge
+                    }
+                    ('>', _) => ThetaOp::Gt,
+                    ('=', _) => ThetaOp::Eq,
+                    ('!', Some('=')) => {
+                        chars.next();
+                        ThetaOp::Ne
+                    }
+                    _ => {
+                        return Err(Error::TypeError {
+                            detail: format!("stray `{c}` at byte {i} of SQL"),
+                        })
+                    }
+                };
+                out.push(Tok::Op(op));
+            }
+            c if c.is_ascii_digit() => {
+                out.push(lex_number(&mut chars, sql, i)?);
+            }
+            c if c.is_alphabetic() || c == '_' => {
+                let mut word = String::new();
+                while let Some(&(_, c2)) = chars.peek() {
+                    if c2.is_alphanumeric() || c2 == '_' {
+                        word.push(c2);
+                        chars.next();
+                    } else {
+                        break;
+                    }
+                }
+                let kw = match word.to_ascii_uppercase().as_str() {
+                    "SELECT" => Some(Kw::Select),
+                    "FROM" => Some(Kw::From),
+                    "WHERE" => Some(Kw::Where),
+                    "AND" => Some(Kw::And),
+                    _ => None,
+                };
+                out.push(match kw {
+                    Some(k) => Tok::Keyword(k),
+                    None => Tok::Ident(word),
+                });
+            }
+            other => {
+                return Err(Error::TypeError {
+                    detail: format!("unexpected character `{other}` at byte {i} of SQL"),
+                })
+            }
+        }
+    }
+    Ok(out)
+}
+
+fn lex_number(
+    chars: &mut std::iter::Peekable<std::str::CharIndices<'_>>,
+    sql: &str,
+    start: usize,
+) -> Result<Tok> {
+    let mut end = start;
+    while let Some(&(j, c2)) = chars.peek() {
+        if c2.is_ascii_digit() || c2 == '.' {
+            end = j + c2.len_utf8();
+            chars.next();
+        } else {
+            break;
+        }
+    }
+    sql[start..end]
+        .parse::<f64>()
+        .map(Tok::Number)
+        .map_err(|e| Error::TypeError {
+            detail: format!("bad number `{}`: {e}", &sql[start..end]),
+        })
+}
+
+// ---------------------------------------------------------------- parser
+
+struct Parser<'a> {
+    tokens: Vec<Tok>,
+    pos: usize,
+    sql: &'a str,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<&Tok> {
+        self.tokens.get(self.pos)
+    }
+
+    fn next(&mut self) -> Option<Tok> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn expect_kw(&mut self, kw: Kw) -> Result<()> {
+        match self.next() {
+            Some(Tok::Keyword(k)) if k == kw => Ok(()),
+            other => Err(self.err(&format!("expected {kw:?}, found {other:?}"))),
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Tok::Ident(s)) => Ok(s),
+            other => Err(self.err(&format!("expected identifier, found {other:?}"))),
+        }
+    }
+
+    fn err(&self, detail: &str) -> Error {
+        Error::TypeError {
+            detail: format!("SQL parse error: {detail} (query: `{}`)", self.sql),
+        }
+    }
+
+    fn parse(
+        &mut self,
+        name: &str,
+        schema_of: &dyn Fn(&str) -> Option<Schema>,
+    ) -> Result<MultiwayQuery> {
+        self.expect_kw(Kw::Select)?;
+        // Projection list (resolved after FROM).
+        let mut proj: Vec<(String, String)> = Vec::new();
+        let mut star = false;
+        if matches!(self.peek(), Some(Tok::Star)) {
+            self.next();
+            star = true;
+        } else {
+            loop {
+                let rel = self.expect_ident()?;
+                match self.next() {
+                    Some(Tok::Dot) => {}
+                    other => return Err(self.err(&format!("expected `.`, found {other:?}"))),
+                }
+                let col = self.expect_ident()?;
+                proj.push((rel, col));
+                if matches!(self.peek(), Some(Tok::Comma)) {
+                    self.next();
+                } else {
+                    break;
+                }
+            }
+        }
+
+        self.expect_kw(Kw::From)?;
+        let mut builder = QueryBuilder::new(name);
+        loop {
+            let first = self.expect_ident()?;
+            // "base alias" or bare "alias" (alias doubles as base).
+            let (base, alias) = match self.peek() {
+                Some(Tok::Ident(_)) => {
+                    let alias = self.expect_ident()?;
+                    (first, alias)
+                }
+                _ => (first.clone(), first),
+            };
+            let schema = schema_of(&base).ok_or_else(|| Error::UnknownColumn {
+                column: "<relation>".into(),
+                schema: base.clone(),
+            })?;
+            builder = builder.relation(Schema::new(alias, schema.fields().to_vec()));
+            if matches!(self.peek(), Some(Tok::Comma)) {
+                self.next();
+            } else {
+                break;
+            }
+        }
+
+        self.expect_kw(Kw::Where)?;
+        loop {
+            let left = self.parse_operand()?;
+            let op = match self.next() {
+                Some(Tok::Op(op)) => op,
+                other => return Err(self.err(&format!("expected operator, found {other:?}"))),
+            };
+            let right = self.parse_operand()?;
+            // Fold consecutive predicates over the same pair onto one
+            // edge: try and_expr first, fall back to a new edge.
+            let folded = builder.clone().and_expr(left.clone(), op, right.clone());
+            builder = if folded.clone().build().is_ok() {
+                folded
+            } else {
+                builder.join_expr(left, op, right)
+            };
+            if matches!(self.peek(), Some(Tok::Keyword(Kw::And))) {
+                self.next();
+            } else {
+                break;
+            }
+        }
+        if self.pos != self.tokens.len() {
+            return Err(self.err(&format!(
+                "trailing tokens after WHERE clause: {:?}",
+                &self.tokens[self.pos..]
+            )));
+        }
+
+        if !star {
+            for (rel, col) in proj {
+                builder = builder.project(&rel, &col);
+            }
+        }
+        builder.build()
+    }
+
+    /// `colref [('+'|'-') number]`
+    fn parse_operand(&mut self) -> Result<ColExpr> {
+        let rel = self.expect_ident()?;
+        match self.next() {
+            Some(Tok::Dot) => {}
+            other => return Err(self.err(&format!("expected `.`, found {other:?}"))),
+        }
+        let col = self.expect_ident()?;
+        let mut offset = 0.0;
+        match self.peek() {
+            Some(Tok::Plus) => {
+                self.next();
+                offset = self.expect_number()?;
+            }
+            Some(Tok::Minus) => {
+                self.next();
+                offset = -self.expect_number()?;
+            }
+            _ => {}
+        }
+        Ok(ColExpr::col_plus(rel, col, offset))
+    }
+
+    fn expect_number(&mut self) -> Result<f64> {
+        match self.next() {
+            Some(Tok::Number(n)) => Ok(n),
+            other => Err(self.err(&format!("expected number, found {other:?}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwtj_storage::DataType;
+
+    fn calls_schema() -> Schema {
+        Schema::from_pairs(
+            "table",
+            &[
+                ("id", DataType::Int),
+                ("d", DataType::Int),
+                ("bt", DataType::Int),
+                ("l", DataType::Int),
+                ("bsc", DataType::Int),
+            ],
+        )
+    }
+
+    fn resolver() -> impl Fn(&str) -> Option<Schema> {
+        |name: &str| {
+            if name == "table" {
+                Some(calls_schema())
+            } else {
+                None
+            }
+        }
+    }
+
+    /// The paper's Q1, verbatim from §6.3.1.
+    #[test]
+    fn parses_paper_q1() {
+        let sql = "SELECT t3.id FROM table t1, table t2, table t3 WHERE \
+                   t1.bt <= t2.bt AND t1.l >= t2.l AND t2.bsc = t3.bsc AND t2.d = t3.d";
+        let q = parse_query("Q1", sql, &resolver()).unwrap();
+        assert_eq!(q.num_relations(), 3);
+        // bt and l predicates fold onto the t1-t2 edge; bsc and d onto
+        // t2-t3: two edges, four atoms.
+        let atoms: usize = q.conditions.iter().map(|(_, _, p)| p.len()).sum();
+        assert_eq!(atoms, 4);
+        assert_eq!(q.projection.len(), 1);
+        assert!(q.join_graph().is_connected());
+    }
+
+    /// The paper's Q3 with its `t1.d + 3 > t3.d` offset predicate.
+    #[test]
+    fn parses_offset_predicates() {
+        let sql = "SELECT t1.id FROM table t1, table t2, table t3, table t4 WHERE \
+                   t1.d < t2.d AND t2.d < t3.d AND t1.d + 3 > t3.d AND t1.bsc = t4.bsc";
+        let q = parse_query("Q3", sql, &resolver()).unwrap();
+        assert_eq!(q.num_relations(), 4);
+        let has_offset = q
+            .conditions
+            .iter()
+            .flat_map(|(_, _, p)| p)
+            .any(|p| p.left.offset == 3.0);
+        assert!(has_offset);
+    }
+
+    #[test]
+    fn parses_all_operators() {
+        for (txt, op) in [
+            ("<", ThetaOp::Lt),
+            ("<=", ThetaOp::Le),
+            ("=", ThetaOp::Eq),
+            (">=", ThetaOp::Ge),
+            (">", ThetaOp::Gt),
+            ("!=", ThetaOp::Ne),
+            ("<>", ThetaOp::Ne),
+        ] {
+            let sql = format!("SELECT * FROM table a, table b WHERE a.d {txt} b.d");
+            let q = parse_query("q", &sql, &resolver()).unwrap();
+            assert_eq!(q.conditions[0].2[0].op, op, "{txt}");
+        }
+    }
+
+    #[test]
+    fn star_means_no_projection() {
+        let sql = "SELECT * FROM table a, table b WHERE a.d < b.d";
+        let q = parse_query("q", &sql, &resolver()).unwrap();
+        assert!(q.projection.is_empty());
+    }
+
+    #[test]
+    fn negative_offsets() {
+        let sql = "SELECT * FROM table a, table b WHERE a.d - 2 < b.d";
+        let q = parse_query("q", &sql, &resolver()).unwrap();
+        assert_eq!(q.conditions[0].2[0].left.offset, -2.0);
+    }
+
+    #[test]
+    fn keywords_case_insensitive() {
+        let sql = "select a.id from table a, table b where a.d < b.d";
+        assert!(parse_query("q", sql, &resolver()).is_ok());
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        let bad = [
+            "FROM table a WHERE a.d < a.d",                     // missing SELECT
+            "SELECT * FROM table a, table b",                   // missing WHERE
+            "SELECT * FROM nope a, table b WHERE a.d < b.d",    // unknown base
+            "SELECT * FROM table a, table b WHERE a.zz < b.d",  // unknown column
+            "SELECT * FROM table a, table b WHERE a.d ?? b.d",  // bad operator
+            "SELECT * FROM table a, table b WHERE a.d < b.d extra", // trailing
+        ];
+        for sql in bad {
+            assert!(parse_query("q", sql, &resolver()).is_err(), "{sql}");
+        }
+    }
+
+    #[test]
+    fn parsed_query_is_executable_shape() {
+        // End-to-end sanity: compile succeeds and edges reference real
+        // columns.
+        let sql = "SELECT t2.id FROM table t1, table t2 WHERE t1.bt <= t2.bt AND t1.l >= t2.l";
+        let q = parse_query("q", sql, &resolver()).unwrap();
+        assert!(q.compile().is_ok());
+        assert_eq!(q.num_conditions(), 1); // folded onto one edge
+        assert_eq!(q.conditions[0].2.len(), 2);
+    }
+}

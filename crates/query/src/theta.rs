@@ -1,0 +1,312 @@
+//! Theta operators and atomic join predicates.
+
+use mwtj_storage::{Tuple, Value};
+use std::cmp::Ordering;
+use std::fmt;
+
+/// The six theta comparison operators of the paper
+/// (θ ∈ {<, ≤, =, ≥, >, <>}).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum ThetaOp {
+    /// `<`
+    Lt,
+    /// `≤`
+    Le,
+    /// `=`
+    Eq,
+    /// `≥`
+    Ge,
+    /// `>`
+    Gt,
+    /// `≠` (the paper writes `<>`)
+    Ne,
+}
+
+impl ThetaOp {
+    /// All six operators.
+    pub const ALL: [ThetaOp; 6] = [
+        ThetaOp::Lt,
+        ThetaOp::Le,
+        ThetaOp::Eq,
+        ThetaOp::Ge,
+        ThetaOp::Gt,
+        ThetaOp::Ne,
+    ];
+
+    /// Does the operator hold for the given comparison outcome?
+    pub fn holds(&self, ord: Ordering) -> bool {
+        match self {
+            ThetaOp::Lt => ord == Ordering::Less,
+            ThetaOp::Le => ord != Ordering::Greater,
+            ThetaOp::Eq => ord == Ordering::Equal,
+            ThetaOp::Ge => ord != Ordering::Less,
+            ThetaOp::Gt => ord == Ordering::Greater,
+            ThetaOp::Ne => ord != Ordering::Equal,
+        }
+    }
+
+    /// The operator with sides swapped: `a op b ⇔ b op.flip() a`.
+    pub fn flip(&self) -> ThetaOp {
+        match self {
+            ThetaOp::Lt => ThetaOp::Gt,
+            ThetaOp::Le => ThetaOp::Ge,
+            ThetaOp::Eq => ThetaOp::Eq,
+            ThetaOp::Ge => ThetaOp::Le,
+            ThetaOp::Gt => ThetaOp::Lt,
+            ThetaOp::Ne => ThetaOp::Ne,
+        }
+    }
+
+    /// True for `=` — the only operator the plain hash-partition
+    /// equi-join implementation can serve.
+    pub fn is_equality(&self) -> bool {
+        matches!(self, ThetaOp::Eq)
+    }
+}
+
+impl fmt::Display for ThetaOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            ThetaOp::Lt => "<",
+            ThetaOp::Le => "<=",
+            ThetaOp::Eq => "=",
+            ThetaOp::Ge => ">=",
+            ThetaOp::Gt => ">",
+            ThetaOp::Ne => "!=",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// A column reference plus an optional constant offset:
+/// `relation.column + offset`. The offset expresses the paper's affine
+/// predicates (`FI.at + L.l1 < FI'.dt`, `t1.d + 3 > t3.d`) without a
+/// full expression tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColExpr {
+    /// Relation name (must match a schema name in the query).
+    pub relation: String,
+    /// Column name within that relation.
+    pub column: String,
+    /// Constant added to the numeric view of the column (0 for plain
+    /// references; must be 0 when comparing strings).
+    pub offset: f64,
+}
+
+impl ColExpr {
+    /// Plain `rel.col` reference.
+    pub fn col(relation: impl Into<String>, column: impl Into<String>) -> Self {
+        ColExpr {
+            relation: relation.into(),
+            column: column.into(),
+            offset: 0.0,
+        }
+    }
+
+    /// `rel.col + offset`.
+    pub fn col_plus(
+        relation: impl Into<String>,
+        column: impl Into<String>,
+        offset: f64,
+    ) -> Self {
+        ColExpr {
+            relation: relation.into(),
+            column: column.into(),
+            offset,
+        }
+    }
+}
+
+impl fmt::Display for ColExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.offset == 0.0 {
+            write!(f, "{}.{}", self.relation, self.column)
+        } else if self.offset > 0.0 {
+            write!(f, "{}.{}+{}", self.relation, self.column, self.offset)
+        } else {
+            write!(f, "{}.{}{}", self.relation, self.column, self.offset)
+        }
+    }
+}
+
+/// An atomic theta predicate between two relations:
+/// `left θ right`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Predicate {
+    /// Left side.
+    pub left: ColExpr,
+    /// Operator.
+    pub op: ThetaOp,
+    /// Right side.
+    pub right: ColExpr,
+}
+
+impl Predicate {
+    /// Build a predicate.
+    pub fn new(left: ColExpr, op: ThetaOp, right: ColExpr) -> Self {
+        Predicate { left, op, right }
+    }
+
+    /// Evaluate against two values already projected from the two sides.
+    /// NULLs and incomparable types yield `false` (SQL semantics).
+    pub fn eval_values(&self, lhs: &Value, rhs: &Value) -> bool {
+        eval_theta(lhs, self.left.offset, self.op, rhs, self.right.offset)
+    }
+}
+
+/// Core theta evaluation: `(lhs + l_off) op (rhs + r_off)`, where offsets
+/// apply to the numeric view. String comparisons require zero offsets.
+pub fn eval_theta(lhs: &Value, l_off: f64, op: ThetaOp, rhs: &Value, r_off: f64) -> bool {
+    if l_off == 0.0 && r_off == 0.0 {
+        return lhs.sql_cmp(rhs).is_some_and(|o| op.holds(o));
+    }
+    match (lhs.as_numeric(), rhs.as_numeric()) {
+        (Some(a), Some(b)) => op.holds((a + l_off).total_cmp(&(b + r_off))),
+        _ => false,
+    }
+}
+
+impl fmt::Display for Predicate {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {} {}", self.left, self.op, self.right)
+    }
+}
+
+/// A compiled predicate: column names resolved to `(relation index,
+/// column index)` so the reducer's innermost loop touches no strings.
+#[derive(Debug, Clone, Copy)]
+pub struct CompiledPredicate {
+    /// Index of the left relation in the query's relation list.
+    pub left_rel: usize,
+    /// Column index within the left relation.
+    pub left_col: usize,
+    /// Left constant offset.
+    pub left_off: f64,
+    /// The operator.
+    pub op: ThetaOp,
+    /// Index of the right relation.
+    pub right_rel: usize,
+    /// Column index within the right relation.
+    pub right_col: usize,
+    /// Right constant offset.
+    pub right_off: f64,
+}
+
+impl CompiledPredicate {
+    /// Evaluate against one tuple per relation (indexed by relation
+    /// position in the query).
+    #[inline]
+    pub fn eval(&self, tuples: &[&Tuple]) -> bool {
+        let l = tuples[self.left_rel].get(self.left_col);
+        let r = tuples[self.right_rel].get(self.right_col);
+        eval_theta(l, self.left_off, self.op, r, self.right_off)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwtj_storage::tuple;
+
+    #[test]
+    fn operators_hold_correctly() {
+        use Ordering::*;
+        let table = [
+            (ThetaOp::Lt, [true, false, false]),
+            (ThetaOp::Le, [true, true, false]),
+            (ThetaOp::Eq, [false, true, false]),
+            (ThetaOp::Ge, [false, true, true]),
+            (ThetaOp::Gt, [false, false, true]),
+            (ThetaOp::Ne, [true, false, true]),
+        ];
+        for (op, expect) in table {
+            for (ord, &e) in [Less, Equal, Greater].iter().zip(&expect) {
+                assert_eq!(op.holds(*ord), e, "{op} {ord:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn flip_is_involutive_and_correct() {
+        for op in ThetaOp::ALL {
+            assert_eq!(op.flip().flip(), op);
+            for ord in [Ordering::Less, Ordering::Equal, Ordering::Greater] {
+                assert_eq!(op.holds(ord), op.flip().holds(ord.reverse()));
+            }
+        }
+    }
+
+    #[test]
+    fn offsets_apply() {
+        // 5 + 3 > 7  -> true ; 5 > 7 -> false
+        assert!(eval_theta(
+            &Value::Int(5),
+            3.0,
+            ThetaOp::Gt,
+            &Value::Int(7),
+            0.0
+        ));
+        assert!(!eval_theta(
+            &Value::Int(5),
+            0.0,
+            ThetaOp::Gt,
+            &Value::Int(7),
+            0.0
+        ));
+    }
+
+    #[test]
+    fn nulls_and_strings_fail_closed() {
+        assert!(!eval_theta(
+            &Value::Null,
+            0.0,
+            ThetaOp::Eq,
+            &Value::Null,
+            0.0
+        ));
+        // String with offset is a type error -> false, not a panic.
+        assert!(!eval_theta(
+            &Value::from("a"),
+            1.0,
+            ThetaOp::Lt,
+            &Value::from("b"),
+            0.0
+        ));
+        // String without offsets compares fine.
+        assert!(eval_theta(
+            &Value::from("a"),
+            0.0,
+            ThetaOp::Lt,
+            &Value::from("b"),
+            0.0
+        ));
+    }
+
+    #[test]
+    fn compiled_predicate_eval() {
+        let p = CompiledPredicate {
+            left_rel: 0,
+            left_col: 1,
+            left_off: 0.0,
+            op: ThetaOp::Le,
+            right_rel: 1,
+            right_col: 0,
+            right_off: 0.0,
+        };
+        let a = tuple![9, 4];
+        let b = tuple![5];
+        assert!(p.eval(&[&a, &b])); // 4 <= 5
+        let b2 = tuple![3];
+        assert!(!p.eval(&[&a, &b2]));
+    }
+
+    #[test]
+    fn display_round() {
+        let p = Predicate::new(
+            ColExpr::col_plus("t1", "d", 3.0),
+            ThetaOp::Gt,
+            ColExpr::col("t3", "d"),
+        );
+        assert_eq!(p.to_string(), "t1.d+3 > t3.d");
+    }
+}

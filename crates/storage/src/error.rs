@@ -1,0 +1,72 @@
+//! Error type shared by the storage layer.
+
+use std::fmt;
+
+/// Errors produced by the storage layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Error {
+    /// A tuple's arity or value types do not match the schema it was used
+    /// with.
+    SchemaMismatch {
+        /// Human-readable description of the mismatch.
+        detail: String,
+    },
+    /// A column name was not found in a schema.
+    UnknownColumn {
+        /// The column that was requested.
+        column: String,
+        /// The relation/schema it was requested from.
+        schema: String,
+    },
+    /// The binary codec encountered malformed input.
+    Corrupt {
+        /// Byte offset at which decoding failed.
+        offset: usize,
+        /// Description of the failure.
+        detail: String,
+    },
+    /// An operation was attempted on values of incompatible types.
+    TypeError {
+        /// Description of the incompatibility.
+        detail: String,
+    },
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::SchemaMismatch { detail } => write!(f, "schema mismatch: {detail}"),
+            Error::UnknownColumn { column, schema } => {
+                write!(f, "unknown column `{column}` in schema `{schema}`")
+            }
+            Error::Corrupt { offset, detail } => {
+                write!(f, "corrupt tuple encoding at byte {offset}: {detail}")
+            }
+            Error::TypeError { detail } => write!(f, "type error: {detail}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// Convenience alias used across the crate.
+pub type Result<T> = std::result::Result<T, Error>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_formats_are_stable() {
+        let e = Error::UnknownColumn {
+            column: "bt".into(),
+            schema: "calls".into(),
+        };
+        assert_eq!(e.to_string(), "unknown column `bt` in schema `calls`");
+        let e = Error::Corrupt {
+            offset: 7,
+            detail: "truncated varint".into(),
+        };
+        assert!(e.to_string().contains("byte 7"));
+    }
+}

@@ -1,0 +1,258 @@
+//! Relation schemas: named, typed columns.
+
+use crate::error::{Error, Result};
+use crate::value::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// The type of a column.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// 64-bit integer (also dates/times as epoch offsets).
+    Int,
+    /// 64-bit float.
+    Double,
+    /// UTF-8 string.
+    Str,
+}
+
+impl DataType {
+    /// Whether `v` inhabits this type. NULL inhabits every type.
+    pub fn admits(&self, v: &Value) -> bool {
+        matches!(
+            (self, v),
+            (_, Value::Null)
+                | (DataType::Int, Value::Int(_))
+                | (DataType::Double, Value::Double(_))
+                | (DataType::Str, Value::Str(_))
+        )
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Int => write!(f, "INT"),
+            DataType::Double => write!(f, "DOUBLE"),
+            DataType::Str => write!(f, "STRING"),
+        }
+    }
+}
+
+/// A single named, typed column.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Column name, unique within the schema.
+    pub name: String,
+    /// Column type.
+    pub data_type: DataType,
+}
+
+impl Field {
+    /// Construct a field.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Field {
+            name: name.into(),
+            data_type,
+        }
+    }
+}
+
+/// An ordered collection of fields with a relation name.
+///
+/// Cheap to clone (`Arc` inside); every tuple in a
+/// [`Relation`](crate::relation::Relation) shares one schema instance.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Schema {
+    inner: Arc<SchemaInner>,
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct SchemaInner {
+    name: String,
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Build a schema from a relation name and field list.
+    ///
+    /// # Panics
+    /// Panics if two fields share a name — schemas are static program data
+    /// and a duplicate is a programming error, not an input error.
+    pub fn new(name: impl Into<String>, fields: Vec<Field>) -> Self {
+        let name = name.into();
+        for (i, f) in fields.iter().enumerate() {
+            for g in &fields[i + 1..] {
+                assert_ne!(f.name, g.name, "duplicate column `{}` in `{}`", f.name, name);
+            }
+        }
+        Schema {
+            inner: Arc::new(SchemaInner { name, fields }),
+        }
+    }
+
+    /// Convenience constructor from `(name, type)` pairs.
+    pub fn from_pairs(name: impl Into<String>, pairs: &[(&str, DataType)]) -> Self {
+        Schema::new(
+            name,
+            pairs
+                .iter()
+                .map(|(n, t)| Field::new(*n, *t))
+                .collect::<Vec<_>>(),
+        )
+    }
+
+    /// The relation name.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// The fields in declaration order.
+    pub fn fields(&self) -> &[Field] {
+        &self.inner.fields
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.inner.fields.len()
+    }
+
+    /// Index of the column called `name`.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.inner
+            .fields
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| Error::UnknownColumn {
+                column: name.to_string(),
+                schema: self.inner.name.clone(),
+            })
+    }
+
+    /// The field called `name`.
+    pub fn field(&self, name: &str) -> Result<&Field> {
+        self.index_of(name).map(|i| &self.inner.fields[i])
+    }
+
+    /// Validate that `values` inhabit this schema.
+    pub fn check(&self, values: &[Value]) -> Result<()> {
+        if values.len() != self.arity() {
+            return Err(Error::SchemaMismatch {
+                detail: format!(
+                    "`{}` expects {} columns, tuple has {}",
+                    self.name(),
+                    self.arity(),
+                    values.len()
+                ),
+            });
+        }
+        for (f, v) in self.inner.fields.iter().zip(values) {
+            if !f.data_type.admits(v) {
+                return Err(Error::SchemaMismatch {
+                    detail: format!(
+                        "column `{}` of `{}` is {} but value is {v:?}",
+                        f.name,
+                        self.name(),
+                        f.data_type
+                    ),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Schema of the concatenation of several relations' tuples, as
+    /// produced by a join. Columns are qualified `rel.col` to stay unique.
+    pub fn concat(name: impl Into<String>, parts: &[&Schema]) -> Schema {
+        let mut fields = Vec::new();
+        for s in parts {
+            for f in s.fields() {
+                fields.push(Field::new(
+                    format!("{}.{}", s.name(), f.name),
+                    f.data_type,
+                ));
+            }
+        }
+        Schema::new(name, fields)
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}(", self.name())?;
+        for (i, field) in self.fields().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{} {}", field.name, field.data_type)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn calls() -> Schema {
+        Schema::from_pairs(
+            "calls",
+            &[
+                ("id", DataType::Int),
+                ("d", DataType::Int),
+                ("bt", DataType::Int),
+                ("l", DataType::Int),
+                ("bsc", DataType::Int),
+            ],
+        )
+    }
+
+    #[test]
+    fn index_and_field_lookup() {
+        let s = calls();
+        assert_eq!(s.index_of("bt").unwrap(), 2);
+        assert_eq!(s.field("bsc").unwrap().data_type, DataType::Int);
+        assert!(matches!(
+            s.index_of("nope"),
+            Err(Error::UnknownColumn { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "duplicate column")]
+    fn duplicate_columns_panic() {
+        Schema::from_pairs("t", &[("a", DataType::Int), ("a", DataType::Str)]);
+    }
+
+    #[test]
+    fn check_arity_and_types() {
+        let s = calls();
+        assert!(s
+            .check(&[1.into(), 2.into(), 3.into(), 4.into(), 5.into()])
+            .is_ok());
+        assert!(s.check(&[1.into()]).is_err());
+        assert!(s
+            .check(&[1.into(), 2.into(), "x".into(), 4.into(), 5.into()])
+            .is_err());
+        // NULL inhabits every column type.
+        assert!(s
+            .check(&[Value::Null, 2.into(), 3.into(), 4.into(), 5.into()])
+            .is_ok());
+    }
+
+    #[test]
+    fn concat_qualifies_names() {
+        let a = Schema::from_pairs("a", &[("x", DataType::Int)]);
+        let b = Schema::from_pairs("b", &[("x", DataType::Int)]);
+        let j = Schema::concat("j", &[&a, &b]);
+        assert_eq!(j.arity(), 2);
+        assert_eq!(j.fields()[0].name, "a.x");
+        assert_eq!(j.fields()[1].name, "b.x");
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let a = Schema::from_pairs("a", &[("x", DataType::Int), ("y", DataType::Str)]);
+        assert_eq!(a.to_string(), "a(x INT, y STRING)");
+    }
+}

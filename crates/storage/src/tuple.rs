@@ -1,0 +1,137 @@
+//! Tuples: fixed-arity rows of [`Value`]s.
+
+use crate::codec;
+use crate::value::Value;
+use std::fmt;
+use std::sync::Arc;
+
+/// A row. Values are stored behind an `Arc` slice so the simulated
+/// shuffle can "copy" a tuple to many reduce partitions while host memory
+/// holds one payload; the *accounted* bytes (what the cost model sees) are
+/// the encoded length, charged once per copy.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Tuple {
+    values: Arc<[Value]>,
+}
+
+impl Tuple {
+    /// Build a tuple from values.
+    pub fn new(values: Vec<Value>) -> Self {
+        Tuple {
+            values: values.into(),
+        }
+    }
+
+    /// The values.
+    pub fn values(&self) -> &[Value] {
+        &self.values
+    }
+
+    /// Number of columns.
+    pub fn arity(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Value at column `i`.
+    pub fn get(&self, i: usize) -> &Value {
+        &self.values[i]
+    }
+
+    /// Encoded size in bytes — the unit of all disk/network accounting.
+    pub fn encoded_len(&self) -> usize {
+        codec::encoded_len(self.values())
+    }
+
+    /// Concatenate two tuples (join output row).
+    pub fn concat(&self, other: &Tuple) -> Tuple {
+        let mut v = Vec::with_capacity(self.arity() + other.arity());
+        v.extend_from_slice(self.values());
+        v.extend_from_slice(other.values());
+        Tuple::new(v)
+    }
+
+    /// Concatenate many tuples in order (multi-way join output row).
+    pub fn concat_all(parts: &[&Tuple]) -> Tuple {
+        let mut v = Vec::with_capacity(parts.iter().map(|t| t.arity()).sum());
+        for p in parts {
+            v.extend_from_slice(p.values());
+        }
+        Tuple::new(v)
+    }
+
+    /// Total order consistent with [`Value::total_cmp`] column-by-column;
+    /// used to canonicalise result sets in tests and merges.
+    pub fn total_cmp(&self, other: &Tuple) -> std::cmp::Ordering {
+        for (a, b) in self.values().iter().zip(other.values()) {
+            let ord = a.total_cmp(b);
+            if ord != std::cmp::Ordering::Equal {
+                return ord;
+            }
+        }
+        self.arity().cmp(&other.arity())
+    }
+}
+
+impl fmt::Display for Tuple {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, v) in self.values().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl From<Vec<Value>> for Tuple {
+    fn from(values: Vec<Value>) -> Self {
+        Tuple::new(values)
+    }
+}
+
+/// Build a tuple from heterogeneous literals: `tuple![1, 2.5, "x"]`.
+#[macro_export]
+macro_rules! tuple {
+    ($($v:expr),* $(,)?) => {
+        $crate::Tuple::new(vec![$($crate::Value::from($v)),*])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn concat_preserves_order() {
+        let a = tuple![1, 2];
+        let b = tuple!["x"];
+        let c = a.concat(&b);
+        assert_eq!(c.arity(), 3);
+        assert_eq!(c.get(2), &Value::from("x"));
+        let d = Tuple::concat_all(&[&a, &b, &a]);
+        assert_eq!(d.arity(), 5);
+        assert_eq!(d.get(3), &Value::Int(1));
+    }
+
+    #[test]
+    fn clone_is_shallow() {
+        let a = tuple![1, "payload"];
+        let b = a.clone();
+        assert!(Arc::ptr_eq(&a.values, &b.values));
+    }
+
+    #[test]
+    fn total_cmp_sorts_lexicographically() {
+        let mut v = vec![tuple![2, 1], tuple![1, 9], tuple![1, 2]];
+        v.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(v[0], tuple![1, 2]);
+        assert_eq!(v[2], tuple![2, 1]);
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(tuple![1, "a"].to_string(), "(1, a)");
+    }
+}

@@ -1,0 +1,251 @@
+//! Typed scalar values.
+//!
+//! The benchmark schemas (mobile calls, TPC-H) need 64-bit integers,
+//! doubles, short strings and dates; dates are stored as days since the
+//! epoch in an `Int` for cheap theta-comparison, mirroring how the paper's
+//! queries compare `d`, `bt`, `dt` fields numerically.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::sync::Arc;
+
+/// A single scalar value inside a tuple.
+#[derive(Debug, Clone)]
+pub enum Value {
+    /// 64-bit signed integer (also used for dates/times as epoch offsets).
+    Int(i64),
+    /// 64-bit float. Totally ordered via [`f64::total_cmp`].
+    Double(f64),
+    /// Immutable UTF-8 string; `Arc` so duplicating tuples across
+    /// simulated reducers does not copy payload bytes in host memory.
+    Str(Arc<str>),
+    /// SQL NULL. Compares less than every other value and never satisfies
+    /// a theta predicate (three-valued logic collapsed to `false`).
+    Null,
+}
+
+impl Value {
+    /// Construct a string value.
+    pub fn str(s: impl Into<Arc<str>>) -> Self {
+        Value::Str(s.into())
+    }
+
+    /// True if this value is SQL NULL.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Returns the integer payload, if this is an `Int`.
+    pub fn as_int(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the float payload, if this is a `Double`.
+    pub fn as_double(&self) -> Option<f64> {
+        match self {
+            Value::Double(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the string payload, if this is a `Str`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Numeric view used by arithmetic in predicates (`t1.d + 3 > t3.d`).
+    /// Ints widen to f64; strings and NULL have no numeric view.
+    pub fn as_numeric(&self) -> Option<f64> {
+        match self {
+            Value::Int(v) => Some(*v as f64),
+            Value::Double(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Compare two values with SQL-ish semantics for the theta operators.
+    ///
+    /// Returns `None` when either side is NULL or the types are not
+    /// comparable (a theta predicate over such a pair is `false`).
+    pub fn sql_cmp(&self, other: &Value) -> Option<Ordering> {
+        match (self, other) {
+            (Value::Null, _) | (_, Value::Null) => None,
+            (Value::Int(a), Value::Int(b)) => Some(a.cmp(b)),
+            (Value::Double(a), Value::Double(b)) => Some(a.total_cmp(b)),
+            (Value::Int(a), Value::Double(b)) => Some((*a as f64).total_cmp(b)),
+            (Value::Double(a), Value::Int(b)) => Some(a.total_cmp(&(*b as f64))),
+            (Value::Str(a), Value::Str(b)) => Some(a.as_ref().cmp(b.as_ref())),
+            _ => None,
+        }
+    }
+
+    /// Total order used for sorting/grouping (NULL first, then by type
+    /// rank, then by payload). Unlike [`Value::sql_cmp`] this is total, so
+    /// it can back `Ord`-requiring containers.
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Int(_) => 1,
+                Value::Double(_) => 1, // numerics share a rank and compare numerically
+                Value::Str(_) => 2,
+            }
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Double(a), Value::Double(b)) => a.total_cmp(b),
+            (Value::Int(a), Value::Double(b)) => (*a as f64).total_cmp(b),
+            (Value::Double(a), Value::Int(b)) => a.total_cmp(&(*b as f64)),
+            (Value::Str(a), Value::Str(b)) => a.as_ref().cmp(b.as_ref()),
+            _ => rank(self).cmp(&rank(other)),
+        }
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for Value {}
+
+impl std::hash::Hash for Value {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        match self {
+            Value::Null => 0u8.hash(state),
+            // Int and Double hash consistently with total_cmp equality:
+            // integral doubles hash as their integer value.
+            Value::Int(v) => {
+                1u8.hash(state);
+                (*v as f64).to_bits().hash(state);
+            }
+            Value::Double(v) => {
+                1u8.hash(state);
+                v.to_bits().hash(state);
+            }
+            Value::Str(s) => {
+                2u8.hash(state);
+                s.hash(state);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Double(v) => write!(f, "{v}"),
+            Value::Str(s) => write!(f, "{s}"),
+            Value::Null => write!(f, "NULL"),
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<i32> for Value {
+    fn from(v: i32) -> Self {
+        Value::Int(v as i64)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Double(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(Arc::from(v))
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(Arc::from(v.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sql_cmp_mixed_numerics() {
+        assert_eq!(
+            Value::Int(3).sql_cmp(&Value::Double(3.5)),
+            Some(Ordering::Less)
+        );
+        assert_eq!(
+            Value::Double(4.0).sql_cmp(&Value::Int(4)),
+            Some(Ordering::Equal)
+        );
+    }
+
+    #[test]
+    fn null_never_compares() {
+        assert_eq!(Value::Null.sql_cmp(&Value::Int(1)), None);
+        assert_eq!(Value::Int(1).sql_cmp(&Value::Null), None);
+        assert_eq!(Value::Null.sql_cmp(&Value::Null), None);
+    }
+
+    #[test]
+    fn strings_and_ints_not_sql_comparable() {
+        assert_eq!(Value::str("a").sql_cmp(&Value::Int(1)), None);
+    }
+
+    #[test]
+    fn total_cmp_is_total_and_consistent_with_eq() {
+        let vals = [
+            Value::Null,
+            Value::Int(-1),
+            Value::Int(5),
+            Value::Double(2.5),
+            Value::str("abc"),
+            Value::str("abd"),
+        ];
+        for a in &vals {
+            for b in &vals {
+                let ab = a.total_cmp(b);
+                let ba = b.total_cmp(a);
+                assert_eq!(ab, ba.reverse(), "antisymmetry for {a} vs {b}");
+                assert_eq!(ab == Ordering::Equal, a == b);
+            }
+        }
+    }
+
+    #[test]
+    fn int_double_equality_hashes_consistently() {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let h = |v: &Value| {
+            let mut s = DefaultHasher::new();
+            v.hash(&mut s);
+            s.finish()
+        };
+        assert_eq!(Value::Int(7), Value::Double(7.0));
+        assert_eq!(h(&Value::Int(7)), h(&Value::Double(7.0)));
+    }
+
+    #[test]
+    fn numeric_view() {
+        assert_eq!(Value::Int(2).as_numeric(), Some(2.0));
+        assert_eq!(Value::Double(2.25).as_numeric(), Some(2.25));
+        assert_eq!(Value::str("x").as_numeric(), None);
+        assert_eq!(Value::Null.as_numeric(), None);
+    }
+}

@@ -1,0 +1,164 @@
+//! End-to-end integration tests: every benchmark query, every planner,
+//! checked for exact agreement with the single-threaded oracle on
+//! small data.
+
+use multiway_theta_join::system::{Method, ThetaJoinSystem};
+use mwtj_core::benchqueries::{mobile_query, tpch_query, MobileQuery, TpchQuery};
+use mwtj_datagen::{MobileGen, TpchGen};
+use mwtj_join::oracle::canonicalize;
+use mwtj_storage::{Relation, Schema};
+
+const ALL_METHODS: [Method; 5] = [
+    Method::Ours,
+    Method::OursGrid,
+    Method::YSmart,
+    Method::Hive,
+    Method::Pig,
+];
+
+fn mobile_system(which: MobileQuery, rows: usize, k_p: u32) -> ThetaJoinSystem {
+    let mut sys = ThetaJoinSystem::with_units(k_p);
+    let gen = MobileGen {
+        users: 200,
+        base_stations: 30,
+        days: 10,
+        ..Default::default()
+    };
+    let calls = gen.generate("calls", rows);
+    for inst in which.instances() {
+        sys.load_alias(&calls, inst);
+    }
+    sys
+}
+
+fn check_all_methods(sys: &ThetaJoinSystem, q: &mwtj_query::MultiwayQuery) {
+    let want = canonicalize(sys.oracle(q));
+    for m in ALL_METHODS {
+        let run = sys.run(q, m);
+        let got = canonicalize(run.output.into_rows());
+        assert_eq!(
+            got.len(),
+            want.len(),
+            "{m:?} row count for {}",
+            q.name
+        );
+        assert_eq!(got, want, "{m:?} rows for {}", q.name);
+    }
+}
+
+#[test]
+fn mobile_q1_exact_all_methods() {
+    let q = mobile_query(MobileQuery::Q1);
+    let sys = mobile_system(MobileQuery::Q1, 220, 24);
+    check_all_methods(&sys, &q);
+}
+
+#[test]
+fn mobile_q2_exact_all_methods() {
+    let q = mobile_query(MobileQuery::Q2);
+    let sys = mobile_system(MobileQuery::Q2, 150, 24);
+    check_all_methods(&sys, &q);
+}
+
+#[test]
+fn mobile_q3_exact_all_methods() {
+    let q = mobile_query(MobileQuery::Q3);
+    let sys = mobile_system(MobileQuery::Q3, 120, 24);
+    check_all_methods(&sys, &q);
+}
+
+#[test]
+fn mobile_q4_exact_all_methods() {
+    let q = mobile_query(MobileQuery::Q4);
+    let sys = mobile_system(MobileQuery::Q4, 90, 24);
+    check_all_methods(&sys, &q);
+}
+
+fn tpch_system(which: TpchQuery, scale: f64, k_p: u32) -> ThetaJoinSystem {
+    let mut sys = ThetaJoinSystem::with_units(k_p);
+    let gen = TpchGen {
+        scale,
+        ..Default::default()
+    };
+    for (inst, base) in which.instances() {
+        let data: Relation = match *base {
+            "supplier" => gen.supplier(),
+            "customer" => gen.customer(),
+            "orders" => gen.orders(),
+            "part" => gen.part(),
+            "nation" => gen.nation(),
+            "lineitem" => gen.lineitem(),
+            other => panic!("table {other}"),
+        };
+        let renamed = Relation::from_rows_unchecked(
+            Schema::new(*inst, data.schema().fields().to_vec()),
+            data.rows().to_vec(),
+        );
+        sys.load_relation(&renamed);
+    }
+    sys
+}
+
+#[test]
+fn tpch_q7_exact_all_methods() {
+    let q = tpch_query(TpchQuery::Q7);
+    let sys = tpch_system(TpchQuery::Q7, 0.0002, 24);
+    check_all_methods(&sys, &q);
+}
+
+#[test]
+fn tpch_q17_exact_all_methods() {
+    let q = tpch_query(TpchQuery::Q17);
+    let sys = tpch_system(TpchQuery::Q17, 0.0002, 24);
+    check_all_methods(&sys, &q);
+}
+
+#[test]
+fn tpch_q18_exact_all_methods() {
+    let q = tpch_query(TpchQuery::Q18);
+    let sys = tpch_system(TpchQuery::Q18, 0.0002, 24);
+    check_all_methods(&sys, &q);
+}
+
+#[test]
+fn tpch_q21_exact_all_methods() {
+    let q = tpch_query(TpchQuery::Q21);
+    let sys = tpch_system(TpchQuery::Q21, 0.0002, 24);
+    check_all_methods(&sys, &q);
+}
+
+/// The answer must not depend on the processing-unit budget.
+#[test]
+fn results_invariant_under_kp() {
+    let q = mobile_query(MobileQuery::Q1);
+    let runs: Vec<Vec<mwtj_storage::Tuple>> = [4u32, 16, 64]
+        .iter()
+        .map(|&k_p| {
+            let sys = mobile_system(MobileQuery::Q1, 150, k_p);
+            canonicalize(sys.run(&q, Method::Ours).output.into_rows())
+        })
+        .collect();
+    assert_eq!(runs[0], runs[1]);
+    assert_eq!(runs[1], runs[2]);
+}
+
+/// Fewer processing units must never make the simulated makespan
+/// substantially shorter (the paper's resource-awareness premise).
+/// Tolerance is loose: at toy sizes the planner's k_R heuristic can
+/// pick a slightly different (and occasionally luckier) reducer count
+/// per k_P — Eq. 10 is an approximation, not an oracle — but an
+/// 8-unit cluster must never *meaningfully* beat a 64-unit one.
+#[test]
+fn simulated_time_monotone_in_kp() {
+    let q = mobile_query(MobileQuery::Q1);
+    let t64 = mobile_system(MobileQuery::Q1, 200, 64)
+        .run(&q, Method::Ours)
+        .sim_secs;
+    let t8 = mobile_system(MobileQuery::Q1, 200, 8)
+        .run(&q, Method::Ours)
+        .sim_secs;
+    assert!(
+        t8 >= t64 * 0.5,
+        "8 units ({t8:.3}s) should not meaningfully beat 64 units ({t64:.3}s)"
+    );
+}

@@ -1,0 +1,144 @@
+//! Plan-shape integration tests: the planner must make the paper's
+//! *decisions* correctly, not just produce correct rows.
+
+use mwtj_core::benchqueries::{mobile_query, MobileQuery};
+use mwtj_core::{Method, ThetaJoinSystem};
+use mwtj_cost::{CalibratedParams, CostModel};
+use mwtj_datagen::MobileGen;
+use mwtj_mapreduce::ClusterConfig;
+use mwtj_planner::{CandidateOp, Planner};
+use mwtj_query::{QueryBuilder, ThetaOp};
+use mwtj_storage::{DataType, Relation, RelationStats, Schema, Tuple, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn rel(name: &str, n: usize, seed: u64, domain: i64) -> Relation {
+    let schema = Schema::from_pairs(name, &[("a", DataType::Int), ("b", DataType::Int)]);
+    let mut rng = StdRng::seed_from_u64(seed);
+    Relation::from_rows_unchecked(
+        schema,
+        (0..n)
+            .map(|_| {
+                Tuple::new(vec![
+                    Value::Int(rng.gen_range(0..domain)),
+                    Value::Int(rng.gen_range(0..domain)),
+                ])
+            })
+            .collect(),
+    )
+}
+
+fn stats_of(r: &Relation) -> RelationStats {
+    let mut rng = StdRng::seed_from_u64(3);
+    RelationStats::collect(r, 256, &mut rng)
+}
+
+/// A pure-equality edge must be offered (and chosen) as a hash
+/// pair-join candidate, not a replicating chain.
+#[test]
+fn equality_edges_choose_hash_partitioning() {
+    let l = rel("l", 3_000, 1, 500);
+    let r = rel("r", 3_000, 2, 500);
+    let q = QueryBuilder::new("eq")
+        .relation(l.schema().clone())
+        .relation(r.schema().clone())
+        .join("l", "a", ThetaOp::Eq, "r", "a")
+        .build()
+        .unwrap();
+    let planner = Planner::new(CostModel::new(
+        ClusterConfig::with_units(64),
+        CalibratedParams::default(),
+    ));
+    let sl = stats_of(&l);
+    let sr = stats_of(&r);
+    let (chosen, _) = planner.plan_ours(&q, &[&sl, &sr], 64);
+    assert_eq!(chosen.len(), 1);
+    assert_eq!(
+        chosen[0].op,
+        CandidateOp::PairEqui,
+        "equality edge should hash-partition, got {:?}",
+        chosen[0].op
+    );
+}
+
+/// An inequality edge has no hash option: it must stay a chain.
+#[test]
+fn inequality_edges_stay_chain() {
+    let l = rel("l", 1_000, 3, 500);
+    let r = rel("r", 1_000, 4, 500);
+    let q = QueryBuilder::new("ineq")
+        .relation(l.schema().clone())
+        .relation(r.schema().clone())
+        .join("l", "a", ThetaOp::Lt, "r", "a")
+        .build()
+        .unwrap();
+    let planner = Planner::new(CostModel::new(
+        ClusterConfig::with_units(64),
+        CalibratedParams::default(),
+    ));
+    let sl = stats_of(&l);
+    let sr = stats_of(&r);
+    let (chosen, _) = planner.plan_ours(&q, &[&sl, &sr], 64);
+    assert!(chosen.iter().all(|c| c.op == CandidateOp::Chain));
+}
+
+/// Mobile Q4's plan must collapse to a single full-cover MRJ (the
+/// merge-aware comparison; splitting into singles multiplies
+/// intermediates).
+#[test]
+fn q4_plans_as_single_mrj() {
+    let q = mobile_query(MobileQuery::Q4);
+    let mut sys = ThetaJoinSystem::with_units(96);
+    let gen = MobileGen {
+        users: 300,
+        base_stations: 40,
+        days: 10,
+        ..Default::default()
+    };
+    let calls = gen.generate("calls", 200);
+    for inst in MobileQuery::Q4.instances() {
+        sys.load_alias(&calls, inst);
+    }
+    let run = sys.run(&q, Method::Ours);
+    assert!(
+        run.plan.contains("1 chain MRJ"),
+        "expected a single-MRJ plan, got: {}",
+        run.plan
+    );
+    // And it must still be exact.
+    assert_eq!(run.output.len(), sys.oracle(&q).len());
+}
+
+/// The predicted makespan must correlate with the achieved simulated
+/// makespan (the planner's decisions are only as good as this signal).
+#[test]
+fn predicted_time_correlates_with_simulated() {
+    let q = mobile_query(MobileQuery::Q1);
+    let mut pred_small = 0.0;
+    let mut sim_small = 0.0;
+    for (rows, slot) in [(120usize, 0), (480, 1)] {
+        let mut sys = ThetaJoinSystem::with_units(48);
+        let gen = MobileGen {
+            users: 300,
+            base_stations: 40,
+            days: 10,
+            ..Default::default()
+        };
+        let calls = gen.generate("calls", rows);
+        for inst in MobileQuery::Q1.instances() {
+            sys.load_alias(&calls, inst);
+        }
+        let run = sys.run(&q, Method::Ours);
+        assert!(run.predicted_secs > 0.0);
+        if slot == 0 {
+            pred_small = run.predicted_secs;
+            sim_small = run.sim_secs;
+        } else {
+            assert!(
+                run.predicted_secs > pred_small,
+                "prediction must grow with data"
+            );
+            assert!(run.sim_secs > sim_small, "simulation must grow with data");
+        }
+    }
+}

@@ -1,0 +1,251 @@
+//! Property-based tests on the core invariants (proptest).
+
+use mwtj_hilbert::{HilbertCurve, PartitionStrategy, SpacePartition};
+use mwtj_join::oracle::{canonicalize, oracle_join};
+use mwtj_join::ChainThetaJob;
+use mwtj_mapreduce::{ClusterConfig, Dfs, Engine, InputSpec};
+use mwtj_query::{MultiwayQuery, QueryBuilder, ThetaOp};
+use mwtj_storage::{codec, DataType, Relation, Schema, Tuple, Value};
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------- codec
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        any::<f64>().prop_map(Value::Double),
+        "[a-zA-Z0-9 àéü]{0,24}".prop_map(|s| Value::from(s.as_str())),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Encode/decode is the identity (bit-exact for doubles) and
+    /// `encoded_len` is exact.
+    #[test]
+    fn codec_roundtrip(values in prop::collection::vec(arb_value(), 0..12)) {
+        let enc = codec::encode_tuple(&values);
+        prop_assert_eq!(enc.len(), codec::encoded_len(&values));
+        let dec = codec::decode_tuple(&enc).unwrap();
+        prop_assert_eq!(values.len(), dec.len());
+        for (a, b) in values.iter().zip(&dec) {
+            match (a, b) {
+                (Value::Double(x), Value::Double(y)) =>
+                    prop_assert_eq!(x.to_bits(), y.to_bits()),
+                _ => prop_assert_eq!(a, b),
+            }
+        }
+    }
+
+    /// Decoding arbitrary bytes never panics.
+    #[test]
+    fn codec_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let _ = codec::decode_tuple(&bytes);
+    }
+}
+
+// ---------------------------------------------------------------- hilbert
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// index∘coords = id for random dimensions/orders within budget.
+    #[test]
+    fn hilbert_bijective(dims in 1usize..5, bits in 1u32..5, probe in any::<u64>()) {
+        let curve = HilbertCurve::new(dims, bits);
+        let h = probe % curve.num_cells();
+        let xy = curve.coords(h);
+        prop_assert_eq!(curve.index(&xy), h);
+        for &c in &xy {
+            prop_assert!(c < curve.side());
+        }
+    }
+
+    /// Every cell has exactly one owner, and the owner receives every
+    /// relation's stripe copy for that cell.
+    #[test]
+    fn partition_covers_cells(
+        dims in 2usize..4,
+        k_r in 1u32..20,
+        cards in prop::collection::vec(1u64..5_000, 2..4),
+        probe in prop::collection::vec(any::<u64>(), 8),
+        grid in any::<bool>(),
+    ) {
+        let cards = &cards[..dims.min(cards.len())];
+        if cards.len() < 2 { return Ok(()); }
+        let strategy = if grid { PartitionStrategy::Grid } else { PartitionStrategy::Hilbert };
+        let p = SpacePartition::new(strategy, cards, k_r, 3);
+        let side = 1u64 << p.bits();
+        // Random cells: owner must be listed in each dim's stripe list.
+        for chunk in probe.chunks(cards.len()) {
+            if chunk.len() < cards.len() { continue; }
+            let cell: Vec<u64> = chunk.iter().map(|&x| x % side).collect();
+            let owner = p.owner_of_cell(&cell);
+            prop_assert!(owner < p.num_components());
+            for (d, &s) in cell.iter().enumerate() {
+                prop_assert!(
+                    p.components_for_stripe(d, s).contains(&owner),
+                    "owner {} missing from dim {} stripe {}", owner, d, s
+                );
+            }
+        }
+    }
+
+    /// The partition score is at least Σ|R| (every tuple is copied at
+    /// least once) and the replication factor never exceeds k_R.
+    #[test]
+    fn partition_score_bounds(
+        k_r in 1u32..32,
+        a in 10u64..10_000,
+        b in 10u64..10_000,
+        c in 10u64..10_000,
+    ) {
+        let p = SpacePartition::hilbert(&[a, b, c], k_r);
+        let total = (a + b + c) as f64;
+        prop_assert!(p.score() >= total * 0.999);
+        prop_assert!(p.replication_factor() <= p.num_components() as f64 + 1e-9);
+    }
+}
+
+// ---------------------------------------------------------------- joins
+
+fn arb_op() -> impl Strategy<Value = ThetaOp> {
+    prop_oneof![
+        Just(ThetaOp::Lt),
+        Just(ThetaOp::Le),
+        Just(ThetaOp::Eq),
+        Just(ThetaOp::Ge),
+        Just(ThetaOp::Gt),
+        Just(ThetaOp::Ne),
+    ]
+}
+
+fn rel_from(name: &str, rows: &[(i64, i64)]) -> Relation {
+    let schema = Schema::from_pairs(name, &[("a", DataType::Int), ("b", DataType::Int)]);
+    Relation::from_rows_unchecked(
+        schema,
+        rows.iter().map(|&(a, b)| {
+            Tuple::new(vec![Value::Int(a), Value::Int(b)])
+        }).collect(),
+    )
+}
+
+fn run_chain(
+    query: &MultiwayQuery,
+    edges: &[usize],
+    rels: &[&Relation],
+    k_r: u32,
+    strategy: PartitionStrategy,
+) -> Vec<Tuple> {
+    let cfg = ClusterConfig::default();
+    let dfs = Dfs::new();
+    let cards: Vec<u64> = rels.iter().map(|r| r.len() as u64).collect();
+    let job = ChainThetaJob::new(query, edges, &cards, k_r, strategy);
+    let mut inputs = Vec::new();
+    for (dim, &qrel) in job.dims().iter().enumerate() {
+        let fname = format!("rel{qrel}");
+        dfs.put_relation(&fname, rels[qrel], &cfg);
+        inputs.push(InputSpec::new(fname, dim as u8));
+    }
+    let engine = Engine::new(cfg, dfs);
+    engine
+        .run(&job, &inputs, 8, job.reducers(), None)
+        .output
+        .into_rows()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The chain theta-join MRJ produces exactly the oracle's multiset
+    /// for random two-relation inputs, any operator, any k_R, either
+    /// partition strategy.
+    #[test]
+    fn chain_join_equals_oracle_2way(
+        lrows in prop::collection::vec((0i64..20, 0i64..20), 0..40),
+        rrows in prop::collection::vec((0i64..20, 0i64..20), 0..40),
+        op in arb_op(),
+        k_r in 1u32..10,
+        grid in any::<bool>(),
+    ) {
+        let l = rel_from("l", &lrows);
+        let r = rel_from("r", &rrows);
+        let q = QueryBuilder::new("prop")
+            .relation(l.schema().clone())
+            .relation(r.schema().clone())
+            .join("l", "a", op, "r", "a")
+            .build()
+            .unwrap();
+        let strategy = if grid { PartitionStrategy::Grid } else { PartitionStrategy::Hilbert };
+        let got = canonicalize(run_chain(&q, &[0], &[&l, &r], k_r, strategy));
+        let want = canonicalize(oracle_join(&q, &[&l, &r]));
+        prop_assert_eq!(got, want);
+    }
+
+    /// Three-way chains with two random operators also match.
+    #[test]
+    fn chain_join_equals_oracle_3way(
+        arows in prop::collection::vec((0i64..12, 0i64..12), 1..20),
+        brows in prop::collection::vec((0i64..12, 0i64..12), 1..20),
+        crows in prop::collection::vec((0i64..12, 0i64..12), 1..20),
+        op1 in arb_op(),
+        op2 in arb_op(),
+        k_r in 1u32..8,
+    ) {
+        let a = rel_from("a", &arows);
+        let b = rel_from("b", &brows);
+        let c = rel_from("c", &crows);
+        let q = QueryBuilder::new("prop3")
+            .relation(a.schema().clone())
+            .relation(b.schema().clone())
+            .relation(c.schema().clone())
+            .join("a", "a", op1, "b", "a")
+            .join("b", "b", op2, "c", "b")
+            .build()
+            .unwrap();
+        let got = canonicalize(run_chain(&q, &[0, 1], &[&a, &b, &c], k_r, PartitionStrategy::Hilbert));
+        let want = canonicalize(oracle_join(&q, &[&a, &b, &c]));
+        prop_assert_eq!(got, want);
+    }
+}
+
+// ---------------------------------------------------------------- planner
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The full system (plan + execute, any method) matches the oracle
+    /// on random data for a fixed 3-relation query shape.
+    #[test]
+    fn system_equals_oracle(
+        arows in prop::collection::vec((0i64..15, 0i64..15), 1..30),
+        brows in prop::collection::vec((0i64..15, 0i64..15), 1..30),
+        crows in prop::collection::vec((0i64..15, 0i64..15), 1..30),
+        op in arb_op(),
+        method_pick in 0usize..5,
+    ) {
+        use multiway_theta_join::system::{Method, ThetaJoinSystem};
+        let methods = [Method::Ours, Method::OursGrid, Method::YSmart, Method::Hive, Method::Pig];
+        let a = rel_from("a", &arows);
+        let b = rel_from("b", &brows);
+        let c = rel_from("c", &crows);
+        let mut sys = ThetaJoinSystem::with_units(12);
+        sys.load_relation(&a);
+        sys.load_relation(&b);
+        sys.load_relation(&c);
+        let q = QueryBuilder::new("prop_sys")
+            .relation(a.schema().clone())
+            .relation(b.schema().clone())
+            .relation(c.schema().clone())
+            .join("a", "a", op, "b", "a")
+            .join("b", "b", ThetaOp::Eq, "c", "b")
+            .build()
+            .unwrap();
+        let want = canonicalize(sys.oracle(&q));
+        let run = sys.run(&q, methods[method_pick]);
+        let got = canonicalize(run.output.into_rows());
+        prop_assert_eq!(got, want);
+    }
+}
