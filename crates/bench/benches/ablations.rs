@@ -8,7 +8,7 @@
 //! 4. k_P-aware scheduling: our planner's makespan as k_P shrinks vs. a
 //!    k_P-oblivious plan.
 
-use mwtj_bench::{header, mobile_system};
+use mwtj_bench::{header, mobile_system, run};
 use mwtj_core::benchqueries::{mobile_query, MobileQuery};
 use mwtj_core::Method;
 use mwtj_cost::{choose_k_r, CalibratedParams, CostModel};
@@ -51,16 +51,13 @@ fn main() {
                 p.num_components()
             ));
         }
-        println!(
-            "{k:<10} {:>18} {:>18} {:>18}",
-            cells[0], cells[1], cells[2]
-        );
+        println!("{k:<10} {:>18} {:>18} {:>18}", cells[0], cells[1], cells[2]);
     }
     println!("\nexecution check (mobile Q1, ours-Hilbert vs ours-grid):");
     let q = mobile_query(MobileQuery::Q1);
     let sys = mobile_system(MobileQuery::Q1.instances(), 250, 32);
-    let hilbert = sys.run(&q, Method::Ours);
-    let grid = sys.run(&q, Method::OursGrid);
+    let hilbert = run(&sys, &q, Method::Ours);
+    let grid = run(&sys, &q, Method::OursGrid);
     println!(
         "  hilbert {:.3}s vs grid {:.3}s (same {} rows)",
         hilbert.sim_secs,
@@ -87,11 +84,12 @@ fn main() {
     let q3 = mobile_query(MobileQuery::Q3);
     let sys3 = mobile_system(MobileQuery::Q3.instances(), 200, 32);
     // Rebuild candidates the way the planner does.
-    let aug: Vec<&RelationStats> = q3
+    let aug_owned: Vec<RelationStats> = q3
         .schemas
         .iter()
         .map(|s| sys3.stats_of(s.name()).expect("loaded"))
         .collect();
+    let aug: Vec<&RelationStats> = aug_owned.iter().collect();
     let model = CostModel::new(ClusterConfig::with_units(32), CalibratedParams::default());
     let mut rng = StdRng::seed_from_u64(1);
     let _ = &mut rng;
@@ -121,12 +119,15 @@ fn main() {
         "Ablation 4",
         "k_P-aware scheduling: makespan of ours vs YSmart as k_P shrinks (mobile Q4)",
     );
-    println!("{:<8} {:>12} {:>12} {:>10}", "k_P", "ours (s)", "YSmart (s)", "ratio");
+    println!(
+        "{:<8} {:>12} {:>12} {:>10}",
+        "k_P", "ours (s)", "YSmart (s)", "ratio"
+    );
     let q4 = mobile_query(MobileQuery::Q4);
     for k_p in [96u32, 64, 32, 16] {
         let sys = mobile_system(MobileQuery::Q4.instances(), 200, k_p);
-        let ours = sys.run(&q4, Method::Ours).sim_secs;
-        let ysmart = sys.run(&q4, Method::YSmart).sim_secs;
+        let ours = run(&sys, &q4, Method::Ours).sim_secs;
+        let ysmart = run(&sys, &q4, Method::YSmart).sim_secs;
         println!(
             "{k_p:<8} {ours:>12.3} {ysmart:>12.3} {:>10.2}",
             ysmart / ours

@@ -6,14 +6,11 @@
 //! our loading approaches Hive's.
 
 use mwtj_bench::{header, mobile_gen};
-use mwtj_core::ThetaJoinSystem;
+use mwtj_core::Engine;
 use mwtj_mapreduce::{ClusterConfig, Dfs};
 
 fn main() {
-    header(
-        "Fig. 11",
-        "data loading time (simulated s) vs data volume",
-    );
+    header("Fig. 11", "data loading time (simulated s) vs data volume");
     println!(
         "{:<10} {:>14} {:>14} {:>14}",
         "volume", "plain upload", "Hive", "ours"
@@ -35,7 +32,7 @@ fn main() {
         let blocks = (calls.encoded_bytes() / cfg.params.block_bytes).max(1) as f64;
         let hive = plain + blocks * 1e-4 + calls.encoded_bytes() as f64 * cfg.hardware.c1() * 0.05;
         // Ours: upload + sampling/statistics/index pass.
-        let mut sys = ThetaJoinSystem::new(cfg.clone());
+        let sys = Engine::new(cfg.clone());
         let ours = sys.load_relation(&calls).total_secs();
         println!("{label:<10} {plain:>14.3} {hive:>14.3} {ours:>14.3}");
     }

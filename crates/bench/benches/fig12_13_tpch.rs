@@ -24,7 +24,7 @@ fn run_figure(k_p: u32, figure: &str) {
             let mut times = Vec::new();
             for scale in TPCH_SCALES {
                 let sys = tpch_system(which.instances(), scale.tpch_sf, k_p);
-                let run = sys.run(&q, method);
+                let run = mwtj_bench::run(&sys, &q, method);
                 times.push(run.sim_secs);
             }
             per_method.push((format!("{method:?}"), times));

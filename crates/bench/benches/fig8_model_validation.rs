@@ -82,8 +82,7 @@ fn main() {
             reducers: n,
             units: 96,
             sigma_bytes: sigma,
-            reduce_cpu_secs: m.reduce_candidates as f64
-                * cfg.hardware.cpu_per_candidate_secs,
+            reduce_cpu_secs: m.reduce_candidates as f64 * cfg.hardware.cpu_per_candidate_secs,
         };
         let predicted = model.predict_total(&shape);
         let simulated = m.sim_total_secs;

@@ -31,9 +31,8 @@ fn run_figure(k_p: u32, figure: &str) {
         for method in METHODS {
             let mut times = Vec::new();
             for scale in MOBILE_SCALES {
-                let sys =
-                    mobile_system(which.instances(), scale.mobile_rows / shrink, k_p);
-                let run = sys.run(&q, method);
+                let sys = mobile_system(which.instances(), scale.mobile_rows / shrink, k_p);
+                let run = mwtj_bench::run(&sys, &q, method);
                 times.push(run.sim_secs);
             }
             per_method.push((format!("{method:?}"), times));

@@ -26,15 +26,26 @@ fn main() {
     header("Table 1", "Hadoop parameter configuration (scaled 1:1000)");
     let cfg = ClusterConfig::default();
     println!("{:<28} {:>14}", "parameter", "set");
-    println!("{:<28} {:>14}", "fs.blocksize", format!("{}KB", cfg.params.block_bytes / 1024));
-    println!("{:<28} {:>14}", "io.sort.mb", format!("{}KB", cfg.params.io_sort_bytes / 1024));
+    println!(
+        "{:<28} {:>14}",
+        "fs.blocksize",
+        format!("{}KB", cfg.params.block_bytes / 1024)
+    );
+    println!(
+        "{:<28} {:>14}",
+        "io.sort.mb",
+        format!("{}KB", cfg.params.io_sort_bytes / 1024)
+    );
     println!(
         "{:<28} {:>14}",
         "io.sort.spill.percentage", cfg.params.spill_fraction
     );
     println!("{:<28} {:>14}", "dfs.replication", cfg.params.replication);
     println!("{:<28} {:>14}", "nodes", cfg.nodes);
-    println!("{:<28} {:>14}", "processing units (k_P)", cfg.processing_units);
+    println!(
+        "{:<28} {:>14}",
+        "processing units (k_P)", cfg.processing_units
+    );
     println!(
         "{:<28} {:>14}",
         "disk write (MB/s)",
@@ -47,7 +58,10 @@ fn main() {
     );
 
     // ------------------------------------------------- Table 2
-    header("Table 2", "mobile benchmark query statistics (Result Sel. measured)");
+    header(
+        "Table 2",
+        "mobile benchmark query statistics (Result Sel. measured)",
+    );
     println!(
         "{:<6} {:<10} {:<16} {:>10} {:>14}",
         "Q", "Relations", "Inequality", "Join Cnt", "Result Sel."
@@ -55,7 +69,7 @@ fn main() {
     for which in MobileQuery::ALL {
         let q = mobile_query(which);
         let sys = mobile_system(which.instances(), 120, 24);
-        let out = sys.run(&q, Method::Ours).output.len() as f64;
+        let out = mwtj_bench::run(&sys, &q, Method::Ours).output.len() as f64;
         let cube: f64 = q
             .schemas
             .iter()
@@ -72,7 +86,10 @@ fn main() {
     }
 
     // ------------------------------------------------- Table 3
-    header("Table 3", "TPC-H benchmark query statistics (Result Sel. measured)");
+    header(
+        "Table 3",
+        "TPC-H benchmark query statistics (Result Sel. measured)",
+    );
     println!(
         "{:<6} {:<10} {:<16} {:>10} {:>14}",
         "Q", "Relations", "Inequality", "Join Cnt", "Result Sel."
@@ -80,7 +97,7 @@ fn main() {
     for which in TpchQuery::ALL {
         let q = tpch_query(which);
         let sys = tpch_system(which.instances(), 0.0002, 24);
-        let out = sys.run(&q, Method::Ours).output.len() as f64;
+        let out = mwtj_bench::run(&sys, &q, Method::Ours).output.len() as f64;
         let cube: f64 = q
             .schemas
             .iter()

@@ -13,9 +13,11 @@
 
 #![warn(missing_docs)]
 
-use mwtj_core::{Method, ThetaJoinSystem};
+use mwtj_core::{Engine, Method, RunOptions};
 use mwtj_datagen::{MobileGen, TpchGen};
-use mwtj_storage::{Relation, Schema};
+use mwtj_planner::QueryRun;
+use mwtj_query::MultiwayQuery;
+use mwtj_storage::Relation;
 
 /// A data-scale point: the paper's label and our scaled row count /
 /// scale factor.
@@ -31,16 +33,40 @@ pub struct ScalePoint {
 
 /// The mobile-data volumes of Figs. 9–10 (paper: 20/100/500 GB).
 pub const MOBILE_SCALES: [ScalePoint; 3] = [
-    ScalePoint { label: "20GB", mobile_rows: 120, tpch_sf: 0.0 },
-    ScalePoint { label: "100GB", mobile_rows: 200, tpch_sf: 0.0 },
-    ScalePoint { label: "500GB", mobile_rows: 320, tpch_sf: 0.0 },
+    ScalePoint {
+        label: "20GB",
+        mobile_rows: 120,
+        tpch_sf: 0.0,
+    },
+    ScalePoint {
+        label: "100GB",
+        mobile_rows: 200,
+        tpch_sf: 0.0,
+    },
+    ScalePoint {
+        label: "500GB",
+        mobile_rows: 320,
+        tpch_sf: 0.0,
+    },
 ];
 
 /// The TPC-H volumes of Figs. 12–13 (paper: 200/500/1000 GB).
 pub const TPCH_SCALES: [ScalePoint; 3] = [
-    ScalePoint { label: "200GB", mobile_rows: 0, tpch_sf: 0.00010 },
-    ScalePoint { label: "500GB", mobile_rows: 0, tpch_sf: 0.00025 },
-    ScalePoint { label: "1000GB", mobile_rows: 0, tpch_sf: 0.00050 },
+    ScalePoint {
+        label: "200GB",
+        mobile_rows: 0,
+        tpch_sf: 0.00010,
+    },
+    ScalePoint {
+        label: "500GB",
+        mobile_rows: 0,
+        tpch_sf: 0.00025,
+    },
+    ScalePoint {
+        label: "1000GB",
+        mobile_rows: 0,
+        tpch_sf: 0.00050,
+    },
 ];
 
 /// The four methods compared in every query figure.
@@ -56,20 +82,24 @@ pub fn mobile_gen() -> MobileGen {
     }
 }
 
-/// Build a system with the mobile calls table loaded under every
+/// Build an engine with the mobile calls table loaded under every
 /// instance alias a query needs.
-pub fn mobile_system(instances: &[&str], rows: usize, k_p: u32) -> ThetaJoinSystem {
-    let mut sys = ThetaJoinSystem::with_units(k_p);
+pub fn mobile_system(instances: &[&str], rows: usize, k_p: u32) -> Engine {
+    let engine = Engine::with_units(k_p);
     let calls = mobile_gen().generate("calls", rows);
+    let _ = engine.load_relation(&calls);
     for inst in instances {
-        sys.load_alias(&calls, inst);
+        // Shares the augmented rows and statistics with the base.
+        let _ = engine
+            .load_alias_of("calls", inst)
+            .expect("base table just loaded");
     }
-    sys
+    engine
 }
 
-/// Build a system with the TPC-H tables a query needs, at `sf`.
-pub fn tpch_system(instances: &[(&str, &str)], sf: f64, k_p: u32) -> ThetaJoinSystem {
-    let mut sys = ThetaJoinSystem::with_units(k_p);
+/// Build an engine with the TPC-H tables a query needs, at `sf`.
+pub fn tpch_system(instances: &[(&str, &str)], sf: f64, k_p: u32) -> Engine {
+    let engine = Engine::with_units(k_p);
     let gen = TpchGen {
         scale: sf,
         ..Default::default()
@@ -84,13 +114,25 @@ pub fn tpch_system(instances: &[(&str, &str)], sf: f64, k_p: u32) -> ThetaJoinSy
             "lineitem" => gen.lineitem(),
             other => panic!("unknown TPC-H table `{other}`"),
         };
-        let renamed = Relation::from_rows_unchecked(
-            Schema::new(*inst, data.schema().fields().to_vec()),
-            data.rows().to_vec(),
-        );
-        sys.load_relation(&renamed);
+        let _ = engine.load_relation(&data.rename(inst));
     }
-    sys
+    engine
+}
+
+/// Run `q` on `engine` with `method`, panicking on failure — bench
+/// targets want the result or a loud stop, not error plumbing.
+pub fn run(engine: &Engine, q: &MultiwayQuery, method: Method) -> QueryRun {
+    engine
+        .run(q, &RunOptions::from(method))
+        .unwrap_or_else(|e| panic!("bench query `{}` failed: {e}", q.name))
+}
+
+/// Oracle rows for `q` on `engine`, panicking on failure.
+pub fn oracle_len(engine: &Engine, q: &MultiwayQuery) -> usize {
+    engine
+        .oracle(q)
+        .unwrap_or_else(|e| panic!("oracle for `{}` failed: {e}", q.name))
+        .len()
 }
 
 /// Print a figure header.
@@ -131,8 +173,8 @@ mod tests {
             assert!(sys.stats_of(inst).is_some(), "{inst} missing");
         }
         // And the query actually runs on it.
-        let run = sys.run(&mobile_query(q), Method::Ours);
-        assert_eq!(run.output.len(), sys.oracle(&mobile_query(q)).len());
+        let got = run(&sys, &mobile_query(q), Method::Ours);
+        assert_eq!(got.output.len(), oracle_len(&sys, &mobile_query(q)));
     }
 
     #[test]
@@ -146,7 +188,9 @@ mod tests {
 
     #[test]
     fn scales_are_ascending() {
-        assert!(MOBILE_SCALES.windows(2).all(|w| w[0].mobile_rows < w[1].mobile_rows));
+        assert!(MOBILE_SCALES
+            .windows(2)
+            .all(|w| w[0].mobile_rows < w[1].mobile_rows));
         assert!(TPCH_SCALES.windows(2).all(|w| w[0].tpch_sf < w[1].tpch_sf));
     }
 }

@@ -69,7 +69,11 @@ pub fn mobile_query(which: MobileQuery) -> MultiwayQuery {
                 .join("t1", "bt", ThetaOp::Le, "t2", "bt")
                 .join("t1", "l", ThetaOp::Ge, "t2", "l")
                 .join("t2", "bsc", bsc_op, "t3", "bsc")
-                .and_expr(ColExpr::col("t2", "d"), ThetaOp::Eq, ColExpr::col("t3", "d"))
+                .and_expr(
+                    ColExpr::col("t2", "d"),
+                    ThetaOp::Eq,
+                    ColExpr::col("t3", "d"),
+                )
                 .project("t3", "id")
                 .build()
                 .expect("mobile query builds")
@@ -134,11 +138,7 @@ impl TpchQuery {
                 ("customer", "customer"),
                 ("nation", "nation"),
             ],
-            TpchQuery::Q17 => &[
-                ("l1", "lineitem"),
-                ("part", "part"),
-                ("l2", "lineitem"),
-            ],
+            TpchQuery::Q17 => &[("l1", "lineitem"), ("part", "part"), ("l2", "lineitem")],
             TpchQuery::Q18 => &[
                 ("customer", "customer"),
                 ("orders", "orders"),
@@ -181,8 +181,20 @@ pub fn tpch_query(which: TpchQuery) -> MultiwayQuery {
             .relation(s("orders", "orders"))
             .relation(s("customer", "customer"))
             .relation(s("nation", "nation"))
-            .join("supplier", "s_suppkey", ThetaOp::Eq, "lineitem", "l_suppkey")
-            .join("lineitem", "l_orderkey", ThetaOp::Eq, "orders", "o_orderkey")
+            .join(
+                "supplier",
+                "s_suppkey",
+                ThetaOp::Eq,
+                "lineitem",
+                "l_suppkey",
+            )
+            .join(
+                "lineitem",
+                "l_orderkey",
+                ThetaOp::Eq,
+                "orders",
+                "o_orderkey",
+            )
             .and_expr(
                 ColExpr::col("orders", "o_orderdate"),
                 ThetaOp::Le,
@@ -199,8 +211,20 @@ pub fn tpch_query(which: TpchQuery) -> MultiwayQuery {
                 ColExpr::col("lineitem", "l_extendedprice"),
             )
             .join("orders", "o_custkey", ThetaOp::Eq, "customer", "c_custkey")
-            .join("supplier", "s_nationkey", ThetaOp::Eq, "nation", "n_nationkey")
-            .join("supplier", "s_nationkey", ThetaOp::Ne, "customer", "c_nationkey")
+            .join(
+                "supplier",
+                "s_nationkey",
+                ThetaOp::Eq,
+                "nation",
+                "n_nationkey",
+            )
+            .join(
+                "supplier",
+                "s_nationkey",
+                ThetaOp::Ne,
+                "customer",
+                "c_nationkey",
+            )
             .project("supplier", "s_name")
             .project("customer", "c_name")
             .build()
@@ -241,7 +265,13 @@ pub fn tpch_query(which: TpchQuery) -> MultiwayQuery {
             .relation(s("l3", "lineitem"))
             .join("supplier", "s_suppkey", ThetaOp::Eq, "l1", "l_suppkey")
             .join("l1", "l_orderkey", ThetaOp::Eq, "orders", "o_orderkey")
-            .join("supplier", "s_nationkey", ThetaOp::Eq, "nation", "n_nationkey")
+            .join(
+                "supplier",
+                "s_nationkey",
+                ThetaOp::Eq,
+                "nation",
+                "n_nationkey",
+            )
             .join("l1", "l_orderkey", ThetaOp::Eq, "l2", "l_orderkey")
             .and_expr(
                 ColExpr::col("l2", "l_suppkey"),

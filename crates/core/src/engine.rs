@@ -1,0 +1,737 @@
+//! The engine/session API: data ownership separated from query
+//! execution.
+//!
+//! [`Engine`] owns the simulated cluster, the loaded (rowid-augmented)
+//! relations, their statistics, and the cost-model-equipped planner —
+//! all behind `Arc`-shared, lock-protected state, so query execution
+//! needs only `&self` and independent queries can be served
+//! concurrently ([`Engine::run_many`]). [`Session`] is a cheap,
+//! cloneable handle carrying per-caller default [`RunOptions`].
+//!
+//! Every fallible entry point returns [`EngineError`] instead of
+//! panicking: an unknown relation, a malformed SQL string or an
+//! unplannable query fails *that query*, never the process.
+
+use crate::error::EngineError;
+use crate::options::{Method, RunOptions};
+use mwtj_cost::{CalibratedParams, Calibrator, CostModel};
+use mwtj_join::oracle::oracle_join;
+use mwtj_mapreduce::{Cluster, ClusterConfig, ExecError};
+use mwtj_planner::{Baseline, Planner, QueryRun};
+use mwtj_query::{MultiwayQuery, ParsedSql};
+use mwtj_storage::{DataType, Field, Relation, RelationStats, Schema, Tuple, Value};
+use parking_lot::{Mutex, RwLock};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// The implicit row-identity column appended to every loaded relation.
+/// Partial-result merging joins on it ("merge using the primary keys
+/// ... only output keys or data IDs involved", §4.2); it is stripped
+/// from final outputs unless explicitly projected.
+pub const RID_COLUMN: &str = "__rid";
+
+/// What loading a relation cost (Fig. 11's comparison).
+#[must_use = "loading is priced on the simulated clock; inspect or explicitly drop the report"]
+#[derive(Debug, Clone, Copy)]
+pub struct LoadReport {
+    /// Simulated seconds for the raw replicated upload (the "Plain
+    /// Hadoop Uploading" line).
+    pub upload_secs: f64,
+    /// Simulated seconds for the sampling + statistics pass our method
+    /// adds (why "our method is a little more time consuming for the
+    /// data uploading process", §6.3).
+    pub sampling_secs: f64,
+}
+
+impl LoadReport {
+    /// Total load time for our method.
+    pub fn total_secs(&self) -> f64 {
+        self.upload_secs + self.sampling_secs
+    }
+}
+
+/// Loaded data: augmented relations and their statistics, keyed by
+/// instance name.
+#[derive(Default)]
+struct Catalog {
+    stats: HashMap<String, RelationStats>,
+    relations: HashMap<String, Arc<Relation>>,
+    /// Instance name → the base table it was loaded from (itself for
+    /// direct loads). SQL auto-registration consults this so an alias
+    /// can never be silently rebound to a different base.
+    bases: HashMap<String, String>,
+}
+
+/// State shared by an engine and all its sessions.
+struct Shared {
+    cluster: Cluster,
+    /// Swapped wholesale on calibration; executions snapshot the `Arc`.
+    planner: RwLock<Arc<Planner>>,
+    catalog: RwLock<Catalog>,
+    /// Guards the run-once calibration sweep.
+    calibrated: Mutex<bool>,
+    sample_cap: usize,
+}
+
+/// The top-level system: cluster + DFS + statistics + planner behind
+/// shared immutable state, serving queries from `&self`.
+///
+/// See the crate-level docs for a full example.
+#[derive(Clone)]
+pub struct Engine {
+    shared: Arc<Shared>,
+}
+
+impl Engine {
+    /// Build over a cluster configuration with default (uncalibrated)
+    /// cost parameters.
+    pub fn new(config: ClusterConfig) -> Self {
+        let model = CostModel::new(config.clone(), CalibratedParams::default());
+        Engine {
+            shared: Arc::new(Shared {
+                cluster: Cluster::new(config),
+                planner: RwLock::new(Arc::new(Planner::new(model))),
+                catalog: RwLock::new(Catalog::default()),
+                calibrated: Mutex::new(false),
+                sample_cap: 512,
+            }),
+        }
+    }
+
+    /// Shorthand: default cluster with `k_P` processing units.
+    pub fn with_units(k_p: u32) -> Self {
+        Self::new(ClusterConfig::with_units(k_p))
+    }
+
+    /// A session sharing this engine's state, with default run options.
+    pub fn session(&self) -> Session {
+        Session {
+            shared: Arc::clone(&self.shared),
+            defaults: RunOptions::default(),
+        }
+    }
+
+    /// The underlying cluster (inspection; the DFS holds every loaded
+    /// relation under its instance name).
+    pub fn cluster(&self) -> &Cluster {
+        &self.shared.cluster
+    }
+
+    /// A snapshot of the current planner (calibration swaps it).
+    pub fn planner(&self) -> Arc<Planner> {
+        Arc::clone(&self.shared.planner.read())
+    }
+
+    /// Statistics collected for a loaded relation instance.
+    pub fn stats_of(&self, name: &str) -> Option<RelationStats> {
+        self.shared.catalog.read().stats.get(name).cloned()
+    }
+
+    /// The loaded (rowid-augmented) relation under `name`.
+    pub fn relation(&self, name: &str) -> Option<Arc<Relation>> {
+        self.shared.catalog.read().relations.get(name).cloned()
+    }
+
+    /// Run the §6.2 calibration sweep and swap in the fitted `p`/`q`.
+    pub fn calibrate(&self) {
+        let config = self.shared.cluster.config().clone();
+        let params = Calibrator::quick(config.clone()).calibrate();
+        let planner = Planner::new(CostModel::new(config, params));
+        *self.shared.planner.write() = Arc::new(planner);
+        *self.shared.calibrated.lock() = true;
+    }
+
+    /// Calibrate at most once per engine (the [`RunOptions::calibrated`]
+    /// toggle).
+    fn ensure_calibrated(&self) {
+        let mut done = self.shared.calibrated.lock();
+        if !*done {
+            let config = self.shared.cluster.config().clone();
+            let params = Calibrator::quick(config.clone()).calibrate();
+            *self.shared.planner.write() = Arc::new(Planner::new(CostModel::new(config, params)));
+            *done = true;
+        }
+    }
+
+    /// Load a relation: append the implicit rowid column, upload to the
+    /// DFS (replicated blocks), and run the sampling/statistics pass.
+    ///
+    /// This is an *administrative* operation: loading under a name that
+    /// already exists replaces that catalog entry (and its binding),
+    /// matching the legacy façade's reload semantics. Only SQL
+    /// auto-registration ([`Engine::load_alias_of`]) refuses to rebind.
+    pub fn load_relation(&self, rel: &Relation) -> LoadReport {
+        let augmented = augment_with_rid(rel);
+        let mut rng = StdRng::seed_from_u64(0x57a7 ^ augmented.len() as u64);
+        let stats = RelationStats::collect(&augmented, self.shared.sample_cap, &mut rng);
+        let base = rel.name().to_string();
+        self.register(augmented, stats, base)
+    }
+
+    /// Load the same data under another schema name (self-join
+    /// instances `t1`, `t2`, … of one base table).
+    ///
+    /// Augmentation materialises one rowid-extended copy of `rel`'s
+    /// rows per call (the rid column cannot be shared with rows that
+    /// lack it); everything downstream of that copy shares storage.
+    /// When the base is already loaded, prefer [`Engine::load_alias_of`],
+    /// which shares the augmented rows and statistics outright.
+    ///
+    /// Like [`Engine::load_relation`], this is administrative and will
+    /// replace an existing entry under `alias`.
+    pub fn load_alias(&self, rel: &Relation, alias: &str) -> LoadReport {
+        if rel.name() == alias {
+            return self.load_relation(rel);
+        }
+        let augmented = augment_with_rid(rel).rename(alias);
+        let mut rng = StdRng::seed_from_u64(0x57a7 ^ augmented.len() as u64);
+        let stats = RelationStats::collect(&augmented, self.shared.sample_cap, &mut rng);
+        let base = rel.name().to_string();
+        self.register(augmented, stats, base)
+    }
+
+    /// Alias an *already loaded* base relation: row storage and
+    /// statistics are shared outright (no copy, no sampling pass);
+    /// only the DFS upload of the instance file is priced, as each
+    /// instance is a distinct DFS file on a real cluster.
+    ///
+    /// Idempotent: if `alias` is already bound to `base`, nothing
+    /// happens and a zero-cost report is returned. Binding an alias
+    /// that currently points at a *different* base is an
+    /// [`EngineError::AliasConflict`] — rebinding under a running
+    /// engine would hand concurrent queries the wrong data.
+    pub fn load_alias_of(&self, base: &str, alias: &str) -> Result<LoadReport, EngineError> {
+        // One write lock for check + upload + publish. Keeping the DFS
+        // upload inside the critical section means a large alias load
+        // briefly blocks stat lookups, but releasing the lock around it
+        // would open a window where either the catalog names a DFS file
+        // that does not exist yet, or a losing racer clobbers the
+        // winner's DFS file after the conflict check. Alias loads are
+        // rare administrative events; correctness wins.
+        let mut catalog = self.shared.catalog.write();
+        match catalog.bases.get(alias) {
+            Some(bound) if bound == base => {
+                return Ok(LoadReport {
+                    upload_secs: 0.0,
+                    sampling_secs: 0.0,
+                })
+            }
+            Some(bound) => {
+                return Err(EngineError::AliasConflict {
+                    alias: alias.into(),
+                    bound_to: bound.clone(),
+                    requested: base.into(),
+                })
+            }
+            None => {}
+        }
+        let rel = catalog
+            .relations
+            .get(base)
+            .ok_or_else(|| EngineError::RelationNotLoaded { name: base.into() })?
+            .rename(alias);
+        let stats = catalog
+            .stats
+            .get(base)
+            .cloned()
+            .ok_or_else(|| EngineError::RelationNotLoaded { name: base.into() })?;
+        let config = self.shared.cluster.config();
+        let upload_secs = self.shared.cluster.dfs().put_relation(alias, &rel, config);
+        catalog.stats.insert(alias.to_string(), stats);
+        catalog.relations.insert(alias.to_string(), Arc::new(rel));
+        catalog.bases.insert(alias.to_string(), base.to_string());
+        Ok(LoadReport {
+            upload_secs,
+            // Statistics are shared with the base; no sampling pass.
+            sampling_secs: 0.0,
+        })
+    }
+
+    /// Upload `augmented` to the DFS, price the load, and publish it in
+    /// the catalog bound to `base`.
+    fn register(&self, augmented: Relation, stats: RelationStats, base: String) -> LoadReport {
+        let config = self.shared.cluster.config();
+        let upload_secs =
+            self.shared
+                .cluster
+                .dfs()
+                .put_relation(augmented.name(), &augmented, config);
+        // Sampling pass: one sequential scan of a sample's worth of
+        // blocks + histogram building; priced as reading the sampled
+        // fraction plus a fixed index-build overhead per block.
+        let hw = &config.hardware;
+        let sampled_bytes = (self.shared.sample_cap as f64 * augmented.avg_row_bytes())
+            .min(augmented.encoded_bytes() as f64);
+        let sampling_secs =
+            augmented.encoded_bytes() as f64 * hw.c1() * 0.25 + sampled_bytes / hw.disk_write_bps;
+        let mut catalog = self.shared.catalog.write();
+        let name = augmented.name().to_string();
+        catalog.stats.insert(name.clone(), stats);
+        catalog.relations.insert(name.clone(), Arc::new(augmented));
+        catalog.bases.insert(name, base);
+        LoadReport {
+            upload_secs,
+            sampling_secs,
+        }
+    }
+
+    /// Execute `query` (built against the *base* schemas, without the
+    /// rowid column) under `opts`, returning the result or a typed
+    /// error — never panicking on unknown relations or plan failures.
+    pub fn run(&self, query: &MultiwayQuery, opts: &RunOptions) -> Result<QueryRun, EngineError> {
+        if opts.wants_calibration() {
+            self.ensure_calibrated();
+        }
+        let q = augment_query(query);
+        let planner = self.planner();
+        // Snapshot the statistics and release the catalog guard before
+        // executing: holding it across a multi-second run would stall
+        // every concurrent load (and, with writers queued, new runs).
+        let owned_stats: Vec<RelationStats> = {
+            let catalog = self.shared.catalog.read();
+            q.schemas
+                .iter()
+                .map(|s| {
+                    catalog.stats.get(s.name()).cloned().ok_or_else(|| {
+                        EngineError::RelationNotLoaded {
+                            name: s.name().to_string(),
+                        }
+                    })
+                })
+                .collect::<Result<_, _>>()?
+        };
+        let stats: Vec<&RelationStats> = owned_stats.iter().collect();
+        let cluster = &self.shared.cluster;
+        let exec_opts = opts.exec_options();
+        let run = match opts.get_method() {
+            Method::Ours | Method::OursGrid => {
+                planner.try_execute_ours(&q, &stats, cluster, &exec_opts)?
+            }
+            Method::YSmart => {
+                planner.try_execute_baseline(Baseline::YSmart, &q, &stats, cluster, &exec_opts)?
+            }
+            Method::Hive => {
+                planner.try_execute_baseline(Baseline::Hive, &q, &stats, cluster, &exec_opts)?
+            }
+            Method::Pig => {
+                planner.try_execute_baseline(Baseline::Pig, &q, &stats, cluster, &exec_opts)?
+            }
+        };
+        Ok(run)
+    }
+
+    /// Execute several independent queries concurrently on a scoped
+    /// thread pool (one worker per host core, capped at the batch
+    /// size), all under the same options. Results are returned in input
+    /// order; each query fails independently. Shared engine state is
+    /// read-only during execution and every run's intermediate DFS
+    /// files are namespaced, so results are identical to sequential
+    /// [`Engine::run`] calls.
+    pub fn run_many(
+        &self,
+        queries: &[&MultiwayQuery],
+        opts: &RunOptions,
+    ) -> Vec<Result<QueryRun, EngineError>> {
+        if opts.wants_calibration() {
+            self.ensure_calibrated();
+        }
+        let n = queries.len();
+        let workers = std::thread::available_parallelism()
+            .map(|p| p.get())
+            .unwrap_or(4)
+            .min(n.max(1));
+        let next = AtomicUsize::new(0);
+        let slots: Vec<Mutex<Option<Result<QueryRun, EngineError>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        std::thread::scope(|s| {
+            for _ in 0..workers {
+                s.spawn(|| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    *slots[i].lock() = Some(self.run(queries[i], opts));
+                });
+            }
+        });
+        slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner().unwrap_or_else(|| {
+                    Err(EngineError::Exec(ExecError::BadRequest {
+                        detail: "internal: query slot never executed".into(),
+                    }))
+                })
+            })
+            .collect()
+    }
+
+    /// Parse a SQL query against the loaded base relations. The
+    /// returned [`ParsedSql`] lists each FROM-clause `(alias, base)`
+    /// instance. Parsing alone does **not** register aliases —
+    /// [`Engine::run_sql`]/[`Engine::run_sql_many`] do, or call
+    /// [`Engine::load_alias_of`] per instance before
+    /// [`Engine::run`]ning a parsed query yourself.
+    pub fn parse_sql(&self, name: &str, sql: &str) -> Result<ParsedSql, EngineError> {
+        let catalog = self.shared.catalog.read();
+        let resolver = |base: &str| -> Option<Schema> {
+            catalog
+                .relations
+                .get(base)
+                .map(|rel| base_schema(rel.schema()))
+        };
+        mwtj_query::parse_sql(name, sql, &resolver).map_err(EngineError::from)
+    }
+
+    /// Parse and execute a SQL query end-to-end with default options:
+    /// parse → auto-register FROM-clause aliases (sharing rows with the
+    /// loaded base) → plan → execute.
+    pub fn run_sql(&self, sql: &str) -> Result<QueryRun, EngineError> {
+        self.run_sql_with("sql", sql, &RunOptions::default())
+    }
+
+    /// [`Engine::run_sql`] with an explicit query name and options.
+    pub fn run_sql_with(
+        &self,
+        name: &str,
+        sql: &str,
+        opts: &RunOptions,
+    ) -> Result<QueryRun, EngineError> {
+        let parsed = self.parse_sql(name, sql)?;
+        self.register_instances(&parsed)?;
+        self.run(&parsed.query, opts)
+    }
+
+    /// Parse several SQL queries, register their aliases, and execute
+    /// them concurrently via [`Engine::run_many`]. Results come back in
+    /// input order; a query that fails to parse fails alone.
+    pub fn run_sql_many(
+        &self,
+        sqls: &[&str],
+        opts: &RunOptions,
+    ) -> Vec<Result<QueryRun, EngineError>> {
+        let parsed: Vec<Result<MultiwayQuery, EngineError>> = sqls
+            .iter()
+            .enumerate()
+            .map(|(i, sql)| {
+                let p = self.parse_sql(&format!("sql{i}"), sql)?;
+                self.register_instances(&p)?;
+                Ok(p.query)
+            })
+            .collect();
+        let runnable: Vec<&MultiwayQuery> = parsed.iter().filter_map(|p| p.as_ref().ok()).collect();
+        let mut executed = self.run_many(&runnable, opts).into_iter();
+        parsed
+            .into_iter()
+            .map(|p| match p {
+                Ok(_) => executed.next().unwrap_or_else(|| {
+                    Err(EngineError::Exec(ExecError::BadRequest {
+                        detail: "internal: SQL batch slot never executed".into(),
+                    }))
+                }),
+                Err(e) => Err(e),
+            })
+            .collect()
+    }
+
+    /// Register every FROM-clause alias of `parsed`, sharing rows and
+    /// statistics with its base table. [`Engine::load_alias_of`] is
+    /// idempotent and rejects rebinding an alias to a different base,
+    /// so concurrent registrations cannot hand a query the wrong data.
+    fn register_instances(&self, parsed: &ParsedSql) -> Result<(), EngineError> {
+        for (alias, base) in &parsed.instances {
+            let _report = self.load_alias_of(base, alias)?;
+        }
+        Ok(())
+    }
+
+    /// Single-threaded ground truth for `query` over the loaded data.
+    pub fn oracle(&self, query: &MultiwayQuery) -> Result<Vec<Tuple>, EngineError> {
+        let q = augment_query(query);
+        // Snapshot the `Arc`s and release the guard before the
+        // CPU-heavy nested-loop join, as in [`Engine::run`].
+        let arcs: Vec<Arc<Relation>> = {
+            let catalog = self.shared.catalog.read();
+            q.schemas
+                .iter()
+                .map(|s| {
+                    catalog.relations.get(s.name()).cloned().ok_or_else(|| {
+                        EngineError::RelationNotLoaded {
+                            name: s.name().to_string(),
+                        }
+                    })
+                })
+                .collect::<Result<_, _>>()?
+        };
+        let rels: Vec<&Relation> = arcs.iter().map(|a| a.as_ref()).collect();
+        Ok(oracle_join(&q, &rels))
+    }
+}
+
+/// A cheap, cloneable query handle over a shared [`Engine`], carrying
+/// per-session default [`RunOptions`]. Sessions are `Send`, so every
+/// connection of a multi-user server can hold its own.
+#[derive(Clone)]
+pub struct Session {
+    shared: Arc<Shared>,
+    defaults: RunOptions,
+}
+
+impl Session {
+    /// Replace this session's default options.
+    pub fn with_options(mut self, defaults: RunOptions) -> Self {
+        self.defaults = defaults;
+        self
+    }
+
+    /// This session's default options.
+    pub fn options(&self) -> &RunOptions {
+        &self.defaults
+    }
+
+    /// The engine this session serves from.
+    pub fn engine(&self) -> Engine {
+        Engine {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Execute `query` under `opts` (ignoring the session defaults).
+    pub fn run(&self, query: &MultiwayQuery, opts: &RunOptions) -> Result<QueryRun, EngineError> {
+        self.engine().run(query, opts)
+    }
+
+    /// Execute `query` under the session's default options.
+    pub fn query(&self, query: &MultiwayQuery) -> Result<QueryRun, EngineError> {
+        self.engine().run(query, &self.defaults)
+    }
+
+    /// Parse and execute a SQL string under the session's default
+    /// options.
+    pub fn run_sql(&self, sql: &str) -> Result<QueryRun, EngineError> {
+        self.engine().run_sql_with("sql", sql, &self.defaults)
+    }
+
+    /// Single-threaded ground truth over the engine's loaded data.
+    pub fn oracle(&self, query: &MultiwayQuery) -> Result<Vec<Tuple>, EngineError> {
+        self.engine().oracle(query)
+    }
+}
+
+/// Rebuild the query against the rowid-augmented schemas; if the
+/// user projected nothing, project every *base* column so the
+/// hidden rowids do not leak into results.
+fn augment_query(query: &MultiwayQuery) -> MultiwayQuery {
+    let schemas: Vec<Schema> = query
+        .schemas
+        .iter()
+        .map(|s| {
+            if s.index_of(RID_COLUMN).is_ok() {
+                s.clone()
+            } else {
+                augment_schema(s)
+            }
+        })
+        .collect();
+    let projection = if query.projection.is_empty() {
+        let mut all = Vec::new();
+        for (r, s) in query.schemas.iter().enumerate() {
+            for c in 0..s.arity() {
+                if s.fields()[c].name != RID_COLUMN {
+                    all.push((r, c));
+                }
+            }
+        }
+        all
+    } else {
+        query.projection.clone()
+    };
+    MultiwayQuery {
+        schemas,
+        conditions: query.conditions.clone(),
+        projection,
+        name: query.name.clone(),
+    }
+}
+
+/// Append the rowid column to a schema.
+fn augment_schema(schema: &Schema) -> Schema {
+    let mut fields: Vec<Field> = schema.fields().to_vec();
+    fields.push(Field::new(RID_COLUMN, DataType::Int));
+    Schema::new(schema.name(), fields)
+}
+
+/// The schema without the rowid column (what SQL queries resolve
+/// against).
+fn base_schema(schema: &Schema) -> Schema {
+    let fields: Vec<Field> = schema
+        .fields()
+        .iter()
+        .filter(|f| f.name != RID_COLUMN)
+        .cloned()
+        .collect();
+    Schema::new(schema.name(), fields)
+}
+
+/// Append per-row unique ids to a relation.
+fn augment_with_rid(rel: &Relation) -> Relation {
+    if rel.schema().index_of(RID_COLUMN).is_ok() {
+        return rel.clone();
+    }
+    let schema = augment_schema(rel.schema());
+    let rows: Vec<Tuple> = rel
+        .rows()
+        .iter()
+        .enumerate()
+        .map(|(i, row)| {
+            let mut v = row.values().to_vec();
+            v.push(Value::Int(i as i64));
+            Tuple::new(v)
+        })
+        .collect();
+    Relation::from_rows_unchecked(schema, rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwtj_join::oracle::canonicalize;
+    use mwtj_query::{QueryBuilder, ThetaOp};
+    use mwtj_storage::tuple;
+    use rand::Rng;
+
+    fn assert_send_sync<T: Send + Sync>() {}
+
+    #[test]
+    fn engine_and_session_are_shareable() {
+        assert_send_sync::<Engine>();
+        assert_send_sync::<Session>();
+    }
+
+    fn random_rel(name: &str, n: usize, seed: u64, domain: i64) -> Relation {
+        let schema = Schema::from_pairs(name, &[("a", DataType::Int), ("b", DataType::Int)]);
+        let mut rng = StdRng::seed_from_u64(seed);
+        Relation::from_rows_unchecked(
+            schema,
+            (0..n)
+                .map(|_| tuple![rng.gen_range(0..domain), rng.gen_range(0..domain)])
+                .collect(),
+        )
+    }
+
+    fn two_rel_engine() -> (Engine, MultiwayQuery) {
+        let engine = Engine::with_units(8);
+        let r = random_rel("r", 60, 1, 20);
+        let s = random_rel("s", 50, 2, 20);
+        let _ = engine.load_relation(&r);
+        let _ = engine.load_relation(&s);
+        let q = QueryBuilder::new("q")
+            .relation(r.schema().clone())
+            .relation(s.schema().clone())
+            .join("r", "a", ThetaOp::Le, "s", "a")
+            .build()
+            .unwrap();
+        (engine, q)
+    }
+
+    #[test]
+    fn unknown_relation_is_a_typed_error_not_a_panic() {
+        let engine = Engine::with_units(4);
+        let r = random_rel("r", 10, 1, 5);
+        let q = QueryBuilder::new("q")
+            .relation(r.schema().clone())
+            .relation(Schema::from_pairs("ghost", &[("a", DataType::Int)]))
+            .join("r", "a", ThetaOp::Eq, "ghost", "a")
+            .build()
+            .unwrap();
+        let _ = engine.load_relation(&r);
+        match engine.run(&q, &RunOptions::default()) {
+            Err(EngineError::RelationNotLoaded { name }) => assert_eq!(name, "ghost"),
+            other => panic!("expected RelationNotLoaded, got {other:?}"),
+        }
+        match engine.oracle(&q) {
+            Err(EngineError::RelationNotLoaded { name }) => assert_eq!(name, "ghost"),
+            other => panic!("expected RelationNotLoaded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn all_methods_agree_with_oracle_via_options() {
+        let (engine, q) = two_rel_engine();
+        let want = canonicalize(engine.oracle(&q).unwrap());
+        for m in Method::ALL {
+            let run = engine.run(&q, &RunOptions::from(m)).unwrap();
+            assert_eq!(canonicalize(run.output.into_rows()), want, "{m}");
+        }
+    }
+
+    #[test]
+    fn alias_shares_rows_with_base() {
+        let engine = Engine::with_units(4);
+        let base = random_rel("calls", 40, 3, 10);
+        let _ = engine.load_relation(&base);
+        let rep = engine.load_alias_of("calls", "t1").unwrap();
+        assert!(rep.total_secs() > 0.0);
+        let a = engine.relation("calls").unwrap();
+        let b = engine.relation("t1").unwrap();
+        // Same row storage, different schema names.
+        assert!(std::ptr::eq(a.rows().as_ptr(), b.rows().as_ptr()));
+        assert_eq!(b.name(), "t1");
+        assert!(engine.stats_of("t1").is_some());
+        // Aliasing an unloaded base errors.
+        assert!(matches!(
+            engine.load_alias_of("nope", "t2"),
+            Err(EngineError::RelationNotLoaded { .. })
+        ));
+    }
+
+    #[test]
+    fn per_run_fault_plans_do_not_change_results() {
+        let (engine, q) = two_rel_engine();
+        let clean = engine.run(&q, &RunOptions::default()).unwrap();
+        let faulty = engine
+            .run(
+                &q,
+                &RunOptions::new().fault_plan(mwtj_mapreduce::FaultPlan::with_probability(0.4, 99)),
+            )
+            .unwrap();
+        assert_eq!(
+            canonicalize(clean.output.into_rows()),
+            canonicalize(faulty.output.into_rows())
+        );
+        // The reruns cost simulated time.
+        assert!(faulty.sim_secs >= clean.sim_secs);
+    }
+
+    #[test]
+    fn calibrated_option_swaps_model_once() {
+        let (engine, q) = two_rel_engine();
+        let before = Arc::as_ptr(&engine.planner());
+        let opts = RunOptions::new().calibrated(true);
+        engine.run(&q, &opts).unwrap();
+        let after = engine.planner();
+        assert_ne!(before, Arc::as_ptr(&after), "calibration swaps planner");
+        assert!(!after.model().params().observations.is_empty());
+        engine.run(&q, &opts).unwrap();
+        assert_eq!(
+            Arc::as_ptr(&after),
+            Arc::as_ptr(&engine.planner()),
+            "second calibrated run reuses the fitted model"
+        );
+    }
+
+    #[test]
+    fn session_defaults_apply() {
+        let (engine, q) = two_rel_engine();
+        let session = engine
+            .session()
+            .with_options(RunOptions::from(Method::Hive));
+        let want = canonicalize(session.oracle(&q).unwrap());
+        let run = session.query(&q).unwrap();
+        assert!(run.plan.starts_with("Hive"));
+        assert_eq!(canonicalize(run.output.into_rows()), want);
+    }
+}

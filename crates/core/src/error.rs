@@ -1,0 +1,106 @@
+//! The workspace-wide error type surfaced by the public API.
+
+use mwtj_mapreduce::ExecError;
+use mwtj_planner::PlanError;
+use std::fmt;
+
+/// Any failure the engine can report for a query, load or parse.
+///
+/// Built on [`mwtj_storage::Error`] at the bottom of the stack: SQL
+/// parsing and query compilation surface it via [`EngineError::Sql`],
+/// planning and MapReduce execution via [`EngineError::Plan`] and
+/// [`EngineError::Exec`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum EngineError {
+    /// A query referenced a relation instance that was never loaded
+    /// (or aliased) into the engine.
+    RelationNotLoaded {
+        /// The missing relation/instance name.
+        name: String,
+    },
+    /// An alias registration asked to bind a name that is already
+    /// bound to a different base table. Rebinding under a running
+    /// engine would hand concurrent queries the wrong data, so it is
+    /// refused; pick a fresh alias instead.
+    AliasConflict {
+        /// The contested instance name.
+        alias: String,
+        /// The base table the alias is currently bound to.
+        bound_to: String,
+        /// The base table the caller asked for.
+        requested: String,
+    },
+    /// SQL parsing or query compilation failed.
+    Sql(mwtj_storage::Error),
+    /// The planner could not produce or execute a plan.
+    Plan(PlanError),
+    /// The MapReduce layer rejected or failed a job outside planner
+    /// control.
+    Exec(ExecError),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::RelationNotLoaded { name } => {
+                write!(f, "relation `{name}` not loaded")
+            }
+            EngineError::AliasConflict {
+                alias,
+                bound_to,
+                requested,
+            } => write!(
+                f,
+                "alias `{alias}` is bound to `{bound_to}`; cannot rebind it to `{requested}`"
+            ),
+            EngineError::Sql(e) => write!(f, "SQL error: {e}"),
+            EngineError::Plan(e) => write!(f, "planning error: {e}"),
+            EngineError::Exec(e) => write!(f, "execution error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            EngineError::Sql(e) => Some(e),
+            EngineError::Plan(e) => Some(e),
+            EngineError::Exec(e) => Some(e),
+            EngineError::RelationNotLoaded { .. } | EngineError::AliasConflict { .. } => None,
+        }
+    }
+}
+
+impl From<mwtj_storage::Error> for EngineError {
+    fn from(e: mwtj_storage::Error) -> Self {
+        EngineError::Sql(e)
+    }
+}
+
+impl From<PlanError> for EngineError {
+    fn from(e: PlanError) -> Self {
+        EngineError::Plan(e)
+    }
+}
+
+impl From<ExecError> for EngineError {
+    fn from(e: ExecError) -> Self {
+        EngineError::Exec(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_nest_sources() {
+        let e = EngineError::from(PlanError::Uncoverable {
+            detail: "demo".into(),
+        });
+        assert_eq!(e.to_string(), "planning error: uncoverable query: demo");
+        assert!(std::error::Error::source(&e).is_some());
+        let e = EngineError::RelationNotLoaded { name: "t9".into() };
+        assert_eq!(e.to_string(), "relation `t9` not loaded");
+    }
+}

@@ -1,38 +1,65 @@
 //! # mwtj-core
 //!
-//! The public façade of the reproduction: [`ThetaJoinSystem`] loads
-//! relations into the simulated cluster (upload + the paper's
-//! load-time sampling/statistics pass, §6.3), takes a
-//! [`MultiwayQuery`](mwtj_query::MultiwayQuery), plans it with the paper's method or one of the
-//! baseline emulations, executes on the MapReduce runtime, and reports
-//! results plus both clocks.
+//! The public API of the reproduction, split engine-side and
+//! session-side the way serving systems separate data ownership from
+//! query execution:
+//!
+//! * [`Engine`] owns the simulated cluster, the loaded relations (with
+//!   the paper's load-time sampling/statistics pass, §6.3) and the
+//!   calibrated cost model, all behind `Arc`-shared state — so queries
+//!   run from `&self` and [`Engine::run_many`] serves independent
+//!   queries concurrently on a scoped thread pool.
+//! * [`Session`] is a cheap, cloneable handle with per-caller default
+//!   [`RunOptions`].
+//! * [`RunOptions`] unifies the evaluation [`Method`], the space
+//!   [`PartitionStrategy`](mwtj_hilbert::PartitionStrategy), per-run
+//!   fault injection and cost-model calibration in one builder.
+//! * Every fallible call returns [`EngineError`] instead of panicking,
+//!   and [`Engine::run_sql`] wires the SQL frontend end-to-end
+//!   (parse → auto-alias → plan → execute).
 //!
 //! ```
-//! use mwtj_core::{Method, ThetaJoinSystem};
+//! use mwtj_core::{Engine, Method, RunOptions};
 //! use mwtj_query::{QueryBuilder, ThetaOp};
 //! use mwtj_storage::{tuple, DataType, Relation, Schema};
 //!
-//! let mut sys = ThetaJoinSystem::with_units(16);
+//! let engine = Engine::with_units(16);
 //! let schema = Schema::from_pairs("r", &[("a", DataType::Int)]);
 //! let rel = Relation::from_rows_unchecked(schema.clone(), vec![tuple![1], tuple![5]]);
 //! let schema2 = Schema::from_pairs("s", &[("a", DataType::Int)]);
 //! let rel2 = Relation::from_rows_unchecked(schema2.clone(), vec![tuple![3]]);
-//! sys.load_relation(&rel);
-//! sys.load_relation(&rel2);
+//! let _ = engine.load_relation(&rel);
+//! let _ = engine.load_relation(&rel2);
+//!
+//! // Builder API …
 //! let q = QueryBuilder::new("demo")
 //!     .relation(schema)
 //!     .relation(schema2)
 //!     .join("r", "a", ThetaOp::Lt, "s", "a")
 //!     .build()
 //!     .unwrap();
-//! let run = sys.run(&q, Method::Ours);
+//! let run = engine.run(&q, &RunOptions::from(Method::Ours)).unwrap();
 //! assert_eq!(run.output.len(), 1); // only (1, 3)
+//!
+//! // … or SQL, end to end:
+//! let run = engine.run_sql("SELECT * FROM r x, s y WHERE x.a < y.a").unwrap();
+//! assert_eq!(run.output.len(), 1);
+//!
+//! // Unknown relations are typed errors, not panics:
+//! assert!(engine.run_sql("SELECT * FROM nope a, r b WHERE a.a = b.a").is_err());
 //! ```
 
 #![warn(missing_docs)]
 
 pub mod benchqueries;
+pub mod engine;
+pub mod error;
+pub mod options;
 pub mod system;
 
 pub use benchqueries::{mobile_query, tpch_query, MobileQuery, TpchQuery};
-pub use system::{LoadReport, Method, ThetaJoinSystem};
+pub use engine::{Engine, LoadReport, Session, RID_COLUMN};
+pub use error::EngineError;
+pub use options::{Method, RunOptions};
+#[allow(deprecated)]
+pub use system::ThetaJoinSystem;

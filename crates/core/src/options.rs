@@ -1,0 +1,250 @@
+//! Per-run configuration: the evaluation [`Method`] and the
+//! [`RunOptions`] builder unifying everything that used to be scattered
+//! across `Method` variants, ad-hoc planner entry points, engine-level
+//! fault plans and calibration calls.
+
+use mwtj_hilbert::PartitionStrategy;
+use mwtj_mapreduce::FaultPlan;
+use mwtj_planner::ExecOptions;
+use std::fmt;
+use std::str::FromStr;
+
+/// How to evaluate a query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Method {
+    /// The paper's method: `G'_JP` + set cover + Hilbert chain MRJs +
+    /// `k_P`-aware malleable scheduling.
+    #[default]
+    Ours,
+    /// Ablation: the paper's planner but grid (block) partitioning
+    /// instead of the Hilbert curve. Equivalent to `Ours` with
+    /// [`RunOptions::partition`] set to [`PartitionStrategy::Grid`].
+    OursGrid,
+    /// YSmart-style baseline.
+    YSmart,
+    /// Hive-style baseline.
+    Hive,
+    /// Pig-style baseline.
+    Pig,
+}
+
+impl Method {
+    /// All methods, in the order the paper's figures list them.
+    pub const ALL: [Method; 5] = [
+        Method::Ours,
+        Method::OursGrid,
+        Method::YSmart,
+        Method::Hive,
+        Method::Pig,
+    ];
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Method::Ours => "ours",
+            Method::OursGrid => "ours-grid",
+            Method::YSmart => "ysmart",
+            Method::Hive => "hive",
+            Method::Pig => "pig",
+        })
+    }
+}
+
+impl FromStr for Method {
+    type Err = String;
+
+    /// Parse a method name as printed by `Display` (case-insensitive;
+    /// `ours_grid` and `oursgrid` are accepted for `ours-grid`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "ours" => Ok(Method::Ours),
+            "ours-grid" | "ours_grid" | "oursgrid" => Ok(Method::OursGrid),
+            "ysmart" => Ok(Method::YSmart),
+            "hive" => Ok(Method::Hive),
+            "pig" => Ok(Method::Pig),
+            other => Err(format!(
+                "unknown method `{other}` (expected ours, ours-grid, ysmart, hive or pig)"
+            )),
+        }
+    }
+}
+
+/// Builder for one query run.
+///
+/// Defaults to the paper's method with Hilbert partitioning, no fault
+/// injection and no calibration:
+///
+/// ```
+/// use mwtj_core::{Method, RunOptions};
+/// use mwtj_hilbert::PartitionStrategy;
+///
+/// let opts = RunOptions::new()
+///     .method(Method::Ours)
+///     .partition(PartitionStrategy::Grid);
+/// assert_eq!(opts.to_string(), "ours:grid");
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct RunOptions {
+    method: Method,
+    partition: Option<PartitionStrategy>,
+    faults: Option<FaultPlan>,
+    calibrate: bool,
+}
+
+impl RunOptions {
+    /// Defaults: [`Method::Ours`], Hilbert partitioning, no faults,
+    /// no calibration.
+    pub fn new() -> Self {
+        RunOptions::default()
+    }
+
+    /// Set the evaluation method.
+    pub fn method(mut self, method: Method) -> Self {
+        self.method = method;
+        self
+    }
+
+    /// Override the space-partition strategy for chain MRJs (only
+    /// meaningful for [`Method::Ours`]; [`Method::OursGrid`] is
+    /// shorthand for `method(Ours).partition(Grid)`).
+    pub fn partition(mut self, strategy: PartitionStrategy) -> Self {
+        self.partition = Some(strategy);
+        self
+    }
+
+    /// Inject task failures for this run only (results are unaffected;
+    /// the simulated clock pays for the reruns).
+    pub fn fault_plan(mut self, faults: FaultPlan) -> Self {
+        self.faults = Some(faults);
+        self
+    }
+
+    /// Ensure the engine's cost model has been calibrated (the §6.2
+    /// sweep) before planning this run. The sweep runs at most once per
+    /// engine; later runs reuse the fitted parameters.
+    pub fn calibrated(mut self, yes: bool) -> Self {
+        self.calibrate = yes;
+        self
+    }
+
+    /// The chosen method.
+    pub fn get_method(&self) -> Method {
+        self.method
+    }
+
+    /// The effective partition strategy: an explicit
+    /// [`RunOptions::partition`] always wins; otherwise the method's
+    /// default ([`Method::OursGrid`] → grid, everything else →
+    /// Hilbert).
+    pub fn effective_partition(&self) -> PartitionStrategy {
+        match (self.method, self.partition) {
+            (_, Some(p)) => p,
+            (Method::OursGrid, None) => PartitionStrategy::Grid,
+            (_, None) => PartitionStrategy::Hilbert,
+        }
+    }
+
+    /// Whether this run asks for a calibrated cost model.
+    pub fn wants_calibration(&self) -> bool {
+        self.calibrate
+    }
+
+    /// Lower these options into the planner's execution knobs.
+    pub(crate) fn exec_options(&self) -> ExecOptions {
+        ExecOptions {
+            strategy: self.effective_partition(),
+            faults: self.faults.clone(),
+        }
+    }
+}
+
+impl From<Method> for RunOptions {
+    fn from(method: Method) -> Self {
+        RunOptions::new().method(method)
+    }
+}
+
+impl fmt::Display for RunOptions {
+    /// `method[:partition][+faults][+calibrated]` — the partition is
+    /// printed only when it overrides the method default.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.method)?;
+        if let Some(p) = self.partition {
+            write!(f, ":{p}")?;
+        }
+        if self.faults.is_some() {
+            write!(f, "+faults")?;
+        }
+        if self.calibrate {
+            write!(f, "+calibrated")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromStr for RunOptions {
+    type Err = String;
+
+    /// Parse `method[:partition][+calibrated]` (e.g. `ours`,
+    /// `ours:grid`, `hive+calibrated`). Fault plans carry seeds and
+    /// probabilities, so they are not parseable from the short form.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut opts = RunOptions::new();
+        let mut parts = s.split('+');
+        let head = parts.next().unwrap_or_default();
+        for flag in parts {
+            match flag.trim().to_ascii_lowercase().as_str() {
+                "calibrated" => opts.calibrate = true,
+                other => return Err(format!("unknown run-option flag `{other}`")),
+            }
+        }
+        let (method, partition) = match head.split_once(':') {
+            Some((m, p)) => (m, Some(p)),
+            None => (head, None),
+        };
+        opts.method = method.trim().parse()?;
+        if let Some(p) = partition {
+            opts.partition = Some(p.trim().parse()?);
+        }
+        Ok(opts)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn method_display_fromstr_roundtrip() {
+        for m in Method::ALL {
+            assert_eq!(m.to_string().parse::<Method>().unwrap(), m);
+        }
+        assert_eq!("OURS_GRID".parse::<Method>().unwrap(), Method::OursGrid);
+        assert!("mapreduce".parse::<Method>().is_err());
+    }
+
+    #[test]
+    fn options_roundtrip_and_effective_partition() {
+        let opts: RunOptions = "ours:zorder+calibrated".parse().unwrap();
+        assert_eq!(opts.get_method(), Method::Ours);
+        assert_eq!(opts.effective_partition(), PartitionStrategy::ZOrder);
+        assert!(opts.wants_calibration());
+        assert_eq!(opts.to_string(), "ours:zorder+calibrated");
+
+        assert_eq!(
+            RunOptions::from(Method::OursGrid).effective_partition(),
+            PartitionStrategy::Grid
+        );
+        // An explicit partition beats the OursGrid shorthand.
+        assert_eq!(
+            "ours-grid:zorder"
+                .parse::<RunOptions>()
+                .unwrap()
+                .effective_partition(),
+            PartitionStrategy::ZOrder
+        );
+        assert!("ours+turbo".parse::<RunOptions>().is_err());
+        assert!("ours:diagonal".parse::<RunOptions>().is_err());
+    }
+}

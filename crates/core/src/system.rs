@@ -1,80 +1,49 @@
-//! The system façade.
+//! The legacy façade, kept for one release as a thin shim over
+//! [`Engine`](crate::Engine).
+//!
+//! New code should use [`Engine`](crate::Engine)/[`Session`](crate::Session)
+//! with [`RunOptions`](crate::RunOptions): they return typed errors
+//! instead of panicking, serve queries concurrently, and unify the
+//! partition/fault/calibration knobs.
 
-use mwtj_cost::{CalibratedParams, Calibrator, CostModel};
-use mwtj_hilbert::PartitionStrategy;
-use mwtj_join::oracle::oracle_join;
+// The shim must call itself.
+#![allow(deprecated)]
+
+use crate::engine::Engine;
+use crate::options::RunOptions;
 use mwtj_mapreduce::{Cluster, ClusterConfig};
-use mwtj_planner::{Baseline, Planner, QueryRun};
+use mwtj_planner::{Planner, QueryRun};
 use mwtj_query::MultiwayQuery;
-use mwtj_storage::{DataType, Field, Relation, RelationStats, Schema, Tuple, Value};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use mwtj_storage::{Relation, RelationStats, Tuple};
 use std::collections::HashMap;
+use std::sync::Arc;
 
-/// The implicit row-identity column appended to every loaded relation.
-/// Partial-result merging joins on it ("merge using the primary keys
-/// ... only output keys or data IDs involved", §4.2); it is stripped
-/// from final outputs unless explicitly projected.
-pub const RID_COLUMN: &str = "__rid";
+pub use crate::engine::{LoadReport, RID_COLUMN};
+pub use crate::options::Method;
 
-/// How to evaluate a query.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum Method {
-    /// The paper's method: `G'_JP` + set cover + Hilbert chain MRJs +
-    /// `k_P`-aware malleable scheduling.
-    Ours,
-    /// Ablation: the paper's planner but grid (block) partitioning
-    /// instead of the Hilbert curve.
-    OursGrid,
-    /// YSmart-style baseline.
-    YSmart,
-    /// Hive-style baseline.
-    Hive,
-    /// Pig-style baseline.
-    Pig,
-}
-
-/// What loading a relation cost (Fig. 11's comparison).
-#[derive(Debug, Clone, Copy)]
-pub struct LoadReport {
-    /// Simulated seconds for the raw replicated upload (the "Plain
-    /// Hadoop Uploading" line).
-    pub upload_secs: f64,
-    /// Simulated seconds for the sampling + statistics pass our method
-    /// adds (why "our method is a little more time consuming for the
-    /// data uploading process", §6.3).
-    pub sampling_secs: f64,
-}
-
-impl LoadReport {
-    /// Total load time for our method.
-    pub fn total_secs(&self) -> f64 {
-        self.upload_secs + self.sampling_secs
-    }
-}
-
-/// The top-level system: cluster + DFS + statistics + planner.
+/// The legacy top-level system: a thin wrapper over [`Engine`].
+///
+/// Unlike the engine it panics on unloaded relations and plan
+/// failures, exactly as the old façade did.
+#[deprecated(
+    since = "0.2.0",
+    note = "use `Engine`/`Session` with `RunOptions`; they return `Result<_, EngineError>` \
+            instead of panicking and serve queries concurrently"
+)]
 pub struct ThetaJoinSystem {
-    cluster: Cluster,
-    planner: Planner,
+    engine: Engine,
+    /// Local stats mirror so `stats_of` can keep returning a reference
+    /// (the engine's catalog lives behind a lock).
     stats: HashMap<String, RelationStats>,
-    /// Kept for the oracle and tests: the augmented in-memory
-    /// relations.
-    relations: HashMap<String, Relation>,
-    sample_cap: usize,
 }
 
 impl ThetaJoinSystem {
     /// Build over a cluster configuration with default (uncalibrated)
     /// cost parameters.
     pub fn new(config: ClusterConfig) -> Self {
-        let model = CostModel::new(config.clone(), CalibratedParams::default());
         ThetaJoinSystem {
-            cluster: Cluster::new(config),
-            planner: Planner::new(model),
+            engine: Engine::new(config),
             stats: HashMap::new(),
-            relations: HashMap::new(),
-            sample_cap: 512,
         }
     }
 
@@ -83,21 +52,25 @@ impl ThetaJoinSystem {
         Self::new(ClusterConfig::with_units(k_p))
     }
 
+    /// The underlying engine (migration escape hatch).
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
     /// Run the §6.2 calibration sweep and swap in the fitted `p`/`q`.
     pub fn calibrate(&mut self) {
-        let params = Calibrator::quick(self.cluster.config().clone()).calibrate();
-        self.planner = Planner::new(CostModel::new(self.cluster.config().clone(), params));
+        self.engine.calibrate();
     }
 
     /// The underlying cluster (inspection; the DFS holds every loaded
     /// relation under its schema name).
     pub fn cluster(&self) -> &Cluster {
-        &self.cluster
+        self.engine.cluster()
     }
 
-    /// The planner.
-    pub fn planner(&self) -> &Planner {
-        &self.planner
+    /// The planner (a snapshot; calibration swaps it).
+    pub fn planner(&self) -> Arc<Planner> {
+        self.engine.planner()
     }
 
     /// Statistics collected for a loaded relation.
@@ -108,157 +81,45 @@ impl ThetaJoinSystem {
     /// Load a relation: append the implicit rowid column, upload to the
     /// DFS (replicated blocks), and run the sampling/statistics pass.
     pub fn load_relation(&mut self, rel: &Relation) -> LoadReport {
-        let augmented = augment_with_rid(rel);
-        let upload_secs =
-            self.cluster
-                .dfs()
-                .put_relation(augmented.name(), &augmented, self.cluster.config());
-        // Sampling pass: one sequential scan of a sample's worth of
-        // blocks + histogram building; priced as reading the sampled
-        // fraction plus a fixed index-build overhead per block.
-        let mut rng = StdRng::seed_from_u64(0x57a7 ^ augmented.len() as u64);
-        let stats = RelationStats::collect(&augmented, self.sample_cap, &mut rng);
-        let hw = &self.cluster.config().hardware;
-        let sampled_bytes = (self.sample_cap as f64 * augmented.avg_row_bytes())
-            .min(augmented.encoded_bytes() as f64);
-        // Statistics collection re-reads the data once at scan rate and
-        // writes a small index (the paper's "build the index structure").
-        let sampling_secs = augmented.encoded_bytes() as f64 * hw.c1() * 0.25
-            + sampled_bytes / hw.disk_write_bps;
-        self.stats.insert(augmented.name().to_string(), stats);
-        self.relations
-            .insert(augmented.name().to_string(), augmented);
-        LoadReport {
-            upload_secs,
-            sampling_secs,
-        }
+        let report = self.engine.load_relation(rel);
+        self.mirror_stats(rel.name());
+        report
     }
 
     /// Load the same data under another schema name (self-join
     /// instances `t1`, `t2`, … of one base table).
     pub fn load_alias(&mut self, rel: &Relation, alias: &str) -> LoadReport {
-        let renamed = Relation::from_rows_unchecked(
-            Schema::new(alias, rel.schema().fields().to_vec()),
-            rel.rows().to_vec(),
-        );
-        self.load_relation(&renamed)
+        let report = self.engine.load_alias(rel, alias);
+        self.mirror_stats(alias);
+        report
+    }
+
+    fn mirror_stats(&mut self, name: &str) {
+        if let Some(stats) = self.engine.stats_of(name) {
+            self.stats.insert(name.to_string(), stats);
+        }
     }
 
     /// Execute `query` (built against the *base* schemas, without the
     /// rowid column) with the chosen method.
     ///
     /// # Panics
-    /// Panics if a referenced relation was not loaded.
+    /// Panics if a referenced relation was not loaded. Prefer
+    /// [`Engine::run`], which returns a typed error.
     pub fn run(&self, query: &MultiwayQuery, method: Method) -> QueryRun {
-        let q = self.augment_query(query);
-        let stats: Vec<&RelationStats> = q
-            .schemas
-            .iter()
-            .map(|s| {
-                self.stats
-                    .get(s.name())
-                    .unwrap_or_else(|| panic!("relation `{}` not loaded", s.name()))
-            })
-            .collect();
-        match method {
-            Method::Ours => self.planner.execute_ours(&q, &stats, &self.cluster),
-            Method::OursGrid => self.planner.execute_ours_with(
-                &q,
-                &stats,
-                &self.cluster,
-                PartitionStrategy::Grid,
-            ),
-            Method::YSmart => {
-                self.planner
-                    .execute_baseline(Baseline::YSmart, &q, &stats, &self.cluster)
-            }
-            Method::Hive => {
-                self.planner
-                    .execute_baseline(Baseline::Hive, &q, &stats, &self.cluster)
-            }
-            Method::Pig => {
-                self.planner
-                    .execute_baseline(Baseline::Pig, &q, &stats, &self.cluster)
-            }
-        }
+        self.engine
+            .run(query, &RunOptions::from(method))
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Single-threaded ground truth for `query` over the loaded data.
+    ///
+    /// # Panics
+    /// Panics if a referenced relation was not loaded. Prefer
+    /// [`Engine::oracle`], which returns a typed error.
     pub fn oracle(&self, query: &MultiwayQuery) -> Vec<Tuple> {
-        let q = self.augment_query(query);
-        let rels: Vec<&Relation> = q
-            .schemas
-            .iter()
-            .map(|s| {
-                self.relations
-                    .get(s.name())
-                    .unwrap_or_else(|| panic!("relation `{}` not loaded", s.name()))
-            })
-            .collect();
-        oracle_join(&q, &rels)
+        self.engine.oracle(query).unwrap_or_else(|e| panic!("{e}"))
     }
-
-    /// Rebuild the query against the rowid-augmented schemas; if the
-    /// user projected nothing, project every *base* column so the
-    /// hidden rowids do not leak into results.
-    fn augment_query(&self, query: &MultiwayQuery) -> MultiwayQuery {
-        let schemas: Vec<Schema> = query
-            .schemas
-            .iter()
-            .map(|s| {
-                if s.index_of(RID_COLUMN).is_ok() {
-                    s.clone()
-                } else {
-                    augment_schema(s)
-                }
-            })
-            .collect();
-        let projection = if query.projection.is_empty() {
-            let mut all = Vec::new();
-            for (r, s) in query.schemas.iter().enumerate() {
-                for c in 0..s.arity() {
-                    if s.fields()[c].name != RID_COLUMN {
-                        all.push((r, c));
-                    }
-                }
-            }
-            all
-        } else {
-            query.projection.clone()
-        };
-        MultiwayQuery {
-            schemas,
-            conditions: query.conditions.clone(),
-            projection,
-            name: query.name.clone(),
-        }
-    }
-}
-
-/// Append the rowid column to a schema.
-fn augment_schema(schema: &Schema) -> Schema {
-    let mut fields: Vec<Field> = schema.fields().to_vec();
-    fields.push(Field::new(RID_COLUMN, DataType::Int));
-    Schema::new(schema.name(), fields)
-}
-
-/// Append per-row unique ids to a relation.
-fn augment_with_rid(rel: &Relation) -> Relation {
-    if rel.schema().index_of(RID_COLUMN).is_ok() {
-        return rel.clone();
-    }
-    let schema = augment_schema(rel.schema());
-    let rows: Vec<Tuple> = rel
-        .rows()
-        .iter()
-        .enumerate()
-        .map(|(i, row)| {
-            let mut v = row.values().to_vec();
-            v.push(Value::Int(i as i64));
-            Tuple::new(v)
-        })
-        .collect();
-    Relation::from_rows_unchecked(schema, rows)
 }
 
 #[cfg(test)]
@@ -266,8 +127,9 @@ mod tests {
     use super::*;
     use mwtj_join::oracle::canonicalize;
     use mwtj_query::{QueryBuilder, ThetaOp};
-    use mwtj_storage::tuple;
-    use rand::Rng;
+    use mwtj_storage::{tuple, DataType, Schema};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
 
     fn random_rel(name: &str, n: usize, seed: u64, domain: i64) -> Relation {
         let schema = Schema::from_pairs(name, &[("a", DataType::Int), ("b", DataType::Int)]);
@@ -300,9 +162,9 @@ mod tests {
         let r = random_rel("r", 150, 2, 40);
         let s = random_rel("s", 120, 3, 40);
         let t = random_rel("t", 100, 4, 40);
-        sys.load_relation(&r);
-        sys.load_relation(&s);
-        sys.load_relation(&t);
+        let _ = sys.load_relation(&r);
+        let _ = sys.load_relation(&s);
+        let _ = sys.load_relation(&t);
         let q = QueryBuilder::new("q")
             .relation(r.schema().clone())
             .relation(s.schema().clone())
@@ -312,13 +174,7 @@ mod tests {
             .build()
             .unwrap();
         let want = canonicalize(sys.oracle(&q));
-        for m in [
-            Method::Ours,
-            Method::OursGrid,
-            Method::YSmart,
-            Method::Hive,
-            Method::Pig,
-        ] {
+        for m in Method::ALL {
             let run = sys.run(&q, m);
             let got = canonicalize(run.output.into_rows());
             assert_eq!(got, want, "{m:?}");
@@ -330,8 +186,8 @@ mod tests {
         let mut sys = ThetaJoinSystem::with_units(8);
         let r = random_rel("r", 30, 5, 10);
         let s = random_rel("s", 30, 6, 10);
-        sys.load_relation(&r);
-        sys.load_relation(&s);
+        let _ = sys.load_relation(&r);
+        let _ = sys.load_relation(&s);
         let q = QueryBuilder::new("q")
             .relation(r.schema().clone())
             .relation(s.schema().clone())
@@ -353,8 +209,8 @@ mod tests {
     fn alias_enables_self_joins() {
         let mut sys = ThetaJoinSystem::with_units(8);
         let base = random_rel("calls", 80, 7, 20);
-        sys.load_alias(&base, "t1");
-        sys.load_alias(&base, "t2");
+        let _ = sys.load_alias(&base, "t1");
+        let _ = sys.load_alias(&base, "t2");
         let t1 = Schema::new("t1", base.schema().fields().to_vec());
         let t2 = Schema::new("t2", base.schema().fields().to_vec());
         let q = QueryBuilder::new("self")

@@ -66,11 +66,7 @@ impl SideStats {
 
 /// Estimate the selectivity of condition `edge` of `query` using the
 /// relations' sampled column statistics. Conjunctions multiply.
-pub fn condition_selectivity(
-    query: &MultiwayQuery,
-    edge: usize,
-    stats: &[&RelationStats],
-) -> f64 {
+pub fn condition_selectivity(query: &MultiwayQuery, edge: usize, stats: &[&RelationStats]) -> f64 {
     let (_, _, preds) = &query.conditions[edge];
     let mut sel = 1.0;
     for p in preds {
@@ -312,7 +308,11 @@ mod tests {
     #[test]
     fn selectivity_lt_uniform_is_half() {
         let s1 = stats_for(2_000, 1_000);
-        let rel = SyntheticGen { seed: 9, ..Default::default() }.uniform_numeric("u", 2_000, 1_000);
+        let rel = SyntheticGen {
+            seed: 9,
+            ..Default::default()
+        }
+        .uniform_numeric("u", 2_000, 1_000);
         let mut rng = StdRng::seed_from_u64(6);
         let s2 = RelationStats::collect(&rel, 512, &mut rng);
         let q = QueryBuilder::new("q")
@@ -348,9 +348,18 @@ mod tests {
     fn chain_alpha_grows_with_kr() {
         let cfg = ClusterConfig::default();
         let sides = [
-            SideStats { rows: 10_000.0, bytes: 400_000.0 },
-            SideStats { rows: 10_000.0, bytes: 400_000.0 },
-            SideStats { rows: 10_000.0, bytes: 400_000.0 },
+            SideStats {
+                rows: 10_000.0,
+                bytes: 400_000.0,
+            },
+            SideStats {
+                rows: 10_000.0,
+                bytes: 400_000.0,
+            },
+            SideStats {
+                rows: 10_000.0,
+                bytes: 400_000.0,
+            },
         ];
         let a1 = chain_job(&cfg, &sides, 0.01, 1, 16).shape.alpha;
         let a64 = chain_job(&cfg, &sides, 0.01, 64, 16).shape.alpha;
@@ -360,9 +369,18 @@ mod tests {
     #[test]
     fn broadcast_shuffle_beats_onebucket_only_for_tiny_sides() {
         let cfg = ClusterConfig::default();
-        let small = SideStats { rows: 100.0, bytes: 4_000.0 };
-        let big = SideStats { rows: 100_000.0, bytes: 4_000_000.0 };
-        let even = SideStats { rows: 50_000.0, bytes: 2_000_000.0 };
+        let small = SideStats {
+            rows: 100.0,
+            bytes: 4_000.0,
+        };
+        let big = SideStats {
+            rows: 100_000.0,
+            bytes: 4_000_000.0,
+        };
+        let even = SideStats {
+            rows: 50_000.0,
+            bytes: 2_000_000.0,
+        };
         // Tiny × huge: broadcast cheaper.
         let b = pair_broadcast_job(&cfg, small, big, 0.1, 16, 16);
         let o = pair_onebucket_job(&cfg, small, big, 0.1, 16, 16);
@@ -376,7 +394,10 @@ mod tests {
     #[test]
     fn equi_skew_appears_when_keys_scarce() {
         let cfg = ClusterConfig::default();
-        let side = SideStats { rows: 10_000.0, bytes: 400_000.0 };
+        let side = SideStats {
+            rows: 10_000.0,
+            bytes: 400_000.0,
+        };
         let skewed = pair_equi_job(&cfg, side, side, 0.001, 4.0, 32, 32);
         let smooth = pair_equi_job(&cfg, side, side, 0.001, 10_000.0, 32, 32);
         assert!(skewed.shape.sigma_bytes > smooth.shape.sigma_bytes * 2.0);
@@ -385,7 +406,10 @@ mod tests {
     #[test]
     fn outputs_chain_into_next_step() {
         let cfg = ClusterConfig::default();
-        let side = SideStats { rows: 1_000.0, bytes: 40_000.0 };
+        let side = SideStats {
+            rows: 1_000.0,
+            bytes: 40_000.0,
+        };
         let step1 = pair_equi_job(&cfg, side, side, 0.01, 100.0, 8, 8);
         let next = SideStats::from_output(&step1);
         assert!((next.rows - 10_000.0).abs() < 1e-6);

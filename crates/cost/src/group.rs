@@ -76,10 +76,7 @@ pub fn schedule_malleable(jobs: &[MalleableJob], k_p: u32) -> Schedule {
     let mut best: Option<Schedule> = None;
     for w in 1..=(n as u32).min(k_p) {
         let cand = schedule_for_width(jobs, k_p, w);
-        if best
-            .as_ref()
-            .is_none_or(|b| cand.makespan < b.makespan)
-        {
+        if best.as_ref().is_none_or(|b| cand.makespan < b.makespan) {
             best = Some(cand);
         }
     }
@@ -147,10 +144,7 @@ mod tests {
 
     /// Perfectly parallel job: work / units.
     fn linear(name: &str, work: f64, max_units: u32) -> MalleableJob {
-        MalleableJob::new(
-            name,
-            (1..=max_units).map(|u| work / u as f64).collect(),
-        )
+        MalleableJob::new(name, (1..=max_units).map(|u| work / u as f64).collect())
     }
 
     #[test]
@@ -206,8 +200,7 @@ mod tests {
     #[test]
     fn scarce_units_force_shelves() {
         // 10 unit-width jobs on 3 units: at least ⌈10/3⌉ shelves.
-        let jobs: Vec<MalleableJob> =
-            (0..10).map(|i| linear(&format!("s{i}"), 12.0, 1)).collect();
+        let jobs: Vec<MalleableJob> = (0..10).map(|i| linear(&format!("s{i}"), 12.0, 1)).collect();
         let s = schedule_malleable(&jobs, 3);
         assert!(s.shelf_secs.len() >= 4, "{:?}", s.shelf_secs);
         assert!((s.makespan - 4.0 * 12.0).abs() < 1e-9);
@@ -235,8 +228,7 @@ mod tests {
 
     #[test]
     fn more_jobs_than_units_still_schedules() {
-        let jobs: Vec<MalleableJob> =
-            (0..10).map(|i| linear(&format!("j{i}"), 10.0, 4)).collect();
+        let jobs: Vec<MalleableJob> = (0..10).map(|i| linear(&format!("j{i}"), 10.0, 4)).collect();
         let s = schedule_malleable(&jobs, 3);
         // Lower bound: 10 jobs of ≥2.5 s of work on 3 units.
         assert!(s.makespan >= 10.0 * 2.5 / 3.0);

@@ -73,8 +73,7 @@ pub fn choose_k_r(
     for k in 1..=k_max {
         let score = tuples * hilbert_replication_factor(d, k);
         let copy_cost = score * avg_row_bytes * per_copy_byte;
-        let work_cost =
-            effective_candidates / k as f64 * hw.cpu_per_candidate_secs;
+        let work_cost = effective_candidates / k as f64 * hw.cpu_per_candidate_secs;
         let delta = lambda * copy_cost + (1.0 - lambda) * work_cost;
         if delta < best.delta {
             best = KrChoice {

@@ -32,7 +32,7 @@ pub struct MobileGen {
 impl Default for MobileGen {
     fn default() -> Self {
         MobileGen {
-            users: 21_140,      // paper's 2,113,968 users, scaled 1:100
+            users: 21_140, // paper's 2,113,968 users, scaled 1:100
             base_stations: 2_000,
             days: 61,
             bsc_zipf: 0.8,
@@ -193,7 +193,7 @@ mod tests {
             assert!((0..100).contains(&id));
             assert!((0..7).contains(&d));
             assert!((0..DAY_SECS).contains(&bt));
-            assert!(l >= 1 && l <= 7_200);
+            assert!((1..=7_200).contains(&l));
             assert!((0..50).contains(&bsc));
         }
     }

@@ -49,10 +49,31 @@ impl TpchGen {
             &[("n_nationkey", DataType::Int), ("n_name", DataType::Str)],
         );
         const NAMES: [&str; 25] = [
-            "ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE",
-            "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA",
-            "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM",
-            "RUSSIA", "UNITED KINGDOM", "UNITED STATES",
+            "ALGERIA",
+            "ARGENTINA",
+            "BRAZIL",
+            "CANADA",
+            "EGYPT",
+            "ETHIOPIA",
+            "FRANCE",
+            "GERMANY",
+            "INDIA",
+            "INDONESIA",
+            "IRAN",
+            "IRAQ",
+            "JAPAN",
+            "JORDAN",
+            "KENYA",
+            "MOROCCO",
+            "MOZAMBIQUE",
+            "PERU",
+            "CHINA",
+            "ROMANIA",
+            "SAUDI ARABIA",
+            "VIETNAM",
+            "RUSSIA",
+            "UNITED KINGDOM",
+            "UNITED STATES",
         ];
         let rows = NAMES
             .iter()
@@ -126,16 +147,18 @@ impl TpchGen {
             ],
         );
         const CONTAINERS: [&str; 8] = [
-            "SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "JUMBO PKG",
+            "SM CASE",
+            "SM BOX",
+            "MED BAG",
+            "MED BOX",
+            "LG CASE",
+            "LG BOX",
+            "JUMBO PKG",
             "WRAP JAR",
         ];
         let rows = (0..n)
             .map(|i| {
-                let brand = format!(
-                    "Brand#{}{}",
-                    rng.gen_range(1..=5),
-                    rng.gen_range(1..=5)
-                );
+                let brand = format!("Brand#{}{}", rng.gen_range(1..=5), rng.gen_range(1..=5));
                 Tuple::new(vec![
                     Value::Int(i as i64),
                     Value::from(brand),
@@ -326,11 +349,7 @@ mod tests {
         let a = gen().orders();
         let b = gen().orders();
         assert_eq!(a.sorted_rows(), b.sorted_rows());
-        let c = TpchGen {
-            seed: 1,
-            ..gen()
-        }
-        .orders();
+        let c = TpchGen { seed: 1, ..gen() }.orders();
         assert_ne!(c.sorted_rows(), a.sorted_rows());
     }
 

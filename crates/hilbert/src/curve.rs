@@ -218,11 +218,7 @@ mod tests {
             let mut prev = c.coords(0);
             for h in 1..c.num_cells() {
                 let cur = c.coords(h);
-                let dist: u64 = prev
-                    .iter()
-                    .zip(&cur)
-                    .map(|(&a, &b)| a.abs_diff(b))
-                    .sum();
+                let dist: u64 = prev.iter().zip(&cur).map(|(&a, &b)| a.abs_diff(b)).sum();
                 assert_eq!(dist, 1, "step {h} in {d}D order {b} is not unit");
                 prev = cur;
             }

@@ -21,9 +21,10 @@
 use crate::curve::HilbertCurve;
 
 /// Which cell-to-component mapping to use.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum PartitionStrategy {
     /// Contiguous Hilbert-curve segments (the paper's choice).
+    #[default]
     Hilbert,
     /// Axis-aligned blocks: the cube is cut into a `k_1 × … × k_d`
     /// lattice with `Π k_i ≈ k_R`.
@@ -33,6 +34,33 @@ pub enum PartitionStrategy {
     /// Hilbert's traversal, but with long diagonal jumps that break
     /// segment compactness and cost extra duplication.
     ZOrder,
+}
+
+impl std::fmt::Display for PartitionStrategy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            PartitionStrategy::Hilbert => "hilbert",
+            PartitionStrategy::Grid => "grid",
+            PartitionStrategy::ZOrder => "zorder",
+        })
+    }
+}
+
+impl std::str::FromStr for PartitionStrategy {
+    type Err = String;
+
+    /// Parse a strategy name as printed by `Display` (case-insensitive;
+    /// `z-order` is accepted for `zorder`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "hilbert" => Ok(PartitionStrategy::Hilbert),
+            "grid" => Ok(PartitionStrategy::Grid),
+            "zorder" | "z-order" => Ok(PartitionStrategy::ZOrder),
+            other => Err(format!(
+                "unknown partition strategy `{other}` (expected hilbert, grid or zorder)"
+            )),
+        }
+    }
 }
 
 /// A partition of the `d`-dimensional cross-product space into `k_R`
@@ -75,12 +103,7 @@ impl SpacePartition {
     /// # Panics
     /// Panics if `k_r == 0`, `cardinalities` is empty, or the grid would
     /// not fit in a `u64` index.
-    pub fn new(
-        strategy: PartitionStrategy,
-        cardinalities: &[u64],
-        k_r: u32,
-        bits: u32,
-    ) -> Self {
+    pub fn new(strategy: PartitionStrategy, cardinalities: &[u64], k_r: u32, bits: u32) -> Self {
         assert!(k_r >= 1, "need at least one component");
         assert!(!cardinalities.is_empty(), "need at least one dimension");
         let dims = cardinalities.len();

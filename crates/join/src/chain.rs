@@ -69,10 +69,7 @@ impl ChainThetaJob {
             .collect();
         dims.sort_unstable();
         dims.dedup();
-        let dim_cards: Vec<u64> = dims
-            .iter()
-            .map(|&r| cardinalities[r].max(1))
-            .collect();
+        let dim_cards: Vec<u64> = dims.iter().map(|&r| cardinalities[r].max(1)).collect();
         let bits = SpacePartition::auto_bits(dims.len(), k_r);
         let partition = SpacePartition::new(strategy, &dim_cards, k_r, bits);
 
@@ -285,7 +282,13 @@ mod tests {
             .build()
             .unwrap();
         for k_r in [1u32, 4, 9] {
-            let got = canonicalize(run_chain(&q, &[0], &[&r, &s], k_r, PartitionStrategy::Hilbert));
+            let got = canonicalize(run_chain(
+                &q,
+                &[0],
+                &[&r, &s],
+                k_r,
+                PartitionStrategy::Hilbert,
+            ));
             let want = canonicalize(oracle_join(&q, &[&r, &s]));
             assert_eq!(got.len(), want.len(), "k_r={k_r}");
             assert_eq!(got, want, "k_r={k_r}");
@@ -308,8 +311,7 @@ mod tests {
         let want = canonicalize(oracle_join(&q, &[&r, &s, &t]));
         for strategy in [PartitionStrategy::Hilbert, PartitionStrategy::Grid] {
             for k_r in [1u32, 5, 8] {
-                let got =
-                    canonicalize(run_chain(&q, &[0, 1], &[&r, &s, &t], k_r, strategy));
+                let got = canonicalize(run_chain(&q, &[0, 1], &[&r, &s, &t], k_r, strategy));
                 assert_eq!(got, want, "k_r={k_r} strategy={strategy:?}");
             }
         }
@@ -325,7 +327,13 @@ mod tests {
             .join("r", "a", ThetaOp::Eq, "s", "a")
             .build()
             .unwrap();
-        let got = canonicalize(run_chain(&q, &[0], &[&r, &s], 6, PartitionStrategy::Hilbert));
+        let got = canonicalize(run_chain(
+            &q,
+            &[0],
+            &[&r, &s],
+            6,
+            PartitionStrategy::Hilbert,
+        ));
         let want = canonicalize(oracle_join(&q, &[&r, &s]));
         assert_eq!(got, want);
     }
@@ -345,7 +353,13 @@ mod tests {
             .join("s", "b", ThetaOp::Lt, "t", "b")
             .build()
             .unwrap();
-        let got = canonicalize(run_chain(&q, &[0], &[&r, &s, &t], 4, PartitionStrategy::Hilbert));
+        let got = canonicalize(run_chain(
+            &q,
+            &[0],
+            &[&r, &s, &t],
+            4,
+            PartitionStrategy::Hilbert,
+        ));
         let sub = QueryBuilder::new("sub")
             .relation(r.schema().clone())
             .relation(s.schema().clone())
@@ -366,7 +380,13 @@ mod tests {
             .join("r", "a", ThetaOp::Ne, "s", "a")
             .build()
             .unwrap();
-        let got = canonicalize(run_chain(&q, &[0], &[&r, &s], 8, PartitionStrategy::Hilbert));
+        let got = canonicalize(run_chain(
+            &q,
+            &[0],
+            &[&r, &s],
+            8,
+            PartitionStrategy::Hilbert,
+        ));
         let want = canonicalize(oracle_join(&q, &[&r, &s]));
         assert_eq!(got, want);
     }

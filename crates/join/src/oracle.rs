@@ -44,14 +44,7 @@ pub fn oracle_join(query: &MultiwayQuery, relations: &[&Relation]) -> Vec<Tuple>
 
     let mut out = Vec::new();
     let mut stack: Vec<&Tuple> = Vec::with_capacity(n);
-    descend(
-        query,
-        relations,
-        &flat,
-        &by_depth,
-        &mut stack,
-        &mut out,
-    );
+    descend(query, relations, &flat, &by_depth, &mut stack, &mut out);
     out
 }
 
@@ -95,10 +88,7 @@ mod tests {
 
     fn rel(name: &str, vals: &[(i64, i64)]) -> Relation {
         let schema = Schema::from_pairs(name, &[("a", DataType::Int), ("b", DataType::Int)]);
-        Relation::from_rows_unchecked(
-            schema,
-            vals.iter().map(|&(a, b)| tuple![a, b]).collect(),
-        )
+        Relation::from_rows_unchecked(schema, vals.iter().map(|&(a, b)| tuple![a, b]).collect())
     }
 
     #[test]

@@ -130,9 +130,7 @@ mod tests {
     use mwtj_storage::{tuple, DataType};
 
     fn query() -> MultiwayQuery {
-        let s = |n: &str| {
-            Schema::from_pairs(n, &[("a", DataType::Int), ("b", DataType::Int)])
-        };
+        let s = |n: &str| Schema::from_pairs(n, &[("a", DataType::Int), ("b", DataType::Int)]);
         QueryBuilder::new("q")
             .relation(s("r0"))
             .relation(s("r1"))

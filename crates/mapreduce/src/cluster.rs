@@ -10,11 +10,13 @@
 //! the stage structure and allotments; the cluster just executes and
 //! accounts.
 
+use crate::config::ClusterConfig;
 use crate::dfs::Dfs;
 use crate::engine::Engine;
+use crate::error::ExecError;
+use crate::faults::FaultPlan;
 use crate::job::{InputSpec, MrJob};
 use crate::metrics::JobMetrics;
-use crate::config::ClusterConfig;
 use mwtj_storage::Relation;
 
 /// One job inside a plan.
@@ -93,11 +95,28 @@ impl Cluster {
     /// Execute `stages` in order. Within a stage, each job runs with its
     /// own allotment; the stage's simulated time is the max of its
     /// jobs' makespans (they run concurrently on disjoint unit sets —
-    /// the planner guarantees ΣRN ≤ k_P, and this method asserts it).
+    /// the planner guarantees ΣRN ≤ k_P, and this method checks it).
     ///
     /// Returns the final job's output and full accounting.
+    ///
+    /// # Panics
+    /// Panics on an invalid plan. Serving paths should prefer
+    /// [`Cluster::try_run_plan`].
     pub fn run_plan(&self, stages: Vec<PlanStage>) -> PlanExecution {
+        self.try_run_plan(stages, None)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`Cluster::run_plan`], but returns a typed error instead of
+    /// panicking, and optionally overrides the engine's fault plan for
+    /// this run only (per-query fault profiles under concurrency).
+    pub fn try_run_plan(
+        &self,
+        stages: Vec<PlanStage>,
+        faults: Option<&FaultPlan>,
+    ) -> Result<PlanExecution, ExecError> {
         let k_p = self.config().processing_units;
+        let faults = faults.unwrap_or_else(|| self.engine.fault_plan());
         let wall = std::time::Instant::now();
         let mut job_metrics = Vec::new();
         let mut stage_secs = Vec::new();
@@ -105,20 +124,24 @@ impl Cluster {
         let n_stages = stages.len();
         for (si, stage) in stages.into_iter().enumerate() {
             let total_units: u32 = stage.jobs.iter().map(|j| j.units).sum();
-            assert!(
-                total_units <= k_p,
-                "stage {si} requests {total_units} units > k_P = {k_p}"
-            );
+            if total_units > k_p {
+                return Err(ExecError::Oversubscribed {
+                    stage: si,
+                    requested: total_units,
+                    k_p,
+                });
+            }
             let mut stage_max = 0.0f64;
             let last_stage = si + 1 == n_stages;
             for pj in stage.jobs {
-                let run = self.engine.run(
+                let run = self.engine.try_run_with(
                     pj.job.as_ref(),
                     &pj.inputs,
                     pj.units,
                     pj.reducers,
                     pj.out_file.as_deref(),
-                );
+                    faults,
+                )?;
                 stage_max = stage_max.max(run.metrics.sim_total_secs);
                 job_metrics.push(run.metrics);
                 if last_stage {
@@ -128,13 +151,13 @@ impl Cluster {
             stage_secs.push(stage_max);
         }
         let total_secs = stage_secs.iter().sum();
-        PlanExecution {
-            output: last_output.expect("plan had no stages"),
+        Ok(PlanExecution {
+            output: last_output.ok_or(ExecError::EmptyPlan)?,
             job_metrics,
             stage_secs,
             total_secs,
             real_secs: wall.elapsed().as_secs_f64(),
-        }
+        })
     }
 }
 
@@ -186,10 +209,7 @@ mod tests {
         let cfg = ClusterConfig::default();
         let dfs = Dfs::new();
         let schema = Schema::from_pairs("t", &[("a", DataType::Int)]);
-        let rel = Relation::from_rows_unchecked(
-            schema,
-            (0..rows).map(|i| tuple![i]).collect(),
-        );
+        let rel = Relation::from_rows_unchecked(schema, (0..rows).map(|i| tuple![i]).collect());
         dfs.put_relation("t", &rel, &cfg);
         Cluster::with_dfs(cfg, dfs)
     }

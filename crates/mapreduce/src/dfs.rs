@@ -82,13 +82,25 @@ impl Dfs {
         for row in rel.rows() {
             let len = row.encoded_len();
             if cur_bytes + len > block_bytes && !cur.is_empty() {
-                blocks.push(Self::seal_block(&mut cur, &mut cur_bytes, &nodes, config, &mut rng));
+                blocks.push(Self::seal_block(
+                    &mut cur,
+                    &mut cur_bytes,
+                    &nodes,
+                    config,
+                    &mut rng,
+                ));
             }
             cur_bytes += len;
             cur.push(row.clone());
         }
         if !cur.is_empty() || blocks.is_empty() {
-            blocks.push(Self::seal_block(&mut cur, &mut cur_bytes, &nodes, config, &mut rng));
+            blocks.push(Self::seal_block(
+                &mut cur,
+                &mut cur_bytes,
+                &nodes,
+                config,
+                &mut rng,
+            ));
         }
         let file = DfsFile {
             schema: rel.schema().clone(),
@@ -96,9 +108,7 @@ impl Dfs {
             bytes: rel.encoded_bytes(),
             rows: rel.len(),
         };
-        self.inner
-            .write()
-            .insert(name.to_string(), Arc::new(file));
+        self.inner.write().insert(name.to_string(), Arc::new(file));
         // Parallel upload by all datanodes; the pipeline write rate
         // already includes replication (TestDFSIO semantics).
         let per_node_bytes = rel.encoded_bytes() as f64 / config.nodes.max(1) as f64;

@@ -5,6 +5,7 @@
 
 use crate::config::ClusterConfig;
 use crate::dfs::Dfs;
+use crate::error::ExecError;
 use crate::faults::{FaultPlan, TaskKind};
 use crate::job::{InputSpec, MrJob, TaggedRecord};
 use crate::metrics::JobMetrics;
@@ -84,6 +85,10 @@ impl Engine {
     /// `out_file` (persisting charges a replicated write on the
     /// simulated clock — the intermediate-materialisation overhead that
     /// makes MRJ cascades expensive, §2.1).
+    ///
+    /// # Panics
+    /// Panics on a malformed request or missing input file. Serving
+    /// paths should prefer [`Engine::try_run`].
     pub fn run(
         &self,
         job: &dyn MrJob,
@@ -92,8 +97,45 @@ impl Engine {
         reducers: u32,
         out_file: Option<&str>,
     ) -> JobRun {
-        assert!(units >= 1, "a job needs at least one processing unit");
-        assert!(reducers >= 1, "a job needs at least one reduce task");
+        self.try_run(job, inputs, units, reducers, out_file)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`Engine::run`], but returns a typed error instead of
+    /// panicking, using the engine's configured fault plan.
+    pub fn try_run(
+        &self,
+        job: &dyn MrJob,
+        inputs: &[InputSpec],
+        units: u32,
+        reducers: u32,
+        out_file: Option<&str>,
+    ) -> Result<JobRun, ExecError> {
+        self.try_run_with(job, inputs, units, reducers, out_file, &self.faults)
+    }
+
+    /// Like [`Engine::try_run`], but with an explicit per-run fault
+    /// plan, so concurrent queries over one shared engine can carry
+    /// different fault profiles.
+    pub fn try_run_with(
+        &self,
+        job: &dyn MrJob,
+        inputs: &[InputSpec],
+        units: u32,
+        reducers: u32,
+        out_file: Option<&str>,
+        faults: &FaultPlan,
+    ) -> Result<JobRun, ExecError> {
+        if units < 1 {
+            return Err(ExecError::BadRequest {
+                detail: format!("job `{}` needs at least one processing unit", job.name()),
+            });
+        }
+        if reducers < 1 {
+            return Err(ExecError::BadRequest {
+                detail: format!("job `{}` needs at least one reduce task", job.name()),
+            });
+        }
         let wall_start = Instant::now();
         let hw = &self.config.hardware;
         let params = &self.config.params;
@@ -104,7 +146,9 @@ impl Engine {
             let file = self
                 .dfs
                 .get(&spec.file)
-                .unwrap_or_else(|| panic!("missing DFS file `{}`", spec.file));
+                .ok_or_else(|| ExecError::MissingFile {
+                    name: spec.file.clone(),
+                })?;
             for (bi, block) in file.blocks.iter().enumerate() {
                 let seed = block_seed(&job.name(), &spec.file, bi as u64);
                 tasks.push((spec.tag, block.rows.clone(), block.bytes, seed));
@@ -125,12 +169,8 @@ impl Engine {
                     if i >= tasks.len() {
                         break;
                     }
-                    let (tag, rows, bytes, seed) = (
-                        tasks[i].0,
-                        tasks[i].1.clone(),
-                        tasks[i].2,
-                        tasks[i].3,
-                    );
+                    let (tag, rows, bytes, seed) =
+                        (tasks[i].0, tasks[i].1.clone(), tasks[i].2, tasks[i].3);
                     let mut per_reducer: Vec<Vec<TaggedRecord>> =
                         (0..n_red).map(|_| Vec::new()).collect();
                     let mut out_bytes = 0u64;
@@ -178,9 +218,9 @@ impl Engine {
         for (ti, mo) in map_outs.iter().enumerate() {
             let read = mo.input_bytes as f64 * hw.c1();
             let cpu = mo.input_records as f64 * hw.cpu_per_record_secs;
-            let spill = mo.output_bytes as f64
-                * hw.p_spill_secs_per_byte(mo.output_bytes as f64, params);
-            let attempts = self.faults.attempts_for(TaskKind::Map, ti as u32);
+            let spill =
+                mo.output_bytes as f64 * hw.p_spill_secs_per_byte(mo.output_bytes as f64, params);
+            let attempts = faults.attempts_for(TaskKind::Map, ti as u32);
             map_attempts += attempts;
             let dur = (read + cpu + spill) * attempts as f64;
             let std::cmp::Reverse(NotNanF64(free_at)) =
@@ -194,8 +234,7 @@ impl Engine {
         }
 
         // ---- shuffle (real) ----
-        let mut reducer_inputs: Vec<Vec<TaggedRecord>> =
-            (0..n_red).map(|_| Vec::new()).collect();
+        let mut reducer_inputs: Vec<Vec<TaggedRecord>> = (0..n_red).map(|_| Vec::new()).collect();
         let mut input_bytes = 0u64;
         let mut input_records = 0u64;
         let mut map_output_bytes = 0u64;
@@ -242,8 +281,7 @@ impl Engine {
                         let recs = &groups[&k];
                         candidates = candidates.saturating_add(job.reduce(k, recs, &mut out));
                     }
-                    let in_bytes: u64 =
-                        records.iter().map(|x| x.wire_bytes() as u64).sum();
+                    let in_bytes: u64 = records.iter().map(|x| x.wire_bytes() as u64).sum();
                     *reduce_results[r].lock() = Some((out, in_bytes, candidates));
                 });
             }
@@ -275,7 +313,7 @@ impl Engine {
             } else {
                 hw.disk_read_bps // local materialisation only
             };
-            let attempts = self.faults.attempts_for(TaskKind::Reduce, r as u32);
+            let attempts = faults.attempts_for(TaskKind::Reduce, r as u32);
             let dur = (in_bytes as f64 * hw.c1()
                 + candidates as f64 * hw.cpu_per_candidate_secs
                 + out_bytes as f64 / write_rate)
@@ -323,7 +361,7 @@ impl Engine {
             map_attempts,
             reduce_attempts,
         };
-        JobRun { output, metrics }
+        Ok(JobRun { output, metrics })
     }
 }
 
@@ -424,10 +462,8 @@ mod tests {
         let cfg = ClusterConfig::default();
         let dfs = Dfs::new();
         let schema = Schema::from_pairs("t", &[("a", DataType::Int)]);
-        let rel = Relation::from_rows_unchecked(
-            schema,
-            (0..rows).map(|i| tuple![i as i64]).collect(),
-        );
+        let rel =
+            Relation::from_rows_unchecked(schema, (0..rows).map(|i| tuple![i as i64]).collect());
         dfs.put_relation("t", &rel, &cfg);
         (Engine::new(cfg.clone(), dfs), cfg)
     }

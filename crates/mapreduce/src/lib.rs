@@ -29,10 +29,11 @@
 #![warn(missing_docs)]
 
 pub mod cluster;
-pub mod faults;
 pub mod config;
 pub mod dfs;
 pub mod engine;
+pub mod error;
+pub mod faults;
 pub mod job;
 pub mod metrics;
 
@@ -40,6 +41,7 @@ pub use cluster::{Cluster, PlanExecution, PlanJob, PlanStage};
 pub use config::{ClusterConfig, HadoopParams, HardwareProfile};
 pub use dfs::{BlockId, Dfs, DfsFile};
 pub use engine::{Engine, JobRun};
+pub use error::ExecError;
 pub use faults::{FaultPlan, TaskKind};
 pub use job::{Emit, InputSpec, MrJob, TaggedRecord};
 pub use metrics::JobMetrics;

@@ -1,0 +1,60 @@
+//! Typed errors for planning and plan execution.
+
+use mwtj_mapreduce::ExecError;
+use std::fmt;
+
+/// A planning- or execution-layer failure for one query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlanError {
+    /// No set of candidate MRJs covers every join condition (the query
+    /// graph is disconnected or `G'_JP` bounds pruned too hard).
+    Uncoverable {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// Partial results share no relation, so they cannot be merged
+    /// without a cross product (`T` was not a sufficient cover).
+    Disconnected {
+        /// Human-readable description.
+        detail: String,
+    },
+    /// The query failed to compile against its schemas.
+    Query(mwtj_storage::Error),
+    /// The MapReduce layer rejected or failed the plan.
+    Exec(ExecError),
+}
+
+impl fmt::Display for PlanError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlanError::Uncoverable { detail } => write!(f, "uncoverable query: {detail}"),
+            PlanError::Disconnected { detail } => {
+                write!(f, "disconnected partial results: {detail}")
+            }
+            PlanError::Query(e) => write!(f, "query error: {e}"),
+            PlanError::Exec(e) => write!(f, "execution error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PlanError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            PlanError::Query(e) => Some(e),
+            PlanError::Exec(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ExecError> for PlanError {
+    fn from(e: ExecError) -> Self {
+        PlanError::Exec(e)
+    }
+}
+
+impl From<mwtj_storage::Error> for PlanError {
+    fn from(e: mwtj_storage::Error) -> Self {
+        PlanError::Query(e)
+    }
+}

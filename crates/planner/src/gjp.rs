@@ -394,7 +394,10 @@ mod tests {
             s: 4,
             ..cheap.clone()
         };
-        assert!(lemma1_dominated(&expensive_same, &[cheap.clone()]));
+        assert!(lemma1_dominated(
+            &expensive_same,
+            std::slice::from_ref(&cheap)
+        ));
         // Not dominated when the candidate covers MORE conditions.
         let two_edge = MrjCandidate {
             mask: 0b11,

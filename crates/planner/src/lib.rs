@@ -20,10 +20,12 @@
 
 #![warn(missing_docs)]
 
+pub mod error;
 pub mod gjp;
 pub mod plan;
 pub mod setcover;
 
+pub use error::PlanError;
 pub use gjp::{build_gjp, CandidateOp, GjpOptions, MrjCandidate};
-pub use plan::{Baseline, ExecutablePlan, Planner, QueryRun};
+pub use plan::{Baseline, ExecOptions, ExecutablePlan, Planner, QueryRun};
 pub use setcover::{exhaustive_cover, greedy_cover, CoverResult};

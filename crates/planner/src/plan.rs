@@ -7,16 +7,37 @@
 //! concurrent jobs inside a stage cost the max, sequential stages sum,
 //! exactly the accounting of the paper's Fig. 4.
 
+use crate::error::PlanError;
 use crate::gjp::{build_gjp, CandidateOp, GjpOptions, MrjCandidate};
 use crate::setcover::greedy_cover;
 use mwtj_cost::estimate::condition_selectivity;
 use mwtj_cost::{schedule_malleable, CostModel, MalleableJob};
 use mwtj_hilbert::PartitionStrategy;
 use mwtj_join::{ChainThetaJob, IntermediateShape, PairJob, PairStrategy};
-use mwtj_mapreduce::{Cluster, InputSpec, JobMetrics, PlanJob, PlanStage};
+use mwtj_mapreduce::{Cluster, FaultPlan, InputSpec, JobMetrics, PlanJob, PlanStage};
 use mwtj_query::theta::CompiledPredicate;
 use mwtj_query::MultiwayQuery;
 use mwtj_storage::{Relation, RelationStats, Tuple};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic tag namespacing one run's intermediate DFS files, so
+/// concurrent queries over one shared cluster never collide.
+static NEXT_RUN_TAG: AtomicU64 = AtomicU64::new(0);
+
+fn fresh_run_tag() -> u64 {
+    NEXT_RUN_TAG.fetch_add(1, Ordering::Relaxed)
+}
+
+/// Execution knobs threaded from the public API: partition strategy for
+/// the chain MRJs and an optional per-run fault-injection profile.
+#[derive(Debug, Clone, Default)]
+pub struct ExecOptions {
+    /// Space-partitioning strategy for chain MRJs (Hilbert is the
+    /// paper's method; Grid the ablation).
+    pub strategy: PartitionStrategy,
+    /// Fault plan for this run only; `None` uses the engine's plan.
+    pub faults: Option<FaultPlan>,
+}
 
 /// Which baseline planner to emulate (§6's comparison systems).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -94,16 +115,37 @@ impl Planner {
     /// Plan the query with the paper's method: `G'_JP` → greedy cover →
     /// malleable schedule. Returns the chosen candidates and plan
     /// summary without executing.
+    ///
+    /// # Panics
+    /// Panics on an uncoverable query; prefer [`Planner::try_plan_ours`]
+    /// on serving paths.
     pub fn plan_ours(
         &self,
         query: &MultiwayQuery,
         stats: &[&RelationStats],
         k_p: u32,
     ) -> (Vec<MrjCandidate>, ExecutablePlan) {
+        self.try_plan_ours(query, stats, k_p)
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`Planner::plan_ours`], but returns a typed error for
+    /// uncoverable queries instead of panicking.
+    pub fn try_plan_ours(
+        &self,
+        query: &MultiwayQuery,
+        stats: &[&RelationStats],
+        k_p: u32,
+    ) -> Result<(Vec<MrjCandidate>, ExecutablePlan), PlanError> {
         let cands = build_gjp(query, stats, &self.model, k_p, &self.gjp_opts);
         let all_mask: u64 = (0..query.num_conditions()).fold(0, |m, e| m | (1 << e));
-        let cover = greedy_cover(&cands, all_mask)
-            .expect("connected query must be coverable");
+        let cover = greedy_cover(&cands, all_mask).ok_or_else(|| PlanError::Uncoverable {
+            detail: format!(
+                "no candidate set covers all {} conditions of `{}` (disconnected join graph?)",
+                query.num_conditions(),
+                query.name
+            ),
+        })?;
         let mut chosen: Vec<MrjCandidate> =
             cover.chosen.iter().map(|&i| cands[i].clone()).collect();
         // The greedy objective cannot see merge-join costs (partial
@@ -115,8 +157,7 @@ impl Planner {
         // made with both sides of the ledger.
         if chosen.len() > 1 {
             let merge_est = self.estimate_merges(&chosen, stats, k_p);
-            let greedy_total: f64 =
-                chosen.iter().map(|c| c.w).sum::<f64>() + merge_est;
+            let greedy_total: f64 = chosen.iter().map(|c| c.w).sum::<f64>() + merge_est;
             if let Some(full) = cands
                 .iter()
                 .filter(|c| c.mask & all_mask == all_mask)
@@ -138,7 +179,7 @@ impl Planner {
             shelves: schedule.shelves.clone(),
             predicted_secs: schedule.makespan,
         };
-        (chosen, plan)
+        Ok((chosen, plan))
     }
 
     /// Rough cost of folding the chosen candidates' outputs together:
@@ -146,12 +187,7 @@ impl Planner {
     /// upper-bounding each join's output by the containment bound
     /// `|A|·|B| / Π|R_shared|` and pricing each merge as an equi-hash
     /// job over the running intermediates.
-    fn estimate_merges(
-        &self,
-        chosen: &[MrjCandidate],
-        stats: &[&RelationStats],
-        k_p: u32,
-    ) -> f64 {
+    fn estimate_merges(&self, chosen: &[MrjCandidate], stats: &[&RelationStats], k_p: u32) -> f64 {
         use mwtj_cost::estimate::{pair_equi_job, SideStats};
         let mut parts: Vec<(Vec<usize>, f64, f64)> = chosen
             .iter()
@@ -163,8 +199,7 @@ impl Planner {
             let (mut bi, mut bj, mut best) = (0usize, 1usize, 0usize);
             for i in 0..parts.len() {
                 for j in i + 1..parts.len() {
-                    let shared =
-                        parts[i].0.iter().filter(|r| parts[j].0.contains(r)).count();
+                    let shared = parts[i].0.iter().filter(|r| parts[j].0.contains(r)).count();
                     if shared > best {
                         (bi, bj, best) = (i, j, shared);
                     }
@@ -183,8 +218,14 @@ impl Planner {
             let key_distinct = shared_card.max(1.0);
             let est = pair_equi_job(
                 self.model.config(),
-                SideStats { rows: rows_a, bytes: bytes_a },
-                SideStats { rows: rows_b, bytes: bytes_b },
+                SideStats {
+                    rows: rows_a,
+                    bytes: bytes_a,
+                },
+                SideStats {
+                    rows: rows_b,
+                    bytes: bytes_b,
+                },
                 1.0 / key_distinct,
                 key_distinct,
                 ((rows_a + rows_b) as u64 / 4_096).max(1) as u32,
@@ -204,17 +245,26 @@ impl Planner {
     }
 
     /// Plan and execute with the paper's method.
+    ///
+    /// # Panics
+    /// Panics on planning or execution failure; prefer
+    /// [`Planner::try_execute_ours`] on serving paths.
     pub fn execute_ours(
         &self,
         query: &MultiwayQuery,
         stats: &[&RelationStats],
         cluster: &Cluster,
     ) -> QueryRun {
-        self.execute_ours_with(query, stats, cluster, PartitionStrategy::Hilbert)
+        self.try_execute_ours(query, stats, cluster, &ExecOptions::default())
+            .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Like [`Planner::execute_ours`] but with an explicit partition
     /// strategy (the grid variant is the ablation baseline).
+    ///
+    /// # Panics
+    /// Panics on planning or execution failure; prefer
+    /// [`Planner::try_execute_ours`] on serving paths.
     pub fn execute_ours_with(
         &self,
         query: &MultiwayQuery,
@@ -222,9 +272,35 @@ impl Planner {
         cluster: &Cluster,
         strategy: PartitionStrategy,
     ) -> QueryRun {
+        self.try_execute_ours(
+            query,
+            stats,
+            cluster,
+            &ExecOptions {
+                strategy,
+                faults: None,
+            },
+        )
+        .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Plan and execute with the paper's method, returning a typed
+    /// error instead of panicking. `opts` carries the partition
+    /// strategy and an optional per-run fault profile; intermediate DFS
+    /// files are namespaced per run, so independent queries can execute
+    /// concurrently over one shared cluster.
+    pub fn try_execute_ours(
+        &self,
+        query: &MultiwayQuery,
+        stats: &[&RelationStats],
+        cluster: &Cluster,
+        opts: &ExecOptions,
+    ) -> Result<QueryRun, PlanError> {
+        let strategy = opts.strategy;
+        let run_tag = fresh_run_tag();
         let wall = std::time::Instant::now();
         let k_p = cluster.config().processing_units;
-        let (chosen, plan) = self.plan_ours(query, stats, k_p);
+        let (chosen, plan) = self.try_plan_ours(query, stats, k_p)?;
         let cards: Vec<u64> = stats.iter().map(|s| s.cardinality as u64).collect();
 
         // --- MRJ phase: shelves of concurrent chain jobs ---
@@ -253,16 +329,14 @@ impl Planner {
                             .dims()
                             .iter()
                             .enumerate()
-                            .map(|(dim, &r)| {
-                                InputSpec::new(query.schemas[r].name(), dim as u8)
-                            })
+                            .map(|(dim, &r)| InputSpec::new(query.schemas[r].name(), dim as u8))
                             .collect();
                         let reducers = job.reducers();
                         let shape = job.out_shape().clone();
                         (Box::new(job), inputs, reducers, shape)
                     }
                     CandidateOp::PairEqui => {
-                        let compiled = query.compile().expect("query compiles");
+                        let compiled = query.compile()?;
                         let e = cand.path.edges[0];
                         let (lrel, rrel) = (cand.rels[0], cand.rels[1]);
                         let job = PairJob::new(
@@ -287,7 +361,7 @@ impl Planner {
                 let out_file = if single {
                     None
                 } else {
-                    let f = format!("__part_{ci}");
+                    let f = format!("__run{run_tag}_part_{ci}");
                     part_files.push((f.clone(), out_shape));
                     Some(f)
                 };
@@ -303,7 +377,7 @@ impl Planner {
                 stages.push(PlanStage { jobs });
             }
         }
-        let exec = cluster.run_plan(stages);
+        let exec = cluster.try_run_plan(stages, opts.faults.as_ref())?;
         let mut sim_secs = exec.total_secs;
         let mut jobs_metrics = exec.job_metrics;
         let mut plan_desc = format!(
@@ -321,7 +395,7 @@ impl Planner {
             final_rows = exec.output.into_rows();
         } else {
             let (rows, shape, merge_secs, mut mm) =
-                self.merge_parts(query, cluster, part_files, k_p);
+                self.merge_parts(query, cluster, part_files, k_p, run_tag, opts)?;
             sim_secs += merge_secs;
             jobs_metrics.append(&mut mm);
             plan_desc.push_str(&format!(", {} merge job(s)", mm_count(&jobs_metrics)));
@@ -331,24 +405,27 @@ impl Planner {
 
         // --- final projection (in-memory; trivial column selection) ---
         let output = project_rows(query, &final_shape, final_rows);
-        QueryRun {
+        Ok(QueryRun {
             output,
             plan: plan_desc,
             predicted_secs: plan.predicted_secs,
             sim_secs,
             real_secs: wall.elapsed().as_secs_f64(),
             jobs: jobs_metrics,
-        }
+        })
     }
 
     /// Merge part files pairwise on shared relations until one remains.
+    #[allow(clippy::type_complexity)]
     fn merge_parts(
         &self,
         query: &MultiwayQuery,
         cluster: &Cluster,
         mut parts: Vec<(String, IntermediateShape)>,
         k_p: u32,
-    ) -> (Vec<Tuple>, IntermediateShape, f64, Vec<JobMetrics>) {
+        run_tag: u64,
+        opts: &ExecOptions,
+    ) -> Result<(Vec<Tuple>, IntermediateShape, f64, Vec<JobMetrics>), PlanError> {
         let mut sim = 0.0;
         let mut metrics = Vec::new();
         let mut merge_id = 0usize;
@@ -359,18 +436,22 @@ impl Planner {
             let mut found = false;
             for i in 0..parts.len() {
                 for j in i + 1..parts.len() {
-                    let shared =
-                        IntermediateShape::shared(&parts[i].1, &parts[j].1).len();
+                    let shared = IntermediateShape::shared(&parts[i].1, &parts[j].1).len();
                     if shared > 0 && (!found || shared > best_shared) {
                         (bi, bj, best_shared) = (i, j, shared);
                         found = true;
                     }
                 }
             }
-            assert!(
-                found,
-                "disconnected partial results cannot be merged (T not sufficient?)"
-            );
+            if !found {
+                return Err(PlanError::Disconnected {
+                    detail: format!(
+                        "{} partial results of `{}` share no relation (T not sufficient?)",
+                        parts.len(),
+                        query.name
+                    ),
+                });
+            }
             let (rf, rshape) = parts.swap_remove(bj.max(bi));
             let (lf, lshape) = parts.swap_remove(bi.min(bj));
             let lrows = cluster.dfs().get(&lf).map(|f| f.rows as u64).unwrap_or(0);
@@ -387,33 +468,37 @@ impl Planner {
                 reducers,
             );
             let last = parts.is_empty();
-            let out_file = format!("__merged_{merge_id}");
+            let out_file = format!("__run{run_tag}_merged_{merge_id}");
             let out_shape = job.out_shape().clone();
-            let run = cluster.engine().run(
+            let run = cluster.engine().try_run_with(
                 &job,
                 &[InputSpec::new(&lf, 0), InputSpec::new(&rf, 1)],
                 k_p,
                 job.reducers(),
                 if last { None } else { Some(&out_file) },
-            );
+                opts.faults
+                    .as_ref()
+                    .unwrap_or_else(|| cluster.engine().fault_plan()),
+            )?;
             sim += run.metrics.sim_total_secs;
             metrics.push(run.metrics);
             cluster.dfs().remove(&lf);
             cluster.dfs().remove(&rf);
             if last {
-                return (run.output.into_rows(), out_shape, sim, metrics);
+                return Ok((run.output.into_rows(), out_shape, sim, metrics));
             }
             parts.push((out_file, out_shape));
             merge_id += 1;
         }
         // Single part: read it back.
-        let (f, shape) = parts.pop().expect("at least one part");
-        let rel = cluster
-            .dfs()
-            .read_relation(&f)
-            .expect("part file present");
+        let (f, shape) = parts.pop().ok_or_else(|| PlanError::Disconnected {
+            detail: format!("no partial results to merge for `{}`", query.name),
+        })?;
+        let rel = cluster.dfs().read_relation(&f).ok_or_else(|| {
+            PlanError::Exec(mwtj_mapreduce::ExecError::MissingFile { name: f.clone() })
+        })?;
         cluster.dfs().remove(&f);
-        (rel.into_rows(), shape, sim, metrics)
+        Ok((rel.into_rows(), shape, sim, metrics))
     }
 
     // ------------------------------------------------------------------
@@ -422,6 +507,10 @@ impl Planner {
 
     /// Plan and execute a pairwise left-deep cascade in the style of
     /// `baseline`.
+    ///
+    /// # Panics
+    /// Panics on execution failure; prefer
+    /// [`Planner::try_execute_baseline`] on serving paths.
     pub fn execute_baseline(
         &self,
         baseline: Baseline,
@@ -429,9 +518,25 @@ impl Planner {
         stats: &[&RelationStats],
         cluster: &Cluster,
     ) -> QueryRun {
+        self.try_execute_baseline(baseline, query, stats, cluster, &ExecOptions::default())
+            .unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Like [`Planner::execute_baseline`], but returns a typed error
+    /// instead of panicking and honours `opts.faults`. Intermediate
+    /// cascade files are namespaced per run for concurrent execution.
+    pub fn try_execute_baseline(
+        &self,
+        baseline: Baseline,
+        query: &MultiwayQuery,
+        stats: &[&RelationStats],
+        cluster: &Cluster,
+        opts: &ExecOptions,
+    ) -> Result<QueryRun, PlanError> {
+        let run_tag = fresh_run_tag();
         let wall = std::time::Instant::now();
         let k_p = cluster.config().processing_units;
-        let compiled = query.compile().expect("query compiles");
+        let compiled = query.compile()?;
         let order = cascade_order(query);
         let mut sim = 0.0;
         let mut metrics: Vec<JobMetrics> = Vec::new();
@@ -450,8 +555,8 @@ impl Planner {
             let mut preds: Vec<CompiledPredicate> = Vec::new();
             let mut sel = 1.0;
             for (e, (u, v, _)) in query.conditions.iter().enumerate() {
-                let joins_next = (cur_shape.has(*u) && *v == next)
-                    || (cur_shape.has(*v) && *u == next);
+                let joins_next =
+                    (cur_shape.has(*u) && *v == next) || (cur_shape.has(*v) && *u == next);
                 if joins_next && !applied[e] {
                     applied[e] = true;
                     preds.extend(compiled.per_condition[e].iter().copied());
@@ -470,14 +575,8 @@ impl Planner {
                     replicated: if cur_rows <= right_rows { 0 } else { 1 },
                 }
             };
-            let reducers = self.baseline_reducers(
-                baseline,
-                cluster,
-                cur_rows,
-                right_rows,
-                sel,
-                k_p,
-            );
+            let reducers =
+                self.baseline_reducers(baseline, cluster, cur_rows, right_rows, sel, k_p);
             let job = PairJob::new(
                 format!("{baseline:?}_step{step}"),
                 query,
@@ -489,7 +588,7 @@ impl Planner {
                 reducers,
             );
             let last = step + 1 == order.len();
-            let out_file = format!("__casc_{step}");
+            let out_file = format!("__run{run_tag}_casc_{step}");
             let out_shape = job.out_shape().clone();
             desc_steps.push(format!(
                 "⋈{}({:?},n={})",
@@ -497,7 +596,7 @@ impl Planner {
                 strategy_tag(strategy),
                 job.reducers()
             ));
-            let run = cluster.engine().run(
+            let run = cluster.engine().try_run_with(
                 &job,
                 &[
                     InputSpec::new(&cur_file, 0),
@@ -508,7 +607,10 @@ impl Planner {
                 k_p,
                 job.reducers(),
                 if last { None } else { Some(&out_file) },
-            );
+                opts.faults
+                    .as_ref()
+                    .unwrap_or_else(|| cluster.engine().fault_plan()),
+            )?;
             sim += run.metrics.sim_total_secs;
             metrics.push(run.metrics);
             if !cur_is_base {
@@ -519,18 +621,23 @@ impl Planner {
             cur_is_base = false;
             if last {
                 let output = project_rows(query, &cur_shape, run.output.into_rows());
-                return QueryRun {
+                return Ok(QueryRun {
                     output,
                     plan: format!("{baseline:?}: {}", desc_steps.join(" → ")),
                     predicted_secs: 0.0,
                     sim_secs: sim,
                     real_secs: wall.elapsed().as_secs_f64(),
                     jobs: metrics,
-                };
+                });
             }
             cur_file = out_file;
         }
-        unreachable!("cascade always has a final step for ≥2 relations");
+        // A connected query has ≥ 2 relations, so the loop always takes
+        // the `last` branch; a degenerate single-relation query lands
+        // here instead of panicking.
+        Err(PlanError::Disconnected {
+            detail: format!("`{}` has no join steps to cascade", query.name),
+        })
     }
 
     /// Reducer-count policy per baseline.
@@ -550,8 +657,7 @@ impl Planner {
             // 1 reducer/GB), at least 1 — ignores k_p.
             Baseline::Pig => {
                 let bytes = (left_rows + right_rows) * 40; // ~row width
-                ((bytes / (16 * cluster.config().params.block_bytes as u64)).max(1) as u32)
-                    .min(256)
+                ((bytes / (16 * cluster.config().params.block_bytes as u64)).max(1) as u32).min(256)
             }
             // YSmart: sweep the cost model for the best n, but ignore
             // k_p (assume unlimited concurrent units).
@@ -610,9 +716,8 @@ fn cascade_order(query: &MultiwayQuery) -> Vec<usize> {
                     (order.contains(u) && *v == r) || (order.contains(v) && *u == r)
                 })
         });
-        let next = connected.unwrap_or_else(|| {
-            (0..n).find(|&r| !used[r]).expect("unused relation exists")
-        });
+        let next = connected
+            .unwrap_or_else(|| (0..n).find(|&r| !used[r]).expect("unused relation exists"));
         used[next] = true;
         order.push(next);
     }
@@ -673,21 +778,12 @@ mod tests {
         Relation::from_rows_unchecked(
             schema,
             (0..n)
-                .map(|i| {
-                    tuple![
-                        rng.gen_range(0..domain),
-                        rng.gen_range(0..domain),
-                        i as i64
-                    ]
-                })
+                .map(|i| tuple![rng.gen_range(0..domain), rng.gen_range(0..domain), i as i64])
                 .collect(),
         )
     }
 
-    fn setup(
-        rels: &[&Relation],
-        k_p: u32,
-    ) -> (Cluster, Vec<RelationStats>, Planner) {
+    fn setup(rels: &[&Relation], k_p: u32) -> (Cluster, Vec<RelationStats>, Planner) {
         let cfg = ClusterConfig::with_units(k_p);
         let cluster = Cluster::new(cfg.clone());
         let mut stats = Vec::new();

@@ -71,13 +71,8 @@ pub fn exhaustive_cover(cands: &[MrjCandidate], all_mask: u64) -> Option<CoverRe
                 chosen.push(i);
             }
         }
-        if covered & all_mask == all_mask
-            && best.as_ref().is_none_or(|b| w < b.total_w)
-        {
-            best = Some(CoverResult {
-                chosen,
-                total_w: w,
-            });
+        if covered & all_mask == all_mask && best.as_ref().is_none_or(|b| w < b.total_w) {
+            best = Some(CoverResult { chosen, total_w: w });
         }
     }
     best
@@ -91,9 +86,7 @@ mod tests {
     fn cand(mask: u64, w: f64) -> MrjCandidate {
         MrjCandidate {
             path: JoinPath {
-                edges: (0..64)
-                    .filter(|&e| mask & (1 << e) != 0)
-                    .collect(),
+                edges: (0..64).filter(|&e| mask & (1 << e) != 0).collect(),
                 vertices: vec![0],
             },
             mask,
@@ -165,11 +158,7 @@ mod tests {
 
     #[test]
     fn exhaustive_finds_true_optimum() {
-        let cands = vec![
-            cand(0b01, 5.0),
-            cand(0b10, 5.0),
-            cand(0b11, 6.0),
-        ];
+        let cands = vec![cand(0b01, 5.0), cand(0b10, 5.0), cand(0b11, 6.0)];
         let e = exhaustive_cover(&cands, 0b11).unwrap();
         assert!((e.total_w - 6.0).abs() < 1e-12);
     }

@@ -241,9 +241,7 @@ mod tests {
     /// θ1,θ2 ∈ R1–R2 region… precisely: θ1(R1,R2), θ2(R2,R3), θ3(R1,R3),
     /// θ4(R3,R4), θ5(R3,R5), θ6(R4,R5).
     fn fig1() -> JoinGraph {
-        let mut g = JoinGraph::new(
-            (1..=5).map(|i| format!("R{i}")).collect::<Vec<_>>(),
-        );
+        let mut g = JoinGraph::new((1..=5).map(|i| format!("R{i}")).collect::<Vec<_>>());
         g.add_edge(0, 1, vec![]); // θ0 : R1-R2   (paper's θ1)
         g.add_edge(1, 2, vec![]); // θ1 : R2-R3   (paper's θ2)
         g.add_edge(0, 2, vec![]); // θ2 : R1-R3   (paper's θ3)

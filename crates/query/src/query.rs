@@ -66,9 +66,7 @@ impl MultiwayQuery {
                 let rr = self.relation_index(&p.right.relation)?;
                 if !((lr == *u && rr == *v) || (lr == *v && rr == *u)) {
                     return Err(Error::SchemaMismatch {
-                        detail: format!(
-                            "predicate `{p}` does not join relations {u} and {v}"
-                        ),
+                        detail: format!("predicate `{p}` does not join relations {u} and {v}"),
                     });
                 }
             }
@@ -236,14 +234,7 @@ impl QueryBuilder {
     }
 
     /// Add a join condition edge `l.lcol θ r.rcol`.
-    pub fn join(
-        self,
-        l: &str,
-        lcol: &str,
-        op: ThetaOp,
-        r: &str,
-        rcol: &str,
-    ) -> Self {
+    pub fn join(self, l: &str, lcol: &str, op: ThetaOp, r: &str, rcol: &str) -> Self {
         self.join_expr(ColExpr::col(l, lcol), op, ColExpr::col(r, rcol))
     }
 
@@ -256,6 +247,19 @@ impl QueryBuilder {
         ) else {
             return self;
         };
+        if u == v {
+            // Same instance on both sides would later break the join
+            // graph invariant (self-joins need two instances); reject
+            // at build time instead of panicking downstream.
+            self.error = Some(Error::TypeError {
+                detail: format!(
+                    "both sides of a join predicate reference `{}`; self-joins need two \
+                     relation instances",
+                    left.relation
+                ),
+            });
+            return self;
+        }
         self.conditions
             .push((u, v, vec![Predicate::new(left, op, right)]));
         self
@@ -272,9 +276,7 @@ impl QueryBuilder {
             return self;
         };
         match self.conditions.last_mut() {
-            Some((u, v, preds))
-                if (lu == *u && lv == *v) || (lu == *v && lv == *u) =>
-            {
+            Some((u, v, preds)) if (lu == *u && lv == *v) || (lu == *v && lv == *u) => {
                 preds.push(Predicate::new(left, op, right));
             }
             _ => {

@@ -36,6 +36,17 @@ use crate::query::{MultiwayQuery, QueryBuilder};
 use crate::theta::{ColExpr, ThetaOp};
 use mwtj_storage::{Error, Result, Schema};
 
+/// A parsed SQL query plus the `FROM`-clause bookkeeping an engine
+/// needs to wire instances to catalog entries.
+#[derive(Debug, Clone)]
+pub struct ParsedSql {
+    /// The query, built against the instance aliases.
+    pub query: MultiwayQuery,
+    /// `(alias, base)` per FROM entry, in clause order. For a bare
+    /// `FROM calls` entry both are `"calls"`.
+    pub instances: Vec<(String, String)>,
+}
+
 /// Parse `sql` into a query. `schema_of` resolves a FROM-clause base
 /// table name to its schema; each relation instance gets the schema's
 /// columns under its alias.
@@ -44,6 +55,16 @@ pub fn parse_query(
     sql: &str,
     schema_of: &dyn Fn(&str) -> Option<Schema>,
 ) -> Result<MultiwayQuery> {
+    parse_sql(name, sql, schema_of).map(|p| p.query)
+}
+
+/// Like [`parse_query`], but also reports which base table each
+/// FROM-clause instance refers to, so callers can register aliases.
+pub fn parse_sql(
+    name: &str,
+    sql: &str,
+    schema_of: &dyn Fn(&str) -> Option<Schema>,
+) -> Result<ParsedSql> {
     let tokens = tokenize(sql)?;
     let mut p = Parser {
         tokens,
@@ -243,7 +264,7 @@ impl Parser<'_> {
         &mut self,
         name: &str,
         schema_of: &dyn Fn(&str) -> Option<Schema>,
-    ) -> Result<MultiwayQuery> {
+    ) -> Result<ParsedSql> {
         self.expect_kw(Kw::Select)?;
         // Projection list (resolved after FROM).
         let mut proj: Vec<(String, String)> = Vec::new();
@@ -270,6 +291,7 @@ impl Parser<'_> {
 
         self.expect_kw(Kw::From)?;
         let mut builder = QueryBuilder::new(name);
+        let mut instances: Vec<(String, String)> = Vec::new();
         loop {
             let first = self.expect_ident()?;
             // "base alias" or bare "alias" (alias doubles as base).
@@ -280,11 +302,10 @@ impl Parser<'_> {
                 }
                 _ => (first.clone(), first),
             };
-            let schema = schema_of(&base).ok_or_else(|| Error::UnknownColumn {
-                column: "<relation>".into(),
-                schema: base.clone(),
-            })?;
-            builder = builder.relation(Schema::new(alias, schema.fields().to_vec()));
+            let schema =
+                schema_of(&base).ok_or_else(|| Error::UnknownRelation { name: base.clone() })?;
+            builder = builder.relation(Schema::new(&alias, schema.fields().to_vec()));
+            instances.push((alias, base));
             if matches!(self.peek(), Some(Tok::Comma)) {
                 self.next();
             } else {
@@ -326,7 +347,10 @@ impl Parser<'_> {
                 builder = builder.project(&rel, &col);
             }
         }
-        builder.build()
+        Ok(ParsedSql {
+            query: builder.build()?,
+            instances,
+        })
     }
 
     /// `colref [('+'|'-') number]`
@@ -438,14 +462,14 @@ mod tests {
     #[test]
     fn star_means_no_projection() {
         let sql = "SELECT * FROM table a, table b WHERE a.d < b.d";
-        let q = parse_query("q", &sql, &resolver()).unwrap();
+        let q = parse_query("q", sql, &resolver()).unwrap();
         assert!(q.projection.is_empty());
     }
 
     #[test]
     fn negative_offsets() {
         let sql = "SELECT * FROM table a, table b WHERE a.d - 2 < b.d";
-        let q = parse_query("q", &sql, &resolver()).unwrap();
+        let q = parse_query("q", sql, &resolver()).unwrap();
         assert_eq!(q.conditions[0].2[0].left.offset, -2.0);
     }
 
@@ -458,11 +482,11 @@ mod tests {
     #[test]
     fn rejects_garbage() {
         let bad = [
-            "FROM table a WHERE a.d < a.d",                     // missing SELECT
-            "SELECT * FROM table a, table b",                   // missing WHERE
-            "SELECT * FROM nope a, table b WHERE a.d < b.d",    // unknown base
-            "SELECT * FROM table a, table b WHERE a.zz < b.d",  // unknown column
-            "SELECT * FROM table a, table b WHERE a.d ?? b.d",  // bad operator
+            "FROM table a WHERE a.d < a.d",                    // missing SELECT
+            "SELECT * FROM table a, table b",                  // missing WHERE
+            "SELECT * FROM nope a, table b WHERE a.d < b.d",   // unknown base
+            "SELECT * FROM table a, table b WHERE a.zz < b.d", // unknown column
+            "SELECT * FROM table a, table b WHERE a.d ?? b.d", // bad operator
             "SELECT * FROM table a, table b WHERE a.d < b.d extra", // trailing
         ];
         for sql in bad {

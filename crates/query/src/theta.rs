@@ -104,11 +104,7 @@ impl ColExpr {
     }
 
     /// `rel.col + offset`.
-    pub fn col_plus(
-        relation: impl Into<String>,
-        column: impl Into<String>,
-        offset: f64,
-    ) -> Self {
+    pub fn col_plus(relation: impl Into<String>, column: impl Into<String>, offset: f64) -> Self {
         ColExpr {
             relation: relation.into(),
             column: column.into(),

@@ -1,0 +1,130 @@
+//! Minimal stand-in for the `criterion` benchmark harness.
+//!
+//! Implements the `criterion_group!`/`criterion_main!` macros,
+//! [`Criterion::benchmark_group`], [`BenchmarkGroup::bench_function`]
+//! and [`Bencher::iter`] with a simple best-of-N wall-clock timer that
+//! prints one line per benchmark. No statistics, plots or CLI — just
+//! enough to build and run the workspace's micro-benchmarks offline.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+/// Prevent the optimiser from deleting a value/computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Top-level harness handle.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("group: {name}");
+        BenchmarkGroup {
+            samples: 20,
+            measure: Duration::from_secs(1),
+        }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    samples: usize,
+    measure: Duration,
+}
+
+impl BenchmarkGroup {
+    /// Set the per-benchmark measurement budget.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.measure = d;
+        self
+    }
+
+    /// Set the number of samples to take.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Run one benchmark and print its best observed time per iteration.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher {
+            iters: 1,
+            elapsed: Duration::ZERO,
+        };
+        // Warm-up + calibration: grow the iteration count until one
+        // sample takes ≥ ~1/50 of the measurement budget.
+        let floor = self.measure.max(Duration::from_millis(50)) / 50;
+        loop {
+            f(&mut b);
+            if b.elapsed >= floor || b.iters >= 1 << 30 {
+                break;
+            }
+            b.iters *= 4;
+        }
+        let mut best = b.elapsed;
+        let deadline = Instant::now() + self.measure;
+        for _ in 1..self.samples {
+            if Instant::now() >= deadline {
+                break;
+            }
+            f(&mut b);
+            best = best.min(b.elapsed);
+        }
+        let per_iter = best.as_nanos() as f64 / b.iters as f64;
+        println!("  {name}: {per_iter:.1} ns/iter ({} iters/sample)", b.iters);
+        self
+    }
+
+    /// End the group (no-op; provided for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Timer handle passed to each benchmark closure.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Time `routine`, running it enough times to measure reliably.
+    pub fn iter<O, F>(&mut self, mut routine: F)
+    where
+        F: FnMut() -> O,
+    {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Declare a function that runs a list of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declare `main` running one or more `criterion_group!`s.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}

@@ -1,0 +1,57 @@
+//! Minimal stand-in for `crossbeam::scope`, implemented over
+//! `std::thread::scope` (stable since 1.63). Only the `scope`/`spawn`
+//! pair the MapReduce engine uses is provided; the closure passed to
+//! [`Scope::spawn`] receives the scope again, as crossbeam's does.
+//!
+//! Panic semantics differ slightly: where crossbeam returns `Err` from
+//! `scope` when a child panicked, `std::thread::scope` resumes the
+//! panic on join — callers that `.expect(..)` the result observe a
+//! panic either way.
+
+#![warn(missing_docs)]
+
+use std::thread;
+
+/// Spawn handle for scoped threads (mirrors `crossbeam::thread::Scope`).
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope thread::Scope<'scope, 'env>,
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawn a scoped thread; the closure receives the scope so it can
+    /// spawn further threads.
+    pub fn spawn<F, T>(&self, f: F) -> thread::ScopedJoinHandle<'scope, T>
+    where
+        F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let handle = Scope { inner: self.inner };
+        self.inner.spawn(move || f(&handle))
+    }
+}
+
+/// Run `f` with a scope in which borrowing, scoped threads can be
+/// spawned; returns once all of them have finished.
+pub fn scope<'env, F, R>(f: F) -> thread::Result<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    Ok(thread::scope(|s| f(&Scope { inner: s })))
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn scoped_threads_share_borrows() {
+        let counter = AtomicUsize::new(0);
+        super::scope(|s| {
+            for _ in 0..8 {
+                s.spawn(|_| counter.fetch_add(1, Ordering::Relaxed));
+            }
+        })
+        .expect("no panics");
+        assert_eq!(counter.into_inner(), 8);
+    }
+}

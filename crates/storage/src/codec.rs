@@ -230,7 +230,7 @@ mod tests {
         assert!(decode_tuple(&[1, 9]).is_err()); // unknown tag
         assert!(decode_tuple(&[1, TAG_DOUBLE, 1, 2]).is_err()); // short double
         assert!(decode_tuple(&[1, TAG_STR, 5, b'a']).is_err()); // short string
-        // invalid utf8
+                                                                // invalid utf8
         assert!(decode_tuple(&[1, TAG_STR, 2, 0xff, 0xfe]).is_err());
         // implausible arity
         let mut big = BytesMut::new();

@@ -107,16 +107,18 @@ fn parse_field(field: &str, ty: DataType, lineno: usize) -> Result<Value> {
         return Ok(Value::Null);
     }
     match ty {
-        DataType::Int => field.parse::<i64>().map(Value::Int).map_err(|e| {
-            Error::TypeError {
+        DataType::Int => field
+            .parse::<i64>()
+            .map(Value::Int)
+            .map_err(|e| Error::TypeError {
                 detail: format!("line {}: `{field}` is not an INT: {e}", lineno + 1),
-            }
-        }),
-        DataType::Double => field.parse::<f64>().map(Value::Double).map_err(|e| {
-            Error::TypeError {
+            }),
+        DataType::Double => field
+            .parse::<f64>()
+            .map(Value::Double)
+            .map_err(|e| Error::TypeError {
                 detail: format!("line {}: `{field}` is not a DOUBLE: {e}", lineno + 1),
-            }
-        }),
+            }),
         DataType::Str => Ok(Value::from(field)),
     }
 }

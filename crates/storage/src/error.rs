@@ -18,6 +18,12 @@ pub enum Error {
         /// The relation/schema it was requested from.
         schema: String,
     },
+    /// A relation name could not be resolved (e.g. a SQL `FROM` clause
+    /// naming a base table the catalog does not hold).
+    UnknownRelation {
+        /// The relation that was requested.
+        name: String,
+    },
     /// The binary codec encountered malformed input.
     Corrupt {
         /// Byte offset at which decoding failed.
@@ -39,6 +45,7 @@ impl fmt::Display for Error {
             Error::UnknownColumn { column, schema } => {
                 write!(f, "unknown column `{column}` in schema `{schema}`")
             }
+            Error::UnknownRelation { name } => write!(f, "unknown relation `{name}`"),
             Error::Corrupt { offset, detail } => {
                 write!(f, "corrupt tuple encoding at byte {offset}: {detail}")
             }

@@ -5,12 +5,19 @@ use crate::error::Result;
 use crate::schema::Schema;
 use crate::tuple::Tuple;
 use crate::value::Value;
+use std::sync::Arc;
 
 /// A named relation: schema + rows.
+///
+/// Rows live behind an [`Arc`], so cloning a relation — and in
+/// particular re-registering the same data under another schema name
+/// via [`Relation::rename`], the self-join alias path — shares the row
+/// storage instead of deep-copying it. Mutation ([`Relation::push`])
+/// copies-on-write when the rows are shared.
 #[derive(Debug, Clone)]
 pub struct Relation {
     schema: Schema,
-    rows: Vec<Tuple>,
+    rows: Arc<Vec<Tuple>>,
     /// Cached sum of encoded row lengths, maintained on push.
     encoded_bytes: usize,
 }
@@ -20,7 +27,7 @@ impl Relation {
     pub fn empty(schema: Schema) -> Self {
         Relation {
             schema,
-            rows: Vec::new(),
+            rows: Arc::new(Vec::new()),
             encoded_bytes: 0,
         }
     }
@@ -43,8 +50,19 @@ impl Relation {
         let encoded_bytes = rows.iter().map(Tuple::encoded_len).sum();
         Relation {
             schema,
-            rows,
+            rows: Arc::new(rows),
             encoded_bytes,
+        }
+    }
+
+    /// The same rows under another schema name (self-join instances
+    /// `t1`, `t2`, … of one base table). Row storage is shared, not
+    /// copied.
+    pub fn rename(&self, name: &str) -> Self {
+        Relation {
+            schema: Schema::new(name, self.schema.fields().to_vec()),
+            rows: Arc::clone(&self.rows),
+            encoded_bytes: self.encoded_bytes,
         }
     }
 
@@ -52,7 +70,7 @@ impl Relation {
     pub fn push(&mut self, row: Tuple) -> Result<()> {
         self.schema.check(row.values())?;
         self.encoded_bytes += row.encoded_len();
-        self.rows.push(row);
+        Arc::make_mut(&mut self.rows).push(row);
         Ok(())
     }
 
@@ -102,15 +120,15 @@ impl Relation {
         Ok(self.rows.iter().map(|r| r.get(i).clone()).collect())
     }
 
-    /// Consume into rows.
+    /// Consume into rows (copies only if the row storage is shared).
     pub fn into_rows(self) -> Vec<Tuple> {
-        self.rows
+        Arc::try_unwrap(self.rows).unwrap_or_else(|shared| (*shared).clone())
     }
 
     /// Canonical sorted copy of the rows (for multiset comparison in
     /// tests and merge verification).
     pub fn sorted_rows(&self) -> Vec<Tuple> {
-        let mut v = self.rows.clone();
+        let mut v = (*self.rows).clone();
         v.sort_by(|a, b| a.total_cmp(b));
         v
     }
@@ -156,9 +174,11 @@ mod tests {
 
     #[test]
     fn sorted_rows_is_canonical() {
-        let r =
-            Relation::from_rows(schema(), vec![tuple![2, "y"], tuple![1, "x"], tuple![1, "a"]])
-                .unwrap();
+        let r = Relation::from_rows(
+            schema(),
+            vec![tuple![2, "y"], tuple![1, "x"], tuple![1, "a"]],
+        )
+        .unwrap();
         let s = r.sorted_rows();
         assert_eq!(s[0], tuple![1, "a"]);
         assert_eq!(s[2], tuple![2, "y"]);

@@ -83,7 +83,11 @@ impl Schema {
         let name = name.into();
         for (i, f) in fields.iter().enumerate() {
             for g in &fields[i + 1..] {
-                assert_ne!(f.name, g.name, "duplicate column `{}` in `{}`", f.name, name);
+                assert_ne!(
+                    f.name, g.name,
+                    "duplicate column `{}` in `{}`",
+                    f.name, name
+                );
             }
         }
         Schema {
@@ -167,10 +171,7 @@ impl Schema {
         let mut fields = Vec::new();
         for s in parts {
             for f in s.fields() {
-                fields.push(Field::new(
-                    format!("{}.{}", s.name(), f.name),
-                    f.data_type,
-                ));
+                fields.push(Field::new(format!("{}.{}", s.name(), f.name), f.data_type));
             }
         }
         Schema::new(name, fields)

@@ -124,7 +124,7 @@ mod tests {
 
     #[test]
     fn total_cmp_sorts_lexicographically() {
-        let mut v = vec![tuple![2, 1], tuple![1, 9], tuple![1, 2]];
+        let mut v = [tuple![2, 1], tuple![1, 9], tuple![1, 2]];
         v.sort_by(|a, b| a.total_cmp(b));
         assert_eq!(v[0], tuple![1, 2]);
         assert_eq!(v[2], tuple![2, 1]);

@@ -7,15 +7,15 @@
 //! cargo run --release --example mobile_analytics
 //! ```
 
-use multiway_theta_join::system::{Method, ThetaJoinSystem};
 use mwtj_core::benchqueries::{mobile_query, MobileQuery};
+use mwtj_core::{Engine, EngineError, Method, RunOptions};
 use mwtj_datagen::MobileGen;
 
-fn main() {
-    let mut sys = ThetaJoinSystem::with_units(48);
+fn main() -> Result<(), EngineError> {
+    let engine = Engine::with_units(48);
 
     // Generate the calls table (scaled-down; the paper's is 20 GB) and
-    // load one alias per query instance.
+    // load one alias per query instance — aliases share row storage.
     let gen = MobileGen {
         users: 500,
         base_stations: 60,
@@ -24,8 +24,9 @@ fn main() {
     };
     let calls = gen.generate("calls", 700);
     let q = mobile_query(MobileQuery::Q1);
+    let _ = engine.load_relation(&calls);
     for inst in MobileQuery::Q1.instances() {
-        let rep = sys.load_alias(&calls, inst);
+        let rep = engine.load_alias_of("calls", inst)?;
         println!(
             "loaded {inst}: {} rows, {:.3}s simulated load",
             calls.len(),
@@ -34,14 +35,17 @@ fn main() {
     }
 
     println!("\nrunning {q}\n");
-    let oracle_rows = sys.oracle(&q).len();
-    println!("{:<8} {:>10} {:>12} {:>12}  plan", "method", "rows", "sim (s)", "wall (s)");
+    let oracle_rows = engine.oracle(&q)?.len();
+    println!(
+        "{:<8} {:>10} {:>12} {:>12}  plan",
+        "method", "rows", "sim (s)", "wall (s)"
+    );
     for method in [Method::Ours, Method::YSmart, Method::Hive, Method::Pig] {
-        let run = sys.run(&q, method);
-        assert_eq!(run.output.len(), oracle_rows, "{method:?} must be exact");
+        let run = engine.run(&q, &RunOptions::from(method))?;
+        assert_eq!(run.output.len(), oracle_rows, "{method} must be exact");
         println!(
             "{:<8} {:>10} {:>12.2} {:>12.2}  {}",
-            format!("{method:?}"),
+            method.to_string(),
             run.output.len(),
             run.sim_secs,
             run.real_secs,
@@ -49,4 +53,5 @@ fn main() {
         );
     }
     println!("\nall methods returned the exact oracle answer ({oracle_rows} rows)");
+    Ok(())
 }

@@ -5,16 +5,16 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use multiway_theta_join::system::{Method, ThetaJoinSystem};
+use mwtj_core::{Engine, EngineError, Method, RunOptions};
 use mwtj_query::{QueryBuilder, ThetaOp};
 use mwtj_storage::{tuple, DataType, Relation, Schema};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-fn main() {
-    // A cluster with 32 processing units (cores that can run map or
-    // reduce tasks).
-    let mut sys = ThetaJoinSystem::with_units(32);
+fn main() -> Result<(), EngineError> {
+    // An engine over a cluster with 32 processing units (cores that can
+    // run map or reduce tasks). Loading and running need only `&self`.
+    let engine = Engine::with_units(32);
 
     // Two relations: orders with a budget, offers with a price.
     let mut rng = StdRng::seed_from_u64(7);
@@ -36,12 +36,12 @@ fn main() {
             .map(|i| tuple![i, rng.gen_range(10..500)])
             .collect(),
     );
-    let lr = sys.load_relation(&orders);
+    let lr = engine.load_relation(&orders);
     println!(
         "loaded orders: upload {:.3}s + sampling {:.3}s (simulated)",
         lr.upload_secs, lr.sampling_secs
     );
-    sys.load_relation(&offers);
+    let _ = engine.load_relation(&offers);
 
     // Theta-join: every offer an order can afford.
     let q = QueryBuilder::new("affordable")
@@ -55,9 +55,9 @@ fn main() {
 
     println!("\nquery: {q}");
     for method in [Method::Ours, Method::YSmart, Method::Hive, Method::Pig] {
-        let run = sys.run(&q, method);
+        let run = engine.run(&q, &RunOptions::from(method))?;
         println!(
-            "{method:?}: {} result rows, simulated {:.2}s, wall {:.2}s — plan: {}",
+            "{method}: {} result rows, simulated {:.2}s, wall {:.2}s — plan: {}",
             run.output.len(),
             run.sim_secs,
             run.real_secs,
@@ -66,6 +66,22 @@ fn main() {
     }
 
     // Ground truth.
-    let oracle = sys.oracle(&q);
+    let oracle = engine.oracle(&q)?;
     println!("\noracle row count: {}", oracle.len());
+
+    // Typed errors instead of panics: an unloaded relation is a
+    // recoverable failure.
+    let bad = QueryBuilder::new("bad")
+        .relation(orders.schema().clone())
+        .relation(Schema::from_pairs("ghost", &[("x", DataType::Int)]))
+        .join("orders", "budget", ThetaOp::Eq, "ghost", "x")
+        .build()
+        .expect("builds fine — it only fails at run time");
+    match engine.run(&bad, &RunOptions::new()) {
+        Err(EngineError::RelationNotLoaded { name }) => {
+            println!("as expected, running against `{name}` failed cleanly");
+        }
+        other => panic!("expected a typed error, got {other:?}"),
+    }
+    Ok(())
 }

@@ -1,16 +1,18 @@
 //! SQL front-end: state the paper's benchmark query Q1 in its §6.3.1
-//! SQL-like form, parse it, and run it through every planner.
+//! SQL-like form and run it end-to-end — parse → auto-register the
+//! FROM-clause aliases (sharing rows with the loaded base table) →
+//! plan → execute — then serve several SQL queries concurrently.
 //!
 //! ```sh
 //! cargo run --release --example sql_frontend
 //! ```
 
-use multiway_theta_join::system::{Method, ThetaJoinSystem};
+use mwtj_core::{Engine, EngineError, Method, RunOptions};
 use mwtj_datagen::MobileGen;
-use mwtj_query::parse_query;
 
-fn main() {
-    // The calls table (scaled down).
+fn main() -> Result<(), EngineError> {
+    // The calls table (scaled down), loaded ONCE under its base name.
+    // The SQL layer registers t1/t2/t3 automatically, sharing the rows.
     let gen = MobileGen {
         users: 300,
         base_stations: 50,
@@ -18,41 +20,57 @@ fn main() {
         ..Default::default()
     };
     let calls = gen.generate("calls", 500);
+    let engine = Engine::with_units(32);
+    let _ = engine.load_relation(&calls);
 
     // The paper's Q1, verbatim SQL (§6.3.1): concurrent phone calls at
     // the same base station.
     let sql = "SELECT t3.id FROM calls t1, calls t2, calls t3 \
                WHERE t1.bt <= t2.bt AND t1.l >= t2.l \
                AND t2.bsc = t3.bsc AND t2.d = t3.d";
-    let schema_of = |name: &str| {
-        if name == "calls" {
-            Some(calls.schema().clone())
-        } else {
-            None
-        }
-    };
-    let q = parse_query("Q1", sql, &schema_of).expect("SQL parses");
-    println!("parsed: {q}");
+    let parsed = engine.parse_sql("Q1", sql)?;
+    println!("parsed: {}", parsed.query);
     println!(
         "join graph: {} relations, {} condition edges, connected = {}",
-        q.num_relations(),
-        q.num_conditions(),
-        q.join_graph().is_connected()
+        parsed.query.num_relations(),
+        parsed.query.num_conditions(),
+        parsed.query.join_graph().is_connected()
     );
 
-    let mut sys = ThetaJoinSystem::with_units(32);
-    for inst in ["t1", "t2", "t3"] {
-        sys.load_alias(&calls, inst);
+    let run = engine.run_sql(sql)?;
+    println!(
+        "\nend-to-end SQL run: {} rows — {}",
+        run.output.len(),
+        run.plan
+    );
+    let oracle = run.output.len();
+
+    for method in [Method::Ours, Method::YSmart, Method::Hive, Method::Pig] {
+        let run = engine.run_sql_with("Q1", sql, &RunOptions::from(method))?;
+        assert_eq!(run.output.len(), oracle, "{method} must be exact");
+        println!("{method}: {:.3} simulated s — {}", run.sim_secs, run.plan);
     }
 
-    let oracle = sys.oracle(&q).len();
-    println!("\noracle: {oracle} result rows\n");
-    for method in [Method::Ours, Method::YSmart, Method::Hive, Method::Pig] {
-        let run = sys.run(&q, method);
-        assert_eq!(run.output.len(), oracle, "{method:?} must be exact");
+    // Several independent SQL queries served concurrently.
+    let sqls = [
+        "SELECT t1.id FROM calls t1, calls t2 WHERE t1.bt < t2.bt AND t1.bsc = t2.bsc",
+        "SELECT t1.id, t2.id FROM calls t1, calls t2 WHERE t1.d = t2.d AND t1.l > t2.l",
+        "SELECT * FROM calls a, calls b WHERE a.bsc = b.bsc AND a.bt <= b.bt",
+    ];
+    let results = engine.run_sql_many(&sqls, &RunOptions::new());
+    println!("\nconcurrent batch:");
+    for (sql, res) in sqls.iter().zip(results) {
+        let run = res?;
         println!(
-            "{method:?}: {:.3} simulated s — {}",
-            run.sim_secs, run.plan
+            "  {} rows in {:.3} simulated s — {}",
+            run.output.len(),
+            run.sim_secs,
+            &sql[..40.min(sql.len())]
         );
     }
+
+    // SQL error paths are typed, not fatal.
+    let err = engine.run_sql("SELECT * FROM nope t1, calls t2 WHERE t1.d = t2.d");
+    println!("\nunknown base table → {}", err.unwrap_err());
+    Ok(())
 }

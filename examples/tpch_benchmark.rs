@@ -7,12 +7,12 @@
 //! cargo run --release --example tpch_benchmark
 //! ```
 
-use multiway_theta_join::system::{Method, ThetaJoinSystem};
 use mwtj_core::benchqueries::{tpch_query, TpchQuery};
+use mwtj_core::{Engine, EngineError, Method, RunOptions};
 use mwtj_datagen::TpchGen;
-use mwtj_storage::{Relation, Schema};
+use mwtj_storage::Relation;
 
-fn main() {
+fn main() -> Result<(), EngineError> {
     let gen = TpchGen {
         scale: 0.0004,
         ..Default::default()
@@ -21,27 +21,24 @@ fn main() {
     let q = tpch_query(which);
 
     for k_p in [96u32, 64, 16] {
-        let mut sys = ThetaJoinSystem::with_units(k_p);
+        let engine = Engine::with_units(k_p);
         for (inst, base) in which.instances() {
             let data: Relation = match *base {
                 "lineitem" => gen.lineitem(),
                 "part" => gen.part(),
                 other => panic!("unexpected table {other}"),
             };
-            let renamed = Relation::from_rows_unchecked(
-                Schema::new(*inst, data.schema().fields().to_vec()),
-                data.rows().to_vec(),
-            );
-            sys.load_relation(&renamed);
+            // `rename` shares row storage; no deep copy per instance.
+            let _ = engine.load_relation(&data.rename(inst));
         }
         println!("=== k_P = {k_p} ===");
-        let oracle_rows = sys.oracle(&q).len();
+        let oracle_rows = engine.oracle(&q)?.len();
         for method in [Method::Ours, Method::YSmart, Method::Hive, Method::Pig] {
-            let run = sys.run(&q, method);
-            assert_eq!(run.output.len(), oracle_rows, "{method:?} must be exact");
+            let run = engine.run(&q, &RunOptions::from(method))?;
+            assert_eq!(run.output.len(), oracle_rows, "{method} must be exact");
             println!(
                 "  {:<8} sim {:>8.2}s  wall {:>6.2}s  ({} rows)",
-                format!("{method:?}"),
+                method.to_string(),
                 run.sim_secs,
                 run.real_secs,
                 run.output.len()
@@ -49,4 +46,5 @@ fn main() {
         }
         println!();
     }
+    Ok(())
 }

@@ -9,13 +9,14 @@
 //! between consecutive legs is a pair of theta conditions
 //! `FI_i.at + l1 < FI_{i+1}.dt` and `FI_{i+1}.dt < FI_i.at + l2`.
 //! The whole itinerary is one chain theta-join — evaluated here in a
-//! single MapReduce job via the Hilbert-curve partitioning.
+//! single MapReduce job via the Hilbert-curve partitioning, through a
+//! [`Session`] carrying the run options.
 //!
 //! ```sh
 //! cargo run --release --example travel_planner
 //! ```
 
-use multiway_theta_join::system::{Method, ThetaJoinSystem};
+use mwtj_core::{Engine, EngineError, Method, RunOptions};
 use mwtj_query::{ColExpr, QueryBuilder, ThetaOp};
 use mwtj_storage::{tuple, DataType, Relation, Schema};
 use rand::rngs::StdRng;
@@ -46,16 +47,16 @@ fn leg(name: &str, flights: usize, seed: u64) -> Relation {
     )
 }
 
-fn main() {
-    let mut sys = ThetaJoinSystem::with_units(24);
+fn main() -> Result<(), EngineError> {
+    let engine = Engine::with_units(24);
 
     // Itinerary: home → A → B → C, 400 candidate flights per leg.
     let leg1 = leg("leg1", 400, 1);
     let leg2 = leg("leg2", 400, 2);
     let leg3 = leg("leg3", 400, 3);
-    sys.load_relation(&leg1);
-    sys.load_relation(&leg2);
-    sys.load_relation(&leg3);
+    let _ = engine.load_relation(&leg1);
+    let _ = engine.load_relation(&leg2);
+    let _ = engine.load_relation(&leg3);
 
     // Stay-over windows (minutes) at the two intermediate cities.
     let (a_min, a_max) = (180.0, 1_440.0); // 3h … 1 day in city A
@@ -94,7 +95,10 @@ fn main() {
         .expect("itinerary query builds");
 
     println!("query: {q}\n");
-    let run = sys.run(&q, Method::Ours);
+    let session = engine
+        .session()
+        .with_options(RunOptions::from(Method::Ours));
+    let run = session.query(&q)?;
     println!(
         "found {} itineraries in one pass — plan: {}",
         run.output.len(),
@@ -116,7 +120,11 @@ fn main() {
     }
 
     // Sanity: the distributed answer matches the oracle.
-    let oracle = sys.oracle(&q);
+    let oracle = session.oracle(&q)?;
     assert_eq!(run.output.len(), oracle.len(), "must match ground truth");
-    println!("\nverified against single-threaded oracle ({} rows)", oracle.len());
+    println!(
+        "\nverified against single-threaded oracle ({} rows)",
+        oracle.len()
+    );
+    Ok(())
 }

@@ -1,0 +1,178 @@
+//! Concurrent serving: `Engine::run_many` executes independent queries
+//! in parallel over one shared engine, with results identical to
+//! sequential `run` and to the single-threaded oracle.
+
+use mwtj_core::{Engine, EngineError, Method, RunOptions};
+use mwtj_datagen::MobileGen;
+use mwtj_join::oracle::canonicalize;
+use mwtj_query::{MultiwayQuery, QueryBuilder, ThetaOp};
+use mwtj_storage::Schema;
+
+/// An engine with the calls table under enough aliases for several
+/// distinct queries.
+fn serving_engine() -> Engine {
+    let gen = MobileGen {
+        users: 150,
+        base_stations: 25,
+        days: 8,
+        ..Default::default()
+    };
+    let engine = Engine::with_units(32);
+    let _ = engine.load_relation(&gen.generate("calls", 140));
+    for inst in ["t1", "t2", "t3"] {
+        let _ = engine.load_alias_of("calls", inst).expect("base loaded");
+    }
+    engine
+}
+
+fn inst_schema(engine: &Engine, name: &str) -> Schema {
+    // Base columns only; the engine re-augments at run time.
+    let rel = engine.relation(name).expect("loaded");
+    let fields = rel
+        .schema()
+        .fields()
+        .iter()
+        .filter(|f| f.name != mwtj_core::RID_COLUMN)
+        .cloned()
+        .collect();
+    Schema::new(name, fields)
+}
+
+fn batch(engine: &Engine) -> Vec<MultiwayQuery> {
+    let t1 = inst_schema(engine, "t1");
+    let t2 = inst_schema(engine, "t2");
+    let t3 = inst_schema(engine, "t3");
+    let pair = |name: &str, ca: &str, op, cb: &str| {
+        QueryBuilder::new(name)
+            .relation(t1.clone())
+            .relation(t2.clone())
+            .join("t1", ca, op, "t2", cb)
+            .build()
+            .expect("query builds")
+    };
+    vec![
+        pair("eq_d", "d", ThetaOp::Eq, "d"),
+        pair("lt_bt", "bt", ThetaOp::Lt, "bt"),
+        pair("ge_l", "l", ThetaOp::Ge, "l"),
+        pair("ne_bsc", "bsc", ThetaOp::Ne, "d"),
+        QueryBuilder::new("three_way")
+            .relation(t1.clone())
+            .relation(t2.clone())
+            .relation(t3.clone())
+            .join("t1", "bt", ThetaOp::Le, "t2", "bt")
+            .join("t2", "bsc", ThetaOp::Eq, "t3", "bsc")
+            .build()
+            .expect("query builds"),
+    ]
+}
+
+/// ≥ 4 independent queries concurrently; every result equals both the
+/// sequential run and the oracle.
+#[test]
+fn run_many_matches_sequential_and_oracle() {
+    let engine = serving_engine();
+    let queries = batch(&engine);
+    assert!(queries.len() >= 4, "acceptance demands ≥4 queries");
+    let refs: Vec<&MultiwayQuery> = queries.iter().collect();
+    let opts = RunOptions::default();
+
+    let concurrent = engine.run_many(&refs, &opts);
+    assert_eq!(concurrent.len(), queries.len());
+    for (q, result) in queries.iter().zip(concurrent) {
+        let conc = result.unwrap_or_else(|e| panic!("{}: {e}", q.name));
+        let seq = engine.run(q, &opts).expect("sequential run");
+        let want = canonicalize(engine.oracle(q).expect("oracle"));
+        let got = canonicalize(conc.output.into_rows());
+        assert_eq!(got, want, "{} concurrent vs oracle", q.name);
+        assert_eq!(
+            canonicalize(seq.output.into_rows()),
+            want,
+            "{} sequential vs oracle",
+            q.name
+        );
+    }
+}
+
+/// Concurrent batches may mix methods' workloads repeatedly without
+/// interference from shared intermediate files.
+#[test]
+fn repeated_concurrent_batches_are_stable() {
+    let engine = serving_engine();
+    let queries = batch(&engine);
+    let refs: Vec<&MultiwayQuery> = queries.iter().collect();
+    let baseline: Vec<usize> = refs
+        .iter()
+        .map(|q| engine.oracle(q).expect("oracle").len())
+        .collect();
+    for opts in [
+        RunOptions::default(),
+        RunOptions::from(Method::Hive),
+        RunOptions::from(Method::YSmart),
+    ] {
+        let got: Vec<usize> = engine
+            .run_many(&refs, &opts)
+            .into_iter()
+            .map(|r| r.expect("runs").output.len())
+            .collect();
+        assert_eq!(got, baseline, "row counts under {opts}");
+    }
+}
+
+/// A failing query inside a batch fails alone; the rest succeed.
+#[test]
+fn batch_failures_are_isolated() {
+    let engine = serving_engine();
+    let good = batch(&engine);
+    let ghost = QueryBuilder::new("ghost")
+        .relation(inst_schema(&engine, "t1"))
+        .relation(Schema::from_pairs(
+            "unloaded",
+            &[("d", mwtj_storage::DataType::Int)],
+        ))
+        .join("t1", "d", ThetaOp::Eq, "unloaded", "d")
+        .build()
+        .expect("builds");
+    let mut refs: Vec<&MultiwayQuery> = good.iter().collect();
+    refs.insert(2, &ghost);
+    let results = engine.run_many(&refs, &RunOptions::default());
+    for (i, res) in results.iter().enumerate() {
+        if i == 2 {
+            assert!(matches!(
+                res,
+                Err(EngineError::RelationNotLoaded { name }) if name == "unloaded"
+            ));
+        } else {
+            assert!(res.is_ok(), "query {i} should succeed: {res:?}");
+        }
+    }
+}
+
+/// Sessions are cloneable handles; a batch can also be driven by hand
+/// from plain threads sharing one engine.
+#[test]
+fn sessions_share_one_engine_across_threads() {
+    let engine = serving_engine();
+    let queries = batch(&engine);
+    let session = engine.session().with_options(RunOptions::default());
+    let counts: Vec<usize> = std::thread::scope(|s| {
+        let handles: Vec<_> = queries
+            .iter()
+            .map(|q| {
+                let session = session.clone();
+                s.spawn(move || session.query(q).expect("runs").output.len())
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no panic"))
+            .collect()
+    });
+    for (q, n) in queries.iter().zip(counts) {
+        assert_eq!(
+            n,
+            engine.oracle(q).expect("oracle").len(),
+            "{} via session thread",
+            q.name
+        );
+    }
+}

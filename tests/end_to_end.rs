@@ -1,23 +1,15 @@
 //! End-to-end integration tests: every benchmark query, every planner,
 //! checked for exact agreement with the single-threaded oracle on
-//! small data.
+//! small data — all through the `Engine` API.
 
-use multiway_theta_join::system::{Method, ThetaJoinSystem};
 use mwtj_core::benchqueries::{mobile_query, tpch_query, MobileQuery, TpchQuery};
+use mwtj_core::{Engine, Method, RunOptions};
 use mwtj_datagen::{MobileGen, TpchGen};
 use mwtj_join::oracle::canonicalize;
-use mwtj_storage::{Relation, Schema};
+use mwtj_storage::Relation;
 
-const ALL_METHODS: [Method; 5] = [
-    Method::Ours,
-    Method::OursGrid,
-    Method::YSmart,
-    Method::Hive,
-    Method::Pig,
-];
-
-fn mobile_system(which: MobileQuery, rows: usize, k_p: u32) -> ThetaJoinSystem {
-    let mut sys = ThetaJoinSystem::with_units(k_p);
+fn mobile_system(which: MobileQuery, rows: usize, k_p: u32) -> Engine {
+    let engine = Engine::with_units(k_p);
     let gen = MobileGen {
         users: 200,
         base_stations: 30,
@@ -25,24 +17,22 @@ fn mobile_system(which: MobileQuery, rows: usize, k_p: u32) -> ThetaJoinSystem {
         ..Default::default()
     };
     let calls = gen.generate("calls", rows);
+    let _ = engine.load_relation(&calls);
     for inst in which.instances() {
-        sys.load_alias(&calls, inst);
+        let _ = engine
+            .load_alias_of("calls", inst)
+            .expect("base table is loaded");
     }
-    sys
+    engine
 }
 
-fn check_all_methods(sys: &ThetaJoinSystem, q: &mwtj_query::MultiwayQuery) {
-    let want = canonicalize(sys.oracle(q));
-    for m in ALL_METHODS {
-        let run = sys.run(q, m);
+fn check_all_methods(engine: &Engine, q: &mwtj_query::MultiwayQuery) {
+    let want = canonicalize(engine.oracle(q).expect("oracle runs"));
+    for m in Method::ALL {
+        let run = engine.run(q, &RunOptions::from(m)).expect("query runs");
         let got = canonicalize(run.output.into_rows());
-        assert_eq!(
-            got.len(),
-            want.len(),
-            "{m:?} row count for {}",
-            q.name
-        );
-        assert_eq!(got, want, "{m:?} rows for {}", q.name);
+        assert_eq!(got.len(), want.len(), "{m} row count for {}", q.name);
+        assert_eq!(got, want, "{m} rows for {}", q.name);
     }
 }
 
@@ -74,8 +64,8 @@ fn mobile_q4_exact_all_methods() {
     check_all_methods(&sys, &q);
 }
 
-fn tpch_system(which: TpchQuery, scale: f64, k_p: u32) -> ThetaJoinSystem {
-    let mut sys = ThetaJoinSystem::with_units(k_p);
+fn tpch_system(which: TpchQuery, scale: f64, k_p: u32) -> Engine {
+    let engine = Engine::with_units(k_p);
     let gen = TpchGen {
         scale,
         ..Default::default()
@@ -90,13 +80,9 @@ fn tpch_system(which: TpchQuery, scale: f64, k_p: u32) -> ThetaJoinSystem {
             "lineitem" => gen.lineitem(),
             other => panic!("table {other}"),
         };
-        let renamed = Relation::from_rows_unchecked(
-            Schema::new(*inst, data.schema().fields().to_vec()),
-            data.rows().to_vec(),
-        );
-        sys.load_relation(&renamed);
+        let _ = engine.load_relation(&data.rename(inst));
     }
-    sys
+    engine
 }
 
 #[test]
@@ -135,7 +121,12 @@ fn results_invariant_under_kp() {
         .iter()
         .map(|&k_p| {
             let sys = mobile_system(MobileQuery::Q1, 150, k_p);
-            canonicalize(sys.run(&q, Method::Ours).output.into_rows())
+            canonicalize(
+                sys.run(&q, &RunOptions::default())
+                    .expect("query runs")
+                    .output
+                    .into_rows(),
+            )
         })
         .collect();
     assert_eq!(runs[0], runs[1]);
@@ -152,13 +143,37 @@ fn results_invariant_under_kp() {
 fn simulated_time_monotone_in_kp() {
     let q = mobile_query(MobileQuery::Q1);
     let t64 = mobile_system(MobileQuery::Q1, 200, 64)
-        .run(&q, Method::Ours)
+        .run(&q, &RunOptions::default())
+        .expect("query runs")
         .sim_secs;
     let t8 = mobile_system(MobileQuery::Q1, 200, 8)
-        .run(&q, Method::Ours)
+        .run(&q, &RunOptions::default())
+        .expect("query runs")
         .sim_secs;
     assert!(
         t8 >= t64 * 0.5,
         "8 units ({t8:.3}s) should not meaningfully beat 64 units ({t64:.3}s)"
     );
+}
+
+/// The deprecated façade still works as a thin shim for one release.
+#[test]
+#[allow(deprecated)]
+fn legacy_facade_still_serves() {
+    use multiway_theta_join::system::ThetaJoinSystem;
+    let q = mobile_query(MobileQuery::Q1);
+    let mut sys = ThetaJoinSystem::with_units(16);
+    let gen = MobileGen {
+        users: 150,
+        base_stations: 25,
+        days: 8,
+        ..Default::default()
+    };
+    let calls = gen.generate("calls", 120);
+    for inst in MobileQuery::Q1.instances() {
+        let _ = sys.load_alias(&calls, inst);
+    }
+    let want = canonicalize(sys.oracle(&q));
+    let got = canonicalize(sys.run(&q, Method::Ours).output.into_rows());
+    assert_eq!(got, want);
 }

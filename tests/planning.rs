@@ -2,7 +2,7 @@
 //! *decisions* correctly, not just produce correct rows.
 
 use mwtj_core::benchqueries::{mobile_query, MobileQuery};
-use mwtj_core::{Method, ThetaJoinSystem};
+use mwtj_core::{Engine, RunOptions};
 use mwtj_cost::{CalibratedParams, CostModel};
 use mwtj_datagen::MobileGen;
 use mwtj_mapreduce::ClusterConfig;
@@ -88,7 +88,7 @@ fn inequality_edges_stay_chain() {
 #[test]
 fn q4_plans_as_single_mrj() {
     let q = mobile_query(MobileQuery::Q4);
-    let mut sys = ThetaJoinSystem::with_units(96);
+    let sys = Engine::with_units(96);
     let gen = MobileGen {
         users: 300,
         base_stations: 40,
@@ -97,16 +97,16 @@ fn q4_plans_as_single_mrj() {
     };
     let calls = gen.generate("calls", 200);
     for inst in MobileQuery::Q4.instances() {
-        sys.load_alias(&calls, inst);
+        let _ = sys.load_alias(&calls, inst);
     }
-    let run = sys.run(&q, Method::Ours);
+    let run = sys.run(&q, &RunOptions::default()).expect("query runs");
     assert!(
         run.plan.contains("1 chain MRJ"),
         "expected a single-MRJ plan, got: {}",
         run.plan
     );
     // And it must still be exact.
-    assert_eq!(run.output.len(), sys.oracle(&q).len());
+    assert_eq!(run.output.len(), sys.oracle(&q).expect("oracle").len());
 }
 
 /// The predicted makespan must correlate with the achieved simulated
@@ -117,7 +117,7 @@ fn predicted_time_correlates_with_simulated() {
     let mut pred_small = 0.0;
     let mut sim_small = 0.0;
     for (rows, slot) in [(120usize, 0), (480, 1)] {
-        let mut sys = ThetaJoinSystem::with_units(48);
+        let sys = Engine::with_units(48);
         let gen = MobileGen {
             users: 300,
             base_stations: 40,
@@ -126,9 +126,9 @@ fn predicted_time_correlates_with_simulated() {
         };
         let calls = gen.generate("calls", rows);
         for inst in MobileQuery::Q1.instances() {
-            sys.load_alias(&calls, inst);
+            let _ = sys.load_alias(&calls, inst);
         }
-        let run = sys.run(&q, Method::Ours);
+        let run = sys.run(&q, &RunOptions::default()).expect("query runs");
         assert!(run.predicted_secs > 0.0);
         if slot == 0 {
             pred_small = run.predicted_secs;

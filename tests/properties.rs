@@ -126,9 +126,9 @@ fn rel_from(name: &str, rows: &[(i64, i64)]) -> Relation {
     let schema = Schema::from_pairs(name, &[("a", DataType::Int), ("b", DataType::Int)]);
     Relation::from_rows_unchecked(
         schema,
-        rows.iter().map(|&(a, b)| {
-            Tuple::new(vec![Value::Int(a), Value::Int(b)])
-        }).collect(),
+        rows.iter()
+            .map(|&(a, b)| Tuple::new(vec![Value::Int(a), Value::Int(b)]))
+            .collect(),
     )
 }
 
@@ -226,15 +226,15 @@ proptest! {
         op in arb_op(),
         method_pick in 0usize..5,
     ) {
-        use multiway_theta_join::system::{Method, ThetaJoinSystem};
-        let methods = [Method::Ours, Method::OursGrid, Method::YSmart, Method::Hive, Method::Pig];
+        use mwtj_core::{Engine, Method, RunOptions};
+        let methods = Method::ALL;
         let a = rel_from("a", &arows);
         let b = rel_from("b", &brows);
         let c = rel_from("c", &crows);
-        let mut sys = ThetaJoinSystem::with_units(12);
-        sys.load_relation(&a);
-        sys.load_relation(&b);
-        sys.load_relation(&c);
+        let sys = Engine::with_units(12);
+        let _ = sys.load_relation(&a);
+        let _ = sys.load_relation(&b);
+        let _ = sys.load_relation(&c);
         let q = QueryBuilder::new("prop_sys")
             .relation(a.schema().clone())
             .relation(b.schema().clone())
@@ -243,8 +243,10 @@ proptest! {
             .join("b", "b", ThetaOp::Eq, "c", "b")
             .build()
             .unwrap();
-        let want = canonicalize(sys.oracle(&q));
-        let run = sys.run(&q, methods[method_pick]);
+        let want = canonicalize(sys.oracle(&q).expect("oracle runs"));
+        let run = sys
+            .run(&q, &RunOptions::from(methods[method_pick]))
+            .expect("query runs");
         let got = canonicalize(run.output.into_rows());
         prop_assert_eq!(got, want);
     }
