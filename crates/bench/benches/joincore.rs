@@ -1,0 +1,231 @@
+//! Join-core kernel benchmark: the compiled nested loop vs the
+//! specialised hash and band kernels, at 1k and 10k rows per reducer.
+//!
+//! Measures `PairKernel::join_into` directly — the per-reducer hot loop
+//! — on three reducer-shaped workloads:
+//!
+//! * `band_sparse` — the inequality-heavy case the kernels exist for: a
+//!   single `<` predicate whose matching band covers ~1% of the value
+//!   range, as after 1-Bucket/Hilbert partitioning. Band kernel:
+//!   O(n log n + output); nested loop: O(n²).
+//! * `band_dense` — uniform `<` (≈50% selectivity): output-bound, the
+//!   band kernel's worst case; it must still not lose.
+//! * `hash_equi` — equality join, ~1 match per key: hash build/probe vs
+//!   O(n²) probing.
+//!
+//! Run modes:
+//!
+//! * `cargo bench -p mwtj-bench --bench joincore` — full run, prints a
+//!   table and (re)writes `BENCH_joincore.json` at the repo root: the
+//!   checked-in perf baseline for the kernel trajectory.
+//! * `cargo bench -p mwtj-bench --bench joincore -- --test` — CI smoke:
+//!   tiny sizes, one sample, correctness cross-check only, no file.
+
+use mwtj_join::kernel::PairKernel;
+use mwtj_join::IntermediateShape;
+use mwtj_query::theta::CompiledPredicate;
+use mwtj_query::{MultiwayQuery, QueryBuilder, ThetaOp};
+use mwtj_storage::{tuple, DataType, Schema, Tuple};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+struct Workload {
+    name: &'static str,
+    query: MultiwayQuery,
+    lefts: Vec<Tuple>,
+    rights: Vec<Tuple>,
+}
+
+fn schema(name: &str) -> Schema {
+    Schema::from_pairs(name, &[("a", DataType::Int), ("b", DataType::Int)])
+}
+
+fn rows(n: usize, seed: u64, gen: impl Fn(&mut StdRng, usize) -> i64) -> Vec<Tuple> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n).map(|i| tuple![gen(&mut rng, i), i as i64]).collect()
+}
+
+fn workloads(n: usize) -> Vec<Workload> {
+    let d = n as i64 * 100;
+    let join = |op: ThetaOp| {
+        QueryBuilder::new("joincore")
+            .relation(schema("l"))
+            .relation(schema("r"))
+            .join("l", "a", op, "r", "a")
+            .build()
+            .expect("bench query builds")
+    };
+    vec![
+        Workload {
+            // lefts high, rights low, ranges overlapping on ~1% of the
+            // domain: few pairs satisfy l.a < r.a.
+            name: "band_sparse",
+            query: join(ThetaOp::Lt),
+            lefts: rows(n, 11, |rng, _| d + rng.gen_range(0..d)),
+            rights: rows(n, 12, |rng, _| rng.gen_range(0..d + d / 100)),
+        },
+        Workload {
+            name: "band_dense",
+            query: join(ThetaOp::Lt),
+            lefts: rows(n, 13, |rng, _| rng.gen_range(0..d)),
+            rights: rows(n, 14, |rng, _| rng.gen_range(0..d)),
+        },
+        Workload {
+            name: "hash_equi",
+            query: join(ThetaOp::Eq),
+            lefts: rows(n, 15, |rng, _| rng.gen_range(0..n as i64)),
+            rights: rows(n, 16, |rng, _| rng.gen_range(0..n as i64)),
+        },
+    ]
+}
+
+fn compile(w: &Workload, nested: bool) -> PairKernel {
+    let left = IntermediateShape::base(&w.query, 0);
+    let right = IntermediateShape::base(&w.query, 1);
+    let out = IntermediateShape::union(&w.query, &left, &right);
+    let preds: Vec<CompiledPredicate> = w
+        .query
+        .compile()
+        .expect("compiles")
+        .per_condition
+        .iter()
+        .flat_map(|c| c.iter().copied())
+        .collect();
+    if nested {
+        PairKernel::compile_nested(&left, &right, &out, &preds)
+    } else {
+        PairKernel::compile(&left, &right, &out, &preds)
+    }
+}
+
+/// Best-of-`samples` seconds per call, auto-scaling the inner iteration
+/// count until one sample takes ≥ `floor_ms`.
+fn best_secs(samples: u32, floor_ms: u64, mut f: impl FnMut()) -> f64 {
+    let floor = std::time::Duration::from_millis(floor_ms);
+    let mut iters = 1u64;
+    let mut best = loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let dt = t.elapsed();
+        if dt >= floor || iters >= 1 << 24 {
+            break dt.as_secs_f64() / iters as f64;
+        }
+        iters *= 4;
+    };
+    for _ in 1..samples {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t.elapsed().as_secs_f64() / iters as f64);
+    }
+    best
+}
+
+struct Measurement {
+    workload: &'static str,
+    rows: usize,
+    kernel: &'static str,
+    fast_secs: f64,
+    nested_secs: f64,
+    pairs: usize,
+}
+
+fn measure(n: usize, quick: bool) -> Vec<Measurement> {
+    let (samples, floor_ms) = if quick { (1, 1) } else { (3, 200) };
+    workloads(n)
+        .into_iter()
+        .map(|w| {
+            let fast = compile(&w, false);
+            let slow = compile(&w, true);
+            let lefts: Vec<&Tuple> = w.lefts.iter().collect();
+            let rights: Vec<&Tuple> = w.rights.iter().collect();
+            // Correctness cross-check on every run (this is the CI
+            // smoke value of the quick mode).
+            let mut want = Vec::new();
+            slow.join_into(&lefts, &rights, &mut want);
+            let mut got = Vec::new();
+            fast.join_into(&lefts, &rights, &mut got);
+            assert_eq!(got, want, "{}: kernel disagrees with nested", w.name);
+
+            let mut buf = Vec::new();
+            let fast_secs = best_secs(samples, floor_ms, || {
+                buf.clear();
+                fast.join_into(&lefts, &rights, &mut buf);
+            });
+            let nested_secs = best_secs(samples, floor_ms, || {
+                buf.clear();
+                slow.join_into(&lefts, &rights, &mut buf);
+            });
+            let kernel = match fast.kind() {
+                mwtj_join::KernelKind::Hash => "hash",
+                mwtj_join::KernelKind::Band => "band",
+                mwtj_join::KernelKind::Nested => "nested",
+            };
+            Measurement {
+                workload: w.name,
+                rows: n,
+                kernel,
+                fast_secs,
+                nested_secs,
+                pairs: want.len(),
+            }
+        })
+        .collect()
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--test" || a == "--quick");
+    let sizes: &[usize] = if quick { &[200] } else { &[1_000, 10_000] };
+    let mut all = Vec::new();
+    println!("joincore: per-reducer join kernel vs compiled nested loop");
+    println!(
+        "{:<14} {:>6} {:>8} {:>14} {:>14} {:>9} {:>10}",
+        "workload", "rows", "kernel", "kernel_ms", "nested_ms", "speedup", "pairs"
+    );
+    for &n in sizes {
+        for m in measure(n, quick) {
+            println!(
+                "{:<14} {:>6} {:>8} {:>14.3} {:>14.3} {:>8.1}x {:>10}",
+                m.workload,
+                m.rows,
+                m.kernel,
+                m.fast_secs * 1e3,
+                m.nested_secs * 1e3,
+                m.nested_secs / m.fast_secs,
+                m.pairs
+            );
+            all.push(m);
+        }
+    }
+    if quick {
+        println!("quick mode: correctness cross-check done, no baseline written");
+        return;
+    }
+    let json = render_json(&all);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_joincore.json");
+    std::fs::write(path, &json).expect("write BENCH_joincore.json");
+    println!("baseline written to {path}");
+}
+
+fn render_json(all: &[Measurement]) -> String {
+    let mut out = String::from("{\n  \"bench\": \"joincore\",\n  \"unit\": \"seconds_per_reduce_call\",\n  \"results\": [\n");
+    for (i, m) in all.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"rows\": {}, \"kernel\": \"{}\", \"kernel_secs\": {:.6e}, \"nested_secs\": {:.6e}, \"speedup\": {:.2}, \"pairs\": {}}}{}\n",
+            m.workload,
+            m.rows,
+            m.kernel,
+            m.fast_secs,
+            m.nested_secs,
+            m.nested_secs / m.fast_secs,
+            m.pairs,
+            if i + 1 == all.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -8,7 +8,8 @@
 //!
 //! Each constructor returns a [`MultiwayQuery`] over schema *instances*
 //! (`t1`, `t2`, … / `l1`, `l2`, …); load the corresponding data with
-//! [`ThetaJoinSystem::load_alias`](crate::ThetaJoinSystem::load_alias).
+//! [`Engine::load_alias`](crate::Engine::load_alias) or
+//! [`Engine::load_alias_of`](crate::Engine::load_alias_of).
 
 use mwtj_datagen::{MobileGen, TpchGen};
 use mwtj_query::{ColExpr, MultiwayQuery, QueryBuilder, ThetaOp};

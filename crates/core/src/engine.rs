@@ -689,6 +689,44 @@ mod tests {
     }
 
     #[test]
+    fn load_reports_costs_and_registers_stats() {
+        let engine = Engine::with_units(8);
+        let r = random_rel("r", 5_000, 1, 100);
+        let rep = engine.load_relation(&r);
+        assert!(rep.upload_secs > 0.0);
+        assert!(rep.sampling_secs > 0.0);
+        assert!(rep.total_secs() > rep.upload_secs);
+        let st = engine.stats_of("r").unwrap();
+        assert_eq!(st.cardinality, 5_000);
+        // rid column present in stats.
+        assert!(st.column(RID_COLUMN).is_some());
+    }
+
+    #[test]
+    fn rids_do_not_leak_into_default_projection() {
+        let engine = Engine::with_units(8);
+        let r = random_rel("r", 30, 5, 10);
+        let s = random_rel("s", 30, 6, 10);
+        let _ = engine.load_relation(&r);
+        let _ = engine.load_relation(&s);
+        let q = QueryBuilder::new("q")
+            .relation(r.schema().clone())
+            .relation(s.schema().clone())
+            .join("r", "a", ThetaOp::Eq, "s", "a")
+            .build()
+            .unwrap();
+        let run = engine.run(&q, &RunOptions::default()).unwrap();
+        // Output arity = 2 + 2 base columns, no rids.
+        assert_eq!(run.output.schema().arity(), 4);
+        assert!(run
+            .output
+            .schema()
+            .fields()
+            .iter()
+            .all(|f| !f.name.contains(RID_COLUMN)));
+    }
+
+    #[test]
     fn per_run_fault_plans_do_not_change_results() {
         let (engine, q) = two_rel_engine();
         let clean = engine.run(&q, &RunOptions::default()).unwrap();

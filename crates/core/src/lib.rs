@@ -55,11 +55,8 @@ pub mod benchqueries;
 pub mod engine;
 pub mod error;
 pub mod options;
-pub mod system;
 
 pub use benchqueries::{mobile_query, tpch_query, MobileQuery, TpchQuery};
 pub use engine::{Engine, LoadReport, Session, RID_COLUMN};
 pub use error::EngineError;
 pub use options::{Method, RunOptions};
-#[allow(deprecated)]
-pub use system::ThetaJoinSystem;

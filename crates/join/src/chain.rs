@@ -18,6 +18,7 @@
 //!    makes the output exact despite tuples being replicated to many
 //!    components.
 
+use crate::kernel::StackPred;
 use crate::shape::IntermediateShape;
 use mwtj_hilbert::{PartitionStrategy, SpacePartition};
 use mwtj_mapreduce::{Emit, MrJob, TaggedRecord};
@@ -34,9 +35,10 @@ pub struct ChainThetaJob {
     /// `|R|` per dimension, as of partition construction.
     cardinalities: Vec<u64>,
     partition: SpacePartition,
-    /// Predicates of all covered conditions, with relation indices
-    /// remapped to *dimension* positions.
-    preds: Vec<CompiledPredicate>,
+    /// Predicates of all covered conditions, relation indices remapped
+    /// to *dimension* positions and compiled to stack evaluators with
+    /// pre-selected operator functions ([`StackPred`]).
+    preds: Vec<StackPred>,
     /// For each dimension depth, the predicates that become checkable
     /// once that dimension is bound.
     preds_by_depth: Vec<Vec<usize>>,
@@ -83,16 +85,16 @@ impl ChainThetaJob {
         let mut preds = Vec::new();
         for &e in edges {
             for p in &compiled.per_condition[e] {
-                preds.push(CompiledPredicate {
+                preds.push(StackPred::from_compiled(&CompiledPredicate {
                     left_rel: to_dim(p.left_rel),
                     right_rel: to_dim(p.right_rel),
                     ..*p
-                });
+                }));
             }
         }
         let mut preds_by_depth = vec![Vec::new(); dims.len()];
         for (pi, p) in preds.iter().enumerate() {
-            preds_by_depth[p.left_rel.max(p.right_rel)].push(pi);
+            preds_by_depth[p.depth()].push(pi);
         }
         let out_shape = IntermediateShape::of(query, &dims);
         let name = format!(
@@ -173,7 +175,7 @@ impl ChainThetaJob {
             work += 1;
             stack.push(tuple);
             for &pi in &self.preds_by_depth[depth] {
-                if !self.preds[pi].eval(stack) {
+                if !self.preds[pi].holds(stack) {
                     stack.pop();
                     continue 'rows;
                 }

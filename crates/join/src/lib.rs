@@ -14,6 +14,11 @@
 //!   Riedewald's 1-Bucket-Theta. These are the building blocks of the
 //!   Hive/Pig/YSmart-style baseline cascades and of the merge steps
 //!   that combine partial MRJ outputs (§4.2, Fig. 4).
+//! * [`kernel`] — the compiled per-reducer join core: predicates
+//!   resolved once to flat column indices + operator function pointers,
+//!   dispatching to a residual-filtered hash join, a sort-merge band
+//!   join, or a compiled nested loop (see the module docs for the
+//!   selection rules).
 //! * [`shape`] — the layout of intermediate rows (which relations'
 //!   columns live where), shared by every operator.
 //! * [`oracle`] — a single-threaded nested-loop evaluator used as
@@ -22,11 +27,13 @@
 #![warn(missing_docs)]
 
 pub mod chain;
+pub mod kernel;
 pub mod oracle;
 pub mod pair;
 pub mod shape;
 
 pub use chain::ChainThetaJob;
+pub use kernel::{KernelKind, PairKernel};
 pub use oracle::oracle_join;
 pub use pair::{PairJob, PairStrategy};
 pub use shape::IntermediateShape;

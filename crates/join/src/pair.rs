@@ -15,14 +15,22 @@
 //! * [`PairStrategy::OneBucket`] — Okcan & Riedewald's 1-Bucket-Theta
 //!   rectangle tiling of the join matrix: exact cover, each pair
 //!   examined by exactly one reducer, balanced without statistics.
+//!
+//! Whatever the partitioning, the reduce-side join itself runs through
+//! a [`PairKernel`] compiled once at job construction (hash join on the
+//! equality component, sort-merge band join on a single inequality,
+//! compiled nested loop otherwise — see [`crate::kernel`]); the
+//! simulated cost accounting still prices the full candidate cross
+//! product per reducer, exactly as before.
 
+use crate::kernel::PairKernel;
 use crate::shape::IntermediateShape;
 use mwtj_hilbert::RectPartition;
 use mwtj_mapreduce::engine::GROUP_BY_AUX;
 use mwtj_mapreduce::{Emit, MrJob, TaggedRecord};
-use mwtj_query::theta::{eval_theta, CompiledPredicate};
+use mwtj_query::theta::CompiledPredicate;
 use mwtj_query::MultiwayQuery;
-use mwtj_storage::{Schema, Tuple, Value};
+use mwtj_storage::{Schema, Tuple};
 use std::hash::{Hash, Hasher};
 
 /// Partitioning strategy for a [`PairJob`].
@@ -44,16 +52,13 @@ pub enum PairStrategy {
 /// A pairwise theta-join / merge job.
 pub struct PairJob {
     name: String,
-    left: IntermediateShape,
-    right: IntermediateShape,
-    /// Query relations present on both sides: rows must agree on them
-    /// (merge semantics).
-    shared: Vec<usize>,
-    /// All predicates to enforce, query-relation indexed.
-    preds: Vec<CompiledPredicate>,
-    /// Indices into `preds` of equality predicates usable as hash keys
-    /// (left side column on `left`, right side column on `right`).
-    hash_preds: Vec<(usize, bool)>, // (pred idx, pred's left is on our left side)
+    /// Compiled reduce-side join core (hash / band / nested dispatch,
+    /// flat columns, output assembly) — built once at construction.
+    kernel: PairKernel,
+    /// Map-side `EquiHash` key columns, resolved to flat column indices
+    /// per input side (shared-relation columns then equality-predicate
+    /// columns, canonical order).
+    key_cols: [Vec<usize>; 2],
     strategy: PairStrategy,
     rect: Option<RectPartition>,
     /// Input cardinalities (left, right) — the 1-Bucket global-id
@@ -84,23 +89,12 @@ impl PairJob {
         reducers: u32,
     ) -> Self {
         assert!(reducers >= 1);
-        let shared = IntermediateShape::shared(&left, &right);
-        let mut hash_preds = Vec::new();
         for (pi, p) in preds.iter().enumerate() {
             let left_on_left = left.has(p.left_rel) && right.has(p.right_rel);
             let left_on_right = right.has(p.left_rel) && left.has(p.right_rel);
             assert!(
                 left_on_left || left_on_right,
                 "predicate {pi} does not span the two sides"
-            );
-            if p.op.is_equality() && p.left_off == 0.0 && p.right_off == 0.0 {
-                hash_preds.push((pi, left_on_left));
-            }
-        }
-        if matches!(strategy, PairStrategy::EquiHash) {
-            assert!(
-                !hash_preds.is_empty() || !shared.is_empty(),
-                "EquiHash needs an equality key or shared relations"
             );
         }
         let rect = match strategy {
@@ -116,13 +110,28 @@ impl PairJob {
             None => reducers,
         };
         let out_shape = IntermediateShape::union(query, &left, &right);
+        let kernel = PairKernel::compile(&left, &right, &out_shape, &preds);
+        if matches!(strategy, PairStrategy::EquiHash) {
+            // The kernel's equality component (shared relations +
+            // zero-offset `=` predicates) is the single definition of
+            // hashability — the strategy is valid iff it is non-empty.
+            assert!(
+                !kernel.equality_key().is_empty(),
+                "EquiHash needs an equality key or shared relations"
+            );
+        }
+
+        // Map-side hash key columns per side, derived from the kernel's
+        // equality component so shuffle partitioning and the reduce-side
+        // build/probe key share one definition.
+        let key_cols: [Vec<usize>; 2] = [
+            kernel.equality_key().iter().map(|&(l, _)| l).collect(),
+            kernel.equality_key().iter().map(|&(_, r)| r).collect(),
+        ];
         PairJob {
             name: name.into(),
-            left,
-            right,
-            shared,
-            preds,
-            hash_preds,
+            kernel,
+            key_cols,
             strategy,
             rect,
             cards: (cardinalities.0.max(1), cardinalities.1.max(1)),
@@ -146,60 +155,21 @@ impl PairJob {
         self.strategy
     }
 
-    fn shape_of(&self, tag: u8) -> &IntermediateShape {
-        if tag == 0 {
-            &self.left
-        } else {
-            &self.right
-        }
+    /// The compiled reduce-side kernel (inspection: tests and benches
+    /// check which algorithm a predicate set selects).
+    pub fn kernel(&self) -> &PairKernel {
+        &self.kernel
     }
 
     /// Hash key of a row for `EquiHash`: shared-relation tuples plus
-    /// equality-predicate columns, in canonical order.
+    /// equality-predicate columns, in canonical order — column indices
+    /// pre-resolved at construction.
     fn equi_key(&self, tag: u8, row: &Tuple) -> u64 {
-        let shape = self.shape_of(tag);
         let mut h = std::collections::hash_map::DefaultHasher::new();
-        for &rel in &self.shared {
-            for v in shape.rel_values(row, rel) {
-                v.hash(&mut h);
-            }
-        }
-        for &(pi, left_on_left) in &self.hash_preds {
-            let p = &self.preds[pi];
-            // Which end of the predicate lives on *this* row's side?
-            let (rel, col) = if (tag == 0) == left_on_left {
-                (p.left_rel, p.left_col)
-            } else {
-                (p.right_rel, p.right_col)
-            };
-            shape.value(row, rel, col).hash(&mut h);
+        for &c in &self.key_cols[tag as usize] {
+            row.get(c).hash(&mut h);
         }
         h.finish() & !GROUP_BY_AUX
-    }
-
-    /// Full predicate + shared-equality check for one (left, right)
-    /// candidate pair.
-    fn pair_matches(&self, lrow: &Tuple, rrow: &Tuple) -> bool {
-        for &rel in &self.shared {
-            if self.left.rel_values(lrow, rel) != self.right.rel_values(rrow, rel) {
-                return false;
-            }
-        }
-        for p in &self.preds {
-            let lv: &Value;
-            let rv: &Value;
-            if self.left.has(p.left_rel) {
-                lv = self.left.value(lrow, p.left_rel, p.left_col);
-                rv = self.right.value(rrow, p.right_rel, p.right_col);
-            } else {
-                lv = self.right.value(rrow, p.left_rel, p.left_col);
-                rv = self.left.value(lrow, p.right_rel, p.right_col);
-            }
-            if !eval_theta(lv, p.left_off, p.op, rv, p.right_off) {
-                return false;
-            }
-        }
-        true
     }
 
     fn splitmix(seed: u64, idx: usize) -> u64 {
@@ -296,16 +266,19 @@ impl MrJob for PairJob {
                 rights.push(&rec.tuple);
             }
         }
-        for lrow in &lefts {
-            for rrow in &rights {
-                if self.pair_matches(lrow, rrow) {
-                    out.push(
-                        self.out_shape
-                            .assemble(&[(&self.left, lrow), (&self.right, rrow)]),
-                    );
-                }
-            }
+        let mut pairs = Vec::new();
+        self.kernel.join_into(&lefts, &rights, &mut pairs);
+        out.reserve(pairs.len());
+        for &(li, ri) in &pairs {
+            out.push(
+                self.kernel
+                    .assemble(lefts[li as usize], rights[ri as usize]),
+            );
         }
+        // Simulated-cost contract: a reducer running the textbook
+        // nested loop examines every (left, right) combination, and the
+        // cost model (Eq. 2–4) prices that work. The kernel only makes
+        // the *host* faster; the reported candidate count is unchanged.
         (lefts.len() as u64).saturating_mul(rights.len() as u64)
     }
 }

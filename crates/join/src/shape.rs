@@ -101,6 +101,14 @@ impl IntermediateShape {
         &row.values()[self.offsets[p]..self.offsets[p] + self.widths[p]]
     }
 
+    /// Flat column range of `rel` within a combined row — the resolved
+    /// form kernels compile to so the per-pair path touches no shape
+    /// lookups.
+    pub fn col_range(&self, rel: usize) -> std::ops::Range<usize> {
+        let p = self.pos(rel);
+        self.offsets[p]..self.offsets[p] + self.widths[p]
+    }
+
     /// Build a combined row of this shape from per-relation source rows:
     /// `sources` yields `(shape, row)` pairs; for every relation in
     /// `self`, the first source carrying it provides the columns.

@@ -12,7 +12,6 @@ use crate::metrics::JobMetrics;
 use mwtj_storage::{Relation, Tuple};
 use parking_lot::Mutex;
 use std::collections::BinaryHeap;
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::time::Instant;
 
@@ -36,8 +35,11 @@ pub struct JobRun {
 
 /// Outcome of one executed map task, before shuffle pricing.
 struct MapTaskOut {
-    /// Per-reducer emitted records.
-    per_reducer: Vec<Vec<TaggedRecord>>,
+    /// Emitted records with their destination reducer, in emit order.
+    /// A single flat buffer per task (instead of one `Vec` per reducer
+    /// per task) keeps map-side allocation O(1) per task regardless of
+    /// the reduce fan-out.
+    records: Vec<(u32, TaggedRecord)>,
     input_bytes: u64,
     input_records: u64,
     output_bytes: u64,
@@ -171,23 +173,22 @@ impl Engine {
                     }
                     let (tag, rows, bytes, seed) =
                         (tasks[i].0, tasks[i].1.clone(), tasks[i].2, tasks[i].3);
-                    let mut per_reducer: Vec<Vec<TaggedRecord>> =
-                        (0..n_red).map(|_| Vec::new()).collect();
+                    let mut records: Vec<(u32, TaggedRecord)> = Vec::new();
                     let mut out_bytes = 0u64;
                     let mut out_records = 0u64;
                     {
                         let mut emit = |key: u64, rec: TaggedRecord| {
-                            let r = (key % reducers as u64) as usize;
+                            let r = (key % reducers as u64) as u32;
                             out_bytes += rec.wire_bytes() as u64;
                             out_records += 1;
-                            per_reducer[r].push(rec);
+                            records.push((r, rec));
                         };
                         for (ri, row) in rows.iter().enumerate() {
                             job.map(tag, row, seed, ri, &mut emit);
                         }
                     }
                     *results[i].lock() = Some(MapTaskOut {
-                        per_reducer,
+                        records,
                         input_bytes: bytes as u64,
                         input_records: rows.len() as u64,
                         output_bytes: out_bytes,
@@ -234,6 +235,10 @@ impl Engine {
         }
 
         // ---- shuffle (real) ----
+        // Records *move* from map output to reducer input buffers: no
+        // tuple clones on this path. Each reducer's buffer receives
+        // records in map-task order, then emit order within a task —
+        // deterministic regardless of which host thread ran which task.
         let mut reducer_inputs: Vec<Vec<TaggedRecord>> = (0..n_red).map(|_| Vec::new()).collect();
         let mut input_bytes = 0u64;
         let mut input_records = 0u64;
@@ -244,16 +249,23 @@ impl Engine {
             input_records += mo.input_records;
             map_output_bytes += mo.output_bytes;
             map_output_records += mo.output_records;
-            for (r, recs) in mo.per_reducer.into_iter().enumerate() {
-                reducer_inputs[r].extend(recs);
+            for (r, rec) in mo.records {
+                reducer_inputs[r as usize].push(rec);
             }
         }
 
         // ---- reduce phase (real, parallel on host) ----
+        // Hadoop's actual sort-merge semantics: each reduce task sorts
+        // its input by grouping key in place (stable, so records keep
+        // their arrival order within a group) and hands the job
+        // contiguous `&[TaggedRecord]` group slices — zero record
+        // clones, no per-key re-bucketing.
         // (output rows, input bytes, candidates examined) per reducer.
         type ReduceOut = (Vec<Tuple>, u64, u64);
         let reduce_results: Vec<Mutex<Option<ReduceOut>>> =
             (0..n_red).map(|_| Mutex::new(None)).collect();
+        let reducer_inputs: Vec<Mutex<Vec<TaggedRecord>>> =
+            reducer_inputs.into_iter().map(Mutex::new).collect();
         let next_r = AtomicUsize::new(0);
         let rworkers = self.host_threads.min(n_red);
         crossbeam::scope(|s| {
@@ -263,25 +275,29 @@ impl Engine {
                     if r >= n_red {
                         break;
                     }
-                    let records = &reducer_inputs[r];
-                    // Group by key; process keys in sorted order for
-                    // determinism (Hadoop's sort phase).
-                    let mut groups: HashMap<u64, Vec<TaggedRecord>> = HashMap::new();
-                    for rec in records {
-                        groups
-                            .entry(rec_key(rec, reducers, r))
-                            .or_default()
-                            .push(rec.clone());
-                    }
-                    let mut keys: Vec<u64> = groups.keys().copied().collect();
-                    keys.sort_unstable();
+                    let mut records = std::mem::take(&mut *reducer_inputs[r].lock());
+                    let in_bytes: u64 = records.iter().map(|x| x.wire_bytes() as u64).sum();
+                    // Stable sort = the sort phase; keys then run in
+                    // ascending order with arrival order preserved
+                    // within each group, exactly as the previous
+                    // hash-then-sort-keys grouping produced.
+                    records.sort_by_key(|rec| rec_key(rec, reducers, r));
                     let mut out = Vec::new();
                     let mut candidates = 0u64;
-                    for k in keys {
-                        let recs = &groups[&k];
-                        candidates = candidates.saturating_add(job.reduce(k, recs, &mut out));
+                    let mut start = 0usize;
+                    while start < records.len() {
+                        let k = rec_key(&records[start], reducers, r);
+                        let mut end = start + 1;
+                        while end < records.len() && rec_key(&records[end], reducers, r) == k {
+                            end += 1;
+                        }
+                        candidates = candidates.saturating_add(job.reduce(
+                            k,
+                            &records[start..end],
+                            &mut out,
+                        ));
+                        start = end;
                     }
-                    let in_bytes: u64 = records.iter().map(|x| x.wire_bytes() as u64).sum();
                     *reduce_results[r].lock() = Some((out, in_bytes, candidates));
                 });
             }
@@ -533,6 +549,84 @@ mod tests {
         assert!(dfs.metrics.sim_total_secs >= local.metrics.sim_total_secs);
         let f = engine.dfs().read_relation("out").unwrap();
         assert_eq!(f.len(), 1000);
+    }
+
+    /// The sort-merge grouping contract: within one reducer, groups
+    /// arrive in ascending key order and records within a group keep
+    /// their arrival (map-task, then emit) order.
+    #[test]
+    fn groups_are_key_sorted_and_arrival_ordered() {
+        use parking_lot::Mutex;
+
+        struct Recorder {
+            seen: Mutex<Vec<(u64, Vec<i64>)>>,
+        }
+
+        impl MrJob for Recorder {
+            fn name(&self) -> String {
+                "recorder".into()
+            }
+
+            fn output_schema(&self) -> Schema {
+                Schema::from_pairs("o", &[("v", DataType::Int)])
+            }
+
+            fn map(
+                &self,
+                _tag: u8,
+                row: &Tuple,
+                _seed: u64,
+                _ri: usize,
+                emit: &mut crate::job::Emit<'_>,
+            ) {
+                let v = row.get(0).as_int().unwrap();
+                let k = (v as u64) % 5;
+                emit(
+                    0, // everything lands in reducer 0
+                    TaggedRecord {
+                        tag: 0,
+                        aux: GROUP_BY_AUX | k,
+                        tuple: row.clone(),
+                    },
+                );
+            }
+
+            fn reduce(&self, key: u64, records: &[TaggedRecord], _out: &mut Vec<Tuple>) -> u64 {
+                let vals: Vec<i64> = records
+                    .iter()
+                    .map(|r| r.tuple.get(0).as_int().unwrap())
+                    .collect();
+                self.seen.lock().push((key, vals));
+                records.len() as u64
+            }
+        }
+
+        let cfg = ClusterConfig::default();
+        let dfs = Dfs::new();
+        let schema = Schema::from_pairs("t", &[("a", DataType::Int)]);
+        let rel =
+            Relation::from_rows_unchecked(schema, (0..200).map(|i| tuple![i as i64]).collect());
+        dfs.put_relation("t", &rel, &cfg);
+        let engine = Engine::new(cfg, dfs);
+        let job = Recorder {
+            seen: Mutex::new(Vec::new()),
+        };
+        let _ = engine.run(&job, &[InputSpec::new("t", 0)], 4, 1, None);
+        let seen = job.seen.into_inner();
+        let keys: Vec<u64> = seen.iter().map(|(k, _)| *k).collect();
+        let mut sorted = keys.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(keys, sorted, "groups must arrive in ascending key order");
+        for (k, vals) in &seen {
+            // Values within a group keep block order (blocks are read
+            // in file order, so values ascend within each group).
+            let mut s = vals.clone();
+            s.sort_unstable();
+            assert_eq!(vals, &s, "group {k} lost arrival order");
+            assert!(vals.iter().all(|v| (*v as u64) % 5 == *k));
+        }
+        assert_eq!(seen.iter().map(|(_, v)| v.len()).sum::<usize>(), 200);
     }
 
     #[test]

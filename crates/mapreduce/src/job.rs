@@ -75,8 +75,11 @@ pub trait MrJob: Sync {
     /// deterministic given the block.
     fn map(&self, tag: u8, row: &Tuple, block_seed: u64, row_idx: usize, emit: &mut Emit<'_>);
 
-    /// Reduce one key group. `records` arrive grouped by key,
-    /// *unordered* within the group (hash shuffle, no secondary sort).
+    /// Reduce one key group. `records` arrive grouped by key; groups
+    /// are delivered in ascending key order and records within a group
+    /// keep their arrival order (map-task order, then emit order) —
+    /// the engine's sort-merge grouping is stable, and downstream
+    /// byte-accounting determinism relies on it.
     ///
     /// Returns the number of candidate combinations the reducer
     /// *actually examined* — the engine charges

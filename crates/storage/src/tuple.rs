@@ -9,16 +9,26 @@ use std::sync::Arc;
 /// shuffle can "copy" a tuple to many reduce partitions while host memory
 /// holds one payload; the *accounted* bytes (what the cost model sees) are
 /// the encoded length, charged once per copy.
-#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+///
+/// The encoded length is memoised at construction: byte accounting on
+/// the map-emit and reduce paths touches every record (often many times
+/// per tuple, once per simulated copy), so it must not re-walk the
+/// values each time.
+#[derive(Debug, Clone)]
 pub struct Tuple {
     values: Arc<[Value]>,
+    /// Cached [`codec::encoded_len`] of `values`. Values are immutable
+    /// behind the `Arc`, so the cache can never go stale.
+    enc_len: usize,
 }
 
 impl Tuple {
     /// Build a tuple from values.
     pub fn new(values: Vec<Value>) -> Self {
+        let enc_len = codec::encoded_len(&values);
         Tuple {
             values: values.into(),
+            enc_len,
         }
     }
 
@@ -38,8 +48,9 @@ impl Tuple {
     }
 
     /// Encoded size in bytes — the unit of all disk/network accounting.
+    /// O(1): computed once at construction.
     pub fn encoded_len(&self) -> usize {
-        codec::encoded_len(self.values())
+        self.enc_len
     }
 
     /// Concatenate two tuples (join output row).
@@ -69,6 +80,23 @@ impl Tuple {
             }
         }
         self.arity().cmp(&other.arity())
+    }
+}
+
+// Equality and hashing are over the values only (`enc_len` is a pure
+// function of them), preserving the exact behaviour of the previously
+// derived impls on the single `values` field.
+impl PartialEq for Tuple {
+    fn eq(&self, other: &Self) -> bool {
+        self.values == other.values
+    }
+}
+
+impl Eq for Tuple {}
+
+impl std::hash::Hash for Tuple {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.values.hash(state);
     }
 }
 
@@ -133,5 +161,14 @@ mod tests {
     #[test]
     fn display() {
         assert_eq!(tuple![1, "a"].to_string(), "(1, a)");
+    }
+
+    #[test]
+    fn encoded_len_is_cached_and_exact() {
+        let t = tuple![1, 2.5, "hello", -12345678];
+        assert_eq!(t.encoded_len(), crate::codec::encoded_len(t.values()));
+        // Derived rows keep the invariant too.
+        let c = t.concat(&tuple![9]);
+        assert_eq!(c.encoded_len(), crate::codec::encoded_len(c.values()));
     }
 }

@@ -155,25 +155,3 @@ fn simulated_time_monotone_in_kp() {
         "8 units ({t8:.3}s) should not meaningfully beat 64 units ({t64:.3}s)"
     );
 }
-
-/// The deprecated façade still works as a thin shim for one release.
-#[test]
-#[allow(deprecated)]
-fn legacy_facade_still_serves() {
-    use multiway_theta_join::system::ThetaJoinSystem;
-    let q = mobile_query(MobileQuery::Q1);
-    let mut sys = ThetaJoinSystem::with_units(16);
-    let gen = MobileGen {
-        users: 150,
-        base_stations: 25,
-        days: 8,
-        ..Default::default()
-    };
-    let calls = gen.generate("calls", 120);
-    for inst in MobileQuery::Q1.instances() {
-        let _ = sys.load_alias(&calls, inst);
-    }
-    let want = canonicalize(sys.oracle(&q));
-    let got = canonicalize(sys.run(&q, Method::Ours).output.into_rows());
-    assert_eq!(got, want);
-}
