@@ -14,6 +14,7 @@
 
 use crate::error::EngineError;
 use crate::options::{Method, RunOptions};
+use crate::scheduler::{AdmissionPolicy, Scheduler, Ticket};
 use mwtj_cost::{CalibratedParams, Calibrator, CostModel};
 use mwtj_join::oracle::oracle_join;
 use mwtj_mapreduce::{Cluster, ClusterConfig, ExecError};
@@ -24,7 +25,7 @@ use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 /// The implicit row-identity column appended to every loaded relation.
@@ -63,7 +64,23 @@ struct Catalog {
     /// direct loads). SQL auto-registration consults this so an alias
     /// can never be silently rebound to a different base.
     bases: HashMap<String, String>,
+    /// Bumped whenever loaded data *changes* (an entry is replaced,
+    /// refreshed or unloaded, or the cost model is recalibrated) —
+    /// never for a fresh name. Cached plan estimates are tagged with
+    /// the epoch they were computed under and discarded on mismatch.
+    epoch: u64,
 }
+
+/// A cached admission estimate for one (query shape, `k_P`) pair.
+#[derive(Clone, Copy)]
+struct CachedEstimate {
+    epoch: u64,
+    units: u32,
+}
+
+/// Keep the admission-estimate cache from growing without bound in a
+/// long-lived server (distinct SQL texts keep arriving).
+const PLAN_CACHE_CAP: usize = 1024;
 
 /// State shared by an engine and all its sessions.
 struct Shared {
@@ -74,6 +91,13 @@ struct Shared {
     /// Guards the run-once calibration sweep.
     calibrated: Mutex<bool>,
     sample_cap: usize,
+    /// Admission controller over the cluster's `k_P` unit budget.
+    scheduler: Scheduler,
+    /// Per-engine counter namespacing each SQL run's alias instances.
+    next_query: AtomicU64,
+    /// Admission estimates keyed by (namespace-stripped query shape,
+    /// `k_P`), invalidated via [`Catalog::epoch`].
+    plan_cache: RwLock<HashMap<(String, u32), CachedEstimate>>,
 }
 
 /// The top-level system: cluster + DFS + statistics + planner behind
@@ -87,9 +111,17 @@ pub struct Engine {
 
 impl Engine {
     /// Build over a cluster configuration with default (uncalibrated)
-    /// cost parameters.
+    /// cost parameters and the default [`AdmissionPolicy`].
     pub fn new(config: ClusterConfig) -> Self {
+        Self::with_admission_policy(config, AdmissionPolicy::default())
+    }
+
+    /// Build with an explicit admission policy (degradation floor,
+    /// queue bound) for the scheduler serving this engine's `k_P`
+    /// budget.
+    pub fn with_admission_policy(config: ClusterConfig, policy: AdmissionPolicy) -> Self {
         let model = CostModel::new(config.clone(), CalibratedParams::default());
+        let scheduler = Scheduler::with_policy(config.processing_units, policy);
         Engine {
             shared: Arc::new(Shared {
                 cluster: Cluster::new(config),
@@ -97,6 +129,9 @@ impl Engine {
                 catalog: RwLock::new(Catalog::default()),
                 calibrated: Mutex::new(false),
                 sample_cap: 512,
+                scheduler,
+                next_query: AtomicU64::new(0),
+                plan_cache: RwLock::new(HashMap::new()),
             }),
         }
     }
@@ -104,6 +139,29 @@ impl Engine {
     /// Shorthand: default cluster with `k_P` processing units.
     pub fn with_units(k_p: u32) -> Self {
         Self::new(ClusterConfig::with_units(k_p))
+    }
+
+    /// Shorthand: default cluster with `k_P` units and an explicit
+    /// admission policy (what serving front-ends construct).
+    pub fn with_units_and_policy(k_p: u32, policy: AdmissionPolicy) -> Self {
+        Self::with_admission_policy(ClusterConfig::with_units(k_p), policy)
+    }
+
+    /// The admission controller sharing the cluster's `k_P` budget
+    /// across concurrent queries.
+    pub fn scheduler(&self) -> &Scheduler {
+        &self.shared.scheduler
+    }
+
+    /// The current statistics epoch (bumped whenever loaded data
+    /// changes; cached plan estimates from older epochs are discarded).
+    pub fn stats_epoch(&self) -> u64 {
+        self.shared.catalog.read().epoch
+    }
+
+    /// Number of cached admission plan estimates (inspection).
+    pub fn plan_cache_len(&self) -> usize {
+        self.shared.plan_cache.read().len()
     }
 
     /// A session sharing this engine's state, with default run options.
@@ -135,6 +193,21 @@ impl Engine {
         self.shared.catalog.read().relations.get(name).cloned()
     }
 
+    /// Every loaded instance as `(name, cardinality)`, sorted by name
+    /// (catalog inspection for serving front-ends). Transient `__q<N>_`
+    /// instances of in-flight SQL runs are internal and excluded.
+    pub fn loaded_instances(&self) -> Vec<(String, usize)> {
+        let catalog = self.shared.catalog.read();
+        let mut all: Vec<(String, usize)> = catalog
+            .relations
+            .iter()
+            .filter(|(name, _)| !is_internal_instance(name))
+            .map(|(name, rel)| (name.clone(), rel.len()))
+            .collect();
+        all.sort();
+        all
+    }
+
     /// Run the §6.2 calibration sweep and swap in the fitted `p`/`q`.
     pub fn calibrate(&self) {
         let config = self.shared.cluster.config().clone();
@@ -142,6 +215,8 @@ impl Engine {
         let planner = Planner::new(CostModel::new(config, params));
         *self.shared.planner.write() = Arc::new(planner);
         *self.shared.calibrated.lock() = true;
+        // A new cost model invalidates cached plan estimates.
+        self.shared.catalog.write().epoch += 1;
     }
 
     /// Calibrate at most once per engine (the [`RunOptions::calibrated`]
@@ -153,6 +228,7 @@ impl Engine {
             let params = Calibrator::quick(config.clone()).calibrate();
             *self.shared.planner.write() = Arc::new(Planner::new(CostModel::new(config, params)));
             *done = true;
+            self.shared.catalog.write().epoch += 1;
         }
     }
 
@@ -252,9 +328,15 @@ impl Engine {
 
     /// Upload `augmented` to the DFS, price the load, and publish it in
     /// the catalog bound to `base`.
+    ///
+    /// Reloading a name that already exists refreshes every alias
+    /// bound to it (their rows and statistics re-share the new data
+    /// and their DFS instance files are re-uploaded), so stale
+    /// statistics cannot survive a reload; the statistics epoch is
+    /// bumped, invalidating cached plan estimates.
     fn register(&self, augmented: Relation, stats: RelationStats, base: String) -> LoadReport {
         let config = self.shared.cluster.config();
-        let upload_secs =
+        let mut upload_secs =
             self.shared
                 .cluster
                 .dfs()
@@ -269,30 +351,97 @@ impl Engine {
             augmented.encoded_bytes() as f64 * hw.c1() * 0.25 + sampled_bytes / hw.disk_write_bps;
         let mut catalog = self.shared.catalog.write();
         let name = augmented.name().to_string();
-        catalog.stats.insert(name.clone(), stats);
-        catalog.relations.insert(name.clone(), Arc::new(augmented));
-        catalog.bases.insert(name, base);
+        let replaced = catalog.relations.contains_key(&name);
+        let augmented = Arc::new(augmented);
+        catalog.stats.insert(name.clone(), stats.clone());
+        catalog
+            .relations
+            .insert(name.clone(), Arc::clone(&augmented));
+        catalog.bases.insert(name.clone(), base);
+        // Refresh dependent aliases: anything bound to this name now
+        // shares the new rows and statistics outright. This must also
+        // run when the name was previously `unload`ed (the alias
+        // bindings survive and would otherwise serve stale data
+        // forever) — so the trigger is "dependents exist", not
+        // "entry replaced". Transient `__q<N>_` instances of in-flight
+        // SQL runs are *excluded*: those queries own a mid-execution
+        // snapshot and must not have their DFS inputs swapped under
+        // them.
+        let dependents: Vec<String> = catalog
+            .bases
+            .iter()
+            .filter(|(alias, b)| *b == &name && *alias != &name && !is_internal_instance(alias))
+            .map(|(alias, _)| alias.clone())
+            .collect();
+        for alias in &dependents {
+            let renamed = augmented.rename(alias);
+            upload_secs += self
+                .shared
+                .cluster
+                .dfs()
+                .put_relation(alias, &renamed, config);
+            catalog.relations.insert(alias.clone(), Arc::new(renamed));
+            catalog.stats.insert(alias.clone(), stats.clone());
+        }
+        if replaced || !dependents.is_empty() {
+            catalog.epoch += 1;
+        }
         LoadReport {
             upload_secs,
             sampling_secs,
         }
     }
 
+    /// Drop a loaded instance from the catalog and the DFS. Returns
+    /// whether the name existed. Administrative: a query concurrently
+    /// using the instance keeps its snapshotted rows, but new queries
+    /// will fail to resolve the name.
+    pub fn unload(&self, name: &str) -> bool {
+        let existed = self.unload_quiet(name);
+        if existed {
+            self.shared.catalog.write().epoch += 1;
+        }
+        existed
+    }
+
+    /// [`Engine::unload`] without the epoch bump — cleanup of per-query
+    /// internal alias instances, which no other query can reference.
+    fn unload_quiet(&self, name: &str) -> bool {
+        let mut catalog = self.shared.catalog.write();
+        let existed = catalog.relations.remove(name).is_some();
+        catalog.stats.remove(name);
+        catalog.bases.remove(name);
+        drop(catalog);
+        self.shared.cluster.dfs().remove(name);
+        existed
+    }
+
     /// Execute `query` (built against the *base* schemas, without the
     /// rowid column) under `opts`, returning the result or a typed
     /// error — never panicking on unknown relations or plan failures.
+    ///
+    /// Every run is admission-controlled: the planner's cost estimate
+    /// (Eq. 2) sizes the query's `k_P` slice, the [`Scheduler`]
+    /// reserves it against the shared budget (queueing or degrading to
+    /// a smaller-`k` replan when the cluster is oversubscribed), and
+    /// the reservation is released when the run completes. The
+    /// returned [`QueryRun`] carries the admission ticket and the
+    /// granted units.
     pub fn run(&self, query: &MultiwayQuery, opts: &RunOptions) -> Result<QueryRun, EngineError> {
         if opts.wants_calibration() {
             self.ensure_calibrated();
         }
         let q = augment_query(query);
         let planner = self.planner();
-        // Snapshot the statistics and release the catalog guard before
-        // executing: holding it across a multi-second run would stall
-        // every concurrent load (and, with writers queued, new runs).
-        let owned_stats: Vec<RelationStats> = {
+        // Snapshot the statistics (plus each instance's base binding,
+        // which keys the estimate cache) and release the catalog guard
+        // before executing: holding it across a multi-second run would
+        // stall every concurrent load (and, with writers queued, new
+        // runs).
+        let (owned_stats, bases, epoch) = {
             let catalog = self.shared.catalog.read();
-            q.schemas
+            let stats: Vec<RelationStats> = q
+                .schemas
                 .iter()
                 .map(|s| {
                     catalog.stats.get(s.name()).cloned().ok_or_else(|| {
@@ -301,26 +450,111 @@ impl Engine {
                         }
                     })
                 })
-                .collect::<Result<_, _>>()?
+                .collect::<Result<_, _>>()?;
+            let bases: Vec<String> = q
+                .schemas
+                .iter()
+                .map(|s| {
+                    catalog
+                        .bases
+                        .get(s.name())
+                        .cloned()
+                        .unwrap_or_else(|| s.name().to_string())
+                })
+                .collect();
+            (stats, bases, catalog.epoch)
         };
         let stats: Vec<&RelationStats> = owned_stats.iter().collect();
         let cluster = &self.shared.cluster;
-        let exec_opts = opts.exec_options();
+        let k_full = cluster.config().processing_units;
+        // Size the slice this query needs. The paper's planner packs
+        // its jobs into a peak concurrent allotment we can price
+        // exactly; the baselines are k_P-unaware and assume the whole
+        // cluster.
+        let desired = match opts.get_method() {
+            Method::Ours | Method::OursGrid => {
+                self.estimated_units(&planner, &q, &stats, &bases, k_full, epoch)?
+            }
+            Method::YSmart | Method::Hive | Method::Pig => k_full,
+        };
+        let ticket = self.shared.scheduler.admit(desired)?;
+        let run = self.execute_admitted(&planner, &q, &stats, opts, &ticket);
+        drop(ticket);
+        run
+    }
+
+    /// Execute under a held admission ticket: a degraded grant replans
+    /// at the smaller `k`; a full grant executes exactly the plan the
+    /// estimate priced.
+    fn execute_admitted(
+        &self,
+        planner: &Planner,
+        q: &MultiwayQuery,
+        stats: &[&RelationStats],
+        opts: &RunOptions,
+        ticket: &Ticket,
+    ) -> Result<QueryRun, EngineError> {
+        let cluster = &self.shared.cluster;
+        let mut exec_opts = opts.exec_options();
+        exec_opts.ticket = ticket.id();
+        if ticket.degraded() {
+            exec_opts.units = Some(ticket.granted());
+        }
         let run = match opts.get_method() {
             Method::Ours | Method::OursGrid => {
-                planner.try_execute_ours(&q, &stats, cluster, &exec_opts)?
+                planner.try_execute_ours(q, stats, cluster, &exec_opts)?
             }
             Method::YSmart => {
-                planner.try_execute_baseline(Baseline::YSmart, &q, &stats, cluster, &exec_opts)?
+                planner.try_execute_baseline(Baseline::YSmart, q, stats, cluster, &exec_opts)?
             }
             Method::Hive => {
-                planner.try_execute_baseline(Baseline::Hive, &q, &stats, cluster, &exec_opts)?
+                planner.try_execute_baseline(Baseline::Hive, q, stats, cluster, &exec_opts)?
             }
             Method::Pig => {
-                planner.try_execute_baseline(Baseline::Pig, &q, &stats, cluster, &exec_opts)?
+                planner.try_execute_baseline(Baseline::Pig, q, stats, cluster, &exec_opts)?
             }
         };
         Ok(run)
+    }
+
+    /// The `k_P` slice `q` needs, from the plan cache when the epoch
+    /// still matches, otherwise freshly planned and cached.
+    fn estimated_units(
+        &self,
+        planner: &Planner,
+        q: &MultiwayQuery,
+        stats: &[&RelationStats],
+        bases: &[String],
+        k_full: u32,
+        epoch: u64,
+    ) -> Result<u32, EngineError> {
+        // The cache key is the query's *shape*: its Display form with
+        // the caller-chosen query name dropped (run_sql names every
+        // query "sql"/"sql<i>"/"server") and per-query alias
+        // namespaces stripped, so every run of the same text shares
+        // one entry — plus the *base tables* each instance binds to,
+        // so shape-identical queries over different bases (whose
+        // statistics differ) never share an estimate.
+        let display = q.to_string();
+        let shape = display
+            .split_once(": ")
+            .map_or(display.as_str(), |(_, rest)| rest);
+        let key = (
+            format!("{}|{}", strip_query_namespaces(shape), bases.join(",")),
+            k_full,
+        );
+        if let Some(hit) = self.shared.plan_cache.read().get(&key) {
+            if hit.epoch == epoch {
+                return Ok(hit.units);
+            }
+        }
+        let (units, _predicted_secs) = planner.estimate_units(q, stats, k_full)?;
+        let mut cache = self.shared.plan_cache.write();
+        if cache.len() >= PLAN_CACHE_CAP {
+            cache.clear();
+        }
+        cache.insert(key, CachedEstimate { epoch, units });
+        Ok(units)
     }
 
     /// Execute several independent queries concurrently on a scoped
@@ -387,8 +621,14 @@ impl Engine {
     }
 
     /// Parse and execute a SQL query end-to-end with default options:
-    /// parse → auto-register FROM-clause aliases (sharing rows with the
-    /// loaded base) → plan → execute.
+    /// parse → register per-query alias instances → plan → execute.
+    ///
+    /// Each run binds its FROM-clause aliases in a private namespace
+    /// (internal instance names, rewritten back to the public aliases
+    /// on output), so concurrent tenants can bind the same alias to
+    /// *different* bases without an `AliasConflict` — the engine-global
+    /// alias limit applies only to explicit [`Engine::load_alias_of`]
+    /// bindings.
     pub fn run_sql(&self, sql: &str) -> Result<QueryRun, EngineError> {
         self.run_sql_with("sql", sql, &RunOptions::default())
     }
@@ -401,46 +641,79 @@ impl Engine {
         opts: &RunOptions,
     ) -> Result<QueryRun, EngineError> {
         let parsed = self.parse_sql(name, sql)?;
-        self.register_instances(&parsed)?;
-        self.run(&parsed.query, opts)
+        let (ns, renames) = self.namespace_instances(&parsed);
+        let result = self
+            .register_instances(&ns)
+            .and_then(|()| self.run(&ns.query, opts));
+        for (internal, _) in &ns.instances {
+            self.unload_quiet(internal);
+        }
+        Ok(restore_public_names(result?, &renames))
     }
 
-    /// Parse several SQL queries, register their aliases, and execute
-    /// them concurrently via [`Engine::run_many`]. Results come back in
-    /// input order; a query that fails to parse fails alone.
+    /// Parse several SQL queries, register their per-query alias
+    /// namespaces, and execute them concurrently via
+    /// [`Engine::run_many`]. Results come back in input order; a query
+    /// that fails to parse fails alone, and two queries binding the
+    /// same alias to different bases do not conflict.
     pub fn run_sql_many(
         &self,
         sqls: &[&str],
         opts: &RunOptions,
     ) -> Vec<Result<QueryRun, EngineError>> {
-        let parsed: Vec<Result<MultiwayQuery, EngineError>> = sqls
+        type Prep = (ParsedSql, Vec<(String, String)>);
+        let prepared: Vec<Result<Prep, EngineError>> = sqls
             .iter()
             .enumerate()
             .map(|(i, sql)| {
                 let p = self.parse_sql(&format!("sql{i}"), sql)?;
-                self.register_instances(&p)?;
-                Ok(p.query)
+                let (ns, renames) = self.namespace_instances(&p);
+                if let Err(e) = self.register_instances(&ns) {
+                    // Drop whatever part of the namespace did register.
+                    for (internal, _) in &ns.instances {
+                        self.unload_quiet(internal);
+                    }
+                    return Err(e);
+                }
+                Ok((ns, renames))
             })
             .collect();
-        let runnable: Vec<&MultiwayQuery> = parsed.iter().filter_map(|p| p.as_ref().ok()).collect();
+        let runnable: Vec<&MultiwayQuery> = prepared
+            .iter()
+            .filter_map(|p| p.as_ref().ok().map(|(ns, _)| &ns.query))
+            .collect();
         let mut executed = self.run_many(&runnable, opts).into_iter();
-        parsed
+        prepared
             .into_iter()
             .map(|p| match p {
-                Ok(_) => executed.next().unwrap_or_else(|| {
-                    Err(EngineError::Exec(ExecError::BadRequest {
-                        detail: "internal: SQL batch slot never executed".into(),
-                    }))
-                }),
+                Ok((ns, renames)) => {
+                    let run = executed.next().unwrap_or_else(|| {
+                        Err(EngineError::Exec(ExecError::BadRequest {
+                            detail: "internal: SQL batch slot never executed".into(),
+                        }))
+                    });
+                    for (internal, _) in &ns.instances {
+                        self.unload_quiet(internal);
+                    }
+                    run.map(|r| restore_public_names(r, &renames))
+                }
                 Err(e) => Err(e),
             })
             .collect()
     }
 
-    /// Register every FROM-clause alias of `parsed`, sharing rows and
-    /// statistics with its base table. [`Engine::load_alias_of`] is
+    /// Rewrite `parsed`'s instances into this engine's next private
+    /// query namespace.
+    fn namespace_instances(&self, parsed: &ParsedSql) -> (ParsedSql, Vec<(String, String)>) {
+        let tag = self.shared.next_query.fetch_add(1, Ordering::Relaxed);
+        parsed.namespaced(&format!("__q{tag}_"))
+    }
+
+    /// Register every FROM-clause instance of `parsed`, sharing rows
+    /// and statistics with its base table. [`Engine::load_alias_of`] is
     /// idempotent and rejects rebinding an alias to a different base,
-    /// so concurrent registrations cannot hand a query the wrong data.
+    /// so concurrent registrations cannot hand a query the wrong data
+    /// (namespaced instance names never collide in the first place).
     fn register_instances(&self, parsed: &ParsedSql) -> Result<(), EngineError> {
         for (alias, base) in &parsed.instances {
             let _report = self.load_alias_of(base, alias)?;
@@ -593,6 +866,83 @@ fn augment_with_rid(rel: &Relation) -> Relation {
         })
         .collect();
     Relation::from_rows_unchecked(schema, rows)
+}
+
+/// Rewrite a finished run's output schema, plan description and job
+/// names from internal namespaced instance names back to the public
+/// aliases the SQL query used.
+fn restore_public_names(run: QueryRun, renames: &[(String, String)]) -> QueryRun {
+    // Longest internal name first, so one instance name can never
+    // mangle another that contains it as a prefix.
+    let mut renames: Vec<&(String, String)> = renames.iter().collect();
+    renames.sort_by_key(|(internal, _)| std::cmp::Reverse(internal.len()));
+    let rename = |s: &str| -> String {
+        let mut out = s.to_string();
+        for (internal, public) in &renames {
+            out = out.replace(internal.as_str(), public.as_str());
+        }
+        out
+    };
+    let QueryRun {
+        output,
+        plan,
+        predicted_secs,
+        sim_secs,
+        real_secs,
+        mut jobs,
+        ticket,
+        granted_units,
+    } = run;
+    let fields: Vec<Field> = output
+        .schema()
+        .fields()
+        .iter()
+        .map(|f| Field::new(rename(&f.name), f.data_type))
+        .collect();
+    let schema = Schema::new(rename(output.schema().name()), fields);
+    for m in &mut jobs {
+        m.name = rename(&m.name);
+    }
+    QueryRun {
+        output: Relation::from_rows_unchecked(schema, output.into_rows()),
+        plan: rename(&plan),
+        predicted_secs,
+        sim_secs,
+        real_secs,
+        jobs,
+        ticket,
+        granted_units,
+    }
+}
+
+/// Whether `name` is a transient `__q<N>_` internal instance of an
+/// in-flight SQL run (the inverse of [`strip_query_namespaces`]).
+fn is_internal_instance(name: &str) -> bool {
+    let Some(after) = name.strip_prefix("__q") else {
+        return false;
+    };
+    let digits = after.chars().take_while(|c| c.is_ascii_digit()).count();
+    digits > 0 && after[digits..].starts_with('_')
+}
+
+/// Strip `__q<N>_` per-query namespace prefixes, so cache keys built
+/// from query shapes are shared across SQL runs of the same text.
+fn strip_query_namespaces(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut rest = s;
+    while let Some(pos) = rest.find("__q") {
+        out.push_str(&rest[..pos]);
+        let after = &rest[pos + 3..];
+        let digits = after.chars().take_while(|c| c.is_ascii_digit()).count();
+        if digits > 0 && after[digits..].starts_with('_') {
+            rest = &after[digits + 1..];
+        } else {
+            out.push_str("__q");
+            rest = after;
+        }
+    }
+    out.push_str(rest);
+    out
 }
 
 #[cfg(test)]
@@ -759,6 +1109,196 @@ mod tests {
             Arc::as_ptr(&engine.planner()),
             "second calibrated run reuses the fitted model"
         );
+    }
+
+    #[test]
+    fn run_reports_admission_and_respects_budget() {
+        let (engine, q) = two_rel_engine();
+        let run = engine.run(&q, &RunOptions::default()).unwrap();
+        assert!(run.ticket > 0, "runs are admission-controlled");
+        assert!(run.granted_units >= 1 && run.granted_units <= 8);
+        assert!(run.jobs.iter().all(|j| j.ticket == run.ticket));
+        let st = engine.scheduler().stats();
+        assert_eq!(st.in_flight_units, 0, "ticket released after the run");
+        assert!(st.peak_in_flight_units <= st.budget);
+        assert_eq!(st.admitted, 1);
+    }
+
+    #[test]
+    fn sql_aliases_are_namespaced_per_query() {
+        let engine = Engine::with_units(8);
+        let r = random_rel("r", 40, 1, 12);
+        let s = random_rel("s", 40, 2, 12);
+        let _ = engine.load_relation(&r);
+        let _ = engine.load_relation(&s);
+        // The same alias `t1` bound to *different* bases in back-to-back
+        // queries: the old engine-global registry refused the second.
+        let a = engine
+            .run_sql("SELECT t1.a FROM r t1, s t2 WHERE t1.a = t2.a")
+            .unwrap();
+        let b = engine
+            .run_sql("SELECT t1.a FROM s t1, r t2 WHERE t1.a = t2.a")
+            .unwrap();
+        // Output schemas carry the *public* aliases, not internal names.
+        assert_eq!(a.output.schema().fields()[0].name, "t1.a");
+        assert_eq!(b.output.schema().fields()[0].name, "t1.a");
+        // Shape-identical queries over *different* bases must not share
+        // one admission estimate (the key includes the base bindings).
+        assert_eq!(
+            engine.plan_cache_len(),
+            2,
+            "swapped-base queries collided in the plan cache"
+        );
+        assert!(
+            !a.plan.contains("__q"),
+            "plan leaked internal names: {}",
+            a.plan
+        );
+        assert!(a.jobs.iter().all(|j| !j.name.contains("__q")));
+        // Internal instances are cleaned up afterwards.
+        assert!(engine.relation("t1").is_none());
+        assert!(engine
+            .cluster()
+            .dfs()
+            .list()
+            .iter()
+            .all(|f| !f.contains("__q")));
+        // And the answer matches the oracle over the bases themselves.
+        let qa = QueryBuilder::new("qa")
+            .relation(r.schema().clone())
+            .relation(s.schema().clone())
+            .join("r", "a", ThetaOp::Eq, "s", "a")
+            .project("r", "a")
+            .build()
+            .unwrap();
+        let want = canonicalize(engine.oracle(&qa).unwrap());
+        assert_eq!(canonicalize(a.output.into_rows()), want);
+    }
+
+    #[test]
+    fn concurrent_sql_tenants_can_reuse_aliases() {
+        let engine = Engine::with_units(8);
+        let r = random_rel("r", 50, 3, 15);
+        let s = random_rel("s", 45, 4, 15);
+        let _ = engine.load_relation(&r);
+        let _ = engine.load_relation(&s);
+        let sql_a = "SELECT t1.a FROM r t1, s t2 WHERE t1.a <= t2.a";
+        let sql_b = "SELECT t1.a FROM s t1, r t2 WHERE t1.a < t2.a";
+        let results = engine.run_sql_many(&[sql_a, sql_b, sql_a, sql_b], &RunOptions::default());
+        for res in &results {
+            assert!(res.is_ok(), "{res:?}");
+        }
+        let a0 = canonicalize(results[0].as_ref().unwrap().output.rows().to_vec());
+        let a2 = canonicalize(results[2].as_ref().unwrap().output.rows().to_vec());
+        assert_eq!(a0, a2, "same SQL twice gives identical results");
+    }
+
+    #[test]
+    fn reload_refreshes_alias_stats_and_invalidates_plan_cache() {
+        let engine = Engine::with_units(8);
+        let r = random_rel("r", 60, 5, 20);
+        let s = random_rel("s", 50, 6, 20);
+        let _ = engine.load_relation(&r);
+        let _ = engine.load_relation(&s);
+        let _ = engine.load_alias_of("r", "t1").unwrap();
+        assert_eq!(engine.stats_of("t1").unwrap().cardinality, 60);
+        // A run populates the admission plan cache.
+        let q = QueryBuilder::new("q")
+            .relation(r.schema().clone())
+            .relation(s.schema().clone())
+            .join("r", "a", ThetaOp::Le, "s", "a")
+            .build()
+            .unwrap();
+        engine.run(&q, &RunOptions::default()).unwrap();
+        assert_eq!(engine.plan_cache_len(), 1);
+        let epoch = engine.stats_epoch();
+        // Reload `r` with different data: alias stats must follow and
+        // the epoch bump must invalidate the cached estimate.
+        let r2 = random_rel("r", 200, 7, 20);
+        let _ = engine.load_relation(&r2);
+        assert!(engine.stats_epoch() > epoch);
+        assert_eq!(engine.stats_of("r").unwrap().cardinality, 200);
+        assert_eq!(
+            engine.stats_of("t1").unwrap().cardinality,
+            200,
+            "alias stats must not survive a reload of their base"
+        );
+        // Alias rows re-share the reloaded base's storage.
+        let base = engine.relation("r").unwrap();
+        let alias = engine.relation("t1").unwrap();
+        assert!(std::ptr::eq(base.rows().as_ptr(), alias.rows().as_ptr()));
+        // Re-running replans (epoch mismatch) and still agrees with the
+        // oracle over the new data.
+        let want = canonicalize(engine.oracle(&q).unwrap());
+        let run = engine.run(&q, &RunOptions::default()).unwrap();
+        assert_eq!(canonicalize(run.output.into_rows()), want);
+    }
+
+    #[test]
+    fn reload_after_unload_still_refreshes_dependent_aliases() {
+        let engine = Engine::with_units(4);
+        let r = random_rel("r", 40, 21, 10);
+        let _ = engine.load_relation(&r);
+        let _ = engine.load_alias_of("r", "t1").unwrap();
+        assert!(engine.unload("r"));
+        // The alias binding survives the unload (snapshot semantics)…
+        assert_eq!(engine.stats_of("t1").unwrap().cardinality, 40);
+        // …but a reload of the base must still reach it.
+        let r2 = random_rel("r", 150, 22, 10);
+        let _ = engine.load_relation(&r2);
+        assert_eq!(
+            engine.stats_of("t1").unwrap().cardinality,
+            150,
+            "alias went stale across unload + reload"
+        );
+        let base = engine.relation("r").unwrap();
+        let alias = engine.relation("t1").unwrap();
+        assert!(std::ptr::eq(base.rows().as_ptr(), alias.rows().as_ptr()));
+    }
+
+    #[test]
+    fn reload_leaves_in_flight_internal_instances_untouched() {
+        let engine = Engine::with_units(4);
+        let r = random_rel("r", 40, 23, 10);
+        let _ = engine.load_relation(&r);
+        // Simulate an in-flight SQL run's internal instance.
+        let _ = engine.load_alias_of("r", "__q99_t1").unwrap();
+        let before = engine.relation("__q99_t1").unwrap();
+        let r2 = random_rel("r", 200, 24, 10);
+        let _ = engine.load_relation(&r2);
+        // The running query's snapshot must not be swapped under it.
+        let after = engine.relation("__q99_t1").unwrap();
+        assert!(std::ptr::eq(before.rows().as_ptr(), after.rows().as_ptr()));
+        assert_eq!(engine.stats_of("__q99_t1").unwrap().cardinality, 40);
+        // Public aliases do follow the reload.
+        assert_eq!(engine.stats_of("r").unwrap().cardinality, 200);
+    }
+
+    #[test]
+    fn internal_instance_detection_and_stripping() {
+        assert!(is_internal_instance("__q12_t1"));
+        assert!(is_internal_instance("__q0_x"));
+        assert!(!is_internal_instance("__query"));
+        assert!(!is_internal_instance("__q_t1"));
+        assert!(!is_internal_instance("t1"));
+        assert_eq!(
+            strip_query_namespaces("q: __q3_a ⋈ __q3_b ON __q3_a.x<__q3_b.x"),
+            "q: a ⋈ b ON a.x<b.x"
+        );
+        assert_eq!(strip_query_namespaces("__qx no match"), "__qx no match");
+    }
+
+    #[test]
+    fn unload_removes_instance_and_bumps_epoch() {
+        let engine = Engine::with_units(4);
+        let r = random_rel("r", 10, 8, 5);
+        let _ = engine.load_relation(&r);
+        let epoch = engine.stats_epoch();
+        assert!(engine.unload("r"));
+        assert!(!engine.unload("r"));
+        assert!(engine.stats_epoch() > epoch);
+        assert!(engine.relation("r").is_none());
+        assert!(engine.cluster().dfs().get("r").is_none());
     }
 
     #[test]

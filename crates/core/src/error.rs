@@ -1,5 +1,6 @@
 //! The workspace-wide error type surfaced by the public API.
 
+use crate::scheduler::AdmissionError;
 use mwtj_mapreduce::ExecError;
 use mwtj_planner::PlanError;
 use std::fmt;
@@ -30,6 +31,9 @@ pub enum EngineError {
         /// The base table the caller asked for.
         requested: String,
     },
+    /// The admission controller refused the query (scheduler shutting
+    /// down or admission queue full); the query never started.
+    Admission(AdmissionError),
     /// SQL parsing or query compilation failed.
     Sql(mwtj_storage::Error),
     /// The planner could not produce or execute a plan.
@@ -53,6 +57,7 @@ impl fmt::Display for EngineError {
                 f,
                 "alias `{alias}` is bound to `{bound_to}`; cannot rebind it to `{requested}`"
             ),
+            EngineError::Admission(e) => write!(f, "{e}"),
             EngineError::Sql(e) => write!(f, "SQL error: {e}"),
             EngineError::Plan(e) => write!(f, "planning error: {e}"),
             EngineError::Exec(e) => write!(f, "execution error: {e}"),
@@ -63,11 +68,18 @@ impl fmt::Display for EngineError {
 impl std::error::Error for EngineError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
+            EngineError::Admission(e) => Some(e),
             EngineError::Sql(e) => Some(e),
             EngineError::Plan(e) => Some(e),
             EngineError::Exec(e) => Some(e),
             EngineError::RelationNotLoaded { .. } | EngineError::AliasConflict { .. } => None,
         }
+    }
+}
+
+impl From<AdmissionError> for EngineError {
+    fn from(e: AdmissionError) -> Self {
+        EngineError::Admission(e)
     }
 }
 

@@ -55,8 +55,10 @@ pub mod benchqueries;
 pub mod engine;
 pub mod error;
 pub mod options;
+pub mod scheduler;
 
 pub use benchqueries::{mobile_query, tpch_query, MobileQuery, TpchQuery};
 pub use engine::{Engine, LoadReport, Session, RID_COLUMN};
 pub use error::EngineError;
 pub use options::{Method, RunOptions};
+pub use scheduler::{AdmissionError, AdmissionPolicy, Scheduler, SchedulerStats, Ticket};

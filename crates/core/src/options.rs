@@ -84,7 +84,7 @@ impl FromStr for Method {
 ///     .partition(PartitionStrategy::Grid);
 /// assert_eq!(opts.to_string(), "ours:grid");
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct RunOptions {
     method: Method,
     partition: Option<PartitionStrategy>,
@@ -155,6 +155,7 @@ impl RunOptions {
         ExecOptions {
             strategy: self.effective_partition(),
             faults: self.faults.clone(),
+            ..ExecOptions::default()
         }
     }
 }
@@ -166,15 +167,18 @@ impl From<Method> for RunOptions {
 }
 
 impl fmt::Display for RunOptions {
-    /// `method[:partition][+faults][+calibrated]` — the partition is
-    /// printed only when it overrides the method default.
+    /// `method[:partition][+faults=p@seed/attempts][+calibrated]` —
+    /// the partition is printed only when it overrides the method
+    /// default. Every printed form parses back to an equal value
+    /// (`FromStr` is the exact inverse; the wire protocol relies on
+    /// it).
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.method)?;
         if let Some(p) = self.partition {
             write!(f, ":{p}")?;
         }
-        if self.faults.is_some() {
-            write!(f, "+faults")?;
+        if let Some(faults) = &self.faults {
+            write!(f, "+faults={faults}")?;
         }
         if self.calibrate {
             write!(f, "+calibrated")?;
@@ -186,17 +190,21 @@ impl fmt::Display for RunOptions {
 impl FromStr for RunOptions {
     type Err = String;
 
-    /// Parse `method[:partition][+calibrated]` (e.g. `ours`,
-    /// `ours:grid`, `hive+calibrated`). Fault plans carry seeds and
-    /// probabilities, so they are not parseable from the short form.
+    /// Parse `method[:partition][+faults=p@seed/attempts][+calibrated]`
+    /// (e.g. `ours`, `ours:grid`, `hive+calibrated`,
+    /// `pig+faults=0.25@99/4`) — exactly the forms `Display` prints.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let mut opts = RunOptions::new();
         let mut parts = s.split('+');
         let head = parts.next().unwrap_or_default();
         for flag in parts {
-            match flag.trim().to_ascii_lowercase().as_str() {
+            let lower = flag.trim().to_ascii_lowercase();
+            match lower.as_str() {
                 "calibrated" => opts.calibrate = true,
-                other => return Err(format!("unknown run-option flag `{other}`")),
+                _ => match lower.strip_prefix("faults=") {
+                    Some(plan) => opts.faults = Some(plan.parse()?),
+                    None => return Err(format!("unknown run-option flag `{lower}`")),
+                },
             }
         }
         let (method, partition) = match head.split_once(':') {
@@ -246,5 +254,18 @@ mod tests {
         );
         assert!("ours+turbo".parse::<RunOptions>().is_err());
         assert!("ours:diagonal".parse::<RunOptions>().is_err());
+    }
+
+    #[test]
+    fn fault_plans_roundtrip_through_option_strings() {
+        let opts = RunOptions::new()
+            .method(Method::Pig)
+            .fault_plan(mwtj_mapreduce::FaultPlan::with_probability(0.25, 99));
+        let s = opts.to_string();
+        assert_eq!(s, "pig+faults=0.25@99/4");
+        assert_eq!(s.parse::<RunOptions>().unwrap(), opts);
+        // Bare `+faults` (the old asymmetric form) is rejected.
+        assert!("ours+faults".parse::<RunOptions>().is_err());
+        assert!("ours+faults=bogus".parse::<RunOptions>().is_err());
     }
 }

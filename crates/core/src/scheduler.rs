@@ -1,0 +1,457 @@
+//! Admission-controlled scheduling of concurrent queries against the
+//! shared `k_P` unit budget.
+//!
+//! The paper's cost model (Eq. 2–4) prices every plan against a fixed
+//! cluster of `k_P` processing units, and the malleable scheduler
+//! (§5.3) packs one query's jobs into that budget. A serving system
+//! runs *many* queries at once, so the budget must be shared: the
+//! [`Scheduler`] hands each query a reservation — a `k_P` slice sized
+//! from the planner's cost estimate — and guarantees the aggregate of
+//! in-flight reservations never exceeds `k_P`.
+//!
+//! When the cluster is oversubscribed an arriving query either
+//! *degrades* (accepts the units currently free and replans at that
+//! smaller `k`, if the free slice is at least [`AdmissionPolicy::
+//! degrade_floor`] of what it wanted) or *queues* until enough units
+//! free up. Reservations are RAII [`Ticket`]s: dropping one returns
+//! its units and wakes the queue.
+
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// Why a query could not be admitted.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AdmissionError {
+    /// The scheduler was shut down (server draining); queued and new
+    /// queries are refused so the process can exit.
+    ShuttingDown,
+    /// The admission queue is at its configured depth limit; the
+    /// caller should back off and retry.
+    QueueFull {
+        /// Queries already waiting.
+        depth: usize,
+        /// The configured limit.
+        limit: usize,
+    },
+}
+
+impl fmt::Display for AdmissionError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AdmissionError::ShuttingDown => {
+                write!(f, "admission refused: scheduler is shutting down")
+            }
+            AdmissionError::QueueFull { depth, limit } => {
+                write!(
+                    f,
+                    "admission refused: queue full ({depth} waiting, limit {limit})"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for AdmissionError {}
+
+/// Knobs governing how oversubscription is resolved.
+#[derive(Debug, Clone)]
+pub struct AdmissionPolicy {
+    /// Smallest fraction of its desired units a query will accept as a
+    /// degraded grant (`0.0` = take any free unit, `1.0` = never
+    /// degrade, always queue for the full ask). Default `0.5`.
+    pub degrade_floor: f64,
+    /// Maximum queries allowed to wait in the admission queue before
+    /// new arrivals are refused with [`AdmissionError::QueueFull`].
+    /// `None` = unbounded (library default; servers should bound it).
+    pub max_queue: Option<usize>,
+}
+
+impl Default for AdmissionPolicy {
+    fn default() -> Self {
+        AdmissionPolicy {
+            degrade_floor: 0.5,
+            max_queue: None,
+        }
+    }
+}
+
+/// A snapshot of the scheduler's counters (all monotonic except
+/// `in_flight_units` and `queued_now`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SchedulerStats {
+    /// The shared budget `k_P`.
+    pub budget: u32,
+    /// Units currently reserved by running queries.
+    pub in_flight_units: u32,
+    /// The largest `in_flight_units` ever observed — the invariant
+    /// `peak_in_flight_units <= budget` is what admission control
+    /// guarantees.
+    pub peak_in_flight_units: u32,
+    /// Queries currently waiting for units.
+    pub queued_now: u32,
+    /// Total queries admitted.
+    pub admitted: u64,
+    /// Admissions granted fewer units than desired (degraded replans).
+    pub degraded: u64,
+    /// Admissions that had to wait for units before being granted.
+    pub queued: u64,
+}
+
+struct State {
+    in_flight: u32,
+    peak: u32,
+    queued_now: u32,
+    admitted: u64,
+    degraded: u64,
+    queued: u64,
+    shutdown: bool,
+}
+
+struct Inner {
+    budget: u32,
+    policy: AdmissionPolicy,
+    state: Mutex<State>,
+    cv: Condvar,
+    next_ticket: AtomicU64,
+}
+
+/// The admission controller: a shared `k_P` unit budget that concurrent
+/// queries reserve slices of. Cheap to clone (all clones share state).
+#[derive(Clone)]
+pub struct Scheduler {
+    inner: Arc<Inner>,
+}
+
+impl Scheduler {
+    /// A scheduler over a budget of `k_P` units with `policy`.
+    pub fn with_policy(budget: u32, policy: AdmissionPolicy) -> Self {
+        Scheduler {
+            inner: Arc::new(Inner {
+                budget: budget.max(1),
+                policy,
+                state: Mutex::new(State {
+                    in_flight: 0,
+                    peak: 0,
+                    queued_now: 0,
+                    admitted: 0,
+                    degraded: 0,
+                    queued: 0,
+                    shutdown: false,
+                }),
+                cv: Condvar::new(),
+                next_ticket: AtomicU64::new(1),
+            }),
+        }
+    }
+
+    /// A scheduler over a budget of `k_P` units with the default
+    /// [`AdmissionPolicy`].
+    pub fn new(budget: u32) -> Self {
+        Self::with_policy(budget, AdmissionPolicy::default())
+    }
+
+    /// The shared budget `k_P`.
+    pub fn budget(&self) -> u32 {
+        self.inner.budget
+    }
+
+    /// Reserve a slice of the budget for a query that wants `desired`
+    /// units (clamped to `[1, k_P]`). Returns immediately when enough
+    /// units are free, returns a *degraded* (smaller) grant when the
+    /// free slice clears the policy floor, and otherwise blocks until
+    /// running queries release units.
+    ///
+    /// The returned [`Ticket`] releases its units on drop.
+    pub fn admit(&self, desired: u32) -> Result<Ticket, AdmissionError> {
+        let desired = desired.clamp(1, self.inner.budget);
+        let floor =
+            ((desired as f64 * self.inner.policy.degrade_floor).ceil() as u32).clamp(1, desired);
+        let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        let mut waited = false;
+        loop {
+            if state.shutdown {
+                if waited {
+                    state.queued_now -= 1;
+                }
+                return Err(AdmissionError::ShuttingDown);
+            }
+            let free = self.inner.budget - state.in_flight;
+            let granted = if free >= desired {
+                desired
+            } else if free >= floor {
+                free
+            } else {
+                0
+            };
+            if granted > 0 {
+                if waited {
+                    state.queued_now -= 1;
+                }
+                state.in_flight += granted;
+                state.peak = state.peak.max(state.in_flight);
+                state.admitted += 1;
+                if granted < desired {
+                    state.degraded += 1;
+                }
+                return Ok(Ticket {
+                    scheduler: Arc::clone(&self.inner),
+                    id: self.inner.next_ticket.fetch_add(1, Ordering::Relaxed),
+                    desired,
+                    granted,
+                    queued: waited,
+                });
+            }
+            if !waited {
+                if let Some(limit) = self.inner.policy.max_queue {
+                    if state.queued_now as usize >= limit {
+                        return Err(AdmissionError::QueueFull {
+                            depth: state.queued_now as usize,
+                            limit,
+                        });
+                    }
+                }
+                waited = true;
+                state.queued_now += 1;
+                state.queued += 1;
+            }
+            state = self.inner.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+    }
+
+    /// Refuse all queued and future admissions (server drain). Queries
+    /// already holding tickets run to completion.
+    pub fn shutdown(&self) {
+        let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.shutdown = true;
+        self.inner.cv.notify_all();
+    }
+
+    /// Whether [`Scheduler::shutdown`] has been called.
+    pub fn is_shutting_down(&self) -> bool {
+        self.inner
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .shutdown
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> SchedulerStats {
+        let state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        SchedulerStats {
+            budget: self.inner.budget,
+            in_flight_units: state.in_flight,
+            peak_in_flight_units: state.peak,
+            queued_now: state.queued_now,
+            admitted: state.admitted,
+            degraded: state.degraded,
+            queued: state.queued,
+        }
+    }
+}
+
+/// A live unit reservation. Dropping it returns the units to the
+/// budget and wakes queued queries.
+pub struct Ticket {
+    scheduler: Arc<Inner>,
+    id: u64,
+    desired: u32,
+    granted: u32,
+    queued: bool,
+}
+
+impl Ticket {
+    /// Unique id of this admission (stamped onto job metrics).
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Units the query asked for (its full-`k_P` plan's slice).
+    pub fn desired(&self) -> u32 {
+        self.desired
+    }
+
+    /// Units actually granted (≤ desired).
+    pub fn granted(&self) -> u32 {
+        self.granted
+    }
+
+    /// Whether the grant is smaller than the ask (the query must
+    /// replan at `granted()` units).
+    pub fn degraded(&self) -> bool {
+        self.granted < self.desired
+    }
+
+    /// Whether the query had to wait in the admission queue.
+    pub fn queued(&self) -> bool {
+        self.queued
+    }
+}
+
+impl fmt::Debug for Ticket {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Ticket")
+            .field("id", &self.id)
+            .field("desired", &self.desired)
+            .field("granted", &self.granted)
+            .field("queued", &self.queued)
+            .finish()
+    }
+}
+
+impl Drop for Ticket {
+    fn drop(&mut self) {
+        let mut state = self
+            .scheduler
+            .state
+            .lock()
+            .unwrap_or_else(|e| e.into_inner());
+        state.in_flight -= self.granted;
+        drop(state);
+        self.scheduler.cv.notify_all();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU32;
+    use std::time::Duration;
+
+    #[test]
+    fn grants_full_ask_when_free() {
+        let s = Scheduler::new(16);
+        let t = s.admit(8).unwrap();
+        assert_eq!(t.granted(), 8);
+        assert!(!t.degraded() && !t.queued());
+        assert_eq!(s.stats().in_flight_units, 8);
+        drop(t);
+        assert_eq!(s.stats().in_flight_units, 0);
+        assert_eq!(s.stats().peak_in_flight_units, 8);
+    }
+
+    #[test]
+    fn clamps_oversized_asks_to_budget() {
+        let s = Scheduler::new(4);
+        let t = s.admit(100).unwrap();
+        assert_eq!(t.granted(), 4);
+        assert!(!t.degraded(), "a clamped ask is not a degraded grant");
+    }
+
+    #[test]
+    fn degrades_to_free_slice_above_floor() {
+        let s = Scheduler::new(16);
+        let _hold = s.admit(10).unwrap(); // 6 free
+        let t = s.admit(8).unwrap(); // floor = 4 <= 6 -> degraded grant
+        assert_eq!(t.granted(), 6);
+        assert!(t.degraded());
+        assert_eq!(s.stats().degraded, 1);
+        assert_eq!(s.stats().in_flight_units, 16);
+    }
+
+    #[test]
+    fn queues_below_floor_and_wakes_on_release() {
+        let s = Scheduler::new(8);
+        let hold = s.admit(7).unwrap(); // 1 free, floor for 8 is 4
+        let s2 = s.clone();
+        let peak_seen = Arc::new(AtomicU32::new(0));
+        let p2 = Arc::clone(&peak_seen);
+        let waiter = std::thread::spawn(move || {
+            let t = s2.admit(8).unwrap();
+            p2.store(t.granted(), Ordering::SeqCst);
+            assert!(t.queued());
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(s.stats().queued_now, 1, "waiter must be queued");
+        drop(hold);
+        waiter.join().unwrap();
+        assert_eq!(peak_seen.load(Ordering::SeqCst), 8);
+        let st = s.stats();
+        assert!(st.peak_in_flight_units <= st.budget);
+        assert_eq!(st.queued, 1);
+    }
+
+    #[test]
+    fn never_degrades_with_floor_one() {
+        let s = Scheduler::with_policy(
+            8,
+            AdmissionPolicy {
+                degrade_floor: 1.0,
+                max_queue: None,
+            },
+        );
+        let hold = s.admit(5).unwrap();
+        // 3 free but floor = desired = 4: must queue, not degrade.
+        let s2 = s.clone();
+        let waiter = std::thread::spawn(move || s2.admit(4).unwrap().granted());
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(s.stats().queued_now, 1);
+        drop(hold);
+        assert_eq!(waiter.join().unwrap(), 4);
+        assert_eq!(s.stats().degraded, 0);
+    }
+
+    #[test]
+    fn bounded_queue_refuses_excess() {
+        let s = Scheduler::with_policy(
+            4,
+            AdmissionPolicy {
+                degrade_floor: 1.0,
+                max_queue: Some(1),
+            },
+        );
+        let _hold = s.admit(4).unwrap();
+        let s2 = s.clone();
+        let _waiter = std::thread::spawn(move || {
+            // Fills the one queue slot, then blocks until shutdown.
+            let _ = s2.admit(4);
+        });
+        std::thread::sleep(Duration::from_millis(50));
+        assert_eq!(
+            s.admit(4).unwrap_err(),
+            AdmissionError::QueueFull { depth: 1, limit: 1 }
+        );
+        s.shutdown();
+    }
+
+    #[test]
+    fn shutdown_drains_queue_with_typed_error() {
+        let s = Scheduler::new(2);
+        let _hold = s.admit(2).unwrap();
+        let s2 = s.clone();
+        let waiter = std::thread::spawn(move || s2.admit(2));
+        std::thread::sleep(Duration::from_millis(50));
+        s.shutdown();
+        assert_eq!(
+            waiter.join().unwrap().unwrap_err(),
+            AdmissionError::ShuttingDown
+        );
+        assert_eq!(s.admit(1).unwrap_err(), AdmissionError::ShuttingDown);
+        assert!(s.is_shutting_down());
+    }
+
+    #[test]
+    fn aggregate_reservations_never_exceed_budget_under_stress() {
+        let s = Scheduler::new(12);
+        let mut handles = Vec::new();
+        for i in 0..32u32 {
+            let s = s.clone();
+            handles.push(std::thread::spawn(move || {
+                for j in 0..20 {
+                    let t = s.admit(1 + (i * 7 + j) % 12).unwrap();
+                    assert!(t.granted() >= 1);
+                    std::thread::yield_now();
+                    drop(t);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        let st = s.stats();
+        assert_eq!(st.in_flight_units, 0);
+        assert!(st.peak_in_flight_units <= st.budget);
+        assert_eq!(st.admitted, 32 * 20);
+    }
+}

@@ -30,7 +30,7 @@ pub enum TaskKind {
 /// either fails or succeeds, decided by a seeded hash, with at most
 /// `max_attempts - 1` failures per task so jobs always finish
 /// (mirroring `mapreduce.map.maxattempts`, default 4).
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FaultPlan {
     /// Probability that any given attempt fails.
     pub fail_probability: f64,
@@ -94,6 +94,50 @@ impl FaultPlan {
     }
 }
 
+impl std::fmt::Display for FaultPlan {
+    /// `<probability>@<seed>/<max_attempts>`, e.g. `0.25@99/4` — the
+    /// compact form option strings and the wire protocol embed.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}@{}/{}",
+            self.fail_probability, self.seed, self.max_attempts
+        )
+    }
+}
+
+impl std::str::FromStr for FaultPlan {
+    type Err = String;
+
+    /// Parse `<probability>@<seed>[/<max_attempts>]` as printed by
+    /// `Display` (`max_attempts` defaults to 4, Hadoop's
+    /// `mapreduce.map.maxattempts`).
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let (p, rest) = s
+            .split_once('@')
+            .ok_or_else(|| format!("fault plan `{s}` missing `@` (expected p@seed[/attempts])"))?;
+        let (seed, attempts) = match rest.split_once('/') {
+            Some((seed, a)) => (
+                seed,
+                a.parse::<u32>().map_err(|e| format!("bad attempts: {e}"))?,
+            ),
+            None => (rest, 4),
+        };
+        let fail_probability: f64 = p.parse().map_err(|e| format!("bad probability: {e}"))?;
+        if !(0.0..1.0).contains(&fail_probability) {
+            return Err(format!("probability {fail_probability} outside [0,1)"));
+        }
+        if attempts < 1 {
+            return Err("max_attempts must be at least 1".into());
+        }
+        Ok(FaultPlan {
+            fail_probability,
+            max_attempts: attempts,
+            seed: seed.parse().map_err(|e| format!("bad seed: {e}"))?,
+        })
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -154,5 +198,27 @@ mod tests {
     #[should_panic(expected = "probability")]
     fn rejects_certain_failure() {
         FaultPlan::with_probability(1.0, 0);
+    }
+
+    #[test]
+    fn display_fromstr_roundtrip() {
+        for plan in [
+            FaultPlan::none(),
+            FaultPlan::with_probability(0.25, 99),
+            FaultPlan {
+                fail_probability: 0.1234567891011,
+                max_attempts: 7,
+                seed: u64::MAX,
+            },
+        ] {
+            let s = plan.to_string();
+            assert_eq!(s.parse::<FaultPlan>().unwrap(), plan, "{s}");
+        }
+        // Attempts default to 4 in the short form.
+        let p: FaultPlan = "0.5@7".parse().unwrap();
+        assert_eq!(p.max_attempts, 4);
+        for bad in ["", "0.5", "1.5@0/4", "0.5@x/4", "0.5@0/0", "-0.1@0/4"] {
+            assert!(bad.parse::<FaultPlan>().is_err(), "{bad}");
+        }
     }
 }

@@ -7,6 +7,11 @@
 pub struct JobMetrics {
     /// Job name.
     pub name: String,
+    /// Admission ticket of the query this job ran under (0 when the
+    /// job was not admission-controlled). Every job of one query run
+    /// carries the same ticket, so a server can attribute per-job
+    /// metrics to the client request that caused them.
+    pub ticket: u64,
     /// Number of map tasks (= input blocks).
     pub map_tasks: u32,
     /// Number of reduce tasks `n` (`RN(MRJ)` in the paper).

@@ -37,6 +37,23 @@ pub struct ExecOptions {
     pub strategy: PartitionStrategy,
     /// Fault plan for this run only; `None` uses the engine's plan.
     pub faults: Option<FaultPlan>,
+    /// Plan and execute against this many processing units instead of
+    /// the cluster's full `k_P` — the admission controller's
+    /// reduced-`k` replan entry point. `None` (or anything ≥ the
+    /// cluster's `k_P`) uses the full cluster; values are clamped to
+    /// `[1, k_P]`.
+    pub units: Option<u32>,
+    /// Admission ticket to stamp onto every [`JobMetrics`] this run
+    /// produces (0 = not admission-controlled).
+    pub ticket: u64,
+}
+
+impl ExecOptions {
+    /// The processing-unit budget this run may occupy on `cluster`.
+    fn effective_units(&self, cluster: &Cluster) -> u32 {
+        let k_p = cluster.config().processing_units;
+        self.units.map_or(k_p, |u| u.clamp(1, k_p))
+    }
 }
 
 /// Which baseline planner to emulate (§6's comparison systems).
@@ -70,6 +87,13 @@ pub struct QueryRun {
     pub real_secs: f64,
     /// Per-job metrics in execution order.
     pub jobs: Vec<JobMetrics>,
+    /// Admission ticket the run executed under (0 when the query was
+    /// not admission-controlled).
+    pub ticket: u64,
+    /// Processing units the run was granted (= the cluster's `k_P`
+    /// unless the admission controller degraded the query to a smaller
+    /// slice via [`ExecOptions::units`]).
+    pub granted_units: u32,
 }
 
 /// A summary of the chosen plan before execution (for inspection).
@@ -182,6 +206,40 @@ impl Planner {
         Ok((chosen, plan))
     }
 
+    /// The `k_P` slice a query will actually occupy when planned
+    /// against a `k_p`-unit cluster, plus its predicted makespan (the
+    /// Eq. 2 estimate the admission controller prices against the
+    /// shared budget).
+    ///
+    /// The slice is the peak concurrent unit usage across the plan's
+    /// shelves — except that a multi-candidate plan is followed by a
+    /// merge phase that runs on the full allotment, so it reserves all
+    /// of `k_p`.
+    pub fn estimate_units(
+        &self,
+        query: &MultiwayQuery,
+        stats: &[&RelationStats],
+        k_p: u32,
+    ) -> Result<(u32, f64), PlanError> {
+        let (chosen, plan) = self.try_plan_ours(query, stats, k_p)?;
+        if chosen.len() > 1 {
+            return Ok((k_p.max(1), plan.predicted_secs));
+        }
+        let n_shelves = plan.shelves.iter().copied().max().unwrap_or(0) + 1;
+        let mut peak = 1u32;
+        for shelf in 0..n_shelves {
+            let used: u32 = plan
+                .shelves
+                .iter()
+                .zip(&plan.allotments)
+                .filter(|(s, _)| **s == shelf)
+                .map(|(_, a)| (*a).max(1))
+                .sum();
+            peak = peak.max(used);
+        }
+        Ok((peak.clamp(1, k_p.max(1)), plan.predicted_secs))
+    }
+
     /// Rough cost of folding the chosen candidates' outputs together:
     /// walk the same largest-overlap merge order the executor uses,
     /// upper-bounding each join's output by the containment bound
@@ -278,7 +336,7 @@ impl Planner {
             cluster,
             &ExecOptions {
                 strategy,
-                faults: None,
+                ..ExecOptions::default()
             },
         )
         .unwrap_or_else(|e| panic!("{e}"))
@@ -299,7 +357,7 @@ impl Planner {
         let strategy = opts.strategy;
         let run_tag = fresh_run_tag();
         let wall = std::time::Instant::now();
-        let k_p = cluster.config().processing_units;
+        let k_p = opts.effective_units(cluster);
         let (chosen, plan) = self.try_plan_ours(query, stats, k_p)?;
         let cards: Vec<u64> = stats.iter().map(|s| s.cardinality as u64).collect();
 
@@ -405,6 +463,9 @@ impl Planner {
 
         // --- final projection (in-memory; trivial column selection) ---
         let output = project_rows(query, &final_shape, final_rows);
+        for m in &mut jobs_metrics {
+            m.ticket = opts.ticket;
+        }
         Ok(QueryRun {
             output,
             plan: plan_desc,
@@ -412,6 +473,8 @@ impl Planner {
             sim_secs,
             real_secs: wall.elapsed().as_secs_f64(),
             jobs: jobs_metrics,
+            ticket: opts.ticket,
+            granted_units: k_p,
         })
     }
 
@@ -535,7 +598,7 @@ impl Planner {
     ) -> Result<QueryRun, PlanError> {
         let run_tag = fresh_run_tag();
         let wall = std::time::Instant::now();
-        let k_p = cluster.config().processing_units;
+        let k_p = opts.effective_units(cluster);
         let compiled = query.compile()?;
         let order = cascade_order(query);
         let mut sim = 0.0;
@@ -612,7 +675,9 @@ impl Planner {
                     .unwrap_or_else(|| cluster.engine().fault_plan()),
             )?;
             sim += run.metrics.sim_total_secs;
-            metrics.push(run.metrics);
+            let mut m = run.metrics;
+            m.ticket = opts.ticket;
+            metrics.push(m);
             if !cur_is_base {
                 cluster.dfs().remove(&cur_file);
             }
@@ -628,6 +693,8 @@ impl Planner {
                     sim_secs: sim,
                     real_secs: wall.elapsed().as_secs_f64(),
                     jobs: metrics,
+                    ticket: opts.ticket,
+                    granted_units: k_p,
                 });
             }
             cur_file = out_file;

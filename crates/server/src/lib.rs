@@ -1,0 +1,43 @@
+//! # mwtj-server
+//!
+//! The serving front-end over [`mwtj_core::Engine`]: a long-lived
+//! binary (`mwtj-server`) speaking a length-prefixed line protocol
+//! over TCP, plus a `--stdin` line mode for tests and scripts.
+//!
+//! * [`protocol`] — frame codec ([`read_frame`]/[`write_frame`]) and
+//!   the [`Request`] grammar. Run options on the wire are exactly
+//!   `RunOptions`' `Display`/`FromStr` forms.
+//! * [`server`] — [`Server`] (TCP accept loop, thread per connection,
+//!   graceful drain), [`serve_lines`] (stdin mode), [`Client`], and
+//!   the demo catalog loader.
+//!
+//! Every `run` request is admission-controlled by the engine's
+//! [`Scheduler`](mwtj_core::Scheduler): concurrent clients share the
+//! cluster's `k_P` unit budget, queueing or degrading to a
+//! smaller-`k` replan when oversubscribed, instead of each query
+//! assuming the whole cluster.
+//!
+//! ```no_run
+//! use mwtj_core::{Engine, RunOptions};
+//! use mwtj_server::{load_demo, Client, Server};
+//!
+//! let engine = Engine::with_units(16);
+//! load_demo(&engine);
+//! let server = Server::bind(engine, "127.0.0.1:0").unwrap();
+//! let addr = server.local_addr().unwrap();
+//! std::thread::spawn(move || server.serve().unwrap());
+//!
+//! let mut client = Client::connect(addr).unwrap();
+//! let reply = client
+//!     .run_sql(&RunOptions::default(), "SELECT * FROM r x, s y WHERE x.a = y.a")
+//!     .unwrap();
+//! assert!(reply.starts_with("ok "));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod protocol;
+pub mod server;
+
+pub use protocol::{err_response, ok_response, read_frame, write_frame, Request, MAX_FRAME_BYTES};
+pub use server::{load_demo, serve_lines, Client, Server};

@@ -1,0 +1,156 @@
+//! `mwtj-server`: the long-lived query server binary.
+//!
+//! ```text
+//! mwtj-server [--listen ADDR] [--units K] [--max-queue N] [--demo]
+//! mwtj-server --stdin [--units K] [--max-queue N] [--demo]
+//! mwtj-server client ADDR REQUEST...
+//! ```
+//!
+//! The default mode binds a TCP listener and serves the framed
+//! protocol until a `shutdown` request. `--stdin` serves one-line
+//! requests from stdin (responses on stdout) — handy for scripts and
+//! CI. `client` sends a single request (the remaining arguments,
+//! joined) to a running server and prints the response; it exits
+//! non-zero if the response is an error.
+
+use mwtj_core::{AdmissionPolicy, Engine};
+use mwtj_server::{load_demo, serve_lines, Client, Server};
+use std::io::{self, BufReader};
+use std::process::ExitCode;
+
+struct Args {
+    listen: String,
+    units: u32,
+    max_queue: Option<usize>,
+    demo: bool,
+    stdin: bool,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: mwtj-server [--listen ADDR] [--units K] [--max-queue N] [--demo] [--stdin]\n\
+         \x20      mwtj-server client ADDR REQUEST..."
+    );
+    std::process::exit(2);
+}
+
+fn parse_args(args: &[String]) -> Args {
+    let mut out = Args {
+        listen: "127.0.0.1:7411".into(),
+        units: 16,
+        max_queue: Some(64),
+        demo: false,
+        stdin: false,
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--listen" => out.listen = it.next().unwrap_or_else(|| usage()).clone(),
+            "--units" => {
+                out.units = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
+            "--max-queue" => {
+                let v: i64 = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                out.max_queue = if v < 0 { None } else { Some(v as usize) };
+            }
+            "--demo" => out.demo = true,
+            "--stdin" => out.stdin = true,
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+    }
+    out
+}
+
+fn build_engine(args: &Args) -> Engine {
+    let policy = AdmissionPolicy {
+        max_queue: args.max_queue,
+        ..AdmissionPolicy::default()
+    };
+    let engine = Engine::with_units_and_policy(args.units, policy);
+    if args.demo {
+        load_demo(&engine);
+        eprintln!("loaded demo relations: r, s, t (columns a:int, b:int)");
+    }
+    engine
+}
+
+fn client_main(rest: &[String]) -> ExitCode {
+    let Some(addr) = rest.first() else { usage() };
+    if rest.len() < 2 {
+        usage();
+    }
+    let request = rest[1..].join(" ");
+    let mut client = match Client::connect(addr.as_str()) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("connect {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match client.request(&request) {
+        Ok(response) => {
+            // Tolerate a closed stdout (e.g. piped into `head`):
+            // a truncated print must not look like a failed request.
+            use std::io::Write as _;
+            let _ = writeln!(io::stdout(), "{response}");
+            if response.starts_with("err") {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        Err(e) => {
+            eprintln!("request failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.first().map(String::as_str) == Some("client") {
+        return client_main(&argv[1..]);
+    }
+    let args = parse_args(&argv);
+    let engine = build_engine(&args);
+    if args.stdin {
+        let stdin = io::stdin();
+        let mut stdout = io::stdout();
+        if let Err(e) = serve_lines(&engine, BufReader::new(stdin.lock()), &mut stdout) {
+            eprintln!("stdin serve failed: {e}");
+            return ExitCode::FAILURE;
+        }
+        return ExitCode::SUCCESS;
+    }
+    let server = match Server::bind(engine, &args.listen) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("bind {}: {e}", args.listen);
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => eprintln!(
+            "mwtj-server listening on {addr} ({} units); send `shutdown` to stop",
+            args.units
+        ),
+        Err(e) => eprintln!("mwtj-server listening ({e})"),
+    }
+    match server.serve() {
+        Ok(served) => {
+            eprintln!("mwtj-server: clean shutdown after {served} request(s)");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("serve failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

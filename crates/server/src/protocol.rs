@@ -1,0 +1,340 @@
+//! The wire protocol: length-prefixed UTF-8 frames carrying one-line
+//! commands with optional multi-line bodies.
+//!
+//! Framing: every message is a 4-byte big-endian payload length
+//! followed by that many bytes of UTF-8 text. The payload's first line
+//! is the command; the remaining lines are its body (SQL for `run`,
+//! CSV rows for `load`). Responses use the same framing: the first
+//! line starts with `ok` or `err`, followed by `key=value` tokens, and
+//! the body carries row data.
+//!
+//! Commands also parse from a *single* line (the `--stdin` CLI mode
+//! and the one-shot `client` subcommand), with the body inlined after
+//! the command words — `;` separating what would be body lines:
+//!
+//! ```text
+//! ping
+//! status
+//! tables
+//! run [options] <sql>              -- options = RunOptions FromStr form
+//! load <name> <col:type,...> [rows;rows;...]
+//! shutdown
+//! quit
+//! ```
+//!
+//! The option syntax is exactly [`RunOptions`]'s `Display`/`FromStr`
+//! round-trip (`ours`, `ours:grid`, `hive+calibrated`,
+//! `pig+faults=0.25@99/4`), so the wire format needs no parsing
+//! machinery of its own.
+
+use mwtj_core::RunOptions;
+use mwtj_storage::{DataType, Schema};
+use std::io::{self, Read, Write};
+
+/// Upper bound on a frame payload (defends the server against a
+/// hostile or corrupt length prefix).
+pub const MAX_FRAME_BYTES: u32 = 8 * 1024 * 1024;
+
+/// Write one frame.
+pub fn write_frame(w: &mut impl Write, payload: &str) -> io::Result<()> {
+    let bytes = payload.as_bytes();
+    if bytes.len() as u64 > MAX_FRAME_BYTES as u64 {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidInput,
+            format!("frame of {} bytes exceeds MAX_FRAME_BYTES", bytes.len()),
+        ));
+    }
+    w.write_all(&(bytes.len() as u32).to_be_bytes())?;
+    w.write_all(bytes)?;
+    w.flush()
+}
+
+/// Read one frame. `Ok(None)` is a clean end-of-stream (the peer
+/// closed between frames); an EOF *inside* a frame, an oversized
+/// length prefix, or invalid UTF-8 are errors.
+pub fn read_frame(r: &mut impl Read) -> io::Result<Option<String>> {
+    let mut len_buf = [0u8; 4];
+    match r.read(&mut len_buf[..1])? {
+        0 => return Ok(None),
+        _ => r.read_exact(&mut len_buf[1..])?,
+    }
+    let len = u32::from_be_bytes(len_buf);
+    if len > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {len} exceeds {MAX_FRAME_BYTES}"),
+        ));
+    }
+    let mut payload = vec![0u8; len as usize];
+    r.read_exact(&mut payload)?;
+    String::from_utf8(payload)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, format!("invalid UTF-8: {e}")))
+}
+
+/// A parsed client request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Liveness probe.
+    Ping,
+    /// Scheduler + catalog counters.
+    Status,
+    /// List loaded relations.
+    Tables,
+    /// Execute SQL under the given run options.
+    Run {
+        /// Parsed run options (default when omitted).
+        opts: RunOptions,
+        /// The SQL text.
+        sql: String,
+    },
+    /// Load a relation from CSV rows.
+    Load {
+        /// Relation name.
+        name: String,
+        /// Parsed schema from the `col:type,...` spec.
+        schema: Schema,
+        /// CSV rows (newline-separated).
+        csv: String,
+    },
+    /// Drop a loaded relation.
+    Unload {
+        /// Relation name.
+        name: String,
+    },
+    /// Stop the server after in-flight queries finish.
+    Shutdown,
+    /// Close this connection only.
+    Quit,
+}
+
+impl Request {
+    /// Parse a request payload: first line = command words, remaining
+    /// lines = body. A single-line form inlines the body after the
+    /// command words (with `;` for body line breaks).
+    pub fn parse(payload: &str) -> Result<Request, String> {
+        let mut lines = payload.splitn(2, '\n');
+        let head = lines.next().unwrap_or_default().trim();
+        let body = lines.next().unwrap_or_default();
+        let mut words = head.split_whitespace();
+        let cmd = words.next().ok_or("empty request")?;
+        match cmd.to_ascii_lowercase().as_str() {
+            "ping" => Ok(Request::Ping),
+            "status" => Ok(Request::Status),
+            "tables" => Ok(Request::Tables),
+            "shutdown" => Ok(Request::Shutdown),
+            "quit" | "exit" => Ok(Request::Quit),
+            "run" => {
+                let rest = head["run".len()..].trim_start();
+                // `run [options] <sql…>`: the first word is options iff
+                // it parses as RunOptions; otherwise the SQL starts
+                // immediately (default options).
+                let (opts, inline) = match rest.split_whitespace().next() {
+                    Some(first) => match first.parse::<RunOptions>() {
+                        Ok(opts) => (opts, rest[first.len()..].trim_start()),
+                        Err(_) => (RunOptions::default(), rest),
+                    },
+                    None => (RunOptions::default(), rest),
+                };
+                let mut sql = String::new();
+                if !inline.is_empty() {
+                    sql.push_str(inline);
+                    sql.push('\n');
+                }
+                sql.push_str(body);
+                let sql = sql.trim().to_string();
+                if sql.is_empty() {
+                    return Err("run: missing SQL text".into());
+                }
+                Ok(Request::Run { opts, sql })
+            }
+            "load" => {
+                let name = words.next().ok_or("load: missing relation name")?;
+                let spec = words.next().ok_or("load: missing column spec")?;
+                let schema = parse_colspec(name, spec)?;
+                // Inline rows (if any) use `;` as the row separator.
+                let inline: String = words.collect::<Vec<_>>().join(" ").replace(';', "\n");
+                let mut csv = String::new();
+                if !inline.trim().is_empty() {
+                    csv.push_str(inline.trim());
+                    csv.push('\n');
+                }
+                csv.push_str(body);
+                Ok(Request::Load {
+                    name: name.to_string(),
+                    schema,
+                    csv,
+                })
+            }
+            "unload" => {
+                let name = words.next().ok_or("unload: missing relation name")?;
+                Ok(Request::Unload {
+                    name: name.to_string(),
+                })
+            }
+            other => Err(format!(
+                "unknown command `{other}` (expected ping, status, tables, run, load, unload, shutdown or quit)"
+            )),
+        }
+    }
+}
+
+/// Parse a `col:type,...` schema spec (`int`, `double`/`float`, `str`).
+fn parse_colspec(name: &str, spec: &str) -> Result<Schema, String> {
+    let mut pairs = Vec::new();
+    for part in spec.split(',') {
+        let (col, ty) = part
+            .split_once(':')
+            .ok_or_else(|| format!("column spec `{part}` missing `:type`"))?;
+        let dt = match ty.to_ascii_lowercase().as_str() {
+            "int" | "i64" => DataType::Int,
+            "double" | "float" | "f64" => DataType::Double,
+            "str" | "string" | "text" => DataType::Str,
+            other => return Err(format!("unknown column type `{other}`")),
+        };
+        if col.is_empty() {
+            return Err(format!("empty column name in `{part}`"));
+        }
+        pairs.push((col.to_string(), dt));
+    }
+    if pairs.is_empty() {
+        return Err("empty column spec".into());
+    }
+    let refs: Vec<(&str, DataType)> = pairs.iter().map(|(c, t)| (c.as_str(), *t)).collect();
+    Ok(Schema::from_pairs(name, &refs))
+}
+
+/// Build an `ok` response: a header of `key=value` tokens plus an
+/// optional body.
+pub fn ok_response(fields: &[(&str, String)], body: Option<&str>) -> String {
+    let mut out = String::from("ok");
+    for (k, v) in fields {
+        out.push(' ');
+        out.push_str(k);
+        out.push('=');
+        out.push_str(v);
+    }
+    if let Some(b) = body {
+        out.push('\n');
+        out.push_str(b);
+    }
+    out
+}
+
+/// Build an `err` response.
+pub fn err_response(detail: impl std::fmt::Display) -> String {
+    format!("err {detail}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwtj_core::Method;
+
+    #[test]
+    fn frames_roundtrip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "hello\nworld").unwrap();
+        write_frame(&mut buf, "").unwrap();
+        let mut r = io::Cursor::new(buf);
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some("hello\nworld"));
+        assert_eq!(read_frame(&mut r).unwrap().as_deref(), Some(""));
+        assert_eq!(read_frame(&mut r).unwrap(), None, "clean EOF");
+    }
+
+    #[test]
+    fn truncated_and_oversized_frames_are_errors() {
+        // EOF inside the length prefix.
+        let mut r = io::Cursor::new(vec![0u8, 0]);
+        assert!(read_frame(&mut r).is_err());
+        // EOF inside the payload.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&10u32.to_be_bytes());
+        buf.extend_from_slice(b"abc");
+        assert!(read_frame(&mut io::Cursor::new(buf)).is_err());
+        // Hostile length prefix: refused before allocating.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&u32::MAX.to_be_bytes());
+        assert!(read_frame(&mut io::Cursor::new(buf)).is_err());
+        // Invalid UTF-8.
+        let mut buf = Vec::new();
+        buf.extend_from_slice(&2u32.to_be_bytes());
+        buf.extend_from_slice(&[0xff, 0xfe]);
+        assert!(read_frame(&mut io::Cursor::new(buf)).is_err());
+    }
+
+    #[test]
+    fn parses_run_with_and_without_options() {
+        let r =
+            Request::parse("run hive+calibrated SELECT * FROM r a, s b WHERE a.x < b.x").unwrap();
+        match r {
+            Request::Run { opts, sql } => {
+                assert_eq!(opts.get_method(), Method::Hive);
+                assert!(opts.wants_calibration());
+                assert!(sql.starts_with("SELECT"));
+            }
+            other => panic!("{other:?}"),
+        }
+        // No options: SQL starts right after `run`.
+        let r = Request::parse("run SELECT * FROM r a, s b WHERE a.x = b.x").unwrap();
+        match r {
+            Request::Run { opts, sql } => {
+                assert_eq!(opts, RunOptions::default());
+                assert!(sql.starts_with("SELECT"));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Framed form: SQL in the body.
+        let r = Request::parse("run ours:grid\nSELECT *\nFROM r a, s b\nWHERE a.x = b.x").unwrap();
+        match r {
+            Request::Run { sql, .. } => assert!(sql.contains('\n')),
+            other => panic!("{other:?}"),
+        }
+        assert!(Request::parse("run").is_err());
+        assert!(Request::parse("run ours").is_err(), "options but no SQL");
+    }
+
+    #[test]
+    fn parses_load_inline_and_body() {
+        let r = Request::parse("load r a:int,b:double 1,2.5;3,4.5").unwrap();
+        match r {
+            Request::Load { name, schema, csv } => {
+                assert_eq!(name, "r");
+                assert_eq!(schema.arity(), 2);
+                assert_eq!(csv.trim().lines().count(), 2);
+            }
+            other => panic!("{other:?}"),
+        }
+        let r = Request::parse("load s k:int\n7\n8\n9").unwrap();
+        match r {
+            Request::Load { csv, .. } => assert_eq!(csv.lines().count(), 3),
+            other => panic!("{other:?}"),
+        }
+        assert!(Request::parse("load").is_err());
+        assert!(Request::parse("load r").is_err());
+        assert!(Request::parse("load r a:blob 1").is_err());
+        assert!(Request::parse("load r a 1").is_err());
+    }
+
+    #[test]
+    fn parses_simple_commands_and_rejects_garbage() {
+        assert_eq!(Request::parse("ping").unwrap(), Request::Ping);
+        assert_eq!(Request::parse("  STATUS  ").unwrap(), Request::Status);
+        assert_eq!(Request::parse("tables").unwrap(), Request::Tables);
+        assert_eq!(Request::parse("shutdown").unwrap(), Request::Shutdown);
+        assert_eq!(Request::parse("quit").unwrap(), Request::Quit);
+        assert_eq!(
+            Request::parse("unload r").unwrap(),
+            Request::Unload { name: "r".into() }
+        );
+        assert!(Request::parse("").is_err());
+        assert!(Request::parse("explode").is_err());
+    }
+
+    #[test]
+    fn response_builders() {
+        let ok = ok_response(&[("rows", "3".into())], Some("a,b\n1,2"));
+        assert!(ok.starts_with("ok rows=3\n"));
+        assert_eq!(err_response("boom"), "err boom");
+    }
+}

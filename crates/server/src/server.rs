@@ -1,0 +1,345 @@
+//! The long-lived query server: a TCP accept loop (thread per
+//! connection) and a line-oriented stdin mode, both dispatching the
+//! same [`Request`]s against a shared [`Engine`].
+//!
+//! Every `run` request flows through the engine's admission-controlled
+//! scheduler, so concurrent clients share the cluster's `k_P` unit
+//! budget (queueing or degrading under oversubscription) instead of
+//! each assuming the whole cluster.
+//!
+//! Shutdown is graceful: a `shutdown` request (or flipping the handle
+//! from [`Server::shutdown_handle`]) stops the accept loop, refuses
+//! new admissions, unblocks idle connections, and joins every worker
+//! before [`Server::serve`] returns.
+
+use crate::protocol::{err_response, ok_response, read_frame, write_frame, Request};
+use mwtj_core::Engine;
+use mwtj_storage::{csv, tuple, DataType, Relation, Schema};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::collections::HashMap;
+use std::io::{self, BufRead, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// What a handled request asks the connection/server to do next.
+enum Action {
+    /// Keep serving this connection.
+    Continue,
+    /// Close this connection.
+    Quit,
+    /// Drain and stop the whole server.
+    Shutdown,
+}
+
+/// A bound, not-yet-serving query server.
+pub struct Server {
+    engine: Engine,
+    listener: TcpListener,
+    shutdown: Arc<AtomicBool>,
+    requests: Arc<AtomicU64>,
+}
+
+impl Server {
+    /// Bind to `addr` (use port 0 for an ephemeral test port).
+    pub fn bind(engine: Engine, addr: &str) -> io::Result<Server> {
+        Ok(Server {
+            engine,
+            listener: TcpListener::bind(addr)?,
+            shutdown: Arc::new(AtomicBool::new(false)),
+            requests: Arc::new(AtomicU64::new(0)),
+        })
+    }
+
+    /// The bound address (the actual port when bound to port 0).
+    pub fn local_addr(&self) -> io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A handle that stops the server when set to `true` (tests,
+    /// signal handlers).
+    pub fn shutdown_handle(&self) -> Arc<AtomicBool> {
+        Arc::clone(&self.shutdown)
+    }
+
+    /// The engine this server fronts.
+    pub fn engine(&self) -> &Engine {
+        &self.engine
+    }
+
+    /// Accept and serve connections until a `shutdown` request (or the
+    /// shutdown handle) fires, then drain: refuse new admissions,
+    /// unblock idle connections and join every worker. Returns the
+    /// total number of requests served.
+    pub fn serve(self) -> io::Result<u64> {
+        self.listener.set_nonblocking(true)?;
+        // One clone per *live* connection, so drain can unblock parked
+        // reads; each handler removes its own entry on exit (a closed
+        // connection must not pin its fd for the server's lifetime).
+        let conns: Arc<Mutex<HashMap<u64, TcpStream>>> = Arc::new(Mutex::new(HashMap::new()));
+        let mut next_conn: u64 = 0;
+        let mut workers: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !self.shutdown.load(Ordering::SeqCst) {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    stream.set_nonblocking(false)?;
+                    let conn_id = next_conn;
+                    next_conn += 1;
+                    match stream.try_clone() {
+                        Ok(clone) => {
+                            conns
+                                .lock()
+                                .unwrap_or_else(|e| e.into_inner())
+                                .insert(conn_id, clone);
+                        }
+                        // Without a registered clone the drain path
+                        // could never unblock this connection's parked
+                        // read, and shutdown would hang on the join —
+                        // refuse the connection instead (fd pressure is
+                        // the likely cause anyway).
+                        Err(_) => continue,
+                    }
+                    let engine = self.engine.clone();
+                    let shutdown = Arc::clone(&self.shutdown);
+                    let requests = Arc::clone(&self.requests);
+                    let conns = Arc::clone(&conns);
+                    workers.push(std::thread::spawn(move || {
+                        handle_connection(&engine, stream, &shutdown, &requests);
+                        conns
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .remove(&conn_id);
+                    }));
+                    workers.retain(|w| !w.is_finished());
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(5));
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        // Drain: no new admissions (in-flight queries finish), then
+        // unblock connections parked in read_frame and join workers.
+        // Shutting down only the *read* half keeps the write half open,
+        // so a worker still executing a query can deliver its response
+        // before closing.
+        self.engine.scheduler().shutdown();
+        for (_, conn) in conns.lock().unwrap_or_else(|e| e.into_inner()).drain() {
+            let _ = conn.shutdown(std::net::Shutdown::Read);
+        }
+        for w in workers {
+            let _ = w.join();
+        }
+        Ok(self.requests.load(Ordering::SeqCst))
+    }
+}
+
+/// Serve one connection until it quits, disconnects, breaks framing,
+/// or the server shuts down.
+fn handle_connection(
+    engine: &Engine,
+    mut stream: TcpStream,
+    shutdown: &AtomicBool,
+    requests: &AtomicU64,
+) {
+    loop {
+        match read_frame(&mut stream) {
+            Ok(Some(payload)) => {
+                requests.fetch_add(1, Ordering::Relaxed);
+                let (response, action) = handle_request(engine, &payload);
+                if let Err(e) = write_frame(&mut stream, &response) {
+                    // A response body over the frame limit is refused
+                    // before any bytes hit the wire, so the stream is
+                    // still in sync — tell the client instead of
+                    // silently hanging up on it.
+                    let too_large = e.kind() == io::ErrorKind::InvalidInput;
+                    if !too_large
+                        || write_frame(
+                            &mut stream,
+                            &err_response(format!("response too large: {e}")),
+                        )
+                        .is_err()
+                    {
+                        break; // client went away mid-response
+                    }
+                }
+                match action {
+                    Action::Continue => {}
+                    Action::Quit => break,
+                    Action::Shutdown => {
+                        shutdown.store(true, Ordering::SeqCst);
+                        break;
+                    }
+                }
+            }
+            // Clean disconnect between frames (includes the drain path,
+            // where the server side closed the socket).
+            Ok(None) => break,
+            // Malformed frame (bad length, truncation, invalid UTF-8):
+            // the stream cannot be trusted past this point, so answer
+            // best-effort and close.
+            Err(e) => {
+                let _ = write_frame(&mut stream, &err_response(format!("bad frame: {e}")));
+                break;
+            }
+        }
+        if shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+    // The drain registry holds a clone of this stream, so dropping our
+    // handle alone would leave the connection half-open; shut the
+    // socket down explicitly so the peer sees EOF.
+    let _ = stream.shutdown(std::net::Shutdown::Both);
+}
+
+/// Dispatch one request. Infallible: every failure becomes an `err`
+/// response.
+fn handle_request(engine: &Engine, payload: &str) -> (String, Action) {
+    let request = match Request::parse(payload) {
+        Ok(r) => r,
+        Err(e) => return (err_response(e), Action::Continue),
+    };
+    match request {
+        Request::Ping => ("ok pong".into(), Action::Continue),
+        Request::Quit => ("ok bye".into(), Action::Quit),
+        Request::Shutdown => ("ok draining".into(), Action::Shutdown),
+        Request::Status => {
+            let st = engine.scheduler().stats();
+            let fields = [
+                ("budget", st.budget.to_string()),
+                ("in_flight", st.in_flight_units.to_string()),
+                ("peak", st.peak_in_flight_units.to_string()),
+                ("queued_now", st.queued_now.to_string()),
+                ("admitted", st.admitted.to_string()),
+                ("degraded", st.degraded.to_string()),
+                ("queued", st.queued.to_string()),
+                ("relations", engine.loaded_instances().len().to_string()),
+                ("epoch", engine.stats_epoch().to_string()),
+            ];
+            (ok_response(&fields, None), Action::Continue)
+        }
+        Request::Tables => {
+            let instances = engine.loaded_instances();
+            let body: String = instances
+                .iter()
+                .map(|(name, rows)| format!("{name},{rows}"))
+                .collect::<Vec<_>>()
+                .join("\n");
+            (
+                ok_response(&[("relations", instances.len().to_string())], Some(&body)),
+                Action::Continue,
+            )
+        }
+        Request::Load { name, schema, csv } => match csv::parse_csv(&schema, &csv) {
+            Ok(rel) => {
+                let report = engine.load_relation(&rel);
+                let fields = [
+                    ("relation", name),
+                    ("rows", rel.len().to_string()),
+                    ("upload_secs", format!("{:.6}", report.upload_secs)),
+                    ("sampling_secs", format!("{:.6}", report.sampling_secs)),
+                ];
+                (ok_response(&fields, None), Action::Continue)
+            }
+            Err(e) => (err_response(e), Action::Continue),
+        },
+        Request::Unload { name } => {
+            let existed = engine.unload(&name);
+            (
+                ok_response(&[("unloaded", existed.to_string())], None),
+                Action::Continue,
+            )
+        }
+        Request::Run { opts, sql } => match engine.run_sql_with("server", &sql, &opts) {
+            Err(e) => (err_response(e), Action::Continue),
+            Ok(run) => {
+                let body = csv::to_csv(&run.output);
+                let fields = [
+                    ("rows", run.output.len().to_string()),
+                    ("cols", run.output.schema().arity().to_string()),
+                    ("units", run.granted_units.to_string()),
+                    ("ticket", run.ticket.to_string()),
+                    ("sim_secs", format!("{:.6}", run.sim_secs)),
+                    ("predicted_secs", format!("{:.6}", run.predicted_secs)),
+                ];
+                (
+                    ok_response(&fields, Some(body.trim_end())),
+                    Action::Continue,
+                )
+            }
+        },
+    }
+}
+
+/// Serve newline-delimited single-line requests from `input`, writing
+/// one response line-block per request to `out` — the `--stdin` mode
+/// CI and scripts drive. Stops at EOF, `quit` or `shutdown`.
+pub fn serve_lines(engine: &Engine, input: impl BufRead, out: &mut impl Write) -> io::Result<()> {
+    for line in input.lines() {
+        let line = line?;
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, action) = handle_request(engine, &line);
+        writeln!(out, "{response}")?;
+        out.flush()?;
+        match action {
+            Action::Continue => {}
+            Action::Quit | Action::Shutdown => break,
+        }
+    }
+    engine.scheduler().shutdown();
+    Ok(())
+}
+
+/// Load the three-relation demo catalog (`r`, `s`, `t`; integer
+/// columns `a`, `b`) used by the quick-start and the CI smoke test.
+pub fn load_demo(engine: &Engine) {
+    let mut rng = StdRng::seed_from_u64(0xd47a);
+    for (name, n, domain) in [("r", 240usize, 40i64), ("s", 180, 40), ("t", 120, 40)] {
+        let schema = Schema::from_pairs(name, &[("a", DataType::Int), ("b", DataType::Int)]);
+        let rows = (0..n)
+            .map(|_| tuple![rng.gen_range(0..domain), rng.gen_range(0..domain)])
+            .collect();
+        let _ = engine.load_relation(&Relation::from_rows_unchecked(schema, rows));
+    }
+}
+
+/// A blocking client for the framed TCP protocol.
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connect to a server.
+    pub fn connect<A: ToSocketAddrs>(addr: A) -> io::Result<Client> {
+        Ok(Client {
+            stream: TcpStream::connect(addr)?,
+        })
+    }
+
+    /// Send one request payload and wait for its response payload.
+    pub fn request(&mut self, payload: &str) -> io::Result<String> {
+        write_frame(&mut self.stream, payload)?;
+        read_frame(&mut self.stream)?.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection before responding",
+            )
+        })
+    }
+
+    /// Convenience: `run <opts>` with the SQL in the body.
+    pub fn run_sql(&mut self, opts: &mwtj_core::RunOptions, sql: &str) -> io::Result<String> {
+        self.request(&format!("run {opts}\n{sql}"))
+    }
+
+    /// The raw stream (tests use it to simulate rude disconnects and
+    /// malformed frames).
+    pub fn stream_mut(&mut self) -> &mut TcpStream {
+        &mut self.stream
+    }
+}

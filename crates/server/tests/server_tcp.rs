@@ -1,0 +1,237 @@
+//! Server integration: protocol round-trips over real TCP, malformed
+//! frames, rude disconnects, concurrent clients vs the oracle, and
+//! graceful shutdown.
+
+use mwtj_core::{Engine, RunOptions};
+use mwtj_join::oracle::canonicalize;
+use mwtj_server::{load_demo, serve_lines, Client, Server};
+use std::io::Write;
+use std::net::{SocketAddr, TcpStream};
+use std::time::Duration;
+
+/// Start a demo-loaded server on an ephemeral port; returns the shared
+/// engine, the address, and the serve-thread handle.
+fn start_server(units: u32) -> (Engine, SocketAddr, std::thread::JoinHandle<u64>) {
+    let engine = Engine::with_units(units);
+    load_demo(&engine);
+    let server = Server::bind(engine.clone(), "127.0.0.1:0").expect("bind");
+    let addr = server.local_addr().expect("addr");
+    let handle = std::thread::spawn(move || server.serve().expect("serve"));
+    (engine, addr, handle)
+}
+
+fn shutdown(addr: SocketAddr) {
+    let mut c = Client::connect(addr).expect("connect for shutdown");
+    let reply = c.request("shutdown").expect("shutdown reply");
+    assert!(reply.starts_with("ok"), "{reply}");
+}
+
+/// Sorted data rows of a `run` response (skips the `ok` header and the
+/// CSV column header).
+fn response_rows(reply: &str) -> Vec<String> {
+    assert!(reply.starts_with("ok "), "{reply}");
+    let mut rows: Vec<String> = reply.lines().skip(2).map(str::to_string).collect();
+    rows.sort();
+    rows
+}
+
+/// Oracle rows for `sql`, rendered to sorted CSV lines with the same
+/// codec the server uses.
+fn oracle_rows(engine: &Engine, sql: &str) -> Vec<String> {
+    let parsed = engine.parse_sql("oracle", sql).expect("parse");
+    for (alias, base) in &parsed.instances {
+        let _ = engine.load_alias_of(base, alias).expect("alias");
+    }
+    let rows = canonicalize(engine.oracle(&parsed.query).expect("oracle"));
+    let rel = mwtj_storage::Relation::from_rows_unchecked(parsed.query.output_schema(), rows);
+    let csv = mwtj_storage::csv::to_csv(&rel);
+    let mut lines: Vec<String> = csv.trim_end().lines().skip(1).map(str::to_string).collect();
+    lines.sort();
+    lines
+}
+
+const Q_RS: &str = "SELECT x.a, y.b FROM r x, s y WHERE x.a = y.a";
+const Q_ST: &str = "SELECT u.a, v.b FROM s u, t v WHERE u.a <= v.a";
+
+#[test]
+fn protocol_round_trip_ping_status_load_run_tables() {
+    let (_engine, addr, handle) = start_server(8);
+    let mut c = Client::connect(addr).expect("connect");
+
+    assert_eq!(c.request("ping").unwrap(), "ok pong");
+
+    let status = c.request("status").unwrap();
+    assert!(status.starts_with("ok budget=8 "), "{status}");
+
+    // Load a tiny relation with inline rows, join it, drop it.
+    let loaded = c.request("load tiny a:int,b:int 1,10;2,20;3,30").unwrap();
+    assert!(loaded.contains("rows=3"), "{loaded}");
+    let reply = c
+        .request("run ours SELECT x.a, y.b FROM tiny x, tiny y WHERE x.a < y.a")
+        .unwrap();
+    assert!(reply.starts_with("ok rows=3 "), "{reply}");
+    let rows = response_rows(&reply);
+    assert_eq!(rows, vec!["1,20", "1,30", "2,30"]);
+
+    let tables = c.request("tables").unwrap();
+    assert!(tables.lines().any(|l| l == "tiny,3"), "{tables}");
+    assert!(c.request("unload tiny").unwrap().contains("unloaded=true"));
+
+    // Errors are responses, not disconnects.
+    let err = c
+        .request("run SELECT * FROM nope x, r y WHERE x.a = y.a")
+        .unwrap();
+    assert!(err.starts_with("err "), "{err}");
+    let err = c.request("frobnicate").unwrap();
+    assert!(err.starts_with("err unknown command"), "{err}");
+    assert_eq!(c.request("ping").unwrap(), "ok pong", "connection survives");
+
+    assert_eq!(c.request("quit").unwrap(), "ok bye");
+    shutdown(addr);
+    handle.join().unwrap();
+}
+
+#[test]
+fn run_results_match_oracle_and_rewrite_aliases() {
+    let (engine, addr, handle) = start_server(8);
+    let mut c = Client::connect(addr).expect("connect");
+    let reply = c.run_sql(&RunOptions::default(), Q_RS).unwrap();
+    // Header row carries the *public* aliases.
+    let header = reply.lines().nth(1).unwrap();
+    assert_eq!(header, "x.a,y.b");
+    assert_eq!(response_rows(&reply), oracle_rows(&engine, Q_RS));
+    shutdown(addr);
+    handle.join().unwrap();
+}
+
+#[test]
+fn malformed_frames_get_an_error_and_do_not_kill_the_server() {
+    let (_engine, addr, handle) = start_server(8);
+
+    // Hostile length prefix.
+    {
+        let mut raw = TcpStream::connect(addr).unwrap();
+        raw.write_all(&u32::MAX.to_be_bytes()).unwrap();
+        raw.flush().unwrap();
+        let reply = mwtj_server::read_frame(&mut raw).unwrap();
+        assert!(reply.unwrap().starts_with("err bad frame"), "oversized");
+        // Server closes the broken connection afterwards.
+        assert_eq!(mwtj_server::read_frame(&mut raw).unwrap(), None);
+    }
+
+    // Invalid UTF-8 payload.
+    {
+        let mut raw = TcpStream::connect(addr).unwrap();
+        raw.write_all(&2u32.to_be_bytes()).unwrap();
+        raw.write_all(&[0xff, 0xfe]).unwrap();
+        raw.flush().unwrap();
+        let reply = mwtj_server::read_frame(&mut raw).unwrap();
+        assert!(reply.unwrap().starts_with("err bad frame"), "bad utf8");
+    }
+
+    // Truncated frame, then rude disconnect.
+    {
+        let mut raw = TcpStream::connect(addr).unwrap();
+        raw.write_all(&100u32.to_be_bytes()).unwrap();
+        raw.write_all(b"only a few bytes").unwrap();
+        raw.flush().unwrap();
+        drop(raw);
+    }
+    std::thread::sleep(Duration::from_millis(50));
+
+    // The server still serves fresh clients.
+    let mut c = Client::connect(addr).expect("connect after abuse");
+    assert_eq!(c.request("ping").unwrap(), "ok pong");
+    shutdown(addr);
+    handle.join().unwrap();
+}
+
+#[test]
+fn client_disconnect_mid_query_leaves_server_healthy() {
+    let (engine, addr, handle) = start_server(8);
+    // Fire a query and hang up without reading the response.
+    {
+        let mut raw = TcpStream::connect(addr).unwrap();
+        let payload = format!("run {Q_RS}");
+        mwtj_server::write_frame(&mut raw, &payload).unwrap();
+        drop(raw);
+    }
+    std::thread::sleep(Duration::from_millis(100));
+    // Server is alive, scheduler leaked nothing, and queries still run.
+    let mut c = Client::connect(addr).expect("connect after disconnect");
+    let reply = c.run_sql(&RunOptions::default(), Q_RS).unwrap();
+    assert_eq!(response_rows(&reply), oracle_rows(&engine, Q_RS));
+    let stats = engine.scheduler().stats();
+    assert_eq!(stats.in_flight_units, 0, "ticket leaked: {stats:?}");
+    shutdown(addr);
+    handle.join().unwrap();
+}
+
+/// ≥8 concurrent clients, small unit budget: everyone completes, every
+/// result matches the oracle, and the aggregate in-flight reservations
+/// never exceed the budget.
+#[test]
+fn eight_concurrent_clients_match_oracle_within_budget() {
+    let (engine, addr, handle) = start_server(6);
+    let want_rs = oracle_rows(&engine, Q_RS);
+    let want_st = oracle_rows(&engine, Q_ST);
+    let mut clients = Vec::new();
+    for i in 0..10 {
+        let want = if i % 2 == 0 {
+            want_rs.clone()
+        } else {
+            want_st.clone()
+        };
+        let sql = if i % 2 == 0 { Q_RS } else { Q_ST };
+        clients.push(std::thread::spawn(move || {
+            let mut c = Client::connect(addr).expect("connect");
+            let reply = c.run_sql(&RunOptions::default(), sql).expect("run");
+            assert_eq!(response_rows(&reply), want, "client {i}");
+        }));
+    }
+    for c in clients {
+        c.join().unwrap();
+    }
+    let stats = engine.scheduler().stats();
+    assert!(stats.admitted >= 10, "{stats:?}");
+    assert!(
+        stats.peak_in_flight_units <= stats.budget,
+        "budget exceeded: {stats:?}"
+    );
+    assert_eq!(stats.in_flight_units, 0);
+    shutdown(addr);
+    handle.join().unwrap();
+}
+
+#[test]
+fn graceful_shutdown_drains_and_counts_requests() {
+    let (engine, addr, handle) = start_server(8);
+    let mut c = Client::connect(addr).expect("connect");
+    assert_eq!(c.request("ping").unwrap(), "ok pong");
+    assert!(c.request("shutdown").unwrap().starts_with("ok"));
+    let served = handle.join().unwrap();
+    assert!(served >= 2, "served {served}");
+    // The scheduler refuses new work after the drain.
+    assert!(engine.scheduler().is_shutting_down());
+    assert!(engine.run_sql(Q_RS).is_err());
+    // And the listener is gone (connect may succeed briefly on some
+    // stacks, but a request will never be answered).
+    if let Ok(mut late) = Client::connect(addr) {
+        assert!(late.request("ping").is_err());
+    }
+}
+
+#[test]
+fn stdin_mode_serves_one_line_requests() {
+    let engine = Engine::with_units(8);
+    load_demo(&engine);
+    let input = format!("ping\n\nload tiny a:int 1;2;3\nrun {Q_RS}\nstatus\nquit\n");
+    let mut out = Vec::new();
+    serve_lines(&engine, input.as_bytes(), &mut out).expect("serve_lines");
+    let text = String::from_utf8(out).unwrap();
+    assert!(text.starts_with("ok pong\n"), "{text}");
+    assert!(text.contains("ok relation=tiny rows=3"), "{text}");
+    assert!(text.contains("ok rows="), "{text}");
+    assert!(text.contains("budget=8"), "{text}");
+    assert!(text.trim_end().ends_with("ok bye"), "{text}");
+}

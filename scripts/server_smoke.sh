@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# CI smoke: launch mwtj-server, run one SQL query through the client,
+# and assert a clean shutdown. Expects the release binary to be built
+# (cargo build --release -p mwtj-server).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=./target/release/mwtj-server
+ADDR=${MWTJ_SMOKE_ADDR:-127.0.0.1:7411}
+
+"$BIN" --listen "$ADDR" --demo &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 50); do
+  if "$BIN" client "$ADDR" ping >/dev/null 2>&1; then break; fi
+  sleep 0.2
+done
+
+"$BIN" client "$ADDR" ping
+"$BIN" client "$ADDR" run ours "SELECT x.a, y.b FROM r x, s y WHERE x.a = y.a" | head -2
+"$BIN" client "$ADDR" status
+"$BIN" client "$ADDR" shutdown
+
+wait "$SERVER_PID"
+trap - EXIT
+echo "server smoke: clean shutdown"

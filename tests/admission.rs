@@ -1,0 +1,183 @@
+//! Admission-control integration: concurrent queries share the
+//! cluster's `k_P` unit budget. The acceptance bar: with budget `k_P`,
+//! ≥8 concurrent queries all complete, the aggregate in-flight unit
+//! reservations never exceed `k_P`, and every result is bit-identical
+//! to a sequential oracle run.
+
+use mwtj_core::{Engine, Method, RunOptions};
+use mwtj_join::oracle::canonicalize;
+use mwtj_query::{MultiwayQuery, QueryBuilder, ThetaOp};
+use mwtj_storage::{tuple, DataType, Relation, Schema, Tuple};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::sync::{Arc, Barrier};
+
+fn rel(name: &str, n: usize, seed: u64, domain: i64) -> Relation {
+    let schema = Schema::from_pairs(name, &[("a", DataType::Int), ("b", DataType::Int)]);
+    let mut rng = StdRng::seed_from_u64(seed);
+    Relation::from_rows_unchecked(
+        schema,
+        (0..n)
+            .map(|_| tuple![rng.gen_range(0..domain), rng.gen_range(0..domain)])
+            .collect(),
+    )
+}
+
+fn loaded_engine(k_p: u32) -> (Engine, Vec<Relation>) {
+    let engine = Engine::with_units(k_p);
+    let rels = vec![
+        rel("r", 90, 1, 25),
+        rel("s", 70, 2, 25),
+        rel("t", 50, 3, 25),
+    ];
+    for r in &rels {
+        let _ = engine.load_relation(r);
+    }
+    (engine, rels)
+}
+
+fn queries(rels: &[Relation]) -> Vec<MultiwayQuery> {
+    let (r, s, t) = (&rels[0], &rels[1], &rels[2]);
+    let two = |name: &str, op: ThetaOp| {
+        QueryBuilder::new(name)
+            .relation(r.schema().clone())
+            .relation(s.schema().clone())
+            .join("r", "a", op, "s", "a")
+            .build()
+            .unwrap()
+    };
+    let three = QueryBuilder::new("three")
+        .relation(r.schema().clone())
+        .relation(s.schema().clone())
+        .relation(t.schema().clone())
+        .join("r", "a", ThetaOp::Lt, "s", "a")
+        .join("s", "b", ThetaOp::Eq, "t", "b")
+        .build()
+        .unwrap();
+    vec![
+        two("eq", ThetaOp::Eq),
+        two("le", ThetaOp::Le),
+        two("ne", ThetaOp::Ne),
+        three,
+    ]
+}
+
+/// The headline invariant: 12 concurrent queries (mixed shapes and
+/// methods, every one admission-controlled) against a budget of 8
+/// units — everyone completes, reservations stay within budget, and
+/// every answer equals the sequential oracle bit for bit.
+#[test]
+fn concurrent_queries_stay_within_budget_and_match_oracle() {
+    const K_P: u32 = 8;
+    let (engine, rels) = loaded_engine(K_P);
+    let qs = queries(&rels);
+    // Sequential ground truth, canonicalized (row order is the only
+    // nondeterminism between runs; canonicalize sorts it away).
+    let oracles: Vec<Vec<Tuple>> = qs
+        .iter()
+        .map(|q| canonicalize(engine.oracle(q).unwrap()))
+        .collect();
+
+    let methods = [
+        Method::Ours,
+        Method::Hive, // k_P-unaware: wants the whole cluster
+        Method::Pig,
+        Method::YSmart,
+    ];
+    let barrier = Arc::new(Barrier::new(12));
+    let mut handles = Vec::new();
+    for i in 0..12usize {
+        let engine = engine.clone();
+        let q = qs[i % qs.len()].clone();
+        let want = oracles[i % qs.len()].clone();
+        let method = methods[i % methods.len()];
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            barrier.wait();
+            let run = engine
+                .run(&q, &RunOptions::from(method))
+                .expect("completes");
+            assert!(run.granted_units >= 1 && run.granted_units <= K_P);
+            assert!(run.ticket > 0);
+            assert_eq!(
+                canonicalize(run.output.into_rows()),
+                want,
+                "query {i} ({method}) diverged from the sequential oracle"
+            );
+        }));
+    }
+    for h in handles {
+        h.join().expect("no query thread may panic");
+    }
+    let stats = engine.scheduler().stats();
+    assert_eq!(stats.admitted, 12, "{stats:?}");
+    assert_eq!(stats.in_flight_units, 0, "reservations must be released");
+    assert!(
+        stats.peak_in_flight_units <= K_P,
+        "aggregate reservations exceeded the budget: {stats:?}"
+    );
+}
+
+/// Oversubscription resolves by queueing: with the whole budget held,
+/// a full-cluster query waits and only proceeds when units free up.
+#[test]
+fn oversubscribed_query_queues_until_units_free() {
+    let (engine, rels) = loaded_engine(8);
+    let q = queries(&rels).remove(0);
+    let hold = engine.scheduler().admit(8).unwrap();
+    let worker = {
+        let engine = engine.clone();
+        let q = q.clone();
+        std::thread::spawn(move || engine.run(&q, &RunOptions::from(Method::Hive)).unwrap())
+    };
+    std::thread::sleep(std::time::Duration::from_millis(100));
+    let stats = engine.scheduler().stats();
+    assert_eq!(stats.queued_now, 1, "query must be parked: {stats:?}");
+    drop(hold);
+    let run = worker.join().unwrap();
+    assert_eq!(run.granted_units, 8, "full grant once the budget frees");
+    let want = canonicalize(engine.oracle(&q).unwrap());
+    assert_eq!(canonicalize(run.output.into_rows()), want);
+    assert!(engine.scheduler().stats().queued >= 1);
+}
+
+/// Oversubscription resolves by degrading: with part of the budget
+/// held, a full-cluster query accepts the free slice and replans at
+/// the smaller `k` — same answer, fewer units.
+#[test]
+fn oversubscribed_query_degrades_to_free_slice() {
+    let (engine, rels) = loaded_engine(8);
+    let q = queries(&rels).remove(1);
+    let want = canonicalize(engine.oracle(&q).unwrap());
+    let hold = engine.scheduler().admit(3).unwrap();
+    // Hive wants all 8; 5 are free and the default floor is half the
+    // ask, so admission degrades the query to a 5-unit replan.
+    let run = engine.run(&q, &RunOptions::from(Method::Hive)).unwrap();
+    assert_eq!(run.granted_units, 5, "degraded to the free slice");
+    assert_eq!(canonicalize(run.output.into_rows()), want);
+    // The degraded replan really ran at k=5: Hive requests one reduce
+    // task per unit, so no job may exceed 5.
+    assert!(run.jobs.iter().all(|j| j.units <= 5 && j.reduce_tasks <= 5));
+    assert!(run.jobs.iter().all(|j| j.ticket == run.ticket));
+    drop(hold);
+    assert_eq!(engine.scheduler().stats().degraded, 1);
+}
+
+/// `run_many` routes every batch member through admission.
+#[test]
+fn run_many_is_admission_controlled() {
+    let (engine, rels) = loaded_engine(8);
+    let qs = queries(&rels);
+    let refs: Vec<&MultiwayQuery> = qs.iter().cycle().take(9).collect();
+    let results = engine.run_many(&refs, &RunOptions::default());
+    assert_eq!(results.len(), 9);
+    for (i, res) in results.iter().enumerate() {
+        let run = res.as_ref().expect("batch member completes");
+        let want = canonicalize(engine.oracle(refs[i]).unwrap());
+        assert_eq!(canonicalize(run.output.rows().to_vec()), want, "query {i}");
+    }
+    let stats = engine.scheduler().stats();
+    assert_eq!(stats.admitted, 9);
+    assert!(stats.peak_in_flight_units <= stats.budget, "{stats:?}");
+    assert_eq!(stats.in_flight_units, 0);
+}

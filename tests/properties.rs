@@ -211,6 +211,53 @@ proptest! {
     }
 }
 
+// ---------------------------------------------------------------- options
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// `RunOptions` Display/FromStr is a total round-trip over *every*
+    /// field combination — the server's wire format depends on it.
+    /// (Regression: fault plans used to print as a bare `+faults`
+    /// marker that `FromStr` rejected.)
+    #[test]
+    fn run_options_display_fromstr_roundtrip(
+        method_pick in 0usize..5,
+        partition_pick in 0usize..4,
+        has_faults in any::<bool>(),
+        prob_mil in 0u64..1000,
+        seed in any::<u64>(),
+        attempts in 1u32..6,
+        calibrated in any::<bool>(),
+    ) {
+        use mwtj_core::{Method, RunOptions};
+        use mwtj_hilbert::PartitionStrategy as Ps;
+        use mwtj_mapreduce::FaultPlan;
+
+        let mut opts = RunOptions::new().method(Method::ALL[method_pick]);
+        let partitions = [None, Some(Ps::Hilbert), Some(Ps::Grid), Some(Ps::ZOrder)];
+        if let Some(p) = partitions[partition_pick] {
+            opts = opts.partition(p);
+        }
+        if has_faults {
+            opts = opts.fault_plan(FaultPlan {
+                fail_probability: prob_mil as f64 / 1000.0,
+                max_attempts: attempts,
+                seed,
+            });
+        }
+        opts = opts.calibrated(calibrated);
+
+        let printed = opts.to_string();
+        let reparsed: RunOptions = printed
+            .parse()
+            .unwrap_or_else(|e| panic!("`{printed}` failed to parse: {e}"));
+        prop_assert_eq!(&reparsed, &opts);
+        // Display is canonical: printing the reparse is a fixed point.
+        prop_assert_eq!(reparsed.to_string(), printed);
+    }
+}
+
 // ---------------------------------------------------------------- planner
 
 proptest! {

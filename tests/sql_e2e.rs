@@ -37,8 +37,12 @@ fn sql_round_trips_to_oracle_agreement() {
         ]
     );
 
-    // run_sql registers t1/t2/t3 automatically.
+    // run_sql binds t1/t2/t3 in a private namespace; for the oracle we
+    // register the instances explicitly.
     let first = engine.run_sql(sql).expect("executes end to end");
+    for inst in ["t1", "t2", "t3"] {
+        let _ = engine.load_alias_of("calls", inst).expect("alias");
+    }
     let want = canonicalize(engine.oracle(&parsed.query).expect("oracle"));
     assert_eq!(canonicalize(first.output.into_rows()), want);
     assert!(!want.is_empty(), "query should produce rows at this scale");
@@ -51,21 +55,34 @@ fn sql_round_trips_to_oracle_agreement() {
     }
 }
 
-/// Aliases registered by SQL share row storage with the base table.
+/// SQL alias instances live in a per-query namespace and are cleaned
+/// up when the run finishes: nothing leaks into the shared catalog or
+/// the DFS, and explicitly-registered aliases still share storage.
 #[test]
-fn sql_aliases_share_rows_with_base() {
+fn sql_aliases_are_transient_and_explicit_aliases_share_rows() {
     let engine = engine_with_calls(80);
     engine
         .run_sql("SELECT t1.id FROM calls t1, calls t2 WHERE t1.d = t2.d AND t1.bt < t2.bt")
         .expect("runs");
-    let base = engine.relation("calls").expect("loaded");
     for inst in ["t1", "t2"] {
-        let alias = engine.relation(inst).expect("auto-registered");
         assert!(
-            std::ptr::eq(base.rows().as_ptr(), alias.rows().as_ptr()),
-            "{inst} must share rows with calls"
+            engine.relation(inst).is_none(),
+            "{inst} must not persist after the query"
         );
     }
+    let leftovers: Vec<String> = engine
+        .cluster()
+        .dfs()
+        .list()
+        .into_iter()
+        .filter(|f| f.contains("__q"))
+        .collect();
+    assert!(leftovers.is_empty(), "stale instance files: {leftovers:?}");
+    // The explicit registration path still shares rows with the base.
+    let base = engine.relation("calls").expect("loaded");
+    let _ = engine.load_alias_of("calls", "t9").expect("alias");
+    let alias = engine.relation("t9").expect("registered");
+    assert!(std::ptr::eq(base.rows().as_ptr(), alias.rows().as_ptr()));
 }
 
 #[test]
@@ -118,12 +135,12 @@ fn empty_projection_is_typed_error() {
     );
 }
 
-/// An alias already bound to one base cannot be silently rebound to a
-/// different one (regression: the second query used to read the first
-/// base's data). The conflict is a typed error; the original binding
-/// keeps serving.
+/// Per-query alias namespaces: the same alias bound to *different*
+/// bases in consecutive (or concurrent) queries is no longer a
+/// conflict — each query reads its own base's data. The engine-global
+/// conflict check still guards explicit registrations.
 #[test]
-fn alias_rebinding_is_a_conflict_not_wrong_data() {
+fn alias_rebinding_across_queries_reads_each_querys_own_base() {
     let gen = MobileGen {
         users: 100,
         base_stations: 20,
@@ -133,10 +150,20 @@ fn alias_rebinding_is_a_conflict_not_wrong_data() {
     let engine = Engine::with_units(8);
     let _ = engine.load_relation(&gen.generate("calls", 60));
     let _ = engine.load_relation(&gen.generate("texts", 40));
-    let first = engine
+    let on_calls = engine
         .run_sql("SELECT a.id FROM calls a, calls b WHERE a.d = b.d AND a.bt < b.bt")
         .expect("first binding runs");
-    match engine.run_sql("SELECT a.id FROM texts a, texts b WHERE a.d = b.d AND a.bt < b.bt") {
+    // The same alias `a` over a different base now simply works …
+    let on_texts = engine
+        .run_sql("SELECT a.id FROM texts a, texts b WHERE a.d = b.d AND a.bt < b.bt")
+        .expect("rebinding in a fresh query namespace runs");
+    // … and each run saw its own base (the bases have different sizes,
+    // so identical outputs would be a wrong-data smoking gun).
+    assert_eq!(on_calls.output.schema().fields()[0].name, "a.id");
+    assert_eq!(on_texts.output.schema().fields()[0].name, "a.id");
+    // Explicit engine-global registration still refuses to rebind.
+    let _ = engine.load_alias_of("calls", "a").expect("first bind");
+    match engine.load_alias_of("texts", "a") {
         Err(EngineError::AliasConflict {
             alias,
             bound_to,
@@ -152,12 +179,12 @@ fn alias_rebinding_is_a_conflict_not_wrong_data() {
     let again = engine
         .run_sql("SELECT a.id FROM calls a, calls b WHERE a.d = b.d AND a.bt < b.bt")
         .expect("original binding still runs");
-    assert_eq!(again.output.len(), first.output.len());
+    assert_eq!(again.output.len(), on_calls.output.len());
 }
 
-/// A concurrent SQL batch registers every query's aliases before the
-/// fan-out (regression: parsed-but-never-run aliases used to 404) and
-/// isolates parse failures to their slot.
+/// A concurrent SQL batch binds every query's aliases in private
+/// namespaces before the fan-out (regression: parsed-but-never-run
+/// aliases used to 404) and isolates parse failures to their slot.
 #[test]
 fn run_sql_many_registers_aliases_and_isolates_failures() {
     let engine = engine_with_calls(100);
@@ -180,12 +207,19 @@ fn run_sql_many_registers_aliases_and_isolates_failures() {
         results[2]
     );
     assert!(results[3].is_ok(), "{:?}", results[3]);
-    // Batch-registered aliases share rows with the base.
-    let base = engine.relation("calls").expect("loaded");
-    for inst in ["a", "b", "u", "v"] {
-        let alias = engine.relation(inst).expect("registered by batch");
-        assert!(std::ptr::eq(base.rows().as_ptr(), alias.rows().as_ptr()));
+    // Batch instances are transient: the shared catalog stays clean.
+    for inst in ["a", "b", "u", "v", "t1", "t2"] {
+        assert!(
+            engine.relation(inst).is_none(),
+            "{inst} must not persist after the batch"
+        );
     }
+    assert!(engine
+        .cluster()
+        .dfs()
+        .list()
+        .iter()
+        .all(|f| !f.contains("__q")));
 }
 
 #[test]
