@@ -76,6 +76,8 @@ struct Catalog {
 struct CachedEstimate {
     epoch: u64,
     units: u32,
+    /// Predicted makespan (the scheduler's SJF ordering key).
+    predicted_secs: f64,
 }
 
 /// Keep the admission-estimate cache from growing without bound in a
@@ -221,7 +223,7 @@ impl Engine {
 
     /// Calibrate at most once per engine (the [`RunOptions::calibrated`]
     /// toggle).
-    fn ensure_calibrated(&self) {
+    pub(crate) fn ensure_calibrated(&self) {
         let mut done = self.shared.calibrated.lock();
         if !*done {
             let config = self.shared.cluster.config().clone();
@@ -406,7 +408,7 @@ impl Engine {
 
     /// [`Engine::unload`] without the epoch bump — cleanup of per-query
     /// internal alias instances, which no other query can reference.
-    fn unload_quiet(&self, name: &str) -> bool {
+    pub(crate) fn unload_quiet(&self, name: &str) -> bool {
         let mut catalog = self.shared.catalog.write();
         let existed = catalog.relations.remove(name).is_some();
         catalog.stats.remove(name);
@@ -432,16 +434,27 @@ impl Engine {
             self.ensure_calibrated();
         }
         let q = augment_query(query);
-        let planner = self.planner();
-        // Snapshot the statistics (plus each instance's base binding,
-        // which keys the estimate cache) and release the catalog guard
-        // before executing: holding it across a multi-second run would
-        // stall every concurrent load (and, with writers queued, new
-        // runs).
-        let (owned_stats, bases, epoch) = {
-            let catalog = self.shared.catalog.read();
-            let stats: Vec<RelationStats> = q
-                .schemas
+        let (planner, owned_stats, ticket) = self.admit_for(&q, opts)?;
+        let stats: Vec<&RelationStats> = owned_stats.iter().collect();
+        let run = self.execute_admitted(&planner, &q, &stats, opts, &ticket, None);
+        drop(ticket);
+        run
+    }
+
+    /// Snapshot the statistics for an (augmented) query's instances,
+    /// plus each instance's base binding (which keys the estimate
+    /// cache) and the epoch — releasing the catalog guard before the
+    /// caller executes: holding it across a multi-second run would
+    /// stall every concurrent load (and, with writers queued, new
+    /// runs).
+    #[allow(clippy::type_complexity)]
+    fn snapshot_stats(
+        &self,
+        q: &MultiwayQuery,
+    ) -> Result<(Vec<RelationStats>, Vec<String>, u64), EngineError> {
+        let catalog = self.shared.catalog.read();
+        let stats: Vec<RelationStats> =
+            q.schemas
                 .iter()
                 .map(|s| {
                     catalog.stats.get(s.name()).cloned().ok_or_else(|| {
@@ -451,52 +464,68 @@ impl Engine {
                     })
                 })
                 .collect::<Result<_, _>>()?;
-            let bases: Vec<String> = q
-                .schemas
-                .iter()
-                .map(|s| {
-                    catalog
-                        .bases
-                        .get(s.name())
-                        .cloned()
-                        .unwrap_or_else(|| s.name().to_string())
-                })
-                .collect();
-            (stats, bases, catalog.epoch)
-        };
+        let bases: Vec<String> = q
+            .schemas
+            .iter()
+            .map(|s| {
+                catalog
+                    .bases
+                    .get(s.name())
+                    .cloned()
+                    .unwrap_or_else(|| s.name().to_string())
+            })
+            .collect();
+        Ok((stats, bases, catalog.epoch))
+    }
+
+    /// Price an (augmented) query and reserve its `k_P` slice: snapshot
+    /// statistics, size the slice from the plan estimate, and admit
+    /// with the predicted makespan as the scheduler's SJF key. Returns
+    /// the planner snapshot, the owned statistics, and the held ticket.
+    pub(crate) fn admit_for(
+        &self,
+        q: &MultiwayQuery,
+        opts: &RunOptions,
+    ) -> Result<(Arc<Planner>, Vec<RelationStats>, Ticket), EngineError> {
+        let planner = self.planner();
+        let (owned_stats, bases, epoch) = self.snapshot_stats(q)?;
         let stats: Vec<&RelationStats> = owned_stats.iter().collect();
-        let cluster = &self.shared.cluster;
-        let k_full = cluster.config().processing_units;
+        let k_full = self.shared.cluster.config().processing_units;
         // Size the slice this query needs. The paper's planner packs
         // its jobs into a peak concurrent allotment we can price
         // exactly; the baselines are k_P-unaware and assume the whole
-        // cluster.
-        let desired = match opts.get_method() {
+        // cluster (and carry no makespan estimate, so they queue behind
+        // every estimated query under SJF).
+        let (desired, predicted_secs) = match opts.get_method() {
             Method::Ours | Method::OursGrid => {
-                self.estimated_units(&planner, &q, &stats, &bases, k_full, epoch)?
+                self.estimated_units(&planner, q, &stats, &bases, k_full, epoch)?
             }
-            Method::YSmart | Method::Hive | Method::Pig => k_full,
+            Method::YSmart | Method::Hive | Method::Pig => (k_full, f64::INFINITY),
         };
-        let ticket = self.shared.scheduler.admit(desired)?;
-        let run = self.execute_admitted(&planner, &q, &stats, opts, &ticket);
-        drop(ticket);
-        run
+        let ticket = self
+            .shared
+            .scheduler
+            .admit_with_cost(desired, predicted_secs)?;
+        Ok((planner, owned_stats, ticket))
     }
 
     /// Execute under a held admission ticket: a degraded grant replans
     /// at the smaller `k`; a full grant executes exactly the plan the
-    /// estimate priced.
-    fn execute_admitted(
+    /// estimate priced. With a `sink`, the terminal job streams its
+    /// output as row batches and the returned run's `output` is empty.
+    pub(crate) fn execute_admitted(
         &self,
         planner: &Planner,
         q: &MultiwayQuery,
         stats: &[&RelationStats],
         opts: &RunOptions,
         ticket: &Ticket,
+        sink: Option<mwtj_mapreduce::SinkSpec>,
     ) -> Result<QueryRun, EngineError> {
         let cluster = &self.shared.cluster;
         let mut exec_opts = opts.exec_options();
         exec_opts.ticket = ticket.id();
+        exec_opts.sink = sink;
         if ticket.degraded() {
             exec_opts.units = Some(ticket.granted());
         }
@@ -517,8 +546,9 @@ impl Engine {
         Ok(run)
     }
 
-    /// The `k_P` slice `q` needs, from the plan cache when the epoch
-    /// still matches, otherwise freshly planned and cached.
+    /// The `k_P` slice `q` needs plus its predicted makespan (the
+    /// scheduler's SJF ordering key), from the plan cache when the
+    /// epoch still matches, otherwise freshly planned and cached.
     fn estimated_units(
         &self,
         planner: &Planner,
@@ -527,7 +557,7 @@ impl Engine {
         bases: &[String],
         k_full: u32,
         epoch: u64,
-    ) -> Result<u32, EngineError> {
+    ) -> Result<(u32, f64), EngineError> {
         // The cache key is the query's *shape*: its Display form with
         // the caller-chosen query name dropped (run_sql names every
         // query "sql"/"sql<i>"/"server") and per-query alias
@@ -545,16 +575,23 @@ impl Engine {
         );
         if let Some(hit) = self.shared.plan_cache.read().get(&key) {
             if hit.epoch == epoch {
-                return Ok(hit.units);
+                return Ok((hit.units, hit.predicted_secs));
             }
         }
-        let (units, _predicted_secs) = planner.estimate_units(q, stats, k_full)?;
+        let (units, predicted_secs) = planner.estimate_units(q, stats, k_full)?;
         let mut cache = self.shared.plan_cache.write();
         if cache.len() >= PLAN_CACHE_CAP {
             cache.clear();
         }
-        cache.insert(key, CachedEstimate { epoch, units });
-        Ok(units)
+        cache.insert(
+            key,
+            CachedEstimate {
+                epoch,
+                units,
+                predicted_secs,
+            },
+        );
+        Ok((units, predicted_secs))
     }
 
     /// Execute several independent queries concurrently on a scoped
@@ -704,7 +741,10 @@ impl Engine {
 
     /// Rewrite `parsed`'s instances into this engine's next private
     /// query namespace.
-    fn namespace_instances(&self, parsed: &ParsedSql) -> (ParsedSql, Vec<(String, String)>) {
+    pub(crate) fn namespace_instances(
+        &self,
+        parsed: &ParsedSql,
+    ) -> (ParsedSql, Vec<(String, String)>) {
         let tag = self.shared.next_query.fetch_add(1, Ordering::Relaxed);
         parsed.namespaced(&format!("__q{tag}_"))
     }
@@ -714,7 +754,7 @@ impl Engine {
     /// idempotent and rejects rebinding an alias to a different base,
     /// so concurrent registrations cannot hand a query the wrong data
     /// (namespaced instance names never collide in the first place).
-    fn register_instances(&self, parsed: &ParsedSql) -> Result<(), EngineError> {
+    pub(crate) fn register_instances(&self, parsed: &ParsedSql) -> Result<(), EngineError> {
         for (alias, base) in &parsed.instances {
             let _report = self.load_alias_of(base, alias)?;
         }
@@ -797,7 +837,7 @@ impl Session {
 /// Rebuild the query against the rowid-augmented schemas; if the
 /// user projected nothing, project every *base* column so the
 /// hidden rowids do not leak into results.
-fn augment_query(query: &MultiwayQuery) -> MultiwayQuery {
+pub(crate) fn augment_query(query: &MultiwayQuery) -> MultiwayQuery {
     let schemas: Vec<Schema> = query
         .schemas
         .iter()
@@ -868,21 +908,41 @@ fn augment_with_rid(rel: &Relation) -> Relation {
     Relation::from_rows_unchecked(schema, rows)
 }
 
+/// Renames sorted longest-internal-name first, so one instance name
+/// can never mangle another that contains it as a prefix.
+pub(crate) fn sorted_renames(renames: &[(String, String)]) -> Vec<(String, String)> {
+    let mut sorted = renames.to_vec();
+    sorted.sort_by_key(|(internal, _)| std::cmp::Reverse(internal.len()));
+    sorted
+}
+
+/// Apply [`sorted_renames`]-ordered internal→public substitutions.
+pub(crate) fn apply_renames(s: &str, sorted: &[(String, String)]) -> String {
+    let mut out = s.to_string();
+    for (internal, public) in sorted {
+        out = out.replace(internal.as_str(), public.as_str());
+    }
+    out
+}
+
+/// Rewrite a schema's name and field names through the renames.
+pub(crate) fn rename_schema(schema: &Schema, sorted: &[(String, String)]) -> Schema {
+    if sorted.is_empty() {
+        return schema.clone();
+    }
+    let fields: Vec<Field> = schema
+        .fields()
+        .iter()
+        .map(|f| Field::new(apply_renames(&f.name, sorted), f.data_type))
+        .collect();
+    Schema::new(apply_renames(schema.name(), sorted), fields)
+}
+
 /// Rewrite a finished run's output schema, plan description and job
 /// names from internal namespaced instance names back to the public
 /// aliases the SQL query used.
 fn restore_public_names(run: QueryRun, renames: &[(String, String)]) -> QueryRun {
-    // Longest internal name first, so one instance name can never
-    // mangle another that contains it as a prefix.
-    let mut renames: Vec<&(String, String)> = renames.iter().collect();
-    renames.sort_by_key(|(internal, _)| std::cmp::Reverse(internal.len()));
-    let rename = |s: &str| -> String {
-        let mut out = s.to_string();
-        for (internal, public) in &renames {
-            out = out.replace(internal.as_str(), public.as_str());
-        }
-        out
-    };
+    let sorted = sorted_renames(renames);
     let QueryRun {
         output,
         plan,
@@ -893,19 +953,13 @@ fn restore_public_names(run: QueryRun, renames: &[(String, String)]) -> QueryRun
         ticket,
         granted_units,
     } = run;
-    let fields: Vec<Field> = output
-        .schema()
-        .fields()
-        .iter()
-        .map(|f| Field::new(rename(&f.name), f.data_type))
-        .collect();
-    let schema = Schema::new(rename(output.schema().name()), fields);
+    let schema = rename_schema(output.schema(), &sorted);
     for m in &mut jobs {
-        m.name = rename(&m.name);
+        m.name = apply_renames(&m.name, &sorted);
     }
     QueryRun {
         output: Relation::from_rows_unchecked(schema, output.into_rows()),
-        plan: rename(&plan),
+        plan: apply_renames(&plan, &sorted),
         predicted_secs,
         sim_secs,
         real_secs,

@@ -56,9 +56,15 @@ pub mod engine;
 pub mod error;
 pub mod options;
 pub mod scheduler;
+pub mod stream;
 
 pub use benchqueries::{mobile_query, tpch_query, MobileQuery, TpchQuery};
 pub use engine::{Engine, LoadReport, Session, RID_COLUMN};
 pub use error::EngineError;
 pub use options::{Method, RunOptions};
 pub use scheduler::{AdmissionError, AdmissionPolicy, Scheduler, SchedulerStats, Ticket};
+pub use stream::{QueryStream, StreamEnd, StreamOptions};
+
+// Re-exported so stream consumers name the batch type without a
+// direct mwtj-mapreduce dependency.
+pub use mwtj_mapreduce::RowBatch;

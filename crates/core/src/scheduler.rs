@@ -15,6 +15,14 @@
 //! degrade_floor`] of what it wanted) or *queues* until enough units
 //! free up. Reservations are RAII [`Ticket`]s: dropping one returns
 //! its units and wakes the queue.
+//!
+//! Waiters are woken **shortest-job-first**: each admission carries the
+//! planner's predicted makespan ([`Scheduler::admit_with_cost`]), and
+//! freed units go to the cheapest eligible waiter (ties broken by
+//! arrival order) rather than whoever wins the condvar race — a short
+//! query overtakes a queued long one, cutting mean latency. The order
+//! is work-conserving within the budget: a waiter whose floor exceeds
+//! the free slice never blocks a later waiter that fits.
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -98,6 +106,27 @@ pub struct SchedulerStats {
     pub queued: u64,
 }
 
+/// One queued admission: its SJF ordering key (predicted cost, then
+/// arrival) and the smallest grant it would accept.
+struct Waiter {
+    seq: u64,
+    cost: f64,
+    floor: u32,
+}
+
+impl Waiter {
+    /// Strict SJF ordering: cheaper predicted makespan first, arrival
+    /// order among equals (`total_cmp` keeps NaN-free totality; unknown
+    /// costs are `INFINITY` and go last).
+    fn before(&self, cost: f64, seq: u64) -> bool {
+        match self.cost.total_cmp(&cost) {
+            std::cmp::Ordering::Less => true,
+            std::cmp::Ordering::Greater => false,
+            std::cmp::Ordering::Equal => self.seq < seq,
+        }
+    }
+}
+
 struct State {
     in_flight: u32,
     peak: u32,
@@ -106,6 +135,11 @@ struct State {
     degraded: u64,
     queued: u64,
     shutdown: bool,
+    /// Waiting admissions (unordered; scans are O(queue), and queues
+    /// are bounded-small in practice).
+    waiting: Vec<Waiter>,
+    /// Arrival stamp for SJF tie-breaks.
+    next_seq: u64,
 }
 
 struct Inner {
@@ -138,6 +172,8 @@ impl Scheduler {
                     degraded: 0,
                     queued: 0,
                     shutdown: false,
+                    waiting: Vec::new(),
+                    next_seq: 0,
                 }),
                 cv: Condvar::new(),
                 next_ticket: AtomicU64::new(1),
@@ -157,22 +193,53 @@ impl Scheduler {
     }
 
     /// Reserve a slice of the budget for a query that wants `desired`
-    /// units (clamped to `[1, k_P]`). Returns immediately when enough
-    /// units are free, returns a *degraded* (smaller) grant when the
-    /// free slice clears the policy floor, and otherwise blocks until
-    /// running queries release units.
+    /// units (clamped to `[1, k_P]`), with no cost estimate — the query
+    /// is treated as infinitely long for shortest-job-first ordering
+    /// and so yields to every cost-estimated waiter. Prefer
+    /// [`Scheduler::admit_with_cost`] when a predicted makespan is
+    /// available.
+    pub fn admit(&self, desired: u32) -> Result<Ticket, AdmissionError> {
+        self.admit_with_cost(desired, f64::INFINITY)
+    }
+
+    /// Reserve a slice of the budget for a query that wants `desired`
+    /// units (clamped to `[1, k_P]`) and has a predicted makespan of
+    /// `predicted_secs` (the planner's Eq. 2 estimate). Returns
+    /// immediately when enough units are free and no cheaper waiter
+    /// could use them, returns a *degraded* (smaller) grant when the
+    /// free slice clears the policy floor, and otherwise queues until
+    /// running queries release units — wakeups are ordered
+    /// shortest-predicted-makespan-first (arrival order among equals),
+    /// so a short query overtakes a queued long one.
     ///
     /// The returned [`Ticket`] releases its units on drop.
-    pub fn admit(&self, desired: u32) -> Result<Ticket, AdmissionError> {
+    pub fn admit_with_cost(
+        &self,
+        desired: u32,
+        predicted_secs: f64,
+    ) -> Result<Ticket, AdmissionError> {
         let desired = desired.clamp(1, self.inner.budget);
         let floor =
             ((desired as f64 * self.inner.policy.degrade_floor).ceil() as u32).clamp(1, desired);
+        let cost = if predicted_secs.is_nan() {
+            f64::INFINITY
+        } else {
+            predicted_secs
+        };
         let mut state = self.inner.state.lock().unwrap_or_else(|e| e.into_inner());
+        let seq = state.next_seq;
+        state.next_seq += 1;
         let mut waited = false;
+        let unqueue = |state: &mut State, seq: u64| {
+            if let Some(i) = state.waiting.iter().position(|w| w.seq == seq) {
+                state.waiting.swap_remove(i);
+            }
+            state.queued_now -= 1;
+        };
         loop {
             if state.shutdown {
                 if waited {
-                    state.queued_now -= 1;
+                    unqueue(&mut state, seq);
                 }
                 return Err(AdmissionError::ShuttingDown);
             }
@@ -184,15 +251,27 @@ impl Scheduler {
             } else {
                 0
             };
-            if granted > 0 {
+            // SJF: stand down while a cheaper waiter could use the free
+            // units. A cheaper waiter whose floor exceeds `free` does
+            // not block us (work conservation within the budget).
+            let preempted = state
+                .waiting
+                .iter()
+                .any(|w| w.seq != seq && w.floor <= free && w.before(cost, seq));
+            if granted > 0 && !preempted {
                 if waited {
-                    state.queued_now -= 1;
+                    unqueue(&mut state, seq);
                 }
                 state.in_flight += granted;
                 state.peak = state.peak.max(state.in_flight);
                 state.admitted += 1;
                 if granted < desired {
                     state.degraded += 1;
+                }
+                // Leftover units may still fit a (costlier) waiter this
+                // same release round; let them re-evaluate.
+                if !state.waiting.is_empty() {
+                    self.inner.cv.notify_all();
                 }
                 return Ok(Ticket {
                     scheduler: Arc::clone(&self.inner),
@@ -212,6 +291,7 @@ impl Scheduler {
                     }
                 }
                 waited = true;
+                state.waiting.push(Waiter { seq, cost, floor });
                 state.queued_now += 1;
                 state.queued += 1;
             }
@@ -429,6 +509,79 @@ mod tests {
         );
         assert_eq!(s.admit(1).unwrap_err(), AdmissionError::ShuttingDown);
         assert!(s.is_shutting_down());
+    }
+
+    #[test]
+    fn short_query_overtakes_queued_long_one() {
+        let s = Scheduler::new(4);
+        let hold = s.admit(4).unwrap();
+        let order: Arc<Mutex<Vec<&'static str>>> = Arc::new(Mutex::new(Vec::new()));
+        // Queue a long query first…
+        let (s2, o2) = (s.clone(), Arc::clone(&order));
+        let long = std::thread::spawn(move || {
+            let t = s2.admit_with_cost(4, 500.0).unwrap();
+            o2.lock().unwrap().push("long");
+            drop(t);
+        });
+        while s.stats().queued_now < 1 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // …then a short one behind it.
+        let (s3, o3) = (s.clone(), Arc::clone(&order));
+        let short = std::thread::spawn(move || {
+            let t = s3.admit_with_cost(4, 1.0).unwrap();
+            o3.lock().unwrap().push("short");
+            drop(t);
+        });
+        while s.stats().queued_now < 2 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        drop(hold);
+        long.join().unwrap();
+        short.join().unwrap();
+        assert_eq!(
+            *order.lock().unwrap(),
+            vec!["short", "long"],
+            "wakeups must be shortest-predicted-makespan-first"
+        );
+        let st = s.stats();
+        assert_eq!(st.queued, 2);
+        assert!(st.peak_in_flight_units <= st.budget);
+    }
+
+    #[test]
+    fn sjf_is_work_conserving_within_the_budget() {
+        // A cheap waiter whose floor exceeds the free slice must not
+        // block a costlier waiter that fits.
+        let s = Scheduler::with_policy(
+            8,
+            AdmissionPolicy {
+                degrade_floor: 1.0,
+                max_queue: None,
+            },
+        );
+        let hold_half = s.admit(4).unwrap(); // 4 free
+        let hold_rest = s.admit(4).unwrap(); // 0 free
+        let (s2,) = (s.clone(),);
+        let big_cheap = std::thread::spawn(move || s2.admit_with_cost(8, 1.0).unwrap().granted());
+        while s.stats().queued_now < 1 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let (s3,) = (s.clone(),);
+        let small_costly =
+            std::thread::spawn(move || s3.admit_with_cost(4, 100.0).unwrap().granted());
+        while s.stats().queued_now < 2 {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Free 4 units: big_cheap (floor 8) cannot run, small_costly
+        // (floor 4) must.
+        drop(hold_half);
+        assert_eq!(small_costly.join().unwrap(), 4);
+        // Free the rest: big_cheap still waits for small_costly? No —
+        // small_costly returned its units on drop already (granted()
+        // consumed the ticket), so big_cheap gets its full 8.
+        drop(hold_rest);
+        assert_eq!(big_cheap.join().unwrap(), 8);
     }
 
     #[test]

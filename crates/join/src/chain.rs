@@ -150,7 +150,11 @@ impl ChainThetaJob {
     }
 
     /// Recursive nested-loop over per-dimension groups with early
-    /// pruning; emits owned, predicate-satisfying combinations.
+    /// pruning; emits owned, predicate-satisfying combinations through
+    /// `emit` one at a time (the visitor path streamed reducers use —
+    /// the buffered [`MrJob::reduce`] path passes a vector-push
+    /// closure). When `emit` returns `false` the receiver is gone:
+    /// `stop` is raised and the descent unwinds promptly.
     /// Returns the number of candidate extensions examined (the real
     /// CPU work, which the engine prices on the simulated clock).
     #[allow(clippy::too_many_arguments)]
@@ -160,18 +164,24 @@ impl ChainThetaJob {
         groups: &'a [Vec<(u64, &'a Tuple)>],
         stack: &mut Vec<&'a Tuple>,
         stripes: &mut Vec<u64>,
-        out: &mut Vec<Tuple>,
+        emit: &mut dyn FnMut(Tuple) -> bool,
+        stop: &mut bool,
     ) -> u64 {
         let depth = stack.len();
         if depth == groups.len() {
             // Ownership test: exactly one component owns this cell.
-            if self.partition.owner_of_cell(stripes) == my_component {
-                out.push(Tuple::concat_all(stack));
+            if self.partition.owner_of_cell(stripes) == my_component
+                && !emit(Tuple::concat_all(stack))
+            {
+                *stop = true;
             }
             return 1;
         }
         let mut work = 0u64;
         'rows: for &(gid, tuple) in &groups[depth] {
+            if *stop {
+                break;
+            }
             work += 1;
             stack.push(tuple);
             for &pi in &self.preds_by_depth[depth] {
@@ -181,11 +191,40 @@ impl ChainThetaJob {
                 }
             }
             stripes.push(self.partition.stripe_of(depth, gid));
-            work = work.saturating_add(self.descend(my_component, groups, stack, stripes, out));
+            work =
+                work.saturating_add(self.descend(my_component, groups, stack, stripes, emit, stop));
             stripes.pop();
             stack.pop();
         }
         work
+    }
+
+    /// Shared reduce body: bucket records per dimension and descend.
+    fn reduce_inner(
+        &self,
+        key: u64,
+        records: &[TaggedRecord],
+        emit: &mut dyn FnMut(Tuple) -> bool,
+    ) -> u64 {
+        let my_component = key as u32;
+        let mut groups: Vec<Vec<(u64, &Tuple)>> = vec![Vec::new(); self.dims.len()];
+        for rec in records {
+            groups[rec.tag as usize].push((rec.aux, &rec.tuple));
+        }
+        if groups.iter().any(|g| g.is_empty()) {
+            return 0; // some dimension contributed nothing to this cell region
+        }
+        let mut stack = Vec::with_capacity(self.dims.len());
+        let mut stripes = Vec::with_capacity(self.dims.len());
+        let mut stop = false;
+        self.descend(
+            my_component,
+            &groups,
+            &mut stack,
+            &mut stripes,
+            emit,
+            &mut stop,
+        )
     }
 }
 
@@ -216,17 +255,19 @@ impl MrJob for ChainThetaJob {
     }
 
     fn reduce(&self, key: u64, records: &[TaggedRecord], out: &mut Vec<Tuple>) -> u64 {
-        let my_component = key as u32;
-        let mut groups: Vec<Vec<(u64, &Tuple)>> = vec![Vec::new(); self.dims.len()];
-        for rec in records {
-            groups[rec.tag as usize].push((rec.aux, &rec.tuple));
-        }
-        if groups.iter().any(|g| g.is_empty()) {
-            return 0; // some dimension contributed nothing to this cell region
-        }
-        let mut stack = Vec::with_capacity(self.dims.len());
-        let mut stripes = Vec::with_capacity(self.dims.len());
-        self.descend(my_component, &groups, &mut stack, &mut stripes, out)
+        self.reduce_inner(key, records, &mut |row| {
+            out.push(row);
+            true
+        })
+    }
+
+    fn reduce_streamed(
+        &self,
+        key: u64,
+        records: &[TaggedRecord],
+        emit: &mut dyn FnMut(Tuple) -> bool,
+    ) -> u64 {
+        self.reduce_inner(key, records, emit)
     }
 }
 

@@ -446,14 +446,65 @@ impl PairKernel {
         }
     }
 
-    fn join_nested(&self, lefts: &[&Tuple], rights: &[&Tuple], pairs: &mut Vec<(u32, u32)>) {
+    /// Visit matching `(left index, right index)` pairs in the same
+    /// left-major order as [`PairKernel::join_into`], stopping early
+    /// (returning `false`) when `visit` returns `false` — the streamed
+    /// emission path.
+    ///
+    /// The nested-loop plan visits truly incrementally, never
+    /// materialising the pair set — and it is exactly the plan dense
+    /// outputs land on (the band kernel's density gate and the hash
+    /// plan's key structure keep the sparse cases elsewhere), so the
+    /// worst-case output is the best-streamed one. Hash and band plans
+    /// buffer *index pairs* (8 bytes each, never materialised rows) to
+    /// restore left-major order before visiting.
+    pub fn join_visit(
+        &self,
+        lefts: &[&Tuple],
+        rights: &[&Tuple],
+        visit: &mut dyn FnMut(u32, u32) -> bool,
+    ) -> bool {
+        if lefts.is_empty() || rights.is_empty() {
+            return true;
+        }
+        match &self.plan {
+            Plan::Nested => self.visit_nested(lefts, rights, visit),
+            _ => {
+                let mut pairs = Vec::new();
+                self.join_into(lefts, rights, &mut pairs);
+                for (li, ri) in pairs {
+                    if !visit(li, ri) {
+                        return false;
+                    }
+                }
+                true
+            }
+        }
+    }
+
+    /// Compiled nested loop as a visitor; returns `false` on early
+    /// stop.
+    fn visit_nested(
+        &self,
+        lefts: &[&Tuple],
+        rights: &[&Tuple],
+        visit: &mut dyn FnMut(u32, u32) -> bool,
+    ) -> bool {
         for (li, l) in lefts.iter().enumerate() {
             for (ri, r) in rights.iter().enumerate() {
-                if self.matches(l, r) {
-                    pairs.push((li as u32, ri as u32));
+                if self.matches(l, r) && !visit(li as u32, ri as u32) {
+                    return false;
                 }
             }
         }
+        true
+    }
+
+    fn join_nested(&self, lefts: &[&Tuple], rights: &[&Tuple], pairs: &mut Vec<(u32, u32)>) {
+        let _ = self.visit_nested(lefts, rights, &mut |li, ri| {
+            pairs.push((li, ri));
+            true
+        });
     }
 
     /// Hash of the equality-key columns of one row. Consistent with SQL

@@ -281,6 +281,32 @@ impl MrJob for PairJob {
         // the *host* faster; the reported candidate count is unchanged.
         (lefts.len() as u64).saturating_mul(rights.len() as u64)
     }
+
+    fn reduce_streamed(
+        &self,
+        _key: u64,
+        records: &[TaggedRecord],
+        emit: &mut dyn FnMut(Tuple) -> bool,
+    ) -> u64 {
+        let mut lefts: Vec<&Tuple> = Vec::new();
+        let mut rights: Vec<&Tuple> = Vec::new();
+        for rec in records {
+            if rec.tag == 0 {
+                lefts.push(&rec.tuple);
+            } else {
+                rights.push(&rec.tuple);
+            }
+        }
+        // Rows materialise one at a time as the kernel visits index
+        // pairs — the reducer never holds its output set.
+        let _ = self.kernel.join_visit(&lefts, &rights, &mut |li, ri| {
+            emit(
+                self.kernel
+                    .assemble(lefts[li as usize], rights[ri as usize]),
+            )
+        });
+        (lefts.len() as u64).saturating_mul(rights.len() as u64)
+    }
 }
 
 #[cfg(test)]

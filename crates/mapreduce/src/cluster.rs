@@ -17,6 +17,7 @@ use crate::error::ExecError;
 use crate::faults::FaultPlan;
 use crate::job::{InputSpec, MrJob};
 use crate::metrics::JobMetrics;
+use crate::sink::SinkSpec;
 use mwtj_storage::Relation;
 
 /// One job inside a plan.
@@ -33,6 +34,11 @@ pub struct PlanJob {
     /// DFS file to materialise the output under. `None` only for the
     /// terminal job, whose output is returned in memory.
     pub out_file: Option<String>,
+    /// Stream the job's output through this sink as ordered row
+    /// batches instead of materialising it (terminal jobs only;
+    /// mutually exclusive with `out_file`). The job's in-memory output
+    /// is then empty.
+    pub sink: Option<SinkSpec>,
 }
 
 /// A stage: jobs that run concurrently. The sum of their `units` must
@@ -134,14 +140,34 @@ impl Cluster {
             let mut stage_max = 0.0f64;
             let last_stage = si + 1 == n_stages;
             for pj in stage.jobs {
-                let run = self.engine.try_run_with(
-                    pj.job.as_ref(),
-                    &pj.inputs,
-                    pj.units,
-                    pj.reducers,
-                    pj.out_file.as_deref(),
-                    faults,
-                )?;
+                if pj.sink.is_some() && pj.out_file.is_some() {
+                    return Err(ExecError::BadRequest {
+                        detail: format!(
+                            "job `{}` has both a sink and out_file `{}`: streamed output is \
+                             never persisted, pick one",
+                            pj.job.name(),
+                            pj.out_file.as_deref().unwrap_or_default()
+                        ),
+                    });
+                }
+                let run = match &pj.sink {
+                    Some(spec) => self.engine.try_run_streamed(
+                        pj.job.as_ref(),
+                        &pj.inputs,
+                        pj.units,
+                        pj.reducers,
+                        faults,
+                        spec,
+                    )?,
+                    None => self.engine.try_run_with(
+                        pj.job.as_ref(),
+                        &pj.inputs,
+                        pj.units,
+                        pj.reducers,
+                        pj.out_file.as_deref(),
+                        faults,
+                    )?,
+                };
                 stage_max = stage_max.max(run.metrics.sim_total_secs);
                 job_metrics.push(run.metrics);
                 if last_stage {
@@ -228,6 +254,7 @@ mod tests {
                     reducers: 4,
                     units: 8,
                     out_file: Some("mid".into()),
+                    sink: None,
                 }],
             },
             PlanStage {
@@ -240,6 +267,7 @@ mod tests {
                     reducers: 4,
                     units: 8,
                     out_file: None,
+                    sink: None,
                 }],
             },
         ];
@@ -265,6 +293,7 @@ mod tests {
             reducers: 4,
             units: 8,
             out_file: Some(out.into()),
+            sink: None,
         };
         let par = cluster.run_plan(vec![PlanStage {
             jobs: vec![mk("a", "pa"), mk("b", "pb")],
@@ -299,6 +328,7 @@ mod tests {
                 reducers: 8,
                 units: 8,
                 out_file: Some(format!("o{i}")),
+                sink: None,
             })
             .collect();
         cluster.run_plan(vec![PlanStage { jobs }]);

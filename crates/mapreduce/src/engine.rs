@@ -9,6 +9,7 @@ use crate::error::ExecError;
 use crate::faults::{FaultPlan, TaskKind};
 use crate::job::{InputSpec, MrJob, TaggedRecord};
 use crate::metrics::JobMetrics;
+use crate::sink::{RowBatch, SinkSpec};
 use mwtj_storage::{Relation, Tuple};
 use parking_lot::Mutex;
 use std::collections::BinaryHeap;
@@ -31,6 +32,18 @@ pub struct JobRun {
     pub output: Relation,
     /// Measurements on both clocks.
     pub metrics: JobMetrics,
+}
+
+/// Outcome of one executed reduce task: its output rows (empty on the
+/// streamed path, where rows went to the sink instead) plus the byte
+/// and candidate counts the simulated clock prices — identical numbers
+/// whichever path produced them.
+struct ReduceTaskOut {
+    rows: Vec<Tuple>,
+    in_bytes: u64,
+    candidates: u64,
+    out_bytes: u64,
+    out_records: u64,
 }
 
 /// Outcome of one executed map task, before shuffle pricing.
@@ -127,6 +140,44 @@ impl Engine {
         reducers: u32,
         out_file: Option<&str>,
         faults: &FaultPlan,
+    ) -> Result<JobRun, ExecError> {
+        self.run_inner(job, inputs, units, reducers, out_file, faults, None)
+    }
+
+    /// Run a *terminal* job whose output streams to `sink` as ordered
+    /// [`RowBatch`]es instead of materialising: reduce tasks execute in
+    /// reducer-index order and push rows as produced, so the batch
+    /// concatenation is bit-identical to the buffered run's output and
+    /// all simulated metrics are unchanged (only host wall-clock and
+    /// peak memory differ — reducers run sequentially here, trading
+    /// host parallelism for a bounded resident-row count). The returned
+    /// [`JobRun::output`] is empty (schema only). Streamed output is
+    /// never persisted to the DFS.
+    ///
+    /// Returns [`ExecError::Cancelled`] when the sink reports its
+    /// receiver gone.
+    pub fn try_run_streamed(
+        &self,
+        job: &dyn MrJob,
+        inputs: &[InputSpec],
+        units: u32,
+        reducers: u32,
+        faults: &FaultPlan,
+        sink: &SinkSpec,
+    ) -> Result<JobRun, ExecError> {
+        self.run_inner(job, inputs, units, reducers, None, faults, Some(sink))
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_inner(
+        &self,
+        job: &dyn MrJob,
+        inputs: &[InputSpec],
+        units: u32,
+        reducers: u32,
+        out_file: Option<&str>,
+        faults: &FaultPlan,
+        sink: Option<&SinkSpec>,
     ) -> Result<JobRun, ExecError> {
         if units < 1 {
             return Err(ExecError::BadRequest {
@@ -254,55 +305,24 @@ impl Engine {
             }
         }
 
-        // ---- reduce phase (real, parallel on host) ----
+        // ---- reduce phase (real) ----
         // Hadoop's actual sort-merge semantics: each reduce task sorts
         // its input by grouping key in place (stable, so records keep
         // their arrival order within a group) and hands the job
         // contiguous `&[TaggedRecord]` group slices — zero record
         // clones, no per-key re-bucketing.
-        // (output rows, input bytes, candidates examined) per reducer.
-        type ReduceOut = (Vec<Tuple>, u64, u64);
-        let reduce_results: Vec<Mutex<Option<ReduceOut>>> =
-            (0..n_red).map(|_| Mutex::new(None)).collect();
-        let reducer_inputs: Vec<Mutex<Vec<TaggedRecord>>> =
-            reducer_inputs.into_iter().map(Mutex::new).collect();
-        let next_r = AtomicUsize::new(0);
-        let rworkers = self.host_threads.min(n_red);
-        crossbeam::scope(|s| {
-            for _ in 0..rworkers {
-                s.spawn(|_| loop {
-                    let r = next_r.fetch_add(1, Ordering::Relaxed);
-                    if r >= n_red {
-                        break;
-                    }
-                    let mut records = std::mem::take(&mut *reducer_inputs[r].lock());
-                    let in_bytes: u64 = records.iter().map(|x| x.wire_bytes() as u64).sum();
-                    // Stable sort = the sort phase; keys then run in
-                    // ascending order with arrival order preserved
-                    // within each group, exactly as the previous
-                    // hash-then-sort-keys grouping produced.
-                    records.sort_by_key(|rec| rec_key(rec, reducers, r));
-                    let mut out = Vec::new();
-                    let mut candidates = 0u64;
-                    let mut start = 0usize;
-                    while start < records.len() {
-                        let k = rec_key(&records[start], reducers, r);
-                        let mut end = start + 1;
-                        while end < records.len() && rec_key(&records[end], reducers, r) == k {
-                            end += 1;
-                        }
-                        candidates = candidates.saturating_add(job.reduce(
-                            k,
-                            &records[start..end],
-                            &mut out,
-                        ));
-                        start = end;
-                    }
-                    *reduce_results[r].lock() = Some((out, in_bytes, candidates));
-                });
-            }
-        })
-        .expect("reduce phase panicked");
+        //
+        // Two drive modes with identical results and accounting:
+        // buffered (parallel on host, rows collected per reducer) and
+        // streamed (reducers in index order on this thread, rows pushed
+        // to the sink as produced — the ordered-delivery requirement is
+        // what serialises them; the simulated clock never sees host
+        // parallelism either way).
+        let reduce_outs: Vec<ReduceTaskOut> = if let Some(spec) = sink {
+            self.reduce_streamed_phase(job, reducer_inputs, reducers, spec)?
+        } else {
+            self.reduce_parallel_phase(job, reducer_inputs, reducers)
+        };
 
         // ---- simulated reduce phase ----
         // n reduce tasks list-scheduled (longest first) over `units`
@@ -316,26 +336,24 @@ impl Engine {
         let mut reduce_candidates = 0u64;
         let mut output_bytes = 0u64;
         let mut output_records = 0u64;
-        for (r, cell) in reduce_results.into_iter().enumerate() {
-            let (out, in_bytes, candidates) = cell.into_inner().expect("reduce task missing");
-            reduce_input_max = reduce_input_max.max(in_bytes);
-            reduce_input_sum += in_bytes;
-            reduce_candidates = reduce_candidates.saturating_add(candidates);
-            let out_bytes: u64 = out.iter().map(|t| t.encoded_len() as u64).sum();
-            output_bytes += out_bytes;
-            output_records += out.len() as u64;
+        for (r, ro) in reduce_outs.into_iter().enumerate() {
+            reduce_input_max = reduce_input_max.max(ro.in_bytes);
+            reduce_input_sum += ro.in_bytes;
+            reduce_candidates = reduce_candidates.saturating_add(ro.candidates);
+            output_bytes += ro.out_bytes;
+            output_records += ro.out_records;
             let write_rate = if out_file.is_some() {
                 hw.disk_write_bps // replicated DFS pipeline rate
             } else {
                 hw.disk_read_bps // local materialisation only
             };
             let attempts = faults.attempts_for(TaskKind::Reduce, r as u32);
-            let dur = (in_bytes as f64 * hw.c1()
-                + candidates as f64 * hw.cpu_per_candidate_secs
-                + out_bytes as f64 / write_rate)
+            let dur = (ro.in_bytes as f64 * hw.c1()
+                + ro.candidates as f64 * hw.cpu_per_candidate_secs
+                + ro.out_bytes as f64 / write_rate)
                 * attempts as f64;
             per_reduce.push((dur, attempts, r));
-            output_rows.extend(out);
+            output_rows.extend(ro.rows);
         }
         per_reduce.sort_by(|a, b| b.0.total_cmp(&a.0)); // longest first
         let reduce_attempts: u32 = per_reduce.iter().map(|x| x.1).sum();
@@ -380,6 +398,146 @@ impl Engine {
         };
         Ok(JobRun { output, metrics })
     }
+
+    /// Buffered reduce: tasks run in parallel on the host, each
+    /// collecting its output rows.
+    fn reduce_parallel_phase(
+        &self,
+        job: &dyn MrJob,
+        reducer_inputs: Vec<Vec<TaggedRecord>>,
+        reducers: u32,
+    ) -> Vec<ReduceTaskOut> {
+        let n_red = reducer_inputs.len();
+        let reduce_results: Vec<Mutex<Option<ReduceTaskOut>>> =
+            (0..n_red).map(|_| Mutex::new(None)).collect();
+        let reducer_inputs: Vec<Mutex<Vec<TaggedRecord>>> =
+            reducer_inputs.into_iter().map(Mutex::new).collect();
+        let next_r = AtomicUsize::new(0);
+        let rworkers = self.host_threads.min(n_red.max(1));
+        crossbeam::scope(|s| {
+            for _ in 0..rworkers {
+                s.spawn(|_| loop {
+                    let r = next_r.fetch_add(1, Ordering::Relaxed);
+                    if r >= n_red {
+                        break;
+                    }
+                    let mut records = std::mem::take(&mut *reducer_inputs[r].lock());
+                    let in_bytes: u64 = records.iter().map(|x| x.wire_bytes() as u64).sum();
+                    // Stable sort = the sort phase; keys then run in
+                    // ascending order with arrival order preserved
+                    // within each group, exactly as the previous
+                    // hash-then-sort-keys grouping produced.
+                    records.sort_by_key(|rec| rec_key(rec, reducers, r));
+                    let mut out = Vec::new();
+                    let mut candidates = 0u64;
+                    let mut start = 0usize;
+                    while start < records.len() {
+                        let k = rec_key(&records[start], reducers, r);
+                        let end = group_end(&records, start, reducers, r);
+                        candidates = candidates.saturating_add(job.reduce(
+                            k,
+                            &records[start..end],
+                            &mut out,
+                        ));
+                        start = end;
+                    }
+                    let out_bytes: u64 = out.iter().map(|t| t.encoded_len() as u64).sum();
+                    let out_records = out.len() as u64;
+                    *reduce_results[r].lock() = Some(ReduceTaskOut {
+                        rows: out,
+                        in_bytes,
+                        candidates,
+                        out_bytes,
+                        out_records,
+                    });
+                });
+            }
+        })
+        .expect("reduce phase panicked");
+        reduce_results
+            .into_iter()
+            .map(|m| m.into_inner().expect("reduce task missing"))
+            .collect()
+    }
+
+    /// Streamed reduce: tasks run sequentially in reducer-index order,
+    /// pushing rows into bounded batches delivered through the sink —
+    /// the global row order (reducer index, then ascending group key,
+    /// then emit order) is exactly the buffered path's concatenation
+    /// order. Batches may span reducer boundaries; the last batch may
+    /// be short. Aborts with [`ExecError::Cancelled`] as soon as the
+    /// sink reports its receiver gone.
+    fn reduce_streamed_phase(
+        &self,
+        job: &dyn MrJob,
+        reducer_inputs: Vec<Vec<TaggedRecord>>,
+        reducers: u32,
+        spec: &SinkSpec,
+    ) -> Result<Vec<ReduceTaskOut>, ExecError> {
+        let cap = spec.batch_rows.max(1);
+        let mut outs = Vec::with_capacity(reducer_inputs.len());
+        let mut batch: Vec<Tuple> = Vec::with_capacity(cap);
+        let mut cancelled = false;
+        for (r, mut records) in reducer_inputs.into_iter().enumerate() {
+            let in_bytes: u64 = records.iter().map(|x| x.wire_bytes() as u64).sum();
+            records.sort_by_key(|rec| rec_key(rec, reducers, r));
+            let mut out_bytes = 0u64;
+            let mut out_records = 0u64;
+            let mut candidates = 0u64;
+            let mut start = 0usize;
+            while start < records.len() {
+                let k = rec_key(&records[start], reducers, r);
+                let end = group_end(&records, start, reducers, r);
+                candidates = candidates.saturating_add(job.reduce_streamed(
+                    k,
+                    &records[start..end],
+                    &mut |row: Tuple| {
+                        if cancelled {
+                            return false;
+                        }
+                        out_bytes += row.encoded_len() as u64;
+                        out_records += 1;
+                        batch.push(row);
+                        if batch.len() >= cap
+                            && !spec.sink.send(RowBatch {
+                                rows: std::mem::take(&mut batch),
+                            })
+                        {
+                            cancelled = true;
+                            return false;
+                        }
+                        true
+                    },
+                ));
+                if cancelled {
+                    return Err(ExecError::Cancelled);
+                }
+                start = end;
+            }
+            outs.push(ReduceTaskOut {
+                rows: Vec::new(),
+                in_bytes,
+                candidates,
+                out_bytes,
+                out_records,
+            });
+        }
+        if !batch.is_empty() && !spec.sink.send(RowBatch { rows: batch }) {
+            return Err(ExecError::Cancelled);
+        }
+        Ok(outs)
+    }
+}
+
+/// End (exclusive) of the key group starting at `start` in key-sorted
+/// `records`.
+fn group_end(records: &[TaggedRecord], start: usize, reducers: u32, r: usize) -> usize {
+    let k = rec_key(&records[start], reducers, r);
+    let mut end = start + 1;
+    while end < records.len() && rec_key(&records[end], reducers, r) == k {
+        end += 1;
+    }
+    end
 }
 
 /// Reduce-side grouping key for a record that landed in reducer `r`.

@@ -34,6 +34,10 @@ pub enum ExecError {
         /// Human-readable description of the invalid request.
         detail: String,
     },
+    /// The receiver of a streamed run's row batches went away before
+    /// the run finished (the consumer dropped its result stream); the
+    /// run was aborted and its partial output discarded.
+    Cancelled,
 }
 
 impl fmt::Display for ExecError {
@@ -47,6 +51,9 @@ impl fmt::Display for ExecError {
             } => write!(f, "stage {stage} requests {requested} units > k_P = {k_p}"),
             ExecError::EmptyPlan => write!(f, "plan had no stages"),
             ExecError::BadRequest { detail } => write!(f, "bad job request: {detail}"),
+            ExecError::Cancelled => {
+                write!(f, "run cancelled: the result-stream receiver went away")
+            }
         }
     }
 }

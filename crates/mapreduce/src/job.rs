@@ -88,6 +88,36 @@ pub trait MrJob: Sync {
     /// pruning) are priced by their real work, not the raw cross
     /// product.
     fn reduce(&self, key: u64, records: &[TaggedRecord], out: &mut Vec<Tuple>) -> u64;
+
+    /// Streaming variant of [`MrJob::reduce`]: emit output rows one at
+    /// a time instead of materialising the group's output vector.
+    ///
+    /// Contract: must emit exactly the rows `reduce` would push, in the
+    /// same order, and return the same candidate count — the engine's
+    /// streamed path relies on it for bit-identical results and cost
+    /// metrics. `emit` returns `false` when the downstream receiver is
+    /// gone; implementations should stop producing promptly (the run is
+    /// being cancelled, so the candidate count no longer matters).
+    ///
+    /// The default buffers one group's output via `reduce` — correct
+    /// for any job, memory-bounded only by the largest single group.
+    /// Jobs whose groups can be huge (the terminal join jobs) override
+    /// this with a true visitor path.
+    fn reduce_streamed(
+        &self,
+        key: u64,
+        records: &[TaggedRecord],
+        emit: &mut dyn FnMut(Tuple) -> bool,
+    ) -> u64 {
+        let mut out = Vec::new();
+        let candidates = self.reduce(key, records, &mut out);
+        for row in out {
+            if !emit(row) {
+                break;
+            }
+        }
+        candidates
+    }
 }
 
 #[cfg(test)]

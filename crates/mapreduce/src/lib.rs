@@ -24,7 +24,8 @@
 //! Modules: [`config`] (cluster + Table 1 knobs), [`dfs`] (block store
 //! with replication and locality), [`job`] (the MRJ programming model),
 //! [`engine`] (single-job execution), [`cluster`] (multi-job plans with
-//! dependencies and bounded processing units), [`metrics`].
+//! dependencies and bounded processing units), [`sink`] (streamed
+//! row-batch delivery for terminal jobs), [`metrics`].
 
 #![warn(missing_docs)]
 
@@ -36,6 +37,7 @@ pub mod error;
 pub mod faults;
 pub mod job;
 pub mod metrics;
+pub mod sink;
 
 pub use cluster::{Cluster, PlanExecution, PlanJob, PlanStage};
 pub use config::{ClusterConfig, HadoopParams, HardwareProfile};
@@ -45,3 +47,4 @@ pub use error::ExecError;
 pub use faults::{FaultPlan, TaskKind};
 pub use job::{Emit, InputSpec, MrJob, TaggedRecord};
 pub use metrics::JobMetrics;
+pub use sink::{BatchSink, RowBatch, SinkSpec};

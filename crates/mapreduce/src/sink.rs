@@ -1,0 +1,106 @@
+//! Row-batch sinks: the delivery seam for streamed query results.
+//!
+//! A terminal (non-persisted) job can deliver its reduce output as an
+//! ordered sequence of bounded [`RowBatch`]es instead of one
+//! materialised `Relation`. The engine drives reducers in reducer-index
+//! order and pushes rows into the sink as they are produced, so the
+//! concatenation of all batches is bit-identical to the buffered run's
+//! output — only peak memory and time-to-first-row change. The
+//! simulated cost metrics (Eq. 2–4) are computed from the same byte and
+//! candidate counts either way and stay bit-identical.
+//!
+//! [`BatchSink::send`] returning `false` means the receiver is gone
+//! (the consumer dropped its stream); the engine aborts the run with
+//! [`ExecError::Cancelled`](crate::ExecError::Cancelled) — the
+//! cancellation path of RAII result streams.
+
+use mwtj_storage::Tuple;
+use std::sync::Arc;
+
+/// A bounded batch of output rows, in emission order.
+#[derive(Debug, Clone, Default)]
+pub struct RowBatch {
+    /// The rows. At most the configured batch size, except that the
+    /// final batch of a stream may be smaller (never larger).
+    pub rows: Vec<Tuple>,
+}
+
+impl RowBatch {
+    /// Number of rows in the batch.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the batch is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+}
+
+/// Where a streaming job's output rows go, batch by batch.
+///
+/// `send` blocks for backpressure (bounded channels) and returns
+/// `false` when the receiver has gone away; producers must stop
+/// promptly and treat the run as cancelled.
+pub trait BatchSink: Send + Sync {
+    /// Deliver one batch. Returns `false` if the receiver is gone.
+    fn send(&self, batch: RowBatch) -> bool;
+}
+
+/// A sink plus the batch size to cut the row stream into — what
+/// execution layers thread down to the terminal job.
+#[derive(Clone)]
+pub struct SinkSpec {
+    /// The receiver side.
+    pub sink: Arc<dyn BatchSink>,
+    /// Rows per batch (≥ 1; the engine clamps).
+    pub batch_rows: usize,
+}
+
+impl SinkSpec {
+    /// Build a spec over `sink` cutting batches of `batch_rows`.
+    pub fn new(sink: Arc<dyn BatchSink>, batch_rows: usize) -> Self {
+        SinkSpec {
+            sink,
+            batch_rows: batch_rows.max(1),
+        }
+    }
+}
+
+impl std::fmt::Debug for SinkSpec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SinkSpec")
+            .field("batch_rows", &self.batch_rows)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mwtj_storage::tuple;
+    use parking_lot::Mutex;
+
+    struct Collector(Mutex<Vec<RowBatch>>);
+
+    impl BatchSink for Collector {
+        fn send(&self, batch: RowBatch) -> bool {
+            self.0.lock().push(batch);
+            true
+        }
+    }
+
+    #[test]
+    fn spec_clamps_batch_rows_and_delivers() {
+        let sink = Arc::new(Collector(Mutex::new(Vec::new())));
+        let spec = SinkSpec::new(sink.clone(), 0);
+        assert_eq!(spec.batch_rows, 1);
+        assert!(spec.sink.send(RowBatch {
+            rows: vec![tuple![1]],
+        }));
+        let got = sink.0.lock();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].len(), 1);
+        assert!(!got[0].is_empty());
+    }
+}

@@ -14,11 +14,15 @@ use mwtj_cost::estimate::condition_selectivity;
 use mwtj_cost::{schedule_malleable, CostModel, MalleableJob};
 use mwtj_hilbert::PartitionStrategy;
 use mwtj_join::{ChainThetaJob, IntermediateShape, PairJob, PairStrategy};
-use mwtj_mapreduce::{Cluster, FaultPlan, InputSpec, JobMetrics, PlanJob, PlanStage};
+use mwtj_mapreduce::{
+    BatchSink, Cluster, ExecError, FaultPlan, InputSpec, JobMetrics, PlanJob, PlanStage, RowBatch,
+    SinkSpec,
+};
 use mwtj_query::theta::CompiledPredicate;
 use mwtj_query::MultiwayQuery;
 use mwtj_storage::{Relation, RelationStats, Tuple};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Monotonic tag namespacing one run's intermediate DFS files, so
 /// concurrent queries over one shared cluster never collide.
@@ -46,6 +50,13 @@ pub struct ExecOptions {
     /// Admission ticket to stamp onto every [`JobMetrics`] this run
     /// produces (0 = not admission-controlled).
     pub ticket: u64,
+    /// Stream the *final* join output through this sink as ordered
+    /// [`RowBatch`]es (final-projected rows) instead of materialising
+    /// it — only the terminal job streams; intermediate stages still
+    /// hit the simulated DFS, so the Eq. 2–4 cost metrics are
+    /// bit-identical to a buffered run. The returned
+    /// [`QueryRun::output`] is then empty (schema only).
+    pub sink: Option<SinkSpec>,
 }
 
 impl ExecOptions {
@@ -53,6 +64,78 @@ impl ExecOptions {
     fn effective_units(&self, cluster: &Cluster) -> u32 {
         let k_p = cluster.config().processing_units;
         self.units.map_or(k_p, |u| u.clamp(1, k_p))
+    }
+}
+
+/// A sink wrapper applying the query's final projection to each batch
+/// before forwarding — the terminal job emits shape-wide rows, but the
+/// stream contract delivers exactly the rows `project_rows` would have
+/// produced.
+struct ProjectingSink {
+    inner: Arc<dyn BatchSink>,
+    /// Flat column picks into shape rows; `None` = empty projection,
+    /// rows pass through.
+    cols: Option<Vec<usize>>,
+}
+
+impl BatchSink for ProjectingSink {
+    fn send(&self, batch: RowBatch) -> bool {
+        match &self.cols {
+            None => self.inner.send(batch),
+            Some(cols) => {
+                let rows = batch
+                    .rows
+                    .into_iter()
+                    .map(|row| Tuple::new(cols.iter().map(|&c| row.get(c).clone()).collect()))
+                    .collect();
+                self.inner.send(RowBatch { rows })
+            }
+        }
+    }
+}
+
+/// The caller's sink wrapped with the projection for terminal rows of
+/// `shape`; `None` when the run is not streamed.
+fn terminal_sink(
+    opts: &ExecOptions,
+    query: &MultiwayQuery,
+    shape: &IntermediateShape,
+) -> Option<SinkSpec> {
+    opts.sink.as_ref().map(|spec| SinkSpec {
+        sink: Arc::new(ProjectingSink {
+            inner: Arc::clone(&spec.sink),
+            cols: projection_cols(query, shape),
+        }),
+        batch_rows: spec.batch_rows,
+    })
+}
+
+/// Flat column indices of the query projection into rows of `shape`
+/// (the compiled form of [`IntermediateShape::value`] per projected
+/// column); `None` for the pass-through empty projection.
+fn projection_cols(query: &MultiwayQuery, shape: &IntermediateShape) -> Option<Vec<usize>> {
+    if query.projection.is_empty() {
+        None
+    } else {
+        Some(
+            query
+                .projection
+                .iter()
+                .map(|&(r, c)| shape.col_range(r).start + c)
+                .collect(),
+        )
+    }
+}
+
+/// Remove every intermediate DFS file a failed or cancelled run left
+/// behind (all files carry the run's `__run<tag>_` namespace prefix) —
+/// a dropped result stream must not leak namespaced files.
+fn cleanup_run_files(cluster: &Cluster, run_tag: u64) {
+    let prefix = format!("__run{run_tag}_");
+    for file in cluster.dfs().list() {
+        if file.starts_with(&prefix) {
+            cluster.dfs().remove(&file);
+        }
     }
 }
 
@@ -354,8 +437,25 @@ impl Planner {
         cluster: &Cluster,
         opts: &ExecOptions,
     ) -> Result<QueryRun, PlanError> {
-        let strategy = opts.strategy;
         let run_tag = fresh_run_tag();
+        let result = self.exec_ours_inner(query, stats, cluster, opts, run_tag);
+        if result.is_err() {
+            // A failed (or stream-cancelled) run must not leak its
+            // namespaced intermediates.
+            cleanup_run_files(cluster, run_tag);
+        }
+        result
+    }
+
+    fn exec_ours_inner(
+        &self,
+        query: &MultiwayQuery,
+        stats: &[&RelationStats],
+        cluster: &Cluster,
+        opts: &ExecOptions,
+        run_tag: u64,
+    ) -> Result<QueryRun, PlanError> {
+        let strategy = opts.strategy;
         let wall = std::time::Instant::now();
         let k_p = opts.effective_units(cluster);
         let (chosen, plan) = self.try_plan_ours(query, stats, k_p)?;
@@ -416,6 +516,14 @@ impl Planner {
                         (Box::new(job), inputs, reducers, shape)
                     }
                 };
+                // Only the terminal job streams: a single-candidate
+                // plan's one job is terminal; multi-candidate plans
+                // persist every part and stream from the final merge.
+                let sink = if single {
+                    terminal_sink(opts, query, &out_shape)
+                } else {
+                    None
+                };
                 let out_file = if single {
                     None
                 } else {
@@ -429,6 +537,7 @@ impl Planner {
                     reducers,
                     units,
                     out_file,
+                    sink,
                 });
             }
             if !jobs.is_empty() {
@@ -533,16 +642,37 @@ impl Planner {
             let last = parts.is_empty();
             let out_file = format!("__run{run_tag}_merged_{merge_id}");
             let out_shape = job.out_shape().clone();
-            let run = cluster.engine().try_run_with(
-                &job,
-                &[InputSpec::new(&lf, 0), InputSpec::new(&rf, 1)],
-                k_p,
-                job.reducers(),
-                if last { None } else { Some(&out_file) },
-                opts.faults
-                    .as_ref()
-                    .unwrap_or_else(|| cluster.engine().fault_plan()),
-            )?;
+            let inputs = [InputSpec::new(&lf, 0), InputSpec::new(&rf, 1)];
+            let faults = opts
+                .faults
+                .as_ref()
+                .unwrap_or_else(|| cluster.engine().fault_plan());
+            // The final merge is the terminal job: with a sink attached
+            // it streams final-projected batches instead of
+            // materialising.
+            let stream = if last {
+                terminal_sink(opts, query, &out_shape)
+            } else {
+                None
+            };
+            let run = match &stream {
+                Some(spec) => cluster.engine().try_run_streamed(
+                    &job,
+                    &inputs,
+                    k_p,
+                    job.reducers(),
+                    faults,
+                    spec,
+                )?,
+                None => cluster.engine().try_run_with(
+                    &job,
+                    &inputs,
+                    k_p,
+                    job.reducers(),
+                    if last { None } else { Some(&out_file) },
+                    faults,
+                )?,
+            };
             sim += run.metrics.sim_total_secs;
             metrics.push(run.metrics);
             cluster.dfs().remove(&lf);
@@ -557,10 +687,25 @@ impl Planner {
         let (f, shape) = parts.pop().ok_or_else(|| PlanError::Disconnected {
             detail: format!("no partial results to merge for `{}`", query.name),
         })?;
-        let rel = cluster.dfs().read_relation(&f).ok_or_else(|| {
-            PlanError::Exec(mwtj_mapreduce::ExecError::MissingFile { name: f.clone() })
-        })?;
+        let rel = cluster
+            .dfs()
+            .read_relation(&f)
+            .ok_or_else(|| PlanError::Exec(ExecError::MissingFile { name: f.clone() }))?;
         cluster.dfs().remove(&f);
+        if let Some(spec) = terminal_sink(opts, query, &shape) {
+            // Degenerate streamed plan (one part, no terminal merge):
+            // ship the materialised part through the sink in batches so
+            // the caller still sees a well-formed stream.
+            let mut rows = rel.into_rows();
+            while !rows.is_empty() {
+                let rest = rows.split_off(rows.len().min(spec.batch_rows));
+                if !spec.sink.send(RowBatch { rows }) {
+                    return Err(PlanError::Exec(ExecError::Cancelled));
+                }
+                rows = rest;
+            }
+            return Ok((Vec::new(), shape, sim, metrics));
+        }
         Ok((rel.into_rows(), shape, sim, metrics))
     }
 
@@ -597,6 +742,23 @@ impl Planner {
         opts: &ExecOptions,
     ) -> Result<QueryRun, PlanError> {
         let run_tag = fresh_run_tag();
+        let result = self.exec_baseline_inner(baseline, query, stats, cluster, opts, run_tag);
+        if result.is_err() {
+            cleanup_run_files(cluster, run_tag);
+        }
+        result
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn exec_baseline_inner(
+        &self,
+        baseline: Baseline,
+        query: &MultiwayQuery,
+        stats: &[&RelationStats],
+        cluster: &Cluster,
+        opts: &ExecOptions,
+        run_tag: u64,
+    ) -> Result<QueryRun, PlanError> {
         let wall = std::time::Instant::now();
         let k_p = opts.effective_units(cluster);
         let compiled = query.compile()?;
@@ -659,21 +821,42 @@ impl Planner {
                 strategy_tag(strategy),
                 job.reducers()
             ));
-            let run = cluster.engine().try_run_with(
-                &job,
-                &[
-                    InputSpec::new(&cur_file, 0),
-                    InputSpec::new(query.schemas[next].name(), 1),
-                ],
-                // Cascades get the whole cluster per step, but a
-                // kP-unaware reducer request beyond k_p simply waves.
-                k_p,
-                job.reducers(),
-                if last { None } else { Some(&out_file) },
-                opts.faults
-                    .as_ref()
-                    .unwrap_or_else(|| cluster.engine().fault_plan()),
-            )?;
+            let inputs = [
+                InputSpec::new(&cur_file, 0),
+                InputSpec::new(query.schemas[next].name(), 1),
+            ];
+            let faults = opts
+                .faults
+                .as_ref()
+                .unwrap_or_else(|| cluster.engine().fault_plan());
+            // The cascade's last step is the terminal job: with a sink
+            // attached it streams final-projected batches.
+            let stream = if last {
+                terminal_sink(opts, query, &out_shape)
+            } else {
+                None
+            };
+            let run = match &stream {
+                Some(spec) => cluster.engine().try_run_streamed(
+                    &job,
+                    &inputs,
+                    // Cascades get the whole cluster per step, but a
+                    // kP-unaware reducer request beyond k_p simply
+                    // waves.
+                    k_p,
+                    job.reducers(),
+                    faults,
+                    spec,
+                )?,
+                None => cluster.engine().try_run_with(
+                    &job,
+                    &inputs,
+                    k_p,
+                    job.reducers(),
+                    if last { None } else { Some(&out_file) },
+                    faults,
+                )?,
+            };
             sim += run.metrics.sim_total_secs;
             let mut m = run.metrics;
             m.ticket = opts.ticket;

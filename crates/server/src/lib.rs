@@ -39,5 +39,8 @@
 pub mod protocol;
 pub mod server;
 
-pub use protocol::{err_response, ok_response, read_frame, write_frame, Request, MAX_FRAME_BYTES};
+pub use protocol::{
+    batch_frame, end_frame, err_response, ok_response, parse_stream_frame, read_frame,
+    schema_frame, write_frame, Request, StreamFrame, DEFAULT_STREAM_BATCH, MAX_FRAME_BYTES,
+};
 pub use server::{load_demo, serve_lines, Client, Server};

@@ -3,7 +3,7 @@
 //! ```text
 //! mwtj-server [--listen ADDR] [--units K] [--max-queue N] [--demo]
 //! mwtj-server --stdin [--units K] [--max-queue N] [--demo]
-//! mwtj-server client ADDR REQUEST...
+//! mwtj-server client [--stream] ADDR REQUEST...
 //! ```
 //!
 //! The default mode binds a TCP listener and serves the framed
@@ -11,7 +11,10 @@
 //! requests from stdin (responses on stdout) — handy for scripts and
 //! CI. `client` sends a single request (the remaining arguments,
 //! joined) to a running server and prints the response; it exits
-//! non-zero if the response is an error.
+//! non-zero if the response is an error. With `--stream` the client
+//! reads a streamed frame sequence (schema → batches → end) and prints
+//! each frame *as it arrives* — a `run` request is rewritten to
+//! `stream` for convenience.
 
 use mwtj_core::{AdmissionPolicy, Engine};
 use mwtj_server::{load_demo, serve_lines, Client, Server};
@@ -29,7 +32,7 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: mwtj-server [--listen ADDR] [--units K] [--max-queue N] [--demo] [--stdin]\n\
-         \x20      mwtj-server client ADDR REQUEST..."
+         \x20      mwtj-server client [--stream] ADDR REQUEST..."
     );
     std::process::exit(2);
 }
@@ -82,11 +85,24 @@ fn build_engine(args: &Args) -> Engine {
 }
 
 fn client_main(rest: &[String]) -> ExitCode {
+    let mut rest = rest;
+    let mut streamed = false;
+    if rest.first().map(String::as_str) == Some("--stream") {
+        streamed = true;
+        rest = &rest[1..];
+    }
     let Some(addr) = rest.first() else { usage() };
     if rest.len() < 2 {
         usage();
     }
-    let request = rest[1..].join(" ");
+    let mut request = rest[1..].join(" ");
+    if streamed {
+        // `client --stream ADDR run …` means "the same query,
+        // streamed" — rewrite the verb.
+        if let Some(tail) = request.strip_prefix("run ") {
+            request = format!("stream {tail}");
+        }
+    }
     let mut client = match Client::connect(addr.as_str()) {
         Ok(c) => c,
         Err(e) => {
@@ -94,11 +110,24 @@ fn client_main(rest: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    // Tolerate a closed stdout (e.g. piped into `head`): a truncated
+    // print must not look like a failed request.
+    use std::io::Write as _;
+    if streamed {
+        return match client.stream(&request, |frame| {
+            let _ = writeln!(io::stdout(), "{frame}");
+            let _ = io::stdout().flush();
+        }) {
+            Ok(true) => ExitCode::SUCCESS,
+            Ok(false) => ExitCode::FAILURE,
+            Err(e) => {
+                eprintln!("stream failed: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     match client.request(&request) {
         Ok(response) => {
-            // Tolerate a closed stdout (e.g. piped into `head`):
-            // a truncated print must not look like a failed request.
-            use std::io::Write as _;
             let _ = writeln!(io::stdout(), "{response}");
             if response.starts_with("err") {
                 ExitCode::FAILURE

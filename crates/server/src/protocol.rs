@@ -26,9 +26,26 @@
 //! round-trip (`ours`, `ours:grid`, `hive+calibrated`,
 //! `pig+faults=0.25@99/4`), so the wire format needs no parsing
 //! machinery of its own.
+//!
+//! ## Streaming frames
+//!
+//! A `stream [options] [batch=N] <sql>` request answers with a frame
+//! *sequence* instead of one response:
+//!
+//! ```text
+//! ok stream=schema cols=<n> name=<rel>     + body: col:type,...
+//! ok stream=batch rows=<n>                 + body: n CSV rows
+//! …(zero or more batch frames)…
+//! ok stream=end rows=<total> batches=<b> units=<u> ticket=<t>
+//!    sim_secs=<s> predicted_secs=<p>
+//! ```
+//!
+//! An `err …` frame at any point terminates the stream. The typed
+//! forms round-trip through [`schema_frame`]/[`batch_frame`]/
+//! [`end_frame`] and [`parse_stream_frame`].
 
-use mwtj_core::RunOptions;
-use mwtj_storage::{DataType, Schema};
+use mwtj_core::{RunOptions, StreamEnd};
+use mwtj_storage::{csv, DataType, Relation, Schema, Tuple};
 use std::io::{self, Read, Write};
 
 /// Upper bound on a frame payload (defends the server against a
@@ -88,6 +105,17 @@ pub enum Request {
         /// The SQL text.
         sql: String,
     },
+    /// Execute SQL, answering with a streamed frame sequence
+    /// (schema → batches → end) instead of one response.
+    Stream {
+        /// Parsed run options (default when omitted).
+        opts: RunOptions,
+        /// Rows per batch frame (`batch=N`; server default when
+        /// omitted).
+        batch_rows: Option<usize>,
+        /// The SQL text.
+        sql: String,
+    },
     /// Load a relation from CSV rows.
     Load {
         /// Relation name.
@@ -126,27 +154,39 @@ impl Request {
             "quit" | "exit" => Ok(Request::Quit),
             "run" => {
                 let rest = head["run".len()..].trim_start();
-                // `run [options] <sql…>`: the first word is options iff
-                // it parses as RunOptions; otherwise the SQL starts
-                // immediately (default options).
-                let (opts, inline) = match rest.split_whitespace().next() {
-                    Some(first) => match first.parse::<RunOptions>() {
-                        Ok(opts) => (opts, rest[first.len()..].trim_start()),
-                        Err(_) => (RunOptions::default(), rest),
-                    },
-                    None => (RunOptions::default(), rest),
-                };
-                let mut sql = String::new();
-                if !inline.is_empty() {
-                    sql.push_str(inline);
-                    sql.push('\n');
-                }
-                sql.push_str(body);
-                let sql = sql.trim().to_string();
+                let (opts, inline) = split_leading_opts(rest);
+                let sql = gather_sql(inline, body);
                 if sql.is_empty() {
                     return Err("run: missing SQL text".into());
                 }
                 Ok(Request::Run { opts, sql })
+            }
+            "stream" => {
+                let rest = head["stream".len()..].trim_start();
+                // `stream [options] [batch=N] <sql…>`.
+                let (opts, mut inline) = split_leading_opts(rest);
+                let mut batch_rows = None;
+                if let Some(first) = inline.split_whitespace().next() {
+                    if let Some(n) = first.strip_prefix("batch=") {
+                        let rows: usize = n
+                            .parse()
+                            .map_err(|_| format!("stream: bad batch size `{n}`"))?;
+                        if rows == 0 {
+                            return Err("stream: batch size must be ≥ 1".into());
+                        }
+                        batch_rows = Some(rows);
+                        inline = inline[first.len()..].trim_start();
+                    }
+                }
+                let sql = gather_sql(inline, body);
+                if sql.is_empty() {
+                    return Err("stream: missing SQL text".into());
+                }
+                Ok(Request::Stream {
+                    opts,
+                    batch_rows,
+                    sql,
+                })
             }
             "load" => {
                 let name = words.next().ok_or("load: missing relation name")?;
@@ -173,10 +213,35 @@ impl Request {
                 })
             }
             other => Err(format!(
-                "unknown command `{other}` (expected ping, status, tables, run, load, unload, shutdown or quit)"
+                "unknown command `{other}` (expected ping, status, tables, run, stream, load, unload, shutdown or quit)"
             )),
         }
     }
+}
+
+/// `[options] <rest…>`: the first word is options iff it parses as
+/// [`RunOptions`]; otherwise the payload starts immediately (default
+/// options).
+fn split_leading_opts(rest: &str) -> (RunOptions, &str) {
+    match rest.split_whitespace().next() {
+        Some(first) => match first.parse::<RunOptions>() {
+            Ok(opts) => (opts, rest[first.len()..].trim_start()),
+            Err(_) => (RunOptions::default(), rest),
+        },
+        None => (RunOptions::default(), rest),
+    }
+}
+
+/// Join the inline tail of the command line with the framed body into
+/// one trimmed SQL text.
+fn gather_sql(inline: &str, body: &str) -> String {
+    let mut sql = String::new();
+    if !inline.is_empty() {
+        sql.push_str(inline);
+        sql.push('\n');
+    }
+    sql.push_str(body);
+    sql.trim().to_string()
 }
 
 /// Parse a `col:type,...` schema spec (`int`, `double`/`float`, `str`).
@@ -224,6 +289,186 @@ pub fn ok_response(fields: &[(&str, String)], body: Option<&str>) -> String {
 /// Build an `err` response.
 pub fn err_response(detail: impl std::fmt::Display) -> String {
     format!("err {detail}")
+}
+
+// ------------------------------------------------------------------
+// Streaming frames
+// ------------------------------------------------------------------
+
+/// Default rows per batch frame for `stream` requests that omit
+/// `batch=N`.
+pub const DEFAULT_STREAM_BATCH: usize = 512;
+
+/// Upper clamp on client-supplied `batch=N`: keeps one batch's rows
+/// (the server's peak resident set) and its rendered frame bounded —
+/// 16 Ki rows of ~40-byte demo rows is well under [`MAX_FRAME_BYTES`].
+/// Wide rows can still overflow a frame; the server answers that with
+/// an `err` frame rather than a dropped connection.
+pub const MAX_STREAM_BATCH: usize = 16 * 1024;
+
+/// A parsed frame of a streamed response.
+#[derive(Debug, Clone, PartialEq)]
+pub enum StreamFrame {
+    /// The schema frame opening every stream.
+    Schema {
+        /// The output schema (name + typed columns).
+        schema: Schema,
+    },
+    /// One batch of rows.
+    Batch {
+        /// Row count (the header's `rows=` field; always equals the
+        /// body's record count under RFC-4180 quoting).
+        rows: usize,
+        /// The rows as header-less CSV (parse with
+        /// [`mwtj_storage::csv::parse_csv`] under the schema frame's
+        /// schema). Caveat shared with the unary `run` body: a row
+        /// whose every column is NULL renders as a *blank* record,
+        /// which `parse_csv` skips — `rows` stays authoritative for
+        /// counting, but such rows are not reconstructable from CSV.
+        csv: String,
+    },
+    /// The terminal metrics frame.
+    End {
+        /// Total rows delivered.
+        rows: u64,
+        /// Batch frames delivered.
+        batches: u64,
+        /// Processing units granted to the run.
+        units: u32,
+        /// Admission ticket id.
+        ticket: u64,
+        /// Achieved simulated makespan.
+        sim_secs: f64,
+        /// Planner-predicted makespan.
+        predicted_secs: f64,
+    },
+}
+
+/// Number of CSV records in `body` — delegated to the storage codec's
+/// quote-aware record splitter (a quoted string value may span lines;
+/// an all-NULL row is an *empty* record, closed by its newline), so
+/// the wire count can never drift from how [`csv::parse_csv`] splits.
+fn csv_record_count(body: &str) -> usize {
+    csv::split_records(body).len()
+}
+
+/// Data-type tag used in schema frames (the `load` colspec syntax).
+fn dt_tag(dt: DataType) -> &'static str {
+    match dt {
+        DataType::Int => "int",
+        DataType::Double => "double",
+        DataType::Str => "str",
+    }
+}
+
+/// The schema frame: `ok stream=schema cols=<n> name=<rel>` with a
+/// `col:type,...` body (the same colspec syntax `load` accepts).
+pub fn schema_frame(schema: &Schema) -> String {
+    let spec: Vec<String> = schema
+        .fields()
+        .iter()
+        .map(|f| format!("{}:{}", f.name, dt_tag(f.data_type)))
+        .collect();
+    format!(
+        "ok stream=schema cols={} name={}\n{}",
+        schema.arity(),
+        schema.name(),
+        spec.join(",")
+    )
+}
+
+/// A batch frame: `ok stream=batch rows=<n>` with the rows as
+/// header-less CSV in the body — verbatim, every record (including a
+/// trailing all-NULL one, which renders as an empty line)
+/// newline-terminated, so the record count always agrees with `rows=`.
+pub fn batch_frame(schema: &Schema, rows: Vec<Tuple>) -> String {
+    let n = rows.len();
+    let rel = Relation::from_rows_unchecked(schema.clone(), rows);
+    let csv = csv::to_csv(&rel);
+    // to_csv leads with a header line; the schema frame already
+    // carried the columns.
+    let body = csv.split_once('\n').map(|(_, rest)| rest).unwrap_or("");
+    format!("ok stream=batch rows={n}\n{body}")
+}
+
+/// The end frame carrying the run's metrics. Floats print in full
+/// `Display` precision so the frame round-trips exactly.
+pub fn end_frame(end: &StreamEnd) -> String {
+    format!(
+        "ok stream=end rows={} batches={} units={} ticket={} sim_secs={} predicted_secs={}",
+        end.rows, end.batches, end.granted_units, end.ticket, end.sim_secs, end.predicted_secs
+    )
+}
+
+/// Parse one streamed-response frame (the inverse of
+/// [`schema_frame`]/[`batch_frame`]/[`end_frame`]). Malformed frames —
+/// wrong leading tokens, missing or unparseable fields, a batch whose
+/// body line count disagrees with `rows=`, a schema whose colspec
+/// disagrees with `cols=` — are errors.
+pub fn parse_stream_frame(payload: &str) -> Result<StreamFrame, String> {
+    let (head, body) = match payload.split_once('\n') {
+        Some((h, b)) => (h, b),
+        None => (payload, ""),
+    };
+    let mut words = head.split_whitespace();
+    if words.next() != Some("ok") {
+        return Err(format!("not a stream frame: `{head}`"));
+    }
+    let kind = words
+        .next()
+        .and_then(|w| w.strip_prefix("stream="))
+        .ok_or_else(|| format!("missing stream= tag in `{head}`"))?
+        .to_string();
+    let mut fields = std::collections::HashMap::new();
+    for w in words {
+        let (k, v) = w
+            .split_once('=')
+            .ok_or_else(|| format!("bad field `{w}` in `{head}`"))?;
+        fields.insert(k, v);
+    }
+    let field = |k: &str| -> Result<&str, String> {
+        fields
+            .get(k)
+            .copied()
+            .ok_or_else(|| format!("missing `{k}=` in `{head}`"))
+    };
+    fn num<T: std::str::FromStr>(k: &str, v: &str) -> Result<T, String> {
+        v.parse().map_err(|_| format!("bad `{k}={v}`"))
+    }
+    match kind.as_str() {
+        "schema" => {
+            let cols: usize = num("cols", field("cols")?)?;
+            let name = field("name")?;
+            let schema = parse_colspec(name, body.trim())?;
+            if schema.arity() != cols {
+                return Err(format!(
+                    "schema frame says cols={cols} but the colspec has {}",
+                    schema.arity()
+                ));
+            }
+            Ok(StreamFrame::Schema { schema })
+        }
+        "batch" => {
+            let rows: usize = num("rows", field("rows")?)?;
+            let got = csv_record_count(body);
+            if got != rows {
+                return Err(format!("batch frame says rows={rows} but carries {got}"));
+            }
+            Ok(StreamFrame::Batch {
+                rows,
+                csv: body.to_string(),
+            })
+        }
+        "end" => Ok(StreamFrame::End {
+            rows: num("rows", field("rows")?)?,
+            batches: num("batches", field("batches")?)?,
+            units: num("units", field("units")?)?,
+            ticket: num("ticket", field("ticket")?)?,
+            sim_secs: num("sim_secs", field("sim_secs")?)?,
+            predicted_secs: num("predicted_secs", field("predicted_secs")?)?,
+        }),
+        other => Err(format!("unknown stream frame kind `{other}`")),
+    }
 }
 
 #[cfg(test)]
@@ -314,6 +559,73 @@ mod tests {
         assert!(Request::parse("load r").is_err());
         assert!(Request::parse("load r a:blob 1").is_err());
         assert!(Request::parse("load r a 1").is_err());
+    }
+
+    #[test]
+    fn parses_stream_with_options_and_batch_size() {
+        let r =
+            Request::parse("stream hive batch=32 SELECT * FROM r a, s b WHERE a.x < b.x").unwrap();
+        match r {
+            Request::Stream {
+                opts,
+                batch_rows,
+                sql,
+            } => {
+                assert_eq!(opts.get_method(), Method::Hive);
+                assert_eq!(batch_rows, Some(32));
+                assert!(sql.starts_with("SELECT"));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Options and batch size both optional; SQL may live in the
+        // body.
+        let r = Request::parse("stream\nSELECT * FROM r a, s b WHERE a.x = b.x").unwrap();
+        match r {
+            Request::Stream {
+                opts, batch_rows, ..
+            } => {
+                assert_eq!(opts, RunOptions::default());
+                assert_eq!(batch_rows, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(Request::parse("stream").is_err());
+        assert!(Request::parse("stream batch=0 SELECT 1").is_err());
+        assert!(Request::parse("stream batch=xyz SELECT 1").is_err());
+    }
+
+    #[test]
+    fn stream_frames_build_and_parse() {
+        let schema = Schema::from_pairs("out", &[("x.a", DataType::Int), ("y.b", DataType::Str)]);
+        let sf = schema_frame(&schema);
+        assert!(sf.starts_with("ok stream=schema cols=2 name=out\n"), "{sf}");
+        assert_eq!(
+            parse_stream_frame(&sf).unwrap(),
+            StreamFrame::Schema {
+                schema: schema.clone()
+            }
+        );
+        let bf = batch_frame(
+            &schema,
+            vec![
+                mwtj_storage::tuple![1, "hi"],
+                mwtj_storage::tuple![2, "a,b"],
+            ],
+        );
+        match parse_stream_frame(&bf).unwrap() {
+            StreamFrame::Batch { rows, csv } => {
+                assert_eq!(rows, 2);
+                assert!(csv.contains("\"a,b\""), "{csv}");
+            }
+            other => panic!("{other:?}"),
+        }
+        // Empty batch frames are legal (and carry no body lines).
+        match parse_stream_frame(&batch_frame(&schema, Vec::new())).unwrap() {
+            StreamFrame::Batch { rows, .. } => assert_eq!(rows, 0),
+            other => panic!("{other:?}"),
+        }
+        assert!(parse_stream_frame("ok stream=batch rows=2\nonly,one").is_err());
+        assert!(parse_stream_frame("err boom").is_err());
     }
 
     #[test]

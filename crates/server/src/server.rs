@@ -12,8 +12,11 @@
 //! new admissions, unblocks idle connections, and joins every worker
 //! before [`Server::serve`] returns.
 
-use crate::protocol::{err_response, ok_response, read_frame, write_frame, Request};
-use mwtj_core::Engine;
+use crate::protocol::{
+    batch_frame, end_frame, err_response, ok_response, read_frame, schema_frame, write_frame,
+    Request, DEFAULT_STREAM_BATCH, MAX_STREAM_BATCH,
+};
+use mwtj_core::{Engine, RunOptions, StreamOptions};
 use mwtj_storage::{csv, tuple, DataType, Relation, Schema};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -148,7 +151,33 @@ fn handle_connection(
         match read_frame(&mut stream) {
             Ok(Some(payload)) => {
                 requests.fetch_add(1, Ordering::Relaxed);
-                let (response, action) = handle_request(engine, &payload);
+                let parsed = Request::parse(&payload);
+                if let Ok(Request::Stream {
+                    opts,
+                    batch_rows,
+                    sql,
+                }) = parsed
+                {
+                    // Streamed responses write their own frame
+                    // sequence; an I/O error means the client went
+                    // away mid-stream (dropping the QueryStream inside
+                    // serve_stream cancels the run).
+                    if serve_stream(engine, &opts, batch_rows, &sql, &mut |frame| {
+                        write_frame(&mut stream, frame)
+                    })
+                    .is_err()
+                    {
+                        break;
+                    }
+                    if shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    continue;
+                }
+                let (response, action) = match parsed {
+                    Ok(request) => handle_request(engine, request),
+                    Err(e) => (err_response(e), Action::Continue),
+                };
                 if let Err(e) = write_frame(&mut stream, &response) {
                     // A response body over the frame limit is refused
                     // before any bytes hit the wire, so the stream is
@@ -195,13 +224,61 @@ fn handle_connection(
     let _ = stream.shutdown(std::net::Shutdown::Both);
 }
 
-/// Dispatch one request. Infallible: every failure becomes an `err`
-/// response.
-fn handle_request(engine: &Engine, payload: &str) -> (String, Action) {
-    let request = match Request::parse(payload) {
-        Ok(r) => r,
-        Err(e) => return (err_response(e), Action::Continue),
+/// Serve one `stream` request as a schema → batches → end frame
+/// sequence through `write` (a framed TCP writer or a line writer).
+/// Engine-side failures become `err` frames; only transport failures
+/// surface as `Err` (the connection is gone — dropping the stream
+/// cancels the run and releases its admission ticket).
+fn serve_stream(
+    engine: &Engine,
+    opts: &RunOptions,
+    batch_rows: Option<usize>,
+    sql: &str,
+    write: &mut dyn FnMut(&str) -> io::Result<()>,
+) -> io::Result<()> {
+    // Clamp the client's batch ask: one batch bounds the server's
+    // resident row set and (approximately) its frame size.
+    let stream_opts = StreamOptions::new().batch_rows(
+        batch_rows
+            .unwrap_or(DEFAULT_STREAM_BATCH)
+            .clamp(1, MAX_STREAM_BATCH),
+    );
+    let mut stream = match engine.run_sql_streamed("server", sql, opts, &stream_opts) {
+        Ok(s) => s,
+        Err(e) => return write(&err_response(e)),
     };
+    let schema = stream.schema().clone();
+    write(&schema_frame(&schema))?;
+    loop {
+        match stream.next_batch() {
+            Ok(Some(batch)) => {
+                if let Err(e) = write(&batch_frame(&schema, batch.rows)) {
+                    // An over-limit frame (very wide rows) is refused
+                    // by write_frame before any bytes hit the wire, so
+                    // the stream is still in sync: terminate it with a
+                    // typed err frame instead of a dropped connection.
+                    if e.kind() == io::ErrorKind::InvalidInput {
+                        return write(&err_response(format!(
+                            "batch frame too large ({e}); retry with a smaller batch=N"
+                        )));
+                    }
+                    return Err(e);
+                }
+            }
+            Ok(None) => {
+                let end = stream
+                    .end()
+                    .expect("next_batch returned None without an end");
+                return write(&end_frame(end));
+            }
+            Err(e) => return write(&err_response(e)),
+        }
+    }
+}
+
+/// Dispatch one non-streaming request. Infallible: every failure
+/// becomes an `err` response.
+fn handle_request(engine: &Engine, request: Request) -> (String, Action) {
     match request {
         Request::Ping => ("ok pong".into(), Action::Continue),
         Request::Quit => ("ok bye".into(), Action::Quit),
@@ -253,6 +330,12 @@ fn handle_request(engine: &Engine, payload: &str) -> (String, Action) {
                 Action::Continue,
             )
         }
+        // Streaming requests never reach this dispatcher (both serving
+        // loops route them to `serve_stream` first).
+        Request::Stream { .. } => (
+            err_response("internal: stream request routed to the unary dispatcher"),
+            Action::Continue,
+        ),
         Request::Run { opts, sql } => match engine.run_sql_with("server", &sql, &opts) {
             Err(e) => (err_response(e), Action::Continue),
             Ok(run) => {
@@ -283,7 +366,25 @@ pub fn serve_lines(engine: &Engine, input: impl BufRead, out: &mut impl Write) -
         if line.trim().is_empty() {
             continue;
         }
-        let (response, action) = handle_request(engine, &line);
+        let parsed = Request::parse(&line);
+        if let Ok(Request::Stream {
+            opts,
+            batch_rows,
+            sql,
+        }) = parsed
+        {
+            // Frames print as they arrive — incremental delivery on
+            // stdout, one frame block per line group.
+            serve_stream(engine, &opts, batch_rows, &sql, &mut |frame| {
+                writeln!(out, "{frame}")?;
+                out.flush()
+            })?;
+            continue;
+        }
+        let (response, action) = match parsed {
+            Ok(request) => handle_request(engine, request),
+            Err(e) => (err_response(e), Action::Continue),
+        };
         writeln!(out, "{response}")?;
         out.flush()?;
         match action {
@@ -335,6 +436,48 @@ impl Client {
     /// Convenience: `run <opts>` with the SQL in the body.
     pub fn run_sql(&mut self, opts: &mwtj_core::RunOptions, sql: &str) -> io::Result<String> {
         self.request(&format!("run {opts}\n{sql}"))
+    }
+
+    /// Send a request and read a streamed frame sequence, invoking
+    /// `on_frame` per frame as it arrives (incremental consumption).
+    /// Stops after an `ok stream=end` frame (returns `Ok(true)`), an
+    /// `err` frame (`Ok(false)`), or — for robustness against servers
+    /// answering non-stream responses — any single non-stream frame
+    /// (`Ok(true)`).
+    pub fn stream(&mut self, payload: &str, mut on_frame: impl FnMut(&str)) -> io::Result<bool> {
+        write_frame(&mut self.stream, payload)?;
+        loop {
+            let frame = read_frame(&mut self.stream)?.ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "server closed the connection mid-stream",
+                )
+            })?;
+            let head = frame.lines().next().unwrap_or_default().to_string();
+            on_frame(&frame);
+            if head.starts_with("err") {
+                return Ok(false);
+            }
+            if head.starts_with("ok stream=end") || !head.starts_with("ok stream=") {
+                return Ok(true);
+            }
+        }
+    }
+
+    /// Convenience: `stream <opts> [batch=N]` with the SQL in the
+    /// body, collecting every frame.
+    pub fn stream_sql(
+        &mut self,
+        opts: &mwtj_core::RunOptions,
+        batch_rows: Option<usize>,
+        sql: &str,
+    ) -> io::Result<Vec<String>> {
+        let batch = batch_rows.map_or(String::new(), |n| format!(" batch={n}"));
+        let mut frames = Vec::new();
+        self.stream(&format!("stream {opts}{batch}\n{sql}"), |f| {
+            frames.push(f.to_string())
+        })?;
+        Ok(frames)
     }
 
     /// The raw stream (tests use it to simulate rude disconnects and

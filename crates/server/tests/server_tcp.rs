@@ -104,6 +104,115 @@ fn run_results_match_oracle_and_rewrite_aliases() {
     handle.join().unwrap();
 }
 
+/// Streamed queries over real TCP: schema frame first, batch frames
+/// respecting `batch=N`, end frame with consistent totals — and the
+/// concatenated batch rows equal the unary `run` response.
+#[test]
+fn streamed_query_frames_match_run_response() {
+    use mwtj_server::{parse_stream_frame, StreamFrame};
+    let (_engine, addr, handle) = start_server(8);
+    let mut c = Client::connect(addr).expect("connect");
+    let run_reply = c.run_sql(&RunOptions::default(), Q_ST).unwrap();
+    let want = response_rows(&run_reply);
+
+    let frames = c
+        .stream_sql(&RunOptions::default(), Some(7), Q_ST)
+        .expect("stream");
+    assert!(frames.len() >= 3, "schema + ≥1 batch + end: {frames:?}");
+    let parsed: Vec<StreamFrame> = frames
+        .iter()
+        .map(|f| parse_stream_frame(f).expect("well-formed frame"))
+        .collect();
+    let StreamFrame::Schema { schema } = &parsed[0] else {
+        panic!("first frame must be the schema: {:?}", parsed[0]);
+    };
+    assert_eq!(schema.fields()[0].name, "u.a", "public aliases on wire");
+    let mut rows: Vec<String> = Vec::new();
+    let mut batch_total = 0u64;
+    for frame in &parsed[1..parsed.len() - 1] {
+        let StreamFrame::Batch { rows: n, csv } = frame else {
+            panic!("middle frames must be batches: {frame:?}");
+        };
+        assert!(*n >= 1 && *n <= 7, "batch size bound violated: {n}");
+        batch_total += *n as u64;
+        rows.extend(csv.lines().map(str::to_string));
+    }
+    let StreamFrame::End {
+        rows: total,
+        batches,
+        units,
+        ticket,
+        ..
+    } = parsed[parsed.len() - 1]
+    else {
+        panic!("last frame must be the end: {:?}", parsed.last());
+    };
+    assert_eq!(total, batch_total);
+    assert_eq!(batches as usize, parsed.len() - 2);
+    assert!(units >= 1 && ticket > 0);
+    rows.sort();
+    assert_eq!(rows, want, "streamed rows must equal the unary response");
+
+    // The connection stays usable after a stream, and engine-side
+    // failures arrive as a single err frame.
+    assert_eq!(c.request("ping").unwrap(), "ok pong");
+    let err_frames = c
+        .stream_sql(
+            &RunOptions::default(),
+            None,
+            "SELECT * FROM ghost g, r y WHERE g.a = y.a",
+        )
+        .unwrap();
+    assert_eq!(err_frames.len(), 1);
+    assert!(err_frames[0].starts_with("err "), "{:?}", err_frames[0]);
+    assert_eq!(c.request("ping").unwrap(), "ok pong");
+
+    shutdown(addr);
+    handle.join().unwrap();
+}
+
+/// A client that hangs up mid-stream cancels the run server-side: no
+/// leaked admission units, no leaked namespaced DFS files, and the
+/// server keeps serving.
+#[test]
+fn client_disconnect_mid_stream_cancels_the_run() {
+    let (engine, addr, handle) = start_server(8);
+    {
+        let mut raw = TcpStream::connect(addr).unwrap();
+        // Tiny batches keep the worker streaming long enough that the
+        // disconnect lands mid-run.
+        let payload = format!("stream batch=1 {Q_ST}");
+        mwtj_server::write_frame(&mut raw, &payload).unwrap();
+        // Read just the schema frame, then hang up rudely.
+        let first = mwtj_server::read_frame(&mut raw).unwrap().unwrap();
+        assert!(first.starts_with("ok stream=schema"), "{first}");
+        drop(raw);
+    }
+    // Give the server time to notice the broken pipe and unwind.
+    for _ in 0..100 {
+        if engine.scheduler().stats().in_flight_units == 0 {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    let stats = engine.scheduler().stats();
+    assert_eq!(stats.in_flight_units, 0, "stream leaked units: {stats:?}");
+    assert!(
+        engine
+            .cluster()
+            .dfs()
+            .list()
+            .iter()
+            .all(|f| !f.starts_with("__run") && !f.contains("__q")),
+        "stream leaked DFS files: {:?}",
+        engine.cluster().dfs().list()
+    );
+    let mut c = Client::connect(addr).expect("connect after abuse");
+    assert_eq!(c.request("ping").unwrap(), "ok pong");
+    shutdown(addr);
+    handle.join().unwrap();
+}
+
 #[test]
 fn malformed_frames_get_an_error_and_do_not_kill_the_server() {
     let (_engine, addr, handle) = start_server(8);

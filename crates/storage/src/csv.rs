@@ -13,12 +13,14 @@ use crate::tuple::Tuple;
 use crate::value::Value;
 use std::fmt::Write as _;
 
-/// Parse CSV `text` into a relation under `schema`. The first line may
-/// be a header (matched case-insensitively against the schema's column
-/// names and skipped); empty fields become NULL.
+/// Parse CSV `text` into a relation under `schema`. The first record
+/// may be a header (matched case-insensitively against the schema's
+/// column names and skipped); empty fields become NULL. Records are
+/// split on newlines *outside* RFC-4180 quotes, so quoted string
+/// values spanning lines (which [`to_csv`] emits) round-trip.
 pub fn parse_csv(schema: &Schema, text: &str) -> Result<Relation> {
     let mut rel = Relation::empty(schema.clone());
-    let mut lines = text.lines().enumerate().peekable();
+    let mut lines = split_records(text).into_iter().enumerate().peekable();
     // Header detection: every field equals a column name.
     if let Some(&(_, first)) = lines.peek() {
         let fields = split_line(first, 0)?;
@@ -123,6 +125,34 @@ fn parse_field(field: &str, ty: DataType, lineno: usize) -> Result<Value> {
     }
 }
 
+/// Split `text` into records on newlines outside RFC-4180 quotes
+/// (escaped quotes `""` toggle twice, netting out). A trailing newline
+/// closes the last record instead of opening an empty one.
+///
+/// Public so wire formats carrying header-less CSV bodies (the
+/// server's batch frames) can count records with exactly the rules
+/// [`parse_csv`] splits by, instead of re-implementing the quoting
+/// logic.
+pub fn split_records(text: &str) -> Vec<&str> {
+    let mut records = Vec::new();
+    let mut in_quotes = false;
+    let mut start = 0usize;
+    for (i, c) in text.char_indices() {
+        match c {
+            '"' => in_quotes = !in_quotes,
+            '\n' if !in_quotes => {
+                records.push(text[start..i].trim_end_matches('\r'));
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    if start < text.len() {
+        records.push(&text[start..]);
+    }
+    records
+}
+
 /// Split one CSV line with RFC-4180 quoting.
 fn split_line(line: &str, lineno: usize) -> Result<Vec<String>> {
     let mut fields = Vec::new();
@@ -214,6 +244,19 @@ mod tests {
         let csv = to_csv(&rel);
         let back = parse_csv(&schema(), &csv).unwrap();
         assert_eq!(back.rows()[0].get(1).as_str().unwrap(), "say \"hi\", ok");
+    }
+
+    #[test]
+    fn quoted_newlines_roundtrip() {
+        let rel =
+            Relation::from_rows(schema(), vec![tuple![1, "two\nline \"value\"", 0.5]]).unwrap();
+        let csv = to_csv(&rel);
+        let back = parse_csv(&schema(), &csv).unwrap();
+        assert_eq!(back.rows(), rel.rows());
+        assert_eq!(
+            back.rows()[0].get(1).as_str().unwrap(),
+            "two\nline \"value\""
+        );
     }
 
     #[test]

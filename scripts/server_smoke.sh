@@ -20,6 +20,24 @@ done
 "$BIN" client "$ADDR" ping
 "$BIN" client "$ADDR" run ours "SELECT x.a, y.b FROM r x, s y WHERE x.a = y.a" | head -2
 "$BIN" client "$ADDR" status
+
+# Streaming: the same query must arrive as a schema frame, then
+# MULTIPLE batch frames (incremental delivery, not one monolithic
+# body), then an end frame whose row total matches the unary run.
+RUN_OUT=$("$BIN" client "$ADDR" run ours "SELECT x.a, y.b FROM r x, s y WHERE x.a <= y.a")
+RUN_ROWS=$(tr ' ' '\n' <<<"${RUN_OUT%%$'\n'*}" | sed -n 's/^rows=//p')
+STREAM_OUT=$("$BIN" client --stream "$ADDR" stream ours batch=64 \
+  "SELECT x.a, y.b FROM r x, s y WHERE x.a <= y.a")
+[[ ${STREAM_OUT%%$'\n'*} == 'ok stream=schema'* ]] \
+  || { echo "stream smoke: missing schema frame"; exit 1; }
+BATCHES=$(grep -c 'ok stream=batch' <<<"$STREAM_OUT")
+[ "$BATCHES" -ge 2 ] \
+  || { echo "stream smoke: expected >=2 batch frames, got $BATCHES"; exit 1; }
+STREAM_ROWS=$(grep 'ok stream=end' <<<"$STREAM_OUT" | tr ' ' '\n' | sed -n 's/^rows=//p')
+[ "$STREAM_ROWS" = "$RUN_ROWS" ] \
+  || { echo "stream smoke: streamed $STREAM_ROWS rows != run $RUN_ROWS"; exit 1; }
+echo "stream smoke: $BATCHES batches, $STREAM_ROWS rows (matches run)"
+
 "$BIN" client "$ADDR" shutdown
 
 wait "$SERVER_PID"

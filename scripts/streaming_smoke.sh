@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# CI streaming smoke: bounded-memory run of the dense-output demo query
+# (~50% of a 240×180 cross product survives `<=`) with a small batch
+# size through the --stdin server. Asserts the result arrives as many
+# small batch frames plus a terminal metrics frame — i.e. the server
+# never materialises the result set. Expects the release binary
+# (cargo build --release -p mwtj-server).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=./target/release/mwtj-server
+
+OUT=$(printf 'stream ours batch=16 SELECT x.a, y.b FROM r x, s y WHERE x.a <= y.a\nquit\n' \
+  | "$BIN" --stdin --demo)
+
+# (No `... | head -1` pipelines here: under pipefail, head closing the
+# pipe early would SIGPIPE the producer and fail the script.)
+FIRST=${OUT%%$'\n'*}
+[[ $FIRST == 'ok stream=schema cols=2'* ]] \
+  || { echo "streaming smoke: missing schema frame (got: $FIRST)"; exit 1; }
+
+BATCHES=$(grep -c 'ok stream=batch rows=' <<<"$OUT")
+# ~22k result rows at 16 rows/batch → well over 1000 batch frames.
+[ "$BATCHES" -ge 100 ] \
+  || { echo "streaming smoke: expected >=100 batch frames, got $BATCHES"; exit 1; }
+
+grep -q 'ok stream=end rows=' <<<"$OUT" \
+  || { echo "streaming smoke: missing end frame"; exit 1; }
+
+ROWS=$(grep 'ok stream=end' <<<"$OUT" | tr ' ' '\n' | sed -n 's/^rows=//p')
+[ "$ROWS" -ge 10000 ] \
+  || { echo "streaming smoke: dense query produced only $ROWS rows"; exit 1; }
+
+echo "streaming smoke: $BATCHES batches, $ROWS rows, bounded memory"
