@@ -1,0 +1,273 @@
+//! Prepared-statement bench: amortised planning cost.
+//!
+//! Measures end-to-end per-query latency of two serving patterns over
+//! the same logical work:
+//!
+//! * `adhoc_cold` — every iteration submits a *fresh* query text
+//!   (a unique literal offset), so each run pays parse + plan
+//!   (`G'_JP` + set cover + shelf scheduling) + execute. This is what
+//!   a tenant without prepared statements pays — the shared plan cache
+//!   cannot help a text it has never seen.
+//! * `prepared` — `prepare` once, then every iteration `execute`s the
+//!   same handle with a different `?` parameter: parse and plan are
+//!   skipped (plan-cache hit), only execution runs.
+//!
+//! The gap is the serving overhead the prepared-query lifecycle
+//! removes. Quick mode (`--test`) also differential-checks that a
+//! prepared execution is bit-identical to the ad-hoc run of the same
+//! effective text — the CI smoke value.
+//!
+//! Run modes:
+//!
+//! * `cargo bench -p mwtj-bench --bench prepared` — full run, prints a
+//!   table and (re)writes `BENCH_prepared.json` at the repo root.
+//! * `cargo bench -p mwtj-bench --bench prepared -- --test` — CI
+//!   smoke: tiny sizes, one sample, correctness cross-check, no file.
+
+use mwtj_core::{Engine, RunOptions};
+use mwtj_storage::{tuple, DataType, Relation, Schema, Tuple};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+fn rel(name: &str, n: usize, seed: u64, domain: i64) -> Relation {
+    let schema = Schema::from_pairs(name, &[("a", DataType::Int), ("b", DataType::Int)]);
+    let mut rng = StdRng::seed_from_u64(seed);
+    Relation::from_rows_unchecked(
+        schema,
+        (0..n)
+            .map(|_| tuple![rng.gen_range(0..domain), rng.gen_range(0..domain)])
+            .collect(),
+    )
+}
+
+struct Workload {
+    name: &'static str,
+    /// SQL template with exactly one `?` slot.
+    template: &'static str,
+    /// The same text with `{}` where the literal goes.
+    literal: &'static str,
+    /// Full-mode relation sizes (execution cost grows superlinearly
+    /// with rows for the wider joins, so each workload picks sizes
+    /// that keep the full run in minutes).
+    sizes: &'static [usize],
+}
+
+const WORKLOADS: &[Workload] = &[
+    Workload {
+        name: "two_way_band",
+        template: "SELECT x.a, y.b FROM r x, s y WHERE x.a + ? <= y.a",
+        literal: "SELECT x.a, y.b FROM r x, s y WHERE x.a + {} <= y.a",
+        sizes: &[200, 500],
+    },
+    Workload {
+        name: "three_way_chain",
+        template: "SELECT x.a, z.b FROM r x, s y, t z WHERE x.a + ? < y.a AND y.b = z.b",
+        literal: "SELECT x.a, z.b FROM r x, s y, t z WHERE x.a + {} < y.a AND y.b = z.b",
+        sizes: &[200, 500],
+    },
+    Workload {
+        // Five relations, four edges: `G'_JP` path enumeration and
+        // candidate costing dominate — the serving case prepared
+        // statements exist for. Small relations keep execution cheap
+        // so the amortised planning win is what gets measured.
+        name: "five_way_chain",
+        template: "SELECT x.a, q.b FROM r x, s y, t z, u p, v q \
+                   WHERE x.a + ? < y.a AND y.b = z.b AND z.a <= p.a AND p.b = q.b",
+        literal: "SELECT x.a, q.b FROM r x, s y, t z, u p, v q \
+                  WHERE x.a + {} < y.a AND y.b = z.b AND z.a <= p.a AND p.b = q.b",
+        sizes: &[90, 150],
+    },
+    Workload {
+        // Six edges over five relations: the no-edge-repeating path
+        // enumeration of Algorithm 2 explodes, so planning is a real
+        // per-query cost — the strongest case for caching the plan.
+        name: "five_way_dense",
+        template: "SELECT x.a FROM r x, s y, t z, u p, v q \
+                   WHERE x.a + ? < y.a AND y.b = z.b AND z.a <= p.a \
+                   AND p.b = q.b AND x.b = q.a AND y.a <= p.b",
+        literal: "SELECT x.a FROM r x, s y, t z, u p, v q \
+                  WHERE x.a + {} < y.a AND y.b = z.b AND z.a <= p.a \
+                  AND p.b = q.b AND x.b = q.a AND y.a <= p.b",
+        sizes: &[60, 100],
+    },
+];
+
+fn engine(rows: usize) -> Engine {
+    let e = Engine::with_units(16);
+    let _ = e.load_relation(&rel("r", rows, 11, rows as i64 / 3));
+    let _ = e.load_relation(&rel("s", rows, 12, rows as i64 / 3));
+    let _ = e.load_relation(&rel("t", rows / 2, 13, rows as i64 / 3));
+    let _ = e.load_relation(&rel("u", rows / 2, 14, rows as i64 / 3));
+    let _ = e.load_relation(&rel("v", rows / 3, 15, rows as i64 / 3));
+    e
+}
+
+struct Measurement {
+    workload: &'static str,
+    rows: usize,
+    iters: usize,
+    adhoc_cold_secs: f64,
+    prepared_secs: f64,
+    prepare_once_secs: f64,
+    /// The planning pipeline (`G'_JP` → set cover → schedule) in
+    /// isolation: what every cold text pays per query and every warm
+    /// execution skips.
+    plan_secs: f64,
+}
+
+fn canon(rows: &[Tuple]) -> Vec<String> {
+    let mut v: Vec<String> = rows.iter().map(|t| format!("{t:?}")).collect();
+    v.sort();
+    v
+}
+
+fn measure(w: &Workload, rows: usize, iters: usize, quick: bool) -> Measurement {
+    let opts = RunOptions::default();
+    // Every iteration uses a distinct offset, so the cold arm's query
+    // texts are all distinct shapes (nothing to cache) while the warm
+    // arm binds the same offsets as `?` parameters of one statement —
+    // identical logical work on both arms.
+    let param = |i: usize| i as f64;
+
+    // Cold ad-hoc: a fresh query text per iteration pays parse + plan
+    // + execute every time, the way a stream of distinct tenant texts
+    // does.
+    let e_cold = engine(rows);
+    let t = Instant::now();
+    for i in 0..iters {
+        let sql = w.literal.replacen("{}", &format!("{}", param(i)), 1);
+        e_cold
+            .run_sql_with(&format!("q{i}"), &sql, &opts)
+            .expect("adhoc run");
+    }
+    let cold_elapsed = t.elapsed().as_secs_f64();
+    assert_eq!(
+        e_cold.plan_cache_stats().hits,
+        0,
+        "cold arm must never hit the plan cache"
+    );
+
+    // Prepared: one parse, one plan, N executes.
+    let e_prep = engine(rows);
+    let t_prep = Instant::now();
+    let prepared = e_prep.prepare_sql("bench", w.template).expect("prepare");
+    let prepare_once_secs = t_prep.elapsed().as_secs_f64();
+    let t = Instant::now();
+    for i in 0..iters {
+        e_prep
+            .execute(&prepared, &[param(i)], &opts)
+            .expect("execute");
+    }
+    let prep_elapsed = t.elapsed().as_secs_f64();
+    let st = e_prep.plan_cache_stats();
+    assert_eq!(st.misses, 1, "prepared path must plan exactly once");
+    assert_eq!(st.hits as usize, iters - 1, "every later execute must hit");
+
+    if quick {
+        // Differential cross-check: prepared execution vs ad-hoc run of
+        // the same effective text on a twin engine — bit-identical rows.
+        let run = e_prep.execute(&prepared, &[3.0], &opts).expect("execute");
+        let sql = w.literal.replacen("{}", "3", 1);
+        let twin = engine(rows);
+        let adhoc = twin.run_sql(&sql).expect("adhoc");
+        assert_eq!(
+            canon(run.output.rows()),
+            canon(adhoc.output.rows()),
+            "{}: prepared != adhoc",
+            w.name
+        );
+    }
+
+    // Isolated planning cost: parse once, then time `plan_query` on
+    // its own (the stage the plan cache amortises away).
+    let sql = w.literal.replacen("{}", "1", 1);
+    let parsed = e_prep.parse_sql("plan", &sql).expect("parse");
+    for (alias, base) in &parsed.instances {
+        let _ = e_prep.load_alias_of(base, alias).expect("alias");
+    }
+    let planner = e_prep.planner();
+    let stats: Vec<mwtj_storage::RelationStats> = parsed
+        .instances
+        .iter()
+        .map(|(alias, _)| e_prep.stats_of(alias).expect("stats"))
+        .collect();
+    let srefs: Vec<&mwtj_storage::RelationStats> = stats.iter().collect();
+    let samples = if quick { 3 } else { 20 };
+    let t = Instant::now();
+    for _ in 0..samples {
+        planner
+            .plan_query(&parsed.query, &srefs, 16)
+            .expect("plan_query");
+    }
+    let plan_secs = t.elapsed().as_secs_f64() / samples as f64;
+
+    Measurement {
+        workload: w.name,
+        rows,
+        iters,
+        adhoc_cold_secs: cold_elapsed / iters as f64,
+        prepared_secs: prep_elapsed / iters as f64,
+        prepare_once_secs,
+        plan_secs,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--test" || a == "--quick");
+    let iters = if quick { 8 } else { 24 };
+    let mut all = Vec::new();
+    println!("prepared: prepare-once/execute-N vs N× ad-hoc (per-query seconds)");
+    println!(
+        "{:<16} {:>6} {:>6} {:>12} {:>12} {:>9} {:>11} {:>9}",
+        "workload", "rows", "iters", "adhoc_ms", "prepared_ms", "speedup", "parse_ms", "plan_ms"
+    );
+    for w in WORKLOADS {
+        let sizes: &[usize] = if quick { &[120] } else { w.sizes };
+        for &n in sizes {
+            let m = measure(w, n, iters, quick);
+            println!(
+                "{:<16} {:>6} {:>6} {:>12.3} {:>12.3} {:>8.2}x {:>11.3} {:>9.3}",
+                m.workload,
+                m.rows,
+                m.iters,
+                m.adhoc_cold_secs * 1e3,
+                m.prepared_secs * 1e3,
+                m.adhoc_cold_secs / m.prepared_secs,
+                m.prepare_once_secs * 1e3,
+                m.plan_secs * 1e3,
+            );
+            all.push(m);
+        }
+    }
+    if quick {
+        println!("quick mode: differential cross-check done, no baseline written");
+        return;
+    }
+    let json = render_json(&all);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_prepared.json");
+    std::fs::write(path, &json).expect("write BENCH_prepared.json");
+    println!("baseline written to {path}");
+}
+
+fn render_json(all: &[Measurement]) -> String {
+    let mut out = String::from(
+        "{\n  \"bench\": \"prepared\",\n  \"unit\": \"seconds_per_query\",\n  \"results\": [\n",
+    );
+    for (i, m) in all.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"rows\": {}, \"iters\": {}, \"adhoc_cold_secs\": {:.6e}, \"prepared_secs\": {:.6e}, \"speedup\": {:.2}, \"parse_secs\": {:.6e}, \"plan_secs\": {:.6e}}}{}\n",
+            m.workload,
+            m.rows,
+            m.iters,
+            m.adhoc_cold_secs,
+            m.prepared_secs,
+            m.adhoc_cold_secs / m.prepared_secs,
+            m.prepare_once_secs,
+            m.plan_secs,
+            if i + 1 == all.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -18,8 +18,8 @@ use crate::scheduler::{AdmissionPolicy, Scheduler, Ticket};
 use mwtj_cost::{CalibratedParams, Calibrator, CostModel};
 use mwtj_join::oracle::oracle_join;
 use mwtj_mapreduce::{Cluster, ClusterConfig, ExecError};
-use mwtj_planner::{Baseline, Planner, QueryRun};
-use mwtj_query::{MultiwayQuery, ParsedSql};
+use mwtj_planner::{Baseline, Planner, QueryPlan, QueryRun};
+use mwtj_query::{MultiwayQuery, ParsedQuery};
 use mwtj_storage::{DataType, Field, Relation, RelationStats, Schema, Tuple, Value};
 use parking_lot::{Mutex, RwLock};
 use rand::rngs::StdRng;
@@ -66,26 +66,56 @@ struct Catalog {
     bases: HashMap<String, String>,
     /// Bumped whenever loaded data *changes* (an entry is replaced,
     /// refreshed or unloaded, or the cost model is recalibrated) —
-    /// never for a fresh name. Cached plan estimates are tagged with
-    /// the epoch they were computed under and discarded on mismatch.
+    /// never for a fresh name. Cached plan artifacts are tagged with
+    /// the epoch they were planned under and discarded on mismatch, so
+    /// an execution can never run a plan made from superseded
+    /// statistics.
     epoch: u64,
 }
 
-/// A cached admission estimate for one (query shape, `k_P`) pair.
-#[derive(Clone, Copy)]
-struct CachedEstimate {
+/// One plan-cache entry: the `Arc`-shared [`QueryPlan`] artifact plus
+/// the statistics epoch it was planned under. A mismatched epoch at
+/// admission time means the loaded data changed since planning — the
+/// entry is discarded and the query replanned against fresh statistics,
+/// so an execution can never run against a stale plan.
+struct CachedPlan {
     epoch: u64,
-    units: u32,
-    /// Predicted makespan (the scheduler's SJF ordering key).
-    predicted_secs: f64,
+    plan: Arc<QueryPlan>,
 }
 
-/// Keep the admission-estimate cache from growing without bound in a
-/// long-lived server (distinct SQL texts keep arriving).
+/// Keep the plan cache from growing without bound in a long-lived
+/// server (distinct SQL texts keep arriving).
 const PLAN_CACHE_CAP: usize = 1024;
+
+/// A snapshot of the shared plan cache's counters (all monotonic
+/// except `entries`). `hits` counting up while `misses` stays flat is
+/// the signature of a warmed cache — the CI smoke asserts exactly that
+/// after a repeated `execute`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PlanCacheStats {
+    /// Plans currently cached (across all shapes and `k` values).
+    pub entries: usize,
+    /// Executions that reused a cached plan (skipped planning).
+    pub hits: u64,
+    /// Lookups that found no valid entry and planned from scratch.
+    pub misses: u64,
+    /// Entries discarded — stale-epoch replacements plus cap-overflow
+    /// clears.
+    pub evictions: u64,
+    /// Fresh plans that *re*-planned an existing shape: stale-epoch
+    /// refreshes and reduced-`k` replans after admission degradation.
+    pub replans: u64,
+}
+
+/// Process-unique engine ids (see [`Engine::engine_id`]); a freed
+/// engine's id is never reused, unlike its `Arc` allocation address.
+static NEXT_ENGINE_ID: AtomicU64 = AtomicU64::new(1);
 
 /// State shared by an engine and all its sessions.
 struct Shared {
+    /// This engine's process-unique identity (prepared-statement
+    /// rebinding checks it).
+    id: u64,
     cluster: Cluster,
     /// Swapped wholesale on calibration; executions snapshot the `Arc`.
     planner: RwLock<Arc<Planner>>,
@@ -97,9 +127,15 @@ struct Shared {
     scheduler: Scheduler,
     /// Per-engine counter namespacing each SQL run's alias instances.
     next_query: AtomicU64,
-    /// Admission estimates keyed by (namespace-stripped query shape,
-    /// `k_P`), invalidated via [`Catalog::epoch`].
-    plan_cache: RwLock<HashMap<(String, u32), CachedEstimate>>,
+    /// Full plan artifacts keyed by (namespace-stripped query shape ×
+    /// base bindings, planning `k`), invalidated via [`Catalog::epoch`].
+    /// Reduced-`k` replans of a degraded admission live beside the
+    /// full-`k` plan under their own `k` key.
+    plan_cache: RwLock<HashMap<(String, u32), CachedPlan>>,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    cache_evictions: AtomicU64,
+    cache_replans: AtomicU64,
 }
 
 /// The top-level system: cluster + DFS + statistics + planner behind
@@ -109,6 +145,30 @@ struct Shared {
 #[derive(Clone)]
 pub struct Engine {
     shared: Arc<Shared>,
+}
+
+/// Everything a run needs after admission: the planner snapshot, the
+/// owned statistics snapshot, the held RAII ticket and — for the
+/// `Ours` methods — the `Arc`-shared plan artifact to execute, already
+/// replanned at the granted `k` if the admission degraded. Dropping it
+/// releases the ticket.
+pub(crate) struct Admitted {
+    pub(crate) planner: Arc<Planner>,
+    pub(crate) stats: Vec<RelationStats>,
+    pub(crate) ticket: Ticket,
+    pub(crate) plan: Option<Arc<QueryPlan>>,
+}
+
+/// The namespace-stripped shape of a query: its Display form with the
+/// caller-chosen query name dropped and `__q<N>_` per-run alias
+/// prefixes removed — the plan-cache key prefix shared by every run of
+/// the same query text.
+pub(crate) fn query_shape(q: &MultiwayQuery) -> String {
+    let display = q.to_string();
+    let shape = display
+        .split_once(": ")
+        .map_or(display.as_str(), |(_, rest)| rest);
+    strip_query_namespaces(shape)
 }
 
 impl Engine {
@@ -126,6 +186,7 @@ impl Engine {
         let scheduler = Scheduler::with_policy(config.processing_units, policy);
         Engine {
             shared: Arc::new(Shared {
+                id: NEXT_ENGINE_ID.fetch_add(1, Ordering::Relaxed),
                 cluster: Cluster::new(config),
                 planner: RwLock::new(Arc::new(Planner::new(model))),
                 catalog: RwLock::new(Catalog::default()),
@@ -134,6 +195,10 @@ impl Engine {
                 scheduler,
                 next_query: AtomicU64::new(0),
                 plan_cache: RwLock::new(HashMap::new()),
+                cache_hits: AtomicU64::new(0),
+                cache_misses: AtomicU64::new(0),
+                cache_evictions: AtomicU64::new(0),
+                cache_replans: AtomicU64::new(0),
             }),
         }
     }
@@ -161,9 +226,31 @@ impl Engine {
         self.shared.catalog.read().epoch
     }
 
-    /// Number of cached admission plan estimates (inspection).
+    /// Number of cached plan artifacts (inspection).
     pub fn plan_cache_len(&self) -> usize {
         self.shared.plan_cache.read().len()
+    }
+
+    /// Counter snapshot of the shared plan cache
+    /// (hits/misses/evictions/replans) — what the server's `stats`
+    /// command reports and the CI smoke asserts a warm hit on.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        PlanCacheStats {
+            entries: self.shared.plan_cache.read().len(),
+            hits: self.shared.cache_hits.load(Ordering::Relaxed),
+            misses: self.shared.cache_misses.load(Ordering::Relaxed),
+            evictions: self.shared.cache_evictions.load(Ordering::Relaxed),
+            replans: self.shared.cache_replans.load(Ordering::Relaxed),
+        }
+    }
+
+    /// A stable, process-unique identity for this engine — used by
+    /// [`Prepared`](crate::Prepared) handles to notice they are being
+    /// executed on a different engine than they were bound against
+    /// (two unrelated engines' statistics epochs coincide trivially,
+    /// and an allocation address could be reused by a later engine).
+    pub(crate) fn engine_id(&self) -> u64 {
+        self.shared.id
     }
 
     /// A session sharing this engine's state, with default run options.
@@ -434,11 +521,8 @@ impl Engine {
             self.ensure_calibrated();
         }
         let q = augment_query(query);
-        let (planner, owned_stats, ticket) = self.admit_for(&q, opts)?;
-        let stats: Vec<&RelationStats> = owned_stats.iter().collect();
-        let run = self.execute_admitted(&planner, &q, &stats, opts, &ticket, None);
-        drop(ticket);
-        run
+        let admitted = self.admit_for(&q, opts, None)?;
+        self.execute_admitted(&admitted, &q, opts, None)
     }
 
     /// Snapshot the statistics for an (augmented) query's instances,
@@ -479,119 +563,199 @@ impl Engine {
     }
 
     /// Price an (augmented) query and reserve its `k_P` slice: snapshot
-    /// statistics, size the slice from the plan estimate, and admit
-    /// with the predicted makespan as the scheduler's SJF key. Returns
-    /// the planner snapshot, the owned statistics, and the held ticket.
+    /// statistics, fetch or compute the plan artifact (shared plan
+    /// cache, epoch-verified), and admit with its unit estimate and
+    /// predicted makespan as the scheduler's SJF key. A degraded grant
+    /// replans at the granted `k` before execution starts (cached per
+    /// `k`, so repeated degradations of the same shape also skip
+    /// planning).
+    ///
+    /// `shape` overrides the cache-key shape — the prepared-statement
+    /// path passes its *template* shape (with `?` slots) so every
+    /// execution of one statement shares a single plan entry across
+    /// parameter bindings.
     pub(crate) fn admit_for(
         &self,
         q: &MultiwayQuery,
         opts: &RunOptions,
-    ) -> Result<(Arc<Planner>, Vec<RelationStats>, Ticket), EngineError> {
+        shape: Option<&str>,
+    ) -> Result<Admitted, EngineError> {
         let planner = self.planner();
         let (owned_stats, bases, epoch) = self.snapshot_stats(q)?;
-        let stats: Vec<&RelationStats> = owned_stats.iter().collect();
         let k_full = self.shared.cluster.config().processing_units;
         // Size the slice this query needs. The paper's planner packs
         // its jobs into a peak concurrent allotment we can price
         // exactly; the baselines are k_P-unaware and assume the whole
         // cluster (and carry no makespan estimate, so they queue behind
-        // every estimated query under SJF).
-        let (desired, predicted_secs) = match opts.get_method() {
+        // every estimated query under SJF). Baselines plan nothing, so
+        // they carry no plan artifact either.
+        match opts.get_method() {
             Method::Ours | Method::OursGrid => {
-                self.estimated_units(&planner, q, &stats, &bases, k_full, epoch)?
+                let stats: Vec<&RelationStats> = owned_stats.iter().collect();
+                // The cache key is the query's *shape*: its Display
+                // form with the caller-chosen query name dropped
+                // (run_sql names every query "sql"/"sql<i>"/"server")
+                // and per-query alias namespaces stripped, so every run
+                // of the same text shares one entry — plus the *base
+                // tables* each instance binds to, so shape-identical
+                // queries over different bases (whose statistics
+                // differ) never share a plan.
+                let key_prefix = format!(
+                    "{}|{}",
+                    shape.map_or_else(|| query_shape(q), str::to_string),
+                    bases.join(",")
+                );
+                let plan = self.plan_for(&planner, q, &stats, &key_prefix, k_full, epoch, false)?;
+                let ticket = self
+                    .shared
+                    .scheduler
+                    .admit_with_cost(plan.units, plan.predicted_secs())?;
+                let plan = if ticket.degraded() {
+                    self.plan_for(
+                        &planner,
+                        q,
+                        &stats,
+                        &key_prefix,
+                        ticket.granted(),
+                        epoch,
+                        true,
+                    )?
+                } else {
+                    plan
+                };
+                Ok(Admitted {
+                    planner,
+                    stats: owned_stats,
+                    ticket,
+                    plan: Some(plan),
+                })
             }
-            Method::YSmart | Method::Hive | Method::Pig => (k_full, f64::INFINITY),
-        };
-        let ticket = self
-            .shared
-            .scheduler
-            .admit_with_cost(desired, predicted_secs)?;
-        Ok((planner, owned_stats, ticket))
+            Method::YSmart | Method::Hive | Method::Pig => {
+                let ticket = self
+                    .shared
+                    .scheduler
+                    .admit_with_cost(k_full, f64::INFINITY)?;
+                Ok(Admitted {
+                    planner,
+                    stats: owned_stats,
+                    ticket,
+                    plan: None,
+                })
+            }
+        }
     }
 
-    /// Execute under a held admission ticket: a degraded grant replans
-    /// at the smaller `k`; a full grant executes exactly the plan the
-    /// estimate priced. With a `sink`, the terminal job streams its
+    /// Execute under a held admission: an `Ours` run executes exactly
+    /// the admitted plan artifact (no replanning — a degraded grant's
+    /// reduced-`k` plan was already fetched at admission); baselines
+    /// cascade as before. With a `sink`, the terminal job streams its
     /// output as row batches and the returned run's `output` is empty.
     pub(crate) fn execute_admitted(
         &self,
-        planner: &Planner,
+        admitted: &Admitted,
         q: &MultiwayQuery,
-        stats: &[&RelationStats],
         opts: &RunOptions,
-        ticket: &Ticket,
         sink: Option<mwtj_mapreduce::SinkSpec>,
     ) -> Result<QueryRun, EngineError> {
         let cluster = &self.shared.cluster;
+        let stats: Vec<&RelationStats> = admitted.stats.iter().collect();
         let mut exec_opts = opts.exec_options();
-        exec_opts.ticket = ticket.id();
+        exec_opts.ticket = admitted.ticket.id();
         exec_opts.sink = sink;
-        if ticket.degraded() {
-            exec_opts.units = Some(ticket.granted());
+        if admitted.ticket.degraded() {
+            exec_opts.units = Some(admitted.ticket.granted());
         }
+        let planner = &admitted.planner;
         let run = match opts.get_method() {
             Method::Ours | Method::OursGrid => {
-                planner.try_execute_ours(q, stats, cluster, &exec_opts)?
+                let plan = admitted
+                    .plan
+                    .as_ref()
+                    .expect("ours admission always carries a plan artifact");
+                planner.try_execute_planned(q, plan, &stats, cluster, &exec_opts)?
             }
             Method::YSmart => {
-                planner.try_execute_baseline(Baseline::YSmart, q, stats, cluster, &exec_opts)?
+                planner.try_execute_baseline(Baseline::YSmart, q, &stats, cluster, &exec_opts)?
             }
             Method::Hive => {
-                planner.try_execute_baseline(Baseline::Hive, q, stats, cluster, &exec_opts)?
+                planner.try_execute_baseline(Baseline::Hive, q, &stats, cluster, &exec_opts)?
             }
             Method::Pig => {
-                planner.try_execute_baseline(Baseline::Pig, q, stats, cluster, &exec_opts)?
+                planner.try_execute_baseline(Baseline::Pig, q, &stats, cluster, &exec_opts)?
             }
         };
         Ok(run)
     }
 
-    /// The `k_P` slice `q` needs plus its predicted makespan (the
-    /// scheduler's SJF ordering key), from the plan cache when the
-    /// epoch still matches, otherwise freshly planned and cached.
-    fn estimated_units(
+    /// The plan artifact for `(key_prefix, k)` — from the shared plan
+    /// cache when its epoch still matches, otherwise freshly planned
+    /// against `stats` and cached. `replan` marks a reduced-`k` plan
+    /// after admission degradation (counted as a replan when it has to
+    /// be computed; a cached reduced-`k` entry is an ordinary hit).
+    ///
+    /// A miss plans *while holding the cache write lock* (single
+    /// flight): N sessions cold-executing one statement do one
+    /// planning pass, the other N−1 block briefly and then hit.
+    /// Planning is sub-millisecond-to-few-millisecond on measured
+    /// shapes (`BENCH_prepared.json`), orders of magnitude below the
+    /// executions the lock's readers are about to start, so the
+    /// serialization is cheap.
+    #[allow(clippy::too_many_arguments)]
+    fn plan_for(
         &self,
         planner: &Planner,
         q: &MultiwayQuery,
         stats: &[&RelationStats],
-        bases: &[String],
-        k_full: u32,
+        key_prefix: &str,
+        k: u32,
         epoch: u64,
-    ) -> Result<(u32, f64), EngineError> {
-        // The cache key is the query's *shape*: its Display form with
-        // the caller-chosen query name dropped (run_sql names every
-        // query "sql"/"sql<i>"/"server") and per-query alias
-        // namespaces stripped, so every run of the same text shares
-        // one entry — plus the *base tables* each instance binds to,
-        // so shape-identical queries over different bases (whose
-        // statistics differ) never share an estimate.
-        let display = q.to_string();
-        let shape = display
-            .split_once(": ")
-            .map_or(display.as_str(), |(_, rest)| rest);
-        let key = (
-            format!("{}|{}", strip_query_namespaces(shape), bases.join(",")),
-            k_full,
-        );
-        if let Some(hit) = self.shared.plan_cache.read().get(&key) {
-            if hit.epoch == epoch {
-                return Ok((hit.units, hit.predicted_secs));
+        replan: bool,
+    ) -> Result<Arc<QueryPlan>, EngineError> {
+        let key = (key_prefix.to_string(), k);
+        {
+            let cache = self.shared.plan_cache.read();
+            if let Some(hit) = cache.get(&key) {
+                if hit.epoch == epoch {
+                    self.shared.cache_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Arc::clone(&hit.plan));
+                }
             }
         }
-        let (units, predicted_secs) = planner.estimate_units(q, stats, k_full)?;
         let mut cache = self.shared.plan_cache.write();
+        // Double-check under the write lock: a concurrent planner may
+        // have published this key while we waited.
+        let stale = match cache.get(&key) {
+            Some(hit) if hit.epoch == epoch => {
+                self.shared.cache_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(Arc::clone(&hit.plan));
+            }
+            Some(_) => true,
+            None => false,
+        };
+        self.shared.cache_misses.fetch_add(1, Ordering::Relaxed);
+        let plan = Arc::new(planner.plan_query(q, stats, k)?);
         if cache.len() >= PLAN_CACHE_CAP {
+            self.shared
+                .cache_evictions
+                .fetch_add(cache.len() as u64, Ordering::Relaxed);
             cache.clear();
         }
         cache.insert(
             key,
-            CachedEstimate {
+            CachedPlan {
                 epoch,
-                units,
-                predicted_secs,
+                plan: Arc::clone(&plan),
             },
         );
-        Ok((units, predicted_secs))
+        if stale {
+            // A stale-epoch entry was refreshed in place: one eviction,
+            // and by definition a replan of a known shape.
+            self.shared.cache_evictions.fetch_add(1, Ordering::Relaxed);
+            self.shared.cache_replans.fetch_add(1, Ordering::Relaxed);
+        } else if replan {
+            self.shared.cache_replans.fetch_add(1, Ordering::Relaxed);
+        }
+        Ok(plan)
     }
 
     /// Execute several independent queries concurrently on a scoped
@@ -641,12 +805,12 @@ impl Engine {
     }
 
     /// Parse a SQL query against the loaded base relations. The
-    /// returned [`ParsedSql`] lists each FROM-clause `(alias, base)`
+    /// returned [`ParsedQuery`] lists each FROM-clause `(alias, base)`
     /// instance. Parsing alone does **not** register aliases —
     /// [`Engine::run_sql`]/[`Engine::run_sql_many`] do, or call
     /// [`Engine::load_alias_of`] per instance before
     /// [`Engine::run`]ning a parsed query yourself.
-    pub fn parse_sql(&self, name: &str, sql: &str) -> Result<ParsedSql, EngineError> {
+    pub fn parse_sql(&self, name: &str, sql: &str) -> Result<ParsedQuery, EngineError> {
         let catalog = self.shared.catalog.read();
         let resolver = |base: &str| -> Option<Schema> {
             catalog
@@ -671,21 +835,20 @@ impl Engine {
     }
 
     /// [`Engine::run_sql`] with an explicit query name and options.
+    ///
+    /// Since the prepared-query refactor this is a thin composition of
+    /// the lifecycle stages — parse ([`Engine::prepare_sql`]) then
+    /// execute ([`Engine::execute`]) with no parameters — so ad-hoc SQL
+    /// shares the plan cache with prepared statements of the same text:
+    /// the second ad-hoc run of a query skips planning entirely.
     pub fn run_sql_with(
         &self,
         name: &str,
         sql: &str,
         opts: &RunOptions,
     ) -> Result<QueryRun, EngineError> {
-        let parsed = self.parse_sql(name, sql)?;
-        let (ns, renames) = self.namespace_instances(&parsed);
-        let result = self
-            .register_instances(&ns)
-            .and_then(|()| self.run(&ns.query, opts));
-        for (internal, _) in &ns.instances {
-            self.unload_quiet(internal);
-        }
-        Ok(restore_public_names(result?, &renames))
+        let prepared = self.prepare_sql(name, sql)?;
+        self.execute(&prepared, &[], opts)
     }
 
     /// Parse several SQL queries, register their per-query alias
@@ -698,7 +861,7 @@ impl Engine {
         sqls: &[&str],
         opts: &RunOptions,
     ) -> Vec<Result<QueryRun, EngineError>> {
-        type Prep = (ParsedSql, Vec<(String, String)>);
+        type Prep = (ParsedQuery, Vec<(String, String)>);
         let prepared: Vec<Result<Prep, EngineError>> = sqls
             .iter()
             .enumerate()
@@ -743,8 +906,8 @@ impl Engine {
     /// query namespace.
     pub(crate) fn namespace_instances(
         &self,
-        parsed: &ParsedSql,
-    ) -> (ParsedSql, Vec<(String, String)>) {
+        parsed: &ParsedQuery,
+    ) -> (ParsedQuery, Vec<(String, String)>) {
         let tag = self.shared.next_query.fetch_add(1, Ordering::Relaxed);
         parsed.namespaced(&format!("__q{tag}_"))
     }
@@ -754,7 +917,7 @@ impl Engine {
     /// idempotent and rejects rebinding an alias to a different base,
     /// so concurrent registrations cannot hand a query the wrong data
     /// (namespaced instance names never collide in the first place).
-    pub(crate) fn register_instances(&self, parsed: &ParsedSql) -> Result<(), EngineError> {
+    pub(crate) fn register_instances(&self, parsed: &ParsedQuery) -> Result<(), EngineError> {
         for (alias, base) in &parsed.instances {
             let _report = self.load_alias_of(base, alias)?;
         }
@@ -941,7 +1104,7 @@ pub(crate) fn rename_schema(schema: &Schema, sorted: &[(String, String)]) -> Sch
 /// Rewrite a finished run's output schema, plan description and job
 /// names from internal namespaced instance names back to the public
 /// aliases the SQL query used.
-fn restore_public_names(run: QueryRun, renames: &[(String, String)]) -> QueryRun {
+pub(crate) fn restore_public_names(run: QueryRun, renames: &[(String, String)]) -> QueryRun {
     let sorted = sorted_renames(renames);
     let QueryRun {
         output,

@@ -55,16 +55,21 @@ pub mod benchqueries;
 pub mod engine;
 pub mod error;
 pub mod options;
+pub mod prepare;
 pub mod scheduler;
 pub mod stream;
 
 pub use benchqueries::{mobile_query, tpch_query, MobileQuery, TpchQuery};
-pub use engine::{Engine, LoadReport, Session, RID_COLUMN};
+pub use engine::{Engine, LoadReport, PlanCacheStats, Session, RID_COLUMN};
 pub use error::EngineError;
 pub use options::{Method, RunOptions};
+pub use prepare::Prepared;
 pub use scheduler::{AdmissionError, AdmissionPolicy, Scheduler, SchedulerStats, Ticket};
 pub use stream::{QueryStream, StreamEnd, StreamOptions};
 
 // Re-exported so stream consumers name the batch type without a
 // direct mwtj-mapreduce dependency.
 pub use mwtj_mapreduce::RowBatch;
+// Re-exported so serving layers name run results and plan artifacts
+// without a direct mwtj-planner dependency.
+pub use mwtj_planner::{QueryPlan, QueryRun};

@@ -28,9 +28,10 @@
 use crate::engine::{apply_renames, augment_query, rename_schema, sorted_renames, Engine, Session};
 use crate::error::EngineError;
 use crate::options::RunOptions;
+use crate::prepare::Prepared;
 use mwtj_mapreduce::{BatchSink, ExecError, JobMetrics, RowBatch, SinkSpec};
-use mwtj_query::MultiwayQuery;
-use mwtj_storage::{Relation, RelationStats, Schema};
+use mwtj_query::{MultiwayQuery, ParsedQuery};
+use mwtj_storage::{Relation, Schema};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{sync_channel, Receiver, SyncSender};
 use std::sync::Arc;
@@ -296,19 +297,24 @@ impl Engine {
         opts: &RunOptions,
         stream_opts: &StreamOptions,
     ) -> Result<QueryStream, EngineError> {
+        let q = augment_query(query);
         self.stream_admitted(
-            augment_query(query),
+            q.clone(),
+            q,
             opts,
             stream_opts,
             Vec::new(),
             Vec::new(),
+            None,
         )
     }
 
     /// Parse and execute a SQL query end-to-end as a stream (the
     /// streaming analogue of [`Engine::run_sql_with`]): per-query alias
     /// namespaces are registered up front and unloaded when the run
-    /// finishes — or when the stream is dropped mid-way.
+    /// finishes — or when the stream is dropped mid-way. Like
+    /// [`Engine::run_sql_with`], the plan comes from the shared plan
+    /// cache, so a repeated streamed query skips planning too.
     pub fn run_sql_streamed(
         &self,
         name: &str,
@@ -317,15 +323,48 @@ impl Engine {
         stream_opts: &StreamOptions,
     ) -> Result<QueryStream, EngineError> {
         let parsed = self.parse_sql(name, sql)?;
-        let (ns, renames) = self.namespace_instances(&parsed);
+        self.stream_parsed(&parsed, &[], None, opts, stream_opts)
+    }
+
+    /// Execute a prepared statement as a stream — the streaming
+    /// analogue of [`Engine::execute`], off the same prepared handle
+    /// and shared plan-cache entry (schema frame first, bounded
+    /// batches, terminal metrics, RAII cancellation).
+    pub fn execute_streamed(
+        &self,
+        prepared: &Prepared,
+        params: &[f64],
+        opts: &RunOptions,
+        stream_opts: &StreamOptions,
+    ) -> Result<QueryStream, EngineError> {
+        let (parsed, shape) = self.current_parse(prepared)?;
+        self.stream_parsed(&parsed, params, Some(&shape), opts, stream_opts)
+    }
+
+    /// Namespace, bind and stream one parsed template; `shape`
+    /// overrides the plan-cache key for prepared statements. Planning
+    /// uses the template (param slots intact — one plan per template),
+    /// execution the bound query.
+    fn stream_parsed(
+        &self,
+        parsed: &ParsedQuery,
+        params: &[f64],
+        shape: Option<&str>,
+        opts: &RunOptions,
+        stream_opts: &StreamOptions,
+    ) -> Result<QueryStream, EngineError> {
+        let (ns, renames) = self.namespace_instances(parsed);
+        let bound = ns.bind(params)?;
         let cleanup: Vec<String> = ns.instances.iter().map(|(i, _)| i.clone()).collect();
         let admitted = self.register_instances(&ns).and_then(|()| {
             self.stream_admitted(
                 augment_query(&ns.query),
+                augment_query(&bound.query),
                 opts,
                 stream_opts,
                 renames,
                 cleanup.clone(),
+                shape,
             )
         });
         match admitted {
@@ -341,23 +380,29 @@ impl Engine {
         }
     }
 
-    /// Admit an (augmented) query and spawn the execution worker wired
-    /// to a fresh bounded channel. `renames` map internal instance
-    /// names back to public aliases on the schema and end metrics;
-    /// `cleanup` instances are unloaded when the worker finishes for
-    /// any reason.
+    /// Admit a query (planned from `q_plan`, the augmented template)
+    /// and spawn the execution worker — running the augmented bound
+    /// `q_exec` — wired to a fresh bounded channel. `renames` map
+    /// internal instance names back to public aliases on the schema
+    /// and end metrics; `cleanup` instances are unloaded when the
+    /// worker finishes for any reason; `shape` overrides the
+    /// plan-cache key (prepared statements).
+    #[allow(clippy::too_many_arguments)]
     fn stream_admitted(
         &self,
-        q: MultiwayQuery,
+        q_plan: MultiwayQuery,
+        q_exec: MultiwayQuery,
         opts: &RunOptions,
         stream_opts: &StreamOptions,
         renames: Vec<(String, String)>,
         cleanup: Vec<String>,
+        shape: Option<&str>,
     ) -> Result<QueryStream, EngineError> {
         if opts.wants_calibration() {
             self.ensure_calibrated();
         }
-        let (planner, owned_stats, ticket) = self.admit_for(&q, opts)?;
+        let admitted = self.admit_for(&q_plan, opts, shape)?;
+        let q = q_exec;
         let sorted = sorted_renames(&renames);
         // `augment_query` always materialises a projection, so the
         // output schema is known before execution — schema-first.
@@ -381,16 +426,14 @@ impl Engine {
         let worker = std::thread::Builder::new()
             .name("mwtj-stream".into())
             .spawn(move || {
-                let stats: Vec<&RelationStats> = owned_stats.iter().collect();
-                let result =
-                    engine.execute_admitted(&planner, &q, &stats, &opts, &ticket, Some(spec));
+                let result = engine.execute_admitted(&admitted, &q, &opts, Some(spec));
                 for instance in &cleanup {
                     engine.unload_quiet(instance);
                 }
                 // Release the reservation before announcing the end:
                 // a consumer that has seen StreamEnd must observe the
                 // units returned.
-                drop(ticket);
+                drop(admitted);
                 let end = result.map(|run| StreamEnd {
                     rows: sink.rows.load(Ordering::Relaxed),
                     batches: sink.batches.load(Ordering::Relaxed),
@@ -436,6 +479,17 @@ impl Session {
     pub fn stream_sql(&self, sql: &str) -> Result<QueryStream, EngineError> {
         self.engine()
             .run_sql_streamed("sql", sql, self.options(), &StreamOptions::default())
+    }
+
+    /// Stream a prepared statement under the session's default options
+    /// and default [`StreamOptions`].
+    pub fn stream_execute(
+        &self,
+        prepared: &Prepared,
+        params: &[f64],
+    ) -> Result<QueryStream, EngineError> {
+        self.engine()
+            .execute_streamed(prepared, params, self.options(), &StreamOptions::default())
     }
 }
 

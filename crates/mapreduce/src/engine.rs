@@ -579,9 +579,31 @@ fn block_seed(job: &str, file: &str, block: u64) -> u64 {
     use std::hash::{Hash, Hasher};
     let mut h = std::collections::hash_map::DefaultHasher::new();
     job.hash(&mut h);
-    file.hash(&mut h);
+    logical_file_name(file).hash(&mut h);
     block.hash(&mut h);
     h.finish()
+}
+
+/// The logical view of a DFS file name for block seeding: per-run
+/// namespace prefixes — `__q<N>_` alias instances of one SQL run,
+/// `__run<N>_` intermediate files — are transient renamings of the
+/// same logical data, so the simulated block-placement seed must not
+/// depend on them. Stripping them here makes re-running a query
+/// (ad-hoc, prepared or streamed) bit-identical in row order *and*
+/// simulated metrics, which the prepared-statement differential
+/// relies on.
+fn logical_file_name(file: &str) -> &str {
+    for prefix in ["__q", "__run"] {
+        if let Some(after) = file.strip_prefix(prefix) {
+            let digits = after.chars().take_while(|c| c.is_ascii_digit()).count();
+            if digits > 0 {
+                if let Some(rest) = after[digits..].strip_prefix('_') {
+                    return rest;
+                }
+            }
+        }
+    }
+    file
 }
 
 /// Mask marking [`TaggedRecord::aux`] as the reduce grouping key (see

@@ -173,12 +173,19 @@ fn cost_candidate(
     );
     // Single edges whose predicates are all offset-free equalities can
     // run as a hash-partitioned pair join (one copy per tuple); offer
-    // that operator when it is cheaper than the chain.
+    // that operator when it is cheaper than the chain. An unbound `?`
+    // parameter slot disqualifies the edge: a prepared template's plan
+    // must stay executable under *every* binding, and a nonzero
+    // binding would break the hash kernel's equality key.
     let all_eq_single = path.edges.len() == 1 && rels.len() == 2 && {
         let (_, _, preds) = &query.conditions[path.edges[0]];
-        preds
-            .iter()
-            .all(|p| p.op.is_equality() && p.left.offset == 0.0 && p.right.offset == 0.0)
+        preds.iter().all(|p| {
+            p.op.is_equality()
+                && p.left.offset == 0.0
+                && p.right.offset == 0.0
+                && p.left.param.is_none()
+                && p.right.param.is_none()
+        })
     };
     let equi_est = |n: u32, units: u32| {
         let key_distinct = stats[rels[0]]

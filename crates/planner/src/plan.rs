@@ -192,6 +192,46 @@ pub struct ExecutablePlan {
     pub predicted_secs: f64,
 }
 
+/// The immutable product of the paper's whole planning pipeline —
+/// `G'_JP` construction (Algorithm 2), greedy set cover, malleable
+/// shelf scheduling — for one (query shape, statistics, `k_P`) input.
+///
+/// This is the middle stage of the prepared-query lifecycle: parse →
+/// **plan** → execute. The artifact is self-contained and
+/// namespace-free (candidates reference relations and conditions by
+/// *index*), so one `Arc<QueryPlan>` can be shared by every execution
+/// of the same query shape — across parameter bindings, sessions and
+/// per-run alias namespaces. Executing a cached plan via
+/// [`Planner::try_execute_planned`] skips the planning pipeline
+/// entirely and is bit-identical (rows *and* Eq. 2–4 simulated
+/// metrics) to planning afresh, because planning is deterministic in
+/// its inputs.
+#[derive(Debug, Clone)]
+pub struct QueryPlan {
+    /// The chosen candidate MRJs (edge masks, relation sets, reducer
+    /// demands and malleable profiles).
+    pub chosen: Vec<MrjCandidate>,
+    /// Their shelf schedule (allotments, shelves, predicted makespan).
+    pub schedule: ExecutablePlan,
+    /// The `k_P` the plan was made for; execution must run at exactly
+    /// this unit budget (a degraded admission replans at the smaller
+    /// `k` instead of squeezing this plan).
+    pub k_p: u32,
+    /// The `k_P` slice the plan actually occupies — the peak concurrent
+    /// shelf allotment (the whole `k_P` for multi-candidate plans,
+    /// whose merge phase runs on the full allotment). This is the
+    /// Eq. 2 admission estimate.
+    pub units: u32,
+}
+
+impl QueryPlan {
+    /// The planner-predicted makespan (simulated seconds) — the
+    /// scheduler's shortest-job-first ordering key.
+    pub fn predicted_secs(&self) -> f64 {
+        self.schedule.predicted_secs
+    }
+}
+
 /// The planner: owns a cost model; plans and executes against a
 /// [`Cluster`] whose DFS already holds every base relation under its
 /// schema name.
@@ -289,38 +329,60 @@ impl Planner {
         Ok((chosen, plan))
     }
 
+    /// Run the full planning pipeline once and package the result as a
+    /// reusable [`QueryPlan`] artifact: `G'_JP` → greedy cover →
+    /// malleable schedule → Eq. 2 unit estimate. This is the single
+    /// planning entry point; both admission sizing and execution read
+    /// from the artifact, so one query is planned exactly once.
+    pub fn plan_query(
+        &self,
+        query: &MultiwayQuery,
+        stats: &[&RelationStats],
+        k_p: u32,
+    ) -> Result<QueryPlan, PlanError> {
+        let (chosen, schedule) = self.try_plan_ours(query, stats, k_p)?;
+        // The slice the plan occupies is the peak concurrent unit usage
+        // across its shelves — except that a multi-candidate plan is
+        // followed by a merge phase on the full allotment, so it
+        // reserves all of `k_p`.
+        let units = if chosen.len() > 1 {
+            k_p.max(1)
+        } else {
+            let n_shelves = schedule.shelves.iter().copied().max().unwrap_or(0) + 1;
+            let mut peak = 1u32;
+            for shelf in 0..n_shelves {
+                let used: u32 = schedule
+                    .shelves
+                    .iter()
+                    .zip(&schedule.allotments)
+                    .filter(|(s, _)| **s == shelf)
+                    .map(|(_, a)| (*a).max(1))
+                    .sum();
+                peak = peak.max(used);
+            }
+            peak.clamp(1, k_p.max(1))
+        };
+        Ok(QueryPlan {
+            chosen,
+            schedule,
+            k_p,
+            units,
+        })
+    }
+
     /// The `k_P` slice a query will actually occupy when planned
     /// against a `k_p`-unit cluster, plus its predicted makespan (the
     /// Eq. 2 estimate the admission controller prices against the
-    /// shared budget).
-    ///
-    /// The slice is the peak concurrent unit usage across the plan's
-    /// shelves — except that a multi-candidate plan is followed by a
-    /// merge phase that runs on the full allotment, so it reserves all
-    /// of `k_p`.
+    /// shared budget). Shorthand for [`Planner::plan_query`] when the
+    /// caller does not keep the artifact.
     pub fn estimate_units(
         &self,
         query: &MultiwayQuery,
         stats: &[&RelationStats],
         k_p: u32,
     ) -> Result<(u32, f64), PlanError> {
-        let (chosen, plan) = self.try_plan_ours(query, stats, k_p)?;
-        if chosen.len() > 1 {
-            return Ok((k_p.max(1), plan.predicted_secs));
-        }
-        let n_shelves = plan.shelves.iter().copied().max().unwrap_or(0) + 1;
-        let mut peak = 1u32;
-        for shelf in 0..n_shelves {
-            let used: u32 = plan
-                .shelves
-                .iter()
-                .zip(&plan.allotments)
-                .filter(|(s, _)| **s == shelf)
-                .map(|(_, a)| (*a).max(1))
-                .sum();
-            peak = peak.max(used);
-        }
-        Ok((peak.clamp(1, k_p.max(1)), plan.predicted_secs))
+        let plan = self.plan_query(query, stats, k_p)?;
+        Ok((plan.units, plan.predicted_secs()))
     }
 
     /// Rough cost of folding the chosen candidates' outputs together:
@@ -437,8 +499,37 @@ impl Planner {
         cluster: &Cluster,
         opts: &ExecOptions,
     ) -> Result<QueryRun, PlanError> {
+        let plan = self.plan_query(query, stats, opts.effective_units(cluster))?;
+        self.try_execute_planned(query, &plan, stats, cluster, opts)
+    }
+
+    /// Execute an already-planned query: the third stage of the
+    /// prepared lifecycle. The artifact must have been planned at the
+    /// unit budget this run executes under ([`QueryPlan::k_p`] ==
+    /// effective units) and against statistics equivalent to `stats` —
+    /// the engine's plan cache enforces both (epoch tagging, per-`k`
+    /// replan entries). Given that, the run is bit-identical to
+    /// [`Planner::try_execute_ours`] while skipping planning entirely.
+    pub fn try_execute_planned(
+        &self,
+        query: &MultiwayQuery,
+        plan: &QueryPlan,
+        stats: &[&RelationStats],
+        cluster: &Cluster,
+        opts: &ExecOptions,
+    ) -> Result<QueryRun, PlanError> {
+        let k_p = opts.effective_units(cluster);
+        if plan.k_p != k_p {
+            return Err(PlanError::Exec(ExecError::BadRequest {
+                detail: format!(
+                    "plan artifact was made for k_P={} but the run executes at k_P={k_p}; \
+                     replan at the granted unit budget",
+                    plan.k_p
+                ),
+            }));
+        }
         let run_tag = fresh_run_tag();
-        let result = self.exec_ours_inner(query, stats, cluster, opts, run_tag);
+        let result = self.exec_planned_inner(query, plan, stats, cluster, opts, run_tag);
         if result.is_err() {
             // A failed (or stream-cancelled) run must not leak its
             // namespaced intermediates.
@@ -447,9 +538,10 @@ impl Planner {
         result
     }
 
-    fn exec_ours_inner(
+    fn exec_planned_inner(
         &self,
         query: &MultiwayQuery,
+        qplan: &QueryPlan,
         stats: &[&RelationStats],
         cluster: &Cluster,
         opts: &ExecOptions,
@@ -457,8 +549,8 @@ impl Planner {
     ) -> Result<QueryRun, PlanError> {
         let strategy = opts.strategy;
         let wall = std::time::Instant::now();
-        let k_p = opts.effective_units(cluster);
-        let (chosen, plan) = self.try_plan_ours(query, stats, k_p)?;
+        let k_p = qplan.k_p;
+        let (chosen, plan) = (&qplan.chosen, &qplan.schedule);
         let cards: Vec<u64> = stats.iter().map(|s| s.cardinality as u64).collect();
 
         // --- MRJ phase: shelves of concurrent chain jobs ---

@@ -54,6 +54,48 @@ impl MultiwayQuery {
         g
     }
 
+    /// Number of distinct `?` positional parameters this query's
+    /// predicates reference (the highest slot index + 1; `0` for an
+    /// ordinary, fully-literal query).
+    pub fn param_count(&self) -> usize {
+        self.conditions
+            .iter()
+            .flat_map(|(_, _, preds)| preds)
+            .flat_map(|p| [&p.left, &p.right])
+            .filter_map(|side| side.param)
+            .map(|slot| slot.index as usize + 1)
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// Bind every `?` positional parameter to its value, producing an
+    /// executable query (slot `i` takes `params[i]`, negated slots
+    /// subtract). The parameter count must match exactly.
+    pub fn bind_params(&self, params: &[f64]) -> Result<MultiwayQuery> {
+        let expected = self.param_count();
+        if params.len() != expected {
+            return Err(Error::TypeError {
+                detail: format!(
+                    "query `{}` takes {expected} parameter(s), got {}",
+                    self.name,
+                    params.len()
+                ),
+            });
+        }
+        let mut bound = self.clone();
+        for (_, _, preds) in &mut bound.conditions {
+            for p in preds {
+                for side in [&mut p.left, &mut p.right] {
+                    if let Some(slot) = side.param.take() {
+                        let v = params[slot.index as usize];
+                        side.offset = if slot.negated { -v } else { v };
+                    }
+                }
+            }
+        }
+        Ok(bound)
+    }
+
     /// Compile every condition's predicates to index form.
     pub fn compile(&self) -> Result<CompiledConditions> {
         let mut per_condition = Vec::with_capacity(self.conditions.len());
@@ -76,6 +118,17 @@ impl MultiwayQuery {
     }
 
     fn compile_predicate(&self, p: &Predicate) -> Result<CompiledPredicate> {
+        for side in [&p.left, &p.right] {
+            if let Some(slot) = side.param {
+                return Err(Error::TypeError {
+                    detail: format!(
+                        "unbound positional parameter ?{} in `{p}`; bind parameters \
+                         (bind_params) before compiling or executing",
+                        slot.index
+                    ),
+                });
+            }
+        }
         let left_rel = self.relation_index(&p.left.relation)?;
         let right_rel = self.relation_index(&p.right.relation)?;
         Ok(CompiledPredicate {
@@ -312,8 +365,14 @@ impl QueryBuilder {
             projection.push((r, c));
         }
         let q = MultiwayQuery { projection, ..q };
-        // Compile once to validate all predicates.
-        q.compile()?;
+        // Compile once to validate all predicates. A template with `?`
+        // slots validates with the slots bound to 0 — real binding
+        // happens at execute time.
+        if q.param_count() == 0 {
+            q.compile()?;
+        } else {
+            q.bind_params(&vec![0.0; q.param_count()])?.compile()?;
+        }
         Ok(q)
     }
 }

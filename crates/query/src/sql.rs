@@ -21,10 +21,15 @@
 //! rel     := ident [ident]          -- "base alias" or just "alias"
 //! conj    := cmp (AND cmp)*
 //! cmp     := operand op operand
-//! operand := colref [('+'|'-') number]
+//! operand := colref [('+'|'-') (number | '?')]
 //! colref  := ident '.' ident
 //! op      := '<' | '<=' | '=' | '>=' | '>' | '!=' | '<>'
 //! ```
+//!
+//! A `?` in the offset position is a *positional parameter* (prepared
+//! statements): slots number left to right in text order, and the
+//! resulting [`ParsedQuery`] is a template whose [`ParsedQuery::bind`]
+//! produces an executable query per parameter vector.
 //!
 //! Every comparison must reference two *different* relations (join
 //! predicates only — single-relation filters are outside the paper's
@@ -33,21 +38,43 @@
 //! θ functions.
 
 use crate::query::{MultiwayQuery, QueryBuilder};
-use crate::theta::{ColExpr, ThetaOp};
+use crate::theta::{ColExpr, ParamRef, ThetaOp};
 use mwtj_storage::{Error, Result, Schema};
 
-/// A parsed SQL query plus the `FROM`-clause bookkeeping an engine
-/// needs to wire instances to catalog entries.
+/// The first stage of the query lifecycle: a parsed SQL query (possibly
+/// a `?`-parameterised template) plus the `FROM`-clause bookkeeping an
+/// engine needs to wire instances to catalog entries.
 #[derive(Debug, Clone)]
-pub struct ParsedSql {
-    /// The query, built against the instance aliases.
+pub struct ParsedQuery {
+    /// The query, built against the instance aliases. When
+    /// [`ParsedQuery::param_count`] is non-zero this is a *template*
+    /// with unbound `?` slots — [`ParsedQuery::bind`] before executing.
     pub query: MultiwayQuery,
     /// `(alias, base)` per FROM entry, in clause order. For a bare
     /// `FROM calls` entry both are `"calls"`.
     pub instances: Vec<(String, String)>,
 }
 
-impl ParsedSql {
+/// Former name of [`ParsedQuery`] (kept for source compatibility).
+pub type ParsedSql = ParsedQuery;
+
+impl ParsedQuery {
+    /// Number of `?` positional parameters in the template (`0` for an
+    /// ordinary query).
+    pub fn param_count(&self) -> usize {
+        self.query.param_count()
+    }
+
+    /// Bind the template's positional parameters, producing an
+    /// executable [`ParsedQuery`] (errors on a count mismatch). A
+    /// parameterless query binds with `&[]` and comes back unchanged.
+    pub fn bind(&self, params: &[f64]) -> Result<ParsedQuery> {
+        Ok(ParsedQuery {
+            query: self.query.bind_params(params)?,
+            instances: self.instances.clone(),
+        })
+    }
+
     /// Rewrite every FROM-clause instance to a *namespaced* internal
     /// name `{prefix}{alias}`, so concurrent queries can bind the same
     /// public alias to different bases without colliding in a shared
@@ -56,7 +83,7 @@ impl ParsedSql {
     ///
     /// Returns the rewritten query plus the `(internal, public)`
     /// rename pairs callers use to restore public names on output.
-    pub fn namespaced(&self, prefix: &str) -> (ParsedSql, Vec<(String, String)>) {
+    pub fn namespaced(&self, prefix: &str) -> (ParsedQuery, Vec<(String, String)>) {
         let renames: Vec<(String, String)> = self
             .instances
             .iter()
@@ -86,7 +113,7 @@ impl ParsedSql {
             .zip(&renames)
             .map(|((_, base), (internal, _))| (internal.clone(), base.clone()))
             .collect();
-        (ParsedSql { query, instances }, renames)
+        (ParsedQuery { query, instances }, renames)
     }
 }
 
@@ -107,12 +134,13 @@ pub fn parse_sql(
     name: &str,
     sql: &str,
     schema_of: &dyn Fn(&str) -> Option<Schema>,
-) -> Result<ParsedSql> {
+) -> Result<ParsedQuery> {
     let tokens = tokenize(sql)?;
     let mut p = Parser {
         tokens,
         pos: 0,
         sql,
+        params: 0,
     };
     p.parse(name, schema_of)
 }
@@ -128,6 +156,7 @@ enum Tok {
     Star,
     Plus,
     Minus,
+    Question,
     Op(ThetaOp),
     Keyword(Kw),
 }
@@ -164,6 +193,10 @@ fn tokenize(sql: &str) -> Result<Vec<Tok>> {
             }
             '*' => {
                 out.push(Tok::Star);
+                chars.next();
+            }
+            '?' => {
+                out.push(Tok::Question);
                 chars.next();
             }
             '+' => {
@@ -268,6 +301,8 @@ struct Parser<'a> {
     tokens: Vec<Tok>,
     pos: usize,
     sql: &'a str,
+    /// Next `?` positional-parameter slot (text order).
+    params: u32,
 }
 
 impl Parser<'_> {
@@ -307,7 +342,7 @@ impl Parser<'_> {
         &mut self,
         name: &str,
         schema_of: &dyn Fn(&str) -> Option<Schema>,
-    ) -> Result<ParsedSql> {
+    ) -> Result<ParsedQuery> {
         self.expect_kw(Kw::Select)?;
         // Projection list (resolved after FROM).
         let mut proj: Vec<(String, String)> = Vec::new();
@@ -390,13 +425,13 @@ impl Parser<'_> {
                 builder = builder.project(&rel, &col);
             }
         }
-        Ok(ParsedSql {
+        Ok(ParsedQuery {
             query: builder.build()?,
             instances,
         })
     }
 
-    /// `colref [('+'|'-') number]`
+    /// `colref [('+'|'-') (number | '?')]`
     fn parse_operand(&mut self) -> Result<ColExpr> {
         let rel = self.expect_ident()?;
         match self.next() {
@@ -404,19 +439,20 @@ impl Parser<'_> {
             other => return Err(self.err(&format!("expected `.`, found {other:?}"))),
         }
         let col = self.expect_ident()?;
-        let mut offset = 0.0;
-        match self.peek() {
-            Some(Tok::Plus) => {
-                self.next();
-                offset = self.expect_number()?;
-            }
-            Some(Tok::Minus) => {
-                self.next();
-                offset = -self.expect_number()?;
-            }
-            _ => {}
+        let negated = match self.peek() {
+            Some(Tok::Plus) => false,
+            Some(Tok::Minus) => true,
+            _ => return Ok(ColExpr::col(rel, col)),
+        };
+        self.next();
+        if matches!(self.peek(), Some(Tok::Question)) {
+            self.next();
+            let index = self.params;
+            self.params += 1;
+            return Ok(ColExpr::col_param(rel, col, ParamRef { index, negated }));
         }
-        Ok(ColExpr::col_plus(rel, col, offset))
+        let n = self.expect_number()?;
+        Ok(ColExpr::col_plus(rel, col, if negated { -n } else { n }))
     }
 
     fn expect_number(&mut self) -> Result<f64> {
@@ -567,6 +603,49 @@ mod tests {
         assert!(ns.query.compile().is_ok());
         // The original is unchanged.
         assert_eq!(parsed.query.schemas[0].name(), "t1");
+    }
+
+    #[test]
+    fn positional_parameters_parse_bind_and_refuse_misuse() {
+        let sql = "SELECT t1.id FROM table t1, table t2 WHERE \
+                   t1.d + ? < t2.d AND t1.bt - ? >= t2.bt";
+        let parsed = parse_sql("q", sql, &resolver()).unwrap();
+        assert_eq!(parsed.param_count(), 2);
+        // Slots number left to right; `- ?` negates the bound value.
+        let p0 = &parsed.query.conditions[0].2[0].left;
+        assert_eq!(p0.param.map(|p| (p.index, p.negated)), Some((0, false)));
+        let p1 = &parsed.query.conditions[0].2[1].left;
+        assert_eq!(p1.param.map(|p| (p.index, p.negated)), Some((1, true)));
+        // The template's Display names the slots (shape keys rely on
+        // it) and the template refuses to compile unbound.
+        assert!(
+            parsed.query.to_string().contains("t1.d+?0"),
+            "{}",
+            parsed.query
+        );
+        assert!(parsed.query.compile().is_err());
+        // Binding produces literal offsets and an executable query.
+        let bound = parsed.bind(&[3.0, 2.0]).unwrap();
+        assert_eq!(bound.query.conditions[0].2[0].left.offset, 3.0);
+        assert_eq!(bound.query.conditions[0].2[1].left.offset, -2.0);
+        assert_eq!(bound.param_count(), 0);
+        assert!(bound.query.compile().is_ok());
+        // Arity mismatches are errors.
+        assert!(parsed.bind(&[1.0]).is_err());
+        assert!(parsed.bind(&[1.0, 2.0, 3.0]).is_err());
+        // A `?` anywhere but the offset position is rejected.
+        assert!(parse_sql(
+            "q",
+            "SELECT ? FROM table a, table b WHERE a.d < b.d",
+            &resolver()
+        )
+        .is_err());
+        assert!(parse_sql(
+            "q",
+            "SELECT * FROM table a, table b WHERE ? < b.d",
+            &resolver()
+        )
+        .is_err());
     }
 
     #[test]

@@ -78,10 +78,32 @@ impl fmt::Display for ThetaOp {
     }
 }
 
+/// A `?` positional-parameter slot standing in for a column
+/// expression's constant offset: the expression reads `rel.col + ?i`
+/// (or `- ?i`). Slots are filled by
+/// [`MultiwayQuery::bind_params`](crate::MultiwayQuery::bind_params);
+/// a query with unbound slots refuses to compile, so an unbound
+/// parameter can never reach execution silently.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParamRef {
+    /// Zero-based positional index (text order in the SQL).
+    pub index: u32,
+    /// Whether the bound value is subtracted (`- ?`) instead of added.
+    pub negated: bool,
+}
+
+impl fmt::Display for ParamRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}?{}", if self.negated { '-' } else { '+' }, self.index)
+    }
+}
+
 /// A column reference plus an optional constant offset:
 /// `relation.column + offset`. The offset expresses the paper's affine
 /// predicates (`FI.at + L.l1 < FI'.dt`, `t1.d + 3 > t3.d`) without a
-/// full expression tree.
+/// full expression tree. The offset position may instead hold a `?`
+/// positional [`ParamRef`] slot (prepared statements), mutually
+/// exclusive with a non-zero literal offset.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ColExpr {
     /// Relation name (must match a schema name in the query).
@@ -91,6 +113,9 @@ pub struct ColExpr {
     /// Constant added to the numeric view of the column (0 for plain
     /// references; must be 0 when comparing strings).
     pub offset: f64,
+    /// Unbound positional parameter occupying the offset position
+    /// (`None` for ordinary expressions).
+    pub param: Option<ParamRef>,
 }
 
 impl ColExpr {
@@ -100,6 +125,7 @@ impl ColExpr {
             relation: relation.into(),
             column: column.into(),
             offset: 0.0,
+            param: None,
         }
     }
 
@@ -109,13 +135,31 @@ impl ColExpr {
             relation: relation.into(),
             column: column.into(),
             offset,
+            param: None,
+        }
+    }
+
+    /// `rel.col + ?i` (or `- ?i`): the offset is a positional
+    /// parameter bound at execute time.
+    pub fn col_param(
+        relation: impl Into<String>,
+        column: impl Into<String>,
+        param: ParamRef,
+    ) -> Self {
+        ColExpr {
+            relation: relation.into(),
+            column: column.into(),
+            offset: 0.0,
+            param: Some(param),
         }
     }
 }
 
 impl fmt::Display for ColExpr {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        if self.offset == 0.0 {
+        if let Some(p) = self.param {
+            write!(f, "{}.{}{}", self.relation, self.column, p)
+        } else if self.offset == 0.0 {
             write!(f, "{}.{}", self.relation, self.column)
         } else if self.offset > 0.0 {
             write!(f, "{}.{}+{}", self.relation, self.column, self.offset)

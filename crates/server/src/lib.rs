@@ -17,6 +17,14 @@
 //! smaller-`k` replan when oversubscribed, instead of each query
 //! assuming the whole cluster.
 //!
+//! The prepared-statement lifecycle is first-class on the wire:
+//! `prepare` parses a (possibly `?`-parameterised) statement into a
+//! per-connection table, `execute <id> [opts] [stream [batch=N]]
+//! [params…]` runs it off the engine's shared plan cache (unary or as
+//! a streamed frame sequence), `close <id>` drops it, and `stats`
+//! reports the plan-cache counters
+//! ([`Engine::plan_cache_stats`](mwtj_core::Engine::plan_cache_stats)).
+//!
 //! ```no_run
 //! use mwtj_core::{Engine, RunOptions};
 //! use mwtj_server::{load_demo, Client, Server};

@@ -14,7 +14,11 @@
 //! non-zero if the response is an error. With `--stream` the client
 //! reads a streamed frame sequence (schema → batches → end) and prints
 //! each frame *as it arrives* — a `run` request is rewritten to
-//! `stream` for convenience.
+//! `stream` for convenience. With `--prepare` the remaining arguments
+//! are SQL (with optional `?` parameters) and the client demonstrates
+//! the full statement lifecycle on one connection: `prepare` →
+//! `execute` with `--params v1,v2,…` (streamed under `--stream`) →
+//! `close`, printing every response.
 
 use mwtj_core::{AdmissionPolicy, Engine};
 use mwtj_server::{load_demo, serve_lines, Client, Server};
@@ -32,7 +36,8 @@ struct Args {
 fn usage() -> ! {
     eprintln!(
         "usage: mwtj-server [--listen ADDR] [--units K] [--max-queue N] [--demo] [--stdin]\n\
-         \x20      mwtj-server client [--stream] ADDR REQUEST..."
+         \x20      mwtj-server client [--stream] ADDR REQUEST...\n\
+         \x20      mwtj-server client --prepare [--stream] [--params V1,V2,...] ADDR SQL..."
     );
     std::process::exit(2);
 }
@@ -84,16 +89,104 @@ fn build_engine(args: &Args) -> Engine {
     engine
 }
 
+/// The `--prepare` lifecycle demo: prepare → execute (optionally
+/// streamed) → close on one connection, printing every response.
+fn client_prepare(addr: &str, sql: &str, params: &[f64], streamed: bool) -> ExitCode {
+    use std::io::Write as _;
+    let mut client = match Client::connect(addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("connect {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let step = |label: &str, result: io::Result<String>| -> Result<String, ExitCode> {
+        match result {
+            Ok(response) => {
+                let _ = writeln!(io::stdout(), "{response}");
+                if response.starts_with("err") {
+                    Err(ExitCode::FAILURE)
+                } else {
+                    Ok(response)
+                }
+            }
+            Err(e) => {
+                eprintln!("{label} failed: {e}");
+                Err(ExitCode::FAILURE)
+            }
+        }
+    };
+    let prepared = match step("prepare", client.prepare(sql)) {
+        Ok(r) => r,
+        Err(code) => return code,
+    };
+    let Some(id) = Client::parse_stmt_id(&prepared) else {
+        eprintln!("prepare response carried no stmt= id");
+        return ExitCode::FAILURE;
+    };
+    if streamed {
+        let ps: String = params.iter().map(|p| format!(" {p}")).collect();
+        match client.stream(&format!("execute {id} stream{ps}"), |frame| {
+            let _ = writeln!(io::stdout(), "{frame}");
+            let _ = io::stdout().flush();
+        }) {
+            Ok(true) => {}
+            Ok(false) => return ExitCode::FAILURE,
+            Err(e) => {
+                eprintln!("execute failed: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else if let Err(code) = step(
+        "execute",
+        client.execute(id, &mwtj_core::RunOptions::default(), params),
+    ) {
+        return code;
+    }
+    match step("close", client.close_stmt(id)) {
+        Ok(_) => ExitCode::SUCCESS,
+        Err(code) => code,
+    }
+}
+
 fn client_main(rest: &[String]) -> ExitCode {
     let mut rest = rest;
     let mut streamed = false;
-    if rest.first().map(String::as_str) == Some("--stream") {
-        streamed = true;
-        rest = &rest[1..];
+    let mut prepare = false;
+    let mut params: Vec<f64> = Vec::new();
+    loop {
+        match rest.first().map(String::as_str) {
+            Some("--stream") => {
+                streamed = true;
+                rest = &rest[1..];
+            }
+            Some("--prepare") => {
+                prepare = true;
+                rest = &rest[1..];
+            }
+            Some("--params") => {
+                let Some(list) = rest.get(1) else { usage() };
+                for v in list.split(',') {
+                    match v.trim().parse::<f64>() {
+                        Ok(p) => params.push(p),
+                        Err(_) => {
+                            eprintln!("--params: `{v}` is not a number");
+                            return ExitCode::FAILURE;
+                        }
+                    }
+                }
+                rest = &rest[2..];
+            }
+            _ => break,
+        }
     }
     let Some(addr) = rest.first() else { usage() };
     if rest.len() < 2 {
         usage();
+    }
+    if prepare {
+        let sql = rest[1..].join(" ");
+        return client_prepare(addr, &sql, &params, streamed);
     }
     let mut request = rest[1..].join(" ");
     if streamed {

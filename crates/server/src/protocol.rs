@@ -15,12 +15,23 @@
 //! ```text
 //! ping
 //! status
+//! stats                            -- plan-cache counters
 //! tables
 //! run [options] <sql>              -- options = RunOptions FromStr form
+//! prepare <sql>                    -- SQL may hold `?` parameters
+//! execute <id> [options] [stream [batch=N]] [p1 p2 ...]
+//! close <id>
 //! load <name> <col:type,...> [rows;rows;...]
 //! shutdown
 //! quit
 //! ```
+//!
+//! `prepare` answers `ok stmt=<id> params=<n>`; the id lives in a
+//! *per-connection* statement table, `execute`/`close` with an unknown
+//! id answer a typed `err unknown statement id …` frame. Parameters
+//! are bare numbers binding the SQL's `?` slots in order; adding
+//! `stream` (optionally with `batch=N`) answers with the same
+//! schema → batches → end frame sequence as `stream`.
 //!
 //! The option syntax is exactly [`RunOptions`]'s `Display`/`FromStr`
 //! round-trip (`ours`, `ours:grid`, `hive+calibrated`,
@@ -116,6 +127,32 @@ pub enum Request {
         /// The SQL text.
         sql: String,
     },
+    /// Parse SQL (which may hold `?` positional parameters) into a
+    /// prepared statement in this connection's statement table.
+    Prepare {
+        /// The SQL text.
+        sql: String,
+    },
+    /// Execute a prepared statement by id.
+    Execute {
+        /// Statement id from a prior `prepare` on this connection.
+        id: u64,
+        /// Parsed run options (default when omitted).
+        opts: RunOptions,
+        /// Values binding the statement's `?` slots, in order.
+        params: Vec<f64>,
+        /// `Some(batch_rows)` = answer with a streamed frame sequence
+        /// (inner `None` = server default batch size); `None` = unary
+        /// response.
+        stream: Option<Option<usize>>,
+    },
+    /// Drop a prepared statement from this connection's table.
+    Close {
+        /// Statement id to drop.
+        id: u64,
+    },
+    /// Plan-cache counters (hits/misses/evictions/replans).
+    Stats,
     /// Load a relation from CSV rows.
     Load {
         /// Relation name.
@@ -149,9 +186,79 @@ impl Request {
         match cmd.to_ascii_lowercase().as_str() {
             "ping" => Ok(Request::Ping),
             "status" => Ok(Request::Status),
+            "stats" => Ok(Request::Stats),
             "tables" => Ok(Request::Tables),
             "shutdown" => Ok(Request::Shutdown),
             "quit" | "exit" => Ok(Request::Quit),
+            "prepare" => {
+                let rest = head["prepare".len()..].trim_start();
+                let sql = gather_sql(rest, body);
+                if sql.is_empty() {
+                    return Err("prepare: missing SQL text".into());
+                }
+                Ok(Request::Prepare { sql })
+            }
+            "execute" => {
+                let id_word = words.next().ok_or("execute: missing statement id")?;
+                let id: u64 = id_word
+                    .parse()
+                    .map_err(|_| format!("execute: bad statement id `{id_word}`"))?;
+                let rest: Vec<&str> = words.collect();
+                let mut i = 0;
+                // Optional leading run options (`ours`, `hive+calibrated`,
+                // …); a numeric parameter or the `stream` keyword never
+                // parses as RunOptions, so the grammar is unambiguous.
+                let mut opts = RunOptions::default();
+                if let Some(o) = rest.first().and_then(|w| w.parse::<RunOptions>().ok()) {
+                    opts = o;
+                    i = 1;
+                }
+                let mut stream = None;
+                if rest
+                    .get(i)
+                    .is_some_and(|w| w.eq_ignore_ascii_case("stream"))
+                {
+                    i += 1;
+                    let mut batch = None;
+                    if let Some(b) = rest.get(i).and_then(|w| w.strip_prefix("batch=")) {
+                        let rows: usize = b
+                            .parse()
+                            .map_err(|_| format!("execute: bad batch size `{b}`"))?;
+                        if rows == 0 {
+                            return Err("execute: batch size must be ≥ 1".into());
+                        }
+                        batch = Some(rows);
+                        i += 1;
+                    }
+                    stream = Some(batch);
+                }
+                let mut params = Vec::with_capacity(rest.len() - i);
+                for w in &rest[i..] {
+                    let v: f64 = w
+                        .parse()
+                        .map_err(|_| format!("execute: bad parameter `{w}` (expected a number)"))?;
+                    // NaN/inf would bind as predicate offsets where
+                    // every comparison is false — a silent empty
+                    // result; refuse them as the typo they are.
+                    if !v.is_finite() {
+                        return Err(format!("execute: bad parameter `{w}` (must be finite)"));
+                    }
+                    params.push(v);
+                }
+                Ok(Request::Execute {
+                    id,
+                    opts,
+                    params,
+                    stream,
+                })
+            }
+            "close" => {
+                let id_word = words.next().ok_or("close: missing statement id")?;
+                let id: u64 = id_word
+                    .parse()
+                    .map_err(|_| format!("close: bad statement id `{id_word}`"))?;
+                Ok(Request::Close { id })
+            }
             "run" => {
                 let rest = head["run".len()..].trim_start();
                 let (opts, inline) = split_leading_opts(rest);
@@ -213,7 +320,8 @@ impl Request {
                 })
             }
             other => Err(format!(
-                "unknown command `{other}` (expected ping, status, tables, run, stream, load, unload, shutdown or quit)"
+                "unknown command `{other}` (expected ping, status, stats, tables, run, stream, \
+                 prepare, execute, close, load, unload, shutdown or quit)"
             )),
         }
     }
@@ -626,6 +734,73 @@ mod tests {
         }
         assert!(parse_stream_frame("ok stream=batch rows=2\nonly,one").is_err());
         assert!(parse_stream_frame("err boom").is_err());
+    }
+
+    #[test]
+    fn parses_prepare_execute_close_and_stats() {
+        // prepare: inline or body SQL.
+        match Request::parse("prepare SELECT * FROM r a, s b WHERE a.x < b.x").unwrap() {
+            Request::Prepare { sql } => assert!(sql.starts_with("SELECT")),
+            other => panic!("{other:?}"),
+        }
+        match Request::parse("prepare\nSELECT *\nFROM r a, s b\nWHERE a.x = b.x").unwrap() {
+            Request::Prepare { sql } => assert!(sql.contains('\n')),
+            other => panic!("{other:?}"),
+        }
+        assert!(Request::parse("prepare").is_err());
+
+        // execute: id, optional options, optional stream/batch, params.
+        match Request::parse("execute 3 hive+calibrated stream batch=16 1.5 -2 0").unwrap() {
+            Request::Execute {
+                id,
+                opts,
+                params,
+                stream,
+            } => {
+                assert_eq!(id, 3);
+                assert_eq!(opts.get_method(), Method::Hive);
+                assert!(opts.wants_calibration());
+                assert_eq!(stream, Some(Some(16)));
+                assert_eq!(params, vec![1.5, -2.0, 0.0]);
+            }
+            other => panic!("{other:?}"),
+        }
+        match Request::parse("execute 1").unwrap() {
+            Request::Execute {
+                id,
+                opts,
+                params,
+                stream,
+            } => {
+                assert_eq!(id, 1);
+                assert_eq!(opts, RunOptions::default());
+                assert!(params.is_empty());
+                assert_eq!(stream, None);
+            }
+            other => panic!("{other:?}"),
+        }
+        match Request::parse("execute 2 stream 7").unwrap() {
+            Request::Execute { stream, params, .. } => {
+                assert_eq!(stream, Some(None), "stream without batch=N");
+                assert_eq!(params, vec![7.0]);
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(Request::parse("execute").is_err());
+        assert!(Request::parse("execute x").is_err());
+        assert!(Request::parse("execute 1 stream batch=0").is_err());
+        assert!(Request::parse("execute 1 notanumber").is_err());
+        // Non-finite parameters would bind as always-false predicate
+        // offsets (silent empty results) — typed errors instead.
+        assert!(Request::parse("execute 1 nan").is_err());
+        assert!(Request::parse("execute 1 inf").is_err());
+        assert!(Request::parse("execute 1 -inf").is_err());
+
+        // close + stats.
+        assert_eq!(Request::parse("close 9").unwrap(), Request::Close { id: 9 });
+        assert!(Request::parse("close").is_err());
+        assert!(Request::parse("close q").is_err());
+        assert_eq!(Request::parse("stats").unwrap(), Request::Stats);
     }
 
     #[test]

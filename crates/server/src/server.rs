@@ -16,7 +16,7 @@ use crate::protocol::{
     batch_frame, end_frame, err_response, ok_response, read_frame, schema_frame, write_frame,
     Request, DEFAULT_STREAM_BATCH, MAX_STREAM_BATCH,
 };
-use mwtj_core::{Engine, RunOptions, StreamOptions};
+use mwtj_core::{Engine, EngineError, Prepared, QueryStream, RunOptions, StreamOptions};
 use mwtj_storage::{csv, tuple, DataType, Relation, Schema};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -35,6 +35,48 @@ enum Action {
     Quit,
     /// Drain and stop the whole server.
     Shutdown,
+}
+
+/// Most open statements one connection may hold: a client that
+/// `prepare`s in a loop without `close` must not grow server memory
+/// without bound (the engine-wide plan cache is capped for the same
+/// reason).
+const MAX_STMTS_PER_CONN: usize = 256;
+
+/// Per-connection prepared-statement table: `prepare` allocates ids,
+/// `execute`/`close` resolve them, and the whole table drops with the
+/// connection. Ids are connection-local — one client's statement is
+/// invisible to every other (the *plans* behind the statements still
+/// share the engine-wide cache).
+#[derive(Default)]
+struct StmtTable {
+    next: u64,
+    stmts: HashMap<u64, Prepared>,
+}
+
+impl StmtTable {
+    fn insert(&mut self, prepared: Prepared) -> Result<u64, String> {
+        if self.stmts.len() >= MAX_STMTS_PER_CONN {
+            return Err(format!(
+                "statement table full ({MAX_STMTS_PER_CONN} open statements); close some first"
+            ));
+        }
+        self.next += 1;
+        self.stmts.insert(self.next, prepared);
+        Ok(self.next)
+    }
+
+    fn get(&self, id: u64) -> Result<&Prepared, String> {
+        self.stmts.get(&id).ok_or_else(|| Self::unknown(id))
+    }
+
+    fn remove(&mut self, id: u64) -> Result<Prepared, String> {
+        self.stmts.remove(&id).ok_or_else(|| Self::unknown(id))
+    }
+
+    fn unknown(id: u64) -> String {
+        format!("unknown statement id {id} (ids are per-connection; prepare first)")
+    }
 }
 
 /// A bound, not-yet-serving query server.
@@ -147,35 +189,32 @@ fn handle_connection(
     shutdown: &AtomicBool,
     requests: &AtomicU64,
 ) {
+    // Prepared statements live exactly as long as their connection.
+    let mut stmts = StmtTable::default();
     loop {
         match read_frame(&mut stream) {
             Ok(Some(payload)) => {
                 requests.fetch_add(1, Ordering::Relaxed);
                 let parsed = Request::parse(&payload);
-                if let Ok(Request::Stream {
-                    opts,
-                    batch_rows,
-                    sql,
-                }) = parsed
-                {
+                if let Ok(request) = &parsed {
                     // Streamed responses write their own frame
                     // sequence; an I/O error means the client went
                     // away mid-stream (dropping the QueryStream inside
-                    // serve_stream cancels the run).
-                    if serve_stream(engine, &opts, batch_rows, &sql, &mut |frame| {
+                    // the router cancels the run).
+                    if let Some(result) = serve_streaming(engine, &stmts, request, &mut |frame| {
                         write_frame(&mut stream, frame)
-                    })
-                    .is_err()
-                    {
-                        break;
+                    }) {
+                        if result.is_err() {
+                            break;
+                        }
+                        if shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        continue;
                     }
-                    if shutdown.load(Ordering::SeqCst) {
-                        break;
-                    }
-                    continue;
                 }
                 let (response, action) = match parsed {
-                    Ok(request) => handle_request(engine, request),
+                    Ok(request) => handle_request(engine, &mut stmts, request),
                     Err(e) => (err_response(e), Action::Continue),
                 };
                 if let Err(e) = write_frame(&mut stream, &response) {
@@ -224,6 +263,17 @@ fn handle_connection(
     let _ = stream.shutdown(std::net::Shutdown::Both);
 }
 
+/// Clamp a client's `batch=N` ask into [`StreamOptions`]: one batch
+/// bounds the server's resident row set and (approximately) its frame
+/// size.
+fn stream_opts_for(batch_rows: Option<usize>) -> StreamOptions {
+    StreamOptions::new().batch_rows(
+        batch_rows
+            .unwrap_or(DEFAULT_STREAM_BATCH)
+            .clamp(1, MAX_STREAM_BATCH),
+    )
+}
+
 /// Serve one `stream` request as a schema → batches → end frame
 /// sequence through `write` (a framed TCP writer or a line writer).
 /// Engine-side failures become `err` frames; only transport failures
@@ -236,14 +286,70 @@ fn serve_stream(
     sql: &str,
     write: &mut dyn FnMut(&str) -> io::Result<()>,
 ) -> io::Result<()> {
-    // Clamp the client's batch ask: one batch bounds the server's
-    // resident row set and (approximately) its frame size.
-    let stream_opts = StreamOptions::new().batch_rows(
-        batch_rows
-            .unwrap_or(DEFAULT_STREAM_BATCH)
-            .clamp(1, MAX_STREAM_BATCH),
-    );
-    let mut stream = match engine.run_sql_streamed("server", sql, opts, &stream_opts) {
+    let stream_opts = stream_opts_for(batch_rows);
+    pump_stream(
+        engine.run_sql_streamed("server", sql, opts, &stream_opts),
+        write,
+    )
+}
+
+/// Serve one streamed `execute` request off a prepared statement —
+/// the same frame sequence as `stream`, from the same cached plan the
+/// unary `execute` uses.
+fn serve_prepared_stream(
+    engine: &Engine,
+    prepared: &Prepared,
+    params: &[f64],
+    opts: &RunOptions,
+    batch_rows: Option<usize>,
+    write: &mut dyn FnMut(&str) -> io::Result<()>,
+) -> io::Result<()> {
+    let stream_opts = stream_opts_for(batch_rows);
+    pump_stream(
+        engine.execute_streamed(prepared, params, opts, &stream_opts),
+        write,
+    )
+}
+
+/// Route a streaming request — `stream <sql>`, or `execute … stream`
+/// off a prepared statement — to its frame-sequence writer, shared by
+/// the TCP and stdin serving loops. Returns `None` for non-streaming
+/// requests (the caller dispatches those unary); `Some(Err(_))` means
+/// the transport died mid-stream (dropping the `QueryStream` cancels
+/// the run). An unknown statement id answers one typed `err` frame.
+fn serve_streaming(
+    engine: &Engine,
+    stmts: &StmtTable,
+    request: &Request,
+    write: &mut dyn FnMut(&str) -> io::Result<()>,
+) -> Option<io::Result<()>> {
+    match request {
+        Request::Stream {
+            opts,
+            batch_rows,
+            sql,
+        } => Some(serve_stream(engine, opts, *batch_rows, sql, write)),
+        Request::Execute {
+            id,
+            opts,
+            params,
+            stream: Some(batch),
+        } => Some(match stmts.get(*id) {
+            Ok(prepared) => serve_prepared_stream(engine, prepared, params, opts, *batch, write),
+            Err(e) => write(&err_response(e)),
+        }),
+        _ => None,
+    }
+}
+
+/// Drive an admitted (or refused) stream to completion through
+/// `write`: schema frame, batch frames, end frame; engine errors
+/// become `err` frames.
+fn pump_stream(
+    stream: Result<QueryStream, EngineError>,
+    write: &mut dyn FnMut(&str) -> io::Result<()>,
+) -> io::Result<()> {
+    let mut stream = match stream {
         Ok(s) => s,
         Err(e) => return write(&err_response(e)),
     };
@@ -276,13 +382,83 @@ fn serve_stream(
     }
 }
 
-/// Dispatch one non-streaming request. Infallible: every failure
-/// becomes an `err` response.
-fn handle_request(engine: &Engine, request: Request) -> (String, Action) {
+/// Render a finished run as the standard `ok` response (shared by
+/// `run` and the unary `execute`).
+fn run_response(run: &mwtj_core::QueryRun) -> String {
+    let body = csv::to_csv(&run.output);
+    let fields = [
+        ("rows", run.output.len().to_string()),
+        ("cols", run.output.schema().arity().to_string()),
+        ("units", run.granted_units.to_string()),
+        ("ticket", run.ticket.to_string()),
+        ("sim_secs", format!("{:.6}", run.sim_secs)),
+        ("predicted_secs", format!("{:.6}", run.predicted_secs)),
+    ];
+    ok_response(&fields, Some(body.trim_end()))
+}
+
+/// Dispatch one non-streaming request against the engine and this
+/// connection's statement table. Infallible: every failure becomes an
+/// `err` response.
+fn handle_request(engine: &Engine, stmts: &mut StmtTable, request: Request) -> (String, Action) {
     match request {
         Request::Ping => ("ok pong".into(), Action::Continue),
         Request::Quit => ("ok bye".into(), Action::Quit),
         Request::Shutdown => ("ok draining".into(), Action::Shutdown),
+        Request::Stats => {
+            let st = engine.plan_cache_stats();
+            let fields = [
+                ("entries", st.entries.to_string()),
+                ("hits", st.hits.to_string()),
+                ("misses", st.misses.to_string()),
+                ("evictions", st.evictions.to_string()),
+                ("replans", st.replans.to_string()),
+            ];
+            (ok_response(&fields, None), Action::Continue)
+        }
+        Request::Prepare { sql } => match engine.prepare_sql("server", &sql) {
+            Ok(prepared) => {
+                let params = prepared.param_count();
+                match stmts.insert(prepared) {
+                    Ok(id) => (
+                        ok_response(
+                            &[("stmt", id.to_string()), ("params", params.to_string())],
+                            None,
+                        ),
+                        Action::Continue,
+                    ),
+                    Err(e) => (err_response(e), Action::Continue),
+                }
+            }
+            Err(e) => (err_response(e), Action::Continue),
+        },
+        Request::Execute {
+            id,
+            opts,
+            params,
+            stream: None,
+        } => match stmts.get(id) {
+            Ok(prepared) => match engine.execute(prepared, &params, &opts) {
+                Ok(run) => (run_response(&run), Action::Continue),
+                Err(e) => (err_response(e), Action::Continue),
+            },
+            Err(e) => (err_response(e), Action::Continue),
+        },
+        // Streaming executions never reach this dispatcher (both
+        // serving loops route them to `serve_prepared_stream` first).
+        Request::Execute {
+            stream: Some(_), ..
+        } => (
+            err_response("internal: streamed execute routed to the unary dispatcher"),
+            Action::Continue,
+        ),
+        Request::Close { id } => match stmts.remove(id) {
+            Ok(_) => (
+                ok_response(&[("closed", id.to_string())], None),
+                Action::Continue,
+            ),
+            Err(e) => (err_response(e), Action::Continue),
+        },
         Request::Status => {
             let st = engine.scheduler().stats();
             let fields = [
@@ -338,21 +514,7 @@ fn handle_request(engine: &Engine, request: Request) -> (String, Action) {
         ),
         Request::Run { opts, sql } => match engine.run_sql_with("server", &sql, &opts) {
             Err(e) => (err_response(e), Action::Continue),
-            Ok(run) => {
-                let body = csv::to_csv(&run.output);
-                let fields = [
-                    ("rows", run.output.len().to_string()),
-                    ("cols", run.output.schema().arity().to_string()),
-                    ("units", run.granted_units.to_string()),
-                    ("ticket", run.ticket.to_string()),
-                    ("sim_secs", format!("{:.6}", run.sim_secs)),
-                    ("predicted_secs", format!("{:.6}", run.predicted_secs)),
-                ];
-                (
-                    ok_response(&fields, Some(body.trim_end())),
-                    Action::Continue,
-                )
-            }
+            Ok(run) => (run_response(&run), Action::Continue),
         },
     }
 }
@@ -361,28 +523,28 @@ fn handle_request(engine: &Engine, request: Request) -> (String, Action) {
 /// one response line-block per request to `out` — the `--stdin` mode
 /// CI and scripts drive. Stops at EOF, `quit` or `shutdown`.
 pub fn serve_lines(engine: &Engine, input: impl BufRead, out: &mut impl Write) -> io::Result<()> {
+    // The whole stdin session is one "connection": prepared statements
+    // persist across lines until `close`, `quit` or EOF.
+    let mut stmts = StmtTable::default();
     for line in input.lines() {
         let line = line?;
         if line.trim().is_empty() {
             continue;
         }
         let parsed = Request::parse(&line);
-        if let Ok(Request::Stream {
-            opts,
-            batch_rows,
-            sql,
-        }) = parsed
-        {
+        if let Ok(request) = &parsed {
             // Frames print as they arrive — incremental delivery on
             // stdout, one frame block per line group.
-            serve_stream(engine, &opts, batch_rows, &sql, &mut |frame| {
+            if let Some(result) = serve_streaming(engine, &stmts, request, &mut |frame| {
                 writeln!(out, "{frame}")?;
                 out.flush()
-            })?;
-            continue;
+            }) {
+                result?;
+                continue;
+            }
         }
         let (response, action) = match parsed {
-            Ok(request) => handle_request(engine, request),
+            Ok(request) => handle_request(engine, &mut stmts, request),
             Err(e) => (err_response(e), Action::Continue),
         };
         writeln!(out, "{response}")?;
@@ -436,6 +598,39 @@ impl Client {
     /// Convenience: `run <opts>` with the SQL in the body.
     pub fn run_sql(&mut self, opts: &mwtj_core::RunOptions, sql: &str) -> io::Result<String> {
         self.request(&format!("run {opts}\n{sql}"))
+    }
+
+    /// Convenience: `prepare` with the SQL in the body. On success the
+    /// server answers `ok stmt=<id> params=<n>`; parse the id with
+    /// [`Client::parse_stmt_id`].
+    pub fn prepare(&mut self, sql: &str) -> io::Result<String> {
+        self.request(&format!("prepare\n{sql}"))
+    }
+
+    /// The `stmt=<id>` field of a `prepare` response, if present.
+    pub fn parse_stmt_id(response: &str) -> Option<u64> {
+        response
+            .lines()
+            .next()?
+            .split_whitespace()
+            .find_map(|w| w.strip_prefix("stmt="))
+            .and_then(|v| v.parse().ok())
+    }
+
+    /// Convenience: unary `execute <id> <opts> [params…]`.
+    pub fn execute(
+        &mut self,
+        id: u64,
+        opts: &mwtj_core::RunOptions,
+        params: &[f64],
+    ) -> io::Result<String> {
+        let ps: String = params.iter().map(|p| format!(" {p}")).collect();
+        self.request(&format!("execute {id} {opts}{ps}"))
+    }
+
+    /// Convenience: `close <id>`.
+    pub fn close_stmt(&mut self, id: u64) -> io::Result<String> {
+        self.request(&format!("close {id}"))
     }
 
     /// Send a request and read a streamed frame sequence, invoking

@@ -344,3 +344,200 @@ fn stdin_mode_serves_one_line_requests() {
     assert!(text.contains("budget=8"), "{text}");
     assert!(text.trim_end().ends_with("ok bye"), "{text}");
 }
+
+/// The `hits=` field of a `stats` response.
+fn stats_hits(reply: &str) -> u64 {
+    assert!(reply.starts_with("ok "), "{reply}");
+    reply
+        .split_whitespace()
+        .find_map(|w| w.strip_prefix("hits="))
+        .and_then(|v| v.parse().ok())
+        .expect("stats reply carries hits=")
+}
+
+#[test]
+fn prepared_lifecycle_over_tcp() {
+    let (_engine, addr, handle) = start_server(8);
+    let mut c = Client::connect(addr).expect("connect");
+
+    // Prepare a parameterised statement.
+    let prep = c
+        .prepare("SELECT x.a, y.b FROM r x, s y WHERE x.a + ? <= y.a")
+        .unwrap();
+    assert!(prep.starts_with("ok stmt="), "{prep}");
+    assert!(prep.contains("params=1"), "{prep}");
+    let id = Client::parse_stmt_id(&prep).expect("stmt id");
+
+    // Execute twice with different parameters; the second execution
+    // must be a plan-cache hit (same template plan).
+    let opts = RunOptions::default();
+    let first = c.execute(id, &opts, &[0.0]).unwrap();
+    assert!(first.starts_with("ok rows="), "{first}");
+    let hits_after_first = stats_hits(&c.request("stats").unwrap());
+    let second = c.execute(id, &opts, &[5.0]).unwrap();
+    assert!(second.starts_with("ok rows="), "{second}");
+    let hits_after_second = stats_hits(&c.request("stats").unwrap());
+    assert!(
+        hits_after_second > hits_after_first,
+        "second execute must hit the plan cache ({hits_after_first} -> {hits_after_second})"
+    );
+
+    // The parameterless binding equals the ad-hoc literal run.
+    let adhoc = c
+        .request("run SELECT x.a, y.b FROM r x, s y WHERE x.a + 0 <= y.a")
+        .unwrap();
+    assert_eq!(response_rows(&first), response_rows(&adhoc));
+
+    // Wrong arity is a typed err frame, not a disconnect.
+    let bad = c.execute(id, &opts, &[]).unwrap();
+    assert!(bad.starts_with("err"), "{bad}");
+
+    // Close, then every further use is a typed unknown-id error.
+    assert!(c.close_stmt(id).unwrap().starts_with("ok closed="));
+    assert!(c
+        .execute(id, &opts, &[0.0])
+        .unwrap()
+        .starts_with("err unknown statement id"));
+    assert!(c
+        .close_stmt(id)
+        .unwrap()
+        .starts_with("err unknown statement id"));
+    assert!(c
+        .request("execute 999 1.0")
+        .unwrap()
+        .starts_with("err unknown statement id"));
+
+    shutdown(addr);
+    handle.join().unwrap();
+}
+
+#[test]
+fn statement_ids_are_per_connection() {
+    let (_engine, addr, handle) = start_server(8);
+    let mut c1 = Client::connect(addr).expect("connect c1");
+    let mut c2 = Client::connect(addr).expect("connect c2");
+    let prep = c1.prepare(Q_RS).unwrap();
+    let id = Client::parse_stmt_id(&prep).expect("stmt id");
+    // The other connection cannot see (or close) the statement.
+    assert!(c2
+        .execute(id, &RunOptions::default(), &[])
+        .unwrap()
+        .starts_with("err unknown statement id"));
+    assert!(c2
+        .close_stmt(id)
+        .unwrap()
+        .starts_with("err unknown statement id"));
+    // The owner still can.
+    assert!(c1
+        .execute(id, &RunOptions::default(), &[])
+        .unwrap()
+        .starts_with("ok rows="));
+    shutdown(addr);
+    handle.join().unwrap();
+}
+
+#[test]
+fn streamed_execute_off_a_prepared_statement() {
+    let (_engine, addr, handle) = start_server(8);
+    let mut c = Client::connect(addr).expect("connect");
+    let prep = c.prepare(Q_ST).unwrap();
+    let id = Client::parse_stmt_id(&prep).expect("stmt id");
+
+    // Unary execution for the row-count reference.
+    let unary = c.execute(id, &RunOptions::default(), &[]).unwrap();
+    let unary_rows: u64 = unary
+        .split_whitespace()
+        .find_map(|w| w.strip_prefix("rows="))
+        .and_then(|v| v.parse().ok())
+        .expect("rows=");
+
+    // Streamed execution off the same handle: schema frame, ≥2 batch
+    // frames, end frame with the same row total.
+    let mut frames = Vec::new();
+    let ok = c
+        .stream(&format!("execute {id} stream batch=64"), |f| {
+            frames.push(f.to_string())
+        })
+        .unwrap();
+    assert!(ok, "stream must end cleanly: {frames:?}");
+    assert!(frames[0].starts_with("ok stream=schema"), "{:?}", frames[0]);
+    let batches = frames
+        .iter()
+        .filter(|f| f.starts_with("ok stream=batch"))
+        .count();
+    assert!(batches >= 2, "expected incremental batches, got {batches}");
+    let end = frames.last().unwrap();
+    assert!(end.starts_with("ok stream=end"), "{end}");
+    let streamed_rows: u64 = end
+        .split_whitespace()
+        .find_map(|w| w.strip_prefix("rows="))
+        .and_then(|v| v.parse().ok())
+        .expect("end rows=");
+    assert_eq!(streamed_rows, unary_rows);
+
+    // Streaming an unknown id is one err frame, not a broken stream.
+    let mut err_frames = Vec::new();
+    let ok = c
+        .stream("execute 42 stream", |f| err_frames.push(f.to_string()))
+        .unwrap();
+    assert!(!ok);
+    assert!(
+        err_frames[0].starts_with("err unknown statement id"),
+        "{err_frames:?}"
+    );
+
+    shutdown(addr);
+    handle.join().unwrap();
+}
+
+#[test]
+fn stdin_mode_serves_the_prepared_lifecycle() {
+    let engine = Engine::with_units(8);
+    load_demo(&engine);
+    let input = "prepare SELECT x.a FROM r x, s y WHERE x.a + ? < y.a\n\
+                 execute 1 2\n\
+                 execute 1 stream batch=32 2\n\
+                 stats\n\
+                 close 1\n\
+                 execute 1 2\n\
+                 quit\n";
+    let mut out = Vec::new();
+    serve_lines(&engine, input.as_bytes(), &mut out).expect("serve_lines");
+    let text = String::from_utf8(out).unwrap();
+    assert!(text.starts_with("ok stmt=1 params=1\n"), "{text}");
+    assert!(text.contains("ok rows="), "{text}");
+    assert!(text.contains("ok stream=schema"), "{text}");
+    assert!(text.contains("ok stream=end"), "{text}");
+    assert!(text.contains("hits="), "{text}");
+    assert!(text.contains("ok closed=1"), "{text}");
+    assert!(text.contains("err unknown statement id 1"), "{text}");
+    let hits = stats_hits(text.lines().find(|l| l.starts_with("ok entries=")).unwrap());
+    assert!(
+        hits >= 1,
+        "streamed re-execution must hit the plan cache: {text}"
+    );
+}
+
+#[test]
+fn statement_table_is_bounded_per_connection() {
+    let engine = Engine::with_units(4);
+    load_demo(&engine);
+    // 256 statements fit; the 257th prepare is refused with a typed
+    // error, and closing one frees a slot.
+    let mut input = String::new();
+    for _ in 0..257 {
+        input.push_str("prepare SELECT x.a FROM r x, s y WHERE x.a < y.a\n");
+    }
+    input.push_str("close 1\nprepare SELECT x.a FROM r x, s y WHERE x.a < y.a\nquit\n");
+    let mut out = Vec::new();
+    serve_lines(&engine, input.as_bytes(), &mut out).expect("serve_lines");
+    let text = String::from_utf8(out).unwrap();
+    let oks = text.lines().filter(|l| l.starts_with("ok stmt=")).count();
+    assert_eq!(oks, 257, "256 initial + 1 after a close");
+    let fulls = text
+        .lines()
+        .filter(|l| l.starts_with("err statement table full"))
+        .count();
+    assert_eq!(fulls, 1, "{text}");
+    assert!(text.contains("ok closed=1"), "{text}");
+}

@@ -1,0 +1,77 @@
+#!/usr/bin/env bash
+# CI smoke for the prepared-statement lifecycle: prepare once, execute
+# twice with different parameters, and assert the second execution was
+# a plan-cache HIT (planning skipped). Also exercises close semantics
+# (typed unknown-id error) and the one-shot client's --prepare flow
+# over TCP. Expects the release binary
+# (cargo build --release -p mwtj-server).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=./target/release/mwtj-server
+
+# ---- stdin mode: the stateful lifecycle on one session ----
+OUT=$(printf '%s\n' \
+  'prepare SELECT x.a, y.b FROM r x, s y WHERE x.a + ? <= y.a' \
+  'execute 1 0' \
+  'stats' \
+  'execute 1 5' \
+  'stats' \
+  'close 1' \
+  'execute 1 0' \
+  'quit' \
+  | "$BIN" --stdin --demo)
+
+grep -q '^ok stmt=1 params=1$' <<<"$OUT" \
+  || { echo "prepared smoke: bad prepare response"; echo "$OUT"; exit 1; }
+
+ROWS=$(grep -c '^ok rows=' <<<"$OUT")
+[ "$ROWS" -eq 2 ] \
+  || { echo "prepared smoke: expected 2 executions, got $ROWS"; echo "$OUT"; exit 1; }
+
+# hits= from the two stats lines: the second execution (different
+# params!) must have reused the first one's plan.
+HITS=$(sed -n 's/^ok entries=.* hits=\([0-9]*\).*/\1/p' <<<"$OUT")
+H1=$(head -1 <<<"$HITS"); H2=$(tail -1 <<<"$HITS")
+[ "$H2" -gt "$H1" ] \
+  || { echo "prepared smoke: no plan-cache hit on 2nd execute (hits $H1 -> $H2)"; echo "$OUT"; exit 1; }
+
+grep -q '^ok closed=1$' <<<"$OUT" \
+  || { echo "prepared smoke: close failed"; echo "$OUT"; exit 1; }
+grep -q '^err unknown statement id 1' <<<"$OUT" \
+  || { echo "prepared smoke: executing a closed statement must be a typed error"; echo "$OUT"; exit 1; }
+
+echo "prepared smoke (stdin): plan-cache hits $H1 -> $H2 across two parameterised executions"
+
+# ---- TCP: the client's --prepare lifecycle demo ----
+ADDR=${MWTJ_PREPARED_SMOKE_ADDR:-127.0.0.1:7413}
+"$BIN" --listen "$ADDR" --demo &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
+
+for _ in $(seq 1 50); do
+  if "$BIN" client "$ADDR" ping >/dev/null 2>&1; then break; fi
+  sleep 0.2
+done
+
+PREP_OUT=$("$BIN" client --prepare --params 3 "$ADDR" \
+  "SELECT x.a, y.b FROM r x, s y WHERE x.a + ? <= y.a")
+grep -q '^ok stmt=' <<<"$PREP_OUT" \
+  || { echo "prepared smoke: client --prepare missing prepare response"; echo "$PREP_OUT"; exit 1; }
+grep -q '^ok rows=' <<<"$PREP_OUT" \
+  || { echo "prepared smoke: client --prepare missing execute response"; echo "$PREP_OUT"; exit 1; }
+grep -q '^ok closed=' <<<"$PREP_OUT" \
+  || { echo "prepared smoke: client --prepare missing close response"; echo "$PREP_OUT"; exit 1; }
+
+# And streamed execution off a prepared handle over TCP.
+STREAM_OUT=$("$BIN" client --prepare --stream --params 0 "$ADDR" \
+  "SELECT x.a, y.b FROM r x, s y WHERE x.a + ? <= y.a")
+grep -q 'ok stream=schema' <<<"$STREAM_OUT" \
+  || { echo "prepared smoke: streamed execute missing schema frame"; echo "$STREAM_OUT"; exit 1; }
+grep -q 'ok stream=end' <<<"$STREAM_OUT" \
+  || { echo "prepared smoke: streamed execute missing end frame"; echo "$STREAM_OUT"; exit 1; }
+
+"$BIN" client "$ADDR" shutdown >/dev/null
+wait "$SERVER_PID"
+trap - EXIT
+echo "prepared smoke (tcp): --prepare lifecycle + streamed execute ok"

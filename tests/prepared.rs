@@ -1,0 +1,410 @@
+//! Prepared-query lifecycle integration: `prepare` once + `execute` N
+//! times must be **bit-identical** — rows *and* simulated Eq. 2–4
+//! metrics — to N ad-hoc `run_sql` calls, across every method ×
+//! partition strategy and on the streamed path, while the second and
+//! later executions skip parse + plan (plan-cache hit counters
+//! asserted). Also covered: `?` parameter binding vs literal SQL, the
+//! reload-between-prepare-and-execute staleness regression, reduced-`k`
+//! replan caching under admission degradation, and concurrent
+//! executions of one `Prepared` handle from many sessions.
+
+use mwtj_core::{AdmissionPolicy, Engine, Method, RunOptions, StreamOptions};
+use mwtj_hilbert::PartitionStrategy;
+use mwtj_join::oracle::canonicalize;
+use mwtj_storage::{tuple, DataType, Relation, Schema};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn rel(name: &str, n: usize, seed: u64, domain: i64) -> Relation {
+    let schema = Schema::from_pairs(name, &[("a", DataType::Int), ("b", DataType::Int)]);
+    let mut rng = StdRng::seed_from_u64(seed);
+    Relation::from_rows_unchecked(
+        schema,
+        (0..n)
+            .map(|_| tuple![rng.gen_range(0..domain), rng.gen_range(0..domain)])
+            .collect(),
+    )
+}
+
+/// An engine loaded with the three demo-shaped relations. Built per
+/// comparison arm so cache counters and plans are isolated.
+fn demo_engine(k_p: u32) -> Engine {
+    let engine = Engine::with_units(k_p);
+    let _ = engine.load_relation(&rel("r", 70, 11, 24));
+    let _ = engine.load_relation(&rel("s", 60, 12, 24));
+    let _ = engine.load_relation(&rel("t", 50, 13, 24));
+    engine
+}
+
+/// Three-way chain SQL (inequality + equality edges): plans exercise
+/// chain MRJs, merges and the baseline cascades.
+const SQL3: &str = "SELECT x.a, y.b, z.b FROM r x, s y, t z WHERE x.a < y.a AND y.b = z.b";
+
+/// Everything a differential comparison pins, per run.
+fn fingerprint(run: &mwtj_core::QueryRun) -> (Vec<mwtj_storage::Tuple>, String, f64, f64, u32) {
+    (
+        run.output.rows().to_vec(),
+        run.plan.clone(),
+        run.sim_secs,
+        run.predicted_secs,
+        run.granted_units,
+    )
+}
+
+/// The acceptance bar: for every method × partition strategy, prepare
+/// once + execute 3× on one engine is bit-identical (rows, plan
+/// description, simulated and predicted seconds, granted units) to 3
+/// ad-hoc `run_sql` calls on an identically-loaded twin engine — and
+/// the prepared engine's second and later executions are plan-cache
+/// hits.
+#[test]
+fn prepared_matches_adhoc_bit_identically_all_methods_and_strategies() {
+    for method in Method::ALL {
+        for strategy in [PartitionStrategy::Hilbert, PartitionStrategy::Grid] {
+            let opts = RunOptions::new().method(method).partition(strategy);
+            let adhoc_engine = demo_engine(16);
+            let prepared_engine = demo_engine(16);
+
+            let adhoc: Vec<_> = (0..3)
+                .map(|_| fingerprint(&adhoc_engine.run_sql_with("sql", SQL3, &opts).unwrap()))
+                .collect();
+            let prepared = prepared_engine.prepare_sql("sql", SQL3).unwrap();
+            assert_eq!(prepared.param_count(), 0);
+            let execs: Vec<_> = (0..3)
+                .map(|_| fingerprint(&prepared_engine.execute(&prepared, &[], &opts).unwrap()))
+                .collect();
+
+            for (i, (a, p)) in adhoc.iter().zip(&execs).enumerate() {
+                assert_eq!(a, p, "{method} {strategy} execution {i} diverged");
+            }
+            let st = prepared_engine.plan_cache_stats();
+            match method {
+                Method::Ours | Method::OursGrid => {
+                    assert_eq!(st.misses, 1, "{method} {strategy}: one planning pass");
+                    assert_eq!(
+                        st.hits, 2,
+                        "{method} {strategy}: later executions must hit the plan cache"
+                    );
+                }
+                // Baselines plan nothing, so they cache nothing.
+                _ => assert_eq!((st.hits, st.misses), (0, 0), "{method} {strategy}"),
+            }
+            // And the answer is the truth (register the aliases so the
+            // oracle can resolve the parsed query's instance names).
+            for (alias, base) in [("x", "r"), ("y", "s"), ("z", "t")] {
+                let _ = adhoc_engine.load_alias_of(base, alias).unwrap();
+            }
+            let q = adhoc_engine.parse_sql("q", SQL3).unwrap().query;
+            let want = canonicalize(adhoc_engine.oracle(&q).unwrap());
+            assert_eq!(
+                canonicalize(execs[0].0.clone()),
+                want,
+                "{method} {strategy}"
+            );
+        }
+    }
+}
+
+/// Ad-hoc `run_sql` is now a composition of the same stages, so it
+/// shares the plan cache with prepared statements of the same text —
+/// in both directions.
+#[test]
+fn adhoc_and_prepared_share_one_plan_entry() {
+    let engine = demo_engine(16);
+    let prepared = engine.prepare_sql("sql", SQL3).unwrap();
+    engine
+        .execute(&prepared, &[], &RunOptions::default())
+        .unwrap();
+    let after_first = engine.plan_cache_stats();
+    assert_eq!((after_first.misses, after_first.hits), (1, 0));
+    // Ad-hoc run of the same text: parse happens, planning does not.
+    engine.run_sql(SQL3).unwrap();
+    let after_adhoc = engine.plan_cache_stats();
+    assert_eq!(after_adhoc.misses, 1, "ad-hoc must reuse the prepared plan");
+    assert_eq!(after_adhoc.hits, 1);
+    assert_eq!(after_adhoc.entries, 1);
+}
+
+/// The streamed path works off the same prepared handle and the same
+/// cached plan: concatenated batches equal the unary execution
+/// row-for-row, with identical simulated metrics.
+#[test]
+fn streamed_execution_off_the_same_handle_is_bit_identical() {
+    let engine = demo_engine(16);
+    let prepared = engine.prepare_sql("sql", SQL3).unwrap();
+    let opts = RunOptions::default();
+    let unary = engine.execute(&prepared, &[], &opts).unwrap();
+    let stream = engine
+        .execute_streamed(&prepared, &[], &opts, &StreamOptions::new().batch_rows(13))
+        .unwrap();
+    assert_eq!(stream.schema(), unary.output.schema());
+    let (rows, end) = stream.collect_rows().unwrap();
+    assert_eq!(rows.rows(), unary.output.rows(), "row-for-row identical");
+    assert_eq!(end.sim_secs, unary.sim_secs);
+    assert_eq!(end.predicted_secs, unary.predicted_secs);
+    // Unary execution missed once; the streamed one hit.
+    let st = engine.plan_cache_stats();
+    assert_eq!((st.misses, st.hits), (1, 1));
+    assert_eq!(engine.scheduler().stats().in_flight_units, 0);
+}
+
+/// `?` positional parameters: executions with different bindings reuse
+/// one template plan (cache hit asserted) and each binding's rows are
+/// bit-identical to the literal ad-hoc SQL — including a negated slot.
+#[test]
+fn parameter_bindings_match_literal_sql() {
+    let engine = demo_engine(16);
+    let prepared = engine
+        .prepare_sql("sql", "SELECT x.a, y.b FROM r x, s y WHERE x.a + ? < y.a")
+        .unwrap();
+    assert_eq!(prepared.param_count(), 1);
+    for (v, literal) in [
+        (3.0, "SELECT x.a, y.b FROM r x, s y WHERE x.a + 3 < y.a"),
+        (-2.0, "SELECT x.a, y.b FROM r x, s y WHERE x.a - 2 < y.a"),
+        (0.0, "SELECT x.a, y.b FROM r x, s y WHERE x.a + 0 < y.a"),
+    ] {
+        let bound = engine
+            .execute(&prepared, &[v], &RunOptions::default())
+            .unwrap();
+        let adhoc = demo_engine(16).run_sql(literal).unwrap();
+        assert_eq!(
+            bound.output.rows(),
+            adhoc.output.rows(),
+            "param {v} vs literal"
+        );
+    }
+    let st = engine.plan_cache_stats();
+    assert_eq!(st.misses, 1, "one template plan across bindings");
+    assert_eq!(st.hits, 2);
+
+    // A negated slot subtracts.
+    let neg = engine
+        .prepare_sql("sql", "SELECT x.a, y.b FROM r x, s y WHERE x.a - ? < y.a")
+        .unwrap();
+    let a = engine
+        .execute(&neg, &[2.0], &RunOptions::default())
+        .unwrap();
+    let b = engine
+        .execute(&prepared, &[-2.0], &RunOptions::default())
+        .unwrap();
+    assert_eq!(a.output.rows(), b.output.rows());
+
+    // Binding the wrong arity is a typed error, not a panic.
+    assert!(matches!(
+        engine.execute(&prepared, &[], &RunOptions::default()),
+        Err(mwtj_core::EngineError::Sql(_))
+    ));
+    assert!(matches!(
+        engine.execute(&prepared, &[1.0, 2.0], &RunOptions::default()),
+        Err(mwtj_core::EngineError::Sql(_))
+    ));
+    // And a template cannot run ad hoc (no parameters to bind).
+    assert!(engine
+        .run_sql("SELECT x.a FROM r x, s y WHERE x.a + ? < y.a")
+        .is_err());
+}
+
+/// Regression: a parameterised *equality* template must not cache an
+/// equi-hash plan from a zero binding and then feed a nonzero binding
+/// into it (the hash kernel's equality key would be empty — this used
+/// to assert-crash the execution). The template's plan is made with
+/// the `?` slot visible, which disqualifies the equi-hash operator, so
+/// every binding executes the same chain plan correctly.
+#[test]
+fn parameterised_equality_survives_zero_then_nonzero_bindings() {
+    let engine = demo_engine(16);
+    let prepared = engine
+        .prepare_sql("sql", "SELECT x.a, y.b FROM r x, s y WHERE x.a + ? = y.a")
+        .unwrap();
+    let zero = engine
+        .execute(&prepared, &[0.0], &RunOptions::default())
+        .unwrap();
+    // The nonzero binding reuses the same template plan — no panic,
+    // correct rows.
+    let five = engine
+        .execute(&prepared, &[5.0], &RunOptions::default())
+        .unwrap();
+    assert_eq!(engine.plan_cache_stats().hits, 1);
+    for (run, literal) in [
+        (&zero, "SELECT x.a, y.b FROM r x, s y WHERE x.a + 0 = y.a"),
+        (&five, "SELECT x.a, y.b FROM r x, s y WHERE x.a + 5 = y.a"),
+    ] {
+        let adhoc = demo_engine(16).run_sql(literal).unwrap();
+        assert_eq!(
+            canonicalize(run.output.rows().to_vec()),
+            canonicalize(adhoc.output.rows().to_vec())
+        );
+    }
+    // The streamed path takes the same plan.
+    let stream = engine
+        .execute_streamed(
+            &prepared,
+            &[5.0],
+            &RunOptions::default(),
+            &StreamOptions::new().batch_rows(8),
+        )
+        .unwrap();
+    let (rows, _) = stream.collect_rows().unwrap();
+    assert_eq!(
+        canonicalize(rows.into_rows()),
+        canonicalize(five.output.rows().to_vec())
+    );
+}
+
+/// A statement prepared on one engine re-binds when executed on
+/// another: unrelated engines' statistics epochs coincide trivially
+/// (both start at 0), so the handle tracks engine identity and must
+/// not serve the first engine's embedded schemas against the second's
+/// data.
+#[test]
+fn prepared_handle_rebinds_on_a_different_engine() {
+    let sql = "SELECT x.a FROM r x, s y WHERE x.a < y.a";
+    let a = demo_engine(8);
+    let prepared = a.prepare_sql("sql", sql).unwrap();
+    let b = Engine::with_units(8);
+    let _ = b.load_relation(&rel("r", 30, 91, 10));
+    let _ = b.load_relation(&rel("s", 25, 92, 10));
+    assert_eq!(a.stats_epoch(), b.stats_epoch(), "the trap: equal epochs");
+    let run_b = b.execute(&prepared, &[], &RunOptions::default()).unwrap();
+    let adhoc_b = b.run_sql(sql).unwrap();
+    assert_eq!(run_b.output.rows(), adhoc_b.output.rows());
+    // Back on the original engine the handle re-binds again.
+    let run_a = a.execute(&prepared, &[], &RunOptions::default()).unwrap();
+    let adhoc_a = a.run_sql(sql).unwrap();
+    assert_eq!(run_a.output.rows(), adhoc_a.output.rows());
+}
+
+/// Regression (stale-plan fix): a relation reload between `prepare`
+/// and `execute` bumps the statistics epoch; the execution must verify
+/// the epoch at admission time, replan against the *new* statistics
+/// and answer over the *new* data.
+#[test]
+fn reload_between_prepare_and_execute_replans_against_fresh_data() {
+    let engine = demo_engine(16);
+    let prepared = engine.prepare_sql("sql", SQL3).unwrap();
+    // Warm the plan cache under the old data.
+    engine
+        .execute(&prepared, &[], &RunOptions::default())
+        .unwrap();
+    let warm = engine.plan_cache_stats();
+    assert_eq!((warm.misses, warm.replans), (1, 0));
+
+    // Reload `r` with different data: epoch bumps, cached plan is stale.
+    let _ = engine.load_relation(&rel("r", 150, 99, 24));
+    let run = engine
+        .execute(&prepared, &[], &RunOptions::default())
+        .unwrap();
+    let st = engine.plan_cache_stats();
+    assert_eq!(st.replans, 1, "stale-epoch entry must be replanned");
+    assert_eq!(st.evictions, 1, "…and the stale entry evicted");
+
+    // The answer reflects the reloaded data, not the prepare-time
+    // snapshot.
+    for (alias, base) in [("x", "r"), ("y", "s"), ("z", "t")] {
+        let _ = engine.load_alias_of(base, alias).unwrap();
+    }
+    let q = engine.parse_sql("q", SQL3).unwrap().query;
+    let want = canonicalize(engine.oracle(&q).unwrap());
+    assert_eq!(canonicalize(run.output.into_rows()), want);
+}
+
+/// Admission degradation: when the free slice forces a smaller `k`,
+/// the reduced-`k` replan is cached per `k` — a second degraded
+/// execution of the same statement skips planning entirely.
+#[test]
+fn degraded_executions_cache_reduced_k_replans_per_k() {
+    let engine = Engine::with_units_and_policy(
+        8,
+        AdmissionPolicy {
+            degrade_floor: 0.0, // take any free unit rather than queue
+            max_queue: None,
+        },
+    );
+    let _ = engine.load_relation(&rel("r", 70, 11, 24));
+    let _ = engine.load_relation(&rel("s", 60, 12, 24));
+    let _ = engine.load_relation(&rel("t", 50, 13, 24));
+    let prepared = engine.prepare_sql("sql", SQL3).unwrap();
+
+    // Baseline: undegraded execution plans at the full k.
+    let full = engine
+        .execute(&prepared, &[], &RunOptions::default())
+        .unwrap();
+    assert_eq!(engine.plan_cache_stats().misses, 1);
+
+    // Hold most of the budget so the next executions degrade.
+    let hold = engine.scheduler().admit(6).unwrap();
+    let degraded = engine
+        .execute(&prepared, &[], &RunOptions::default())
+        .unwrap();
+    assert!(
+        degraded.granted_units < full.granted_units,
+        "expected a degraded grant ({} vs {})",
+        degraded.granted_units,
+        full.granted_units
+    );
+    let st = engine.plan_cache_stats();
+    assert_eq!(st.replans, 1, "degradation replans at the smaller k");
+    assert_eq!(
+        st.entries, 2,
+        "full-k and reduced-k plans live side by side"
+    );
+
+    // Same squeeze again: both the full-k admission plan and the
+    // reduced-k execution plan are cache hits now.
+    let hits_before = st.hits;
+    let again = engine
+        .execute(&prepared, &[], &RunOptions::default())
+        .unwrap();
+    assert_eq!(again.granted_units, degraded.granted_units);
+    let st2 = engine.plan_cache_stats();
+    assert_eq!(st2.replans, 1, "no second replan");
+    assert_eq!(st2.hits, hits_before + 2);
+    // Degraded or not, the rows are the query's rows.
+    assert_eq!(
+        canonicalize(again.output.into_rows()),
+        canonicalize(full.output.into_rows())
+    );
+    drop(hold);
+}
+
+/// One `Prepared` handle executed concurrently from many sessions:
+/// every execution returns the same rows as the sequential run, and
+/// all reservations drain.
+#[test]
+fn concurrent_executions_of_one_handle_from_many_sessions() {
+    // Never degrade: a degraded execution replans at a smaller `k`
+    // (its own cache entry), which would make the miss count depend on
+    // thread timing. With a 1.0 floor contended executions queue and
+    // run the one full-`k` plan.
+    let engine = Engine::with_units_and_policy(
+        8,
+        AdmissionPolicy {
+            degrade_floor: 1.0,
+            max_queue: None,
+        },
+    );
+    let _ = engine.load_relation(&rel("r", 70, 11, 24));
+    let _ = engine.load_relation(&rel("s", 60, 12, 24));
+    let _ = engine.load_relation(&rel("t", 50, 13, 24));
+    let prepared = engine.prepare_sql("sql", SQL3).unwrap();
+    let want = engine
+        .execute(&prepared, &[], &RunOptions::default())
+        .unwrap()
+        .output;
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..6)
+            .map(|_| {
+                let session = engine.session();
+                let prepared = prepared.clone();
+                scope.spawn(move || session.execute(&prepared, &[]).unwrap().output)
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join().unwrap().rows(), want.rows());
+        }
+    });
+    let st = engine.plan_cache_stats();
+    assert_eq!(st.misses, 1, "six concurrent executions, one plan");
+    assert!(st.hits >= 6);
+    assert_eq!(engine.scheduler().stats().in_flight_units, 0);
+}
