@@ -1,0 +1,224 @@
+//! Zone-map skipping bench: cost reduction vs band selectivity.
+//!
+//! A wide relation with a *sorted* (value-clustered) join column is
+//! band-joined against a narrow window whose position sets the band
+//! selectivity: with `l.a < r.a` and the window at fraction `s` of the
+//! left domain, roughly `s` of the cross-product qualifies — and
+//! roughly `1 − s` of the left blocks have zone ranges that provably
+//! cannot satisfy the band, so skipping drops them unread.
+//!
+//! For each selectivity the same query runs skip-off (baseline),
+//! skip-on cold (statistics empty) and skip-on warm (the recorded skip
+//! fraction discounts the Eq. 2 admission request), measuring:
+//!
+//! * Eq. 3 shipped records/bytes (map output), on vs off;
+//! * simulated makespan and host wall-clock, on vs off;
+//! * the Eq. 2 unit request, cold vs warm;
+//! * output identity (bit-identical rows — the differential guarantee).
+//!
+//! Run modes:
+//!
+//! * `cargo bench -p mwtj-bench --bench skipping` — full sweep, prints
+//!   a table and (re)writes `BENCH_skipping.json` at the repo root.
+//! * `cargo bench -p mwtj-bench --bench skipping -- --test` — CI
+//!   smoke: one tight and one wide point on small data, asserts the
+//!   ≥ 30 % shipped-record reduction and row parity, writes no file.
+
+use mwtj_core::{Engine, RunOptions};
+use mwtj_query::{MultiwayQuery, QueryBuilder, ThetaOp};
+use mwtj_storage::{tuple, DataType, Relation, Schema};
+use std::time::Instant;
+
+/// Sorted (clustered) relation: row i is `(lo + i, i)`.
+fn sorted_rel(name: &str, n: i64, lo: i64) -> Relation {
+    let schema = Schema::from_pairs(name, &[("a", DataType::Int), ("b", DataType::Int)]);
+    Relation::from_rows_unchecked(schema, (0..n).map(|i| tuple![lo + i, i]).collect())
+}
+
+fn band_query(left: &Relation, right: &Relation) -> MultiwayQuery {
+    QueryBuilder::new("band")
+        .relation(left.schema().clone())
+        .relation(right.schema().clone())
+        .join("left", "a", ThetaOp::Lt, "right", "a")
+        .build()
+        .expect("band query")
+}
+
+struct Point {
+    selectivity: f64,
+    output_rows: usize,
+    skip_fraction: f64,
+    shipped_on: u64,
+    shipped_off: u64,
+    bytes_on: u64,
+    bytes_off: u64,
+    sim_on: f64,
+    sim_off: f64,
+    real_on: f64,
+    real_off: f64,
+    units_cold: u32,
+    units_warm: u32,
+}
+
+fn shipped(run: &mwtj_core::QueryRun) -> (u64, u64) {
+    run.jobs.iter().fold((0, 0), |(rec, byt), j| {
+        (rec + j.map_output_records, byt + j.map_output_bytes)
+    })
+}
+
+/// One sweep point: fresh engine, window at `selectivity` of the left
+/// domain. Returns measurements from a skip-off baseline, a cold
+/// skip-on run and a warm skip-on run (whose admission sees the
+/// recorded fraction).
+fn measure(n_left: i64, win_rows: i64, selectivity: f64) -> Point {
+    let engine = Engine::with_units(16);
+    let lo = ((n_left as f64) * selectivity) as i64;
+    let left = sorted_rel("left", n_left, 0);
+    let right = sorted_rel("right", win_rows, lo);
+    let _ = engine.load_relation(&left);
+    let _ = engine.load_relation(&right);
+    let q = band_query(&left, &right);
+
+    let t = Instant::now();
+    let off = engine
+        .run(&q, &RunOptions::new().skipping(false))
+        .expect("skip-off run");
+    let real_off = t.elapsed().as_secs_f64();
+
+    let t = Instant::now();
+    let cold = engine.run(&q, &RunOptions::default()).expect("cold run");
+    let _real_cold = t.elapsed().as_secs_f64();
+    let units_cold = engine.last_admission_request();
+
+    let t = Instant::now();
+    let warm = engine.run(&q, &RunOptions::default()).expect("warm run");
+    let real_on = t.elapsed().as_secs_f64();
+    let units_warm = engine.last_admission_request();
+
+    // The differential guarantee, on every sweep point.
+    assert_eq!(cold.output.rows(), off.output.rows(), "cold != off");
+    assert_eq!(warm.output.rows(), off.output.rows(), "warm != off");
+
+    let (shipped_on, bytes_on) = shipped(&warm);
+    let (shipped_off, bytes_off) = shipped(&off);
+    Point {
+        selectivity,
+        output_rows: off.output.len(),
+        skip_fraction: warm.skip_fraction(),
+        shipped_on,
+        shipped_off,
+        bytes_on,
+        bytes_off,
+        sim_on: warm.sim_secs,
+        sim_off: off.sim_secs,
+        real_on,
+        real_off,
+        units_cold,
+        units_warm,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--test" || a == "--quick");
+    let (n_left, win_rows) = if quick { (12_000, 16) } else { (40_000, 32) };
+    let selectivities: &[f64] = if quick {
+        &[0.01, 0.5]
+    } else {
+        &[0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 0.9]
+    };
+
+    println!("skipping: Eq. 3 / Eq. 4 reduction vs band selectivity (left={n_left} rows)");
+    println!(
+        "{:>11} {:>9} {:>9} {:>12} {:>12} {:>9} {:>9} {:>7} {:>7}",
+        "selectivity",
+        "out_rows",
+        "skip_frac",
+        "shipped_on",
+        "shipped_off",
+        "sim_on",
+        "sim_off",
+        "u_cold",
+        "u_warm"
+    );
+    let mut points = Vec::new();
+    for &s in selectivities {
+        let p = measure(n_left, win_rows, s);
+        println!(
+            "{:>11.3} {:>9} {:>9.3} {:>12} {:>12} {:>9.4} {:>9.4} {:>7} {:>7}",
+            p.selectivity,
+            p.output_rows,
+            p.skip_fraction,
+            p.shipped_on,
+            p.shipped_off,
+            p.sim_on,
+            p.sim_off,
+            p.units_cold,
+            p.units_warm
+        );
+        points.push(p);
+    }
+
+    // The acceptance bar on the tightest band: ≥ 30 % fewer Eq. 3
+    // shipped records than skip-off, and a warm Eq. 2 request no
+    // larger than cold (strictly smaller when there is room under it).
+    let tight = &points[0];
+    assert!(tight.selectivity <= 0.01, "first sweep point must be tight");
+    assert!(
+        (tight.shipped_on as f64) <= 0.7 * tight.shipped_off as f64,
+        "tight band must ship ≥30% fewer records: {} vs {}",
+        tight.shipped_on,
+        tight.shipped_off
+    );
+    assert!(tight.units_warm <= tight.units_cold);
+    if tight.units_cold > 1 {
+        assert!(
+            tight.units_warm < tight.units_cold,
+            "warm Eq. 2 request must shrink: {} vs {}",
+            tight.units_warm,
+            tight.units_cold
+        );
+    }
+
+    if quick {
+        println!("quick mode: parity + ≥30% reduction asserted, no baseline written");
+        return;
+    }
+    let json = render_json(n_left, win_rows, &points);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_skipping.json");
+    std::fs::write(path, &json).expect("write BENCH_skipping.json");
+    println!("baseline written to {path}");
+}
+
+fn render_json(n_left: i64, win_rows: i64, points: &[Point]) -> String {
+    let mut out = format!(
+        "{{\n  \"bench\": \"skipping\",\n  \"left_rows\": {n_left},\n  \"window_rows\": {win_rows},\n  \"results\": [\n"
+    );
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"selectivity\": {:.4}, \"output_rows\": {}, \"skip_fraction\": {:.4}, \
+             \"shipped_records_on\": {}, \"shipped_records_off\": {}, \
+             \"shipped_bytes_on\": {}, \"shipped_bytes_off\": {}, \
+             \"record_reduction\": {:.4}, \
+             \"sim_secs_on\": {:.6}, \"sim_secs_off\": {:.6}, \
+             \"real_secs_on\": {:.6}, \"real_secs_off\": {:.6}, \
+             \"units_cold\": {}, \"units_warm\": {}}}{}\n",
+            p.selectivity,
+            p.output_rows,
+            p.skip_fraction,
+            p.shipped_on,
+            p.shipped_off,
+            p.bytes_on,
+            p.bytes_off,
+            1.0 - (p.shipped_on as f64) / (p.shipped_off.max(1) as f64),
+            p.sim_on,
+            p.sim_off,
+            p.real_on,
+            p.real_off,
+            p.units_cold,
+            p.units_warm,
+            if i + 1 == points.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}

@@ -77,15 +77,65 @@ struct Catalog {
 /// the statistics epoch it was planned under. A mismatched epoch at
 /// admission time means the loaded data changed since planning — the
 /// entry is discarded and the query replanned against fresh statistics,
-/// so an execution can never run against a stale plan.
+/// so an execution can never run against a stale plan. `last_used` is
+/// an LRU stamp from the shared cache clock, touched on every hit (an
+/// atomic, so hits under the read lock can update it).
 struct CachedPlan {
     epoch: u64,
     plan: Arc<QueryPlan>,
+    last_used: AtomicU64,
 }
 
 /// Keep the plan cache from growing without bound in a long-lived
-/// server (distinct SQL texts keep arriving).
+/// server (distinct SQL texts keep arriving). At the cap the
+/// least-recently-used entry is evicted — hot prepared shapes stay
+/// warm while one-off ad-hoc texts cycle through.
 const PLAN_CACHE_CAP: usize = 1024;
+
+/// Observed zone-map effectiveness for one plan-cache key prefix:
+/// the fraction of input rows skipping pruned on the most recent run,
+/// tagged with the statistics epoch it was observed under. The
+/// admission controller discounts the Eq. 2 unit estimate by this
+/// fraction on statistics-warm runs — a query whose input mostly
+/// prunes occupies a smaller `k_P` slice, so more queries pack in.
+struct SkipStat {
+    epoch: u64,
+    fraction: f64,
+}
+
+/// Engine-wide zone-map pruning totals, accumulated across every
+/// completed run (what the server's `stats` command reports).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ZoneSkipStats {
+    /// Input blocks considered by skip filters.
+    pub blocks: u64,
+    /// Blocks skipped unread.
+    pub blocks_pruned: u64,
+    /// Block pairs examined across predicate graphs.
+    pub pairs: u64,
+    /// Block pairs proven empty by zone ranges.
+    pub pairs_pruned: u64,
+    /// Rows in considered blocks.
+    pub rows: u64,
+    /// Rows whose map work was skipped.
+    pub rows_pruned: u64,
+}
+
+impl ZoneSkipStats {
+    /// Block pairs that survived zone pruning.
+    pub fn pairs_kept(&self) -> u64 {
+        self.pairs.saturating_sub(self.pairs_pruned)
+    }
+
+    /// Fraction of considered rows pruned, in [0, 1].
+    pub fn skip_fraction(&self) -> f64 {
+        if self.rows == 0 {
+            0.0
+        } else {
+            self.rows_pruned as f64 / self.rows as f64
+        }
+    }
+}
 
 /// A snapshot of the shared plan cache's counters (all monotonic
 /// except `entries`). `hits` counting up while `misses` stays flat is
@@ -99,8 +149,8 @@ pub struct PlanCacheStats {
     pub hits: u64,
     /// Lookups that found no valid entry and planned from scratch.
     pub misses: u64,
-    /// Entries discarded — stale-epoch replacements plus cap-overflow
-    /// clears.
+    /// Entries discarded — stale-epoch replacements plus
+    /// least-recently-used evictions at the cap (one per entry).
     pub evictions: u64,
     /// Fresh plans that *re*-planned an existing shape: stale-epoch
     /// refreshes and reduced-`k` replans after admission degradation.
@@ -136,6 +186,25 @@ struct Shared {
     cache_misses: AtomicU64,
     cache_evictions: AtomicU64,
     cache_replans: AtomicU64,
+    /// Monotonic LRU clock for [`CachedPlan::last_used`] stamps.
+    cache_clock: AtomicU64,
+    /// Cap before LRU eviction kicks in — [`PLAN_CACHE_CAP`] in
+    /// production, lowered by tests to exercise eviction cheaply.
+    cache_cap: AtomicUsize,
+    /// Observed skip fraction per plan-cache key prefix (the Eq. 2
+    /// admission discount), epoch-tagged like the plan cache itself.
+    skip_stats: RwLock<HashMap<String, SkipStat>>,
+    /// Units the most recent admission *requested* (after the skip
+    /// discount) — the observable for "the warm Eq. 2 estimate
+    /// shrank"; benches and tests compare it across cold/warm runs.
+    last_admission_request: AtomicU64,
+    /// Engine-wide zone-map pruning totals, accumulated per run.
+    zone_blocks: AtomicU64,
+    zone_blocks_pruned: AtomicU64,
+    zone_pairs: AtomicU64,
+    zone_pairs_pruned: AtomicU64,
+    zone_rows: AtomicU64,
+    zone_rows_pruned: AtomicU64,
 }
 
 /// The top-level system: cluster + DFS + statistics + planner behind
@@ -157,6 +226,13 @@ pub(crate) struct Admitted {
     pub(crate) stats: Vec<RelationStats>,
     pub(crate) ticket: Ticket,
     pub(crate) plan: Option<Arc<QueryPlan>>,
+    /// The plan-cache key prefix (`Ours` methods only) — where the
+    /// run's observed skip fraction is recorded for the next
+    /// admission's Eq. 2 discount.
+    pub(crate) key_prefix: Option<String>,
+    /// Statistics epoch the admission snapshotted; tags the recorded
+    /// skip fraction so a reload invalidates it like a cached plan.
+    pub(crate) epoch: u64,
 }
 
 /// The namespace-stripped shape of a query: its Display form with the
@@ -199,6 +275,16 @@ impl Engine {
                 cache_misses: AtomicU64::new(0),
                 cache_evictions: AtomicU64::new(0),
                 cache_replans: AtomicU64::new(0),
+                cache_clock: AtomicU64::new(0),
+                cache_cap: AtomicUsize::new(PLAN_CACHE_CAP),
+                skip_stats: RwLock::new(HashMap::new()),
+                last_admission_request: AtomicU64::new(0),
+                zone_blocks: AtomicU64::new(0),
+                zone_blocks_pruned: AtomicU64::new(0),
+                zone_pairs: AtomicU64::new(0),
+                zone_pairs_pruned: AtomicU64::new(0),
+                zone_rows: AtomicU64::new(0),
+                zone_rows_pruned: AtomicU64::new(0),
             }),
         }
     }
@@ -242,6 +328,97 @@ impl Engine {
             evictions: self.shared.cache_evictions.load(Ordering::Relaxed),
             replans: self.shared.cache_replans.load(Ordering::Relaxed),
         }
+    }
+
+    /// Engine-wide zone-map pruning totals accumulated across every
+    /// completed run (what the server's `stats` command reports
+    /// alongside the plan-cache counters).
+    pub fn zone_skip_stats(&self) -> ZoneSkipStats {
+        ZoneSkipStats {
+            blocks: self.shared.zone_blocks.load(Ordering::Relaxed),
+            blocks_pruned: self.shared.zone_blocks_pruned.load(Ordering::Relaxed),
+            pairs: self.shared.zone_pairs.load(Ordering::Relaxed),
+            pairs_pruned: self.shared.zone_pairs_pruned.load(Ordering::Relaxed),
+            rows: self.shared.zone_rows.load(Ordering::Relaxed),
+            rows_pruned: self.shared.zone_rows_pruned.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Units the most recent `Ours` admission requested from the
+    /// scheduler — `plan.units` cold, the skip-discounted value on a
+    /// statistics-warm run of a shape whose zone maps pruned. Zero
+    /// until the first planned admission. Benches compare this across
+    /// a cold/warm pair to show the Eq. 2 estimate shrinking.
+    pub fn last_admission_request(&self) -> u32 {
+        self.shared.last_admission_request.load(Ordering::Relaxed) as u32
+    }
+
+    /// The epoch-valid skip fraction recorded for a plan-cache key
+    /// prefix, if any — what the Eq. 2 admission discount would apply
+    /// on the next statistics-warm run of the same shape (inspection).
+    pub fn recorded_skip_fraction(&self, key_prefix: &str) -> Option<f64> {
+        let epoch = self.stats_epoch();
+        self.shared
+            .skip_stats
+            .read()
+            .get(key_prefix)
+            .filter(|s| s.epoch == epoch)
+            .map(|s| s.fraction)
+    }
+
+    /// Lower the plan-cache cap (tests only — exercising LRU eviction
+    /// at the production cap would need a thousand distinct shapes).
+    #[cfg(test)]
+    pub(crate) fn set_plan_cache_cap(&self, cap: usize) {
+        self.shared.cache_cap.store(cap.max(1), Ordering::Relaxed);
+    }
+
+    /// Fold one finished run's zone counters into the engine totals
+    /// and, for plan-cached shapes, remember the observed skip fraction
+    /// so the next admission of the same shape can discount its Eq. 2
+    /// unit request. Only skipping-enabled runs record a fraction — a
+    /// `+noskip` ablation would otherwise wipe a real observation.
+    fn note_run_skipping(&self, run: &QueryRun, key_prefix: Option<&str>, epoch: u64) {
+        let (blocks, blocks_pruned, pairs, pairs_pruned, rows, rows_pruned) = run.zone_totals();
+        let s = &self.shared;
+        s.zone_blocks.fetch_add(blocks, Ordering::Relaxed);
+        s.zone_blocks_pruned
+            .fetch_add(blocks_pruned, Ordering::Relaxed);
+        s.zone_pairs.fetch_add(pairs, Ordering::Relaxed);
+        s.zone_pairs_pruned
+            .fetch_add(pairs_pruned, Ordering::Relaxed);
+        s.zone_rows.fetch_add(rows, Ordering::Relaxed);
+        s.zone_rows_pruned.fetch_add(rows_pruned, Ordering::Relaxed);
+        if let Some(key) = key_prefix {
+            if rows > 0 {
+                let fraction = rows_pruned as f64 / rows as f64;
+                s.skip_stats
+                    .write()
+                    .insert(key.to_string(), SkipStat { epoch, fraction });
+            }
+        }
+    }
+
+    /// The Eq. 2 unit request after the skip discount: if a previous
+    /// run of this shape (same statistics epoch) pruned fraction `f` of
+    /// its input rows, the shuffle and reduce work the estimate prices
+    /// shrinks roughly with the surviving input, so request
+    /// `ceil(units × (1 − f))` (never below one unit, discount capped
+    /// at 95% as a safety margin). Admission packs the freed units into
+    /// concurrent queries; the executed plan itself is unchanged.
+    fn discounted_units(&self, key_prefix: &str, units: u32, epoch: u64) -> u32 {
+        let f = self
+            .shared
+            .skip_stats
+            .read()
+            .get(key_prefix)
+            .filter(|s| s.epoch == epoch)
+            .map_or(0.0, |s| s.fraction);
+        if f <= 0.0 {
+            return units;
+        }
+        let f = f.min(0.95);
+        ((f64::from(units)) * (1.0 - f)).ceil().max(1.0) as u32
     }
 
     /// A stable, process-unique identity for this engine — used by
@@ -606,10 +783,23 @@ impl Engine {
                     bases.join(",")
                 );
                 let plan = self.plan_for(&planner, q, &stats, &key_prefix, k_full, epoch, false)?;
+                // Statistics-warm discount: a shape whose zone maps
+                // pruned fraction f of its input last run (same epoch)
+                // requests a (1 − f)-scaled slice — the estimate's
+                // shuffle/reduce work shrinks with the surviving rows,
+                // so admission packs more queries into k_P.
+                let requested = if opts.skipping_enabled() {
+                    self.discounted_units(&key_prefix, plan.units, epoch)
+                } else {
+                    plan.units
+                };
+                self.shared
+                    .last_admission_request
+                    .store(u64::from(requested), Ordering::Relaxed);
                 let ticket = self
                     .shared
                     .scheduler
-                    .admit_with_cost(plan.units, plan.predicted_secs())?;
+                    .admit_with_cost(requested, plan.predicted_secs())?;
                 let plan = if ticket.degraded() {
                     self.plan_for(
                         &planner,
@@ -628,6 +818,8 @@ impl Engine {
                     stats: owned_stats,
                     ticket,
                     plan: Some(plan),
+                    key_prefix: Some(key_prefix),
+                    epoch,
                 })
             }
             Method::YSmart | Method::Hive | Method::Pig => {
@@ -640,6 +832,8 @@ impl Engine {
                     stats: owned_stats,
                     ticket,
                     plan: None,
+                    key_prefix: None,
+                    epoch,
                 })
             }
         }
@@ -684,6 +878,9 @@ impl Engine {
                 planner.try_execute_baseline(Baseline::Pig, q, &stats, cluster, &exec_opts)?
             }
         };
+        if opts.skipping_enabled() {
+            self.note_run_skipping(&run, admitted.key_prefix.as_deref(), admitted.epoch);
+        }
         Ok(run)
     }
 
@@ -712,10 +909,12 @@ impl Engine {
         replan: bool,
     ) -> Result<Arc<QueryPlan>, EngineError> {
         let key = (key_prefix.to_string(), k);
+        let touch = || self.shared.cache_clock.fetch_add(1, Ordering::Relaxed) + 1;
         {
             let cache = self.shared.plan_cache.read();
             if let Some(hit) = cache.get(&key) {
                 if hit.epoch == epoch {
+                    hit.last_used.store(touch(), Ordering::Relaxed);
                     self.shared.cache_hits.fetch_add(1, Ordering::Relaxed);
                     return Ok(Arc::clone(&hit.plan));
                 }
@@ -726,6 +925,7 @@ impl Engine {
         // have published this key while we waited.
         let stale = match cache.get(&key) {
             Some(hit) if hit.epoch == epoch => {
+                hit.last_used.store(touch(), Ordering::Relaxed);
                 self.shared.cache_hits.fetch_add(1, Ordering::Relaxed);
                 return Ok(Arc::clone(&hit.plan));
             }
@@ -734,17 +934,30 @@ impl Engine {
         };
         self.shared.cache_misses.fetch_add(1, Ordering::Relaxed);
         let plan = Arc::new(planner.plan_query(q, stats, k)?);
-        if cache.len() >= PLAN_CACHE_CAP {
-            self.shared
-                .cache_evictions
-                .fetch_add(cache.len() as u64, Ordering::Relaxed);
-            cache.clear();
+        // At the cap, evict the least-recently-used entries (one count
+        // each) — never when refreshing an existing key in place.
+        let cap = self.shared.cache_cap.load(Ordering::Relaxed).max(1);
+        if !cache.contains_key(&key) {
+            while cache.len() >= cap {
+                let victim = cache
+                    .iter()
+                    .min_by_key(|(_, v)| v.last_used.load(Ordering::Relaxed))
+                    .map(|(k, _)| k.clone());
+                match victim {
+                    Some(v) => {
+                        cache.remove(&v);
+                        self.shared.cache_evictions.fetch_add(1, Ordering::Relaxed);
+                    }
+                    None => break,
+                }
+            }
         }
         cache.insert(
             key,
             CachedPlan {
                 epoch,
                 plan: Arc::clone(&plan),
+                last_used: AtomicU64::new(touch()),
             },
         );
         if stale {
@@ -1516,6 +1729,106 @@ mod tests {
         assert!(engine.stats_epoch() > epoch);
         assert!(engine.relation("r").is_none());
         assert!(engine.cluster().dfs().get("r").is_none());
+    }
+
+    #[test]
+    fn plan_cache_lru_evicts_cold_shapes_not_hot_ones() {
+        let (engine, _) = two_rel_engine();
+        engine.set_plan_cache_cap(2);
+        let mk = |op| {
+            QueryBuilder::new("q")
+                .relation(engine.relation("r").unwrap().schema().clone())
+                .relation(engine.relation("s").unwrap().schema().clone())
+                .join("r", "a", op, "s", "a")
+                .build()
+                .unwrap()
+        };
+        let (q1, q2, q3) = (mk(ThetaOp::Le), mk(ThetaOp::Lt), mk(ThetaOp::Ge));
+        let opts = RunOptions::default();
+        engine.run(&q1, &opts).unwrap();
+        engine.run(&q2, &opts).unwrap();
+        // Touch q1 so q2 is the least-recently-used entry.
+        engine.run(&q1, &opts).unwrap();
+        let before = engine.plan_cache_stats();
+        engine.run(&q3, &opts).unwrap();
+        let after = engine.plan_cache_stats();
+        // Exactly one entry was evicted to admit q3 — not a full clear.
+        assert!(after.entries <= 2);
+        assert_eq!(after.evictions, before.evictions + 1);
+        // The hot shape survived: re-running q1 hits without planning.
+        engine.run(&q1, &opts).unwrap();
+        let warm = engine.plan_cache_stats();
+        assert_eq!(warm.misses, after.misses);
+        assert!(warm.hits > after.hits);
+        // The evicted cold shape must re-plan.
+        engine.run(&q2, &opts).unwrap();
+        assert!(engine.plan_cache_stats().misses > warm.misses);
+    }
+
+    /// Value-clustered blocks + a narrow band: skipping fires, its
+    /// fraction is recorded under the plan-cache key, the next
+    /// admission's Eq. 2 request shrinks, and a reload (epoch bump)
+    /// forgets the observation.
+    #[test]
+    fn skip_fraction_recorded_and_discounts_admission() {
+        let engine = Engine::with_units(8);
+        let left = Relation::from_rows_unchecked(
+            Schema::from_pairs("left", &[("a", DataType::Int), ("b", DataType::Int)]),
+            (0..12_000i64).map(|i| tuple![i, i]).collect(),
+        );
+        let right = Relation::from_rows_unchecked(
+            Schema::from_pairs("right", &[("a", DataType::Int), ("b", DataType::Int)]),
+            (0..10i64).map(|i| tuple![i + 40, i]).collect(),
+        );
+        let _ = engine.load_relation(&left);
+        let _ = engine.load_relation(&right);
+        let q = QueryBuilder::new("q")
+            .relation(left.schema().clone())
+            .relation(right.schema().clone())
+            .join("left", "a", ThetaOp::Lt, "right", "a")
+            .build()
+            .unwrap();
+        let run = engine.run(&q, &RunOptions::default()).unwrap();
+        let f = run.skip_fraction();
+        assert!(f > 0.5, "clustered blocks should mostly prune, got {f}");
+        let totals = engine.zone_skip_stats();
+        assert!(totals.rows_pruned > 0 && totals.blocks_pruned > 0);
+        assert!(totals.skip_fraction() > 0.0);
+
+        let key = format!("{}|left,right", query_shape(&augment_query(&q)));
+        let epoch = engine.stats_epoch();
+        assert_eq!(engine.recorded_skip_fraction(&key), Some(f));
+        // The warm Eq. 2 request shrinks (never below one unit).
+        assert!(engine.discounted_units(&key, 8, epoch) < 8);
+        assert_eq!(engine.discounted_units(&key, 1, epoch), 1);
+        // An unknown shape and a stale epoch are undiscounted.
+        assert_eq!(engine.discounted_units("nope|x", 8, epoch), 8);
+        assert_eq!(engine.discounted_units(&key, 8, epoch + 1), 8);
+
+        // The warm run is bit-identical, skips identically, and its
+        // admission requested a discounted slice.
+        let cold_units = engine.last_admission_request();
+        assert!(cold_units >= 1);
+        let warm = engine.run(&q, &RunOptions::default()).unwrap();
+        assert_eq!(warm.output.rows(), run.output.rows());
+        assert_eq!(warm.skip_fraction(), f);
+        let warm_units = engine.last_admission_request();
+        assert!(warm_units <= cold_units);
+        if cold_units > 1 {
+            assert!(warm_units < cold_units, "{warm_units} !< {cold_units}");
+        }
+
+        // A +noskip run prunes nothing and leaves the stat untouched.
+        let off = engine
+            .run(&q, &RunOptions::default().skipping(false))
+            .unwrap();
+        assert_eq!(off.output.rows(), run.output.rows());
+        assert_eq!(off.zone_totals(), (0, 0, 0, 0, 0, 0));
+        assert_eq!(engine.recorded_skip_fraction(&key), Some(f));
+
+        // Reloading bumps the epoch; the stale observation is dropped.
+        let _ = engine.load_relation(&right);
+        assert_eq!(engine.recorded_skip_fraction(&key), None);
     }
 
     #[test]

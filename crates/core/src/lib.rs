@@ -60,7 +60,7 @@ pub mod scheduler;
 pub mod stream;
 
 pub use benchqueries::{mobile_query, tpch_query, MobileQuery, TpchQuery};
-pub use engine::{Engine, LoadReport, PlanCacheStats, Session, RID_COLUMN};
+pub use engine::{Engine, LoadReport, PlanCacheStats, Session, ZoneSkipStats, RID_COLUMN};
 pub use error::EngineError;
 pub use options::{Method, RunOptions};
 pub use prepare::Prepared;

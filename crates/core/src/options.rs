@@ -84,17 +84,32 @@ impl FromStr for Method {
 ///     .partition(PartitionStrategy::Grid);
 /// assert_eq!(opts.to_string(), "ours:grid");
 /// ```
-#[derive(Debug, Clone, Default, PartialEq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RunOptions {
     method: Method,
     partition: Option<PartitionStrategy>,
     faults: Option<FaultPlan>,
     calibrate: bool,
+    skipping: bool,
+}
+
+impl Default for RunOptions {
+    /// [`Method::Ours`], Hilbert partitioning, no faults, no
+    /// calibration, zone-map skipping **on**.
+    fn default() -> Self {
+        RunOptions {
+            method: Method::default(),
+            partition: None,
+            faults: None,
+            calibrate: false,
+            skipping: true,
+        }
+    }
 }
 
 impl RunOptions {
     /// Defaults: [`Method::Ours`], Hilbert partitioning, no faults,
-    /// no calibration.
+    /// no calibration, zone-map skipping on.
     pub fn new() -> Self {
         RunOptions::default()
     }
@@ -128,6 +143,15 @@ impl RunOptions {
         self
     }
 
+    /// Enable or disable zone-map data skipping for this run (on by
+    /// default). The result rows are bit-identical either way — the
+    /// switch only moves the pruning counters and the Eq. 2–4
+    /// byte/record metrics, so it exists for ablations and debugging.
+    pub fn skipping(mut self, yes: bool) -> Self {
+        self.skipping = yes;
+        self
+    }
+
     /// The chosen method.
     pub fn get_method(&self) -> Method {
         self.method
@@ -150,11 +174,17 @@ impl RunOptions {
         self.calibrate
     }
 
+    /// Whether zone-map data skipping is enabled for this run.
+    pub fn skipping_enabled(&self) -> bool {
+        self.skipping
+    }
+
     /// Lower these options into the planner's execution knobs.
     pub(crate) fn exec_options(&self) -> ExecOptions {
         ExecOptions {
             strategy: self.effective_partition(),
             faults: self.faults.clone(),
+            skipping: self.skipping,
             ..ExecOptions::default()
         }
     }
@@ -167,11 +197,11 @@ impl From<Method> for RunOptions {
 }
 
 impl fmt::Display for RunOptions {
-    /// `method[:partition][+faults=p@seed/attempts][+calibrated]` —
-    /// the partition is printed only when it overrides the method
-    /// default. Every printed form parses back to an equal value
-    /// (`FromStr` is the exact inverse; the wire protocol relies on
-    /// it).
+    /// `method[:partition][+faults=p@seed/attempts][+calibrated]
+    /// [+noskip]` — the partition is printed only when it overrides
+    /// the method default, `+noskip` only when skipping is disabled.
+    /// Every printed form parses back to an equal value (`FromStr` is
+    /// the exact inverse; the wire protocol relies on it).
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.method)?;
         if let Some(p) = self.partition {
@@ -183,6 +213,9 @@ impl fmt::Display for RunOptions {
         if self.calibrate {
             write!(f, "+calibrated")?;
         }
+        if !self.skipping {
+            write!(f, "+noskip")?;
+        }
         Ok(())
     }
 }
@@ -190,9 +223,10 @@ impl fmt::Display for RunOptions {
 impl FromStr for RunOptions {
     type Err = String;
 
-    /// Parse `method[:partition][+faults=p@seed/attempts][+calibrated]`
-    /// (e.g. `ours`, `ours:grid`, `hive+calibrated`,
-    /// `pig+faults=0.25@99/4`) — exactly the forms `Display` prints.
+    /// Parse `method[:partition][+faults=p@seed/attempts][+calibrated]
+    /// [+noskip]` (e.g. `ours`, `ours:grid`, `hive+calibrated`,
+    /// `pig+faults=0.25@99/4`, `ours+noskip`) — exactly the forms
+    /// `Display` prints.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let mut opts = RunOptions::new();
         let mut parts = s.split('+');
@@ -201,6 +235,7 @@ impl FromStr for RunOptions {
             let lower = flag.trim().to_ascii_lowercase();
             match lower.as_str() {
                 "calibrated" => opts.calibrate = true,
+                "noskip" => opts.skipping = false,
                 _ => match lower.strip_prefix("faults=") {
                     Some(plan) => opts.faults = Some(plan.parse()?),
                     None => return Err(format!("unknown run-option flag `{lower}`")),
@@ -254,6 +289,23 @@ mod tests {
         );
         assert!("ours+turbo".parse::<RunOptions>().is_err());
         assert!("ours:diagonal".parse::<RunOptions>().is_err());
+    }
+
+    #[test]
+    fn noskip_roundtrips_and_defaults_on() {
+        assert!(RunOptions::new().skipping_enabled());
+        let opts: RunOptions = "ours+noskip".parse().unwrap();
+        assert!(!opts.skipping_enabled());
+        assert_eq!(opts.to_string(), "ours+noskip");
+        assert_eq!(opts.to_string().parse::<RunOptions>().unwrap(), opts);
+        // The default prints nothing and parses back enabled.
+        let dflt = RunOptions::new().method(Method::Hive);
+        assert_eq!(dflt.to_string(), "hive");
+        assert!(dflt
+            .to_string()
+            .parse::<RunOptions>()
+            .unwrap()
+            .skipping_enabled());
     }
 
     #[test]

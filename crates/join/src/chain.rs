@@ -20,8 +20,9 @@
 
 use crate::kernel::StackPred;
 use crate::shape::IntermediateShape;
+use crate::skip::ChainSkipFilter;
 use mwtj_hilbert::{PartitionStrategy, SpacePartition};
-use mwtj_mapreduce::{Emit, MrJob, TaggedRecord};
+use mwtj_mapreduce::{Emit, MrJob, SkipFilter, TagZones, TaggedRecord};
 use mwtj_query::theta::CompiledPredicate;
 use mwtj_query::MultiwayQuery;
 use mwtj_storage::{Schema, Tuple};
@@ -39,6 +40,10 @@ pub struct ChainThetaJob {
     /// to *dimension* positions and compiled to stack evaluators with
     /// pre-selected operator functions ([`StackPred`]).
     preds: Vec<StackPred>,
+    /// The same dimension-remapped predicates in compiled (column/
+    /// offset/op) form — what the zone-map skip filter evaluates
+    /// against block ranges.
+    zone_preds: Vec<CompiledPredicate>,
     /// For each dimension depth, the predicates that become checkable
     /// once that dimension is bound.
     preds_by_depth: Vec<Vec<usize>>,
@@ -83,13 +88,16 @@ impl ChainThetaJob {
                 .expect("predicate relation must be a chain dimension")
         };
         let mut preds = Vec::new();
+        let mut zone_preds = Vec::new();
         for &e in edges {
             for p in &compiled.per_condition[e] {
-                preds.push(StackPred::from_compiled(&CompiledPredicate {
+                let remapped = CompiledPredicate {
                     left_rel: to_dim(p.left_rel),
                     right_rel: to_dim(p.right_rel),
                     ..*p
-                }));
+                };
+                preds.push(StackPred::from_compiled(&remapped));
+                zone_preds.push(remapped);
             }
         }
         let mut preds_by_depth = vec![Vec::new(); dims.len()];
@@ -111,6 +119,7 @@ impl ChainThetaJob {
             cardinalities: dim_cards,
             partition,
             preds,
+            zone_preds,
             preds_by_depth,
             out_shape,
         }
@@ -235,6 +244,10 @@ impl MrJob for ChainThetaJob {
 
     fn output_schema(&self) -> Schema {
         self.out_shape.schema.clone()
+    }
+
+    fn skip_filter(&self, zones: &TagZones) -> Option<Box<dyn SkipFilter>> {
+        ChainSkipFilter::build(&self.zone_preds, self.dims.len(), zones)
     }
 
     fn map(&self, tag: u8, row: &Tuple, block_seed: u64, row_idx: usize, emit: &mut Emit<'_>) {

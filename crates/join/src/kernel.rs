@@ -390,6 +390,18 @@ impl PairKernel {
         &self.eq_key
     }
 
+    /// The compiled theta predicates as flat
+    /// `(left col, left offset, op, right col, right offset)` tuples,
+    /// always oriented left-side-first — the inputs zone-map skip
+    /// filters need. Shared-relation equality constraints are *not*
+    /// included (they are an additional conjunct, so pruning on the
+    /// theta predicates alone stays conservative).
+    pub fn flat_preds(&self) -> impl Iterator<Item = (usize, f64, ThetaOp, usize, f64)> + '_ {
+        self.preds
+            .iter()
+            .map(|p| (p.l_col, p.l_off, p.op, p.r_col, p.r_off))
+    }
+
     /// Full match check for one candidate pair: shared-relation
     /// agreement plus every predicate.
     #[inline]

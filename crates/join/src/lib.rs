@@ -31,6 +31,7 @@ pub mod kernel;
 pub mod oracle;
 pub mod pair;
 pub mod shape;
+mod skip;
 
 pub use chain::ChainThetaJob;
 pub use kernel::{KernelKind, PairKernel};

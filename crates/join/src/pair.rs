@@ -25,9 +25,10 @@
 
 use crate::kernel::PairKernel;
 use crate::shape::IntermediateShape;
+use crate::skip::PairSkipFilter;
 use mwtj_hilbert::RectPartition;
 use mwtj_mapreduce::engine::GROUP_BY_AUX;
-use mwtj_mapreduce::{Emit, MrJob, TaggedRecord};
+use mwtj_mapreduce::{Emit, MrJob, SkipFilter, TagZones, TaggedRecord};
 use mwtj_query::theta::CompiledPredicate;
 use mwtj_query::MultiwayQuery;
 use mwtj_storage::{Schema, Tuple};
@@ -254,6 +255,13 @@ impl MrJob for PairJob {
                 }
             }
         }
+    }
+
+    fn skip_filter(&self, zones: &TagZones) -> Option<Box<dyn SkipFilter>> {
+        // Pure merges (shared-relation equality only, where NULL
+        // matches NULL) compile no theta predicates and return `None`
+        // here — zone ranges cannot speak for them.
+        PairSkipFilter::build(&self.kernel, zones)
     }
 
     fn reduce(&self, _key: u64, records: &[TaggedRecord], out: &mut Vec<Tuple>) -> u64 {

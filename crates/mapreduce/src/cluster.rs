@@ -109,17 +109,19 @@ impl Cluster {
     /// Panics on an invalid plan. Serving paths should prefer
     /// [`Cluster::try_run_plan`].
     pub fn run_plan(&self, stages: Vec<PlanStage>) -> PlanExecution {
-        self.try_run_plan(stages, None)
+        self.try_run_plan(stages, None, true)
             .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Like [`Cluster::run_plan`], but returns a typed error instead of
-    /// panicking, and optionally overrides the engine's fault plan for
-    /// this run only (per-query fault profiles under concurrency).
+    /// panicking, optionally overrides the engine's fault plan for
+    /// this run only (per-query fault profiles under concurrency), and
+    /// lets the caller disable zone-map data skipping for the run.
     pub fn try_run_plan(
         &self,
         stages: Vec<PlanStage>,
         faults: Option<&FaultPlan>,
+        skipping: bool,
     ) -> Result<PlanExecution, ExecError> {
         let k_p = self.config().processing_units;
         let faults = faults.unwrap_or_else(|| self.engine.fault_plan());
@@ -158,6 +160,7 @@ impl Cluster {
                         pj.reducers,
                         faults,
                         spec,
+                        skipping,
                     )?,
                     None => self.engine.try_run_with(
                         pj.job.as_ref(),
@@ -166,6 +169,7 @@ impl Cluster {
                         pj.reducers,
                         pj.out_file.as_deref(),
                         faults,
+                        skipping,
                     )?,
                 };
                 stage_max = stage_max.max(run.metrics.sim_total_secs);

@@ -4,10 +4,10 @@
 //! reduce phase).
 
 use crate::config::ClusterConfig;
-use crate::dfs::Dfs;
+use crate::dfs::{logical_file_name, Dfs};
 use crate::error::ExecError;
 use crate::faults::{FaultPlan, TaskKind};
-use crate::job::{InputSpec, MrJob, TaggedRecord};
+use crate::job::{InputSpec, MrJob, SkipFilter, TagZones, TaggedRecord};
 use crate::metrics::JobMetrics;
 use crate::sink::{RowBatch, SinkSpec};
 use mwtj_storage::{Relation, Tuple};
@@ -57,6 +57,8 @@ struct MapTaskOut {
     input_records: u64,
     output_bytes: u64,
     output_records: u64,
+    /// Rows whose map call the skip filter dropped.
+    rows_pruned: u64,
 }
 
 impl Engine {
@@ -126,12 +128,14 @@ impl Engine {
         reducers: u32,
         out_file: Option<&str>,
     ) -> Result<JobRun, ExecError> {
-        self.try_run_with(job, inputs, units, reducers, out_file, &self.faults)
+        self.try_run_with(job, inputs, units, reducers, out_file, &self.faults, true)
     }
 
     /// Like [`Engine::try_run`], but with an explicit per-run fault
-    /// plan, so concurrent queries over one shared engine can carry
-    /// different fault profiles.
+    /// plan (so concurrent queries over one shared engine can carry
+    /// different fault profiles) and a `skipping` switch for zone-map
+    /// data skipping (`false` disables it for this run only).
+    #[allow(clippy::too_many_arguments)]
     pub fn try_run_with(
         &self,
         job: &dyn MrJob,
@@ -140,8 +144,11 @@ impl Engine {
         reducers: u32,
         out_file: Option<&str>,
         faults: &FaultPlan,
+        skipping: bool,
     ) -> Result<JobRun, ExecError> {
-        self.run_inner(job, inputs, units, reducers, out_file, faults, None)
+        self.run_inner(
+            job, inputs, units, reducers, out_file, faults, None, skipping,
+        )
     }
 
     /// Run a *terminal* job whose output streams to `sink` as ordered
@@ -156,6 +163,7 @@ impl Engine {
     ///
     /// Returns [`ExecError::Cancelled`] when the sink reports its
     /// receiver gone.
+    #[allow(clippy::too_many_arguments)]
     pub fn try_run_streamed(
         &self,
         job: &dyn MrJob,
@@ -164,8 +172,18 @@ impl Engine {
         reducers: u32,
         faults: &FaultPlan,
         sink: &SinkSpec,
+        skipping: bool,
     ) -> Result<JobRun, ExecError> {
-        self.run_inner(job, inputs, units, reducers, None, faults, Some(sink))
+        self.run_inner(
+            job,
+            inputs,
+            units,
+            reducers,
+            None,
+            faults,
+            Some(sink),
+            skipping,
+        )
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -178,6 +196,7 @@ impl Engine {
         out_file: Option<&str>,
         faults: &FaultPlan,
         sink: Option<&SinkSpec>,
+        skipping: bool,
     ) -> Result<JobRun, ExecError> {
         if units < 1 {
             return Err(ExecError::BadRequest {
@@ -194,7 +213,7 @@ impl Engine {
         let params = &self.config.params;
 
         // ---- collect input blocks (map tasks) ----
-        let mut tasks: Vec<(u8, std::sync::Arc<Vec<Tuple>>, usize, u64)> = Vec::new();
+        let mut files = Vec::with_capacity(inputs.len());
         for spec in inputs {
             let file = self
                 .dfs
@@ -202,7 +221,47 @@ impl Engine {
                 .ok_or_else(|| ExecError::MissingFile {
                     name: spec.file.clone(),
                 })?;
+            files.push(file);
+        }
+        // Zone-map routing: let the job compile a skip filter over the
+        // input blocks' zone maps. Skipping is drop-only — a skipped
+        // block simply contributes no map task and a skipped row no map
+        // call; kept blocks keep their original block index (and thus
+        // seed) and kept rows their original in-block index, so
+        // surviving emissions are bit-identical to a skip-off run.
+        let filter: Option<Box<dyn SkipFilter>> = if skipping {
+            let mut tz = TagZones::new();
+            for (spec, file) in inputs.iter().zip(&files) {
+                for block in &file.blocks {
+                    tz.push(spec.tag, std::sync::Arc::clone(&block.zones));
+                }
+            }
+            job.skip_filter(&tz)
+        } else {
+            None
+        };
+        let skipf: Option<&dyn SkipFilter> = filter.as_deref();
+        let mut tasks: Vec<(u8, std::sync::Arc<Vec<Tuple>>, usize, u64)> = Vec::new();
+        let mut tag_ord = [0usize; 256];
+        let mut zone_blocks = 0u64;
+        let mut zone_blocks_pruned = 0u64;
+        let mut zone_rows_total = 0u64;
+        let mut zone_rows_pruned = 0u64;
+        for (spec, file) in inputs.iter().zip(&files) {
             for (bi, block) in file.blocks.iter().enumerate() {
+                let ord = tag_ord[spec.tag as usize];
+                tag_ord[spec.tag as usize] += 1;
+                if skipf.is_some() {
+                    zone_blocks += 1;
+                    zone_rows_total += block.rows.len() as u64;
+                }
+                if let Some(f) = skipf {
+                    if !f.keep_block(spec.tag, ord) {
+                        zone_blocks_pruned += 1;
+                        zone_rows_pruned += block.rows.len() as u64;
+                        continue;
+                    }
+                }
                 let seed = block_seed(&job.name(), &spec.file, bi as u64);
                 tasks.push((spec.tag, block.rows.clone(), block.bytes, seed));
             }
@@ -227,6 +286,7 @@ impl Engine {
                     let mut records: Vec<(u32, TaggedRecord)> = Vec::new();
                     let mut out_bytes = 0u64;
                     let mut out_records = 0u64;
+                    let mut rows_pruned = 0u64;
                     {
                         let mut emit = |key: u64, rec: TaggedRecord| {
                             let r = (key % reducers as u64) as u32;
@@ -235,6 +295,12 @@ impl Engine {
                             records.push((r, rec));
                         };
                         for (ri, row) in rows.iter().enumerate() {
+                            if let Some(f) = skipf {
+                                if !f.keep_row(tag, row) {
+                                    rows_pruned += 1;
+                                    continue;
+                                }
+                            }
                             job.map(tag, row, seed, ri, &mut emit);
                         }
                     }
@@ -244,6 +310,7 @@ impl Engine {
                         input_records: rows.len() as u64,
                         output_bytes: out_bytes,
                         output_records: out_records,
+                        rows_pruned,
                     });
                 });
             }
@@ -300,10 +367,12 @@ impl Engine {
             input_records += mo.input_records;
             map_output_bytes += mo.output_bytes;
             map_output_records += mo.output_records;
+            zone_rows_pruned += mo.rows_pruned;
             for (r, rec) in mo.records {
                 reducer_inputs[r as usize].push(rec);
             }
         }
+        let (zone_pairs, zone_pairs_pruned) = skipf.map_or((0, 0), |f| f.pair_counts());
 
         // ---- reduce phase (real) ----
         // Hadoop's actual sort-merge semantics: each reduce task sorts
@@ -395,6 +464,12 @@ impl Engine {
             real_secs: wall_start.elapsed().as_secs_f64(),
             map_attempts,
             reduce_attempts,
+            zone_blocks,
+            zone_blocks_pruned,
+            zone_pairs,
+            zone_pairs_pruned,
+            zone_rows_total,
+            zone_rows_pruned,
         };
         Ok(JobRun { output, metrics })
     }
@@ -575,6 +650,12 @@ impl Ord for NotNanF64 {
     }
 }
 
+/// Per-task seed for deterministic pseudo-random draws: hashes the job
+/// name, the *logical* file name (per-run `__q<N>_`/`__run<N>_`
+/// namespace prefixes are transient renamings of the same logical data,
+/// so re-running a query — ad-hoc, prepared or streamed — stays
+/// bit-identical in row order *and* simulated metrics) and the block's
+/// original index, which skipping never renumbers.
 fn block_seed(job: &str, file: &str, block: u64) -> u64 {
     use std::hash::{Hash, Hasher};
     let mut h = std::collections::hash_map::DefaultHasher::new();
@@ -582,28 +663,6 @@ fn block_seed(job: &str, file: &str, block: u64) -> u64 {
     logical_file_name(file).hash(&mut h);
     block.hash(&mut h);
     h.finish()
-}
-
-/// The logical view of a DFS file name for block seeding: per-run
-/// namespace prefixes — `__q<N>_` alias instances of one SQL run,
-/// `__run<N>_` intermediate files — are transient renamings of the
-/// same logical data, so the simulated block-placement seed must not
-/// depend on them. Stripping them here makes re-running a query
-/// (ad-hoc, prepared or streamed) bit-identical in row order *and*
-/// simulated metrics, which the prepared-statement differential
-/// relies on.
-fn logical_file_name(file: &str) -> &str {
-    for prefix in ["__q", "__run"] {
-        if let Some(after) = file.strip_prefix(prefix) {
-            let digits = after.chars().take_while(|c| c.is_ascii_digit()).count();
-            if digits > 0 {
-                if let Some(rest) = after[digits..].strip_prefix('_') {
-                    return rest;
-                }
-            }
-        }
-    }
-    file
 }
 
 /// Mask marking [`TaggedRecord::aux`] as the reduce grouping key (see

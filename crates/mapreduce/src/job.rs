@@ -10,7 +10,8 @@
 //! emit value hashes; 1-Bucket-Theta emits rectangle ids; merges emit
 //! shared-key hashes.
 
-use mwtj_storage::{Schema, Tuple};
+use mwtj_storage::{BlockZones, Schema, Tuple};
+use std::sync::Arc;
 
 /// One input file with its chain tag.
 #[derive(Debug, Clone)]
@@ -57,6 +58,57 @@ impl TaggedRecord {
 /// Map-side emitter: `(partition key, record)`.
 pub type Emit<'a> = dyn FnMut(u64, TaggedRecord) + 'a;
 
+/// Zone maps of a job's input blocks, grouped by input tag. Blocks
+/// appear in read order (file order, concatenated when several inputs
+/// share a tag), so a block's position here is its ordinal among the
+/// tag's map tasks.
+#[derive(Debug, Default)]
+pub struct TagZones {
+    tags: Vec<Vec<Arc<BlockZones>>>,
+}
+
+impl TagZones {
+    /// Empty set.
+    pub fn new() -> Self {
+        TagZones::default()
+    }
+
+    /// Append the next block of `tag`.
+    pub fn push(&mut self, tag: u8, zones: Arc<BlockZones>) {
+        let t = tag as usize;
+        if self.tags.len() <= t {
+            self.tags.resize_with(t + 1, Vec::new);
+        }
+        self.tags[t].push(zones);
+    }
+
+    /// The blocks of `tag`, in read order (empty for unknown tags).
+    pub fn blocks(&self, tag: u8) -> &[Arc<BlockZones>] {
+        self.tags.get(tag as usize).map_or(&[], |v| v.as_slice())
+    }
+}
+
+/// A job-compiled data-skipping decision procedure, built once per run
+/// from the input [`TagZones`]. Both methods must be *conservative*:
+/// answering `false` asserts that dropping the block's (or row's) map
+/// emissions cannot change the job's output. Skipping only ever drops
+/// work — surviving blocks keep their original seeds and surviving rows
+/// their original in-block indices — so output rows stay bit-identical
+/// to a skip-off run.
+pub trait SkipFilter: Send + Sync {
+    /// May block `block` (read-order ordinal within `tag`) contribute
+    /// any output? `false` ⇒ the whole block is skipped unread.
+    fn keep_block(&self, tag: u8, block: usize) -> bool;
+
+    /// May `row` of `tag` contribute any output? `false` ⇒ its map call
+    /// is skipped (the row is still read and charged as input).
+    fn keep_row(&self, tag: u8, row: &Tuple) -> bool;
+
+    /// `(block pairs examined, block pairs proven empty)` across the
+    /// predicate graph — the zone-map effectiveness counters.
+    fn pair_counts(&self) -> (u64, u64);
+}
+
 /// A MapReduce job. Implementations must be `Sync`: map and reduce
 /// tasks run on a thread pool.
 pub trait MrJob: Sync {
@@ -88,6 +140,14 @@ pub trait MrJob: Sync {
     /// pruning) are priced by their real work, not the raw cross
     /// product.
     fn reduce(&self, key: u64, records: &[TaggedRecord], out: &mut Vec<Tuple>) -> u64;
+
+    /// Compile a data-skipping filter for this run's input blocks, or
+    /// `None` when the job cannot prune (no compiled predicates, or
+    /// semantics — like shared-relation NULL-equality merges — that
+    /// zone ranges cannot capture). The default never skips.
+    fn skip_filter(&self, _zones: &TagZones) -> Option<Box<dyn SkipFilter>> {
+        None
+    }
 
     /// Streaming variant of [`MrJob::reduce`]: emit output rows one at
     /// a time instead of materialising the group's output vector.

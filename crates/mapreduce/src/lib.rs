@@ -41,10 +41,10 @@ pub mod sink;
 
 pub use cluster::{Cluster, PlanExecution, PlanJob, PlanStage};
 pub use config::{ClusterConfig, HadoopParams, HardwareProfile};
-pub use dfs::{BlockId, Dfs, DfsFile};
+pub use dfs::{logical_file_name, Block, BlockId, Dfs, DfsFile};
 pub use engine::{Engine, JobRun};
 pub use error::ExecError;
 pub use faults::{FaultPlan, TaskKind};
-pub use job::{Emit, InputSpec, MrJob, TaggedRecord};
+pub use job::{Emit, InputSpec, MrJob, SkipFilter, TagZones, TaggedRecord};
 pub use metrics::JobMetrics;
 pub use sink::{BatchSink, RowBatch, SinkSpec};

@@ -55,6 +55,22 @@ pub struct JobMetrics {
     pub map_attempts: u32,
     /// Total reduce task attempts (= reduce_tasks when no faults).
     pub reduce_attempts: u32,
+
+    /// Input blocks considered by zone-map routing (= map tasks before
+    /// skipping; 0 when skipping was off or the job had no filter).
+    pub zone_blocks: u64,
+    /// Blocks skipped unread — their predicate ranges cannot intersect
+    /// any partner block.
+    pub zone_blocks_pruned: u64,
+    /// Block pairs the skip filter examined across the predicate graph.
+    pub zone_pairs: u64,
+    /// Block pairs proven empty by zone ranges.
+    pub zone_pairs_pruned: u64,
+    /// Rows in all considered blocks (kept + pruned).
+    pub zone_rows_total: u64,
+    /// Rows whose map emissions were dropped: all rows of pruned blocks
+    /// plus individually pruned rows of kept blocks.
+    pub zone_rows_pruned: u64,
 }
 
 impl JobMetrics {
@@ -82,6 +98,16 @@ impl JobMetrics {
             1.0
         } else {
             self.reduce_input_max_bytes as f64 / self.reduce_input_mean_bytes
+        }
+    }
+
+    /// Fraction of input rows whose map work zone maps skipped, in
+    /// [0, 1]. 0.0 when skipping was off or nothing was prunable.
+    pub fn skip_fraction(&self) -> f64 {
+        if self.zone_rows_total == 0 {
+            0.0
+        } else {
+            self.zone_rows_pruned as f64 / self.zone_rows_total as f64
         }
     }
 }

@@ -34,13 +34,18 @@ fn fresh_run_tag() -> u64 {
 
 /// Execution knobs threaded from the public API: partition strategy for
 /// the chain MRJs and an optional per-run fault-injection profile.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct ExecOptions {
     /// Space-partitioning strategy for chain MRJs (Hilbert is the
     /// paper's method; Grid the ablation).
     pub strategy: PartitionStrategy,
     /// Fault plan for this run only; `None` uses the engine's plan.
     pub faults: Option<FaultPlan>,
+    /// Zone-map data skipping for every job of this run (on by
+    /// default). Turning it off is an ablation/debugging switch — the
+    /// output is bit-identical either way, only the pruning counters
+    /// and the Eq. 2–4 byte/record metrics move.
+    pub skipping: bool,
     /// Plan and execute against this many processing units instead of
     /// the cluster's full `k_P` — the admission controller's
     /// reduced-`k` replan entry point. `None` (or anything ≥ the
@@ -57,6 +62,21 @@ pub struct ExecOptions {
     /// bit-identical to a buffered run. The returned
     /// [`QueryRun::output`] is then empty (schema only).
     pub sink: Option<SinkSpec>,
+}
+
+impl Default for ExecOptions {
+    /// Hilbert partitioning, engine fault plan, full `k_P`, no ticket,
+    /// buffered output, skipping **on**.
+    fn default() -> Self {
+        ExecOptions {
+            strategy: PartitionStrategy::default(),
+            faults: None,
+            units: None,
+            ticket: 0,
+            sink: None,
+            skipping: true,
+        }
+    }
 }
 
 impl ExecOptions {
@@ -177,6 +197,36 @@ pub struct QueryRun {
     /// unless the admission controller degraded the query to a smaller
     /// slice via [`ExecOptions::units`]).
     pub granted_units: u32,
+}
+
+impl QueryRun {
+    /// Zone-map pruning totals across every job of the run:
+    /// `(blocks considered, blocks pruned, pairs examined, pairs
+    /// pruned, rows considered, rows pruned)`. All zeros when skipping
+    /// was off or nothing was prunable.
+    pub fn zone_totals(&self) -> (u64, u64, u64, u64, u64, u64) {
+        let mut t = (0, 0, 0, 0, 0, 0);
+        for j in &self.jobs {
+            t.0 += j.zone_blocks;
+            t.1 += j.zone_blocks_pruned;
+            t.2 += j.zone_pairs;
+            t.3 += j.zone_pairs_pruned;
+            t.4 += j.zone_rows_total;
+            t.5 += j.zone_rows_pruned;
+        }
+        t
+    }
+
+    /// Fraction of considered input rows whose map work zone maps
+    /// skipped across the whole run, in [0, 1].
+    pub fn skip_fraction(&self) -> f64 {
+        let (_, _, _, _, total, pruned) = self.zone_totals();
+        if total == 0 {
+            0.0
+        } else {
+            pruned as f64 / total as f64
+        }
+    }
 }
 
 /// A summary of the chosen plan before execution (for inspection).
@@ -636,7 +686,7 @@ impl Planner {
                 stages.push(PlanStage { jobs });
             }
         }
-        let exec = cluster.try_run_plan(stages, opts.faults.as_ref())?;
+        let exec = cluster.try_run_plan(stages, opts.faults.as_ref(), opts.skipping)?;
         let mut sim_secs = exec.total_secs;
         let mut jobs_metrics = exec.job_metrics;
         let mut plan_desc = format!(
@@ -755,6 +805,7 @@ impl Planner {
                     job.reducers(),
                     faults,
                     spec,
+                    opts.skipping,
                 )?,
                 None => cluster.engine().try_run_with(
                     &job,
@@ -763,6 +814,7 @@ impl Planner {
                     job.reducers(),
                     if last { None } else { Some(&out_file) },
                     faults,
+                    opts.skipping,
                 )?,
             };
             sim += run.metrics.sim_total_secs;
@@ -939,6 +991,7 @@ impl Planner {
                     job.reducers(),
                     faults,
                     spec,
+                    opts.skipping,
                 )?,
                 None => cluster.engine().try_run_with(
                     &job,
@@ -947,6 +1000,7 @@ impl Planner {
                     job.reducers(),
                     if last { None } else { Some(&out_file) },
                     faults,
+                    opts.skipping,
                 )?,
             };
             sim += run.metrics.sim_total_secs;

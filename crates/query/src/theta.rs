@@ -212,6 +212,126 @@ impl fmt::Display for Predicate {
     }
 }
 
+/// Conservative satisfiability of `(l + l_off) op (r + r_off)` over two
+/// value ranges `[lmin, lmax]` × `[rmin, rmax]` (bounds ordered by
+/// [`f64::total_cmp`], attained by actual values). Returns `false` only
+/// when **no** pair of values in the ranges can satisfy the predicate
+/// under [`eval_theta`]'s semantics; `true` means "maybe".
+///
+/// Zero offsets on both sides use the raw bounds (the `sql_cmp` path:
+/// over exactly-representable numerics it coincides with `total_cmp`);
+/// finite non-zero offsets shift the bounds (adding a finite constant is
+/// monotone under `total_cmp` for non-NaN values). Non-finite offsets
+/// disable pruning — `a + inf` collapses ordering in ways a range check
+/// cannot track.
+fn interval_may_satisfy(
+    lmin: f64,
+    lmax: f64,
+    l_off: f64,
+    op: ThetaOp,
+    rmin: f64,
+    rmax: f64,
+    r_off: f64,
+) -> bool {
+    let (lmin, lmax, rmin, rmax) = if l_off == 0.0 && r_off == 0.0 {
+        (lmin, lmax, rmin, rmax)
+    } else if l_off.is_finite() && r_off.is_finite() {
+        (lmin + l_off, lmax + l_off, rmin + r_off, rmax + r_off)
+    } else {
+        return true;
+    };
+    match op {
+        ThetaOp::Lt => lmin.total_cmp(&rmax) == Ordering::Less,
+        ThetaOp::Le => lmin.total_cmp(&rmax) != Ordering::Greater,
+        ThetaOp::Gt => lmax.total_cmp(&rmin) == Ordering::Greater,
+        ThetaOp::Ge => lmax.total_cmp(&rmin) != Ordering::Less,
+        ThetaOp::Eq => {
+            lmin.total_cmp(&rmax) != Ordering::Greater && rmin.total_cmp(&lmax) != Ordering::Greater
+        }
+        // Unsatisfiable only when both ranges are the same single point.
+        ThetaOp::Ne => {
+            !(lmin.total_cmp(&lmax) == Ordering::Equal
+                && rmin.total_cmp(&rmax) == Ordering::Equal
+                && lmin.total_cmp(&rmin) == Ordering::Equal)
+        }
+    }
+}
+
+/// May any (left row, right row) pair drawn from blocks with column
+/// zones `l` and `r` satisfy `(left + l_off) op (right + r_off)`?
+///
+/// `false` is a proof of emptiness (safe to skip the block pair);
+/// `true` is merely "cannot rule it out". [`ZoneRange::Empty`] columns
+/// hold only NULLs, which never satisfy a theta predicate;
+/// [`ZoneRange::Unbounded`] columns never prune.
+pub fn zones_may_satisfy(
+    l: &mwtj_storage::ColumnZone,
+    l_off: f64,
+    op: ThetaOp,
+    r: &mwtj_storage::ColumnZone,
+    r_off: f64,
+) -> bool {
+    use mwtj_storage::ZoneRange;
+    match (&l.range, &r.range) {
+        (ZoneRange::Empty, _) | (_, ZoneRange::Empty) => false,
+        (ZoneRange::Unbounded, _) | (_, ZoneRange::Unbounded) => true,
+        (
+            ZoneRange::Range {
+                min: lmin,
+                max: lmax,
+            },
+            ZoneRange::Range {
+                min: rmin,
+                max: rmax,
+            },
+        ) => interval_may_satisfy(*lmin, *lmax, l_off, op, *rmin, *rmax, r_off),
+    }
+}
+
+/// May a single left value `v` satisfy `(v + v_off) op (right + z_off)`
+/// against any right value from a block with column zone `z`? Used for
+/// row-level skipping; for right-side rows call with `op.flip()` and
+/// swapped offsets (`a op b ⇔ b flip(op) a`).
+pub fn value_may_satisfy(
+    v: &Value,
+    v_off: f64,
+    op: ThetaOp,
+    z: &mwtj_storage::ColumnZone,
+    z_off: f64,
+) -> bool {
+    use mwtj_storage::ZoneRange;
+    let point = match v {
+        // NULL never satisfies a theta predicate.
+        Value::Null => return false,
+        Value::Int(i) => {
+            if i.unsigned_abs() > (1u64 << 53) {
+                // Not exactly representable — never prune.
+                return !matches!(z.range, ZoneRange::Empty);
+            }
+            *i as f64
+        }
+        Value::Double(d) => {
+            if d.is_nan() {
+                return !matches!(z.range, ZoneRange::Empty);
+            }
+            *d
+        }
+        // Strings only ever match Unbounded zones (ranged zones hold
+        // exclusively numerics, which sql_cmp never matches to strings,
+        // and offsets reject strings outright).
+        Value::Str(_) => {
+            return matches!(z.range, ZoneRange::Unbounded) && v_off == 0.0 && z_off == 0.0
+        }
+    };
+    match &z.range {
+        ZoneRange::Empty => false,
+        ZoneRange::Unbounded => true,
+        ZoneRange::Range { min, max } => {
+            interval_may_satisfy(point, point, v_off, op, *min, *max, z_off)
+        }
+    }
+}
+
 /// A compiled predicate: column names resolved to `(relation index,
 /// column index)` so the reducer's innermost loop touches no strings.
 #[derive(Debug, Clone, Copy)]
@@ -338,6 +458,161 @@ mod tests {
         assert!(p.eval(&[&a, &b])); // 4 <= 5
         let b2 = tuple![3];
         assert!(!p.eval(&[&a, &b2]));
+    }
+
+    #[test]
+    fn interval_satisfiability_matches_exhaustive_eval() {
+        use mwtj_storage::{BlockZones, Tuple};
+        // Small domains; brute-force: zones_may_satisfy must be true
+        // whenever any value pair satisfies the predicate.
+        let domain: Vec<i64> = vec![-3, -1, 0, 2, 5];
+        let offs = [0.0, 0.0, 1.5, -2.0];
+        for (lo, hi) in [(0usize, 2usize), (1, 3), (2, 4), (0, 4), (3, 3)] {
+            for (rlo, rhi) in [(0usize, 1usize), (2, 4), (1, 3), (4, 4)] {
+                let lrows: Vec<Tuple> = domain[lo..=hi].iter().map(|&v| tuple![v]).collect();
+                let rrows: Vec<Tuple> = domain[rlo..=rhi].iter().map(|&v| tuple![v]).collect();
+                let lz = BlockZones::collect(&lrows, 1);
+                let rz = BlockZones::collect(&rrows, 1);
+                for op in ThetaOp::ALL {
+                    for w in offs.chunks(2) {
+                        let (l_off, r_off) = (w[0], w[1]);
+                        let any = lrows.iter().any(|l| {
+                            rrows
+                                .iter()
+                                .any(|r| eval_theta(l.get(0), l_off, op, r.get(0), r_off))
+                        });
+                        let may = zones_may_satisfy(lz.column(0), l_off, op, rz.column(0), r_off);
+                        assert!(
+                            may || !any,
+                            "unsound prune: {op} offs ({l_off},{r_off}) \
+                             L={:?} R={:?}",
+                            &domain[lo..=hi],
+                            &domain[rlo..=rhi]
+                        );
+                        // Rows: every satisfied left value must survive
+                        // the row-level check, and right rows the
+                        // flipped one.
+                        for l in &lrows {
+                            let row_any = rrows
+                                .iter()
+                                .any(|r| eval_theta(l.get(0), l_off, op, r.get(0), r_off));
+                            let row_may =
+                                value_may_satisfy(l.get(0), l_off, op, rz.column(0), r_off);
+                            assert!(row_may || !row_any, "unsound left-row prune");
+                        }
+                        for r in &rrows {
+                            let row_any = lrows
+                                .iter()
+                                .any(|l| eval_theta(l.get(0), l_off, op, r.get(0), r_off));
+                            let row_may =
+                                value_may_satisfy(r.get(0), r_off, op.flip(), lz.column(0), l_off);
+                            assert!(row_may || !row_any, "unsound right-row prune");
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn disjoint_ranges_prune_equality_and_bands() {
+        use mwtj_storage::{ColumnZone, ZoneRange};
+        let z = |min: f64, max: f64| ColumnZone {
+            range: ZoneRange::Range { min, max },
+            nulls: 0,
+        };
+        // [0,10] vs [20,30]
+        assert!(!zones_may_satisfy(
+            &z(0.0, 10.0),
+            0.0,
+            ThetaOp::Eq,
+            &z(20.0, 30.0),
+            0.0
+        ));
+        assert!(!zones_may_satisfy(
+            &z(0.0, 10.0),
+            0.0,
+            ThetaOp::Gt,
+            &z(20.0, 30.0),
+            0.0
+        ));
+        assert!(zones_may_satisfy(
+            &z(0.0, 10.0),
+            0.0,
+            ThetaOp::Lt,
+            &z(20.0, 30.0),
+            0.0
+        ));
+        // A +15 left offset bridges the gap for equality.
+        assert!(zones_may_satisfy(
+            &z(0.0, 10.0),
+            15.0,
+            ThetaOp::Eq,
+            &z(20.0, 30.0),
+            0.0
+        ));
+        // Ne prunes only point-vs-same-point.
+        assert!(!zones_may_satisfy(
+            &z(5.0, 5.0),
+            0.0,
+            ThetaOp::Ne,
+            &z(5.0, 5.0),
+            0.0
+        ));
+        assert!(zones_may_satisfy(
+            &z(5.0, 5.0),
+            0.0,
+            ThetaOp::Ne,
+            &z(5.0, 6.0),
+            0.0
+        ));
+    }
+
+    #[test]
+    fn empty_and_unbounded_zones() {
+        use mwtj_storage::{ColumnZone, ZoneRange};
+        let empty = ColumnZone {
+            range: ZoneRange::Empty,
+            nulls: 3,
+        };
+        let unb = ColumnZone {
+            range: ZoneRange::Unbounded,
+            nulls: 0,
+        };
+        let rng = ColumnZone {
+            range: ZoneRange::Range { min: 0.0, max: 1.0 },
+            nulls: 0,
+        };
+        for op in ThetaOp::ALL {
+            assert!(!zones_may_satisfy(&empty, 0.0, op, &rng, 0.0));
+            assert!(!zones_may_satisfy(&rng, 0.0, op, &empty, 0.0));
+            assert!(zones_may_satisfy(&unb, 0.0, op, &rng, 0.0));
+            assert!(!value_may_satisfy(&Value::Null, 0.0, op, &unb, 0.0));
+            assert!(!value_may_satisfy(&Value::Int(0), 0.0, op, &empty, 0.0));
+        }
+        // Strings: only unbounded zones can hold matching strings.
+        assert!(value_may_satisfy(
+            &Value::from("x"),
+            0.0,
+            ThetaOp::Eq,
+            &unb,
+            0.0
+        ));
+        assert!(!value_may_satisfy(
+            &Value::from("x"),
+            0.0,
+            ThetaOp::Eq,
+            &rng,
+            0.0
+        ));
+        // Non-finite offsets never prune ranged pairs.
+        assert!(zones_may_satisfy(
+            &rng,
+            f64::INFINITY,
+            ThetaOp::Eq,
+            &rng,
+            0.0
+        ));
     }
 
     #[test]

@@ -23,7 +23,10 @@
 //! [params…]` runs it off the engine's shared plan cache (unary or as
 //! a streamed frame sequence), `close <id>` drops it, and `stats`
 //! reports the plan-cache counters
-//! ([`Engine::plan_cache_stats`](mwtj_core::Engine::plan_cache_stats)).
+//! ([`Engine::plan_cache_stats`](mwtj_core::Engine::plan_cache_stats))
+//! and the zone-map skip counters
+//! ([`Engine::zone_skip_stats`](mwtj_core::Engine::zone_skip_stats))
+//! in one frame.
 //!
 //! ```no_run
 //! use mwtj_core::{Engine, RunOptions};

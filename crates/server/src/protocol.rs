@@ -15,7 +15,7 @@
 //! ```text
 //! ping
 //! status
-//! stats                            -- plan-cache counters
+//! stats                            -- plan-cache + zone-map skip counters
 //! tables
 //! run [options] <sql>              -- options = RunOptions FromStr form
 //! prepare <sql>                    -- SQL may hold `?` parameters
@@ -801,6 +801,56 @@ mod tests {
         assert!(Request::parse("close").is_err());
         assert!(Request::parse("close q").is_err());
         assert_eq!(Request::parse("stats").unwrap(), Request::Stats);
+    }
+
+    /// The `stats` reply carries plan-cache and zone-map skip counters
+    /// in one `ok` frame whose `key=value` tokens all parse — the shape
+    /// clients (and the CI smoke) extract fields from.
+    #[test]
+    fn stats_reply_fields_parse_from_one_frame() {
+        let reply = ok_response(
+            &[
+                ("entries", "3".into()),
+                ("hits", "7".into()),
+                ("misses", "4".into()),
+                ("evictions", "1".into()),
+                ("replans", "2".into()),
+                ("zone_blocks_pruned", "5".into()),
+                ("zone_pairs_kept", "9".into()),
+                ("zone_pairs_pruned", "6".into()),
+                ("zone_rows_pruned", "1200".into()),
+                ("skip_fraction", "0.750000".into()),
+                ("zone_map_hits", "2".into()),
+                ("zone_map_misses", "1".into()),
+            ],
+            None,
+        );
+        assert!(!reply.contains('\n'), "single frame, no body: {reply}");
+        let mut words = reply.split_whitespace();
+        assert_eq!(words.next(), Some("ok"));
+        let mut fields = std::collections::HashMap::new();
+        for w in words {
+            let (k, v) = w.split_once('=').expect("key=value token");
+            fields.insert(k, v);
+        }
+        for k in [
+            "entries",
+            "hits",
+            "misses",
+            "evictions",
+            "replans",
+            "zone_blocks_pruned",
+            "zone_pairs_kept",
+            "zone_pairs_pruned",
+            "zone_rows_pruned",
+            "zone_map_hits",
+            "zone_map_misses",
+        ] {
+            let v = fields.get(k).unwrap_or_else(|| panic!("missing {k}"));
+            assert!(v.parse::<u64>().is_ok(), "{k}={v}");
+        }
+        let f: f64 = fields["skip_fraction"].parse().expect("skip_fraction");
+        assert!((0.0..=1.0).contains(&f));
     }
 
     #[test]

@@ -407,12 +407,21 @@ fn handle_request(engine: &Engine, stmts: &mut StmtTable, request: Request) -> (
         Request::Shutdown => ("ok draining".into(), Action::Shutdown),
         Request::Stats => {
             let st = engine.plan_cache_stats();
+            let zs = engine.zone_skip_stats();
+            let (zmap_hits, zmap_misses) = engine.cluster().dfs().zone_cache_stats();
             let fields = [
                 ("entries", st.entries.to_string()),
                 ("hits", st.hits.to_string()),
                 ("misses", st.misses.to_string()),
                 ("evictions", st.evictions.to_string()),
                 ("replans", st.replans.to_string()),
+                ("zone_blocks_pruned", zs.blocks_pruned.to_string()),
+                ("zone_pairs_kept", zs.pairs_kept().to_string()),
+                ("zone_pairs_pruned", zs.pairs_pruned.to_string()),
+                ("zone_rows_pruned", zs.rows_pruned.to_string()),
+                ("skip_fraction", format!("{:.6}", zs.skip_fraction())),
+                ("zone_map_hits", zmap_hits.to_string()),
+                ("zone_map_misses", zmap_misses.to_string()),
             ];
             (ok_response(&fields, None), Action::Continue)
         }

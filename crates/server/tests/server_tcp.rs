@@ -355,6 +355,51 @@ fn stats_hits(reply: &str) -> u64 {
         .expect("stats reply carries hits=")
 }
 
+/// A value-clustered relation joined under a tight band prunes; the
+/// `stats` frame must report the zone-map counters moving alongside
+/// the plan-cache counters, all in one frame.
+#[test]
+fn stats_frame_reports_zone_skip_counters() {
+    use mwtj_storage::{tuple, DataType, Relation, Schema};
+    let (engine, addr, handle) = start_server(8);
+    let big = Relation::from_rows_unchecked(
+        Schema::from_pairs("big", &[("a", DataType::Int), ("b", DataType::Int)]),
+        (0..12_000i64).map(|i| tuple![i, i]).collect(),
+    );
+    let small = Relation::from_rows_unchecked(
+        Schema::from_pairs("small", &[("a", DataType::Int), ("b", DataType::Int)]),
+        (0..8i64).map(|i| tuple![i + 30, i]).collect(),
+    );
+    let _ = engine.load_relation(&big);
+    let _ = engine.load_relation(&small);
+    let run = engine
+        .run_sql("SELECT * FROM big x, small y WHERE x.a < y.a")
+        .expect("pruning run");
+    assert!(run.skip_fraction() > 0.0, "band must prune");
+
+    let mut c = Client::connect(addr).expect("connect");
+    let reply = c.request("stats").unwrap();
+    assert!(reply.starts_with("ok "), "{reply}");
+    let field = |k: &str| -> f64 {
+        reply
+            .split_whitespace()
+            .find_map(|w| w.strip_prefix(&format!("{k}=")))
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| panic!("stats reply missing {k}=: {reply}"))
+    };
+    assert!(field("zone_rows_pruned") > 0.0);
+    assert!(field("zone_blocks_pruned") > 0.0);
+    assert!(field("zone_pairs_kept") >= 1.0);
+    let f = field("skip_fraction");
+    assert!(f > 0.0 && f <= 1.0, "skip_fraction={f}");
+    // Plan-cache counters ride in the same frame.
+    let _ = field("entries");
+    let _ = field("misses");
+    let _ = field("evictions");
+    shutdown(addr);
+    handle.join().unwrap();
+}
+
 #[test]
 fn prepared_lifecycle_over_tcp() {
     let (_engine, addr, handle) = start_server(8);

@@ -23,6 +23,7 @@ pub mod schema;
 pub mod stats;
 pub mod tuple;
 pub mod value;
+pub mod zones;
 
 pub use codec::{decode_tuple, encode_tuple, encoded_len};
 pub use csv::{parse_csv, to_csv};
@@ -32,3 +33,4 @@ pub use schema::{DataType, Field, Schema};
 pub use stats::{ColumnStats, RelationStats, Sampler};
 pub use tuple::Tuple;
 pub use value::Value;
+pub use zones::{BlockZones, ColumnZone, ZoneRange};

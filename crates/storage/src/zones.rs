@@ -1,0 +1,245 @@
+//! Per-block zone maps: min/max/null summaries used for data skipping.
+//!
+//! A zone map summarises one column of one DFS block. Map-side routing
+//! consults the summaries of two blocks to decide whether a compiled
+//! theta predicate can possibly hold for *any* row pair drawn from them;
+//! when it provably cannot, the block pair (or an individual row's
+//! emissions) is skipped without being shipped to a reducer.
+//!
+//! The summaries are deliberately conservative. A range is only recorded
+//! when every non-null value in the column is numeric **and** exactly
+//! representable as an `f64` (integers within ±2⁵³); strings, NaNs and
+//! huge integers collapse the column to [`ZoneRange::Unbounded`], which
+//! never prunes. Soundness invariant: a pruned pair must be one that
+//! [`sql_cmp`](crate::Value::sql_cmp)/numeric-offset evaluation would
+//! reject for every row pair — skipping may only ever drop provably
+//! empty work, never change results.
+
+use crate::tuple::Tuple;
+use crate::value::Value;
+
+/// Exact-integer threshold: |i| ≤ 2⁵³ round-trips through f64.
+const EXACT: u64 = 1u64 << 53;
+
+/// Summary of the non-null values of one column in one block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum ZoneRange {
+    /// No non-null values: every predicate over the column is `false`.
+    Empty,
+    /// All non-null values are numeric and exactly f64-representable;
+    /// `min`/`max` bound them under [`f64::total_cmp`].
+    Range {
+        /// Smallest value under `total_cmp`.
+        min: f64,
+        /// Largest value under `total_cmp`.
+        max: f64,
+    },
+    /// Strings, NaNs or integers beyond ±2⁵³ present: no pruning.
+    Unbounded,
+}
+
+/// Zone map for one column of one block.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ColumnZone {
+    /// Range of the non-null values.
+    pub range: ZoneRange,
+    /// Number of NULLs in the column.
+    pub nulls: u64,
+}
+
+/// The never-pruning zone: used as a fallback for columns the collector
+/// did not cover (e.g. out-of-arity predicate indices).
+pub const UNBOUNDED_ZONE: ColumnZone = ColumnZone {
+    range: ZoneRange::Unbounded,
+    nulls: 0,
+};
+
+/// Zone maps for every column of one block, plus the row count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BlockZones {
+    /// Per-column zones, indexed by column position.
+    pub columns: Vec<ColumnZone>,
+    /// Rows in the block.
+    pub rows: u64,
+}
+
+impl BlockZones {
+    /// Compute zone maps over `rows` for the first `arity` columns.
+    /// Rows shorter than `arity` contribute nothing to the missing
+    /// columns (their zones see fewer values, which stays sound: a
+    /// value that does not exist cannot participate in a join).
+    pub fn collect(rows: &[Tuple], arity: usize) -> Self {
+        struct Acc {
+            min: f64,
+            max: f64,
+            any: bool,
+            unbounded: bool,
+            nulls: u64,
+        }
+        let mut accs: Vec<Acc> = (0..arity)
+            .map(|_| Acc {
+                min: 0.0,
+                max: 0.0,
+                any: false,
+                unbounded: false,
+                nulls: 0,
+            })
+            .collect();
+        for row in rows {
+            for (c, acc) in accs.iter_mut().enumerate().take(row.arity()) {
+                match row.get(c) {
+                    Value::Null => acc.nulls += 1,
+                    Value::Int(v) => {
+                        if v.unsigned_abs() > EXACT {
+                            acc.unbounded = true;
+                        } else {
+                            acc.observe(*v as f64);
+                        }
+                    }
+                    Value::Double(d) => {
+                        if d.is_nan() {
+                            acc.unbounded = true;
+                        } else {
+                            acc.observe(*d);
+                        }
+                    }
+                    Value::Str(_) => acc.unbounded = true,
+                }
+            }
+        }
+        impl Acc {
+            fn observe(&mut self, v: f64) {
+                if !self.any {
+                    self.min = v;
+                    self.max = v;
+                    self.any = true;
+                } else {
+                    if v.total_cmp(&self.min).is_lt() {
+                        self.min = v;
+                    }
+                    if v.total_cmp(&self.max).is_gt() {
+                        self.max = v;
+                    }
+                }
+            }
+        }
+        let columns = accs
+            .into_iter()
+            .map(|a| ColumnZone {
+                range: if a.unbounded {
+                    ZoneRange::Unbounded
+                } else if a.any {
+                    ZoneRange::Range {
+                        min: a.min,
+                        max: a.max,
+                    }
+                } else {
+                    ZoneRange::Empty
+                },
+                nulls: a.nulls,
+            })
+            .collect();
+        BlockZones {
+            columns,
+            rows: rows.len() as u64,
+        }
+    }
+
+    /// Zone of column `i`, falling back to the never-pruning
+    /// [`UNBOUNDED_ZONE`] when the collector did not cover it.
+    pub fn column(&self, i: usize) -> &ColumnZone {
+        self.columns.get(i).unwrap_or(&UNBOUNDED_ZONE)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tuple;
+
+    #[test]
+    fn collects_min_max_and_nulls() {
+        let rows = vec![tuple![3, 1.5], tuple![-2, 9.0], tuple![7, 0.25]];
+        let z = BlockZones::collect(&rows, 2);
+        assert_eq!(z.rows, 3);
+        assert_eq!(
+            z.column(0).range,
+            ZoneRange::Range {
+                min: -2.0,
+                max: 7.0
+            }
+        );
+        assert_eq!(
+            z.column(1).range,
+            ZoneRange::Range {
+                min: 0.25,
+                max: 9.0
+            }
+        );
+        assert_eq!(z.column(0).nulls, 0);
+    }
+
+    #[test]
+    fn nulls_counted_and_all_null_is_empty() {
+        let rows = vec![
+            Tuple::new(vec![Value::Null, Value::Int(1)]),
+            Tuple::new(vec![Value::Null, Value::Null]),
+        ];
+        let z = BlockZones::collect(&rows, 2);
+        assert_eq!(z.column(0).range, ZoneRange::Empty);
+        assert_eq!(z.column(0).nulls, 2);
+        assert_eq!(z.column(1).range, ZoneRange::Range { min: 1.0, max: 1.0 });
+        assert_eq!(z.column(1).nulls, 1);
+    }
+
+    #[test]
+    fn strings_nan_and_huge_ints_are_unbounded() {
+        let big = (1i64 << 53) + 1;
+        for v in [Value::from("x"), Value::Double(f64::NAN), Value::Int(big)] {
+            let rows = vec![Tuple::new(vec![Value::Int(1)]), Tuple::new(vec![v])];
+            let z = BlockZones::collect(&rows, 1);
+            assert_eq!(z.column(0).range, ZoneRange::Unbounded);
+        }
+        // i64::MIN must not overflow the exactness check.
+        let rows = vec![Tuple::new(vec![Value::Int(i64::MIN)])];
+        assert_eq!(
+            BlockZones::collect(&rows, 1).column(0).range,
+            ZoneRange::Unbounded
+        );
+    }
+
+    #[test]
+    fn infinities_stay_ranged_and_negative_zero_orders() {
+        let rows = vec![tuple![f64::NEG_INFINITY], tuple![f64::INFINITY]];
+        let z = BlockZones::collect(&rows, 1);
+        assert_eq!(
+            z.column(0).range,
+            ZoneRange::Range {
+                min: f64::NEG_INFINITY,
+                max: f64::INFINITY
+            }
+        );
+        // total_cmp: -0.0 < +0.0 — the bounds must preserve that.
+        let rows = vec![tuple![0.0], tuple![-0.0]];
+        match BlockZones::collect(&rows, 1).column(0).range {
+            ZoneRange::Range { min, max } => {
+                assert!(min.is_sign_negative());
+                assert!(!max.is_sign_negative());
+            }
+            other => panic!("expected range, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_column_is_unbounded() {
+        let z = BlockZones::collect(&[tuple![1]], 1);
+        assert_eq!(z.column(5).range, ZoneRange::Unbounded);
+    }
+
+    #[test]
+    fn empty_block() {
+        let z = BlockZones::collect(&[], 2);
+        assert_eq!(z.rows, 0);
+        assert_eq!(z.column(0).range, ZoneRange::Empty);
+    }
+}

@@ -1,0 +1,54 @@
+#!/usr/bin/env bash
+# CI smoke for zone-map data skipping: load a value-clustered relation
+# and a narrow window, run the same tight band with skipping on and
+# off, and assert (a) the two result bodies are identical (skipping is
+# drop-only — bit-identical output) and (b) the `stats` frame reports
+# a non-zero skip fraction and pruned blocks. Expects the release
+# binary (cargo build --release -p mwtj-server).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=./target/release/mwtj-server
+
+# 12k sorted rows: multiple value-clustered DFS blocks, so the band's
+# zone ranges prune most of them.
+BIG=$(awk 'BEGIN{for(i=0;i<12000;i++){printf "%d,%d",i,i; if(i<11999) printf ";"}}')
+SMALL=$(awk 'BEGIN{for(i=0;i<8;i++){printf "%d,%d",30+i,i; if(i<7) printf ";"}}')
+SQL='SELECT x.a, y.b FROM big x, small y WHERE x.a < y.a'
+
+OUT=$(printf '%s\n' \
+  "load big a:int,b:int $BIG" \
+  "load small a:int,b:int $SMALL" \
+  "run ours $SQL" \
+  'ping' \
+  "run ours+noskip $SQL" \
+  'ping' \
+  'stats' \
+  'quit' \
+  | "$BIN" --stdin)
+
+grep -q 'rows=12000' <<<"$OUT" \
+  || { echo "skipping smoke: big relation did not load"; echo "$OUT" | head; exit 1; }
+
+# The two run bodies (between `ok rows=` headers and `ok pong`
+# sentinels) must be identical: skipping never changes a row.
+ON=$(awk '/^ok rows=/{grab=(++seen==1); next} /^ok pong$/{grab=0} grab' <<<"$OUT" | sort)
+OFF=$(awk '/^ok rows=/{grab=(++seen==2); next} /^ok pong$/{grab=0} grab' <<<"$OUT" | sort)
+[ -n "$ON" ] || { echo "skipping smoke: no skip-on result"; echo "$OUT" | head; exit 1; }
+if [ "$ON" != "$OFF" ]; then
+  echo "skipping smoke: skip-on and skip-off results differ"
+  diff <(echo "$ON") <(echo "$OFF") | head
+  exit 1
+fi
+
+# The tight band must actually have pruned.
+STATS=$(grep '^ok entries=' <<<"$OUT" | tail -1)
+FRACTION=$(sed -n 's/.* skip_fraction=\([0-9.]*\).*/\1/p' <<<"$STATS")
+BLOCKS=$(sed -n 's/.* zone_blocks_pruned=\([0-9]*\).*/\1/p' <<<"$STATS")
+awk -v f="$FRACTION" 'BEGIN{exit !(f > 0)}' \
+  || { echo "skipping smoke: skip_fraction not > 0: $STATS"; exit 1; }
+[ "${BLOCKS:-0}" -gt 0 ] \
+  || { echo "skipping smoke: no blocks pruned: $STATS"; exit 1; }
+
+ROWS_HDR=$(grep -m1 '^ok rows=' <<<"$OUT")
+echo "skipping smoke: row parity on $ROWS_HDR, skip_fraction=$FRACTION, blocks pruned=$BLOCKS"

@@ -229,6 +229,7 @@ proptest! {
         seed in any::<u64>(),
         attempts in 1u32..6,
         calibrated in any::<bool>(),
+        skipping in any::<bool>(),
     ) {
         use mwtj_core::{Method, RunOptions};
         use mwtj_hilbert::PartitionStrategy as Ps;
@@ -246,7 +247,7 @@ proptest! {
                 seed,
             });
         }
-        opts = opts.calibrated(calibrated);
+        opts = opts.calibrated(calibrated).skipping(skipping);
 
         let printed = opts.to_string();
         let reparsed: RunOptions = printed

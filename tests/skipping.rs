@@ -1,0 +1,142 @@
+//! Zone-map skipping is *transparent*: for every method and partition
+//! strategy the skip-on run must be bit-identical to the skip-off run
+//! (same rows in the same order, same schema, same plan) — skipping
+//! may only drop provably-empty work, never reroute it. A proptest
+//! sweeps random band widths including the zero-overlap and
+//! full-overlap extremes.
+
+use mwtj_core::{Engine, Method, RunOptions};
+use mwtj_hilbert::PartitionStrategy;
+use mwtj_query::{MultiwayQuery, QueryBuilder, ThetaOp};
+use mwtj_storage::{tuple, DataType, Relation, Schema};
+use proptest::prelude::*;
+
+/// A relation whose `a` column is sorted, so DFS blocks are
+/// value-clustered and zone ranges are tight (the favourable case for
+/// pruning).
+fn sorted_rel(name: &str, n: i64, lo: i64) -> Relation {
+    let schema = Schema::from_pairs(name, &[("a", DataType::Int), ("b", DataType::Int)]);
+    Relation::from_rows_unchecked(schema, (0..n).map(|i| tuple![lo + i, i]).collect())
+}
+
+/// Fresh engine with a wide sorted relation, a narrow one, and a mid
+/// one for the 3-way chain — fresh per combo so zone counters and the
+/// plan cache are isolated.
+fn chain_engine() -> (Engine, MultiwayQuery) {
+    let engine = Engine::with_units(16);
+    let big = sorted_rel("big", 12_000, 0);
+    let mid = sorted_rel("mid", 25, 50);
+    let top = sorted_rel("top", 25, 90);
+    let _ = engine.load_relation(&big);
+    let _ = engine.load_relation(&mid);
+    let _ = engine.load_relation(&top);
+    let q = QueryBuilder::new("chain")
+        .relation(big.schema().clone())
+        .relation(mid.schema().clone())
+        .relation(top.schema().clone())
+        .join("big", "a", ThetaOp::Lt, "mid", "a")
+        .join("mid", "a", ThetaOp::Le, "top", "a")
+        .build()
+        .unwrap();
+    (engine, q)
+}
+
+/// Every method × every partition strategy: the skip-on run is
+/// bit-identical to the skip-off run, and the skip-off run records no
+/// zone activity at all.
+#[test]
+fn skipping_is_bit_identical_across_methods_and_partitions() {
+    for m in Method::ALL {
+        for p in [
+            PartitionStrategy::Hilbert,
+            PartitionStrategy::Grid,
+            PartitionStrategy::ZOrder,
+        ] {
+            let (engine, q) = chain_engine();
+            let on = engine
+                .run(&q, &RunOptions::new().method(m).partition(p))
+                .unwrap_or_else(|e| panic!("{m}:{p} skip-on: {e}"));
+            let off = engine
+                .run(
+                    &q,
+                    &RunOptions::new().method(m).partition(p).skipping(false),
+                )
+                .unwrap_or_else(|e| panic!("{m}:{p} skip-off: {e}"));
+            assert_eq!(on.output.rows(), off.output.rows(), "{m}:{p} rows");
+            assert_eq!(on.output.schema(), off.output.schema(), "{m}:{p} schema");
+            assert_eq!(on.plan, off.plan, "{m}:{p} plan");
+            assert_eq!(
+                off.zone_totals(),
+                (0, 0, 0, 0, 0, 0),
+                "{m}:{p} skip-off must record no zone activity"
+            );
+        }
+    }
+}
+
+/// On the clustered band the paper's method must actually *prune*:
+/// blocks go unread and the Eq. 3 map-output volume drops, while the
+/// output stays bit-identical (checked above).
+#[test]
+fn tight_band_prunes_blocks_and_shrinks_shuffle() {
+    let (engine, q) = chain_engine();
+    let on = engine.run(&q, &RunOptions::default()).unwrap();
+    let off = engine.run(&q, &RunOptions::new().skipping(false)).unwrap();
+    let (blocks, blocks_pruned, pairs, pairs_pruned, rows, rows_pruned) = on.zone_totals();
+    assert!(blocks_pruned > 0, "no blocks pruned of {blocks}");
+    assert!(pairs_pruned > 0, "no pairs pruned of {pairs}");
+    assert!(rows_pruned > 0, "no rows pruned of {rows}");
+    assert!(on.skip_fraction() > 0.0);
+    let shuffle = |r: &mwtj_core::QueryRun| -> (u64, u64) {
+        r.jobs.iter().fold((0, 0), |(rec, byt), j| {
+            (rec + j.map_output_records, byt + j.map_output_bytes)
+        })
+    };
+    let (on_rec, on_byt) = shuffle(&on);
+    let (off_rec, off_byt) = shuffle(&off);
+    assert!(
+        on_rec < off_rec,
+        "map-output records must shrink: {on_rec} vs {off_rec}"
+    );
+    assert!(
+        on_byt < off_byt,
+        "map-output bytes must shrink: {on_byt} vs {off_byt}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Random band widths — from zero overlap (the right window sits
+    /// entirely outside the left domain; everything prunes, output is
+    /// empty) to full overlap (the band covers the whole domain;
+    /// nothing can prune) — never change a single output row.
+    #[test]
+    fn random_band_widths_are_transparent(
+        // Right window start: below, inside, or above the left domain.
+        win_lo in -200i64..1700,
+        win_rows in 1i64..40,
+        // 0 ⇒ strict band `<`; large ⇒ nearly the whole domain.
+        flip in any::<bool>(),
+    ) {
+        let engine = Engine::with_units(8);
+        let left = sorted_rel("l", 1_500, 0);
+        let right = sorted_rel("r", win_rows, win_lo);
+        let _ = engine.load_relation(&left);
+        let _ = engine.load_relation(&right);
+        let op = if flip { ThetaOp::Gt } else { ThetaOp::Lt };
+        let q = QueryBuilder::new("band")
+            .relation(left.schema().clone())
+            .relation(right.schema().clone())
+            .join("l", "a", op, "r", "a")
+            .build()
+            .unwrap();
+        let on = engine.run(&q, &RunOptions::default()).unwrap();
+        let off = engine
+            .run(&q, &RunOptions::new().skipping(false))
+            .unwrap();
+        prop_assert_eq!(on.output.rows(), off.output.rows());
+        prop_assert_eq!(on.output.schema(), off.output.schema());
+        prop_assert_eq!(&on.plan, &off.plan);
+    }
+}
