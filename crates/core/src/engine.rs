@@ -17,8 +17,8 @@ use crate::options::{Method, RunOptions};
 use crate::scheduler::{AdmissionPolicy, Scheduler, Ticket};
 use mwtj_cost::{CalibratedParams, Calibrator, CostModel};
 use mwtj_join::oracle::oracle_join;
-use mwtj_mapreduce::{Cluster, ClusterConfig, ExecError};
-use mwtj_planner::{Baseline, Planner, QueryPlan, QueryRun};
+use mwtj_mapreduce::{CancelToken, Cluster, ClusterConfig, ExecError};
+use mwtj_planner::{Baseline, PlanError, Planner, QueryPlan, QueryRun};
 use mwtj_query::{MultiwayQuery, ParsedQuery};
 use mwtj_storage::{DataType, Field, Relation, RelationStats, Schema, Tuple, Value};
 use parking_lot::{Mutex, RwLock};
@@ -137,6 +137,24 @@ impl ZoneSkipStats {
     }
 }
 
+/// Engine-wide real fault-handling totals, accumulated across every
+/// run (what the server's `stats` command reports next to the
+/// plan-cache and zone-skip counters). All counts are *real* host
+/// events — attempts actually executed, attempts that really aborted
+/// mid-execution and were rerun, panics contained by `catch_unwind` —
+/// not simulated-clock charges.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultStats {
+    /// Task attempts really executed (map + reduce, including reruns).
+    pub attempts: u64,
+    /// Attempts that really aborted mid-execution and were rerun.
+    pub real_retries: u64,
+    /// Panics caught by the engine's panic isolation.
+    pub panics_caught: u64,
+    /// Runs killed mid-execution by their real-time deadline.
+    pub deadline_exceeded: u64,
+}
+
 /// A snapshot of the shared plan cache's counters (all monotonic
 /// except `entries`). `hits` counting up while `misses` stays flat is
 /// the signature of a warmed cache — the CI smoke asserts exactly that
@@ -205,6 +223,13 @@ struct Shared {
     zone_pairs_pruned: AtomicU64,
     zone_rows: AtomicU64,
     zone_rows_pruned: AtomicU64,
+    /// Engine-wide real fault-handling totals, accumulated per run
+    /// (host attempts, real mid-execution retries, caught panics) plus
+    /// runs killed by their deadline mid-execution.
+    fault_attempts: AtomicU64,
+    fault_retries: AtomicU64,
+    fault_panics: AtomicU64,
+    deadline_exceeded: AtomicU64,
 }
 
 /// The top-level system: cluster + DFS + statistics + planner behind
@@ -233,6 +258,11 @@ pub(crate) struct Admitted {
     /// Statistics epoch the admission snapshotted; tags the recorded
     /// skip fraction so a reload invalidates it like a cached plan.
     pub(crate) epoch: u64,
+    /// The run's cancellation token, carrying its deadline when
+    /// [`RunOptions::deadline_ms`] was set (the deadline clock starts
+    /// *before* admission, so time parked in the admission queue counts
+    /// against it). `None` when the run has no deadline.
+    pub(crate) cancel: Option<CancelToken>,
 }
 
 /// The namespace-stripped shape of a query: its Display form with the
@@ -285,6 +315,10 @@ impl Engine {
                 zone_pairs_pruned: AtomicU64::new(0),
                 zone_rows: AtomicU64::new(0),
                 zone_rows_pruned: AtomicU64::new(0),
+                fault_attempts: AtomicU64::new(0),
+                fault_retries: AtomicU64::new(0),
+                fault_panics: AtomicU64::new(0),
+                deadline_exceeded: AtomicU64::new(0),
             }),
         }
     }
@@ -341,6 +375,20 @@ impl Engine {
             pairs_pruned: self.shared.zone_pairs_pruned.load(Ordering::Relaxed),
             rows: self.shared.zone_rows.load(Ordering::Relaxed),
             rows_pruned: self.shared.zone_rows_pruned.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Engine-wide real fault-handling totals accumulated across every
+    /// run: host attempt counts, real mid-execution retries, caught
+    /// panics, and deadline-killed runs (what the server's `stats`
+    /// command reports alongside the plan-cache and zone-skip
+    /// counters).
+    pub fn fault_stats(&self) -> FaultStats {
+        FaultStats {
+            attempts: self.shared.fault_attempts.load(Ordering::Relaxed),
+            real_retries: self.shared.fault_retries.load(Ordering::Relaxed),
+            panics_caught: self.shared.fault_panics.load(Ordering::Relaxed),
+            deadline_exceeded: self.shared.deadline_exceeded.load(Ordering::Relaxed),
         }
     }
 
@@ -760,6 +808,11 @@ impl Engine {
         let planner = self.planner();
         let (owned_stats, bases, epoch) = self.snapshot_stats(q)?;
         let k_full = self.shared.cluster.config().processing_units;
+        // The deadline clock starts here, before admission: a query
+        // stuck in the admission queue past its deadline is refused
+        // without ever running (the scheduler's wait is bounded on it).
+        let cancel = opts.get_deadline_ms().map(CancelToken::with_timeout_ms);
+        let deadline = cancel.as_ref().and_then(|c| c.deadline());
         // Size the slice this query needs. The paper's planner packs
         // its jobs into a peak concurrent allotment we can price
         // exactly; the baselines are k_P-unaware and assume the whole
@@ -796,10 +849,11 @@ impl Engine {
                 self.shared
                     .last_admission_request
                     .store(u64::from(requested), Ordering::Relaxed);
-                let ticket = self
-                    .shared
-                    .scheduler
-                    .admit_with_cost(requested, plan.predicted_secs())?;
+                let ticket = self.shared.scheduler.admit_with_cost_until(
+                    requested,
+                    plan.predicted_secs(),
+                    deadline,
+                )?;
                 let plan = if ticket.degraded() {
                     self.plan_for(
                         &planner,
@@ -820,13 +874,14 @@ impl Engine {
                     plan: Some(plan),
                     key_prefix: Some(key_prefix),
                     epoch,
+                    cancel,
                 })
             }
             Method::YSmart | Method::Hive | Method::Pig => {
-                let ticket = self
-                    .shared
-                    .scheduler
-                    .admit_with_cost(k_full, f64::INFINITY)?;
+                let ticket =
+                    self.shared
+                        .scheduler
+                        .admit_with_cost_until(k_full, f64::INFINITY, deadline)?;
                 Ok(Admitted {
                     planner,
                     stats: owned_stats,
@@ -834,6 +889,7 @@ impl Engine {
                     plan: None,
                     key_prefix: None,
                     epoch,
+                    cancel,
                 })
             }
         }
@@ -856,6 +912,7 @@ impl Engine {
         let mut exec_opts = opts.exec_options();
         exec_opts.ticket = admitted.ticket.id();
         exec_opts.sink = sink;
+        exec_opts.cancel = admitted.cancel.clone();
         if admitted.ticket.degraded() {
             exec_opts.units = Some(admitted.ticket.granted());
         }
@@ -866,16 +923,46 @@ impl Engine {
                     .plan
                     .as_ref()
                     .expect("ours admission always carries a plan artifact");
-                planner.try_execute_planned(q, plan, &stats, cluster, &exec_opts)?
+                planner.try_execute_planned(q, plan, &stats, cluster, &exec_opts)
             }
             Method::YSmart => {
-                planner.try_execute_baseline(Baseline::YSmart, q, &stats, cluster, &exec_opts)?
+                planner.try_execute_baseline(Baseline::YSmart, q, &stats, cluster, &exec_opts)
             }
             Method::Hive => {
-                planner.try_execute_baseline(Baseline::Hive, q, &stats, cluster, &exec_opts)?
+                planner.try_execute_baseline(Baseline::Hive, q, &stats, cluster, &exec_opts)
             }
             Method::Pig => {
-                planner.try_execute_baseline(Baseline::Pig, q, &stats, cluster, &exec_opts)?
+                planner.try_execute_baseline(Baseline::Pig, q, &stats, cluster, &exec_opts)
+            }
+        };
+        // Every execution path — Engine::run, prepared execute, and the
+        // streaming worker — funnels through here, so this is the one
+        // place the engine-wide fault counters are charged.
+        let run = match run {
+            Ok(run) => {
+                let totals = run.fault_totals();
+                let shared = &self.shared;
+                shared
+                    .fault_attempts
+                    .fetch_add(totals.attempts, Ordering::Relaxed);
+                shared
+                    .fault_retries
+                    .fetch_add(totals.real_retries, Ordering::Relaxed);
+                shared
+                    .fault_panics
+                    .fetch_add(totals.panics_caught, Ordering::Relaxed);
+                run
+            }
+            Err(e) => {
+                if matches!(
+                    e,
+                    PlanError::Exec(ExecError::DeadlineExceeded | ExecError::Cancelled)
+                ) {
+                    self.shared
+                        .deadline_exceeded
+                        .fetch_add(1, Ordering::Relaxed);
+                }
+                return Err(e.into());
             }
         };
         if opts.skipping_enabled() {

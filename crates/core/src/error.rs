@@ -43,6 +43,33 @@ pub enum EngineError {
     Exec(ExecError),
 }
 
+impl EngineError {
+    /// True when this failure is the query's real-time deadline
+    /// expiring — whether it passed while the query was still parked
+    /// in the admission queue or mid-execution (cooperatively observed
+    /// at a block/batch boundary). Serving layers map this to a typed
+    /// `err deadline exceeded` frame.
+    pub fn is_deadline_exceeded(&self) -> bool {
+        matches!(
+            self,
+            EngineError::Admission(AdmissionError::DeadlineExceeded)
+                | EngineError::Plan(PlanError::Exec(ExecError::DeadlineExceeded))
+                | EngineError::Exec(ExecError::DeadlineExceeded)
+        )
+    }
+
+    /// True when admission shed the query because its bounded queue
+    /// was at capacity — the query never held units and is safe to
+    /// retry after backing off. Serving layers map this to
+    /// `err overloaded retry_after=<ms>`.
+    pub fn is_overloaded(&self) -> bool {
+        matches!(
+            self,
+            EngineError::Admission(AdmissionError::QueueFull { .. })
+        )
+    }
+}
+
 impl fmt::Display for EngineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {

@@ -60,7 +60,9 @@ pub mod scheduler;
 pub mod stream;
 
 pub use benchqueries::{mobile_query, tpch_query, MobileQuery, TpchQuery};
-pub use engine::{Engine, LoadReport, PlanCacheStats, Session, ZoneSkipStats, RID_COLUMN};
+pub use engine::{
+    Engine, FaultStats, LoadReport, PlanCacheStats, Session, ZoneSkipStats, RID_COLUMN,
+};
 pub use error::EngineError;
 pub use options::{Method, RunOptions};
 pub use prepare::Prepared;
@@ -68,8 +70,9 @@ pub use scheduler::{AdmissionError, AdmissionPolicy, Scheduler, SchedulerStats, 
 pub use stream::{QueryStream, StreamEnd, StreamOptions};
 
 // Re-exported so stream consumers name the batch type without a
-// direct mwtj-mapreduce dependency.
-pub use mwtj_mapreduce::RowBatch;
-// Re-exported so serving layers name run results and plan artifacts
-// without a direct mwtj-planner dependency.
-pub use mwtj_planner::{QueryPlan, QueryRun};
+// direct mwtj-mapreduce dependency, and so callers can build and hold
+// cancellation tokens for in-flight runs.
+pub use mwtj_mapreduce::{CancelToken, RowBatch};
+// Re-exported so serving layers name run results, plan artifacts and
+// per-run fault totals without a direct mwtj-planner dependency.
+pub use mwtj_planner::{FaultTotals, QueryPlan, QueryRun};

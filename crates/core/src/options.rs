@@ -91,6 +91,7 @@ pub struct RunOptions {
     faults: Option<FaultPlan>,
     calibrate: bool,
     skipping: bool,
+    deadline_ms: Option<u64>,
 }
 
 impl Default for RunOptions {
@@ -103,6 +104,7 @@ impl Default for RunOptions {
             faults: None,
             calibrate: false,
             skipping: true,
+            deadline_ms: None,
         }
     }
 }
@@ -143,6 +145,19 @@ impl RunOptions {
         self
     }
 
+    /// Give this run a real-time deadline of `ms` milliseconds of host
+    /// wall-clock, measured from admission. A run past its deadline is
+    /// cancelled cooperatively (checked at task-attempt and
+    /// stream-batch granularity) and fails with a typed
+    /// `deadline exceeded` error, releasing its admission ticket,
+    /// namespace and intermediate DFS files like any other failure. A
+    /// queued run whose deadline passes while waiting for admission is
+    /// refused without ever running.
+    pub fn deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline_ms = Some(ms);
+        self
+    }
+
     /// Enable or disable zone-map data skipping for this run (on by
     /// default). The result rows are bit-identical either way — the
     /// switch only moves the pruning counters and the Eq. 2–4
@@ -179,6 +194,11 @@ impl RunOptions {
         self.skipping
     }
 
+    /// The run's real-time deadline in milliseconds, if one was set.
+    pub fn get_deadline_ms(&self) -> Option<u64> {
+        self.deadline_ms
+    }
+
     /// Lower these options into the planner's execution knobs.
     pub(crate) fn exec_options(&self) -> ExecOptions {
         ExecOptions {
@@ -198,10 +218,11 @@ impl From<Method> for RunOptions {
 
 impl fmt::Display for RunOptions {
     /// `method[:partition][+faults=p@seed/attempts][+calibrated]
-    /// [+noskip]` — the partition is printed only when it overrides
-    /// the method default, `+noskip` only when skipping is disabled.
-    /// Every printed form parses back to an equal value (`FromStr` is
-    /// the exact inverse; the wire protocol relies on it).
+    /// [+noskip][+deadline=ms]` — the partition is printed only when
+    /// it overrides the method default, `+noskip` only when skipping
+    /// is disabled, `+deadline=` only when a deadline is set. Every
+    /// printed form parses back to an equal value (`FromStr` is the
+    /// exact inverse; the wire protocol relies on it).
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.method)?;
         if let Some(p) = self.partition {
@@ -216,6 +237,9 @@ impl fmt::Display for RunOptions {
         if !self.skipping {
             write!(f, "+noskip")?;
         }
+        if let Some(ms) = self.deadline_ms {
+            write!(f, "+deadline={ms}")?;
+        }
         Ok(())
     }
 }
@@ -224,9 +248,9 @@ impl FromStr for RunOptions {
     type Err = String;
 
     /// Parse `method[:partition][+faults=p@seed/attempts][+calibrated]
-    /// [+noskip]` (e.g. `ours`, `ours:grid`, `hive+calibrated`,
-    /// `pig+faults=0.25@99/4`, `ours+noskip`) — exactly the forms
-    /// `Display` prints.
+    /// [+noskip][+deadline=ms]` (e.g. `ours`, `ours:grid`,
+    /// `hive+calibrated`, `pig+faults=0.25@99/4`, `ours+noskip`,
+    /// `ours+deadline=500`) — exactly the forms `Display` prints.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let mut opts = RunOptions::new();
         let mut parts = s.split('+');
@@ -236,10 +260,17 @@ impl FromStr for RunOptions {
             match lower.as_str() {
                 "calibrated" => opts.calibrate = true,
                 "noskip" => opts.skipping = false,
-                _ => match lower.strip_prefix("faults=") {
-                    Some(plan) => opts.faults = Some(plan.parse()?),
-                    None => return Err(format!("unknown run-option flag `{lower}`")),
-                },
+                _ => {
+                    if let Some(plan) = lower.strip_prefix("faults=") {
+                        opts.faults = Some(plan.parse()?);
+                    } else if let Some(ms) = lower.strip_prefix("deadline=") {
+                        opts.deadline_ms = Some(ms.parse::<u64>().map_err(|e| {
+                            format!("bad deadline `{ms}` (expected milliseconds): {e}")
+                        })?);
+                    } else {
+                        return Err(format!("unknown run-option flag `{lower}`"));
+                    }
+                }
             }
         }
         let (method, partition) = match head.split_once(':') {
@@ -319,5 +350,22 @@ mod tests {
         // Bare `+faults` (the old asymmetric form) is rejected.
         assert!("ours+faults".parse::<RunOptions>().is_err());
         assert!("ours+faults=bogus".parse::<RunOptions>().is_err());
+    }
+
+    #[test]
+    fn deadlines_roundtrip_through_option_strings() {
+        assert_eq!(RunOptions::new().get_deadline_ms(), None);
+        let opts = RunOptions::new().method(Method::Hive).deadline_ms(750);
+        assert_eq!(opts.get_deadline_ms(), Some(750));
+        let s = opts.to_string();
+        assert_eq!(s, "hive+deadline=750");
+        assert_eq!(s.parse::<RunOptions>().unwrap(), opts);
+        // Composes with the other flags in print order.
+        let full: RunOptions = "pig+faults=0.25@99/4+noskip+deadline=100".parse().unwrap();
+        assert_eq!(full.get_deadline_ms(), Some(100));
+        assert!(!full.skipping_enabled());
+        assert_eq!(full.to_string().parse::<RunOptions>().unwrap(), full);
+        assert!("ours+deadline=".parse::<RunOptions>().is_err());
+        assert!("ours+deadline=soon".parse::<RunOptions>().is_err());
     }
 }

@@ -42,6 +42,10 @@ pub enum AdmissionError {
         /// The configured limit.
         limit: usize,
     },
+    /// The query's real-time deadline passed while it was still
+    /// waiting in the admission queue — it was refused without ever
+    /// holding units.
+    DeadlineExceeded,
 }
 
 impl fmt::Display for AdmissionError {
@@ -55,6 +59,9 @@ impl fmt::Display for AdmissionError {
                     f,
                     "admission refused: queue full ({depth} waiting, limit {limit})"
                 )
+            }
+            AdmissionError::DeadlineExceeded => {
+                write!(f, "admission refused: deadline exceeded while queued")
             }
         }
     }
@@ -104,6 +111,9 @@ pub struct SchedulerStats {
     pub degraded: u64,
     /// Admissions that had to wait for units before being granted.
     pub queued: u64,
+    /// Arrivals refused because the queue was at its depth limit
+    /// (overload shedding) or their deadline passed while queued.
+    pub shed: u64,
 }
 
 /// One queued admission: its SJF ordering key (predicted cost, then
@@ -134,6 +144,7 @@ struct State {
     admitted: u64,
     degraded: u64,
     queued: u64,
+    shed: u64,
     shutdown: bool,
     /// Waiting admissions (unordered; scans are O(queue), and queues
     /// are bounded-small in practice).
@@ -171,6 +182,7 @@ impl Scheduler {
                     admitted: 0,
                     degraded: 0,
                     queued: 0,
+                    shed: 0,
                     shutdown: false,
                     waiting: Vec::new(),
                     next_seq: 0,
@@ -218,6 +230,20 @@ impl Scheduler {
         desired: u32,
         predicted_secs: f64,
     ) -> Result<Ticket, AdmissionError> {
+        self.admit_with_cost_until(desired, predicted_secs, None)
+    }
+
+    /// Like [`Scheduler::admit_with_cost`], but the wait is bounded by
+    /// an optional real-time `deadline`: a query still queued when its
+    /// deadline passes is refused with
+    /// [`AdmissionError::DeadlineExceeded`] instead of parking forever
+    /// — it never held units, so nothing is leaked.
+    pub fn admit_with_cost_until(
+        &self,
+        desired: u32,
+        predicted_secs: f64,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<Ticket, AdmissionError> {
         let desired = desired.clamp(1, self.inner.budget);
         let floor =
             ((desired as f64 * self.inner.policy.degrade_floor).ceil() as u32).clamp(1, desired);
@@ -242,6 +268,15 @@ impl Scheduler {
                     unqueue(&mut state, seq);
                 }
                 return Err(AdmissionError::ShuttingDown);
+            }
+            if let Some(d) = deadline {
+                if std::time::Instant::now() >= d {
+                    if waited {
+                        unqueue(&mut state, seq);
+                    }
+                    state.shed += 1;
+                    return Err(AdmissionError::DeadlineExceeded);
+                }
             }
             let free = self.inner.budget - state.in_flight;
             let granted = if free >= desired {
@@ -284,6 +319,7 @@ impl Scheduler {
             if !waited {
                 if let Some(limit) = self.inner.policy.max_queue {
                     if state.queued_now as usize >= limit {
+                        state.shed += 1;
                         return Err(AdmissionError::QueueFull {
                             depth: state.queued_now as usize,
                             limit,
@@ -295,7 +331,17 @@ impl Scheduler {
                 state.queued_now += 1;
                 state.queued += 1;
             }
-            state = self.inner.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+            state = match deadline {
+                None => self.inner.cv.wait(state).unwrap_or_else(|e| e.into_inner()),
+                Some(d) => {
+                    let timeout = d.saturating_duration_since(std::time::Instant::now());
+                    self.inner
+                        .cv
+                        .wait_timeout(state, timeout)
+                        .unwrap_or_else(|e| e.into_inner())
+                        .0
+                }
+            };
         }
     }
 
@@ -327,6 +373,7 @@ impl Scheduler {
             admitted: state.admitted,
             degraded: state.degraded,
             queued: state.queued,
+            shed: state.shed,
         }
     }
 }
@@ -492,7 +539,37 @@ mod tests {
             s.admit(4).unwrap_err(),
             AdmissionError::QueueFull { depth: 1, limit: 1 }
         );
+        assert_eq!(s.stats().shed, 1, "queue-full refusals count as shed");
         s.shutdown();
+    }
+
+    #[test]
+    fn queued_admission_is_refused_at_its_deadline() {
+        let s = Scheduler::new(4);
+        let hold = s.admit(4).unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_millis(60);
+        let s2 = s.clone();
+        let waiter = std::thread::spawn(move || s2.admit_with_cost_until(4, 1.0, Some(deadline)));
+        assert_eq!(
+            waiter.join().unwrap().unwrap_err(),
+            AdmissionError::DeadlineExceeded
+        );
+        let st = s.stats();
+        assert_eq!(st.shed, 1);
+        assert_eq!(st.queued_now, 0, "deadline refusal must leave the queue");
+        // Budget untouched: the refused query never held units.
+        drop(hold);
+        assert_eq!(s.stats().in_flight_units, 0);
+        assert_eq!(s.admit(4).unwrap().granted(), 4);
+    }
+
+    #[test]
+    fn live_deadline_admits_normally() {
+        let s = Scheduler::new(4);
+        let deadline = std::time::Instant::now() + Duration::from_secs(60);
+        let t = s.admit_with_cost_until(4, 1.0, Some(deadline)).unwrap();
+        assert_eq!(t.granted(), 4);
+        assert_eq!(s.stats().shed, 0);
     }
 
     #[test]

@@ -427,13 +427,15 @@ impl Engine {
             .name("mwtj-stream".into())
             .spawn(move || {
                 let result = engine.execute_admitted(&admitted, &q, &opts, Some(spec));
+                // Release the reservation before the unload sweep and
+                // before announcing the end: unloads can block on a DFS
+                // namespace lock, and a failed run must not sit on its
+                // processing units while tidying up — a consumer that
+                // has seen StreamEnd must observe the units returned.
+                drop(admitted);
                 for instance in &cleanup {
                     engine.unload_quiet(instance);
                 }
-                // Release the reservation before announcing the end:
-                // a consumer that has seen StreamEnd must observe the
-                // units returned.
-                drop(admitted);
                 let end = result.map(|run| StreamEnd {
                     rows: sink.rows.load(Ordering::Relaxed),
                     batches: sink.batches.load(Ordering::Relaxed),

@@ -56,6 +56,17 @@
 //! a real Hadoop reducer running the naive algorithm would do), so
 //! Eq. 2–4 phase timings stay bit-identical before/after this
 //! optimisation.
+//!
+//! # Panic safety under task retries
+//!
+//! The engine runs every reduce attempt under `catch_unwind` and may
+//! rerun it from the same materialised input (fault injection, real
+//! panics). Kernels are safe to rerun because they are pure over
+//! per-reducer local data: they read the borrowed row bags, build only
+//! attempt-local scratch (hash tables, sort permutations) and emit
+//! into an attempt-local output — no global or cross-attempt state is
+//! mutated, so an unwound attempt leaves nothing to clean up and a
+//! rerun is bit-identical.
 
 use crate::shape::IntermediateShape;
 use mwtj_query::theta::{eval_theta, CompiledPredicate, ThetaOp};

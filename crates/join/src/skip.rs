@@ -293,10 +293,28 @@ mod tests {
         let cfg = ClusterConfig::default();
         let engine = Engine::new(cfg, dfs.clone());
         let on = engine
-            .try_run_with(job, inputs, 16, reducers, None, engine.fault_plan(), true)
+            .try_run_with(
+                job,
+                inputs,
+                16,
+                reducers,
+                None,
+                engine.fault_plan(),
+                true,
+                None,
+            )
             .unwrap();
         let off = engine
-            .try_run_with(job, inputs, 16, reducers, None, engine.fault_plan(), false)
+            .try_run_with(
+                job,
+                inputs,
+                16,
+                reducers,
+                None,
+                engine.fault_plan(),
+                false,
+                None,
+            )
             .unwrap();
         (on, off)
     }

@@ -10,6 +10,7 @@
 //! the stage structure and allotments; the cluster just executes and
 //! accounts.
 
+use crate::cancel::CancelToken;
 use crate::config::ClusterConfig;
 use crate::dfs::Dfs;
 use crate::engine::Engine;
@@ -109,19 +110,23 @@ impl Cluster {
     /// Panics on an invalid plan. Serving paths should prefer
     /// [`Cluster::try_run_plan`].
     pub fn run_plan(&self, stages: Vec<PlanStage>) -> PlanExecution {
-        self.try_run_plan(stages, None, true)
+        self.try_run_plan(stages, None, true, None)
             .unwrap_or_else(|e| panic!("{e}"))
     }
 
     /// Like [`Cluster::run_plan`], but returns a typed error instead of
     /// panicking, optionally overrides the engine's fault plan for
-    /// this run only (per-query fault profiles under concurrency), and
-    /// lets the caller disable zone-map data skipping for the run.
+    /// this run only (per-query fault profiles under concurrency),
+    /// lets the caller disable zone-map data skipping for the run, and
+    /// checks an optional [`CancelToken`] before dispatching each job
+    /// (the token is also threaded into every job for task-granular
+    /// checks, so a deadline or explicit cancel unwinds mid-stage).
     pub fn try_run_plan(
         &self,
         stages: Vec<PlanStage>,
         faults: Option<&FaultPlan>,
         skipping: bool,
+        cancel: Option<&CancelToken>,
     ) -> Result<PlanExecution, ExecError> {
         let k_p = self.config().processing_units;
         let faults = faults.unwrap_or_else(|| self.engine.fault_plan());
@@ -152,6 +157,9 @@ impl Cluster {
                         ),
                     });
                 }
+                if let Some(token) = cancel {
+                    token.check()?;
+                }
                 let run = match &pj.sink {
                     Some(spec) => self.engine.try_run_streamed(
                         pj.job.as_ref(),
@@ -161,6 +169,7 @@ impl Cluster {
                         faults,
                         spec,
                         skipping,
+                        cancel,
                     )?,
                     None => self.engine.try_run_with(
                         pj.job.as_ref(),
@@ -170,6 +179,7 @@ impl Cluster {
                         pj.out_file.as_deref(),
                         faults,
                         skipping,
+                        cancel,
                     )?,
                 };
                 stage_max = stage_max.max(run.metrics.sim_total_secs);

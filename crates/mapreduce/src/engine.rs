@@ -3,6 +3,7 @@
 //! structure (Fig. 3: map waves, overlapped copy phase, straggler-bound
 //! reduce phase).
 
+use crate::cancel::CancelToken;
 use crate::config::ClusterConfig;
 use crate::dfs::{logical_file_name, Dfs};
 use crate::error::ExecError;
@@ -12,8 +13,11 @@ use crate::metrics::JobMetrics;
 use crate::sink::{RowBatch, SinkSpec};
 use mwtj_storage::{Relation, Tuple};
 use parking_lot::Mutex;
+use std::cell::Cell;
 use std::collections::BinaryHeap;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Once;
 use std::time::Instant;
 
 /// The execution engine: a cluster config plus a DFS.
@@ -34,6 +38,16 @@ pub struct JobRun {
     pub metrics: JobMetrics,
 }
 
+/// Per-task attempt accounting from the *real* retry loop: total
+/// attempts consumed (successful attempt + reruns), reruns alone, and
+/// how many of the failed attempts died as caught panics.
+#[derive(Debug, Clone, Copy, Default)]
+struct TaskStats {
+    attempts: u32,
+    retries: u32,
+    panics: u32,
+}
+
 /// Outcome of one executed reduce task: its output rows (empty on the
 /// streamed path, where rows went to the sink instead) plus the byte
 /// and candidate counts the simulated clock prices — identical numbers
@@ -44,7 +58,16 @@ struct ReduceTaskOut {
     candidates: u64,
     out_bytes: u64,
     out_records: u64,
+    stats: TaskStats,
 }
+
+/// Per-task result slot for the parallel map phase (written once by
+/// the worker that claims the task).
+type MapTaskSlot = Mutex<Option<Result<(MapTaskOut, TaskStats), ExecError>>>;
+
+/// What one surviving map attempt hands back: `(routed records,
+/// output bytes, output records, rows pruned, attempt stats)`.
+type MapAttemptOut = (Vec<(u32, TaggedRecord)>, u64, u64, u64, TaskStats);
 
 /// Outcome of one executed map task, before shuffle pricing.
 struct MapTaskOut {
@@ -59,6 +82,56 @@ struct MapTaskOut {
     output_records: u64,
     /// Rows whose map call the skip filter dropped.
     rows_pruned: u64,
+}
+
+thread_local! {
+    /// Set while this thread is inside a `catch_unwind` that *expects*
+    /// a panic (an injected panic-mode fault, or a real task panic the
+    /// engine is about to convert into a typed error): the process
+    /// panic hook stays quiet for these instead of spamming stderr
+    /// with backtraces for failures that are contained by design.
+    static EXPECTED_PANIC: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Install (once per process) a panic hook that delegates to the
+/// previous hook except for panics this module catches deliberately.
+fn install_panic_silencer() {
+    static HOOK: Once = Once::new();
+    HOOK.call_once(|| {
+        let prev = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !EXPECTED_PANIC.with(|s| s.get()) {
+                prev(info);
+            }
+        }));
+    });
+}
+
+/// Run one task attempt with panic isolation: a panicking attempt —
+/// injected or a real bug in the job — is caught and returned as its
+/// payload text instead of unwinding through the engine (or a server
+/// worker thread). The closure's own `Err` carries injected
+/// error-mode aborts.
+fn run_attempt<T>(f: impl FnOnce() -> Result<T, String>) -> Result<T, String> {
+    install_panic_silencer();
+    EXPECTED_PANIC.with(|s| s.set(true));
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(f));
+    EXPECTED_PANIC.with(|s| s.set(false));
+    match outcome {
+        Ok(result) => result,
+        Err(payload) => Err(panic_detail(payload.as_ref())),
+    }
+}
+
+/// Best-effort text of a caught panic payload.
+fn panic_detail(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("panic: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("panic: {s}")
+    } else {
+        "panic: <non-string payload>".to_string()
+    }
 }
 
 impl Engine {
@@ -76,8 +149,10 @@ impl Engine {
     }
 
     /// Replace the fault-injection plan (default: no faults). Injected
-    /// failures rerun tasks on the simulated clock; results are
-    /// unaffected because tasks are deterministic in their inputs.
+    /// failures *really* abort and rerun task attempts on the host
+    /// (and charge the reruns plus backoff on the simulated clock);
+    /// results are unaffected because tasks are deterministic in their
+    /// inputs.
     pub fn set_fault_plan(&mut self, faults: FaultPlan) {
         self.faults = faults;
     }
@@ -128,13 +203,24 @@ impl Engine {
         reducers: u32,
         out_file: Option<&str>,
     ) -> Result<JobRun, ExecError> {
-        self.try_run_with(job, inputs, units, reducers, out_file, &self.faults, true)
+        self.try_run_with(
+            job,
+            inputs,
+            units,
+            reducers,
+            out_file,
+            &self.faults,
+            true,
+            None,
+        )
     }
 
     /// Like [`Engine::try_run`], but with an explicit per-run fault
     /// plan (so concurrent queries over one shared engine can carry
-    /// different fault profiles) and a `skipping` switch for zone-map
-    /// data skipping (`false` disables it for this run only).
+    /// different fault profiles), a `skipping` switch for zone-map
+    /// data skipping (`false` disables it for this run only), and an
+    /// optional [`CancelToken`] checked cooperatively at task/attempt
+    /// granularity (deadlines and explicit cancellation).
     #[allow(clippy::too_many_arguments)]
     pub fn try_run_with(
         &self,
@@ -145,9 +231,10 @@ impl Engine {
         out_file: Option<&str>,
         faults: &FaultPlan,
         skipping: bool,
+        cancel: Option<&CancelToken>,
     ) -> Result<JobRun, ExecError> {
         self.run_inner(
-            job, inputs, units, reducers, out_file, faults, None, skipping,
+            job, inputs, units, reducers, out_file, faults, None, skipping, cancel,
         )
     }
 
@@ -173,6 +260,7 @@ impl Engine {
         faults: &FaultPlan,
         sink: &SinkSpec,
         skipping: bool,
+        cancel: Option<&CancelToken>,
     ) -> Result<JobRun, ExecError> {
         self.run_inner(
             job,
@@ -183,6 +271,7 @@ impl Engine {
             faults,
             Some(sink),
             skipping,
+            cancel,
         )
     }
 
@@ -197,7 +286,11 @@ impl Engine {
         faults: &FaultPlan,
         sink: Option<&SinkSpec>,
         skipping: bool,
+        cancel: Option<&CancelToken>,
     ) -> Result<JobRun, ExecError> {
+        if let Some(token) = cancel {
+            token.check()?;
+        }
         if units < 1 {
             return Err(ExecError::BadRequest {
                 detail: format!("job `{}` needs at least one processing unit", job.name()),
@@ -268,80 +361,103 @@ impl Engine {
         }
         let m = tasks.len().max(1) as u32;
 
-        // ---- map phase (real, parallel on host) ----
+        // ---- map phase (real, parallel on host, per-task retries) ----
+        // Every task runs a bounded attempt loop: a `FaultPlan`-selected
+        // attempt *really* aborts mid-execution — an injected error
+        // return or a deliberate panic, both contained by
+        // `catch_unwind` — and the task reruns from its materialised
+        // DFS block (`rows` is untouched `Arc` data; every attempt
+        // starts with fresh output buffers). Because tasks are
+        // deterministic in their input split, the surviving attempt's
+        // output is bit-identical to a fault-free run. A task that
+        // keeps dying past the plan's attempt budget (only possible for
+        // *real* job panics — injection spares the final attempt)
+        // fails the job with a typed `TaskFailed`.
         let n_red = reducers as usize;
-        let results: Vec<Mutex<Option<MapTaskOut>>> =
-            (0..tasks.len()).map(|_| Mutex::new(None)).collect();
+        let results: Vec<MapTaskSlot> = (0..tasks.len()).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
+        let abort_all = AtomicBool::new(false);
         let workers = self.host_threads.min(tasks.len().max(1));
         crossbeam::scope(|s| {
             for _ in 0..workers {
                 s.spawn(|_| loop {
                     let i = next.fetch_add(1, Ordering::Relaxed);
-                    if i >= tasks.len() {
+                    if i >= tasks.len() || abort_all.load(Ordering::Relaxed) {
                         break;
                     }
                     let (tag, rows, bytes, seed) =
                         (tasks[i].0, tasks[i].1.clone(), tasks[i].2, tasks[i].3);
-                    let mut records: Vec<(u32, TaggedRecord)> = Vec::new();
-                    let mut out_bytes = 0u64;
-                    let mut out_records = 0u64;
-                    let mut rows_pruned = 0u64;
-                    {
-                        let mut emit = |key: u64, rec: TaggedRecord| {
-                            let r = (key % reducers as u64) as u32;
-                            out_bytes += rec.wire_bytes() as u64;
-                            out_records += 1;
-                            records.push((r, rec));
-                        };
-                        for (ri, row) in rows.iter().enumerate() {
-                            if let Some(f) = skipf {
-                                if !f.keep_row(tag, row) {
-                                    rows_pruned += 1;
-                                    continue;
-                                }
-                            }
-                            job.map(tag, row, seed, ri, &mut emit);
-                        }
+                    let outcome = run_map_task(
+                        job, tag, &rows, seed, reducers, skipf, faults, i as u32, cancel,
+                    )
+                    .map(
+                        |(records, out_bytes, out_records, rows_pruned, stats)| {
+                            (
+                                MapTaskOut {
+                                    records,
+                                    input_bytes: bytes as u64,
+                                    input_records: rows.len() as u64,
+                                    output_bytes: out_bytes,
+                                    output_records: out_records,
+                                    rows_pruned,
+                                },
+                                stats,
+                            )
+                        },
+                    );
+                    if outcome.is_err() {
+                        abort_all.store(true, Ordering::Relaxed);
                     }
-                    *results[i].lock() = Some(MapTaskOut {
-                        records,
-                        input_bytes: bytes as u64,
-                        input_records: rows.len() as u64,
-                        output_bytes: out_bytes,
-                        output_records: out_records,
-                        rows_pruned,
-                    });
+                    *results[i].lock() = Some(outcome);
                 });
             }
         })
-        .expect("map phase panicked");
+        .expect("map phase coordinator panicked");
 
-        let map_outs: Vec<MapTaskOut> = results
-            .into_iter()
-            .map(|m| m.into_inner().expect("map task missing"))
-            .collect();
+        let mut map_outs: Vec<(MapTaskOut, TaskStats)> = Vec::with_capacity(tasks.len());
+        let mut first_err: Option<ExecError> = None;
+        for slot in results {
+            match slot.into_inner() {
+                Some(Ok(out)) => map_outs.push(out),
+                Some(Err(e)) => {
+                    first_err.get_or_insert(e);
+                }
+                // A worker bailed early because another task failed.
+                None => {}
+            }
+        }
+        if let Some(e) = first_err {
+            return Err(e);
+        }
 
         // ---- simulated map + copy phases ----
         // Each map task: sequential block read + per-record CPU + spill.
         // Tasks run in waves over `units` slots (the paper's m/m' rounds,
         // Eq. 2/4); each task's copy starts when the task ends (overlap,
         // Fig. 3) and ends after its network transfer + connection
-        // service (Eq. 3).
+        // service (Eq. 3). Attempt counts come from the *real* retry
+        // loop above (identical to `FaultPlan::attempts_for` absent
+        // real task panics, since injection makes the same decisions);
+        // wasted attempts are charged in full, plus the deterministic
+        // rescheduling backoff between attempts.
         let mut slot_heap: BinaryHeap<std::cmp::Reverse<NotNanF64>> = (0..units)
             .map(|_| std::cmp::Reverse(NotNanF64(0.0)))
             .collect();
         let mut sim_map_end = 0.0f64;
         let mut sim_shuffle_end = 0.0f64;
         let mut map_attempts = 0u32;
-        for (ti, mo) in map_outs.iter().enumerate() {
+        let mut real_map_retries = 0u32;
+        let mut panics_caught = 0u32;
+        for (mo, stats) in map_outs.iter() {
             let read = mo.input_bytes as f64 * hw.c1();
             let cpu = mo.input_records as f64 * hw.cpu_per_record_secs;
             let spill =
                 mo.output_bytes as f64 * hw.p_spill_secs_per_byte(mo.output_bytes as f64, params);
-            let attempts = faults.attempts_for(TaskKind::Map, ti as u32);
-            map_attempts += attempts;
-            let dur = (read + cpu + spill) * attempts as f64;
+            map_attempts += stats.attempts;
+            real_map_retries += stats.retries;
+            panics_caught += stats.panics;
+            let dur = (read + cpu + spill) * stats.attempts as f64
+                + faults.backoff_total_secs(stats.attempts.saturating_sub(1));
             let std::cmp::Reverse(NotNanF64(free_at)) =
                 slot_heap.pop().expect("slot heap nonempty");
             let end = free_at + dur;
@@ -362,7 +478,7 @@ impl Engine {
         let mut input_records = 0u64;
         let mut map_output_bytes = 0u64;
         let mut map_output_records = 0u64;
-        for mo in map_outs {
+        for (mo, _) in map_outs {
             input_bytes += mo.input_bytes;
             input_records += mo.input_records;
             map_output_bytes += mo.output_bytes;
@@ -388,9 +504,9 @@ impl Engine {
         // what serialises them; the simulated clock never sees host
         // parallelism either way).
         let reduce_outs: Vec<ReduceTaskOut> = if let Some(spec) = sink {
-            self.reduce_streamed_phase(job, reducer_inputs, reducers, spec)?
+            self.reduce_streamed_phase(job, reducer_inputs, reducers, spec, faults, cancel)?
         } else {
-            self.reduce_parallel_phase(job, reducer_inputs, reducers)
+            self.reduce_parallel_phase(job, reducer_inputs, reducers, faults, cancel)?
         };
 
         // ---- simulated reduce phase ----
@@ -405,6 +521,7 @@ impl Engine {
         let mut reduce_candidates = 0u64;
         let mut output_bytes = 0u64;
         let mut output_records = 0u64;
+        let mut real_reduce_retries = 0u32;
         for (r, ro) in reduce_outs.into_iter().enumerate() {
             reduce_input_max = reduce_input_max.max(ro.in_bytes);
             reduce_input_sum += ro.in_bytes;
@@ -416,11 +533,14 @@ impl Engine {
             } else {
                 hw.disk_read_bps // local materialisation only
             };
-            let attempts = faults.attempts_for(TaskKind::Reduce, r as u32);
+            let attempts = ro.stats.attempts;
+            real_reduce_retries += ro.stats.retries;
+            panics_caught += ro.stats.panics;
             let dur = (ro.in_bytes as f64 * hw.c1()
                 + ro.candidates as f64 * hw.cpu_per_candidate_secs
                 + ro.out_bytes as f64 / write_rate)
-                * attempts as f64;
+                * attempts as f64
+                + faults.backoff_total_secs(attempts.saturating_sub(1));
             per_reduce.push((dur, attempts, r));
             output_rows.extend(ro.rows);
         }
@@ -464,6 +584,9 @@ impl Engine {
             real_secs: wall_start.elapsed().as_secs_f64(),
             map_attempts,
             reduce_attempts,
+            real_map_retries,
+            real_reduce_retries,
+            panics_caught,
             zone_blocks,
             zone_blocks_pruned,
             zone_pairs,
@@ -475,25 +598,32 @@ impl Engine {
     }
 
     /// Buffered reduce: tasks run in parallel on the host, each
-    /// collecting its output rows.
+    /// collecting its output rows, under the same bounded attempt loop
+    /// as the map phase. A retry is safe because an attempt only
+    /// *reads* the task's sorted input (the stable sort is idempotent
+    /// and runs once, before the first attempt) and every attempt
+    /// starts with a fresh output buffer.
     fn reduce_parallel_phase(
         &self,
         job: &dyn MrJob,
         reducer_inputs: Vec<Vec<TaggedRecord>>,
         reducers: u32,
-    ) -> Vec<ReduceTaskOut> {
+        faults: &FaultPlan,
+        cancel: Option<&CancelToken>,
+    ) -> Result<Vec<ReduceTaskOut>, ExecError> {
         let n_red = reducer_inputs.len();
-        let reduce_results: Vec<Mutex<Option<ReduceTaskOut>>> =
+        let reduce_results: Vec<Mutex<Option<Result<ReduceTaskOut, ExecError>>>> =
             (0..n_red).map(|_| Mutex::new(None)).collect();
         let reducer_inputs: Vec<Mutex<Vec<TaggedRecord>>> =
             reducer_inputs.into_iter().map(Mutex::new).collect();
         let next_r = AtomicUsize::new(0);
+        let abort_all = AtomicBool::new(false);
         let rworkers = self.host_threads.min(n_red.max(1));
         crossbeam::scope(|s| {
             for _ in 0..rworkers {
                 s.spawn(|_| loop {
                     let r = next_r.fetch_add(1, Ordering::Relaxed);
-                    if r >= n_red {
+                    if r >= n_red || abort_all.load(Ordering::Relaxed) {
                         break;
                     }
                     let mut records = std::mem::take(&mut *reducer_inputs[r].lock());
@@ -503,36 +633,43 @@ impl Engine {
                     // within each group, exactly as the previous
                     // hash-then-sort-keys grouping produced.
                     records.sort_by_key(|rec| rec_key(rec, reducers, r));
-                    let mut out = Vec::new();
-                    let mut candidates = 0u64;
-                    let mut start = 0usize;
-                    while start < records.len() {
-                        let k = rec_key(&records[start], reducers, r);
-                        let end = group_end(&records, start, reducers, r);
-                        candidates = candidates.saturating_add(job.reduce(
-                            k,
-                            &records[start..end],
-                            &mut out,
-                        ));
-                        start = end;
+                    let outcome = run_reduce_task(job, &records, reducers, r, faults, cancel).map(
+                        |((out, candidates), stats)| {
+                            let out_bytes: u64 = out.iter().map(|t| t.encoded_len() as u64).sum();
+                            let out_records = out.len() as u64;
+                            ReduceTaskOut {
+                                rows: out,
+                                in_bytes,
+                                candidates,
+                                out_bytes,
+                                out_records,
+                                stats,
+                            }
+                        },
+                    );
+                    if outcome.is_err() {
+                        abort_all.store(true, Ordering::Relaxed);
                     }
-                    let out_bytes: u64 = out.iter().map(|t| t.encoded_len() as u64).sum();
-                    let out_records = out.len() as u64;
-                    *reduce_results[r].lock() = Some(ReduceTaskOut {
-                        rows: out,
-                        in_bytes,
-                        candidates,
-                        out_bytes,
-                        out_records,
-                    });
+                    *reduce_results[r].lock() = Some(outcome);
                 });
             }
         })
-        .expect("reduce phase panicked");
-        reduce_results
-            .into_iter()
-            .map(|m| m.into_inner().expect("reduce task missing"))
-            .collect()
+        .expect("reduce phase coordinator panicked");
+        let mut outs = Vec::with_capacity(n_red);
+        let mut first_err: Option<ExecError> = None;
+        for slot in reduce_results {
+            match slot.into_inner() {
+                Some(Ok(out)) => outs.push(out),
+                Some(Err(e)) => {
+                    first_err.get_or_insert(e);
+                }
+                None => {}
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(outs),
+        }
     }
 
     /// Streamed reduce: tasks run sequentially in reducer-index order,
@@ -541,66 +678,310 @@ impl Engine {
     /// then emit order) is exactly the buffered path's concatenation
     /// order. Batches may span reducer boundaries; the last batch may
     /// be short. Aborts with [`ExecError::Cancelled`] as soon as the
-    /// sink reports its receiver gone.
+    /// sink reports its receiver gone (or the cancel token flips;
+    /// [`ExecError::DeadlineExceeded`] when its deadline passes).
+    ///
+    /// Fault semantics on this path: **injected** aborts fire at
+    /// attempt start — after the sort, before any row is emitted — so
+    /// a retry is always safe and the delivered batch sequence is
+    /// bit-identical to a fault-free run (attempt counts still match
+    /// the buffered path's, since both consume the same
+    /// `FaultPlan::fails` decisions). A **real** job panic is caught
+    /// and retried only while the attempt has emitted nothing; once
+    /// rows have escaped to the client a rerun would duplicate them,
+    /// so the task fails immediately with a typed `TaskFailed`.
     fn reduce_streamed_phase(
         &self,
         job: &dyn MrJob,
         reducer_inputs: Vec<Vec<TaggedRecord>>,
         reducers: u32,
         spec: &SinkSpec,
+        faults: &FaultPlan,
+        cancel: Option<&CancelToken>,
     ) -> Result<Vec<ReduceTaskOut>, ExecError> {
         let cap = spec.batch_rows.max(1);
         let mut outs = Vec::with_capacity(reducer_inputs.len());
         let mut batch: Vec<Tuple> = Vec::with_capacity(cap);
-        let mut cancelled = false;
         for (r, mut records) in reducer_inputs.into_iter().enumerate() {
             let in_bytes: u64 = records.iter().map(|x| x.wire_bytes() as u64).sum();
             records.sort_by_key(|rec| rec_key(rec, reducers, r));
-            let mut out_bytes = 0u64;
-            let mut out_records = 0u64;
-            let mut candidates = 0u64;
-            let mut start = 0usize;
-            while start < records.len() {
-                let k = rec_key(&records[start], reducers, r);
-                let end = group_end(&records, start, reducers, r);
-                candidates = candidates.saturating_add(job.reduce_streamed(
-                    k,
-                    &records[start..end],
-                    &mut |row: Tuple| {
-                        if cancelled {
-                            return false;
+            let mut stats = TaskStats::default();
+            let max_attempts = faults.max_attempts.max(1);
+            let (candidates, out_bytes, out_records) = loop {
+                let attempt = stats.attempts;
+                stats.attempts += 1;
+                if let Some(token) = cancel {
+                    token.check()?;
+                }
+                // Injected abort: before any emission, always safe to
+                // rerun.
+                if faults.fails(TaskKind::Reduce, r as u32, attempt) {
+                    stats.retries += 1;
+                    if faults.panics(TaskKind::Reduce, r as u32, attempt) {
+                        stats.panics += 1;
+                        // Exercise the catch_unwind isolation for real.
+                        let detail = run_attempt::<()>(|| {
+                            panic!("injected fault: streamed reduce task {r} attempt {attempt}")
+                        })
+                        .expect_err("injected panic must be caught");
+                        debug_assert!(detail.contains("injected"));
+                    }
+                    continue;
+                }
+                let mut cancelled = false;
+                let mut deadline_hit = false;
+                let mut out_bytes = 0u64;
+                let mut out_records = 0u64;
+                let mut candidates = 0u64;
+                let attempt_result = run_attempt(|| {
+                    let mut start = 0usize;
+                    while start < records.len() {
+                        let k = rec_key(&records[start], reducers, r);
+                        let end = group_end(&records, start, reducers, r);
+                        candidates = candidates.saturating_add(job.reduce_streamed(
+                            k,
+                            &records[start..end],
+                            &mut |row: Tuple| {
+                                if cancelled || deadline_hit {
+                                    return false;
+                                }
+                                out_bytes += row.encoded_len() as u64;
+                                out_records += 1;
+                                batch.push(row);
+                                if batch.len() >= cap {
+                                    if let Some(token) = cancel {
+                                        match token.check() {
+                                            Ok(()) => {}
+                                            Err(ExecError::DeadlineExceeded) => {
+                                                deadline_hit = true;
+                                                return false;
+                                            }
+                                            Err(_) => {
+                                                cancelled = true;
+                                                return false;
+                                            }
+                                        }
+                                    }
+                                    if !spec.sink.send(RowBatch {
+                                        rows: std::mem::take(&mut batch),
+                                    }) {
+                                        cancelled = true;
+                                        return false;
+                                    }
+                                }
+                                true
+                            },
+                        ));
+                        if cancelled || deadline_hit {
+                            break;
                         }
-                        out_bytes += row.encoded_len() as u64;
-                        out_records += 1;
-                        batch.push(row);
-                        if batch.len() >= cap
-                            && !spec.sink.send(RowBatch {
-                                rows: std::mem::take(&mut batch),
-                            })
-                        {
-                            cancelled = true;
-                            return false;
-                        }
-                        true
-                    },
-                ));
+                        start = end;
+                    }
+                    Ok(())
+                });
+                if deadline_hit {
+                    return Err(ExecError::DeadlineExceeded);
+                }
                 if cancelled {
                     return Err(ExecError::Cancelled);
                 }
-                start = end;
-            }
+                match attempt_result {
+                    Ok(()) => break (candidates, out_bytes, out_records),
+                    Err(detail) => {
+                        // A real panic mid-attempt. Retryable only if
+                        // nothing escaped to the client this attempt.
+                        stats.retries += 1;
+                        stats.panics += 1;
+                        if out_records > 0 || stats.attempts >= max_attempts {
+                            return Err(ExecError::TaskFailed {
+                                stage: "reduce",
+                                task: r as u32,
+                                attempts: stats.attempts,
+                                detail,
+                            });
+                        }
+                        // Rows buffered but not yet sent are discarded
+                        // with the attempt (out_records == 0 implies
+                        // none were pushed).
+                    }
+                }
+            };
             outs.push(ReduceTaskOut {
                 rows: Vec::new(),
                 in_bytes,
                 candidates,
                 out_bytes,
                 out_records,
+                stats,
             });
         }
         if !batch.is_empty() && !spec.sink.send(RowBatch { rows: batch }) {
             return Err(ExecError::Cancelled);
         }
         Ok(outs)
+    }
+}
+
+/// Abort the current attempt at an injected fault point: in panic mode
+/// the abort unwinds (and is contained by [`run_attempt`]'s
+/// `catch_unwind`); in error mode it returns the failure as an `Err`.
+/// Either way the attempt's partial output dies with it.
+fn abort_injected(stage: &str, task: u32, attempt: u32, panic_mode: bool) -> Result<(), String> {
+    let detail = format!("injected {stage} fault: task {task} attempt {attempt}");
+    if panic_mode {
+        std::panic::panic_any(detail);
+    }
+    Err(detail)
+}
+
+/// Execute one map task under the bounded retry loop. Returns the
+/// surviving attempt's `(records, out_bytes, out_records, rows_pruned)`
+/// plus attempt accounting, or [`ExecError::TaskFailed`] once the
+/// attempt budget is spent.
+///
+/// A `FaultPlan`-selected attempt really aborts halfway through its
+/// input block — an injected `Err` or a deliberate panic, chosen by an
+/// independent hash stream — and the retry restarts from the untouched
+/// `Arc` block data with fresh output buffers, so the surviving
+/// attempt's emissions are bit-identical to a fault-free run.
+#[allow(clippy::too_many_arguments)]
+fn run_map_task(
+    job: &dyn MrJob,
+    tag: u8,
+    rows: &[Tuple],
+    seed: u64,
+    reducers: u32,
+    skipf: Option<&dyn SkipFilter>,
+    faults: &FaultPlan,
+    task: u32,
+    cancel: Option<&CancelToken>,
+) -> Result<MapAttemptOut, ExecError> {
+    let max_attempts = faults.max_attempts.max(1);
+    let mut stats = TaskStats::default();
+    loop {
+        let attempt = stats.attempts;
+        stats.attempts += 1;
+        if let Some(token) = cancel {
+            token.check()?;
+        }
+        let inject = faults.fails(TaskKind::Map, task, attempt);
+        let panic_mode = inject && faults.panics(TaskKind::Map, task, attempt);
+        let inject_at = rows.len() / 2;
+        // Fresh per-attempt output state: a failed attempt's partial
+        // emissions are discarded wholesale.
+        let mut records: Vec<(u32, TaggedRecord)> = Vec::new();
+        let mut out_bytes = 0u64;
+        let mut out_records = 0u64;
+        let mut rows_pruned = 0u64;
+        let attempt_result = run_attempt(|| {
+            let mut emit = |key: u64, rec: TaggedRecord| {
+                let r = (key % reducers as u64) as u32;
+                out_bytes += rec.wire_bytes() as u64;
+                out_records += 1;
+                records.push((r, rec));
+            };
+            for (ri, row) in rows.iter().enumerate() {
+                if inject && ri == inject_at {
+                    abort_injected("map", task, attempt, panic_mode)?;
+                }
+                if let Some(f) = skipf {
+                    if !f.keep_row(tag, row) {
+                        rows_pruned += 1;
+                        continue;
+                    }
+                }
+                job.map(tag, row, seed, ri, &mut emit);
+            }
+            if inject && rows.is_empty() {
+                abort_injected("map", task, attempt, panic_mode)?;
+            }
+            Ok(())
+        });
+        match attempt_result {
+            Ok(()) => return Ok((records, out_bytes, out_records, rows_pruned, stats)),
+            Err(detail) => {
+                stats.retries += 1;
+                if detail.starts_with("panic") {
+                    stats.panics += 1;
+                }
+                if stats.attempts >= max_attempts {
+                    return Err(ExecError::TaskFailed {
+                        stage: "map",
+                        task,
+                        attempts: stats.attempts,
+                        detail,
+                    });
+                }
+            }
+        }
+    }
+}
+
+/// Execute one buffered reduce task under the bounded retry loop over
+/// its already-sorted input. Returns `((rows, candidates), stats)` or
+/// [`ExecError::TaskFailed`]. A retry is safe because attempts only
+/// *read* `records` (sorted once, before the first attempt) and start
+/// with a fresh output buffer; the injected abort fires at the first
+/// group boundary past the input midpoint (or after the loop when one
+/// giant group swallows the midpoint), so real partial work really is
+/// thrown away and redone.
+fn run_reduce_task(
+    job: &dyn MrJob,
+    records: &[TaggedRecord],
+    reducers: u32,
+    r: usize,
+    faults: &FaultPlan,
+    cancel: Option<&CancelToken>,
+) -> Result<((Vec<Tuple>, u64), TaskStats), ExecError> {
+    let max_attempts = faults.max_attempts.max(1);
+    let mut stats = TaskStats::default();
+    loop {
+        let attempt = stats.attempts;
+        stats.attempts += 1;
+        if let Some(token) = cancel {
+            token.check()?;
+        }
+        let inject = faults.fails(TaskKind::Reduce, r as u32, attempt);
+        let panic_mode = inject && faults.panics(TaskKind::Reduce, r as u32, attempt);
+        let inject_at = records.len() / 2;
+        let mut out: Vec<Tuple> = Vec::new();
+        let mut candidates = 0u64;
+        let attempt_result = run_attempt(|| {
+            let mut start = 0usize;
+            while start < records.len() {
+                if inject && start >= inject_at {
+                    abort_injected("reduce", r as u32, attempt, panic_mode)?;
+                }
+                let k = rec_key(&records[start], reducers, r);
+                let end = group_end(records, start, reducers, r);
+                candidates =
+                    candidates.saturating_add(job.reduce(k, &records[start..end], &mut out));
+                start = end;
+            }
+            // One giant group can swallow the midpoint; a selected
+            // attempt must still really abort.
+            if inject {
+                abort_injected("reduce", r as u32, attempt, panic_mode)?;
+            }
+            Ok(())
+        });
+        match attempt_result {
+            Ok(()) => return Ok(((out, candidates), stats)),
+            Err(detail) => {
+                stats.retries += 1;
+                if detail.starts_with("panic") {
+                    stats.panics += 1;
+                }
+                if stats.attempts >= max_attempts {
+                    return Err(ExecError::TaskFailed {
+                        stage: "reduce",
+                        task: r as u32,
+                        attempts: stats.attempts,
+                        detail,
+                    });
+                }
+            }
+        }
     }
 }
 

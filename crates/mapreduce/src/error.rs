@@ -35,9 +35,30 @@ pub enum ExecError {
         detail: String,
     },
     /// The receiver of a streamed run's row batches went away before
-    /// the run finished (the consumer dropped its result stream); the
-    /// run was aborted and its partial output discarded.
+    /// the run finished (the consumer dropped its result stream), or
+    /// the run's cancellation token was flipped explicitly; the run
+    /// was aborted and its partial output discarded.
     Cancelled,
+    /// The run's real-time deadline passed before it finished; the
+    /// in-flight jobs were cancelled cooperatively and the partial
+    /// output discarded.
+    DeadlineExceeded,
+    /// One task kept failing (injected fault or a real caught panic)
+    /// until its attempt budget ran out. The whole job — and the query
+    /// above it — fails with this typed error instead of a panic; the
+    /// admission ticket, per-run namespace and intermediate DFS files
+    /// are released on the ordinary error path.
+    TaskFailed {
+        /// Which phase the task belonged to (`"map"` or `"reduce"`).
+        stage: &'static str,
+        /// The task's index within its phase.
+        task: u32,
+        /// How many attempts were made (the plan's `max_attempts`).
+        attempts: u32,
+        /// The last attempt's failure (panic payload or injected
+        /// error text).
+        detail: String,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -54,6 +75,16 @@ impl fmt::Display for ExecError {
             ExecError::Cancelled => {
                 write!(f, "run cancelled: the result-stream receiver went away")
             }
+            ExecError::DeadlineExceeded => write!(f, "deadline exceeded"),
+            ExecError::TaskFailed {
+                stage,
+                task,
+                attempts,
+                detail,
+            } => write!(
+                f,
+                "{stage} task {task} failed after {attempts} attempt(s): {detail}"
+            ),
         }
     }
 }

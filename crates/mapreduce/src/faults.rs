@@ -4,15 +4,25 @@
 //! tolerance" (§1): any map or reduce task can die and be rerun from
 //! its input without corrupting the job, *because* task outputs are
 //! materialised and tasks are deterministic functions of their input
-//! split. This module makes that property testable: a seeded
-//! [`FaultPlan`] decides which task attempts fail; the engine reruns
-//! failed attempts (Hadoop's retry) and charges the wasted attempts on
-//! the simulated clock.
+//! split. This module makes that property testable **for real**: a
+//! seeded [`FaultPlan`] decides which task attempts fail, and the
+//! engine *actually aborts* those attempts mid-execution — as an
+//! injected error or a deliberate panic caught by `catch_unwind` —
+//! then reruns the attempt from its materialised DFS input, charging
+//! the wasted attempts plus a deterministic exponential backoff
+//! ([`FaultPlan::backoff_total_secs`]) on the simulated clock.
 //!
 //! Determinism contract: a task's *output* is identical across
 //! attempts (the [`crate::MrJob::map`] seeding rules guarantee it), so
-//! injected failures must never change job results — only timings.
-//! `tests/` and the integration suite assert exactly that.
+//! injected failures never change job *results* — a fault-injected run
+//! is bit-identical in rows, schema and plan to a fault-free run, and
+//! the differential suites in `tests/` assert exactly that. What *does*
+//! change: the simulated clock (wasted attempts + backoff) and the
+//! real retry/panic counters on [`crate::JobMetrics`]. A task that
+//! keeps failing past `max_attempts` (only possible for *real* task
+//! panics — injected faults spare the final attempt by construction)
+//! surfaces a typed `ExecError::TaskFailed` instead of crashing the
+//! engine.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -62,12 +72,30 @@ impl FaultPlan {
         }
     }
 
-    /// Does `attempt` (0-based) of `task` fail?
-    pub fn fails(&self, kind: TaskKind, task: u32, attempt: u32) -> bool {
-        if self.fail_probability <= 0.0 || attempt + 1 >= self.max_attempts {
-            return false;
+    /// The failure probability actually used by every decision,
+    /// clamped into `[0, 1)`. The checked constructors and `FromStr`
+    /// reject out-of-range probabilities, but the fields are public —
+    /// a struct-literal `FaultPlan { fail_probability: 1.0, .. }` used
+    /// to make `fails` drive every task to its attempt cap on every
+    /// run with no warning. Validation now lives centrally: whatever
+    /// the fields say, decisions are made at a probability < 1, so
+    /// the final allowed attempt always succeeds and jobs always
+    /// finish. (NaN clamps to 0: no failures.)
+    pub fn effective_probability(&self) -> f64 {
+        if self.fail_probability.is_nan() {
+            return 0.0;
         }
-        let mut h = self.seed;
+        // f64 just below 1.0: keeps "certain failure" literals from
+        // defeating the final-attempt guarantee while leaving every
+        // valid probability untouched.
+        self.fail_probability.clamp(0.0, 1.0 - f64::EPSILON)
+    }
+
+    /// One well-mixed deterministic hash stream per
+    /// `(purpose, kind, task, attempt)`; `purpose` keeps the
+    /// fail-or-not and panic-or-error decisions independent.
+    fn decision_hash(&self, purpose: u64, kind: TaskKind, task: u32, attempt: u32) -> u64 {
+        let mut h = self.seed ^ purpose;
         for x in [
             match kind {
                 TaskKind::Map => 0x6d61u64,
@@ -79,8 +107,31 @@ impl FaultPlan {
             h ^= x.wrapping_mul(0x9E37_79B9_7F4A_7C15);
             h = h.rotate_left(17).wrapping_mul(0xBF58_476D_1CE4_E5B9);
         }
-        let mut rng = StdRng::seed_from_u64(h);
-        rng.gen::<f64>() < self.fail_probability
+        h
+    }
+
+    /// Does `attempt` (0-based) of `task` fail?
+    pub fn fails(&self, kind: TaskKind, task: u32, attempt: u32) -> bool {
+        let p = self.effective_probability();
+        if p <= 0.0 || attempt + 1 >= self.max_attempts {
+            return false;
+        }
+        let mut rng = StdRng::seed_from_u64(self.decision_hash(0, kind, task, attempt));
+        rng.gen::<f64>() < p
+    }
+
+    /// For an attempt that [`FaultPlan::fails`], does it die as a
+    /// deliberate *panic* (exercising the engine's `catch_unwind`
+    /// isolation) rather than an injected error return? Decided on an
+    /// independent deterministic stream, roughly half each way.
+    pub fn panics(&self, kind: TaskKind, task: u32, attempt: u32) -> bool {
+        let mut rng = StdRng::seed_from_u64(self.decision_hash(
+            0x0070_616e_6963, // "panic"
+            kind,
+            task,
+            attempt,
+        ));
+        rng.gen::<f64>() < 0.5
     }
 
     /// Number of attempts `task` consumes (the successful attempt plus
@@ -91,6 +142,20 @@ impl FaultPlan {
             a += 1;
         }
         a + 1
+    }
+
+    /// Simulated backoff charged before retry `i` (0-based): a
+    /// deterministic exponential schedule, `BASE × 2^i` seconds —
+    /// Hadoop's AM re-schedule delay in miniature.
+    pub fn backoff_secs(&self, retry: u32) -> f64 {
+        const BASE_SECS: f64 = 0.1;
+        BASE_SECS * f64::from(2u32.saturating_pow(retry.min(16)))
+    }
+
+    /// Total simulated backoff a task with `retries` failed attempts
+    /// pays: `Σ backoff_secs(i)` for `i in 0..retries`.
+    pub fn backoff_total_secs(&self, retries: u32) -> f64 {
+        (0..retries).map(|i| self.backoff_secs(i)).sum()
     }
 }
 
@@ -198,6 +263,67 @@ mod tests {
     #[should_panic(expected = "probability")]
     fn rejects_certain_failure() {
         FaultPlan::with_probability(1.0, 0);
+    }
+
+    /// The validation-bypass fix: a struct-literal plan with an
+    /// out-of-range probability is clamped centrally, so the final
+    /// allowed attempt still never fails and jobs always finish.
+    #[test]
+    fn struct_literal_out_of_range_probability_is_clamped() {
+        for p in [1.0, 2.5, f64::INFINITY] {
+            let plan = FaultPlan {
+                fail_probability: p,
+                max_attempts: 4,
+                seed: 3,
+            };
+            assert!(plan.effective_probability() < 1.0);
+            for t in 0..50 {
+                assert!(!plan.fails(TaskKind::Map, t, plan.max_attempts - 1));
+                assert!(plan.attempts_for(TaskKind::Map, t) <= plan.max_attempts);
+            }
+        }
+        let nan = FaultPlan {
+            fail_probability: f64::NAN,
+            max_attempts: 4,
+            seed: 3,
+        };
+        assert_eq!(nan.effective_probability(), 0.0);
+        assert_eq!(nan.attempts_for(TaskKind::Reduce, 7), 1);
+        let neg = FaultPlan {
+            fail_probability: -0.5,
+            max_attempts: 4,
+            seed: 3,
+        };
+        assert_eq!(neg.attempts_for(TaskKind::Map, 0), 1);
+    }
+
+    /// Panic-vs-error mode is deterministic, independent of the
+    /// fail-or-not stream, and roughly balanced.
+    #[test]
+    fn panic_mode_is_deterministic_and_balanced() {
+        let p = FaultPlan::with_probability(0.5, 21);
+        let panics = (0..2_000)
+            .filter(|&t| p.panics(TaskKind::Map, t, 0))
+            .count();
+        assert!((800..1200).contains(&panics), "panic share {panics}/2000");
+        for t in 0..50 {
+            assert_eq!(p.panics(TaskKind::Map, t, 1), p.panics(TaskKind::Map, t, 1));
+        }
+        // Independence: agreement with the fails() stream is near 50 %.
+        let agree = (0..2_000)
+            .filter(|&t| p.fails(TaskKind::Map, t, 0) == p.panics(TaskKind::Map, t, 0))
+            .count();
+        assert!((800..1200).contains(&agree), "agreement {agree}/2000");
+    }
+
+    #[test]
+    fn backoff_is_exponential_and_summed() {
+        let p = FaultPlan::with_probability(0.5, 0);
+        assert!(p.backoff_secs(1) > p.backoff_secs(0));
+        assert_eq!(p.backoff_total_secs(0), 0.0);
+        let total = p.backoff_total_secs(3);
+        let by_hand = p.backoff_secs(0) + p.backoff_secs(1) + p.backoff_secs(2);
+        assert!((total - by_hand).abs() < 1e-12);
     }
 
     #[test]

@@ -25,10 +25,13 @@
 //! with replication and locality), [`job`] (the MRJ programming model),
 //! [`engine`] (single-job execution), [`cluster`] (multi-job plans with
 //! dependencies and bounded processing units), [`sink`] (streamed
-//! row-batch delivery for terminal jobs), [`metrics`].
+//! row-batch delivery for terminal jobs), [`cancel`] (cooperative
+//! cancellation tokens with deadlines), [`faults`] (real fault
+//! injection with bounded retries), [`metrics`].
 
 #![warn(missing_docs)]
 
+pub mod cancel;
 pub mod cluster;
 pub mod config;
 pub mod dfs;
@@ -39,6 +42,7 @@ pub mod job;
 pub mod metrics;
 pub mod sink;
 
+pub use cancel::CancelToken;
 pub use cluster::{Cluster, PlanExecution, PlanJob, PlanStage};
 pub use config::{ClusterConfig, HadoopParams, HardwareProfile};
 pub use dfs::{logical_file_name, Block, BlockId, Dfs, DfsFile};

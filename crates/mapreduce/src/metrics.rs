@@ -55,6 +55,14 @@ pub struct JobMetrics {
     pub map_attempts: u32,
     /// Total reduce task attempts (= reduce_tasks when no faults).
     pub reduce_attempts: u32,
+    /// Map attempts that *really* aborted mid-execution and were rerun
+    /// on the host (not just simulated-clock charges).
+    pub real_map_retries: u32,
+    /// Reduce attempts that really aborted and were rerun on the host.
+    pub real_reduce_retries: u32,
+    /// Task panics caught by the engine's `catch_unwind` isolation
+    /// (injected panic-mode faults plus any real job panics).
+    pub panics_caught: u32,
 
     /// Input blocks considered by zone-map routing (= map tasks before
     /// skipping; 0 when skipping was off or the job had no filter).

@@ -15,8 +15,8 @@ use mwtj_cost::{schedule_malleable, CostModel, MalleableJob};
 use mwtj_hilbert::PartitionStrategy;
 use mwtj_join::{ChainThetaJob, IntermediateShape, PairJob, PairStrategy};
 use mwtj_mapreduce::{
-    BatchSink, Cluster, ExecError, FaultPlan, InputSpec, JobMetrics, PlanJob, PlanStage, RowBatch,
-    SinkSpec,
+    BatchSink, CancelToken, Cluster, ExecError, FaultPlan, InputSpec, JobMetrics, PlanJob,
+    PlanStage, RowBatch, SinkSpec,
 };
 use mwtj_query::theta::CompiledPredicate;
 use mwtj_query::MultiwayQuery;
@@ -62,6 +62,11 @@ pub struct ExecOptions {
     /// bit-identical to a buffered run. The returned
     /// [`QueryRun::output`] is then empty (schema only).
     pub sink: Option<SinkSpec>,
+    /// Cooperative cancellation token for this run: checked before
+    /// each job dispatch and, inside jobs, at task-attempt and
+    /// stream-batch granularity. Carries the query deadline when one
+    /// was set; `None` = the run cannot be cancelled.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for ExecOptions {
@@ -75,6 +80,7 @@ impl Default for ExecOptions {
             ticket: 0,
             sink: None,
             skipping: true,
+            cancel: None,
         }
     }
 }
@@ -199,7 +205,36 @@ pub struct QueryRun {
     pub granted_units: u32,
 }
 
+/// Real fault-handling totals across every job of one run — attempts
+/// actually executed on the host, reruns after real mid-execution
+/// aborts, and panics the engine's `catch_unwind` isolation contained.
+/// All derived from [`JobMetrics`]; a fault-free run has
+/// `real_retries == 0`, `panics_caught == 0` and `attempts` equal to
+/// the task count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultTotals {
+    /// Task attempts really executed (map + reduce, including reruns).
+    pub attempts: u64,
+    /// Attempts that really aborted mid-execution and were rerun.
+    pub real_retries: u64,
+    /// Panics caught by the engine's panic isolation.
+    pub panics_caught: u64,
+}
+
 impl QueryRun {
+    /// Real fault-handling totals across every job of the run: host
+    /// attempt counts, real retries, and caught panics. Zeros when no
+    /// fault plan was active and no job panicked.
+    pub fn fault_totals(&self) -> FaultTotals {
+        let mut t = FaultTotals::default();
+        for j in &self.jobs {
+            t.attempts += u64::from(j.map_attempts) + u64::from(j.reduce_attempts);
+            t.real_retries += u64::from(j.real_map_retries) + u64::from(j.real_reduce_retries);
+            t.panics_caught += u64::from(j.panics_caught);
+        }
+        t
+    }
+
     /// Zone-map pruning totals across every job of the run:
     /// `(blocks considered, blocks pruned, pairs examined, pairs
     /// pruned, rows considered, rows pruned)`. All zeros when skipping
@@ -686,7 +721,12 @@ impl Planner {
                 stages.push(PlanStage { jobs });
             }
         }
-        let exec = cluster.try_run_plan(stages, opts.faults.as_ref(), opts.skipping)?;
+        let exec = cluster.try_run_plan(
+            stages,
+            opts.faults.as_ref(),
+            opts.skipping,
+            opts.cancel.as_ref(),
+        )?;
         let mut sim_secs = exec.total_secs;
         let mut jobs_metrics = exec.job_metrics;
         let mut plan_desc = format!(
@@ -806,6 +846,7 @@ impl Planner {
                     faults,
                     spec,
                     opts.skipping,
+                    opts.cancel.as_ref(),
                 )?,
                 None => cluster.engine().try_run_with(
                     &job,
@@ -815,6 +856,7 @@ impl Planner {
                     if last { None } else { Some(&out_file) },
                     faults,
                     opts.skipping,
+                    opts.cancel.as_ref(),
                 )?,
             };
             sim += run.metrics.sim_total_secs;
@@ -842,6 +884,9 @@ impl Planner {
             // the caller still sees a well-formed stream.
             let mut rows = rel.into_rows();
             while !rows.is_empty() {
+                if let Some(token) = opts.cancel.as_ref() {
+                    token.check().map_err(PlanError::Exec)?;
+                }
                 let rest = rows.split_off(rows.len().min(spec.batch_rows));
                 if !spec.sink.send(RowBatch { rows }) {
                     return Err(PlanError::Exec(ExecError::Cancelled));
@@ -992,6 +1037,7 @@ impl Planner {
                     faults,
                     spec,
                     opts.skipping,
+                    opts.cancel.as_ref(),
                 )?,
                 None => cluster.engine().try_run_with(
                     &job,
@@ -1001,6 +1047,7 @@ impl Planner {
                     if last { None } else { Some(&out_file) },
                     faults,
                     opts.skipping,
+                    opts.cancel.as_ref(),
                 )?,
             };
             sim += run.metrics.sim_total_secs;

@@ -35,8 +35,24 @@
 //!
 //! The option syntax is exactly [`RunOptions`]'s `Display`/`FromStr`
 //! round-trip (`ours`, `ours:grid`, `hive+calibrated`,
-//! `pig+faults=0.25@99/4`), so the wire format needs no parsing
-//! machinery of its own.
+//! `pig+faults=0.25@99/4`, `ours+deadline=500`), so the wire format
+//! needs no parsing machinery of its own — `+deadline=<ms>` bounds the
+//! query's real wall-clock time including queueing.
+//!
+//! ## Flow-control frames
+//!
+//! Two failure frames are machine-readable rather than free text:
+//!
+//! ```text
+//! err overloaded retry_after=<ms>   -- admission queue at capacity;
+//!                                      back off and resend
+//! err deadline exceeded             -- the request's +deadline=<ms>
+//!                                      passed (queued or mid-run)
+//! ```
+//!
+//! `stats` reports the engine-wide fault counters alongside the
+//! plan-cache and zone-map fields: `task_attempts`, `real_retries`,
+//! `panics_caught`, `deadline_exceeded` and `shed`.
 //!
 //! ## Streaming frames
 //!
@@ -822,6 +838,11 @@ mod tests {
                 ("skip_fraction", "0.750000".into()),
                 ("zone_map_hits", "2".into()),
                 ("zone_map_misses", "1".into()),
+                ("task_attempts", "42".into()),
+                ("real_retries", "5".into()),
+                ("panics_caught", "3".into()),
+                ("deadline_exceeded", "1".into()),
+                ("shed", "2".into()),
             ],
             None,
         );
@@ -845,6 +866,11 @@ mod tests {
             "zone_rows_pruned",
             "zone_map_hits",
             "zone_map_misses",
+            "task_attempts",
+            "real_retries",
+            "panics_caught",
+            "deadline_exceeded",
+            "shed",
         ] {
             let v = fields.get(k).unwrap_or_else(|| panic!("missing {k}"));
             assert!(v.parse::<u64>().is_ok(), "{k}={v}");

@@ -342,6 +342,30 @@ fn serve_streaming(
     }
 }
 
+/// How long an `err overloaded` frame tells the client to back off
+/// before retrying. One round of the scheduler's shortest jobs drains
+/// well within this on the demo corpus; clients may of course apply
+/// their own jittered backoff on top.
+const OVERLOAD_RETRY_AFTER_MS: u64 = 100;
+
+/// Render an engine failure as its wire frame. Flow-control failures
+/// get machine-readable frames the client can act on: admission
+/// shedding at queue capacity answers `err overloaded
+/// retry_after=<ms>`, and a blown per-query deadline answers
+/// `err deadline exceeded` whether it expired in the admission queue
+/// or mid-execution. Everything else is the error's display text.
+fn engine_err_response(e: &EngineError) -> String {
+    if e.is_overloaded() {
+        err_response(format_args!(
+            "overloaded retry_after={OVERLOAD_RETRY_AFTER_MS}"
+        ))
+    } else if e.is_deadline_exceeded() {
+        err_response("deadline exceeded")
+    } else {
+        err_response(e)
+    }
+}
+
 /// Drive an admitted (or refused) stream to completion through
 /// `write`: schema frame, batch frames, end frame; engine errors
 /// become `err` frames.
@@ -351,7 +375,7 @@ fn pump_stream(
 ) -> io::Result<()> {
     let mut stream = match stream {
         Ok(s) => s,
-        Err(e) => return write(&err_response(e)),
+        Err(e) => return write(&engine_err_response(&e)),
     };
     let schema = stream.schema().clone();
     write(&schema_frame(&schema))?;
@@ -377,7 +401,7 @@ fn pump_stream(
                     .expect("next_batch returned None without an end");
                 return write(&end_frame(end));
             }
-            Err(e) => return write(&err_response(e)),
+            Err(e) => return write(&engine_err_response(&e)),
         }
     }
 }
@@ -408,6 +432,8 @@ fn handle_request(engine: &Engine, stmts: &mut StmtTable, request: Request) -> (
         Request::Stats => {
             let st = engine.plan_cache_stats();
             let zs = engine.zone_skip_stats();
+            let fs = engine.fault_stats();
+            let shed = engine.scheduler().stats().shed;
             let (zmap_hits, zmap_misses) = engine.cluster().dfs().zone_cache_stats();
             let fields = [
                 ("entries", st.entries.to_string()),
@@ -422,6 +448,11 @@ fn handle_request(engine: &Engine, stmts: &mut StmtTable, request: Request) -> (
                 ("skip_fraction", format!("{:.6}", zs.skip_fraction())),
                 ("zone_map_hits", zmap_hits.to_string()),
                 ("zone_map_misses", zmap_misses.to_string()),
+                ("task_attempts", fs.attempts.to_string()),
+                ("real_retries", fs.real_retries.to_string()),
+                ("panics_caught", fs.panics_caught.to_string()),
+                ("deadline_exceeded", fs.deadline_exceeded.to_string()),
+                ("shed", shed.to_string()),
             ];
             (ok_response(&fields, None), Action::Continue)
         }
@@ -449,7 +480,7 @@ fn handle_request(engine: &Engine, stmts: &mut StmtTable, request: Request) -> (
         } => match stmts.get(id) {
             Ok(prepared) => match engine.execute(prepared, &params, &opts) {
                 Ok(run) => (run_response(&run), Action::Continue),
-                Err(e) => (err_response(e), Action::Continue),
+                Err(e) => (engine_err_response(&e), Action::Continue),
             },
             Err(e) => (err_response(e), Action::Continue),
         },
@@ -522,7 +553,7 @@ fn handle_request(engine: &Engine, stmts: &mut StmtTable, request: Request) -> (
             Action::Continue,
         ),
         Request::Run { opts, sql } => match engine.run_sql_with("server", &sql, &opts) {
-            Err(e) => (err_response(e), Action::Continue),
+            Err(e) => (engine_err_response(&e), Action::Continue),
             Ok(run) => (run_response(&run), Action::Continue),
         },
     }

@@ -1,0 +1,65 @@
+#!/usr/bin/env bash
+# CI smoke for real fault execution: boot the demo server, run the
+# same query with and without 0.3-probability fault injection, and
+# assert (a) the two result bodies are byte-identical (retries rerun
+# tasks from materialised input — results never change), (b) the
+# `stats` frame proves the retries really happened (real_retries > 0,
+# panics_caught > 0 for the catch_unwind path), and (c) a
+# `+deadline=0` run answers the typed `err deadline exceeded` frame.
+# Expects the release binary (cargo build --release -p mwtj-server).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=./target/release/mwtj-server
+
+# Enough rows for several map blocks and reduce partitions, so a 0.3
+# fault rate reliably selects some attempts.
+BIG=$(awk 'BEGIN{for(i=0;i<6000;i++){printf "%d,%d",i%97,i; if(i<5999) printf ";"}}')
+SQL='SELECT x.a, y.b FROM big x, big2 y WHERE x.a = y.a AND x.b < y.b'
+
+OUT=$(printf '%s\n' \
+  "load big a:int,b:int $BIG" \
+  "load big2 a:int,b:int $BIG" \
+  "run ours $SQL" \
+  'ping' \
+  "run ours+faults=0.3@7/4 $SQL" \
+  'ping' \
+  "run ours+deadline=0 $SQL" \
+  'ping' \
+  'stats' \
+  'quit' \
+  | "$BIN" --stdin)
+
+grep -q 'rows=6000' <<<"$OUT" \
+  || { echo "faults smoke: relation did not load"; echo "$OUT" | head; exit 1; }
+
+# The clean and fault-injected result bodies (between `ok rows=`
+# headers and `ok pong` sentinels) must be byte-identical, in order:
+# injected faults really abort attempts, yet never change the answer.
+CLEAN=$(awk '/^ok rows=/{grab=(++seen==1); next} /^ok pong$/{grab=0} grab' <<<"$OUT")
+FAULTY=$(awk '/^ok rows=/{grab=(++seen==2); next} /^ok pong$/{grab=0} grab' <<<"$OUT")
+[ -n "$CLEAN" ] || { echo "faults smoke: no clean result"; echo "$OUT" | head; exit 1; }
+[ -n "$FAULTY" ] || { echo "faults smoke: no faulty result"; echo "$OUT" | head; exit 1; }
+if [ "$CLEAN" != "$FAULTY" ]; then
+  echo "faults smoke: fault-injected result differs from clean result"
+  diff <(echo "$CLEAN") <(echo "$FAULTY") | head
+  exit 1
+fi
+
+# The blown deadline must answer the typed frame, not a success or a
+# free-text error.
+grep -q '^err deadline exceeded$' <<<"$OUT" \
+  || { echo "faults smoke: no typed deadline frame"; echo "$OUT" | grep '^err' | head; exit 1; }
+
+# The stats frame must prove the retries were real.
+STATS=$(grep '^ok entries=' <<<"$OUT" | tail -1)
+RETRIES=$(sed -n 's/.* real_retries=\([0-9]*\).*/\1/p' <<<"$STATS")
+PANICS=$(sed -n 's/.* panics_caught=\([0-9]*\).*/\1/p' <<<"$STATS")
+ATTEMPTS=$(sed -n 's/.* task_attempts=\([0-9]*\).*/\1/p' <<<"$STATS")
+[ "${RETRIES:-0}" -gt 0 ] \
+  || { echo "faults smoke: real_retries not > 0: $STATS"; exit 1; }
+[ "${PANICS:-0}" -gt 0 ] \
+  || { echo "faults smoke: panics_caught not > 0 (catch_unwind path untested): $STATS"; exit 1; }
+
+ROWS_HDR=$(grep -m1 '^ok rows=' <<<"$OUT")
+echo "faults smoke: byte parity on $ROWS_HDR, attempts=$ATTEMPTS real_retries=$RETRIES panics_caught=$PANICS"

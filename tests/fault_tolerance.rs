@@ -1,11 +1,15 @@
-//! Fault-tolerance integration tests: injected task failures must
-//! never change results — only inflate the simulated clock.
+//! Fault-tolerance integration tests: injected task failures really
+//! abort attempts mid-execution (error- and panic-mode), the engine
+//! retries from materialised input, and results never change — only
+//! the simulated clock and the retry counters.
 
 use mwtj_datagen::SyntheticGen;
 use mwtj_join::{IntermediateShape, PairJob, PairStrategy};
-use mwtj_mapreduce::{ClusterConfig, Dfs, Engine, FaultPlan, InputSpec};
+use mwtj_mapreduce::{
+    ClusterConfig, Dfs, Emit, Engine, ExecError, FaultPlan, InputSpec, MrJob, TaggedRecord,
+};
 use mwtj_query::{QueryBuilder, ThetaOp};
-use mwtj_storage::Schema;
+use mwtj_storage::{Schema, Tuple};
 
 fn engine_with(fault: FaultPlan) -> (Engine, PairJob, Vec<InputSpec>) {
     let cfg = ClusterConfig::with_units(16);
@@ -93,6 +97,114 @@ fn fault_runs_are_reproducible() {
     let b = e2.run(&j2, &i2, 16, j2.reducers(), None);
     assert_eq!(a.metrics.map_attempts, b.metrics.map_attempts);
     assert!((a.metrics.sim_total_secs - b.metrics.sim_total_secs).abs() < 1e-12);
+}
+
+/// Retries are *real*: the metrics count actually-rerun attempts, the
+/// attempt totals add up (`attempts = tasks + real retries` when every
+/// task eventually succeeds), and roughly half the injected aborts die
+/// as caught panics rather than injected errors.
+#[test]
+fn real_retries_and_caught_panics_are_counted() {
+    let (engine, job, inputs) = engine_with(FaultPlan::with_probability(0.4, 1234));
+    let run = engine.run(&job, &inputs, 16, job.reducers(), None);
+    let m = &run.metrics;
+    assert!(
+        m.real_map_retries + m.real_reduce_retries > 0,
+        "a 40% failure rate must rerun some attempts for real"
+    );
+    assert_eq!(
+        m.map_attempts,
+        m.map_tasks + m.real_map_retries,
+        "every map attempt is either a task's success or a counted retry"
+    );
+    assert_eq!(
+        m.reduce_attempts,
+        m.reduce_tasks + m.real_reduce_retries,
+        "every reduce attempt is either a task's success or a counted retry"
+    );
+    assert!(
+        m.panics_caught > 0,
+        "panic-mode injection must exercise catch_unwind"
+    );
+    assert!(
+        m.panics_caught <= m.real_map_retries + m.real_reduce_retries,
+        "caught panics are a subset of real retries"
+    );
+}
+
+/// A job whose reduce genuinely panics on every attempt. Injected
+/// faults spare the final allowed attempt by construction, so only a
+/// real task bug like this can exhaust `max_attempts` — it must
+/// surface as a typed `TaskFailed`, not an engine crash.
+struct PanickingReduce;
+
+impl MrJob for PanickingReduce {
+    fn name(&self) -> String {
+        "always_panics".into()
+    }
+    fn output_schema(&self) -> Schema {
+        Schema::from_pairs("boom", &[("k", mwtj_storage::DataType::Int)])
+    }
+    fn map(&self, _tag: u8, row: &Tuple, _seed: u64, _idx: usize, emit: &mut Emit<'_>) {
+        emit(
+            0,
+            TaggedRecord {
+                tag: 0,
+                aux: 0,
+                tuple: row.clone(),
+            },
+        );
+    }
+    fn reduce(&self, _key: u64, _records: &[TaggedRecord], _out: &mut Vec<Tuple>) -> u64 {
+        panic!("deterministic task bug");
+    }
+}
+
+#[test]
+fn panicking_task_exhausts_attempts_into_typed_error() {
+    let cfg = ClusterConfig::with_units(8);
+    let gen = SyntheticGen::default();
+    let rel = gen.uniform_keys("s", 500, 50);
+    let dfs = Dfs::new();
+    dfs.put_relation("s", &rel, &cfg);
+    let engine = Engine::new(cfg, dfs);
+    let inputs = vec![InputSpec::new("s", 0)];
+    let err = engine
+        .try_run_with(
+            &PanickingReduce,
+            &inputs,
+            8,
+            4,
+            None,
+            &FaultPlan {
+                fail_probability: 0.0,
+                max_attempts: 3,
+                seed: 0,
+            },
+            false,
+            None,
+        )
+        .expect_err("an always-panicking reduce cannot succeed");
+    match err {
+        ExecError::TaskFailed {
+            stage,
+            attempts,
+            ref detail,
+            ..
+        } => {
+            assert_eq!(stage, "reduce");
+            assert_eq!(attempts, 3, "the full attempt budget is spent");
+            assert!(
+                detail.contains("panic"),
+                "detail carries the panic: {detail}"
+            );
+            assert!(
+                detail.contains("deterministic task bug"),
+                "detail carries the payload: {detail}"
+            );
+        }
+        other => panic!("expected TaskFailed, got {other}"),
+    }
 }
 
 #[test]

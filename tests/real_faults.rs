@@ -1,0 +1,391 @@
+//! End-to-end real-fault execution: fault-injected runs are
+//! bit-identical to fault-free runs across every method and partition
+//! strategy (buffered and streamed), per-query deadlines kill in-flight
+//! runs with full resource release, and failing runs never leak
+//! scheduler units — the tentpole guarantees, asserted at the engine's
+//! public API.
+
+use mwtj_core::{Engine, EngineError, Method, RunOptions, StreamOptions};
+use mwtj_datagen::{MobileGen, SyntheticGen};
+use mwtj_hilbert::PartitionStrategy;
+use mwtj_join::oracle::canonicalize;
+use mwtj_mapreduce::FaultPlan;
+use mwtj_query::{MultiwayQuery, QueryBuilder, ThetaOp};
+use mwtj_storage::{Schema, Tuple};
+
+/// An engine with the calls table under enough aliases for several
+/// distinct queries.
+fn serving_engine(units: u32) -> Engine {
+    let gen = MobileGen {
+        users: 150,
+        base_stations: 25,
+        days: 8,
+        ..Default::default()
+    };
+    let engine = Engine::with_units(units);
+    let _ = engine.load_relation(&gen.generate("calls", 140));
+    for inst in ["t1", "t2", "t3"] {
+        let _ = engine.load_alias_of("calls", inst).expect("base loaded");
+    }
+    engine
+}
+
+fn inst_schema(engine: &Engine, name: &str) -> Schema {
+    let rel = engine.relation(name).expect("loaded");
+    let fields = rel
+        .schema()
+        .fields()
+        .iter()
+        .filter(|f| f.name != mwtj_core::RID_COLUMN)
+        .cloned()
+        .collect();
+    Schema::new(name, fields)
+}
+
+/// A three-way chain query exercising both chain MRJs (space
+/// partitioning) and merge jobs.
+fn three_way(engine: &Engine) -> MultiwayQuery {
+    QueryBuilder::new("three_way")
+        .relation(inst_schema(engine, "t1"))
+        .relation(inst_schema(engine, "t2"))
+        .relation(inst_schema(engine, "t3"))
+        .join("t1", "bt", ThetaOp::Le, "t2", "bt")
+        .join("t2", "bsc", ThetaOp::Eq, "t3", "bsc")
+        .build()
+        .expect("query builds")
+}
+
+fn pair_query(engine: &Engine, name: &str, col: &str, op: ThetaOp) -> MultiwayQuery {
+    QueryBuilder::new(name)
+        .relation(inst_schema(engine, "t1"))
+        .relation(inst_schema(engine, "t2"))
+        .join("t1", col, op, "t2", col)
+        .build()
+        .expect("query builds")
+}
+
+/// Rows in output order plus the plan text: the "bit-identical"
+/// fingerprint a faulty run must reproduce exactly (not just as a
+/// multiset).
+fn fingerprint(run: &mwtj_core::QueryRun) -> (Vec<Tuple>, String) {
+    (run.output.clone().into_rows(), run.plan.clone())
+}
+
+/// The tentpole differential property: for every method × partition
+/// strategy, a run with 0.3-probability injected faults (error- and
+/// panic-mode, really aborting attempts) produces the *identical*
+/// ordered rows and plan as the fault-free run — and across the sweep
+/// the retries are real (counted in `fault_totals`).
+#[test]
+fn faulty_runs_are_bit_identical_across_methods_and_partitions() {
+    let engine = serving_engine(16);
+    let q = three_way(&engine);
+    let methods = [
+        Method::Ours,
+        Method::OursGrid,
+        Method::YSmart,
+        Method::Hive,
+        Method::Pig,
+    ];
+    let strategies = [
+        PartitionStrategy::Hilbert,
+        PartitionStrategy::Grid,
+        PartitionStrategy::ZOrder,
+    ];
+    let mut total_attempts = 0u64;
+    let mut total_retries = 0u64;
+    let mut total_panics = 0u64;
+    for (mi, method) in methods.iter().enumerate() {
+        for (si, strategy) in strategies.iter().enumerate() {
+            let base = RunOptions::new().method(*method).partition(*strategy);
+            let clean = engine.run(&q, &base).expect("clean run");
+            let faulty_opts = base
+                .clone()
+                .fault_plan(FaultPlan::with_probability(0.3, 7 + (mi * 3 + si) as u64));
+            let faulty = engine.run(&q, &faulty_opts).expect("faulty run");
+            assert_eq!(
+                fingerprint(&clean),
+                fingerprint(&faulty),
+                "{method:?}/{strategy:?}: faults must not change rows or plan"
+            );
+            let t = faulty.fault_totals();
+            total_attempts += t.attempts;
+            total_retries += t.real_retries;
+            total_panics += t.panics_caught;
+        }
+    }
+    assert!(
+        total_retries > 0,
+        "a 0.3 fault rate across 15 runs must rerun some attempts (attempts={total_attempts})"
+    );
+    assert!(
+        total_panics > 0,
+        "panic-mode injection must exercise catch_unwind end-to-end"
+    );
+    assert!(
+        total_panics <= total_retries,
+        "caught panics are a subset of real retries"
+    );
+}
+
+/// Streamed execution under faults: the concatenated batches equal the
+/// buffered fault-free output in order, and the stream's end metrics
+/// show the retries happened.
+#[test]
+fn streamed_faulty_runs_match_buffered_clean_runs() {
+    let engine = serving_engine(16);
+    let q = pair_query(&engine, "eq_d", "d", ThetaOp::Eq);
+    for method in [Method::Ours, Method::Hive] {
+        let base = RunOptions::new().method(method);
+        let clean = engine.run(&q, &base).expect("clean buffered run");
+        let faulty = base
+            .clone()
+            .fault_plan(FaultPlan::with_probability(0.35, 41));
+        let mut stream = engine
+            .run_streamed(&q, &faulty, &StreamOptions::default())
+            .expect("stream admits");
+        let mut rows: Vec<Tuple> = Vec::new();
+        while let Some(batch) = stream.next_batch().expect("stream batch") {
+            rows.extend(batch.rows);
+        }
+        let end = stream.end().expect("stream end");
+        assert_eq!(
+            rows,
+            clean.output.clone().into_rows(),
+            "{method:?}: streamed faulty rows must equal buffered clean rows in order"
+        );
+        let attempts: u64 = end
+            .jobs
+            .iter()
+            .map(|m| (m.map_attempts + m.reduce_attempts) as u64)
+            .sum();
+        let tasks: u64 = end
+            .jobs
+            .iter()
+            .map(|m| (m.map_tasks + m.reduce_tasks) as u64)
+            .sum();
+        assert!(
+            attempts > tasks,
+            "{method:?}: a 35% fault rate must retry for real ({attempts} attempts, {tasks} tasks)"
+        );
+    }
+}
+
+/// A query whose deadline passes while it is parked in the admission
+/// queue is refused with a typed deadline error, counted as shed, and
+/// never holds units; the same query admits normally once the budget
+/// frees up.
+#[test]
+fn queued_deadline_refusal_is_typed_and_sheds() {
+    let engine = serving_engine(8);
+    let q = pair_query(&engine, "eq_d", "d", ThetaOp::Eq);
+    let hold = engine.scheduler().admit(8).expect("hold the whole budget");
+    let before = engine.scheduler().stats();
+    let err = engine
+        .run(&q, &RunOptions::new().deadline_ms(60))
+        .expect_err("queued past its deadline");
+    assert!(
+        err.is_deadline_exceeded(),
+        "typed deadline refusal, got: {err}"
+    );
+    let after = engine.scheduler().stats();
+    assert_eq!(after.shed, before.shed + 1, "the refusal is counted");
+    assert_eq!(after.queued_now, 0, "the refused query left the queue");
+    assert_eq!(
+        after.in_flight_units, 8,
+        "only the hold's units are out — the refused query held none"
+    );
+    drop(hold);
+    let run = engine
+        .run(&q, &RunOptions::new().deadline_ms(60_000))
+        .expect("admits normally with budget free and a live deadline");
+    assert_eq!(
+        canonicalize(run.output.into_rows()),
+        canonicalize(engine.oracle(&q).expect("oracle")),
+    );
+}
+
+/// A deadline expiring mid-run cancels the query cooperatively and
+/// fails it with a typed error, releasing the admission ticket and
+/// every intermediate `__run<tag>_` DFS file — the engine stays fully
+/// usable and the kill is counted.
+#[test]
+fn mid_execution_deadline_kill_releases_everything() {
+    // Enough data that a three-way run takes well over the deadline,
+    // without a combinatorial output (2 rows per key keeps the eq-chain
+    // output linear in the input).
+    let gen = SyntheticGen::default();
+    let engine = Engine::with_units(8);
+    let _ = engine.load_relation(&gen.uniform_keys("s", 8_000, 4_000));
+    for inst in ["a", "b", "c"] {
+        let _ = engine.load_alias_of("s", inst).expect("base loaded");
+    }
+    let q = QueryBuilder::new("killme")
+        .relation(inst_schema(&engine, "a"))
+        .relation(inst_schema(&engine, "b"))
+        .relation(inst_schema(&engine, "c"))
+        .join("a", "k", ThetaOp::Eq, "b", "k")
+        .join("b", "k", ThetaOp::Eq, "c", "k")
+        .build()
+        .expect("query builds");
+    let before_files = engine.cluster().dfs().list();
+    let err = engine
+        .run(&q, &RunOptions::new().deadline_ms(3))
+        .expect_err("a multi-job run cannot finish in 3ms");
+    assert!(err.is_deadline_exceeded(), "typed deadline kill, got {err}");
+    // Killed in the queue (counted as shed) or mid-run (counted as a
+    // deadline kill) — either way it is counted somewhere.
+    let fs = engine.fault_stats();
+    let shed = engine.scheduler().stats().shed;
+    assert!(
+        fs.deadline_exceeded + shed >= 1,
+        "the kill must be counted (deadline_exceeded={}, shed={shed})",
+        fs.deadline_exceeded
+    );
+    // Full release: units back, no run-namespace files left behind.
+    assert_eq!(engine.scheduler().stats().in_flight_units, 0);
+    let leaked: Vec<String> = engine
+        .cluster()
+        .dfs()
+        .list()
+        .into_iter()
+        .filter(|f| f.starts_with("__run") && !before_files.contains(f))
+        .collect();
+    assert!(leaked.is_empty(), "leaked run files: {leaked:?}");
+    // The engine is fully usable afterwards: the same query, undead-
+    // lined, runs to completion deterministically.
+    let a = engine.run(&q, &RunOptions::new()).expect("engine survives");
+    let b = engine.run(&q, &RunOptions::new()).expect("still healthy");
+    assert!(!a.output.is_empty(), "the chain join has matches");
+    assert_eq!(a.output.into_rows(), b.output.into_rows());
+}
+
+/// Satellite regression: failing runs — streamed or buffered — return
+/// their admission units. Repeated failures must never shrink the
+/// scheduler's free budget.
+#[test]
+fn failing_runs_never_shrink_the_scheduler_budget() {
+    let engine = serving_engine(8);
+    let q = three_way(&engine);
+    for i in 0..4 {
+        // Alternate buffered and streamed kills.
+        let opts = RunOptions::new().deadline_ms(if i % 2 == 0 { 0 } else { 1 });
+        if i % 2 == 0 {
+            let _ = engine.run(&q, &opts);
+        } else {
+            if let Ok(mut stream) = engine.run_streamed(&q, &opts, &StreamOptions::default()) {
+                while let Ok(Some(_)) = stream.next_batch() {}
+            }
+        }
+    }
+    // The streaming worker releases its ticket asynchronously; give it
+    // a moment, then the budget must be whole again.
+    let deadline = std::time::Instant::now() + std::time::Duration::from_secs(5);
+    loop {
+        let st = engine.scheduler().stats();
+        if st.in_flight_units == 0 {
+            break;
+        }
+        assert!(
+            std::time::Instant::now() < deadline,
+            "units never returned: {st:?}"
+        );
+        std::thread::sleep(std::time::Duration::from_millis(10));
+    }
+    // And a full-budget admission still succeeds instantly.
+    let ticket = engine.scheduler().admit(8).expect("budget is whole");
+    assert_eq!(ticket.granted(), 8);
+}
+
+/// Satellite chaos soak: ≥8 concurrent queries mixing every method,
+/// 0.3-probability faults and a spread of deadlines over one shared
+/// engine. Completed queries are bit-identical to the sequential
+/// fault-free oracle; deadline-killed queries fail with typed errors;
+/// the scheduler budget returns to full.
+#[test]
+fn chaos_soak_mixed_methods_faults_and_deadlines() {
+    let engine = serving_engine(32);
+    let shapes = [
+        ("eq_d", "d", ThetaOp::Eq),
+        ("lt_bt", "bt", ThetaOp::Lt),
+        ("ge_l", "l", ThetaOp::Ge),
+        ("ne_bsc", "bsc", ThetaOp::Ne),
+    ];
+    let mut queries: Vec<MultiwayQuery> = shapes
+        .iter()
+        .map(|(n, c, op)| pair_query(&engine, n, c, *op))
+        .collect();
+    queries.push(three_way(&engine));
+    let methods = [
+        Method::Ours,
+        Method::OursGrid,
+        Method::YSmart,
+        Method::Hive,
+        Method::Pig,
+    ];
+    // 10 jobs: every method at least twice, a deterministic spread of
+    // deadlines — generous ones that must not fire, tiny ones that may
+    // kill mid-run, and none.
+    let deadlines: [Option<u64>; 10] = [
+        None,
+        Some(60_000),
+        Some(2),
+        None,
+        Some(1),
+        Some(60_000),
+        None,
+        Some(3),
+        None,
+        Some(60_000),
+    ];
+    let jobs: Vec<(usize, Method, Option<u64>)> = (0..10)
+        .map(|i| (i % queries.len(), methods[i % methods.len()], deadlines[i]))
+        .collect();
+    assert!(jobs.len() >= 8, "soak demands ≥8 concurrent queries");
+    let results: Vec<Result<mwtj_core::QueryRun, EngineError>> = std::thread::scope(|s| {
+        let handles: Vec<_> = jobs
+            .iter()
+            .map(|(qi, method, deadline)| {
+                let engine = &engine;
+                let q = &queries[*qi];
+                let mut opts = RunOptions::new()
+                    .method(*method)
+                    .fault_plan(FaultPlan::with_probability(0.3, 1000 + *qi as u64));
+                if let Some(ms) = deadline {
+                    opts = opts.deadline_ms(*ms);
+                }
+                s.spawn(move || engine.run(q, &opts))
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("no worker panics through the engine"))
+            .collect()
+    });
+    for ((qi, method, deadline), result) in jobs.iter().zip(results) {
+        match result {
+            Ok(run) => {
+                let want = canonicalize(engine.oracle(&queries[*qi]).expect("oracle"));
+                assert_eq!(
+                    canonicalize(run.output.into_rows()),
+                    want,
+                    "{method:?} on query {qi} under chaos must match the oracle"
+                );
+            }
+            Err(e) => {
+                assert!(
+                    deadline.is_some_and(|ms| ms < 60_000),
+                    "only tiny-deadline queries may fail, got {e} for {method:?}/{deadline:?}"
+                );
+                assert!(
+                    e.is_deadline_exceeded() || e.is_overloaded(),
+                    "chaos failures must be typed flow-control errors, got {e}"
+                );
+            }
+        }
+    }
+    // The soak must leave the budget whole.
+    let st = engine.scheduler().stats();
+    assert_eq!(st.in_flight_units, 0, "budget leaked: {st:?}");
+    assert_eq!(st.queued_now, 0);
+}
