@@ -143,7 +143,7 @@ fn measure(w: &Workload, rows: usize, iters: usize, quick: bool) -> Measurement 
     }
     let cold_elapsed = t.elapsed().as_secs_f64();
     assert_eq!(
-        e_cold.plan_cache_stats().hits,
+        e_cold.stats_snapshot().plan_cache.hits,
         0,
         "cold arm must never hit the plan cache"
     );
@@ -160,7 +160,7 @@ fn measure(w: &Workload, rows: usize, iters: usize, quick: bool) -> Measurement 
             .expect("execute");
     }
     let prep_elapsed = t.elapsed().as_secs_f64();
-    let st = e_prep.plan_cache_stats();
+    let st = e_prep.stats_snapshot().plan_cache;
     assert_eq!(st.misses, 1, "prepared path must plan exactly once");
     assert_eq!(st.hits as usize, iters - 1, "every later execute must hit");
 

@@ -17,7 +17,8 @@ use crate::options::{Method, RunOptions};
 use crate::scheduler::{AdmissionPolicy, Scheduler, Ticket};
 use mwtj_cost::{CalibratedParams, Calibrator, CostModel};
 use mwtj_join::oracle::oracle_join;
-use mwtj_mapreduce::{CancelToken, Cluster, ClusterConfig, ExecError};
+use mwtj_mapreduce::{CancelToken, Cluster, ClusterConfig, ExecError, JobMetrics};
+use mwtj_obs::{next_trace_id, QueryProfile, Registry, Span, SpanRecord};
 use mwtj_planner::{Baseline, PlanError, Planner, QueryPlan, QueryRun};
 use mwtj_query::{MultiwayQuery, ParsedQuery};
 use mwtj_storage::{DataType, Field, Relation, RelationStats, Schema, Tuple, Value};
@@ -175,6 +176,34 @@ pub struct PlanCacheStats {
     pub replans: u64,
 }
 
+/// One coherent snapshot of every engine-wide counter group the
+/// server's `stats` command reports, gathered by a single
+/// [`Engine::stats_snapshot`] call. The previous protocol
+/// implementation read each group through a separate accessor, so a
+/// frame could pair plan-cache counters from before a run with fault
+/// counters from after it; a snapshot is assembled at one point in
+/// time instead.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EngineStats {
+    /// Shared plan-cache counters.
+    pub plan_cache: PlanCacheStats,
+    /// Engine-wide zone-map pruning totals.
+    pub zone: ZoneSkipStats,
+    /// Engine-wide real fault-handling totals.
+    pub faults: FaultStats,
+    /// Admission-controller counters.
+    pub scheduler: crate::scheduler::SchedulerStats,
+    /// DFS zone-map cache hits (namespaced instances sharing a base's
+    /// maps).
+    pub zone_cache_hits: u64,
+    /// DFS zone-map cache misses.
+    pub zone_cache_misses: u64,
+    /// Units the most recent `Ours` admission requested.
+    pub last_admission_request: u32,
+    /// The statistics epoch at snapshot time.
+    pub epoch: u64,
+}
+
 /// Process-unique engine ids (see [`Engine::engine_id`]); a freed
 /// engine's id is never reused, unlike its `Arc` allocation address.
 static NEXT_ENGINE_ID: AtomicU64 = AtomicU64::new(1);
@@ -230,6 +259,14 @@ struct Shared {
     fault_retries: AtomicU64,
     fault_panics: AtomicU64,
     deadline_exceeded: AtomicU64,
+    /// Engine-local metrics registry: the one naming scheme behind the
+    /// server's `metrics` verb. Engine-local (not the process-global
+    /// [`mwtj_obs::global`] registry) so concurrent engines — every
+    /// test builds its own — never cross-contaminate scrapes.
+    metrics: Registry,
+    /// Engine-wide slow-query threshold in milliseconds (0 = off).
+    /// A run's [`RunOptions::slow_query_ms`] overrides it per query.
+    slow_query_ms: AtomicU64,
 }
 
 /// The top-level system: cluster + DFS + statistics + planner behind
@@ -263,6 +300,18 @@ pub(crate) struct Admitted {
     /// *before* admission, so time parked in the admission queue counts
     /// against it). `None` when the run has no deadline.
     pub(crate) cancel: Option<CancelToken>,
+    /// Process-unique trace id for this run, also stamped on the
+    /// ticket; [`Engine::execute_admitted`] stamps it on the finished
+    /// run and its per-job metrics.
+    pub(crate) trace_id: u64,
+    /// Finished pre-execution spans (plan, admission wait — the SQL
+    /// paths push a parse span in front) in lifecycle order; empty
+    /// when the run's options disabled tracing.
+    pub(crate) spans: Vec<SpanRecord>,
+    /// When admission started — anchors the end-to-end latency the
+    /// `mwtj_query_latency_ms` histogram observes and the profile
+    /// root's wall time.
+    pub(crate) started: std::time::Instant,
 }
 
 /// The namespace-stripped shape of a query: its Display form with the
@@ -319,6 +368,8 @@ impl Engine {
                 fault_retries: AtomicU64::new(0),
                 fault_panics: AtomicU64::new(0),
                 deadline_exceeded: AtomicU64::new(0),
+                metrics: Registry::new(),
+                slow_query_ms: AtomicU64::new(0),
             }),
         }
     }
@@ -351,45 +402,91 @@ impl Engine {
         self.shared.plan_cache.read().len()
     }
 
-    /// Counter snapshot of the shared plan cache
-    /// (hits/misses/evictions/replans) — what the server's `stats`
-    /// command reports and the CI smoke asserts a warm hit on.
-    pub fn plan_cache_stats(&self) -> PlanCacheStats {
-        PlanCacheStats {
-            entries: self.shared.plan_cache.read().len(),
-            hits: self.shared.cache_hits.load(Ordering::Relaxed),
-            misses: self.shared.cache_misses.load(Ordering::Relaxed),
-            evictions: self.shared.cache_evictions.load(Ordering::Relaxed),
-            replans: self.shared.cache_replans.load(Ordering::Relaxed),
+    /// One coherent snapshot of every engine-wide counter group —
+    /// plan cache, zone skipping, faults, admission, DFS zone-map
+    /// cache — gathered at a single point in time. This is what the
+    /// server's `stats` command serialises; prefer it over the
+    /// per-group accessors whenever more than one group is read.
+    pub fn stats_snapshot(&self) -> EngineStats {
+        let s = &self.shared;
+        // Read the hit/miss counters while holding the cache read
+        // lock, so `entries` and the counters describe one moment.
+        let plan_cache = {
+            let cache = s.plan_cache.read();
+            PlanCacheStats {
+                entries: cache.len(),
+                hits: s.cache_hits.load(Ordering::Relaxed),
+                misses: s.cache_misses.load(Ordering::Relaxed),
+                evictions: s.cache_evictions.load(Ordering::Relaxed),
+                replans: s.cache_replans.load(Ordering::Relaxed),
+            }
+        };
+        let (zone_cache_hits, zone_cache_misses) = s.cluster.dfs().zone_cache_stats();
+        EngineStats {
+            plan_cache,
+            zone: ZoneSkipStats {
+                blocks: s.zone_blocks.load(Ordering::Relaxed),
+                blocks_pruned: s.zone_blocks_pruned.load(Ordering::Relaxed),
+                pairs: s.zone_pairs.load(Ordering::Relaxed),
+                pairs_pruned: s.zone_pairs_pruned.load(Ordering::Relaxed),
+                rows: s.zone_rows.load(Ordering::Relaxed),
+                rows_pruned: s.zone_rows_pruned.load(Ordering::Relaxed),
+            },
+            faults: FaultStats {
+                attempts: s.fault_attempts.load(Ordering::Relaxed),
+                real_retries: s.fault_retries.load(Ordering::Relaxed),
+                panics_caught: s.fault_panics.load(Ordering::Relaxed),
+                deadline_exceeded: s.deadline_exceeded.load(Ordering::Relaxed),
+            },
+            scheduler: s.scheduler.stats(),
+            zone_cache_hits,
+            zone_cache_misses,
+            last_admission_request: s.last_admission_request.load(Ordering::Relaxed) as u32,
+            epoch: self.stats_epoch(),
         }
     }
 
+    /// Counter snapshot of the shared plan cache
+    /// (hits/misses/evictions/replans).
+    #[deprecated(note = "use Engine::stats_snapshot().plan_cache")]
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.stats_snapshot().plan_cache
+    }
+
     /// Engine-wide zone-map pruning totals accumulated across every
-    /// completed run (what the server's `stats` command reports
-    /// alongside the plan-cache counters).
+    /// completed run.
+    #[deprecated(note = "use Engine::stats_snapshot().zone")]
     pub fn zone_skip_stats(&self) -> ZoneSkipStats {
-        ZoneSkipStats {
-            blocks: self.shared.zone_blocks.load(Ordering::Relaxed),
-            blocks_pruned: self.shared.zone_blocks_pruned.load(Ordering::Relaxed),
-            pairs: self.shared.zone_pairs.load(Ordering::Relaxed),
-            pairs_pruned: self.shared.zone_pairs_pruned.load(Ordering::Relaxed),
-            rows: self.shared.zone_rows.load(Ordering::Relaxed),
-            rows_pruned: self.shared.zone_rows_pruned.load(Ordering::Relaxed),
-        }
+        self.stats_snapshot().zone
     }
 
     /// Engine-wide real fault-handling totals accumulated across every
     /// run: host attempt counts, real mid-execution retries, caught
-    /// panics, and deadline-killed runs (what the server's `stats`
-    /// command reports alongside the plan-cache and zone-skip
-    /// counters).
+    /// panics, and deadline-killed runs.
+    #[deprecated(note = "use Engine::stats_snapshot().faults")]
     pub fn fault_stats(&self) -> FaultStats {
-        FaultStats {
-            attempts: self.shared.fault_attempts.load(Ordering::Relaxed),
-            real_retries: self.shared.fault_retries.load(Ordering::Relaxed),
-            panics_caught: self.shared.fault_panics.load(Ordering::Relaxed),
-            deadline_exceeded: self.shared.deadline_exceeded.load(Ordering::Relaxed),
-        }
+        self.stats_snapshot().faults
+    }
+
+    /// The engine-local metrics registry: counters, gauges and
+    /// histograms for every query's lifecycle, exposed by the server's
+    /// `metrics` verb. Purely observational — nothing in the engine
+    /// reads it back.
+    pub fn metrics(&self) -> &Registry {
+        &self.shared.metrics
+    }
+
+    /// Set the engine-wide slow-query threshold: any run whose
+    /// end-to-end wall time reaches `ms` milliseconds logs one
+    /// structured line to stderr (0 disables; a run's
+    /// [`RunOptions::slow_query_ms`] overrides per query).
+    pub fn set_slow_query_ms(&self, ms: u64) {
+        self.shared.slow_query_ms.store(ms, Ordering::Relaxed);
+    }
+
+    /// The engine-wide slow-query threshold in milliseconds (0 = off).
+    pub fn slow_query_threshold_ms(&self) -> u64 {
+        self.shared.slow_query_ms.load(Ordering::Relaxed)
     }
 
     /// Units the most recent `Ours` admission requested from the
@@ -454,7 +551,7 @@ impl Engine {
     /// `ceil(units × (1 − f))` (never below one unit, discount capped
     /// at 95% as a safety margin). Admission packs the freed units into
     /// concurrent queries; the executed plan itself is unchanged.
-    fn discounted_units(&self, key_prefix: &str, units: u32, epoch: u64) -> u32 {
+    pub(crate) fn discounted_units(&self, key_prefix: &str, units: u32, epoch: u64) -> u32 {
         let f = self
             .shared
             .skip_stats
@@ -757,7 +854,7 @@ impl Engine {
     /// stall every concurrent load (and, with writers queued, new
     /// runs).
     #[allow(clippy::type_complexity)]
-    fn snapshot_stats(
+    pub(crate) fn snapshot_stats(
         &self,
         q: &MultiwayQuery,
     ) -> Result<(Vec<RelationStats>, Vec<String>, u64), EngineError> {
@@ -805,6 +902,10 @@ impl Engine {
         opts: &RunOptions,
         shape: Option<&str>,
     ) -> Result<Admitted, EngineError> {
+        let started = std::time::Instant::now();
+        let trace_id = next_trace_id();
+        let traced = opts.tracing_enabled();
+        let mut spans = Vec::new();
         let planner = self.planner();
         let (owned_stats, bases, epoch) = self.snapshot_stats(q)?;
         let k_full = self.shared.cluster.config().processing_units;
@@ -835,7 +936,9 @@ impl Engine {
                     shape.map_or_else(|| query_shape(q), str::to_string),
                     bases.join(",")
                 );
-                let plan = self.plan_for(&planner, q, &stats, &key_prefix, k_full, epoch, false)?;
+                let mut plan_span = Span::enter("plan");
+                let (plan, cache_hit) =
+                    self.plan_for(&planner, q, &stats, &key_prefix, k_full, epoch, false)?;
                 // Statistics-warm discount: a shape whose zone maps
                 // pruned fraction f of its input last run (same epoch)
                 // requests a (1 − f)-scaled slice — the estimate's
@@ -846,16 +949,16 @@ impl Engine {
                 } else {
                     plan.units
                 };
+                plan_span.meta("cache", if cache_hit { "hit" } else { "miss" });
+                plan_span.meta("units", requested);
+                plan_span.meta("predicted_secs", format!("{:.6}", plan.predicted_secs()));
+                let plan_record = plan_span.finish();
                 self.shared
                     .last_admission_request
                     .store(u64::from(requested), Ordering::Relaxed);
-                let ticket = self.shared.scheduler.admit_with_cost_until(
-                    requested,
-                    plan.predicted_secs(),
-                    deadline,
-                )?;
+                let ticket = self.admit_units(requested, plan.predicted_secs(), deadline)?;
                 let plan = if ticket.degraded() {
-                    self.plan_for(
+                    let (replanned, _) = self.plan_for(
                         &planner,
                         q,
                         &stats,
@@ -863,10 +966,17 @@ impl Engine {
                         ticket.granted(),
                         epoch,
                         true,
-                    )?
+                    )?;
+                    replanned
                 } else {
                     plan
                 };
+                let (ticket, wait_record) =
+                    self.finish_admission(ticket, trace_id, requested, started, &plan_record);
+                if traced {
+                    spans.push(plan_record);
+                    spans.push(wait_record);
+                }
                 Ok(Admitted {
                     planner,
                     stats: owned_stats,
@@ -875,13 +985,20 @@ impl Engine {
                     key_prefix: Some(key_prefix),
                     epoch,
                     cancel,
+                    trace_id,
+                    spans,
+                    started,
                 })
             }
             Method::YSmart | Method::Hive | Method::Pig => {
-                let ticket =
-                    self.shared
-                        .scheduler
-                        .admit_with_cost_until(k_full, f64::INFINITY, deadline)?;
+                let plan_record = SpanRecord::synthetic("plan").with_meta("cache", "none");
+                let ticket = self.admit_units(k_full, f64::INFINITY, deadline)?;
+                let (ticket, wait_record) =
+                    self.finish_admission(ticket, trace_id, k_full, started, &plan_record);
+                if traced {
+                    spans.push(plan_record);
+                    spans.push(wait_record);
+                }
                 Ok(Admitted {
                     planner,
                     stats: owned_stats,
@@ -890,9 +1007,80 @@ impl Engine {
                     key_prefix: None,
                     epoch,
                     cancel,
+                    trace_id,
+                    spans,
+                    started,
                 })
             }
         }
+    }
+
+    /// Reserve `requested` units through the scheduler, charging a
+    /// refusal (queue-full shed, deadline refusal, shutdown) to the
+    /// registry before surfacing it.
+    fn admit_units(
+        &self,
+        requested: u32,
+        predicted_secs: f64,
+        deadline: Option<std::time::Instant>,
+    ) -> Result<Ticket, EngineError> {
+        match self
+            .shared
+            .scheduler
+            .admit_with_cost_until(requested, predicted_secs, deadline)
+        {
+            Ok(ticket) => Ok(ticket),
+            Err(e) => {
+                let reason = match &e {
+                    crate::scheduler::AdmissionError::QueueFull { .. } => "queue_full",
+                    crate::scheduler::AdmissionError::DeadlineExceeded => "deadline",
+                    crate::scheduler::AdmissionError::ShuttingDown => "shutdown",
+                };
+                self.shared.metrics.counter_add(
+                    "mwtj_admission_refused_total",
+                    &[("reason", reason)],
+                    1,
+                );
+                Err(e.into())
+            }
+        }
+    }
+
+    /// Post-admission bookkeeping shared by the planned and baseline
+    /// branches: stamp the trace id on the ticket, finish the
+    /// admission-wait span (wait = elapsed since `started` minus the
+    /// plan span), and record the admission metrics.
+    fn finish_admission(
+        &self,
+        mut ticket: Ticket,
+        trace_id: u64,
+        requested: u32,
+        started: std::time::Instant,
+        plan_record: &SpanRecord,
+    ) -> (Ticket, SpanRecord) {
+        ticket.set_trace_id(trace_id);
+        let wait_ms = (started.elapsed().as_secs_f64() * 1e3 - plan_record.wall_ms).max(0.0);
+        let record = SpanRecord {
+            stage: "admission".to_string(),
+            wall_ms: wait_ms,
+            sim_secs: None,
+            meta: vec![
+                ("requested".to_string(), requested.to_string()),
+                ("granted".to_string(), ticket.granted().to_string()),
+                ("queued".to_string(), ticket.queued().to_string()),
+            ],
+            children: Vec::new(),
+        };
+        let m = &self.shared.metrics;
+        m.observe("mwtj_admission_wait_ms", &[], wait_ms);
+        m.counter_add("mwtj_units_requested_total", &[], u64::from(requested));
+        m.counter_add("mwtj_units_granted_total", &[], u64::from(ticket.granted()));
+        m.gauge_set(
+            "mwtj_queue_depth",
+            &[],
+            f64::from(self.shared.scheduler.stats().queued_now),
+        );
+        (ticket, record)
     }
 
     /// Execute under a held admission: an `Ours` run executes exactly
@@ -908,6 +1096,7 @@ impl Engine {
         sink: Option<mwtj_mapreduce::SinkSpec>,
     ) -> Result<QueryRun, EngineError> {
         let cluster = &self.shared.cluster;
+        let method = opts.get_method();
         let stats: Vec<&RelationStats> = admitted.stats.iter().collect();
         let mut exec_opts = opts.exec_options();
         exec_opts.ticket = admitted.ticket.id();
@@ -917,7 +1106,8 @@ impl Engine {
             exec_opts.units = Some(admitted.ticket.granted());
         }
         let planner = &admitted.planner;
-        let run = match opts.get_method() {
+        let exec_span = Span::enter("execute");
+        let run = match method {
             Method::Ours | Method::OursGrid => {
                 let plan = admitted
                     .plan
@@ -935,10 +1125,11 @@ impl Engine {
                 planner.try_execute_baseline(Baseline::Pig, q, &stats, cluster, &exec_opts)
             }
         };
+        let method_label: [(&str, &str); 1] = [("method", method.as_str())];
         // Every execution path — Engine::run, prepared execute, and the
         // streaming worker — funnels through here, so this is the one
         // place the engine-wide fault counters are charged.
-        let run = match run {
+        let mut run = match run {
             Ok(run) => {
                 let totals = run.fault_totals();
                 let shared = &self.shared;
@@ -951,6 +1142,10 @@ impl Engine {
                 shared
                     .fault_panics
                     .fetch_add(totals.panics_caught, Ordering::Relaxed);
+                let m = &shared.metrics;
+                m.counter_add("mwtj_task_attempts_total", &[], totals.attempts);
+                m.counter_add("mwtj_task_retries_total", &[], totals.real_retries);
+                m.counter_add("mwtj_task_panics_total", &[], totals.panics_caught);
                 run
             }
             Err(e) => {
@@ -961,6 +1156,11 @@ impl Engine {
                     self.shared
                         .deadline_exceeded
                         .fetch_add(1, Ordering::Relaxed);
+                    self.shared.metrics.counter_add(
+                        "mwtj_deadline_exceeded_total",
+                        &method_label,
+                        1,
+                    );
                 }
                 return Err(e.into());
             }
@@ -968,14 +1168,65 @@ impl Engine {
         if opts.skipping_enabled() {
             self.note_run_skipping(&run, admitted.key_prefix.as_deref(), admitted.epoch);
         }
+        // Observation only, below this line: trace-id stamping, the
+        // profile tree, metrics and the slow-query log never feed back
+        // into rows, plan choice, or the simulated Eq. 2–4 clocks (the
+        // differential test holds runs bit-identical tracing on vs
+        // off).
+        run.trace_id = admitted.trace_id;
+        for job in &mut run.jobs {
+            job.trace_id = admitted.trace_id;
+        }
+        let wall_ms = admitted.started.elapsed().as_secs_f64() * 1e3;
+        let m = &self.shared.metrics;
+        m.counter_add("mwtj_queries_total", &method_label, 1);
+        m.observe("mwtj_query_latency_ms", &method_label, wall_ms);
+        m.gauge_set("mwtj_skip_fraction", &[], run.skip_fraction());
+        if opts.tracing_enabled() {
+            let mut exec = exec_span.finish();
+            exec.sim_secs = Some(run.sim_secs);
+            exec = exec
+                .with_meta("rows", run.output.len())
+                .with_meta("granted_units", run.granted_units);
+            for (i, job) in run.jobs.iter().enumerate() {
+                exec.children.push(job_span(i, job));
+            }
+            let mut root = SpanRecord::synthetic("query")
+                .with_meta("method", method)
+                .with_sim_secs(run.sim_secs);
+            root.wall_ms = wall_ms;
+            root.children = admitted.spans.clone();
+            root.children.push(exec);
+            run.profile = Some(QueryProfile {
+                trace_id: admitted.trace_id,
+                root,
+            });
+        }
+        let threshold = opts
+            .get_slow_query_ms()
+            .unwrap_or_else(|| self.shared.slow_query_ms.load(Ordering::Relaxed));
+        if threshold > 0 && wall_ms >= threshold as f64 {
+            m.counter_add("mwtj_slow_queries_total", &method_label, 1);
+            eprintln!(
+                "slow-query trace={} method={} wall_ms={:.1} sim_secs={:.3} rows={} ticket={} plan={:?}",
+                admitted.trace_id,
+                method,
+                wall_ms,
+                run.sim_secs,
+                run.output.len(),
+                run.ticket,
+                run.plan,
+            );
+        }
         Ok(run)
     }
 
     /// The plan artifact for `(key_prefix, k)` — from the shared plan
-    /// cache when its epoch still matches, otherwise freshly planned
-    /// against `stats` and cached. `replan` marks a reduced-`k` plan
-    /// after admission degradation (counted as a replan when it has to
-    /// be computed; a cached reduced-`k` entry is an ordinary hit).
+    /// cache when its epoch still matches (returned with `true`),
+    /// otherwise freshly planned against `stats` and cached (returned
+    /// with `false`). `replan` marks a reduced-`k` plan after
+    /// admission degradation (counted as a replan when it has to be
+    /// computed; a cached reduced-`k` entry is an ordinary hit).
     ///
     /// A miss plans *while holding the cache write lock* (single
     /// flight): N sessions cold-executing one statement do one
@@ -985,7 +1236,7 @@ impl Engine {
     /// executions the lock's readers are about to start, so the
     /// serialization is cheap.
     #[allow(clippy::too_many_arguments)]
-    fn plan_for(
+    pub(crate) fn plan_for(
         &self,
         planner: &Planner,
         q: &MultiwayQuery,
@@ -994,16 +1245,24 @@ impl Engine {
         k: u32,
         epoch: u64,
         replan: bool,
-    ) -> Result<Arc<QueryPlan>, EngineError> {
+    ) -> Result<(Arc<QueryPlan>, bool), EngineError> {
         let key = (key_prefix.to_string(), k);
         let touch = || self.shared.cache_clock.fetch_add(1, Ordering::Relaxed) + 1;
+        let hit_metrics = || {
+            self.shared.cache_hits.fetch_add(1, Ordering::Relaxed);
+            self.shared.metrics.counter_add(
+                "mwtj_plan_cache_lookups_total",
+                &[("result", "hit")],
+                1,
+            );
+        };
         {
             let cache = self.shared.plan_cache.read();
             if let Some(hit) = cache.get(&key) {
                 if hit.epoch == epoch {
                     hit.last_used.store(touch(), Ordering::Relaxed);
-                    self.shared.cache_hits.fetch_add(1, Ordering::Relaxed);
-                    return Ok(Arc::clone(&hit.plan));
+                    hit_metrics();
+                    return Ok((Arc::clone(&hit.plan), true));
                 }
             }
         }
@@ -1013,13 +1272,16 @@ impl Engine {
         let stale = match cache.get(&key) {
             Some(hit) if hit.epoch == epoch => {
                 hit.last_used.store(touch(), Ordering::Relaxed);
-                self.shared.cache_hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(Arc::clone(&hit.plan));
+                hit_metrics();
+                return Ok((Arc::clone(&hit.plan), true));
             }
             Some(_) => true,
             None => false,
         };
         self.shared.cache_misses.fetch_add(1, Ordering::Relaxed);
+        self.shared
+            .metrics
+            .counter_add("mwtj_plan_cache_lookups_total", &[("result", "miss")], 1);
         let plan = Arc::new(planner.plan_query(q, stats, k)?);
         // At the cap, evict the least-recently-used entries (one count
         // each) — never when refreshing an existing key in place.
@@ -1055,7 +1317,7 @@ impl Engine {
         } else if replan {
             self.shared.cache_replans.fetch_add(1, Ordering::Relaxed);
         }
-        Ok(plan)
+        Ok((plan, false))
     }
 
     /// Execute several independent queries concurrently on a scoped
@@ -1119,6 +1381,24 @@ impl Engine {
                 .map(|rel| base_schema(rel.schema()))
         };
         mwtj_query::parse_sql(name, sql, &resolver).map_err(EngineError::from)
+    }
+
+    /// Parse a statement — a query optionally prefixed with `EXPLAIN`
+    /// or `EXPLAIN ANALYZE` — against the loaded base relations.
+    /// Like [`Engine::parse_sql`], parsing registers nothing.
+    pub fn parse_statement(
+        &self,
+        name: &str,
+        sql: &str,
+    ) -> Result<mwtj_query::Statement, EngineError> {
+        let catalog = self.shared.catalog.read();
+        let resolver = |base: &str| -> Option<Schema> {
+            catalog
+                .relations
+                .get(base)
+                .map(|rel| base_schema(rel.schema()))
+        };
+        mwtj_query::parse_statement(name, sql, &resolver).map_err(EngineError::from)
     }
 
     /// Parse and execute a SQL query end-to-end with default options:
@@ -1415,10 +1695,15 @@ pub(crate) fn restore_public_names(run: QueryRun, renames: &[(String, String)]) 
         mut jobs,
         ticket,
         granted_units,
+        trace_id,
+        mut profile,
     } = run;
     let schema = rename_schema(output.schema(), &sorted);
     for m in &mut jobs {
         m.name = apply_renames(&m.name, &sorted);
+    }
+    if let Some(p) = &mut profile {
+        rename_span_tree(&mut p.root, &sorted);
     }
     QueryRun {
         output: Relation::from_rows_unchecked(schema, output.into_rows()),
@@ -1429,7 +1714,64 @@ pub(crate) fn restore_public_names(run: QueryRun, renames: &[(String, String)]) 
         jobs,
         ticket,
         granted_units,
+        trace_id,
+        profile,
     }
+}
+
+/// Rewrite internal instance names in a profile tree's stages and
+/// metadata back to the public aliases (job spans carry job names).
+fn rename_span_tree(span: &mut SpanRecord, sorted: &[(String, String)]) {
+    span.stage = apply_renames(&span.stage, sorted);
+    for (_, v) in &mut span.meta {
+        *v = apply_renames(v, sorted);
+    }
+    for c in &mut span.children {
+        rename_span_tree(c, sorted);
+    }
+}
+
+/// A per-job profile node reconstructed from one [`JobMetrics`]: the
+/// simulated map/shuffle/reduce phase durations are derived from the
+/// recorded phase-end clocks (the shuffle overlaps the map as in the
+/// paper's Fig. 3, so each phase is charged its tail past the
+/// previous phase's end), never measured separately — so building the
+/// profile cannot perturb the run.
+fn job_span(index: usize, m: &JobMetrics) -> SpanRecord {
+    let map_secs = m.sim_map_end_secs;
+    let shuffle_secs = (m.sim_shuffle_end_secs - m.sim_map_end_secs).max(0.0);
+    let reduce_secs = (m.sim_total_secs - m.sim_shuffle_end_secs.max(m.sim_map_end_secs)).max(0.0);
+    let mut job = SpanRecord::synthetic(&format!("job{index}"))
+        .with_sim_secs(m.sim_total_secs)
+        .with_meta("name", &m.name)
+        .with_meta("units", m.units)
+        .with_meta("output_rows", m.output_records);
+    if m.real_map_retries + m.real_reduce_retries > 0 {
+        job = job.with_meta("retries", m.real_map_retries + m.real_reduce_retries);
+    }
+    if m.panics_caught > 0 {
+        job = job.with_meta("panics", m.panics_caught);
+    }
+    let mut map = SpanRecord::synthetic(&format!("job{index}/map"))
+        .with_sim_secs(map_secs)
+        .with_meta("tasks", m.map_tasks)
+        .with_meta("input_rows", m.input_records);
+    if m.zone_blocks > 0 {
+        map = map.with_meta("skipped_blocks", m.zone_blocks_pruned);
+    }
+    job.children.push(map);
+    job.children.push(
+        SpanRecord::synthetic(&format!("job{index}/shuffle"))
+            .with_sim_secs(shuffle_secs)
+            .with_meta("bytes", m.map_output_bytes),
+    );
+    job.children.push(
+        SpanRecord::synthetic(&format!("job{index}/reduce"))
+            .with_sim_secs(reduce_secs)
+            .with_meta("tasks", m.reduce_tasks)
+            .with_meta("candidates", m.reduce_candidates),
+    );
+    job
 }
 
 /// Whether `name` is a transient `__q<N>_` internal instance of an
@@ -1836,20 +2178,20 @@ mod tests {
         engine.run(&q2, &opts).unwrap();
         // Touch q1 so q2 is the least-recently-used entry.
         engine.run(&q1, &opts).unwrap();
-        let before = engine.plan_cache_stats();
+        let before = engine.stats_snapshot().plan_cache;
         engine.run(&q3, &opts).unwrap();
-        let after = engine.plan_cache_stats();
+        let after = engine.stats_snapshot().plan_cache;
         // Exactly one entry was evicted to admit q3 — not a full clear.
         assert!(after.entries <= 2);
         assert_eq!(after.evictions, before.evictions + 1);
         // The hot shape survived: re-running q1 hits without planning.
         engine.run(&q1, &opts).unwrap();
-        let warm = engine.plan_cache_stats();
+        let warm = engine.stats_snapshot().plan_cache;
         assert_eq!(warm.misses, after.misses);
         assert!(warm.hits > after.hits);
         // The evicted cold shape must re-plan.
         engine.run(&q2, &opts).unwrap();
-        assert!(engine.plan_cache_stats().misses > warm.misses);
+        assert!(engine.stats_snapshot().plan_cache.misses > warm.misses);
     }
 
     /// Value-clustered blocks + a narrow band: skipping fires, its
@@ -1878,7 +2220,7 @@ mod tests {
         let run = engine.run(&q, &RunOptions::default()).unwrap();
         let f = run.skip_fraction();
         assert!(f > 0.5, "clustered blocks should mostly prune, got {f}");
-        let totals = engine.zone_skip_stats();
+        let totals = engine.stats_snapshot().zone;
         assert!(totals.rows_pruned > 0 && totals.blocks_pruned > 0);
         assert!(totals.skip_fraction() > 0.0);
 

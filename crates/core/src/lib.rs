@@ -54,6 +54,7 @@
 pub mod benchqueries;
 pub mod engine;
 pub mod error;
+pub mod explain;
 pub mod options;
 pub mod prepare;
 pub mod scheduler;
@@ -61,9 +62,10 @@ pub mod stream;
 
 pub use benchqueries::{mobile_query, tpch_query, MobileQuery, TpchQuery};
 pub use engine::{
-    Engine, FaultStats, LoadReport, PlanCacheStats, Session, ZoneSkipStats, RID_COLUMN,
+    Engine, EngineStats, FaultStats, LoadReport, PlanCacheStats, Session, ZoneSkipStats, RID_COLUMN,
 };
 pub use error::EngineError;
+pub use explain::ExplainReport;
 pub use options::{Method, RunOptions};
 pub use prepare::Prepared;
 pub use scheduler::{AdmissionError, AdmissionPolicy, Scheduler, SchedulerStats, Ticket};
@@ -76,3 +78,6 @@ pub use mwtj_mapreduce::{CancelToken, RowBatch};
 // Re-exported so serving layers name run results, plan artifacts and
 // per-run fault totals without a direct mwtj-planner dependency.
 pub use mwtj_planner::{FaultTotals, QueryPlan, QueryRun};
+// Re-exported so serving layers scrape the engine's metrics registry
+// and render query profiles without a direct mwtj-obs dependency.
+pub use mwtj_obs::{MetricValue, QueryProfile, Registry, SpanRecord};

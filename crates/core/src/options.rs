@@ -37,17 +37,23 @@ impl Method {
         Method::Hive,
         Method::Pig,
     ];
-}
 
-impl fmt::Display for Method {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(match self {
+    /// The stable lowercase name `Display` prints — also the value of
+    /// the `method` label on per-method metrics.
+    pub fn as_str(&self) -> &'static str {
+        match self {
             Method::Ours => "ours",
             Method::OursGrid => "ours-grid",
             Method::YSmart => "ysmart",
             Method::Hive => "hive",
             Method::Pig => "pig",
-        })
+        }
+    }
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
     }
 }
 
@@ -92,11 +98,13 @@ pub struct RunOptions {
     calibrate: bool,
     skipping: bool,
     deadline_ms: Option<u64>,
+    tracing: bool,
+    slow_ms: Option<u64>,
 }
 
 impl Default for RunOptions {
     /// [`Method::Ours`], Hilbert partitioning, no faults, no
-    /// calibration, zone-map skipping **on**.
+    /// calibration, zone-map skipping **on**, tracing **on**.
     fn default() -> Self {
         RunOptions {
             method: Method::default(),
@@ -105,6 +113,8 @@ impl Default for RunOptions {
             calibrate: false,
             skipping: true,
             deadline_ms: None,
+            tracing: true,
+            slow_ms: None,
         }
     }
 }
@@ -167,6 +177,24 @@ impl RunOptions {
         self
     }
 
+    /// Enable or disable per-run tracing (on by default). With tracing
+    /// off the run carries no profile tree; rows, plan choice and the
+    /// simulated Eq. 2–4 metrics are bit-identical either way —
+    /// instrumentation is observation-only by contract (and by
+    /// differential test).
+    pub fn tracing(mut self, yes: bool) -> Self {
+        self.tracing = yes;
+        self
+    }
+
+    /// Flag this run as slow when its real wall-clock time reaches
+    /// `ms` milliseconds, overriding the engine-wide slow-query
+    /// threshold for this run only (0 disables the log for the run).
+    pub fn slow_query_ms(mut self, ms: u64) -> Self {
+        self.slow_ms = Some(ms);
+        self
+    }
+
     /// The chosen method.
     pub fn get_method(&self) -> Method {
         self.method
@@ -199,6 +227,17 @@ impl RunOptions {
         self.deadline_ms
     }
 
+    /// Whether per-run tracing is enabled.
+    pub fn tracing_enabled(&self) -> bool {
+        self.tracing
+    }
+
+    /// The run's slow-query threshold override in milliseconds, if one
+    /// was set (`Some(0)` = logging explicitly off for this run).
+    pub fn get_slow_query_ms(&self) -> Option<u64> {
+        self.slow_ms
+    }
+
     /// Lower these options into the planner's execution knobs.
     pub(crate) fn exec_options(&self) -> ExecOptions {
         ExecOptions {
@@ -218,11 +257,12 @@ impl From<Method> for RunOptions {
 
 impl fmt::Display for RunOptions {
     /// `method[:partition][+faults=p@seed/attempts][+calibrated]
-    /// [+noskip][+deadline=ms]` — the partition is printed only when
-    /// it overrides the method default, `+noskip` only when skipping
-    /// is disabled, `+deadline=` only when a deadline is set. Every
-    /// printed form parses back to an equal value (`FromStr` is the
-    /// exact inverse; the wire protocol relies on it).
+    /// [+noskip][+deadline=ms][+notrace][+slow=ms]` — the partition is
+    /// printed only when it overrides the method default, `+noskip`
+    /// only when skipping is disabled, `+deadline=`/`+slow=` only when
+    /// set, `+notrace` only when tracing is disabled. Every printed
+    /// form parses back to an equal value (`FromStr` is the exact
+    /// inverse; the wire protocol relies on it).
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(f, "{}", self.method)?;
         if let Some(p) = self.partition {
@@ -240,6 +280,12 @@ impl fmt::Display for RunOptions {
         if let Some(ms) = self.deadline_ms {
             write!(f, "+deadline={ms}")?;
         }
+        if !self.tracing {
+            write!(f, "+notrace")?;
+        }
+        if let Some(ms) = self.slow_ms {
+            write!(f, "+slow={ms}")?;
+        }
         Ok(())
     }
 }
@@ -248,9 +294,10 @@ impl FromStr for RunOptions {
     type Err = String;
 
     /// Parse `method[:partition][+faults=p@seed/attempts][+calibrated]
-    /// [+noskip][+deadline=ms]` (e.g. `ours`, `ours:grid`,
-    /// `hive+calibrated`, `pig+faults=0.25@99/4`, `ours+noskip`,
-    /// `ours+deadline=500`) — exactly the forms `Display` prints.
+    /// [+noskip][+deadline=ms][+notrace][+slow=ms]` (e.g. `ours`,
+    /// `ours:grid`, `hive+calibrated`, `pig+faults=0.25@99/4`,
+    /// `ours+noskip`, `ours+deadline=500`, `ours+notrace`,
+    /// `ours+slow=100`) — exactly the forms `Display` prints.
     fn from_str(s: &str) -> Result<Self, Self::Err> {
         let mut opts = RunOptions::new();
         let mut parts = s.split('+');
@@ -260,12 +307,17 @@ impl FromStr for RunOptions {
             match lower.as_str() {
                 "calibrated" => opts.calibrate = true,
                 "noskip" => opts.skipping = false,
+                "notrace" => opts.tracing = false,
                 _ => {
                     if let Some(plan) = lower.strip_prefix("faults=") {
                         opts.faults = Some(plan.parse()?);
                     } else if let Some(ms) = lower.strip_prefix("deadline=") {
                         opts.deadline_ms = Some(ms.parse::<u64>().map_err(|e| {
                             format!("bad deadline `{ms}` (expected milliseconds): {e}")
+                        })?);
+                    } else if let Some(ms) = lower.strip_prefix("slow=") {
+                        opts.slow_ms = Some(ms.parse::<u64>().map_err(|e| {
+                            format!("bad slow-query threshold `{ms}` (expected milliseconds): {e}")
                         })?);
                     } else {
                         return Err(format!("unknown run-option flag `{lower}`"));
@@ -350,6 +402,28 @@ mod tests {
         // Bare `+faults` (the old asymmetric form) is rejected.
         assert!("ours+faults".parse::<RunOptions>().is_err());
         assert!("ours+faults=bogus".parse::<RunOptions>().is_err());
+    }
+
+    #[test]
+    fn tracing_and_slow_flags_roundtrip() {
+        // Tracing defaults on and prints nothing.
+        assert!(RunOptions::new().tracing_enabled());
+        assert_eq!(RunOptions::new().method(Method::Hive).to_string(), "hive");
+        let opts: RunOptions = "ours+notrace".parse().unwrap();
+        assert!(!opts.tracing_enabled());
+        assert_eq!(opts.to_string(), "ours+notrace");
+        assert_eq!(opts.to_string().parse::<RunOptions>().unwrap(), opts);
+        // Slow-query threshold roundtrips and composes.
+        let opts = RunOptions::new().slow_query_ms(250);
+        assert_eq!(opts.get_slow_query_ms(), Some(250));
+        assert_eq!(opts.to_string(), "ours+slow=250");
+        assert_eq!(opts.to_string().parse::<RunOptions>().unwrap(), opts);
+        let full: RunOptions = "pig+noskip+deadline=100+notrace+slow=10".parse().unwrap();
+        assert!(!full.tracing_enabled());
+        assert_eq!(full.get_slow_query_ms(), Some(10));
+        assert_eq!(full.to_string().parse::<RunOptions>().unwrap(), full);
+        assert!("ours+slow=".parse::<RunOptions>().is_err());
+        assert!("ours+slow=fast".parse::<RunOptions>().is_err());
     }
 
     #[test]

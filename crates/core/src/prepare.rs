@@ -19,7 +19,7 @@
 //!   cheap `Clone` (`Arc`-shared); any number of sessions can execute
 //!   one handle concurrently. Executions after the first skip parsing
 //!   (the handle holds the template) and planning (plan-cache hit,
-//!   observable via [`Engine::plan_cache_stats`]).
+//!   observable via [`Engine::stats_snapshot`]).
 //! * **Never a stale plan** — every plan-cache entry carries the
 //!   statistics epoch it was planned under, verified at admission
 //!   time: a relation reload (or recalibration) between prepare and
@@ -43,6 +43,7 @@
 use crate::engine::{augment_query, query_shape, restore_public_names, Engine, Session};
 use crate::error::EngineError;
 use crate::options::RunOptions;
+use mwtj_obs::Span;
 use mwtj_planner::QueryRun;
 use mwtj_query::ParsedQuery;
 use parking_lot::RwLock;
@@ -180,7 +181,9 @@ impl Engine {
         if opts.wants_calibration() {
             self.ensure_calibrated();
         }
+        let parse_span = Span::enter("parse");
         let (parsed, shape) = self.current_parse(prepared)?;
+        let parse_record = parse_span.finish();
         let (ns, renames) = self.namespace_instances(&parsed);
         // Bind before registering, so an arity mismatch costs nothing.
         let bound = ns.bind(params)?;
@@ -192,7 +195,10 @@ impl Engine {
             // query through that artifact.
             let q_plan = augment_query(&ns.query);
             let q_exec = augment_query(&bound.query);
-            let admitted = self.admit_for(&q_plan, opts, Some(&shape))?;
+            let mut admitted = self.admit_for(&q_plan, opts, Some(&shape))?;
+            if opts.tracing_enabled() {
+                admitted.spans.insert(0, parse_record);
+            }
             self.execute_admitted(&admitted, &q_exec, opts, None)
         });
         for (internal, _) in &ns.instances {

@@ -314,6 +314,7 @@ impl Scheduler {
                     desired,
                     granted,
                     queued: waited,
+                    trace_id: 0,
                 });
             }
             if !waited {
@@ -386,6 +387,7 @@ pub struct Ticket {
     desired: u32,
     granted: u32,
     queued: bool,
+    trace_id: u64,
 }
 
 impl Ticket {
@@ -414,6 +416,18 @@ impl Ticket {
     pub fn queued(&self) -> bool {
         self.queued
     }
+
+    /// Trace id of the query run this admission belongs to (0 until
+    /// [`Ticket::set_trace_id`] stamps it).
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
+    /// Stamp the owning run's trace id onto this admission (the engine
+    /// does this right after generating the id; observation-only).
+    pub fn set_trace_id(&mut self, trace_id: u64) {
+        self.trace_id = trace_id;
+    }
 }
 
 impl fmt::Debug for Ticket {
@@ -423,6 +437,7 @@ impl fmt::Debug for Ticket {
             .field("desired", &self.desired)
             .field("granted", &self.granted)
             .field("queued", &self.queued)
+            .field("trace_id", &self.trace_id)
             .finish()
     }
 }

@@ -101,6 +101,9 @@ pub struct StreamEnd {
     pub ticket: u64,
     /// Processing units the run was granted.
     pub granted_units: u32,
+    /// Trace id of the run (correlates stream frames with metrics
+    /// scrapes and slow-query log lines).
+    pub trace_id: u64,
 }
 
 enum StreamMsg {
@@ -453,6 +456,7 @@ impl Engine {
                         .collect(),
                     ticket: run.ticket,
                     granted_units: run.granted_units,
+                    trace_id: run.trace_id,
                 });
                 let _ = tx.send(StreamMsg::End(Box::new(end)));
             })

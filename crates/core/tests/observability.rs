@@ -1,0 +1,245 @@
+//! Observability is observation-only — enforced differentially.
+//!
+//! * Tracing on vs off: rows, schema, plan choice and every simulated
+//!   Eq. 2–4 metric are **bit-identical** across all five methods and
+//!   all three partition strategies; only the profile tree appears or
+//!   disappears.
+//! * Fault/retry/shed counters are monotone across [`Engine::run_many`]
+//!   batches — never reset, never decremented.
+//! * `skip_fraction()` stays in `[0, 1]` under proptest-random band
+//!   widths with zone-map skipping on.
+//! * The profile tree carries the lifecycle stages, and the engine's
+//!   metrics registry fills from real runs.
+
+use mwtj_core::{Engine, Method, QueryRun, RunOptions};
+use mwtj_hilbert::PartitionStrategy;
+use mwtj_mapreduce::FaultPlan;
+use mwtj_storage::{tuple, DataType, Relation, Schema};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Build an engine with three identically-seeded relations, so two
+/// engines built by this function are bit-identical.
+fn seeded_engine(units: u32) -> Engine {
+    let engine = Engine::with_units(units);
+    let mut rng = StdRng::seed_from_u64(0x0b5e);
+    for (name, n, domain) in [("r", 90usize, 30i64), ("s", 70, 30), ("t", 50, 30)] {
+        let schema = Schema::from_pairs(name, &[("a", DataType::Int), ("b", DataType::Int)]);
+        let rows = (0..n)
+            .map(|_| tuple![rng.gen_range(0..domain), rng.gen_range(0..domain)])
+            .collect();
+        let _ = engine.load_relation(&Relation::from_rows_unchecked(schema, rows));
+    }
+    engine
+}
+
+const Q3: &str = "SELECT x.a, y.b, z.a FROM r x, s y, t z \
+                  WHERE x.a <= y.a AND y.b < z.b";
+
+/// Everything a run reports that instrumentation must not perturb,
+/// with f64s captured as bits so "close enough" can never pass.
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    rows: Vec<String>,
+    schema: String,
+    plan: String,
+    granted_units: u32,
+    predicted_secs: u64,
+    sim_secs: u64,
+    job_sims: Vec<(u64, u64, u64)>,
+    fault_attempts: u64,
+}
+
+fn fingerprint(run: &QueryRun) -> Fingerprint {
+    let mut rows: Vec<String> = run.output.rows().iter().map(|t| format!("{t:?}")).collect();
+    rows.sort();
+    Fingerprint {
+        rows,
+        schema: format!("{:?}", run.output.schema()),
+        plan: run.plan.clone(),
+        granted_units: run.granted_units,
+        predicted_secs: run.predicted_secs.to_bits(),
+        sim_secs: run.sim_secs.to_bits(),
+        job_sims: run
+            .jobs
+            .iter()
+            .map(|j| {
+                (
+                    j.sim_map_end_secs.to_bits(),
+                    j.sim_shuffle_end_secs.to_bits(),
+                    j.sim_total_secs.to_bits(),
+                )
+            })
+            .collect(),
+        fault_attempts: run.fault_totals().attempts,
+    }
+}
+
+/// The tentpole contract: instrumentation is observation-only. Two
+/// identically-seeded engines run the same query traced and untraced;
+/// everything but the profile must match to the bit, for every method
+/// × partition strategy.
+#[test]
+fn tracing_on_vs_off_is_bit_identical_everywhere() {
+    let traced_engine = seeded_engine(8);
+    let plain_engine = seeded_engine(8);
+    let strategies = [
+        PartitionStrategy::Hilbert,
+        PartitionStrategy::Grid,
+        PartitionStrategy::ZOrder,
+    ];
+    for method in Method::ALL {
+        for strategy in strategies {
+            let base = RunOptions::from(method).partition(strategy);
+            let traced = traced_engine
+                .run_sql_with("diff", Q3, &base.clone().tracing(true))
+                .unwrap_or_else(|e| panic!("{method:?}/{strategy:?} traced: {e}"));
+            let plain = plain_engine
+                .run_sql_with("diff", Q3, &base.clone().tracing(false))
+                .unwrap_or_else(|e| panic!("{method:?}/{strategy:?} untraced: {e}"));
+            assert_eq!(
+                fingerprint(&traced),
+                fingerprint(&plain),
+                "tracing perturbed {method:?}/{strategy:?}"
+            );
+            assert!(traced.profile().is_some(), "{method:?}/{strategy:?}");
+            assert!(plain.profile().is_none(), "{method:?}/{strategy:?}");
+            // Trace ids are stamped either way (they are free).
+            assert_ne!(traced.trace_id, 0);
+            assert_ne!(plain.trace_id, 0);
+        }
+    }
+}
+
+/// The profile tree carries the whole lifecycle: parse → plan (with a
+/// cache verdict) → admission → execute → per-job map/shuffle/reduce.
+#[test]
+fn profile_tree_carries_lifecycle_stages() {
+    let engine = seeded_engine(8);
+    let run = engine
+        .run_sql_with("prof", Q3, &RunOptions::default())
+        .unwrap();
+    let profile = run.profile().expect("tracing defaults on");
+    assert_eq!(profile.trace_id, run.trace_id);
+    for stage in [
+        "parse",
+        "plan",
+        "admission",
+        "execute",
+        "job0/map",
+        "job0/shuffle",
+        "job0/reduce",
+    ] {
+        assert!(profile.find(stage).is_some(), "missing stage `{stage}`");
+    }
+    let plan = profile.find("plan").unwrap();
+    assert!(
+        plan.meta
+            .iter()
+            .any(|(k, v)| k == "cache" && (v == "hit" || v == "miss")),
+        "{plan:?}"
+    );
+    let rendered = profile.render();
+    assert!(rendered.starts_with(&format!("trace={}\n", run.trace_id)));
+    assert!(rendered.contains("execute"), "{rendered}");
+    // Per-job trace ids correlate with the run's.
+    for job in &run.jobs {
+        assert_eq!(job.trace_id, run.trace_id);
+    }
+}
+
+/// Fault counters are cumulative across `run_many` batches: monotone,
+/// never reset — the contract a scraper depends on.
+#[test]
+fn fault_counters_are_monotone_across_run_many() {
+    let engine = seeded_engine(8);
+    let parsed = engine.parse_sql("mono", Q3).expect("parse");
+    for (alias, base) in &parsed.instances {
+        let _ = engine.load_alias_of(base, alias).expect("alias");
+    }
+    let opts = RunOptions::from(Method::Ours).fault_plan(FaultPlan::with_probability(0.3, 0x5eed));
+    let mut last = engine.stats_snapshot();
+    for round in 0..3 {
+        let results = engine.run_many(&[&parsed.query, &parsed.query], &opts);
+        assert!(results.iter().all(Result::is_ok), "round {round}");
+        let now = engine.stats_snapshot();
+        let (f, g) = (now.faults, last.faults);
+        assert!(f.attempts > g.attempts, "attempts stalled in round {round}");
+        assert!(f.real_retries >= g.real_retries, "retries reset");
+        assert!(f.panics_caught >= g.panics_caught, "panics reset");
+        assert!(
+            f.deadline_exceeded >= g.deadline_exceeded,
+            "deadlines reset"
+        );
+        assert!(now.scheduler.shed >= last.scheduler.shed, "shed reset");
+        assert!(now.scheduler.admitted > last.scheduler.admitted);
+        last = now;
+    }
+    // With p = 0.3 over three 2-query rounds, some retry fired with
+    // overwhelming probability — the counter is not constant-zero.
+    assert!(last.faults.real_retries > 0, "{:?}", last.faults);
+}
+
+/// A run populates the engine's registry: query counters, latency
+/// histogram samples, admission units.
+#[test]
+fn metrics_registry_fills_from_runs() {
+    let engine = seeded_engine(8);
+    let run = engine
+        .run_sql_with("m", Q3, &RunOptions::default())
+        .unwrap();
+    let metrics = engine.metrics();
+    assert_eq!(
+        metrics.counter_value("mwtj_queries_total", &[("method", "ours")]),
+        1
+    );
+    assert_eq!(
+        metrics.histogram_count("mwtj_query_latency_ms", &[("method", "ours")]),
+        1
+    );
+    assert!(metrics.counter_value("mwtj_units_granted_total", &[]) >= u64::from(run.granted_units));
+    let text = metrics.render_text();
+    assert!(
+        text.contains("mwtj_plan_cache_lookups_total{result=miss} 1"),
+        "{text}"
+    );
+    // A fresh engine's registry is empty — no cross-engine bleed.
+    assert_eq!(
+        seeded_engine(8)
+            .metrics()
+            .counter_value("mwtj_queries_total", &[("method", "ours")]),
+        0
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Zone-map skipping under random band widths (and band direction)
+    /// keeps `skip_fraction()` a true fraction: in [0, 1] on every run,
+    /// with rows matching the untraced, unskipped baseline.
+    #[test]
+    fn skip_fraction_stays_in_unit_interval(width in 0i64..40, flip in any::<bool>()) {
+        let engine = seeded_engine(8);
+        let op = if flip { ">" } else { "<=" };
+        let offset = width - 20;
+        let sql = format!(
+            "SELECT x.a, y.b FROM r x, s y WHERE x.a {op} y.a {} {}",
+            if offset < 0 { "-" } else { "+" },
+            offset.abs()
+        );
+        let run = engine
+            .run_sql_with("band", &sql, &RunOptions::from(Method::Ours).skipping(true))
+            .unwrap();
+        let f = run.skip_fraction();
+        prop_assert!((0.0..=1.0).contains(&f), "skip_fraction {f} for width {width}");
+        for job in &run.jobs {
+            let jf = job.skip_fraction();
+            prop_assert!((0.0..=1.0).contains(&jf), "job skip_fraction {jf}");
+        }
+        // Engine-level zone stats agree with the bounded contract too.
+        let zs = engine.stats_snapshot().zone;
+        prop_assert!((0.0..=1.0).contains(&zs.skip_fraction()));
+    }
+}

@@ -566,6 +566,7 @@ impl Engine {
         let metrics = JobMetrics {
             name: job.name(),
             ticket: 0,
+            trace_id: 0,
             map_tasks: m,
             reduce_tasks: reducers,
             units,

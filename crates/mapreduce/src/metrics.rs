@@ -12,6 +12,11 @@ pub struct JobMetrics {
     /// carries the same ticket, so a server can attribute per-job
     /// metrics to the client request that caused them.
     pub ticket: u64,
+    /// Trace id of the query run this job belongs to (0 when the job
+    /// ran outside a traced query, e.g. calibration). Stamped by the
+    /// engine after execution, purely for correlation — never read by
+    /// the runtime.
+    pub trace_id: u64,
     /// Number of map tasks (= input blocks).
     pub map_tasks: u32,
     /// Number of reduce tasks `n` (`RN(MRJ)` in the paper).

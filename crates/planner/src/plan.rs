@@ -18,6 +18,7 @@ use mwtj_mapreduce::{
     BatchSink, CancelToken, Cluster, ExecError, FaultPlan, InputSpec, JobMetrics, PlanJob,
     PlanStage, RowBatch, SinkSpec,
 };
+use mwtj_obs::QueryProfile;
 use mwtj_query::theta::CompiledPredicate;
 use mwtj_query::MultiwayQuery;
 use mwtj_storage::{Relation, RelationStats, Tuple};
@@ -203,6 +204,13 @@ pub struct QueryRun {
     /// unless the admission controller degraded the query to a smaller
     /// slice via [`ExecOptions::units`]).
     pub granted_units: u32,
+    /// Process-unique trace id of this run (0 when the run executed
+    /// outside a traced engine, e.g. direct planner tests). Stamped by
+    /// the engine; purely for correlation, never read by execution.
+    pub trace_id: u64,
+    /// Per-stage profile tree, when the run executed with tracing
+    /// enabled. `None` under `+notrace` or outside an engine.
+    pub profile: Option<QueryProfile>,
 }
 
 /// Real fault-handling totals across every job of one run — attempts
@@ -261,6 +269,13 @@ impl QueryRun {
         } else {
             pruned as f64 / total as f64
         }
+    }
+
+    /// The run's per-stage profile tree, when it executed with
+    /// tracing enabled (the default inside an engine; disabled with
+    /// `+notrace`).
+    pub fn profile(&self) -> Option<&QueryProfile> {
+        self.profile.as_ref()
     }
 }
 
@@ -766,6 +781,8 @@ impl Planner {
             jobs: jobs_metrics,
             ticket: opts.ticket,
             granted_units: k_p,
+            trace_id: 0,
+            profile: None,
         })
     }
 
@@ -1071,6 +1088,8 @@ impl Planner {
                     jobs: metrics,
                     ticket: opts.ticket,
                     granted_units: k_p,
+                    trace_id: 0,
+                    profile: None,
                 });
             }
             cur_file = out_file;

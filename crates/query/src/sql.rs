@@ -145,6 +145,54 @@ pub fn parse_sql(
     p.parse(name, schema_of)
 }
 
+/// A parsed SQL statement: a plain query, or an `EXPLAIN [ANALYZE]`
+/// wrapper around one.
+#[derive(Debug, Clone)]
+pub enum Statement {
+    /// An executable query.
+    Select(ParsedQuery),
+    /// `EXPLAIN <query>` (report the plan without executing) or
+    /// `EXPLAIN ANALYZE <query>` (execute and report the profile).
+    Explain {
+        /// True for `EXPLAIN ANALYZE`.
+        analyze: bool,
+        /// The wrapped query.
+        query: ParsedQuery,
+    },
+}
+
+/// Parse a statement: an optional `EXPLAIN [ANALYZE]` prefix followed
+/// by the [`parse_sql`] query grammar. `EXPLAIN` and `ANALYZE` are
+/// keywords, so they cannot be used as table or alias names.
+pub fn parse_statement(
+    name: &str,
+    sql: &str,
+    schema_of: &dyn Fn(&str) -> Option<Schema>,
+) -> Result<Statement> {
+    let tokens = tokenize(sql)?;
+    let mut p = Parser {
+        tokens,
+        pos: 0,
+        sql,
+        params: 0,
+    };
+    if matches!(p.peek(), Some(Tok::Keyword(Kw::Explain))) {
+        p.next();
+        let analyze = if matches!(p.peek(), Some(Tok::Keyword(Kw::Analyze))) {
+            p.next();
+            true
+        } else {
+            false
+        };
+        Ok(Statement::Explain {
+            analyze,
+            query: p.parse(name, schema_of)?,
+        })
+    } else {
+        Ok(Statement::Select(p.parse(name, schema_of)?))
+    }
+}
+
 // ---------------------------------------------------------------- lexer
 
 #[derive(Debug, Clone, PartialEq)]
@@ -167,6 +215,8 @@ enum Kw {
     From,
     Where,
     And,
+    Explain,
+    Analyze,
 }
 
 fn tokenize(sql: &str) -> Result<Vec<Tok>> {
@@ -256,6 +306,8 @@ fn tokenize(sql: &str) -> Result<Vec<Tok>> {
                     "FROM" => Some(Kw::From),
                     "WHERE" => Some(Kw::Where),
                     "AND" => Some(Kw::And),
+                    "EXPLAIN" => Some(Kw::Explain),
+                    "ANALYZE" => Some(Kw::Analyze),
                     _ => None,
                 };
                 out.push(match kw {
@@ -556,6 +608,29 @@ mod tests {
     fn keywords_case_insensitive() {
         let sql = "select a.id from table a, table b where a.d < b.d";
         assert!(parse_query("q", sql, &resolver()).is_ok());
+    }
+
+    #[test]
+    fn parse_statement_handles_explain_prefixes() {
+        let body = "SELECT a.id FROM table a, table b WHERE a.d < b.d";
+        match parse_statement("q", body, &resolver()).unwrap() {
+            Statement::Select(p) => assert_eq!(p.query.num_relations(), 2),
+            other => panic!("expected Select, got {other:?}"),
+        }
+        match parse_statement("q", &format!("EXPLAIN {body}"), &resolver()).unwrap() {
+            Statement::Explain { analyze, query } => {
+                assert!(!analyze);
+                assert_eq!(query.query.num_relations(), 2);
+            }
+            other => panic!("expected Explain, got {other:?}"),
+        }
+        match parse_statement("q", &format!("explain analyze {body}"), &resolver()).unwrap() {
+            Statement::Explain { analyze, .. } => assert!(analyze),
+            other => panic!("expected Explain, got {other:?}"),
+        }
+        // A bare EXPLAIN with no query is an error, not a panic.
+        assert!(parse_statement("q", "EXPLAIN", &resolver()).is_err());
+        assert!(parse_statement("q", "EXPLAIN ANALYZE", &resolver()).is_err());
     }
 
     #[test]

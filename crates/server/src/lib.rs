@@ -23,9 +23,9 @@
 //! [params…]` runs it off the engine's shared plan cache (unary or as
 //! a streamed frame sequence), `close <id>` drops it, and `stats`
 //! reports the plan-cache counters
-//! ([`Engine::plan_cache_stats`](mwtj_core::Engine::plan_cache_stats))
+//! ([`Engine::stats_snapshot`](mwtj_core::Engine::stats_snapshot))
 //! and the zone-map skip counters
-//! ([`Engine::zone_skip_stats`](mwtj_core::Engine::zone_skip_stats))
+//! ([`Engine::stats_snapshot`](mwtj_core::Engine::stats_snapshot))
 //! in one frame.
 //!
 //! ```no_run

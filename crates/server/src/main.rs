@@ -1,8 +1,8 @@
 //! `mwtj-server`: the long-lived query server binary.
 //!
 //! ```text
-//! mwtj-server [--listen ADDR] [--units K] [--max-queue N] [--demo]
-//! mwtj-server --stdin [--units K] [--max-queue N] [--demo]
+//! mwtj-server [--listen ADDR] [--units K] [--max-queue N] [--slow-query-ms MS] [--demo]
+//! mwtj-server --stdin [--units K] [--max-queue N] [--slow-query-ms MS] [--demo]
 //! mwtj-server client [--stream] ADDR REQUEST...
 //! ```
 //!
@@ -29,13 +29,17 @@ struct Args {
     listen: String,
     units: u32,
     max_queue: Option<usize>,
+    /// Engine-wide slow-query log threshold in wall-clock ms (0 = off);
+    /// per-request `+slow=ms` options override it.
+    slow_query_ms: u64,
     demo: bool,
     stdin: bool,
 }
 
 fn usage() -> ! {
     eprintln!(
-        "usage: mwtj-server [--listen ADDR] [--units K] [--max-queue N] [--demo] [--stdin]\n\
+        "usage: mwtj-server [--listen ADDR] [--units K] [--max-queue N] \
+         [--slow-query-ms MS] [--demo] [--stdin]\n\
          \x20      mwtj-server client [--stream] ADDR REQUEST...\n\
          \x20      mwtj-server client --prepare [--stream] [--params V1,V2,...] ADDR SQL..."
     );
@@ -47,6 +51,7 @@ fn parse_args(args: &[String]) -> Args {
         listen: "127.0.0.1:7411".into(),
         units: 16,
         max_queue: Some(64),
+        slow_query_ms: 0,
         demo: false,
         stdin: false,
     };
@@ -67,6 +72,12 @@ fn parse_args(args: &[String]) -> Args {
                     .unwrap_or_else(|| usage());
                 out.max_queue = if v < 0 { None } else { Some(v as usize) };
             }
+            "--slow-query-ms" => {
+                out.slow_query_ms = it
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage())
+            }
             "--demo" => out.demo = true,
             "--stdin" => out.stdin = true,
             "--help" | "-h" => usage(),
@@ -82,6 +93,7 @@ fn build_engine(args: &Args) -> Engine {
         ..AdmissionPolicy::default()
     };
     let engine = Engine::with_units_and_policy(args.units, policy);
+    engine.set_slow_query_ms(args.slow_query_ms);
     if args.demo {
         load_demo(&engine);
         eprintln!("loaded demo relations: r, s, t (columns a:int, b:int)");

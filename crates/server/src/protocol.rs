@@ -15,9 +15,14 @@
 //! ```text
 //! ping
 //! status
-//! stats                            -- plan-cache + zone-map skip counters
+//! stats [json]                     -- one coherent engine snapshot;
+//!                                     `json` = metrics registry as JSON
+//! metrics                          -- metrics registry, text exposition
 //! tables
 //! run [options] <sql>              -- options = RunOptions FromStr form
+//! explain [options] <sql>          -- plan without executing; prefix the
+//!                                     SQL with `analyze` to execute and
+//!                                     return the per-stage profile
 //! prepare <sql>                    -- SQL may hold `?` parameters
 //! execute <id> [options] [stream [batch=N]] [p1 p2 ...]
 //! close <id>
@@ -52,7 +57,22 @@
 //!
 //! `stats` reports the engine-wide fault counters alongside the
 //! plan-cache and zone-map fields: `task_attempts`, `real_retries`,
-//! `panics_caught`, `deadline_exceeded` and `shed`.
+//! `panics_caught`, `deadline_exceeded` and `shed` — all taken from one
+//! coherent [`Engine::stats_snapshot`](mwtj_core::Engine::stats_snapshot),
+//! so the fields of one reply never mix epochs.
+//!
+//! `metrics` answers the engine's metrics registry in the conventional
+//! text exposition — one `name{label="value",…} number` line per
+//! sample, histograms as cumulative `_bucket{le="…"}` lines plus
+//! `_sum`/`_count` — and `stats json` answers the same registry as one
+//! JSON object.
+//!
+//! `explain <sql>` answers `ok trace=<id> analyze=false` with the
+//! chosen plan, Eq. 2 unit request and predicted makespan in the body,
+//! without executing (or even admitting) the query. `explain analyze
+//! <sql>` executes it with tracing forced on and appends the per-stage
+//! profile tree. The SQL itself may carry the `EXPLAIN [ANALYZE]`
+//! prefix instead — `run EXPLAIN ANALYZE SELECT …` routes identically.
 //!
 //! ## Streaming frames
 //!
@@ -167,8 +187,24 @@ pub enum Request {
         /// Statement id to drop.
         id: u64,
     },
-    /// Plan-cache counters (hits/misses/evictions/replans).
+    /// One coherent engine-statistics snapshot (plan cache, zone maps,
+    /// faults, scheduler).
     Stats,
+    /// The metrics registry: text exposition (`metrics`) or JSON
+    /// (`stats json`).
+    Metrics {
+        /// `true` = JSON object, `false` = text exposition.
+        json: bool,
+    },
+    /// Report a query's plan (and, with `analyze`, its executed
+    /// profile) instead of its rows.
+    Explain {
+        /// Parsed run options (default when omitted).
+        opts: RunOptions,
+        /// The SQL text, optionally prefixed `ANALYZE` / `EXPLAIN
+        /// [ANALYZE]`.
+        sql: String,
+    },
     /// Load a relation from CSV rows.
     Load {
         /// Relation name.
@@ -202,7 +238,12 @@ impl Request {
         match cmd.to_ascii_lowercase().as_str() {
             "ping" => Ok(Request::Ping),
             "status" => Ok(Request::Status),
-            "stats" => Ok(Request::Stats),
+            "stats" => match words.next() {
+                Some(w) if w.eq_ignore_ascii_case("json") => Ok(Request::Metrics { json: true }),
+                Some(w) => Err(format!("stats: unknown argument `{w}` (expected `json`)")),
+                None => Ok(Request::Stats),
+            },
+            "metrics" => Ok(Request::Metrics { json: false }),
             "tables" => Ok(Request::Tables),
             "shutdown" => Ok(Request::Shutdown),
             "quit" | "exit" => Ok(Request::Quit),
@@ -284,6 +325,15 @@ impl Request {
                 }
                 Ok(Request::Run { opts, sql })
             }
+            "explain" => {
+                let rest = head["explain".len()..].trim_start();
+                let (opts, inline) = split_leading_opts(rest);
+                let sql = gather_sql(inline, body);
+                if sql.is_empty() {
+                    return Err("explain: missing SQL text".into());
+                }
+                Ok(Request::Explain { opts, sql })
+            }
             "stream" => {
                 let rest = head["stream".len()..].trim_start();
                 // `stream [options] [batch=N] <sql…>`.
@@ -336,8 +386,8 @@ impl Request {
                 })
             }
             other => Err(format!(
-                "unknown command `{other}` (expected ping, status, stats, tables, run, stream, \
-                 prepare, execute, close, load, unload, shutdown or quit)"
+                "unknown command `{other}` (expected ping, status, stats, metrics, tables, run, \
+                 explain, stream, prepare, execute, close, load, unload, shutdown or quit)"
             )),
         }
     }
@@ -819,6 +869,44 @@ mod tests {
         assert_eq!(Request::parse("stats").unwrap(), Request::Stats);
     }
 
+    #[test]
+    fn parses_metrics_and_explain() {
+        assert_eq!(
+            Request::parse("metrics").unwrap(),
+            Request::Metrics { json: false }
+        );
+        assert_eq!(
+            Request::parse("stats JSON").unwrap(),
+            Request::Metrics { json: true }
+        );
+        assert!(Request::parse("stats bogus").is_err());
+
+        match Request::parse("explain hive SELECT * FROM r a, s b WHERE a.x < b.x").unwrap() {
+            Request::Explain { opts, sql } => {
+                assert_eq!(opts.get_method(), Method::Hive);
+                assert!(sql.starts_with("SELECT"));
+            }
+            other => panic!("{other:?}"),
+        }
+        // `analyze` never parses as RunOptions, so it stays in the SQL
+        // for the engine to interpret.
+        match Request::parse("explain analyze SELECT * FROM r a, s b WHERE a.x < b.x").unwrap() {
+            Request::Explain { opts, sql } => {
+                assert_eq!(opts, RunOptions::default());
+                assert!(sql.starts_with("analyze"), "{sql}");
+            }
+            other => panic!("{other:?}"),
+        }
+        // Framed form: SQL in the body.
+        match Request::parse("explain\nEXPLAIN ANALYZE SELECT *\nFROM r a, s b\nWHERE a.x = b.x")
+            .unwrap()
+        {
+            Request::Explain { sql, .. } => assert!(sql.contains('\n')),
+            other => panic!("{other:?}"),
+        }
+        assert!(Request::parse("explain").is_err());
+    }
+
     /// The `stats` reply carries plan-cache and zone-map skip counters
     /// in one `ok` frame whose `key=value` tokens all parse — the shape
     /// clients (and the CI smoke) extract fields from.
@@ -843,6 +931,7 @@ mod tests {
                 ("panics_caught", "3".into()),
                 ("deadline_exceeded", "1".into()),
                 ("shed", "2".into()),
+                ("epoch", "4".into()),
             ],
             None,
         );
@@ -871,6 +960,7 @@ mod tests {
             "panics_caught",
             "deadline_exceeded",
             "shed",
+            "epoch",
         ] {
             let v = fields.get(k).unwrap_or_else(|| panic!("missing {k}"));
             assert!(v.parse::<u64>().is_ok(), "{k}={v}");

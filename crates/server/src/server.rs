@@ -217,7 +217,14 @@ fn handle_connection(
                     Ok(request) => handle_request(engine, &mut stmts, request),
                     Err(e) => (err_response(e), Action::Continue),
                 };
-                if let Err(e) = write_frame(&mut stream, &response) {
+                let wire_started = std::time::Instant::now();
+                let written = write_frame(&mut stream, &response);
+                engine.metrics().observe(
+                    "mwtj_wire_write_ms",
+                    &[],
+                    wire_started.elapsed().as_secs_f64() * 1e3,
+                );
+                if let Err(e) = written {
                     // A response body over the frame limit is refused
                     // before any bytes hit the wire, so the stream is
                     // still in sync — tell the client instead of
@@ -430,11 +437,12 @@ fn handle_request(engine: &Engine, stmts: &mut StmtTable, request: Request) -> (
         Request::Quit => ("ok bye".into(), Action::Quit),
         Request::Shutdown => ("ok draining".into(), Action::Shutdown),
         Request::Stats => {
-            let st = engine.plan_cache_stats();
-            let zs = engine.zone_skip_stats();
-            let fs = engine.fault_stats();
-            let shed = engine.scheduler().stats().shed;
-            let (zmap_hits, zmap_misses) = engine.cluster().dfs().zone_cache_stats();
+            // One snapshot call, one set of fields: every value in this
+            // reply was read together, so a concurrent run can never
+            // make e.g. `hits` and `misses` disagree about how many
+            // lookups happened.
+            let snap = engine.stats_snapshot();
+            let (st, zs, fs) = (snap.plan_cache, snap.zone, snap.faults);
             let fields = [
                 ("entries", st.entries.to_string()),
                 ("hits", st.hits.to_string()),
@@ -446,16 +454,30 @@ fn handle_request(engine: &Engine, stmts: &mut StmtTable, request: Request) -> (
                 ("zone_pairs_pruned", zs.pairs_pruned.to_string()),
                 ("zone_rows_pruned", zs.rows_pruned.to_string()),
                 ("skip_fraction", format!("{:.6}", zs.skip_fraction())),
-                ("zone_map_hits", zmap_hits.to_string()),
-                ("zone_map_misses", zmap_misses.to_string()),
+                ("zone_map_hits", snap.zone_cache_hits.to_string()),
+                ("zone_map_misses", snap.zone_cache_misses.to_string()),
                 ("task_attempts", fs.attempts.to_string()),
                 ("real_retries", fs.real_retries.to_string()),
                 ("panics_caught", fs.panics_caught.to_string()),
                 ("deadline_exceeded", fs.deadline_exceeded.to_string()),
-                ("shed", shed.to_string()),
+                ("shed", snap.scheduler.shed.to_string()),
+                ("epoch", snap.epoch.to_string()),
             ];
             (ok_response(&fields, None), Action::Continue)
         }
+        Request::Metrics { json } => {
+            let body = if json {
+                engine.metrics().render_json()
+            } else {
+                engine.metrics().render_text()
+            };
+            let format = if json { "json" } else { "text" };
+            (
+                ok_response(&[("format", format.into())], Some(body.trim_end())),
+                Action::Continue,
+            )
+        }
+        Request::Explain { opts, sql } => explain_response(engine, &opts, &sql),
         Request::Prepare { sql } => match engine.prepare_sql("server", &sql) {
             Ok(prepared) => {
                 let params = prepared.param_count();
@@ -552,10 +574,51 @@ fn handle_request(engine: &Engine, stmts: &mut StmtTable, request: Request) -> (
             err_response("internal: stream request routed to the unary dispatcher"),
             Action::Continue,
         ),
-        Request::Run { opts, sql } => match engine.run_sql_with("server", &sql, &opts) {
-            Err(e) => (engine_err_response(&e), Action::Continue),
-            Ok(run) => (run_response(&run), Action::Continue),
-        },
+        Request::Run { opts, sql } => {
+            // `run EXPLAIN [ANALYZE] <sql>` routes to the explain
+            // handler: EXPLAIN is a statement prefix, not a table.
+            if first_word_is(&sql, "explain") {
+                return explain_response(engine, &opts, &sql);
+            }
+            match engine.run_sql_with("server", &sql, &opts) {
+                Err(e) => (engine_err_response(&e), Action::Continue),
+                Ok(run) => (run_response(&run), Action::Continue),
+            }
+        }
+    }
+}
+
+/// Case-insensitive test of `sql`'s first word.
+fn first_word_is(sql: &str, word: &str) -> bool {
+    sql.split_whitespace()
+        .next()
+        .is_some_and(|w| w.eq_ignore_ascii_case(word))
+}
+
+/// Serve an `explain` request (or a `run` whose SQL starts with
+/// `EXPLAIN`). The verb form accepts the SQL bare (plain explain) or
+/// prefixed `analyze` / `EXPLAIN [ANALYZE]`; it is normalized to the
+/// statement grammar the engine parses.
+fn explain_response(engine: &Engine, opts: &RunOptions, sql: &str) -> (String, Action) {
+    let stmt = if first_word_is(sql, "explain") {
+        sql.to_string()
+    } else {
+        // Covers both `explain SELECT …` (bare) and
+        // `explain analyze SELECT …`.
+        format!("EXPLAIN {sql}")
+    };
+    match engine.explain_sql("server", &stmt, opts) {
+        Ok(report) => {
+            let fields = [
+                ("trace", report.trace_id.to_string()),
+                ("analyze", report.analyze.to_string()),
+            ];
+            (
+                ok_response(&fields, Some(report.render().trim_end())),
+                Action::Continue,
+            )
+        }
+        Err(e) => (engine_err_response(&e), Action::Continue),
     }
 }
 

@@ -113,6 +113,7 @@ proptest! {
             jobs: Vec::new(),
             ticket,
             granted_units: units,
+            trace_id: 0,
         };
         let frame = end_frame(&end);
         match parse_stream_frame(&frame) {

@@ -586,3 +586,81 @@ fn statement_table_is_bounded_per_connection() {
     assert_eq!(fulls, 1, "{text}");
     assert!(text.contains("ok closed=1"), "{text}");
 }
+
+/// The observability verbs over real TCP: `metrics` answers the text
+/// exposition (with a populated latency histogram after a run),
+/// `stats json` answers the same registry as JSON, and
+/// `explain`/`EXPLAIN ANALYZE` answer plan and profile frames.
+#[test]
+fn metrics_and_explain_verbs_over_tcp() {
+    let (_engine, addr, handle) = start_server(8);
+    let mut c = Client::connect(addr).expect("connect");
+
+    // Plain explain: a plan frame, no execution.
+    let explained = c.request(&format!("explain {Q_RS}")).unwrap();
+    assert!(explained.starts_with("ok trace="), "{explained}");
+    assert!(explained.contains("analyze=false"), "{explained}");
+    assert!(explained.contains("plan: ours:"), "{explained}");
+    assert!(explained.contains("units: requested="), "{explained}");
+    // Nothing ran, so no query latency samples yet.
+    let metrics = c.request("metrics").unwrap();
+    assert!(
+        !metrics.contains("mwtj_query_latency_ms_count"),
+        "{metrics}"
+    );
+
+    // A real run populates the registry.
+    let reply = c.run_sql(&RunOptions::default(), Q_RS).unwrap();
+    assert!(reply.starts_with("ok rows="), "{reply}");
+    let metrics = c.request("metrics").unwrap();
+    assert!(metrics.starts_with("ok format=text\n"), "{metrics}");
+    let count_line = metrics
+        .lines()
+        .find(|l| l.starts_with("mwtj_query_latency_ms_count"))
+        .unwrap_or_else(|| panic!("no latency count in {metrics}"));
+    let count: u64 = count_line
+        .split_whitespace()
+        .last()
+        .unwrap()
+        .parse()
+        .unwrap();
+    assert!(count >= 1, "{count_line}");
+    assert!(
+        metrics
+            .lines()
+            .any(|l| l.starts_with("mwtj_queries_total{method=ours}")),
+        "{metrics}"
+    );
+    assert!(
+        metrics
+            .lines()
+            .any(|l| l.starts_with("mwtj_query_latency_ms_bucket{le=+Inf,method=ours}")),
+        "{metrics}"
+    );
+    // The wire-write histogram saw at least the earlier responses.
+    assert!(metrics.contains("mwtj_wire_write_ms_count"), "{metrics}");
+
+    // The JSON variant parses far enough to carry the same counter.
+    let json = c.request("stats json").unwrap();
+    assert!(json.starts_with("ok format=json\n"), "{json}");
+    assert!(json.contains("mwtj_queries_total"), "{json}");
+
+    // EXPLAIN ANALYZE through the `run` verb: executes and renders the
+    // profile tree with per-job stages.
+    let analyzed = c.request(&format!("run EXPLAIN ANALYZE {Q_RS}")).unwrap();
+    assert!(analyzed.starts_with("ok trace="), "{analyzed}");
+    assert!(analyzed.contains("analyze=true"), "{analyzed}");
+    assert!(analyzed.contains("rows: "), "{analyzed}");
+    for stage in ["plan", "admission", "execute", "job0/map"] {
+        assert!(
+            analyzed.lines().any(|l| l.trim_start().starts_with(stage)),
+            "missing stage {stage} in {analyzed}"
+        );
+    }
+    // …and the `explain analyze` verb form routes identically.
+    let verb = c.request(&format!("explain analyze {Q_RS}")).unwrap();
+    assert!(verb.contains("analyze=true"), "{verb}");
+
+    shutdown(addr);
+    handle.join().unwrap();
+}

@@ -1,0 +1,79 @@
+#!/usr/bin/env bash
+# CI smoke for the observability layer: boot a demo server, run a
+# query, scrape the `metrics` verb and assert the exposition parses
+# (every line is `name{label=value,...} number`) with at least one
+# query-latency histogram sample, then assert `EXPLAIN ANALYZE`
+# answers a profile frame with the lifecycle stages. Expects the
+# release binary (cargo build --release -p mwtj-server).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=./target/release/mwtj-server
+ADDR=${MWTJ_OBS_SMOKE_ADDR:-127.0.0.1:7414}
+
+SERVER_LOG=$(mktemp)
+"$BIN" --listen "$ADDR" --demo --slow-query-ms 60000 >"$SERVER_LOG" 2>&1 &
+SERVER_PID=$!
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -f "$SERVER_LOG"' EXIT
+
+# Bounded poll for readiness: fail loudly (with the server log) if the
+# server dies or never answers, instead of limping into later commands.
+READY=0
+for _ in $(seq 1 100); do
+  kill -0 "$SERVER_PID" 2>/dev/null || break
+  if "$BIN" client "$ADDR" ping >/dev/null 2>&1; then READY=1; break; fi
+  sleep 0.1
+done
+if [ "$READY" -ne 1 ]; then
+  echo "obs smoke: server on $ADDR never became ready; server log:"
+  cat "$SERVER_LOG"
+  exit 1
+fi
+
+SQL="SELECT x.a, y.b FROM r x, s y WHERE x.a <= y.a"
+
+# Plain EXPLAIN answers the plan without executing.
+EXPLAIN_OUT=$("$BIN" client "$ADDR" explain "$SQL")
+grep -q '^ok trace=' <<<"$EXPLAIN_OUT" \
+  || { echo "obs smoke: explain missing trace id"; echo "$EXPLAIN_OUT"; exit 1; }
+grep -q '^plan: ours:' <<<"$EXPLAIN_OUT" \
+  || { echo "obs smoke: explain missing plan line"; echo "$EXPLAIN_OUT"; exit 1; }
+
+# A real run, then scrape the registry.
+"$BIN" client "$ADDR" run ours "$SQL" >/dev/null
+
+METRICS=$("$BIN" client "$ADDR" metrics)
+[[ ${METRICS%%$'\n'*} == 'ok format=text' ]] \
+  || { echo "obs smoke: bad metrics header"; echo "$METRICS"; exit 1; }
+
+# Every exposition line must parse as `name[{labels}] number`.
+BAD=$(tail -n +2 <<<"$METRICS" \
+  | grep -cEv '^[a-zA-Z_:][a-zA-Z0-9_:]*(\{[^}]*\})? -?[0-9]+(\.[0-9e+-]+)?$' || true)
+[ "$BAD" -eq 0 ] \
+  || { echo "obs smoke: $BAD unparseable exposition line(s)"; echo "$METRICS"; exit 1; }
+
+LATENCY_COUNT=$(sed -n 's/^mwtj_query_latency_ms_count{method=ours} //p' <<<"$METRICS")
+[ -n "$LATENCY_COUNT" ] && [ "$LATENCY_COUNT" -ge 1 ] \
+  || { echo "obs smoke: no query latency samples"; echo "$METRICS"; exit 1; }
+
+grep -q '^mwtj_queries_total{method=ours} ' <<<"$METRICS" \
+  || { echo "obs smoke: missing query counter"; echo "$METRICS"; exit 1; }
+
+# The JSON variant answers the same registry.
+"$BIN" client "$ADDR" stats json | grep -q 'mwtj_queries_total' \
+  || { echo "obs smoke: stats json missing counters"; exit 1; }
+
+# EXPLAIN ANALYZE executes and renders the per-stage profile tree.
+ANALYZE_OUT=$("$BIN" client "$ADDR" run "EXPLAIN ANALYZE $SQL")
+grep -q 'analyze=true' <<<"$ANALYZE_OUT" \
+  || { echo "obs smoke: explain analyze not analyzed"; echo "$ANALYZE_OUT"; exit 1; }
+for STAGE in plan admission execute job0/map; do
+  grep -q "$STAGE" <<<"$ANALYZE_OUT" \
+    || { echo "obs smoke: profile missing stage $STAGE"; echo "$ANALYZE_OUT"; exit 1; }
+done
+
+"$BIN" client "$ADDR" shutdown >/dev/null
+wait "$SERVER_PID"
+trap - EXIT
+rm -f "$SERVER_LOG"
+echo "obs smoke: exposition parses, latency count=$LATENCY_COUNT, explain analyze profiled"

@@ -45,14 +45,24 @@ echo "prepared smoke (stdin): plan-cache hits $H1 -> $H2 across two parameterise
 
 # ---- TCP: the client's --prepare lifecycle demo ----
 ADDR=${MWTJ_PREPARED_SMOKE_ADDR:-127.0.0.1:7413}
-"$BIN" --listen "$ADDR" --demo &
+SERVER_LOG=$(mktemp)
+"$BIN" --listen "$ADDR" --demo >"$SERVER_LOG" 2>&1 &
 SERVER_PID=$!
-trap 'kill "$SERVER_PID" 2>/dev/null || true' EXIT
+trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -f "$SERVER_LOG"' EXIT
 
-for _ in $(seq 1 50); do
-  if "$BIN" client "$ADDR" ping >/dev/null 2>&1; then break; fi
-  sleep 0.2
+# Bounded poll for readiness: fail loudly (with the server log) if the
+# server dies or never answers, instead of limping into later commands.
+READY=0
+for _ in $(seq 1 100); do
+  kill -0 "$SERVER_PID" 2>/dev/null || break
+  if "$BIN" client "$ADDR" ping >/dev/null 2>&1; then READY=1; break; fi
+  sleep 0.1
 done
+if [ "$READY" -ne 1 ]; then
+  echo "prepared smoke: server on $ADDR never became ready; server log:"
+  cat "$SERVER_LOG"
+  exit 1
+fi
 
 PREP_OUT=$("$BIN" client --prepare --params 3 "$ADDR" \
   "SELECT x.a, y.b FROM r x, s y WHERE x.a + ? <= y.a")

@@ -77,7 +77,7 @@ fn prepared_matches_adhoc_bit_identically_all_methods_and_strategies() {
             for (i, (a, p)) in adhoc.iter().zip(&execs).enumerate() {
                 assert_eq!(a, p, "{method} {strategy} execution {i} diverged");
             }
-            let st = prepared_engine.plan_cache_stats();
+            let st = prepared_engine.stats_snapshot().plan_cache;
             match method {
                 Method::Ours | Method::OursGrid => {
                     assert_eq!(st.misses, 1, "{method} {strategy}: one planning pass");
@@ -115,11 +115,11 @@ fn adhoc_and_prepared_share_one_plan_entry() {
     engine
         .execute(&prepared, &[], &RunOptions::default())
         .unwrap();
-    let after_first = engine.plan_cache_stats();
+    let after_first = engine.stats_snapshot().plan_cache;
     assert_eq!((after_first.misses, after_first.hits), (1, 0));
     // Ad-hoc run of the same text: parse happens, planning does not.
     engine.run_sql(SQL3).unwrap();
-    let after_adhoc = engine.plan_cache_stats();
+    let after_adhoc = engine.stats_snapshot().plan_cache;
     assert_eq!(after_adhoc.misses, 1, "ad-hoc must reuse the prepared plan");
     assert_eq!(after_adhoc.hits, 1);
     assert_eq!(after_adhoc.entries, 1);
@@ -143,7 +143,7 @@ fn streamed_execution_off_the_same_handle_is_bit_identical() {
     assert_eq!(end.sim_secs, unary.sim_secs);
     assert_eq!(end.predicted_secs, unary.predicted_secs);
     // Unary execution missed once; the streamed one hit.
-    let st = engine.plan_cache_stats();
+    let st = engine.stats_snapshot().plan_cache;
     assert_eq!((st.misses, st.hits), (1, 1));
     assert_eq!(engine.scheduler().stats().in_flight_units, 0);
 }
@@ -173,7 +173,7 @@ fn parameter_bindings_match_literal_sql() {
             "param {v} vs literal"
         );
     }
-    let st = engine.plan_cache_stats();
+    let st = engine.stats_snapshot().plan_cache;
     assert_eq!(st.misses, 1, "one template plan across bindings");
     assert_eq!(st.hits, 2);
 
@@ -224,7 +224,7 @@ fn parameterised_equality_survives_zero_then_nonzero_bindings() {
     let five = engine
         .execute(&prepared, &[5.0], &RunOptions::default())
         .unwrap();
-    assert_eq!(engine.plan_cache_stats().hits, 1);
+    assert_eq!(engine.stats_snapshot().plan_cache.hits, 1);
     for (run, literal) in [
         (&zero, "SELECT x.a, y.b FROM r x, s y WHERE x.a + 0 = y.a"),
         (&five, "SELECT x.a, y.b FROM r x, s y WHERE x.a + 5 = y.a"),
@@ -286,7 +286,7 @@ fn reload_between_prepare_and_execute_replans_against_fresh_data() {
     engine
         .execute(&prepared, &[], &RunOptions::default())
         .unwrap();
-    let warm = engine.plan_cache_stats();
+    let warm = engine.stats_snapshot().plan_cache;
     assert_eq!((warm.misses, warm.replans), (1, 0));
 
     // Reload `r` with different data: epoch bumps, cached plan is stale.
@@ -294,7 +294,7 @@ fn reload_between_prepare_and_execute_replans_against_fresh_data() {
     let run = engine
         .execute(&prepared, &[], &RunOptions::default())
         .unwrap();
-    let st = engine.plan_cache_stats();
+    let st = engine.stats_snapshot().plan_cache;
     assert_eq!(st.replans, 1, "stale-epoch entry must be replanned");
     assert_eq!(st.evictions, 1, "…and the stale entry evicted");
 
@@ -329,7 +329,7 @@ fn degraded_executions_cache_reduced_k_replans_per_k() {
     let full = engine
         .execute(&prepared, &[], &RunOptions::default())
         .unwrap();
-    assert_eq!(engine.plan_cache_stats().misses, 1);
+    assert_eq!(engine.stats_snapshot().plan_cache.misses, 1);
 
     // Hold most of the budget so the next executions degrade.
     let hold = engine.scheduler().admit(6).unwrap();
@@ -342,7 +342,7 @@ fn degraded_executions_cache_reduced_k_replans_per_k() {
         degraded.granted_units,
         full.granted_units
     );
-    let st = engine.plan_cache_stats();
+    let st = engine.stats_snapshot().plan_cache;
     assert_eq!(st.replans, 1, "degradation replans at the smaller k");
     assert_eq!(
         st.entries, 2,
@@ -356,7 +356,7 @@ fn degraded_executions_cache_reduced_k_replans_per_k() {
         .execute(&prepared, &[], &RunOptions::default())
         .unwrap();
     assert_eq!(again.granted_units, degraded.granted_units);
-    let st2 = engine.plan_cache_stats();
+    let st2 = engine.stats_snapshot().plan_cache;
     assert_eq!(st2.replans, 1, "no second replan");
     assert_eq!(st2.hits, hits_before + 2);
     // Degraded or not, the rows are the query's rows.
@@ -403,7 +403,7 @@ fn concurrent_executions_of_one_handle_from_many_sessions() {
             assert_eq!(h.join().unwrap().rows(), want.rows());
         }
     });
-    let st = engine.plan_cache_stats();
+    let st = engine.stats_snapshot().plan_cache;
     assert_eq!(st.misses, 1, "six concurrent executions, one plan");
     assert!(st.hits >= 6);
     assert_eq!(engine.scheduler().stats().in_flight_units, 0);

@@ -235,7 +235,7 @@ fn mid_execution_deadline_kill_releases_everything() {
     assert!(err.is_deadline_exceeded(), "typed deadline kill, got {err}");
     // Killed in the queue (counted as shed) or mid-run (counted as a
     // deadline kill) — either way it is counted somewhere.
-    let fs = engine.fault_stats();
+    let fs = engine.stats_snapshot().faults;
     let shed = engine.scheduler().stats().shed;
     assert!(
         fs.deadline_exceeded + shed >= 1,
