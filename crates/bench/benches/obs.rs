@@ -1,0 +1,205 @@
+//! Flight-recorder overhead micro-bench: the always-on recorder must
+//! be free at query granularity.
+//!
+//! Runs the joincore-shaped workloads (sparse band join, equi join)
+//! through the full engine twice — once with the default recorder
+//! ring, once with `set_flight_capacity(0)` — on identically-seeded
+//! engines, and compares best-of-batches seconds per run. The bar:
+//! aggregate overhead under 1%. Every measurement also re-asserts the
+//! observation-only differential (identical rows, bit-identical sim
+//! clock) so a perf run doubles as a correctness check.
+//!
+//! Run modes:
+//!
+//! * `cargo bench -p mwtj-bench --bench obs` — full run, prints a
+//!   table, asserts the <1% aggregate bar and (re)writes
+//!   `BENCH_obs.json` at the repo root.
+//! * `cargo bench -p mwtj-bench --bench obs -- --test` — CI smoke:
+//!   tiny sizes, parity + recorder-state asserts only, no file and no
+//!   timing bar (CI boxes are too noisy to hold 1%).
+
+use mwtj_core::Engine;
+use mwtj_storage::{tuple, DataType, Relation, Schema};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+struct Workload {
+    name: &'static str,
+    sql: &'static str,
+    rows: usize,
+}
+
+fn workloads(quick: bool) -> Vec<Workload> {
+    let (band_n, equi_n) = if quick { (300, 300) } else { (2_000, 4_000) };
+    vec![
+        Workload {
+            name: "band_sparse",
+            sql: "SELECT x.a, y.b FROM bl x, br y WHERE x.a <= y.a",
+            rows: band_n,
+        },
+        Workload {
+            name: "hash_equi",
+            sql: "SELECT x.a, y.b FROM el x, er y WHERE x.a = y.a",
+            rows: equi_n,
+        },
+    ]
+}
+
+/// Identically-seeded engine; two builds are bit-identical, so the
+/// recorder setting is the only difference between the arms.
+fn build_engine(w: &Workload, disabled: bool) -> Engine {
+    let engine = Engine::with_units(8);
+    if disabled {
+        engine.set_flight_capacity(0);
+    }
+    let n = w.rows;
+    let d = n as i64 * 100;
+    let mut rng = StdRng::seed_from_u64(0x0b5);
+    // Same shapes as the joincore kernel bench: a band whose matching
+    // window covers ~1% of the domain, and an equi join with ~1 match
+    // per key.
+    let specs: [(&str, Box<dyn Fn(&mut StdRng) -> i64>); 4] = [
+        ("bl", Box::new(move |rng| d + rng.gen_range(0..d))),
+        ("br", Box::new(move |rng| rng.gen_range(0..d + d / 100))),
+        ("el", Box::new(move |rng| rng.gen_range(0..n as i64))),
+        ("er", Box::new(move |rng| rng.gen_range(0..n as i64))),
+    ];
+    for (name, gen) in specs {
+        let schema = Schema::from_pairs(name, &[("a", DataType::Int), ("b", DataType::Int)]);
+        let rows = (0..n).map(|i| tuple![gen(&mut rng), i as i64]).collect();
+        let _ = engine.load_relation(&Relation::from_rows_unchecked(schema, rows));
+    }
+    engine
+}
+
+struct Measurement {
+    workload: &'static str,
+    rows: usize,
+    output_rows: usize,
+    on_secs: f64,
+    off_secs: f64,
+}
+
+impl Measurement {
+    fn overhead(&self) -> f64 {
+        self.on_secs / self.off_secs - 1.0
+    }
+}
+
+fn measure(w: &Workload, quick: bool) -> Measurement {
+    let (runs, batches) = if quick { (2u32, 2u32) } else { (16, 9) };
+    let on = build_engine(w, false);
+    let off = build_engine(w, true);
+
+    // Warm-up doubles as the observation-only differential: the
+    // recorder must not change rows or the simulated clock.
+    let a = on.run_sql(w.sql).expect("recording warm-up");
+    let b = off.run_sql(w.sql).expect("disabled warm-up");
+    assert_eq!(a.output.len(), b.output.len(), "{}: row count", w.name);
+    assert_eq!(
+        a.sim_secs.to_bits(),
+        b.sim_secs.to_bits(),
+        "{}: sim clock",
+        w.name
+    );
+
+    // Interleaved batches so clock drift and cache state hit both
+    // arms alike; best-of-batches is robust to one-sided noise.
+    let mut best_on = f64::INFINITY;
+    let mut best_off = f64::INFINITY;
+    for _ in 0..batches {
+        let t = Instant::now();
+        for _ in 0..runs {
+            on.run_sql(w.sql).expect("recording run");
+        }
+        best_on = best_on.min(t.elapsed().as_secs_f64() / f64::from(runs));
+        let t = Instant::now();
+        for _ in 0..runs {
+            off.run_sql(w.sql).expect("disabled run");
+        }
+        best_off = best_off.min(t.elapsed().as_secs_f64() / f64::from(runs));
+    }
+
+    // The recorder actually recorded (bounded by its ring) — and the
+    // disabled arm recorded nothing at all.
+    let recorded = on.flight_recorder().len();
+    let total = 1 + (runs * batches) as usize;
+    assert!(recorded > 0 && recorded <= on.flight_recorder().capacity());
+    assert_eq!(
+        on.flight_recorder().total_recorded() as usize,
+        total,
+        "{}: every run recorded",
+        w.name
+    );
+    assert_eq!(off.flight_recorder().len(), 0, "{}: disabled arm", w.name);
+    assert_eq!(off.flight_recorder().total_recorded(), 0);
+
+    Measurement {
+        workload: w.name,
+        rows: w.rows,
+        output_rows: a.output.len(),
+        on_secs: best_on,
+        off_secs: best_off,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--test" || a == "--quick");
+    println!("obs: flight-recorder overhead on joincore-shaped engine runs");
+    println!(
+        "{:<14} {:>7} {:>9} {:>12} {:>12} {:>9}",
+        "workload", "rows", "out_rows", "on_ms", "off_ms", "overhead"
+    );
+    let mut all = Vec::new();
+    for w in workloads(quick) {
+        let m = measure(&w, quick);
+        println!(
+            "{:<14} {:>7} {:>9} {:>12.4} {:>12.4} {:>8.2}%",
+            m.workload,
+            m.rows,
+            m.output_rows,
+            m.on_secs * 1e3,
+            m.off_secs * 1e3,
+            m.overhead() * 1e2
+        );
+        all.push(m);
+    }
+    let on: f64 = all.iter().map(|m| m.on_secs).sum();
+    let off: f64 = all.iter().map(|m| m.off_secs).sum();
+    let aggregate = on / off - 1.0;
+    println!("aggregate overhead: {:.3}%", aggregate * 1e2);
+    if quick {
+        println!("quick mode: parity + recorder-state asserted, no baseline written");
+        return;
+    }
+    assert!(
+        aggregate < 0.01,
+        "flight recorder must cost <1% aggregate: {:.3}%",
+        aggregate * 1e2
+    );
+    let json = render_json(&all, aggregate);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_obs.json");
+    std::fs::write(path, &json).expect("write BENCH_obs.json");
+    println!("baseline written to {path}");
+}
+
+fn render_json(all: &[Measurement], aggregate: f64) -> String {
+    let mut out = String::from("{\n  \"bench\": \"obs\",\n  \"unit\": \"seconds_per_run\",\n  \"results\": [\n");
+    for (i, m) in all.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"rows\": {}, \"output_rows\": {}, \"recorder_on_secs\": {:.6e}, \"recorder_off_secs\": {:.6e}, \"overhead_fraction\": {:.5}}}{}\n",
+            m.workload,
+            m.rows,
+            m.output_rows,
+            m.on_secs,
+            m.off_secs,
+            m.overhead(),
+            if i + 1 == all.len() { "" } else { "," }
+        ));
+    }
+    out.push_str(&format!(
+        "  ],\n  \"aggregate_overhead_fraction\": {aggregate:.5}\n}}\n"
+    ));
+    out
+}

@@ -18,7 +18,10 @@ use crate::scheduler::{AdmissionPolicy, Scheduler, Ticket};
 use mwtj_cost::{CalibratedParams, Calibrator, CostModel};
 use mwtj_join::oracle::oracle_join;
 use mwtj_mapreduce::{CancelToken, Cluster, ClusterConfig, ExecError, JobMetrics};
-use mwtj_obs::{next_trace_id, QueryProfile, Registry, Span, SpanRecord};
+use mwtj_obs::{
+    next_trace_id, FlightRecord, FlightRecorder, JobRecord, Outcome, QueryProfile, Registry, Span,
+    SpanRecord,
+};
 use mwtj_planner::{Baseline, PlanError, Planner, QueryPlan, QueryRun};
 use mwtj_query::{MultiwayQuery, ParsedQuery};
 use mwtj_storage::{DataType, Field, Relation, RelationStats, Schema, Tuple, Value};
@@ -267,6 +270,12 @@ struct Shared {
     /// Engine-wide slow-query threshold in milliseconds (0 = off).
     /// A run's [`RunOptions::slow_query_ms`] overrides it per query.
     slow_query_ms: AtomicU64,
+    /// The always-on flight recorder behind `sys.queries`/`sys.jobs`:
+    /// a bounded ring of completed-run records (including refused and
+    /// failed runs) plus retained profiles of slow runs. Swapped
+    /// wholesale by [`Engine::set_flight_capacity`], hence the lock;
+    /// recording paths clone the `Arc` and never hold it.
+    recorder: RwLock<Arc<FlightRecorder>>,
 }
 
 /// The top-level system: cluster + DFS + statistics + planner behind
@@ -370,6 +379,7 @@ impl Engine {
                 deadline_exceeded: AtomicU64::new(0),
                 metrics: Registry::new(),
                 slow_query_ms: AtomicU64::new(0),
+                recorder: RwLock::new(Arc::new(FlightRecorder::new())),
             }),
         }
     }
@@ -446,27 +456,6 @@ impl Engine {
         }
     }
 
-    /// Counter snapshot of the shared plan cache
-    /// (hits/misses/evictions/replans).
-    #[deprecated(note = "use Engine::stats_snapshot().plan_cache")]
-    pub fn plan_cache_stats(&self) -> PlanCacheStats {
-        self.stats_snapshot().plan_cache
-    }
-
-    /// Engine-wide zone-map pruning totals accumulated across every
-    /// completed run.
-    #[deprecated(note = "use Engine::stats_snapshot().zone")]
-    pub fn zone_skip_stats(&self) -> ZoneSkipStats {
-        self.stats_snapshot().zone
-    }
-
-    /// Engine-wide real fault-handling totals accumulated across every
-    /// run: host attempt counts, real mid-execution retries, caught
-    /// panics, and deadline-killed runs.
-    #[deprecated(note = "use Engine::stats_snapshot().faults")]
-    pub fn fault_stats(&self) -> FaultStats {
-        self.stats_snapshot().faults
-    }
 
     /// The engine-local metrics registry: counters, gauges and
     /// histograms for every query's lifecycle, exposed by the server's
@@ -487,6 +476,22 @@ impl Engine {
     /// The engine-wide slow-query threshold in milliseconds (0 = off).
     pub fn slow_query_threshold_ms(&self) -> u64 {
         self.shared.slow_query_ms.load(Ordering::Relaxed)
+    }
+
+    /// The flight recorder behind `sys.queries`/`sys.jobs`: the
+    /// bounded, always-on ring of completed-run records (including
+    /// refused, failed and cancelled runs) plus retained profiles of
+    /// runs slower than the slow-query threshold.
+    pub fn flight_recorder(&self) -> Arc<FlightRecorder> {
+        Arc::clone(&self.shared.recorder.read())
+    }
+
+    /// Replace the flight recorder with a fresh one holding at most
+    /// `capacity` records (0 disables recording entirely — the
+    /// observation-only differential test runs against this).
+    /// Existing history is discarded.
+    pub fn set_flight_capacity(&self, capacity: usize) {
+        *self.shared.recorder.write() = Arc::new(FlightRecorder::with_capacity(capacity));
     }
 
     /// Units the most recent `Ours` admission requested from the
@@ -914,6 +919,15 @@ impl Engine {
         // without ever running (the scheduler's wait is bounded on it).
         let cancel = opts.get_deadline_ms().map(CancelToken::with_timeout_ms);
         let deadline = cancel.as_ref().and_then(|c| c.deadline());
+        // Introspection bypass: a query over any `sys.*` relation plans
+        // directly — never through the plan cache, since each run
+        // materialises a fresh snapshot the cached plan would outlive —
+        // and executes on an admission-exempt zero-unit ticket, so
+        // introspection still answers while the unit budget is
+        // exhausted, the queue is full, or the scheduler is draining.
+        if bases.iter().any(|b| crate::sys::is_sys(b)) {
+            return self.admit_sys(q, opts, planner, owned_stats, epoch, cancel, trace_id, started);
+        }
         // Size the slice this query needs. The paper's planner packs
         // its jobs into a peak concurrent allotment we can price
         // exactly; the baselines are k_P-unaware and assume the whole
@@ -956,7 +970,12 @@ impl Engine {
                 self.shared
                     .last_admission_request
                     .store(u64::from(requested), Ordering::Relaxed);
-                let ticket = self.admit_units(requested, plan.predicted_secs(), deadline)?;
+                let ticket = match self.admit_units(requested, plan.predicted_secs(), deadline) {
+                    Ok(ticket) => ticket,
+                    Err(e) => {
+                        return Err(self.record_refusal(q, opts, trace_id, requested, started, e))
+                    }
+                };
                 let plan = if ticket.degraded() {
                     let (replanned, _) = self.plan_for(
                         &planner,
@@ -992,7 +1011,12 @@ impl Engine {
             }
             Method::YSmart | Method::Hive | Method::Pig => {
                 let plan_record = SpanRecord::synthetic("plan").with_meta("cache", "none");
-                let ticket = self.admit_units(k_full, f64::INFINITY, deadline)?;
+                let ticket = match self.admit_units(k_full, f64::INFINITY, deadline) {
+                    Ok(ticket) => ticket,
+                    Err(e) => {
+                        return Err(self.record_refusal(q, opts, trace_id, k_full, started, e))
+                    }
+                };
                 let (ticket, wait_record) =
                     self.finish_admission(ticket, trace_id, k_full, started, &plan_record);
                 if traced {
@@ -1013,6 +1037,121 @@ impl Engine {
                 })
             }
         }
+    }
+
+    /// Admission for a query that reads `sys.*` relations. The plan is
+    /// computed directly from this run's snapshot statistics — the plan
+    /// cache is bypassed in both directions (no lookup, no insert), so
+    /// a plan over one snapshot can never be replayed against the next
+    /// — and the ticket is an admission-exempt zero-unit grant from
+    /// [`Scheduler::exempt`], so introspection works even when the
+    /// cluster budget is fully committed.
+    #[allow(clippy::too_many_arguments)]
+    fn admit_sys(
+        &self,
+        q: &MultiwayQuery,
+        opts: &RunOptions,
+        planner: Arc<Planner>,
+        owned_stats: Vec<RelationStats>,
+        epoch: u64,
+        cancel: Option<CancelToken>,
+        trace_id: u64,
+        started: std::time::Instant,
+    ) -> Result<Admitted, EngineError> {
+        let traced = opts.tracing_enabled();
+        let k_full = self.shared.cluster.config().processing_units;
+        let mut spans = Vec::new();
+        let plan = match opts.get_method() {
+            Method::Ours | Method::OursGrid => {
+                let stats: Vec<&RelationStats> = owned_stats.iter().collect();
+                let mut plan_span = Span::enter("plan");
+                let plan = Arc::new(planner.plan_query(q, &stats, k_full)?);
+                plan_span.meta("cache", "bypass");
+                plan_span.meta("units", plan.units);
+                plan_span.meta("predicted_secs", format!("{:.6}", plan.predicted_secs()));
+                if traced {
+                    spans.push(plan_span.finish());
+                }
+                Some(plan)
+            }
+            Method::YSmart | Method::Hive | Method::Pig => {
+                if traced {
+                    spans.push(SpanRecord::synthetic("plan").with_meta("cache", "bypass"));
+                }
+                None
+            }
+        };
+        let mut ticket = self.shared.scheduler.exempt();
+        ticket.set_trace_id(trace_id);
+        if traced {
+            spans.push(
+                SpanRecord::synthetic("admission")
+                    .with_meta("requested", 0u32)
+                    .with_meta("granted", 0u32)
+                    .with_meta("exempt", true),
+            );
+        }
+        Ok(Admitted {
+            planner,
+            stats: owned_stats,
+            ticket,
+            plan,
+            key_prefix: None,
+            epoch,
+            cancel,
+            trace_id,
+            spans,
+            started,
+        })
+    }
+
+    /// An admission refusal still leaves a trace: the run enters the
+    /// flight recorder with a `shed` (queue full / shutdown) or
+    /// `deadline` outcome and zero granted units, and the per-outcome
+    /// counter is charged, before the error is surfaced unchanged.
+    fn record_refusal(
+        &self,
+        q: &MultiwayQuery,
+        opts: &RunOptions,
+        trace_id: u64,
+        requested: u32,
+        started: std::time::Instant,
+        e: EngineError,
+    ) -> EngineError {
+        let outcome = match &e {
+            EngineError::Admission(crate::scheduler::AdmissionError::DeadlineExceeded) => {
+                Outcome::Deadline
+            }
+            _ => Outcome::Shed,
+        };
+        self.shared.metrics.counter_add(
+            "mwtj_query_outcomes_total",
+            &[("outcome", outcome.as_str())],
+            1,
+        );
+        let recorder = self.flight_recorder();
+        if recorder.is_enabled() {
+            recorder.record(FlightRecord {
+                trace_id,
+                shape: query_shape(q),
+                method: opts.get_method().as_str().to_string(),
+                partition: opts.effective_partition().to_string(),
+                requested_units: requested,
+                granted_units: 0,
+                queued: false,
+                wall_ms: started.elapsed().as_secs_f64() * 1e3,
+                sim_secs: 0.0,
+                rows_out: 0,
+                skip_fraction: 0.0,
+                attempts: 0,
+                real_retries: 0,
+                panics_caught: 0,
+                outcome,
+                ticket: 0,
+                jobs: Vec::new(),
+            });
+        }
+        e
     }
 
     /// Reserve `requested` units through the scheduler, charging a
@@ -1149,10 +1288,12 @@ impl Engine {
                 run
             }
             Err(e) => {
-                if matches!(
-                    e,
-                    PlanError::Exec(ExecError::DeadlineExceeded | ExecError::Cancelled)
-                ) {
+                let outcome = match &e {
+                    PlanError::Exec(ExecError::DeadlineExceeded) => Outcome::Deadline,
+                    PlanError::Exec(ExecError::Cancelled) => Outcome::Cancelled,
+                    _ => Outcome::Error,
+                };
+                if matches!(outcome, Outcome::Deadline | Outcome::Cancelled) {
                     self.shared
                         .deadline_exceeded
                         .fetch_add(1, Ordering::Relaxed);
@@ -1161,6 +1302,19 @@ impl Engine {
                         &method_label,
                         1,
                     );
+                }
+                // A failed run is still a flight: it enters the
+                // recorder with its outcome and zero output so
+                // `sys.queries` shows errors, deadline kills and
+                // cancellations next to successes.
+                self.shared.metrics.counter_add(
+                    "mwtj_query_outcomes_total",
+                    &[("outcome", outcome.as_str())],
+                    1,
+                );
+                let recorder = self.flight_recorder();
+                if recorder.is_enabled() {
+                    recorder.record(flight_record_for(admitted, q, opts, outcome, None));
                 }
                 return Err(e.into());
             }
@@ -1202,11 +1356,21 @@ impl Engine {
                 root,
             });
         }
+        m.counter_add("mwtj_query_outcomes_total", &[("outcome", "ok")], 1);
+        let recorder = self.flight_recorder();
+        if recorder.is_enabled() {
+            recorder.record(flight_record_for(admitted, q, opts, Outcome::Ok, Some(&run)));
+        }
         let threshold = opts
             .get_slow_query_ms()
             .unwrap_or_else(|| self.shared.slow_query_ms.load(Ordering::Relaxed));
         if threshold > 0 && wall_ms >= threshold as f64 {
             m.counter_add("mwtj_slow_queries_total", &method_label, 1);
+            // Slow runs keep their full profile tree in the recorder's
+            // bounded retention ring, fetchable later by trace id.
+            if let Some(profile) = &run.profile {
+                recorder.record_profile(profile.clone());
+            }
             eprintln!(
                 "slow-query trace={} method={} wall_ms={:.1} sim_secs={:.3} rows={} ticket={} plan={:?}",
                 admitted.trace_id,
@@ -1375,6 +1539,9 @@ impl Engine {
     pub fn parse_sql(&self, name: &str, sql: &str) -> Result<ParsedQuery, EngineError> {
         let catalog = self.shared.catalog.read();
         let resolver = |base: &str| -> Option<Schema> {
+            if crate::sys::is_sys(base) {
+                return crate::sys::schema_of(base);
+            }
             catalog
                 .relations
                 .get(base)
@@ -1393,6 +1560,9 @@ impl Engine {
     ) -> Result<mwtj_query::Statement, EngineError> {
         let catalog = self.shared.catalog.read();
         let resolver = |base: &str| -> Option<Schema> {
+            if crate::sys::is_sys(base) {
+                return crate::sys::schema_of(base);
+            }
             catalog
                 .relations
                 .get(base)
@@ -1498,10 +1668,79 @@ impl Engine {
     /// so concurrent registrations cannot hand a query the wrong data
     /// (namespaced instance names never collide in the first place).
     pub(crate) fn register_instances(&self, parsed: &ParsedQuery) -> Result<(), EngineError> {
+        // Each distinct `sys.` base referenced by this query is
+        // snapshot-materialised exactly once, so a self-join (e.g.
+        // band-joining `sys.queries` with itself) sees one consistent
+        // snapshot on both sides.
+        let mut sys_snapshots: HashMap<String, Relation> = HashMap::new();
         for (alias, base) in &parsed.instances {
-            let _report = self.load_alias_of(base, alias)?;
+            if crate::sys::is_sys(base) {
+                if !sys_snapshots.contains_key(base) {
+                    sys_snapshots.insert(base.clone(), augment_with_rid(&self.sys_relation(base)?));
+                }
+                let renamed = sys_snapshots[base].rename(alias);
+                let mut rng = StdRng::seed_from_u64(0x5105 ^ renamed.len() as u64);
+                let stats = RelationStats::collect(&renamed, self.shared.sample_cap, &mut rng);
+                // `register` never bumps the statistics epoch for a
+                // fresh internal instance name, so materialising a
+                // sys snapshot cannot invalidate cached user plans.
+                let _report = self.register(renamed, stats, base.clone());
+            } else {
+                let _report = self.load_alias_of(base, alias)?;
+            }
         }
         Ok(())
+    }
+
+    /// Materialise one `sys.` relation from live engine state — the
+    /// snapshot behind one query's view of the system catalog.
+    fn sys_relation(&self, base: &str) -> Result<Relation, EngineError> {
+        let rel = match base {
+            "sys.queries" => crate::sys::queries_relation(&self.flight_recorder().all()),
+            "sys.jobs" => crate::sys::jobs_relation(&self.flight_recorder().all()),
+            "sys.metrics" => crate::sys::metrics_relation(&self.shared.metrics.series()),
+            "sys.scheduler" => crate::sys::scheduler_relation(&self.shared.scheduler.stats()),
+            "sys.relations" => {
+                let catalog = self.shared.catalog.read();
+                let dfs = self.shared.cluster.dfs();
+                let mut rows: Vec<crate::sys::RelationRow> = catalog
+                    .relations
+                    .iter()
+                    // Transient `__q<N>_` instances of in-flight runs
+                    // (including this query's own sys snapshots) are
+                    // private to their query; listing them would make
+                    // the relation's contents racy and self-referential.
+                    .filter(|(name, _)| !is_internal_instance(name))
+                    .map(|(name, rel)| {
+                        let (blocks, zoned_blocks) = dfs
+                            .get(name)
+                            .map(|f| {
+                                let zoned =
+                                    f.blocks.iter().filter(|b| !b.zones.columns.is_empty()).count();
+                                (f.blocks.len() as u64, zoned as u64)
+                            })
+                            .unwrap_or((0, 0));
+                        crate::sys::RelationRow {
+                            name: name.clone(),
+                            base: catalog.bases.get(name).cloned().unwrap_or_else(|| name.clone()),
+                            rows: rel.len() as u64,
+                            bytes: rel.encoded_bytes() as u64,
+                            blocks,
+                            zoned_blocks,
+                            stats_epoch: catalog.epoch,
+                        }
+                    })
+                    .collect();
+                rows.sort_by(|a, b| a.name.cmp(&b.name));
+                crate::sys::relations_relation(&rows)
+            }
+            _ => {
+                return Err(EngineError::RelationNotLoaded {
+                    name: base.to_string(),
+                })
+            }
+        };
+        Ok(rel)
     }
 
     /// Single-threaded ground truth for `query` over the loaded data.
@@ -1728,6 +1967,68 @@ fn rename_span_tree(span: &mut SpanRecord, sorted: &[(String, String)]) {
     }
     for c in &mut span.children {
         rename_span_tree(c, sorted);
+    }
+}
+
+/// The flight-recorder entry for one finished (or failed) execution,
+/// assembled read-only from the admission context and the run result.
+/// `run` is `None` on the failure path — the record then carries zero
+/// output and no jobs, only the outcome and admission facts.
+fn flight_record_for(
+    admitted: &Admitted,
+    q: &MultiwayQuery,
+    opts: &RunOptions,
+    outcome: Outcome,
+    run: Option<&QueryRun>,
+) -> FlightRecord {
+    let ticket = &admitted.ticket;
+    let (sim_secs, rows_out, skip_fraction, totals, jobs) = match run {
+        Some(run) => (
+            run.sim_secs,
+            run.output.len() as u64,
+            run.skip_fraction(),
+            run.fault_totals(),
+            run.jobs.iter().map(job_record).collect(),
+        ),
+        None => (0.0, 0, 0.0, mwtj_planner::FaultTotals::default(), Vec::new()),
+    };
+    FlightRecord {
+        trace_id: admitted.trace_id,
+        shape: query_shape(q),
+        method: opts.get_method().as_str().to_string(),
+        partition: opts.effective_partition().to_string(),
+        requested_units: ticket.desired(),
+        granted_units: ticket.granted(),
+        queued: ticket.queued(),
+        wall_ms: admitted.started.elapsed().as_secs_f64() * 1e3,
+        sim_secs,
+        rows_out,
+        skip_fraction,
+        attempts: totals.attempts,
+        real_retries: totals.real_retries,
+        panics_caught: totals.panics_caught,
+        outcome,
+        ticket: ticket.id(),
+        jobs,
+    }
+}
+
+/// One job's flight-recorder line, condensed from its [`JobMetrics`].
+fn job_record(m: &JobMetrics) -> JobRecord {
+    JobRecord {
+        name: m.name.clone(),
+        units: m.units,
+        map_tasks: m.map_tasks,
+        reduce_tasks: m.reduce_tasks,
+        input_records: m.input_records,
+        output_records: m.output_records,
+        shuffle_bytes: m.map_output_bytes,
+        sim_secs: m.sim_total_secs,
+        real_secs: m.real_secs,
+        skip_fraction: m.skip_fraction(),
+        attempts: u64::from(m.map_attempts) + u64::from(m.reduce_attempts),
+        real_retries: u64::from(m.real_map_retries) + u64::from(m.real_reduce_retries),
+        panics_caught: u64::from(m.panics_caught),
     }
 }
 

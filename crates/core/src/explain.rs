@@ -167,10 +167,20 @@ impl Engine {
                     let planner = self.planner();
                     let (owned_stats, bases, epoch) = self.snapshot_stats(&q)?;
                     let stats: Vec<&RelationStats> = owned_stats.iter().collect();
+                    // `sys.*` queries bypass the plan cache in both
+                    // directions, mirroring admission: the plan prices
+                    // a per-query snapshot no later run will see.
+                    let sys_query = bases.iter().any(|b| crate::sys::is_sys(b));
                     let key_prefix = format!("{}|{}", query_shape(&q), bases.join(","));
-                    let (plan, cache_hit) =
-                        self.plan_for(&planner, &q, &stats, &key_prefix, k_p, epoch, false)?;
-                    let requested = if opts.skipping_enabled() {
+                    let (plan, cache_hit) = if sys_query {
+                        (std::sync::Arc::new(planner.plan_query(&q, &stats, k_p)?), None)
+                    } else {
+                        self.plan_for(&planner, &q, &stats, &key_prefix, k_p, epoch, false)
+                            .map(|(plan, hit)| (plan, Some(hit)))?
+                    };
+                    let requested = if sys_query {
+                        0
+                    } else if opts.skipping_enabled() {
                         self.discounted_units(&key_prefix, plan.units, epoch)
                     } else {
                         plan.units
@@ -196,7 +206,7 @@ impl Engine {
                         predicted_secs: plan.predicted_secs(),
                         requested_units: requested,
                         k_p,
-                        cache_hit: Some(cache_hit),
+                        cache_hit,
                         analyzed: None,
                     })
                 }

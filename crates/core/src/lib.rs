@@ -59,6 +59,7 @@ pub mod options;
 pub mod prepare;
 pub mod scheduler;
 pub mod stream;
+pub mod sys;
 
 pub use benchqueries::{mobile_query, tpch_query, MobileQuery, TpchQuery};
 pub use engine::{
@@ -80,4 +81,6 @@ pub use mwtj_mapreduce::{CancelToken, RowBatch};
 pub use mwtj_planner::{FaultTotals, QueryPlan, QueryRun};
 // Re-exported so serving layers scrape the engine's metrics registry
 // and render query profiles without a direct mwtj-obs dependency.
-pub use mwtj_obs::{MetricValue, QueryProfile, Registry, SpanRecord};
+pub use mwtj_obs::{
+    FlightRecord, FlightRecorder, MetricValue, Outcome, QueryProfile, Registry, SpanRecord,
+};

@@ -204,6 +204,24 @@ impl Scheduler {
         self.inner.budget
     }
 
+    /// An admission-exempt zero-unit ticket: a fresh ticket id with no
+    /// budget reservation and no queueing, for introspection queries
+    /// over the `sys.*` catalog — they must run even while the budget
+    /// is exhausted, the queue is full, or the scheduler is shutting
+    /// down. The ticket holds nothing, so its drop releases nothing,
+    /// and it never counts in the admitted/degraded/queued/shed
+    /// statistics.
+    pub fn exempt(&self) -> Ticket {
+        Ticket {
+            scheduler: Arc::clone(&self.inner),
+            id: self.inner.next_ticket.fetch_add(1, Ordering::Relaxed),
+            desired: 0,
+            granted: 0,
+            queued: false,
+            trace_id: 0,
+        }
+    }
+
     /// Reserve a slice of the budget for a query that wants `desired`
     /// units (clamped to `[1, k_P]`), with no cost estimate — the query
     /// is treated as infinitely long for shortest-job-first ordering
@@ -460,6 +478,29 @@ mod tests {
     use super::*;
     use std::sync::atomic::AtomicU32;
     use std::time::Duration;
+
+    #[test]
+    fn exempt_tickets_hold_no_units_even_when_exhausted() {
+        let s = Scheduler::new(4);
+        let t = s.admit(4).unwrap();
+        assert_eq!(s.stats().in_flight_units, 4);
+        // Budget fully consumed: an exempt ticket still issues
+        // immediately, holds nothing, and is not degraded.
+        let e = s.exempt();
+        assert_eq!(e.granted(), 0);
+        assert!(!e.degraded() && !e.queued());
+        assert_ne!(e.id(), 0);
+        assert_eq!(s.stats().in_flight_units, 4);
+        let admitted_before = s.stats().admitted;
+        drop(e);
+        assert_eq!(s.stats().in_flight_units, 4, "exempt drop releases nothing");
+        assert_eq!(s.stats().admitted, admitted_before);
+        drop(t);
+        // Exempt tickets also survive shutdown.
+        s.shutdown();
+        let e = s.exempt();
+        assert_eq!(e.granted(), 0);
+    }
 
     #[test]
     fn grants_full_ask_when_free() {

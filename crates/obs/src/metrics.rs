@@ -202,6 +202,17 @@ impl Registry {
         all
     }
 
+    /// Every series as `(rendered name, value)`, sorted by name then
+    /// labels — the same coherent snapshot the renderers consume,
+    /// exposed so the engine can materialise the registry as the
+    /// `sys.metrics` relation.
+    pub fn series(&self) -> Vec<(String, MetricValue)> {
+        self.snapshot()
+            .into_iter()
+            .map(|(k, v)| (k.render(), v))
+            .collect()
+    }
+
     /// The text exposition: one `name{label=value} number` line per
     /// series, histograms exploded into cumulative `_bucket{le=…}`
     /// lines plus `_sum` and `_count`. Sorted, hence stable across
@@ -308,8 +319,24 @@ fn json_num(v: f64) -> String {
     }
 }
 
+/// Escape a string for use inside a JSON string literal: backslash,
+/// double quote, and every control character below U+0020 (the chars
+/// RFC 8259 requires escaped — a label value holding a newline or tab
+/// must not break the exposition).
 fn json_escape(s: &str) -> String {
-    s.replace('\\', "\\\\").replace('"', "\\\"")
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
 }
 
 /// The process-wide default registry, for instrumentation points
@@ -405,6 +432,74 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(reg.counter_value("spam_total", &[]), 8000);
+    }
+
+    #[test]
+    fn concurrent_histogram_and_labeled_counter_writers_are_exact() {
+        // N threads hammering one histogram (and a counter with a
+        // per-thread label) must leave exact final values — no lost
+        // updates across the shard mutexes.
+        let reg = std::sync::Arc::new(Registry::new());
+        let threads = 8usize;
+        let per = 500usize;
+        let mut handles = Vec::new();
+        for t in 0..threads {
+            let reg = std::sync::Arc::clone(&reg);
+            handles.push(std::thread::spawn(move || {
+                let label = format!("t{t}");
+                for i in 0..per {
+                    reg.observe_with("h_ms", &[], &[1.0, 10.0], (i % 20) as f64);
+                    reg.counter_add("per_thread_total", &[("t", &label)], 2);
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(reg.histogram_count("h_ms", &[]), (threads * per) as u64);
+        match reg.get("h_ms", &[]).unwrap() {
+            MetricValue::Histogram { counts, sum, .. } => {
+                // Values cycle 0..20: 2 of them land in [0, 1.0] and 9
+                // in (1.0, 10.0] (bucket counts are non-cumulative).
+                assert_eq!(counts[0], (threads * per * 2 / 20) as u64);
+                assert_eq!(counts[1], (threads * per * 9 / 20) as u64);
+                let expected = (0..20).map(f64::from).sum::<f64>() * (threads * per / 20) as f64;
+                assert!((sum - expected).abs() < 1e-6, "{sum} vs {expected}");
+            }
+            other => panic!("not a histogram: {other:?}"),
+        }
+        for t in 0..threads {
+            let label = format!("t{t}");
+            assert_eq!(
+                reg.counter_value("per_thread_total", &[("t", &label)]),
+                (per * 2) as u64
+            );
+        }
+    }
+
+    #[test]
+    fn json_escape_handles_quotes_backslashes_and_controls() {
+        let reg = Registry::new();
+        reg.counter_add("c_total", &[("rel", "a\"b\\c\nd\te\u{1}f")], 1);
+        let json = reg.render_json();
+        assert!(
+            json.contains("a\\\"b\\\\c\\nd\\te\\u0001f"),
+            "label not escaped: {json}"
+        );
+        assert_eq!(json_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn series_snapshot_matches_renderers() {
+        let reg = Registry::new();
+        reg.counter_add("b_total", &[], 2);
+        reg.gauge_set("a", &[("x", "1")], 0.5);
+        let series = reg.series();
+        assert_eq!(series.len(), 2);
+        assert_eq!(series[0].0, "a{x=1}");
+        assert_eq!(series[0].1, MetricValue::Gauge(0.5));
+        assert_eq!(series[1].0, "b_total");
+        assert_eq!(series[1].1, MetricValue::Counter(2));
     }
 
     #[test]

@@ -1,0 +1,210 @@
+//! Property tests for the metrics JSON exposition: every registry —
+//! including one whose label values carry quotes, backslashes,
+//! control characters and non-ASCII text — must render to *valid*
+//! JSON, proven by round-tripping through a minimal independent JSON
+//! parser and recovering the exact label values.
+
+use mwtj_obs::Registry;
+use proptest::prelude::*;
+
+// ---------------------------------------------------------------
+// A minimal JSON parser: objects, strings (with every RFC 8259
+// escape), and numbers — exactly the grammar `render_json` emits.
+// Independent of the renderer so a bug can't cancel itself out.
+// ---------------------------------------------------------------
+
+#[derive(Debug, Clone, PartialEq)]
+enum Json {
+    Num(f64),
+    Str(String),
+    Obj(Vec<(String, Json)>),
+}
+
+struct Parser<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+}
+
+impl<'a> Parser<'a> {
+    fn new(s: &'a str) -> Parser<'a> {
+        Parser {
+            chars: s.chars().peekable(),
+        }
+    }
+
+    fn bump(&mut self) -> Result<char, String> {
+        self.chars.next().ok_or_else(|| "unexpected end".into())
+    }
+
+    fn expect(&mut self, c: char) -> Result<(), String> {
+        let got = self.bump()?;
+        if got == c {
+            Ok(())
+        } else {
+            Err(format!("expected `{c}`, got `{got}`"))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        match self.chars.peek() {
+            Some('{') => self.object(),
+            Some('"') => Ok(Json::Str(self.string()?)),
+            Some(c) if c.is_ascii_digit() || *c == '-' || *c == '+' => self.number(),
+            other => Err(format!("unexpected value start {other:?}")),
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect('{')?;
+        let mut members = Vec::new();
+        if self.chars.peek() == Some(&'}') {
+            self.bump()?;
+            return Ok(Json::Obj(members));
+        }
+        loop {
+            let key = self.string()?;
+            self.expect(':')?;
+            let val = self.value()?;
+            members.push((key, val));
+            match self.bump()? {
+                ',' => continue,
+                '}' => return Ok(Json::Obj(members)),
+                c => return Err(format!("expected `,` or `}}`, got `{c}`")),
+            }
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect('"')?;
+        let mut out = String::new();
+        loop {
+            match self.bump()? {
+                '"' => return Ok(out),
+                '\\' => match self.bump()? {
+                    '"' => out.push('"'),
+                    '\\' => out.push('\\'),
+                    '/' => out.push('/'),
+                    'n' => out.push('\n'),
+                    'r' => out.push('\r'),
+                    't' => out.push('\t'),
+                    'b' => out.push('\u{8}'),
+                    'f' => out.push('\u{c}'),
+                    'u' => {
+                        let mut code = 0u32;
+                        for _ in 0..4 {
+                            let d = self.bump()?;
+                            code = code * 16
+                                + d.to_digit(16).ok_or(format!("bad hex digit `{d}`"))?;
+                        }
+                        out.push(
+                            char::from_u32(code).ok_or(format!("bad codepoint {code:#x}"))?,
+                        );
+                    }
+                    c => return Err(format!("bad escape `\\{c}`")),
+                },
+                c if (c as u32) < 0x20 => {
+                    return Err(format!("raw control char {:#04x} in string", c as u32));
+                }
+                c => out.push(c),
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let mut text = String::new();
+        while let Some(c) = self.chars.peek() {
+            if c.is_ascii_digit() || matches!(c, '-' | '+' | '.' | 'e' | 'E') {
+                text.push(self.bump()?);
+            } else {
+                break;
+            }
+        }
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|e| format!("bad number `{text}`: {e}"))
+    }
+}
+
+fn parse_json(s: &str) -> Result<Json, String> {
+    let mut p = Parser::new(s);
+    let v = p.value()?;
+    if let Some(c) = p.chars.next() {
+        return Err(format!("trailing `{c}` after value"));
+    }
+    Ok(v)
+}
+
+/// A label value drawn from a palette deliberately heavy on the
+/// characters JSON strings must escape.
+fn arb_label() -> impl Strategy<Value = String> {
+    const PALETTE: &[char] = &[
+        'a', 'b', 'z', '0', ' ', '_', '"', '\\', '\n', '\r', '\t', '\u{1}', '\u{1f}', '{', '}',
+        ',', ':', 'é', '∞',
+    ];
+    prop::collection::vec(0usize..PALETTE.len(), 1..12)
+        .prop_map(|idx| idx.into_iter().map(|i| PALETTE[i]).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn render_json_roundtrips_hostile_labels(
+        label in arb_label(),
+        label2 in arb_label(),
+        count in 1u64..1_000_000,
+        gauge_n in 0i64..1_000_000,
+    ) {
+        let reg = Registry::new();
+        reg.counter_add("mwtj_rows_total", &[("rel", &label)], count);
+        reg.gauge_set("mwtj_depth", &[("rel", &label2)], gauge_n as f64 / 8.0);
+        reg.observe_with("mwtj_lat_ms", &[("rel", &label)], &[1.0, 10.0], 5.0);
+        let json = reg.render_json();
+        let parsed = parse_json(&json).map_err(|e| format!("{e}\nin: {json}"))?;
+        let Json::Obj(members) = parsed else {
+            return Err("top level is not an object".into());
+        };
+        // The exact unescaped label values come back out of the keys.
+        let keys: Vec<&String> = members.iter().map(|(k, _)| k).collect();
+        prop_assert!(
+            keys.iter().any(|k| **k == format!("mwtj_rows_total{{rel={label}}}")),
+            "counter key lost: {:?}", keys
+        );
+        prop_assert!(
+            keys.iter().any(|k| **k == format!("mwtj_depth{{rel={label2}}}")),
+            "gauge key lost: {:?}", keys
+        );
+        // Values survive too.
+        let counter = members
+            .iter()
+            .find(|(k, _)| *k == format!("mwtj_rows_total{{rel={label}}}"))
+            .map(|(_, v)| v);
+        prop_assert_eq!(counter, Some(&Json::Num(count as f64)));
+        let hist = members
+            .iter()
+            .find(|(k, _)| *k == format!("mwtj_lat_ms{{rel={label}}}"))
+            .map(|(_, v)| v);
+        match hist {
+            Some(Json::Obj(fields)) => {
+                prop_assert!(fields.iter().any(|(k, v)| k == "count" && *v == Json::Num(1.0)));
+            }
+            other => return Err(format!("histogram shape wrong: {other:?}")),
+        }
+    }
+}
+
+#[test]
+fn parser_rejects_invalid_json() {
+    assert!(parse_json("{\"a\":1").is_err(), "unterminated object");
+    assert!(parse_json("{\"a\"1}").is_err(), "missing colon");
+    assert!(parse_json("{\"a\":1}x").is_err(), "trailing garbage");
+    assert!(parse_json("{\"a\n\":1}").is_err(), "raw control char");
+    assert!(parse_json("{\"a\\q\":1}").is_err(), "bad escape");
+}
+
+#[test]
+fn parser_accepts_renderer_output_shapes() {
+    let v = parse_json("{\"x\":1,\"y\":{\"buckets\":{\"1\":2,\"+Inf\":3},\"sum\":4.5,\"count\":3}}")
+        .unwrap();
+    let Json::Obj(m) = v else { panic!() };
+    assert_eq!(m[0], ("x".into(), Json::Num(1.0)));
+}

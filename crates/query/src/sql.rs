@@ -423,14 +423,25 @@ impl Parser<'_> {
         let mut builder = QueryBuilder::new(name);
         let mut instances: Vec<(String, String)> = Vec::new();
         loop {
-            let first = self.expect_ident()?;
+            let mut first = self.expect_ident()?;
+            // A dotted qualified name (`sys.queries`) folds into one
+            // base name. Its *default* alias is the part after the dot
+            // (`queries`), because a dotted alias could never be named
+            // in a column reference (`rel.col` grammar).
+            let mut default_alias = first.clone();
+            if matches!(self.peek(), Some(Tok::Dot)) {
+                self.next();
+                let part = self.expect_ident()?;
+                default_alias = part.clone();
+                first = format!("{first}.{part}");
+            }
             // "base alias" or bare "alias" (alias doubles as base).
             let (base, alias) = match self.peek() {
                 Some(Tok::Ident(_)) => {
                     let alias = self.expect_ident()?;
                     (first, alias)
                 }
-                _ => (first.clone(), first),
+                _ => (first, default_alias),
             };
             let schema =
                 schema_of(&base).ok_or_else(|| Error::UnknownRelation { name: base.clone() })?;
@@ -541,6 +552,52 @@ mod tests {
                 None
             }
         }
+    }
+
+    #[test]
+    fn parses_dotted_relation_names() {
+        let sys_resolver = |name: &str| {
+            if name == "sys.queries" {
+                Some(Schema::from_pairs(
+                    "sys.queries",
+                    &[("trace_id", DataType::Int), ("sim_ms", DataType::Double)],
+                ))
+            } else {
+                None
+            }
+        };
+        // Explicit aliases: a sys-catalog self band-join.
+        let p = parse_sql(
+            "q",
+            "SELECT a.trace_id FROM sys.queries a, sys.queries b \
+             WHERE a.sim_ms < b.sim_ms AND a.sim_ms + 10 > b.sim_ms",
+            &sys_resolver,
+        )
+        .unwrap();
+        assert_eq!(p.query.num_relations(), 2);
+        assert_eq!(p.instances, vec![
+            ("a".to_string(), "sys.queries".to_string()),
+            ("b".to_string(), "sys.queries".to_string()),
+        ]);
+        // Bare dotted name: the default alias is the part after the
+        // dot, so column references use `queries.…`.
+        let p = parse_sql(
+            "q",
+            "SELECT queries.trace_id FROM sys.queries, sys.queries b \
+             WHERE queries.sim_ms < b.sim_ms",
+            &sys_resolver,
+        )
+        .unwrap();
+        assert_eq!(
+            p.instances,
+            vec![
+                ("queries".to_string(), "sys.queries".to_string()),
+                ("b".to_string(), "sys.queries".to_string()),
+            ]
+        );
+        // Unknown dotted names are typed errors, not panics.
+        let err = parse_query("q", "SELECT a.x FROM sys.nope a WHERE a.x < a.x", &sys_resolver);
+        assert!(matches!(err, Err(Error::UnknownRelation { .. })));
     }
 
     /// The paper's Q1, verbatim from §6.3.1.

@@ -18,7 +18,10 @@
 //! are SQL (with optional `?` parameters) and the client demonstrates
 //! the full statement lifecycle on one connection: `prepare` →
 //! `execute` with `--params v1,v2,…` (streamed under `--stream`) →
-//! `close`, printing every response.
+//! `close`, printing every response. `--history [N]` and
+//! `--profile TRACE` are shorthand for the `history`/`profile`
+//! introspection verbs: the recent flight-recorder entries, and the
+//! retained profile tree of one recorded slow run.
 
 use mwtj_core::{AdmissionPolicy, Engine};
 use mwtj_server::{load_demo, serve_lines, Client, Server};
@@ -41,7 +44,9 @@ fn usage() -> ! {
         "usage: mwtj-server [--listen ADDR] [--units K] [--max-queue N] \
          [--slow-query-ms MS] [--demo] [--stdin]\n\
          \x20      mwtj-server client [--stream] ADDR REQUEST...\n\
-         \x20      mwtj-server client --prepare [--stream] [--params V1,V2,...] ADDR SQL..."
+         \x20      mwtj-server client --prepare [--stream] [--params V1,V2,...] ADDR SQL...\n\
+         \x20      mwtj-server client --history [N] ADDR\n\
+         \x20      mwtj-server client --profile TRACE ADDR"
     );
     std::process::exit(2);
 }
@@ -165,6 +170,8 @@ fn client_main(rest: &[String]) -> ExitCode {
     let mut rest = rest;
     let mut streamed = false;
     let mut prepare = false;
+    let mut history: Option<Option<usize>> = None;
+    let mut profile: Option<u64> = None;
     let mut params: Vec<f64> = Vec::new();
     loop {
         match rest.first().map(String::as_str) {
@@ -175,6 +182,31 @@ fn client_main(rest: &[String]) -> ExitCode {
             Some("--prepare") => {
                 prepare = true;
                 rest = &rest[1..];
+            }
+            Some("--history") => {
+                // Optional count: `--history 5 ADDR`. An address never
+                // parses as a bare count, so the grammar is unambiguous.
+                match rest.get(1).and_then(|w| w.parse::<usize>().ok()) {
+                    Some(n) => {
+                        history = Some(Some(n));
+                        rest = &rest[2..];
+                    }
+                    None => {
+                        history = Some(None);
+                        rest = &rest[1..];
+                    }
+                }
+            }
+            Some("--profile") => {
+                let Some(id) = rest.get(1) else { usage() };
+                match id.parse::<u64>() {
+                    Ok(t) => profile = Some(t),
+                    Err(_) => {
+                        eprintln!("--profile: `{id}` is not a trace id");
+                        return ExitCode::FAILURE;
+                    }
+                }
+                rest = &rest[2..];
             }
             Some("--params") => {
                 let Some(list) = rest.get(1) else { usage() };
@@ -193,14 +225,23 @@ fn client_main(rest: &[String]) -> ExitCode {
         }
     }
     let Some(addr) = rest.first() else { usage() };
-    if rest.len() < 2 {
+    if rest.len() < 2 && history.is_none() && profile.is_none() {
         usage();
     }
     if prepare {
         let sql = rest[1..].join(" ");
         return client_prepare(addr, &sql, &params, streamed);
     }
-    let mut request = rest[1..].join(" ");
+    let mut request = if let Some(n) = history {
+        match n {
+            Some(n) => format!("history {n}"),
+            None => "history".to_string(),
+        }
+    } else if let Some(trace) = profile {
+        format!("profile {trace}")
+    } else {
+        rest[1..].join(" ")
+    };
     if streamed {
         // `client --stream ADDR run …` means "the same query,
         // streamed" — rewrite the verb.

@@ -27,6 +27,10 @@
 //! execute <id> [options] [stream [batch=N]] [p1 p2 ...]
 //! close <id>
 //! load <name> <col:type,...> [rows;rows;...]
+//! history [n]                      -- the n most recent flight-recorder
+//!                                     entries (default 20), newest first
+//! profile <trace_id>               -- retained slow-run profile tree for
+//!                                     one recorded trace id
 //! shutdown
 //! quit
 //! ```
@@ -219,6 +223,16 @@ pub enum Request {
         /// Relation name.
         name: String,
     },
+    /// The most recent flight-recorder entries, newest first.
+    History {
+        /// How many entries to report (`None` = server default).
+        n: Option<usize>,
+    },
+    /// The retained slow-run profile tree for one trace id.
+    Profile {
+        /// Trace id of a recorded run.
+        trace_id: u64,
+    },
     /// Stop the server after in-flight queries finish.
     Shutdown,
     /// Close this connection only.
@@ -385,9 +399,29 @@ impl Request {
                     name: name.to_string(),
                 })
             }
+            "history" => match words.next() {
+                Some(w) => {
+                    let n: usize = w
+                        .parse()
+                        .map_err(|_| format!("history: bad entry count `{w}`"))?;
+                    if n == 0 {
+                        return Err("history: entry count must be ≥ 1".into());
+                    }
+                    Ok(Request::History { n: Some(n) })
+                }
+                None => Ok(Request::History { n: None }),
+            },
+            "profile" => {
+                let id_word = words.next().ok_or("profile: missing trace id")?;
+                let trace_id: u64 = id_word
+                    .parse()
+                    .map_err(|_| format!("profile: bad trace id `{id_word}`"))?;
+                Ok(Request::Profile { trace_id })
+            }
             other => Err(format!(
                 "unknown command `{other}` (expected ping, status, stats, metrics, tables, run, \
-                 explain, stream, prepare, execute, close, load, unload, shutdown or quit)"
+                 explain, stream, prepare, execute, close, load, unload, history, profile, \
+                 shutdown or quit)"
             )),
         }
     }
@@ -967,6 +1001,26 @@ mod tests {
         }
         let f: f64 = fields["skip_fraction"].parse().expect("skip_fraction");
         assert!((0.0..=1.0).contains(&f));
+    }
+
+    #[test]
+    fn parses_history_and_profile() {
+        assert_eq!(
+            Request::parse("history").unwrap(),
+            Request::History { n: None }
+        );
+        assert_eq!(
+            Request::parse("history 5").unwrap(),
+            Request::History { n: Some(5) }
+        );
+        assert!(Request::parse("history 0").is_err());
+        assert!(Request::parse("history many").is_err());
+        assert_eq!(
+            Request::parse("profile 42").unwrap(),
+            Request::Profile { trace_id: 42 }
+        );
+        assert!(Request::parse("profile").is_err());
+        assert!(Request::parse("profile x").is_err());
     }
 
     #[test]

@@ -568,6 +568,37 @@ fn handle_request(engine: &Engine, stmts: &mut StmtTable, request: Request) -> (
                 Action::Continue,
             )
         }
+        Request::History { n } => {
+            let recorder = engine.flight_recorder();
+            let entries = recorder.recent(n.unwrap_or(DEFAULT_HISTORY_ENTRIES));
+            let body: String = entries
+                .iter()
+                .map(history_line)
+                .collect::<Vec<_>>()
+                .join("\n");
+            let fields = [
+                ("entries", entries.len().to_string()),
+                ("total", recorder.total_recorded().to_string()),
+                ("capacity", recorder.capacity().to_string()),
+            ];
+            (ok_response(&fields, Some(&body)), Action::Continue)
+        }
+        Request::Profile { trace_id } => match engine.flight_recorder().profile(trace_id) {
+            Some(profile) => (
+                ok_response(
+                    &[("trace", trace_id.to_string())],
+                    Some(profile.render().trim_end()),
+                ),
+                Action::Continue,
+            ),
+            None => (
+                err_response(format!(
+                    "no retained profile for trace {trace_id} (only traced runs at or over the \
+                     slow-query threshold are retained)"
+                )),
+                Action::Continue,
+            ),
+        },
         // Streaming requests never reach this dispatcher (both serving
         // loops route them to `serve_stream` first).
         Request::Stream { .. } => (
@@ -586,6 +617,35 @@ fn handle_request(engine: &Engine, stmts: &mut StmtTable, request: Request) -> (
             }
         }
     }
+}
+
+/// How many flight-recorder entries `history` reports when the client
+/// doesn't ask for a count.
+const DEFAULT_HISTORY_ENTRIES: usize = 20;
+
+/// One `history` body line: stable `key=value` tokens (greppable by
+/// scripts), the free-text query shape last so the other fields always
+/// split on whitespace.
+fn history_line(r: &mwtj_core::FlightRecord) -> String {
+    format!(
+        "trace={} outcome={} method={} partition={} units={}/{} queued={} wall_ms={:.1} \
+         sim_secs={:.6} rows={} jobs={} retries={} panics={} ticket={} shape={}",
+        r.trace_id,
+        r.outcome,
+        r.method,
+        r.partition,
+        r.granted_units,
+        r.requested_units,
+        r.queued,
+        r.wall_ms,
+        r.sim_secs,
+        r.rows_out,
+        r.jobs.len(),
+        r.real_retries,
+        r.panics_caught,
+        r.ticket,
+        r.shape,
+    )
 }
 
 /// Case-insensitive test of `sql`'s first word.

@@ -664,3 +664,71 @@ fn metrics_and_explain_verbs_over_tcp() {
     shutdown(addr);
     handle.join().unwrap();
 }
+
+/// The introspection tentpole over real TCP: run a query, then SELECT
+/// it back from `sys.queries` (theta-joined against `sys.scheduler`),
+/// page the flight recorder with `history`, and fetch a retained
+/// slow-run profile by trace id with `profile`.
+#[test]
+fn sys_catalog_history_and_profile_over_tcp() {
+    let (engine, addr, handle) = start_server(8);
+    // Any traced run at or over 1 ms wall time retains its profile.
+    engine.set_slow_query_ms(1);
+    let mut c = Client::connect(addr).expect("connect");
+
+    let reply = c
+        .run_sql(
+            &RunOptions::default(),
+            "SELECT x.a, y.b, z.a FROM r x, s y, t z WHERE x.a = y.a AND y.b = z.b",
+        )
+        .unwrap();
+    assert!(reply.starts_with("ok rows="), "{reply}");
+
+    // `history` reports the run, newest first, with its trace id.
+    let history = c.request("history 5").unwrap();
+    assert!(history.starts_with("ok entries="), "{history}");
+    let line = history.lines().nth(1).expect("one history entry");
+    let trace: u64 = line
+        .split_whitespace()
+        .find_map(|w| w.strip_prefix("trace="))
+        .expect("trace= field")
+        .parse()
+        .expect("numeric trace id");
+    assert!(line.contains("outcome=ok"), "{line}");
+
+    // The same trace id answers from sys.queries through plain SQL —
+    // a theta join between two sys relations.
+    let sys = c
+        .run_sql(
+            &RunOptions::default(),
+            "SELECT q.trace_id, q.outcome FROM sys.queries q, sys.scheduler s \
+             WHERE q.granted_units <= s.budget",
+        )
+        .unwrap();
+    assert!(sys.starts_with("ok rows="), "{sys}");
+    assert!(
+        response_rows(&sys).iter().any(|r| r == &format!("{trace},ok")),
+        "trace {trace} missing from sys.queries: {sys}"
+    );
+
+    // sys.metrics sees the registry through SQL, end to end.
+    let metrics = c
+        .run_sql(
+            &RunOptions::default(),
+            "SELECT m.name, m.value FROM sys.metrics m, sys.scheduler s \
+             WHERE m.count >= s.queued_now",
+        )
+        .unwrap();
+    assert!(metrics.contains("mwtj_queries_total"), "{metrics}");
+
+    // The slow run's profile tree is retained and fetchable.
+    let profile = c.request(&format!("profile {trace}")).unwrap();
+    assert!(profile.starts_with(&format!("ok trace={trace}")), "{profile}");
+    assert!(profile.contains("query"), "{profile}");
+    // Unknown trace ids answer a typed error, not a hang-up.
+    let missing = c.request("profile 999999999").unwrap();
+    assert!(missing.starts_with("err no retained profile"), "{missing}");
+
+    shutdown(addr);
+    handle.join().unwrap();
+}

@@ -3,8 +3,11 @@
 # query, scrape the `metrics` verb and assert the exposition parses
 # (every line is `name{label=value,...} number`) with at least one
 # query-latency histogram sample, then assert `EXPLAIN ANALYZE`
-# answers a profile frame with the lifecycle stages. Expects the
-# release binary (cargo build --release -p mwtj-server).
+# answers a profile frame with the lifecycle stages. Finally the
+# flight-recorder loop: `history` answers the run we just made, the
+# same trace id is visible to plain SQL over `sys.queries`, and
+# `profile <trace>` renders the retained tree. Expects the release
+# binary (cargo build --release -p mwtj-server).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -12,7 +15,10 @@ BIN=./target/release/mwtj-server
 ADDR=${MWTJ_OBS_SMOKE_ADDR:-127.0.0.1:7414}
 
 SERVER_LOG=$(mktemp)
-"$BIN" --listen "$ADDR" --demo --slow-query-ms 60000 >"$SERVER_LOG" 2>&1 &
+# --slow-query-ms 1: every demo run clears the threshold, so the
+# recorder retains its profile and `profile <trace>` has something
+# to render.
+"$BIN" --listen "$ADDR" --demo --slow-query-ms 1 >"$SERVER_LOG" 2>&1 &
 SERVER_PID=$!
 trap 'kill "$SERVER_PID" 2>/dev/null || true; rm -f "$SERVER_LOG"' EXIT
 
@@ -72,8 +78,38 @@ for STAGE in plan admission execute job0/map; do
     || { echo "obs smoke: profile missing stage $STAGE"; echo "$ANALYZE_OUT"; exit 1; }
 done
 
+# The flight recorder answers over the wire: the newest history entry
+# is a completed run whose trace id plain SQL can find in sys.queries.
+HISTORY=$("$BIN" client --history 5 "$ADDR")
+grep -q '^ok entries=' <<<"$HISTORY" \
+  || { echo "obs smoke: bad history header"; echo "$HISTORY"; exit 1; }
+TRACE=$(sed -n '2s/^trace=\([0-9][0-9]*\) .*/\1/p' <<<"$HISTORY")
+[ -n "$TRACE" ] \
+  || { echo "obs smoke: history carried no trace id"; echo "$HISTORY"; exit 1; }
+grep -q "^trace=$TRACE outcome=ok " <<<"$HISTORY" \
+  || { echo "obs smoke: newest history entry not ok"; echo "$HISTORY"; exit 1; }
+
+# The same trace id through the ordinary SQL path — a theta join
+# between two sys relations, served like any other query.
+SYS_OUT=$("$BIN" client "$ADDR" run ours \
+  "SELECT q.trace_id, q.outcome FROM sys.queries q, sys.scheduler s WHERE q.granted_units <= s.budget")
+grep -q "^$TRACE,ok\$" <<<"$SYS_OUT" \
+  || { echo "obs smoke: trace $TRACE missing from sys.queries"; echo "$SYS_OUT"; exit 1; }
+
+# Its retained profile renders the lifecycle tree.
+PROFILE=$("$BIN" client --profile "$TRACE" "$ADDR")
+grep -q "^ok trace=$TRACE" <<<"$PROFILE" \
+  || { echo "obs smoke: no retained profile for trace $TRACE"; echo "$PROFILE"; exit 1; }
+grep -q 'execute' <<<"$PROFILE" \
+  || { echo "obs smoke: profile missing execute stage"; echo "$PROFILE"; exit 1; }
+
+# Unknown trace ids answer a typed error, not a crash.
+if "$BIN" client --profile 999999999 "$ADDR" >/dev/null 2>&1; then
+  echo "obs smoke: bogus profile id must answer err"; exit 1
+fi
+
 "$BIN" client "$ADDR" shutdown >/dev/null
 wait "$SERVER_PID"
 trap - EXIT
 rm -f "$SERVER_LOG"
-echo "obs smoke: exposition parses, latency count=$LATENCY_COUNT, explain analyze profiled"
+echo "obs smoke: exposition parses, latency count=$LATENCY_COUNT, explain analyze profiled, sys.queries sees trace $TRACE"
