@@ -1,0 +1,343 @@
+//! Columnar kernel benchmark: the typed-slice join fast path
+//! (`PairKernel::join_key_slices` over `Columns` key vectors) against
+//! the row-major reducer path (`PairKernel::join_into` over gathered
+//! `&[&Tuple]`), at 1e5 → 1e7 rows per side, plus CSV ingest
+//! throughput into the streaming column builders and the measured
+//! string-dictionary compression ratio.
+//!
+//! Workloads:
+//!
+//! * `band_clustered` — single `<` band over value-clustered (sorted)
+//!   keys, output O(overlap²): the regime DFS blocks put reducers in.
+//!   Both paths skip the sort; what remains is key extraction — one
+//!   `memcpy`-shaped pass over an `i64` slice versus a pointer-chasing
+//!   `Value` dispatch per heap-allocated tuple.
+//! * `band_shuffled` — the same band over shuffled keys: the
+//!   O(n log n) key sort dominates both paths, bounding the speedup.
+//! * `hash_equi` — single-key equality, ~1 match per key: columnar
+//!   bit-mix hashing versus row-major `Value` hashing.
+//!
+//! Run modes:
+//!
+//! * `cargo bench -p mwtj-bench --bench columnar` — full run, prints a
+//!   table and (re)writes `BENCH_columnar.json` at the repo root.
+//! * `cargo bench -p mwtj-bench --bench columnar -- --test` — CI
+//!   smoke: tiny sizes, pair-set cross-check only, no file.
+
+use mwtj_join::kernel::PairKernel;
+use mwtj_join::{IntermediateShape, KeySlice};
+use mwtj_query::theta::CompiledPredicate;
+use mwtj_query::{MultiwayQuery, QueryBuilder, ThetaOp};
+use mwtj_storage::{parse_csv, to_csv, DataType, Relation, Schema, Tuple, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+fn schema(name: &str) -> Schema {
+    Schema::from_pairs(name, &[("a", DataType::Int)])
+}
+
+fn join_query(op: ThetaOp) -> MultiwayQuery {
+    QueryBuilder::new("columnar")
+        .relation(schema("l"))
+        .relation(schema("r"))
+        .join("l", "a", op, "r", "a")
+        .build()
+        .expect("bench query builds")
+}
+
+fn compile(q: &MultiwayQuery) -> PairKernel {
+    let left = IntermediateShape::base(q, 0);
+    let right = IntermediateShape::base(q, 1);
+    let out = IntermediateShape::union(q, &left, &right);
+    let preds: Vec<CompiledPredicate> = q
+        .compile()
+        .expect("compiles")
+        .per_condition
+        .iter()
+        .flat_map(|c| c.iter().copied())
+        .collect();
+    PairKernel::compile(&left, &right, &out, &preds)
+}
+
+struct Workload {
+    name: &'static str,
+    query: MultiwayQuery,
+    l_keys: Vec<i64>,
+    r_keys: Vec<i64>,
+}
+
+fn workloads(n: usize) -> Vec<Workload> {
+    let n_i = n as i64;
+    // Band overlap window: l < r matches only where the shifted right
+    // tail crosses the left head, keeping the output O(overlap²)
+    // regardless of n.
+    let overlap = 100.min(n_i);
+    let mut shuffled_l: Vec<i64> = (0..n_i).collect();
+    let mut shuffled_r: Vec<i64> = (0..n_i).map(|j| j - n_i + overlap).collect();
+    let mut rng = StdRng::seed_from_u64(21);
+    for v in [&mut shuffled_l, &mut shuffled_r] {
+        for i in (1..v.len()).rev() {
+            v.swap(i, rng.gen_range(0..=i));
+        }
+    }
+    let mut hash_rng = StdRng::seed_from_u64(22);
+    vec![
+        Workload {
+            name: "band_clustered",
+            query: join_query(ThetaOp::Lt),
+            l_keys: (0..n_i).collect(),
+            r_keys: (0..n_i).map(|j| j - n_i + overlap).collect(),
+        },
+        Workload {
+            name: "band_shuffled",
+            query: join_query(ThetaOp::Lt),
+            l_keys: shuffled_l,
+            r_keys: shuffled_r,
+        },
+        Workload {
+            name: "hash_equi",
+            query: join_query(ThetaOp::Eq),
+            l_keys: (0..n).map(|_| hash_rng.gen_range(0..n_i)).collect(),
+            r_keys: (0..n).map(|_| hash_rng.gen_range(0..n_i)).collect(),
+        },
+    ]
+}
+
+fn tuples(keys: &[i64]) -> Vec<Tuple> {
+    keys.iter()
+        .map(|&k| Tuple::new(vec![Value::Int(k)]))
+        .collect()
+}
+
+/// Best-of-`samples` seconds per call, auto-scaling the inner iteration
+/// count until one sample takes ≥ `floor_ms`.
+fn best_secs(samples: u32, floor_ms: u64, mut f: impl FnMut()) -> f64 {
+    let floor = std::time::Duration::from_millis(floor_ms);
+    let mut iters = 1u64;
+    let mut best = loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let dt = t.elapsed();
+        if dt >= floor || iters >= 1 << 24 {
+            break dt.as_secs_f64() / iters as f64;
+        }
+        iters *= 4;
+    };
+    for _ in 1..samples {
+        let t = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        best = best.min(t.elapsed().as_secs_f64() / iters as f64);
+    }
+    best
+}
+
+struct KernelResult {
+    workload: &'static str,
+    rows: usize,
+    columnar_secs: f64,
+    row_major_secs: f64,
+    pairs: usize,
+}
+
+fn measure_kernels(n: usize, quick: bool) -> Vec<KernelResult> {
+    let (samples, floor_ms) = if quick { (1, 1) } else { (3, 200) };
+    workloads(n)
+        .into_iter()
+        .map(|w| {
+            let kernel = compile(&w.query);
+            let l_rows = tuples(&w.l_keys);
+            let r_rows = tuples(&w.r_keys);
+            let lefts: Vec<&Tuple> = l_rows.iter().collect();
+            let rights: Vec<&Tuple> = r_rows.iter().collect();
+            // The columnar side holds what a `Columns`-backed relation
+            // hands out: NULL-free typed key slices.
+            let l_cols =
+                mwtj_storage::Columns::from_rows(vec![DataType::Int], &l_rows).expect("typed");
+            let r_cols =
+                mwtj_storage::Columns::from_rows(vec![DataType::Int], &r_rows).expect("typed");
+            let ls = l_cols.column(0).as_i64().expect("NULL-free i64 column");
+            let rs = r_cols.column(0).as_i64().expect("NULL-free i64 column");
+
+            // Pair-set cross-check on every run — the CI smoke value of
+            // the quick mode: the slice path must emit exactly the
+            // row-path pairs.
+            let mut want = Vec::new();
+            kernel.join_into(&lefts, &rights, &mut want);
+            let mut got = Vec::new();
+            assert!(
+                kernel.join_key_slices(KeySlice::I64(ls), KeySlice::I64(rs), &mut got),
+                "{}: slice path must apply",
+                w.name
+            );
+            assert_eq!(got, want, "{}: slice path disagrees with row path", w.name);
+
+            let mut buf = Vec::new();
+            let columnar_secs = best_secs(samples, floor_ms, || {
+                buf.clear();
+                kernel.join_key_slices(KeySlice::I64(ls), KeySlice::I64(rs), &mut buf);
+            });
+            let row_major_secs = best_secs(samples, floor_ms, || {
+                buf.clear();
+                kernel.join_into(&lefts, &rights, &mut buf);
+            });
+            KernelResult {
+                workload: w.name,
+                rows: n,
+                columnar_secs,
+                row_major_secs,
+                pairs: want.len(),
+            }
+        })
+        .collect()
+}
+
+struct IngestResult {
+    rows: usize,
+    bytes: usize,
+    secs: f64,
+    encoded_bytes: u64,
+    resident_bytes: u64,
+    dict_entries: u64,
+}
+
+/// CSV ingest through the streaming column builders, on a
+/// string-heavy relation (low-cardinality tags, NULLs, doubles) — the
+/// dictionary's favourable case, reported as the compression baseline.
+fn measure_ingest(n: usize, quick: bool) -> IngestResult {
+    let schema = Schema::from_pairs(
+        "ingest",
+        &[
+            ("a", DataType::Int),
+            ("d", DataType::Double),
+            ("s", DataType::Str),
+        ],
+    );
+    let tags = [
+        "checkout/payment-confirmed",
+        "browse/category-electronics",
+        "search/results-page-impression",
+        "cart/item-quantity-updated",
+        "payment/gateway-redirect-complete",
+    ];
+    let rows: Vec<Tuple> = (0..n as i64)
+        .map(|i| {
+            let d = if i % 9 == 0 {
+                Value::Null
+            } else {
+                Value::Double(i as f64 * 0.125)
+            };
+            Tuple::new(vec![
+                Value::Int(i),
+                d,
+                Value::str(tags[(i % tags.len() as i64) as usize]),
+            ])
+        })
+        .collect();
+    let text = to_csv(&Relation::from_rows_unchecked(schema.clone(), rows));
+    let (samples, floor_ms) = if quick { (1, 1) } else { (2, 200) };
+    let secs = best_secs(samples, floor_ms, || {
+        let rel = parse_csv(&schema, &text).expect("generated CSV parses");
+        assert_eq!(rel.len(), n);
+    });
+    let rel = parse_csv(&schema, &text).expect("generated CSV parses");
+    let layout = rel.layout().expect("parse_csv attaches columnar backing");
+    IngestResult {
+        rows: n,
+        bytes: text.len(),
+        secs,
+        encoded_bytes: rel.encoded_bytes() as u64,
+        resident_bytes: layout.resident_bytes,
+        dict_entries: layout.dict_entries,
+    }
+}
+
+fn main() {
+    let quick = std::env::args().any(|a| a == "--test" || a == "--quick");
+    let sizes: &[usize] = if quick {
+        &[2_000]
+    } else {
+        &[100_000, 1_000_000, 10_000_000]
+    };
+    let mut all = Vec::new();
+    println!("columnar: typed-slice kernels vs the row-major reducer path");
+    println!(
+        "{:<16} {:>9} {:>14} {:>14} {:>9} {:>10}",
+        "workload", "rows", "columnar_ms", "row_major_ms", "speedup", "pairs"
+    );
+    for &n in sizes {
+        for m in measure_kernels(n, quick) {
+            println!(
+                "{:<16} {:>9} {:>14.3} {:>14.3} {:>8.1}x {:>10}",
+                m.workload,
+                m.rows,
+                m.columnar_secs * 1e3,
+                m.row_major_secs * 1e3,
+                m.row_major_secs / m.columnar_secs,
+                m.pairs
+            );
+            all.push(m);
+        }
+    }
+    let ingest = measure_ingest(if quick { 500 } else { 1_000_000 }, quick);
+    let compression = ingest.encoded_bytes as f64 / ingest.resident_bytes as f64;
+    println!(
+        "ingest: {} rows ({} MB CSV) in {:.3}s — {:.0} rows/s, {:.1} MB/s",
+        ingest.rows,
+        ingest.bytes / (1 << 20),
+        ingest.secs,
+        ingest.rows as f64 / ingest.secs,
+        ingest.bytes as f64 / ingest.secs / (1 << 20) as f64
+    );
+    println!(
+        "compression: {} encoded B vs {} resident B = {:.2}x ({} dictionary entries)",
+        ingest.encoded_bytes, ingest.resident_bytes, compression, ingest.dict_entries
+    );
+    if quick {
+        println!("quick mode: pair-set cross-check done, no baseline written");
+        return;
+    }
+    let json = render_json(&all, &ingest);
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_columnar.json");
+    std::fs::write(path, &json).expect("write BENCH_columnar.json");
+    println!("baseline written to {path}");
+}
+
+fn render_json(all: &[KernelResult], ingest: &IngestResult) -> String {
+    let mut out = String::from(
+        "{\n  \"bench\": \"columnar\",\n  \"unit\": \"seconds_per_reduce_call\",\n  \"results\": [\n",
+    );
+    for (i, m) in all.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"rows\": {}, \"columnar_secs\": {:.6e}, \"row_major_secs\": {:.6e}, \"speedup\": {:.2}, \"pairs\": {}}}{}\n",
+            m.workload,
+            m.rows,
+            m.columnar_secs,
+            m.row_major_secs,
+            m.row_major_secs / m.columnar_secs,
+            m.pairs,
+            if i + 1 == all.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"ingest\": {{\"rows\": {}, \"csv_bytes\": {}, \"secs\": {:.6e}, \"rows_per_sec\": {:.0}, \"mb_per_sec\": {:.1}}},\n",
+        ingest.rows,
+        ingest.bytes,
+        ingest.secs,
+        ingest.rows as f64 / ingest.secs,
+        ingest.bytes as f64 / ingest.secs / (1 << 20) as f64
+    ));
+    out.push_str(&format!(
+        "  \"compression\": {{\"encoded_bytes\": {}, \"resident_bytes\": {}, \"ratio\": {:.2}, \"dict_entries\": {}}}\n}}\n",
+        ingest.encoded_bytes,
+        ingest.resident_bytes,
+        ingest.encoded_bytes as f64 / ingest.resident_bytes as f64,
+        ingest.dict_entries
+    ));
+    out
+}

@@ -59,7 +59,8 @@ fn build_engine(w: &Workload, disabled: bool) -> Engine {
     // Same shapes as the joincore kernel bench: a band whose matching
     // window covers ~1% of the domain, and an equi join with ~1 match
     // per key.
-    let specs: [(&str, Box<dyn Fn(&mut StdRng) -> i64>); 4] = [
+    type KeyGen = Box<dyn Fn(&mut StdRng) -> i64>;
+    let specs: [(&str, KeyGen); 4] = [
         ("bl", Box::new(move |rng| d + rng.gen_range(0..d))),
         ("br", Box::new(move |rng| rng.gen_range(0..d + d / 100))),
         ("el", Box::new(move |rng| rng.gen_range(0..n as i64))),
@@ -185,7 +186,9 @@ fn main() {
 }
 
 fn render_json(all: &[Measurement], aggregate: f64) -> String {
-    let mut out = String::from("{\n  \"bench\": \"obs\",\n  \"unit\": \"seconds_per_run\",\n  \"results\": [\n");
+    let mut out = String::from(
+        "{\n  \"bench\": \"obs\",\n  \"unit\": \"seconds_per_run\",\n  \"results\": [\n",
+    );
     for (i, m) in all.iter().enumerate() {
         out.push_str(&format!(
             "    {{\"workload\": \"{}\", \"rows\": {}, \"output_rows\": {}, \"recorder_on_secs\": {:.6e}, \"recorder_off_secs\": {:.6e}, \"overhead_fraction\": {:.5}}}{}\n",

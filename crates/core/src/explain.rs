@@ -173,7 +173,10 @@ impl Engine {
                     let sys_query = bases.iter().any(|b| crate::sys::is_sys(b));
                     let key_prefix = format!("{}|{}", query_shape(&q), bases.join(","));
                     let (plan, cache_hit) = if sys_query {
-                        (std::sync::Arc::new(planner.plan_query(&q, &stats, k_p)?), None)
+                        (
+                            std::sync::Arc::new(planner.plan_query(&q, &stats, k_p)?),
+                            None,
+                        )
                     } else {
                         self.plan_for(&planner, &q, &stats, &key_prefix, k_p, epoch, false)
                             .map(|(plan, hit)| (plan, Some(hit)))?

@@ -63,7 +63,8 @@ pub mod sys;
 
 pub use benchqueries::{mobile_query, tpch_query, MobileQuery, TpchQuery};
 pub use engine::{
-    Engine, EngineStats, FaultStats, LoadReport, PlanCacheStats, Session, ZoneSkipStats, RID_COLUMN,
+    Engine, EngineStats, FaultStats, LoadReport, PlanCacheStats, Session, StorageStats,
+    ZoneSkipStats, RID_COLUMN,
 };
 pub use error::EngineError;
 pub use explain::ExplainReport;

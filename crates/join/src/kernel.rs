@@ -32,11 +32,13 @@
 //!    semantics replicate [`eval_theta`] exactly: with offsets only
 //!    numeric values participate (f64 arithmetic, `total_cmp`);
 //!    without offsets numerics and strings join within their own type
-//!    class, NULLs and cross-class pairs never match. If an integer
-//!    key outside ±2⁵³ shows up in the zero-offset numeric class (where
-//!    SQL compares `i64` exactly but an f64 sort key would collapse
-//!    neighbours) the kernel bails out to the nested loop for that
-//!    input — exactness always wins. The band is also **density
+//!    class, NULLs and cross-class pairs never match. An all-integer
+//!    zero-offset numeric class sorts on exact `i64` keys (valid at
+//!    any magnitude); only when integers beyond ±2⁵³ *mix with
+//!    doubles* (where SQL compares Int/Int exactly but Int/Double
+//!    through f64, so no single sort key reproduces the order) does
+//!    the kernel bail out to the nested loop for that input —
+//!    exactness always wins. The band is also **density
 //!    gated**: it first counts the matches with an O(|L|+|R|) boundary
 //!    walk and hands dense outputs (more than ⅛ of the cross product)
 //!    back to the nested loop, which is output-bound there and skips
@@ -45,6 +47,23 @@
 //!    irreducible theta sets (`!=`, multi-inequality conjunctions,
 //!    offset equalities). Still compiled: flat column indices and one
 //!    function-pointer dispatch per predicate, no shape lookups.
+//!
+//! # Vectorized (columnar) evaluation
+//!
+//! All three kernels consume *column vectors*, not tuple structs, on
+//! their hot paths. Each reducer input is transposed once — key and
+//! predicate columns are projected into `&[i64]`/`&[f64]` key vectors
+//! (the same typed form `mwtj_storage::columns` stores relations in) —
+//! and the inner loops then run over contiguous typed slices: the hash
+//! plan folds per-column key bits into one 64-bit hash per row, the
+//! band plan sorts typed keys (with an exact `i64` class for
+//! all-integer columns, which no longer bails out on values beyond
+//! ±2⁵³), and the nested loop evaluates predicates through
+//! [`TypedPred`] — rows are gathered only at emit time. Inputs whose
+//! value mix cannot be vectorized exactly fall back to per-pair
+//! [`eval_theta`], so results never change. Columnar-backed callers
+//! (benches, the smoke parity test) can skip the transpose entirely
+//! via [`PairKernel::join_key_slices`].
 //!
 //! All kernels emit matching `(left, right)` index pairs in
 //! left-major input order — exactly the order the naive nested loop
@@ -69,10 +88,10 @@
 //! rerun is bit-identical.
 
 use crate::shape::IntermediateShape;
-use mwtj_query::theta::{eval_theta, CompiledPredicate, ThetaOp};
+use mwtj_query::theta::{eval_theta, CompiledPredicate, ThetaOp, TypedPred};
 use mwtj_storage::{Tuple, Value};
 use std::collections::HashMap;
-use std::hash::{Hash, Hasher};
+use std::hash::Hasher;
 
 /// Signature of a compiled theta evaluator:
 /// `(left value, left offset, right value, right offset) -> holds`.
@@ -98,6 +117,47 @@ impl Hasher for PreHashed {
 }
 
 type PreHashedMap = HashMap<u64, Vec<u32>, std::hash::BuildHasherDefault<PreHashed>>;
+
+/// Seed for the vectorized key hash (the FNV-1a offset basis).
+const HASH_SEED: u64 = 0xcbf2_9ce4_8422_2325;
+
+/// FNV-1a over a byte string — the hash contribution of string keys.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = HASH_SEED;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// One key column's contribution to a row's equality hash. The only
+/// contract is *SQL-equal values contribute equal bits* (collisions
+/// are filtered by the full `matches` check): numerics contribute
+/// their f64-bits view — `sql_cmp` compares Int/Double (and equality
+/// under total_cmp) through exactly that view, and equal Int/Int pairs
+/// trivially share bits — strings contribute an FNV over their bytes,
+/// and NULLs (equal only to each other, for the shared-relation merge
+/// key) a fixed tag. Cross-class values are never SQL-equal, so their
+/// contributions are unconstrained.
+#[inline]
+fn key_bits(v: &Value) -> u64 {
+    match v {
+        Value::Int(x) => (*x as f64).to_bits(),
+        Value::Double(d) => d.to_bits(),
+        Value::Str(s) => fnv1a(s.as_bytes()),
+        Value::Null => 0x6e75_6c6c_6e75_6c6c, // "nullnull"
+    }
+}
+
+/// Fold one column contribution into a running key hash
+/// (splitmix-style multiply/xor-shift: cheap, and pushes entropy into
+/// the low bits the identity-hashed table buckets on).
+#[inline]
+fn hash_mix(h: u64, c: u64) -> u64 {
+    let x = (h ^ c).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    x ^ (x >> 32)
+}
 
 /// Monomorphised evaluator for one operator: the `op` branch is
 /// resolved once at compile time instead of once per candidate pair.
@@ -505,9 +565,33 @@ impl PairKernel {
         }
     }
 
+    /// Candidate-pair threshold above which the nested loop pays the
+    /// one-time column transpose to evaluate predicates through
+    /// [`TypedPred`]. Below it the projection overhead dominates the
+    /// O(|L|·|R|) saving.
+    const VECTOR_MIN_PAIRS: u64 = 4096;
+
     /// Compiled nested loop as a visitor; returns `false` on early
-    /// stop.
+    /// stop. Large inputs take the vectorized path when their value
+    /// mix permits; small or unvectorizable inputs run the per-pair
+    /// scalar loop. Both produce the identical visit sequence.
     fn visit_nested(
+        &self,
+        lefts: &[&Tuple],
+        rights: &[&Tuple],
+        visit: &mut dyn FnMut(u32, u32) -> bool,
+    ) -> bool {
+        let cross = (lefts.len() as u64).saturating_mul(rights.len() as u64);
+        if cross >= Self::VECTOR_MIN_PAIRS && !self.preds.is_empty() {
+            if let Some(done) = self.visit_nested_vectorized(lefts, rights, visit) {
+                return done;
+            }
+        }
+        self.visit_nested_scalar(lefts, rights, visit)
+    }
+
+    /// The per-pair fallback: one full `matches` call per candidate.
+    fn visit_nested_scalar(
         &self,
         lefts: &[&Tuple],
         rights: &[&Tuple],
@@ -523,6 +607,57 @@ impl PairKernel {
         true
     }
 
+    /// Columnar nested loop: project each predicate's two columns once
+    /// and classify them into a [`TypedPred`] — typed `i64`/`f64` key
+    /// vectors plus validity masks, bit-identical to per-pair
+    /// [`eval_theta`] by construction — then run the pair loop over
+    /// flat slices, gathering rows only for the (rare) predicates that
+    /// refused to vectorize. Returns `None` when no predicate
+    /// vectorized (the scalar loop is then no slower).
+    fn visit_nested_vectorized(
+        &self,
+        lefts: &[&Tuple],
+        rights: &[&Tuple],
+        visit: &mut dyn FnMut(u32, u32) -> bool,
+    ) -> Option<bool> {
+        let mut typed: Vec<TypedPred> = Vec::with_capacity(self.preds.len());
+        let mut slow: Vec<&FlatPred> = Vec::new();
+        for p in &self.preds {
+            let l_vals: Vec<&Value> = lefts.iter().map(|t| t.get(p.l_col)).collect();
+            let r_vals: Vec<&Value> = rights.iter().map(|t| t.get(p.r_col)).collect();
+            match TypedPred::prepare(&l_vals, p.l_off, p.op, &r_vals, p.r_off) {
+                Some(tp) => typed.push(tp),
+                None => slow.push(p),
+            }
+        }
+        if typed.is_empty() {
+            return None;
+        }
+        for (li, l) in lefts.iter().enumerate() {
+            'pair: for (ri, r) in rights.iter().enumerate() {
+                for tp in &typed {
+                    if !tp.holds(li, ri) {
+                        continue 'pair;
+                    }
+                }
+                for p in &slow {
+                    if !p.holds(l, r) {
+                        continue 'pair;
+                    }
+                }
+                for &(ls, rs, w) in &self.shared {
+                    if l.values()[ls..ls + w] != r.values()[rs..rs + w] {
+                        continue 'pair;
+                    }
+                }
+                if !visit(li as u32, ri as u32) {
+                    return Some(false);
+                }
+            }
+        }
+        Some(true)
+    }
+
     fn join_nested(&self, lefts: &[&Tuple], rights: &[&Tuple], pairs: &mut Vec<(u32, u32)>) {
         let _ = self.visit_nested(lefts, rights, &mut |li, ri| {
             pairs.push((li, ri));
@@ -530,15 +665,19 @@ impl PairKernel {
         });
     }
 
-    /// Hash of the equality-key columns of one row. Consistent with SQL
-    /// equality (`Value::hash` makes numerically equal Int/Double hash
-    /// alike), coarser than it — collisions are filtered by `matches`.
-    fn key_hash(row: &Tuple, cols: impl Iterator<Item = usize>) -> u64 {
-        let mut h = std::collections::hash_map::DefaultHasher::new();
+    /// Equality-key hashes for a whole bag of rows, built column-major:
+    /// one pass per key column folds that column's [`key_bits`] into
+    /// every row's running hash — the columnar replacement for one
+    /// SipHash per row per probe. Consistent with SQL equality,
+    /// coarser than it — collisions are filtered by `matches`.
+    fn key_hashes(rows: &[&Tuple], cols: impl Iterator<Item = usize>) -> Vec<u64> {
+        let mut hashes = vec![HASH_SEED; rows.len()];
         for c in cols {
-            row.get(c).hash(&mut h);
+            for (h, row) in hashes.iter_mut().zip(rows) {
+                *h = hash_mix(*h, key_bits(row.get(c)));
+            }
         }
-        h.finish()
+        hashes
     }
 
     fn join_hash(
@@ -555,25 +694,26 @@ impl PairKernel {
         } else {
             (rights, lefts)
         };
+        let (build_hashes, probe_hashes) = if build_left {
+            (
+                Self::key_hashes(build, key.iter().map(|&(l, _)| l)),
+                Self::key_hashes(probe, key.iter().map(|&(_, r)| r)),
+            )
+        } else {
+            (
+                Self::key_hashes(build, key.iter().map(|&(_, r)| r)),
+                Self::key_hashes(probe, key.iter().map(|&(l, _)| l)),
+            )
+        };
         // Keys are already well-mixed 64-bit hashes: store them under
-        // an identity hasher rather than paying a second SipHash per
+        // an identity hasher rather than paying a second hash per
         // build/probe row.
         let mut table: PreHashedMap =
             HashMap::with_capacity_and_hasher(build.len(), Default::default());
-        for (bi, b) in build.iter().enumerate() {
-            let h = if build_left {
-                Self::key_hash(b, key.iter().map(|&(l, _)| l))
-            } else {
-                Self::key_hash(b, key.iter().map(|&(_, r)| r))
-            };
+        for (bi, &h) in build_hashes.iter().enumerate() {
             table.entry(h).or_default().push(bi as u32);
         }
-        for (pi, p) in probe.iter().enumerate() {
-            let h = if build_left {
-                Self::key_hash(p, key.iter().map(|&(_, r)| r))
-            } else {
-                Self::key_hash(p, key.iter().map(|&(l, _)| l))
-            };
+        for (pi, &h) in probe_hashes.iter().enumerate() {
             if let Some(bucket) = table.get(&h) {
                 for &bi in bucket {
                     let (li, ri) = if build_left {
@@ -589,8 +729,24 @@ impl PairKernel {
         }
     }
 
-    /// Sort-merge band join. Returns `false` when an exactness guard
-    /// trips and the caller must fall back to the nested loop.
+    /// Sort a keyed index vector, first checking whether the keys are
+    /// already in order — columnar inputs are frequently pre-sorted or
+    /// clustered, and the O(n) check is cheap against the O(n log n)
+    /// sort it skips. Ties may land in any order: the emitted pair
+    /// *set* depends only on key values, and the final left-major pair
+    /// sort erases walk order.
+    fn sort_keys<K>(keys: &mut [(K, u32)], cmp: impl Fn(&K, &K) -> std::cmp::Ordering + Copy) {
+        let sorted = keys
+            .windows(2)
+            .all(|w| cmp(&w[0].0, &w[1].0) != std::cmp::Ordering::Greater);
+        if !sorted {
+            keys.sort_unstable_by(|a, b| cmp(&a.0, &b.0));
+        }
+    }
+
+    /// Sort-merge band join over typed key vectors. Returns `false`
+    /// when an exactness guard trips (or the density gate rejects) and
+    /// the caller must fall back to the nested loop.
     #[allow(clippy::too_many_arguments)]
     fn join_band(
         &self,
@@ -602,43 +758,89 @@ impl PairKernel {
         rights: &[&Tuple],
         pairs: &mut Vec<(u32, u32)>,
     ) -> bool {
-        // Numeric class: f64 keys (value + offset). In SqlValue mode an
-        // i64 beyond ±2^53 would be compared exactly by sql_cmp but
-        // inexactly by an f64 key — bail out.
-        const EXACT: f64 = 9_007_199_254_740_992.0; // 2^53
-        let mut l_num: Vec<(f64, u32)> = Vec::new();
-        let mut r_num: Vec<(f64, u32)> = Vec::new();
-        let mut l_str: Vec<(&str, u32)> = Vec::new();
-        let mut r_str: Vec<(&str, u32)> = Vec::new();
-        let sql_mode = matches!(mode, BandMode::SqlValue);
-        for (side, col, off, num, strs) in [
-            (lefts, l_col, l_off, &mut l_num, &mut l_str),
-            (rights, r_col, r_off, &mut r_num, &mut r_str),
-        ] {
+        /// One side's key columns, split by type class in a single
+        /// extraction pass. NULLs (and strings under offsets) never
+        /// satisfy an inequality and are dropped here.
+        struct SideKeys<'a> {
+            ints: Vec<(i64, u32)>,
+            doubles: Vec<(f64, u32)>,
+            strs: Vec<(&'a str, u32)>,
+            /// Any integer beyond ±2^53 (not exactly representable as
+            /// f64)?
+            big: bool,
+        }
+        fn extract<'a>(side: &[&'a Tuple], col: usize, sql_mode: bool) -> SideKeys<'a> {
+            let mut keys = SideKeys {
+                ints: Vec::new(),
+                doubles: Vec::new(),
+                strs: Vec::new(),
+                big: false,
+            };
             for (i, row) in side.iter().enumerate() {
                 match row.get(col) {
                     Value::Int(v) => {
-                        if sql_mode && (*v > EXACT as i64 || *v < -(EXACT as i64)) {
-                            return false;
-                        }
-                        num.push((*v as f64 + off, i as u32));
+                        keys.big |= v.unsigned_abs() > (1u64 << 53);
+                        keys.ints.push((*v, i as u32));
                     }
-                    // In SqlValue mode the key must be the *raw* f64:
-                    // sql_cmp orders by total_cmp, which distinguishes
-                    // -0.0 from +0.0 and NaN payloads — `d + 0.0`
-                    // would collapse them.
-                    Value::Double(d) => num.push((if sql_mode { *d } else { d + off }, i as u32)),
-                    Value::Str(s) if sql_mode => strs.push((s.as_ref(), i as u32)),
-                    // NULLs, and strings under offsets, never satisfy
-                    // an inequality.
+                    Value::Double(d) => keys.doubles.push((*d, i as u32)),
+                    Value::Str(s) if sql_mode => keys.strs.push((s.as_ref(), i as u32)),
                     _ => {}
                 }
             }
+            keys
         }
-        l_num.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
-        r_num.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
-        l_str.sort_unstable_by(|a, b| a.0.cmp(b.0));
-        r_str.sort_unstable_by(|a, b| a.0.cmp(b.0));
+
+        let sql_mode = matches!(mode, BandMode::SqlValue);
+        let mut l = extract(lefts, l_col, sql_mode);
+        let mut r = extract(rights, r_col, sql_mode);
+        let cross = (lefts.len() as u64).saturating_mul(rights.len() as u64);
+
+        if sql_mode && l.doubles.is_empty() && r.doubles.is_empty() {
+            // All-integer numeric class: sort on exact i64 keys — the
+            // very comparison sql_cmp performs for Int/Int, at any
+            // magnitude, so the ±2^53 guard below never applies.
+            Self::sort_keys(&mut l.ints, Ord::cmp);
+            Self::sort_keys(&mut r.ints, Ord::cmp);
+            Self::sort_keys(&mut l.strs, Ord::cmp);
+            Self::sort_keys(&mut r.strs, Ord::cmp);
+            let total = Self::band_count(&l.ints, &r.ints, op, Ord::cmp)
+                + Self::band_count(&l.strs, &r.strs, op, Ord::cmp);
+            if total.saturating_mul(8) > cross {
+                return false;
+            }
+            Self::band_emit(&l.ints, &r.ints, op, Ord::cmp, pairs);
+            Self::band_emit(&l.strs, &r.strs, op, Ord::cmp, pairs);
+            return true;
+        }
+        if sql_mode && (l.big || r.big) {
+            // Mixed Int/Double numeric class with integers beyond
+            // ±2^53: sql_cmp compares Int/Int exactly but Int/Double
+            // through f64 — no single sort key reproduces that order.
+            // Bail out to the nested loop; exactness always wins.
+            return false;
+        }
+        // f64 numeric class: fold integer keys in (the conversion is
+        // value-exact here — big ints either bailed above or carry
+        // offsets, where eval_theta itself works in f64) and apply
+        // offsets. In SqlValue mode offsets are zero and doubles keep
+        // their *raw* bits: sql_cmp orders by total_cmp, which
+        // distinguishes -0.0 from +0.0 and NaN payloads — `d + 0.0`
+        // would collapse them.
+        for (keys, off) in [(&mut l, l_off), (&mut r, r_off)] {
+            if !sql_mode {
+                for k in keys.doubles.iter_mut() {
+                    k.0 += off;
+                }
+            }
+            let SideKeys { ints, doubles, .. } = keys;
+            for &(v, i) in ints.iter() {
+                doubles.push((v as f64 + off, i));
+            }
+        }
+        Self::sort_keys(&mut l.doubles, f64::total_cmp);
+        Self::sort_keys(&mut r.doubles, f64::total_cmp);
+        Self::sort_keys(&mut l.strs, Ord::cmp);
+        Self::sort_keys(&mut r.strs, Ord::cmp);
         // Density gate: count the matches with a cheap monotone boundary
         // walk before materialising anything. When the output is a
         // large fraction of the cross product, both algorithms are
@@ -646,15 +848,14 @@ impl PairKernel {
         // — the nested loop is the better engine there. The win the
         // band kernel exists for is the sparse regime, where it is
         // orders of magnitude ahead.
-        let total = Self::band_count(&l_num, &r_num, op, f64::total_cmp)
-            + Self::band_count(&l_str, &r_str, op, Ord::cmp);
-        let cross = (lefts.len() as u64).saturating_mul(rights.len() as u64);
+        let total = Self::band_count(&l.doubles, &r.doubles, op, f64::total_cmp)
+            + Self::band_count(&l.strs, &r.strs, op, Ord::cmp);
         if total.saturating_mul(8) > cross {
             return false;
         }
-        Self::band_emit(&l_num, &r_num, op, f64::total_cmp, pairs);
+        Self::band_emit(&l.doubles, &r.doubles, op, f64::total_cmp, pairs);
         if sql_mode {
-            Self::band_emit(&l_str, &r_str, op, Ord::cmp, pairs);
+            Self::band_emit(&l.strs, &r.strs, op, Ord::cmp, pairs);
         }
         true
     }
@@ -740,6 +941,215 @@ impl PairKernel {
         }
     }
 
+    /// Zero-allocation positional band walk for already-sorted key
+    /// accessors: when both sides are non-decreasing under `cmp`, the
+    /// slice positions *are* the sorted order, so the monotone
+    /// boundary walk of [`PairKernel::band_emit`] runs directly over
+    /// them — no index-key vector, no sort, and the pairs come out
+    /// left-major already. Returns `false` without emitting when
+    /// either side is unsorted (caller falls back to the keyed sort
+    /// path).
+    #[allow(clippy::too_many_arguments)]
+    fn band_emit_sorted<K>(
+        ln: usize,
+        rn: usize,
+        lk: impl Fn(usize) -> K,
+        rk: impl Fn(usize) -> K,
+        op: ThetaOp,
+        cmp: impl Fn(&K, &K) -> std::cmp::Ordering + Copy,
+        pairs: &mut Vec<(u32, u32)>,
+    ) -> bool {
+        let sorted = |key: &dyn Fn(usize) -> K, n: usize| {
+            (1..n).all(|i| cmp(&key(i - 1), &key(i)) != std::cmp::Ordering::Greater)
+        };
+        if !sorted(&lk, ln) || !sorted(&rk, rn) {
+            return false;
+        }
+        let suffix = matches!(op, ThetaOp::Lt | ThetaOp::Le);
+        let mut b = 0usize;
+        for li in 0..ln {
+            let k = lk(li);
+            if suffix {
+                while b < rn && !Self::band_holds(op, cmp(&k, &rk(b))) {
+                    b += 1;
+                }
+                for ri in b..rn {
+                    pairs.push((li as u32, ri as u32));
+                }
+            } else {
+                while b < rn && Self::band_holds(op, cmp(&k, &rk(b))) {
+                    b += 1;
+                }
+                for ri in 0..b {
+                    pairs.push((li as u32, ri as u32));
+                }
+            }
+        }
+        true
+    }
+
+    /// Run this kernel directly over the two sides' typed key-column
+    /// slices — the columnar fast path for callers whose relations
+    /// carry a `mwtj_storage::Columns` backing (benches, parity
+    /// harnesses): no tuple gather, no `Value` dispatch in the inner
+    /// loop.
+    ///
+    /// Applicable when the compiled shape is exactly one predicate
+    /// over the given key columns with no shared-relation merge
+    /// constraints — the single-inequality band plan and the
+    /// single-equality hash plan. The slices must be NULL-free (the
+    /// contract under which `Column::as_i64`/`as_f64` hand them out)
+    /// and are taken as *the* key columns; the kernel's compiled
+    /// column indices are not consulted.
+    ///
+    /// Emits exactly the left-major `(left, right)` pairs
+    /// [`PairKernel::join_into`] yields on the gathered rows and
+    /// returns `true`; returns `false` (emitting nothing) when the
+    /// kernel shape needs full rows and the caller must gather.
+    pub fn join_key_slices(
+        &self,
+        left: KeySlice<'_>,
+        right: KeySlice<'_>,
+        pairs: &mut Vec<(u32, u32)>,
+    ) -> bool {
+        use std::cmp::Ordering;
+        if !self.shared.is_empty() || self.preds.len() != 1 {
+            return false;
+        }
+        if left.is_empty() || right.is_empty() {
+            return true;
+        }
+        let base = pairs.len();
+        match &self.plan {
+            Plan::Band {
+                l_off,
+                r_off,
+                op,
+                mode,
+                ..
+            } => {
+                let sql_mode = matches!(mode, BandMode::SqlValue);
+                if let (KeySlice::I64(ls), KeySlice::I64(rs)) = (left, right) {
+                    if sql_mode {
+                        // All-integer class: exact i64 band at any
+                        // magnitude, as in `join_band`. Value-clustered
+                        // slices (the DFS-block regime) take the
+                        // zero-allocation positional walk.
+                        if Self::band_emit_sorted(
+                            ls.len(),
+                            rs.len(),
+                            |i| ls[i],
+                            |i| rs[i],
+                            *op,
+                            Ord::cmp,
+                            pairs,
+                        ) {
+                            return true;
+                        }
+                        let mut lk = Self::index_keys(ls.iter().copied());
+                        let mut rk = Self::index_keys(rs.iter().copied());
+                        Self::sort_keys(&mut lk, Ord::cmp);
+                        Self::sort_keys(&mut rk, Ord::cmp);
+                        Self::band_emit(&lk, &rk, *op, Ord::cmp, pairs);
+                        pairs[base..].sort_unstable();
+                        return true;
+                    }
+                }
+                // f64 class. Int-vs-Double (and offset) comparisons go
+                // through f64 in eval_theta itself, so converting an
+                // i64 slice is value-exact semantics even beyond ±2^53
+                // — the only inexact combination, Int/Int under
+                // sql_cmp, took the branch above. Raw doubles keep
+                // their bits in sql mode (offsets are zero there).
+                let (lo, ro) = (*l_off, *r_off);
+                let lkey = |i: usize| match left {
+                    KeySlice::I64(v) => v[i] as f64 + lo,
+                    KeySlice::F64(v) if sql_mode => v[i],
+                    KeySlice::F64(v) => v[i] + lo,
+                };
+                let rkey = |i: usize| match right {
+                    KeySlice::I64(v) => v[i] as f64 + ro,
+                    KeySlice::F64(v) if sql_mode => v[i],
+                    KeySlice::F64(v) => v[i] + ro,
+                };
+                if Self::band_emit_sorted(
+                    left.len(),
+                    right.len(),
+                    lkey,
+                    rkey,
+                    *op,
+                    f64::total_cmp,
+                    pairs,
+                ) {
+                    return true;
+                }
+                let keyed = |s: KeySlice<'_>, off: f64| match s {
+                    KeySlice::I64(v) => Self::index_keys(v.iter().map(|&x| x as f64 + off)),
+                    KeySlice::F64(v) if sql_mode => Self::index_keys(v.iter().copied()),
+                    KeySlice::F64(v) => Self::index_keys(v.iter().map(|&x| x + off)),
+                };
+                let mut lk = keyed(left, *l_off);
+                let mut rk = keyed(right, *r_off);
+                Self::sort_keys(&mut lk, f64::total_cmp);
+                Self::sort_keys(&mut rk, f64::total_cmp);
+                // No density gate: its row-path fallback (the nested
+                // loop) produces the identical pair set anyway, and
+                // there are no rows here to fall back to.
+                Self::band_emit(&lk, &rk, *op, f64::total_cmp, pairs);
+            }
+            Plan::Hash if self.eq_key.len() == 1 => {
+                // The single predicate is the zero-offset equality the
+                // key came from; over NULL-free typed slices SQL
+                // equality is i64 equality (Int/Int) or total_cmp
+                // equality through the f64 view (any Double involved).
+                let eq = |li: usize, ri: usize| match (left, right) {
+                    (KeySlice::I64(a), KeySlice::I64(b)) => a[li] == b[ri],
+                    _ => left.get_f64(li).total_cmp(&right.get_f64(ri)) == Ordering::Equal,
+                };
+                let bits = |s: KeySlice<'_>, i: usize| match s {
+                    KeySlice::I64(v) => (v[i] as f64).to_bits(),
+                    KeySlice::F64(v) => v[i].to_bits(),
+                };
+                let build_left = left.len() <= right.len();
+                let (b, p) = if build_left {
+                    (left, right)
+                } else {
+                    (right, left)
+                };
+                let mut table: PreHashedMap =
+                    HashMap::with_capacity_and_hasher(b.len(), Default::default());
+                for bi in 0..b.len() {
+                    table
+                        .entry(hash_mix(HASH_SEED, bits(b, bi)))
+                        .or_default()
+                        .push(bi as u32);
+                }
+                for pi in 0..p.len() {
+                    if let Some(bucket) = table.get(&hash_mix(HASH_SEED, bits(p, pi))) {
+                        for &bi in bucket {
+                            let (li, ri) = if build_left {
+                                (bi, pi as u32)
+                            } else {
+                                (pi as u32, bi)
+                            };
+                            if eq(li as usize, ri as usize) {
+                                pairs.push((li, ri));
+                            }
+                        }
+                    }
+                }
+            }
+            _ => return false,
+        }
+        pairs[base..].sort_unstable();
+        true
+    }
+
+    /// Attach ascending `u32` indices to an iterator of keys.
+    fn index_keys<K>(keys: impl Iterator<Item = K>) -> Vec<(K, u32)> {
+        keys.enumerate().map(|(i, k)| (k, i as u32)).collect()
+    }
+
     /// Assemble one output row from a matching pair — the compiled
     /// slice-copy form of [`IntermediateShape::assemble`].
     pub fn assemble(&self, l: &Tuple, r: &Tuple) -> Tuple {
@@ -749,6 +1159,42 @@ impl PairKernel {
             values.extend_from_slice(&src[start..start + len]);
         }
         Tuple::new(values)
+    }
+}
+
+/// A borrowed, NULL-free, typed key column — the slice form
+/// `mwtj_storage::Column::as_i64`/`as_f64` expose when a column has no
+/// NULLs, and the input [`PairKernel::join_key_slices`] consumes.
+#[derive(Debug, Clone, Copy)]
+pub enum KeySlice<'a> {
+    /// 64-bit integer keys.
+    I64(&'a [i64]),
+    /// 64-bit float keys.
+    F64(&'a [f64]),
+}
+
+impl KeySlice<'_> {
+    /// Number of rows in the column.
+    pub fn len(&self) -> usize {
+        match self {
+            KeySlice::I64(s) => s.len(),
+            KeySlice::F64(s) => s.len(),
+        }
+    }
+
+    /// Is the column empty?
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The f64 view of one key — the representation `sql_cmp` compares
+    /// Int/Double pairs through.
+    #[inline]
+    fn get_f64(&self, i: usize) -> f64 {
+        match self {
+            KeySlice::I64(s) => s[i] as f64,
+            KeySlice::F64(s) => s[i],
+        }
     }
 }
 
@@ -924,17 +1370,156 @@ mod tests {
     }
 
     #[test]
-    fn band_bails_out_on_huge_ints() {
+    fn band_exact_i64_class_handles_huge_ints() {
         let q = two_rel_query(ThetaOp::Lt);
         let (fast, slow) = compile_for(&q);
         let big = 1i64 << 53;
         // big and big+1 collapse to the same f64; sql_cmp orders them.
-        let lefts = rows(&[(big, 0), (big + 1, 0)]);
-        let rights = rows(&[(big + 1, 0), (big, 0)]);
+        // The all-integer class sorts on exact i64 keys, so the band
+        // must distinguish them without bailing out.
+        let lefts = rows(&[(big, 0), (big + 1, 0), (-big - 7, 0), (3, 0)]);
+        let rights = rows(&[(big + 1, 0), (big, 0), (i64::MAX, 0), (i64::MIN, 0)]);
         assert_eq!(
             join_pairs(&fast, &lefts, &rights),
             join_pairs(&slow, &lefts, &rights)
         );
+    }
+
+    #[test]
+    fn band_bails_out_on_huge_ints_mixed_with_doubles() {
+        let q = two_rel_query(ThetaOp::Lt);
+        let (fast, slow) = compile_for(&q);
+        let big = 1i64 << 53;
+        // A double in the class forces f64 keys, where big and big+1
+        // collapse — the kernel must fall back to the nested loop.
+        let lefts = vec![tuple![big, 0], tuple![big + 1, 0], tuple![2.5, 0]];
+        let rights = vec![tuple![big + 1, 0], tuple![big, 0], tuple![9e15, 0]];
+        assert_eq!(
+            join_pairs(&fast, &lefts, &rights),
+            join_pairs(&slow, &lefts, &rights)
+        );
+    }
+
+    /// The vectorized nested loop must visit exactly the pairs the
+    /// scalar per-pair loop visits, over a value mix that exercises
+    /// every TypedPred class and the scalar fallback (strings, NULLs,
+    /// huge ints mixed with doubles).
+    #[test]
+    fn vectorized_nested_agrees_with_scalar() {
+        let s = |n: &str| Schema::from_pairs(n, &[("a", DataType::Int), ("b", DataType::Int)]);
+        let q = QueryBuilder::new("q")
+            .relation(s("l"))
+            .relation(s("r"))
+            .join("l", "a", ThetaOp::Lt, "r", "a")
+            .join("l", "b", ThetaOp::Ne, "r", "b")
+            .build()
+            .unwrap();
+        let (fast, _) = compile_for(&q);
+        assert_eq!(fast.kind(), KernelKind::Nested);
+        let val = |i: i64| -> Value {
+            match i % 7 {
+                0 => Value::Int(i),
+                1 => Value::Double(i as f64 / 3.0),
+                2 => Value::Null,
+                3 => Value::from(format!("s{i}")),
+                4 => Value::Int((1i64 << 53) + i),
+                5 => Value::Double(-0.0),
+                _ => Value::Double(f64::NAN),
+            }
+        };
+        // 70 × 70 = 4900 candidate pairs ≥ VECTOR_MIN_PAIRS, so
+        // visit_nested takes the vectorized path for `fast`.
+        assert!(70 * 70 >= PairKernel::VECTOR_MIN_PAIRS as usize);
+        let lefts: Vec<Tuple> = (0..70)
+            .map(|i| Tuple::new(vec![val(i), val(i * 3 + 1)]))
+            .collect();
+        let rights: Vec<Tuple> = (0..70)
+            .map(|i| Tuple::new(vec![val(i * 5 + 2), val(i * 2)]))
+            .collect();
+        let l: Vec<&Tuple> = lefts.iter().collect();
+        let r: Vec<&Tuple> = rights.iter().collect();
+        let mut got = Vec::new();
+        assert!(fast.visit_nested(&l, &r, &mut |li, ri| {
+            got.push((li, ri));
+            true
+        }));
+        let mut want = Vec::new();
+        assert!(fast.visit_nested_scalar(&l, &r, &mut |li, ri| {
+            want.push((li, ri));
+            true
+        }));
+        assert_eq!(got, want);
+        assert!(!want.is_empty(), "degenerate test: no matching pairs");
+    }
+
+    /// `join_key_slices` must emit exactly the pairs `join_into` emits
+    /// on the gathered rows, for every supported plan and slice-type
+    /// combination.
+    #[test]
+    fn key_slices_match_gathered_rows() {
+        let ints: Vec<i64> = vec![5, 1, 3, 1i64 << 53, (1i64 << 53) + 1, -9, 3];
+        let doubles: Vec<f64> = vec![2.5, -0.0, 0.0, 1e300, -9.0, 3.0, 2.5];
+        let int_rows = |v: &[i64]| -> Vec<Tuple> { v.iter().map(|&x| tuple![x, 0]).collect() };
+        let dbl_rows = |v: &[f64]| -> Vec<Tuple> { v.iter().map(|&x| tuple![x, 0]).collect() };
+        for op in [
+            ThetaOp::Lt,
+            ThetaOp::Le,
+            ThetaOp::Eq,
+            ThetaOp::Ge,
+            ThetaOp::Gt,
+        ] {
+            let (fast, _) = compile_for(&two_rel_query(op));
+            let cases: Vec<(KeySlice<'_>, KeySlice<'_>, Vec<Tuple>, Vec<Tuple>)> = vec![
+                (
+                    KeySlice::I64(&ints),
+                    KeySlice::I64(&ints[1..]),
+                    int_rows(&ints),
+                    int_rows(&ints[1..]),
+                ),
+                (
+                    KeySlice::F64(&doubles),
+                    KeySlice::F64(&doubles[2..]),
+                    dbl_rows(&doubles),
+                    dbl_rows(&doubles[2..]),
+                ),
+                (
+                    KeySlice::I64(&ints),
+                    KeySlice::F64(&doubles),
+                    int_rows(&ints),
+                    dbl_rows(&doubles),
+                ),
+            ];
+            for (ls, rs, lrows, rrows) in cases {
+                let mut got = Vec::new();
+                assert!(
+                    fast.join_key_slices(ls, rs, &mut got),
+                    "{op}: slice path refused {ls:?} × {rs:?}"
+                );
+                let want = join_pairs(&fast, &lrows, &rrows);
+                assert_eq!(got, want, "{op} over {ls:?} × {rs:?}");
+            }
+        }
+        // Offset band (Numeric mode): l.a + 3 > r.a.
+        let s = |n: &str| Schema::from_pairs(n, &[("a", DataType::Int), ("b", DataType::Int)]);
+        let q = QueryBuilder::new("q")
+            .relation(s("l"))
+            .relation(s("r"))
+            .join_expr(
+                ColExpr::col_plus("l", "a", 3.0),
+                ThetaOp::Gt,
+                ColExpr::col("r", "a"),
+            )
+            .build()
+            .unwrap();
+        let (band, _) = compile_for(&q);
+        assert_eq!(band.kind(), KernelKind::Band);
+        let mut got = Vec::new();
+        assert!(band.join_key_slices(KeySlice::I64(&ints), KeySlice::F64(&doubles), &mut got));
+        let want = join_pairs(&band, &int_rows(&ints), &dbl_rows(&doubles));
+        assert_eq!(got, want);
+        // Nested plans have no slice form.
+        let (nested, _) = compile_for(&two_rel_query(ThetaOp::Ne));
+        assert!(!nested.join_key_slices(KeySlice::I64(&ints), KeySlice::I64(&ints), &mut got));
     }
 
     #[test]

@@ -92,12 +92,10 @@ impl<'a> Parser<'a> {
                         let mut code = 0u32;
                         for _ in 0..4 {
                             let d = self.bump()?;
-                            code = code * 16
-                                + d.to_digit(16).ok_or(format!("bad hex digit `{d}`"))?;
+                            code =
+                                code * 16 + d.to_digit(16).ok_or(format!("bad hex digit `{d}`"))?;
                         }
-                        out.push(
-                            char::from_u32(code).ok_or(format!("bad codepoint {code:#x}"))?,
-                        );
+                        out.push(char::from_u32(code).ok_or(format!("bad codepoint {code:#x}"))?);
                     }
                     c => return Err(format!("bad escape `\\{c}`")),
                 },
@@ -203,8 +201,9 @@ fn parser_rejects_invalid_json() {
 
 #[test]
 fn parser_accepts_renderer_output_shapes() {
-    let v = parse_json("{\"x\":1,\"y\":{\"buckets\":{\"1\":2,\"+Inf\":3},\"sum\":4.5,\"count\":3}}")
-        .unwrap();
+    let v =
+        parse_json("{\"x\":1,\"y\":{\"buckets\":{\"1\":2,\"+Inf\":3},\"sum\":4.5,\"count\":3}}")
+            .unwrap();
     let Json::Obj(m) = v else { panic!() };
     assert_eq!(m[0], ("x".into(), Json::Num(1.0)));
 }

@@ -575,10 +575,13 @@ mod tests {
         )
         .unwrap();
         assert_eq!(p.query.num_relations(), 2);
-        assert_eq!(p.instances, vec![
-            ("a".to_string(), "sys.queries".to_string()),
-            ("b".to_string(), "sys.queries".to_string()),
-        ]);
+        assert_eq!(
+            p.instances,
+            vec![
+                ("a".to_string(), "sys.queries".to_string()),
+                ("b".to_string(), "sys.queries".to_string()),
+            ]
+        );
         // Bare dotted name: the default alias is the part after the
         // dot, so column references use `queries.…`.
         let p = parse_sql(
@@ -596,7 +599,11 @@ mod tests {
             ]
         );
         // Unknown dotted names are typed errors, not panics.
-        let err = parse_query("q", "SELECT a.x FROM sys.nope a WHERE a.x < a.x", &sys_resolver);
+        let err = parse_query(
+            "q",
+            "SELECT a.x FROM sys.nope a WHERE a.x < a.x",
+            &sys_resolver,
+        );
         assert!(matches!(err, Err(Error::UnknownRelation { .. })));
     }
 

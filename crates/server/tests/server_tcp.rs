@@ -707,7 +707,9 @@ fn sys_catalog_history_and_profile_over_tcp() {
         .unwrap();
     assert!(sys.starts_with("ok rows="), "{sys}");
     assert!(
-        response_rows(&sys).iter().any(|r| r == &format!("{trace},ok")),
+        response_rows(&sys)
+            .iter()
+            .any(|r| r == &format!("{trace},ok")),
         "trace {trace} missing from sys.queries: {sys}"
     );
 
@@ -723,7 +725,10 @@ fn sys_catalog_history_and_profile_over_tcp() {
 
     // The slow run's profile tree is retained and fetchable.
     let profile = c.request(&format!("profile {trace}")).unwrap();
-    assert!(profile.starts_with(&format!("ok trace={trace}")), "{profile}");
+    assert!(
+        profile.starts_with(&format!("ok trace={trace}")),
+        "{profile}"
+    );
     assert!(profile.contains("query"), "{profile}");
     // Unknown trace ids answer a typed error, not a hang-up.
     let missing = c.request("profile 999999999").unwrap();

@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# CI smoke for columnar relation storage: load the same typed relation
+# (ints, doubles, dictionary-friendly strings, NULLs) into a default
+# (columnar) server and a --row-major server, and assert (a) the
+# `stats` frame reports the columnar layout on one side and its absence
+# on the other, (b) `sys.relations` exposes the layout to plain SQL,
+# and (c) the same band query returns identical rows under both
+# layouts — the backing is a storage accelerator, never an observable.
+# Expects the release binary (cargo build --release -p mwtj-server).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BIN=./target/release/mwtj-server
+
+# 600 rows, value-clustered key, a double with NULLs (empty fields) and
+# a low-cardinality string tag the dictionary should fold to 3 entries.
+EVENTS=$(awk 'BEGIN{
+  tags[0]="checkout";tags[1]="browse";tags[2]="search";
+  for(i=0;i<600;i++){
+    d=(i%5==0)?"":sprintf("%.2f",i*0.25);
+    printf "%d,%s,%s",i,d,tags[i%3]; if(i<599) printf ";"
+  }}')
+WINDOW=$(awk 'BEGIN{for(i=0;i<6;i++){printf "%d,%d",40+i,i; if(i<5) printf ";"}}')
+SQL='SELECT x.a, x.s, y.b FROM events x, win y WHERE x.a < y.a'
+SYS_SQL='SELECT r.name, r.columnar, r.columns, r.dict_entries, r.compression FROM sys.relations r, sys.scheduler s WHERE r.rows > s.queued_now'
+
+run_server() { # $1 = extra server flags (may be empty)
+  printf '%s\n' \
+    "load events a:int,d:double,s:str $EVENTS" \
+    "load win a:int,b:int $WINDOW" \
+    "run ours $SQL" \
+    'ping' \
+    "run ours $SYS_SQL" \
+    'ping' \
+    'stats' \
+    'quit' \
+    | "$BIN" --stdin $1
+}
+
+COL_OUT=$(run_server "")
+ROW_OUT=$(run_server "--row-major")
+
+for out in "$COL_OUT" "$ROW_OUT"; do
+  grep -q 'rows=600' <<<"$out" \
+    || { echo "columnar smoke: events relation did not load"; echo "$out" | head; exit 1; }
+done
+
+# (a) Layout stats through the `stats` verb: the columnar server holds
+# dictionary-encoded, null-tracked column vectors; the row-major one
+# reports none.
+COL_STATS=$(grep '^ok entries=' <<<"$COL_OUT" | tail -1)
+ROW_STATS=$(grep '^ok entries=' <<<"$ROW_OUT" | tail -1)
+field() { sed -n "s/.* $2=\([0-9.]*\).*/\1/p" <<<"$1"; }
+[ "$(field "$COL_STATS" storage_columnar)" -gt 0 ] \
+  || { echo "columnar smoke: no columnar relations in: $COL_STATS"; exit 1; }
+[ "$(field "$COL_STATS" storage_dict_entries)" -gt 0 ] \
+  || { echo "columnar smoke: no dictionary entries in: $COL_STATS"; exit 1; }
+[ "$(field "$COL_STATS" storage_null_values)" -gt 0 ] \
+  || { echo "columnar smoke: no tracked NULLs in: $COL_STATS"; exit 1; }
+[ "$(field "$ROW_STATS" storage_columnar)" = 0 ] \
+  || { echo "columnar smoke: --row-major still columnar: $ROW_STATS"; exit 1; }
+
+# (b) The layout is queryable through sys.relations (second run body).
+COL_SYS=$(awk '/^ok rows=/{grab=(++seen==2); next} /^ok pong$/{grab=0} grab' <<<"$COL_OUT")
+grep -q '^events,1,' <<<"$COL_SYS" \
+  || { echo "columnar smoke: sys.relations does not report events as columnar"; echo "$COL_SYS"; exit 1; }
+ROW_SYS=$(awk '/^ok rows=/{grab=(++seen==2); next} /^ok pong$/{grab=0} grab' <<<"$ROW_OUT")
+grep -q '^events,0,' <<<"$ROW_SYS" \
+  || { echo "columnar smoke: sys.relations does not report events as row-major"; echo "$ROW_SYS"; exit 1; }
+
+# (c) Row parity: the first run body must be identical across layouts.
+COL_ROWS=$(awk '/^ok rows=/{grab=(++seen==1); next} /^ok pong$/{grab=0} grab' <<<"$COL_OUT" | sort)
+ROW_ROWS=$(awk '/^ok rows=/{grab=(++seen==1); next} /^ok pong$/{grab=0} grab' <<<"$ROW_OUT" | sort)
+[ -n "$COL_ROWS" ] || { echo "columnar smoke: no columnar result"; echo "$COL_OUT" | head; exit 1; }
+if [ "$COL_ROWS" != "$ROW_ROWS" ]; then
+  echo "columnar smoke: columnar and row-major results differ"
+  diff <(echo "$COL_ROWS") <(echo "$ROW_ROWS") | head
+  exit 1
+fi
+
+DICT=$(field "$COL_STATS" storage_dict_entries)
+COMPRESSION=$(field "$COL_STATS" storage_compression)
+echo "columnar smoke: layout visible (dict_entries=$DICT, compression=$COMPRESSION), row parity across layouts"

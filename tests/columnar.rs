@@ -1,0 +1,337 @@
+//! Columnar storage is *transparent*: for every method, partition
+//! strategy and skip setting, a columnar-backed engine must produce
+//! output, plans and simulated Eq. 2–4 metrics bit-identical to a
+//! row-major engine over the same data. The columnar layout is purely
+//! a host-side accelerator — it may change how fast the host computes,
+//! never what the simulated cluster observes. Property tests pin the
+//! CSV → column-builder → row-gather round trip (quoted embedded
+//! newlines, NULLs, integers beyond 2^53, non-finite doubles) and the
+//! dictionary-encoded string order against `Value` semantics.
+
+use mwtj_core::{Engine, Method, QueryRun, RunOptions};
+use mwtj_hilbert::PartitionStrategy;
+use mwtj_query::{MultiwayQuery, QueryBuilder, ThetaOp};
+use mwtj_storage::{
+    parse_csv, to_csv, ColumnData, Columns, DataType, Relation, Schema, Tuple, Value,
+};
+use proptest::prelude::*;
+use std::cmp::Ordering;
+
+/// A relation exercising every storage class: an Int join key, a
+/// Double payload (including -0.0 and values beyond 2^53), a
+/// dictionary-friendly Str payload with duplicates, and NULLs in both
+/// payload columns. Types match the schema, so the columnar backing
+/// actually attaches.
+fn typed_rel(name: &str, n: i64, lo: i64) -> Relation {
+    let schema = Schema::from_pairs(
+        name,
+        &[
+            ("a", DataType::Int),
+            ("d", DataType::Double),
+            ("s", DataType::Str),
+        ],
+    );
+    let tags = ["alpha", "beta", "gamma"];
+    let rows = (0..n)
+        .map(|i| {
+            let d = match i % 5 {
+                0 => Value::Null,
+                1 => Value::Double(-0.0),
+                2 => Value::Double(((1i64 << 53) + i) as f64),
+                _ => Value::Double(i as f64 * 0.5 - 7.25),
+            };
+            let s = if i % 7 == 0 {
+                Value::Null
+            } else {
+                Value::str(tags[(i % 3) as usize])
+            };
+            Tuple::new(vec![Value::Int(lo + i), d, s])
+        })
+        .collect();
+    Relation::from_rows(schema, rows).expect("typed_rel rows match schema")
+}
+
+/// Fresh engine pair over identical relations: one columnar (the
+/// default), one forced row-major. The chain query joins on the Int
+/// key but drags the Double/Str payloads through every shuffle.
+fn engine_pair() -> (Engine, Engine, MultiwayQuery) {
+    let columnar = Engine::with_units(16);
+    let row_major = Engine::with_units(16);
+    row_major.set_columnar_storage(false);
+    let big = typed_rel("big", 4_000, 0);
+    let mid = typed_rel("mid", 25, 50);
+    let top = typed_rel("top", 25, 90);
+    for engine in [&columnar, &row_major] {
+        let _ = engine.load_relation(&big);
+        let _ = engine.load_relation(&mid);
+        let _ = engine.load_relation(&top);
+    }
+    let q = QueryBuilder::new("chain")
+        .relation(big.schema().clone())
+        .relation(mid.schema().clone())
+        .relation(top.schema().clone())
+        .join("big", "a", ThetaOp::Lt, "mid", "a")
+        .join("mid", "a", ThetaOp::Le, "top", "a")
+        .build()
+        .unwrap();
+    (columnar, row_major, q)
+}
+
+/// Every deterministic field of a run, with floats captured by bit
+/// pattern. Host wall-clock (`real_secs`) and correlation ids
+/// (`ticket`, `trace_id`) are deliberately excluded — everything else
+/// must match exactly.
+fn sim_fingerprint(run: &QueryRun) -> Vec<String> {
+    let mut fp = vec![format!(
+        "predicted={:016x} sim={:016x} units={}",
+        run.predicted_secs.to_bits(),
+        run.sim_secs.to_bits(),
+        run.granted_units
+    )];
+    for j in &run.jobs {
+        fp.push(format!(
+            "{} map={} red={} units={} in={}B/{}r out={}B/{}r shuffle={}B/{}r \
+             rmax={} rmean={:016x} cand={} simM={:016x} simS={:016x} simT={:016x} \
+             att={}/{} zones={},{},{},{},{},{}",
+            j.name,
+            j.map_tasks,
+            j.reduce_tasks,
+            j.units,
+            j.input_bytes,
+            j.input_records,
+            j.output_bytes,
+            j.output_records,
+            j.map_output_bytes,
+            j.map_output_records,
+            j.reduce_input_max_bytes,
+            j.reduce_input_mean_bytes.to_bits(),
+            j.reduce_candidates,
+            j.sim_map_end_secs.to_bits(),
+            j.sim_shuffle_end_secs.to_bits(),
+            j.sim_total_secs.to_bits(),
+            j.map_attempts,
+            j.reduce_attempts,
+            j.zone_blocks,
+            j.zone_blocks_pruned,
+            j.zone_pairs,
+            j.zone_pairs_pruned,
+            j.zone_rows_total,
+            j.zone_rows_pruned,
+        ));
+    }
+    fp
+}
+
+/// Every method × every partition strategy × skipping on/off: the
+/// columnar engine's run is bit-identical to the row-major engine's —
+/// rows, schema, plan, and every simulated metric down to f64 bits.
+#[test]
+fn columnar_is_bit_identical_across_methods_and_partitions() {
+    let (columnar, row_major, q) = engine_pair();
+    // Guard: the two engines really hold different layouts, so the
+    // comparison below is not vacuous.
+    let cs = columnar.stats_snapshot().storage;
+    let rs = row_major.stats_snapshot().storage;
+    assert_eq!(
+        cs.columnar_relations, 3,
+        "columnar engine must attach backing"
+    );
+    assert_eq!(rs.columnar_relations, 0, "row-major engine must not");
+    assert!(cs.dict_entries > 0, "Str column must dictionary-encode");
+    assert!(cs.null_values > 0, "NULLs must be present in the backing");
+    for m in Method::ALL {
+        for p in [
+            PartitionStrategy::Hilbert,
+            PartitionStrategy::Grid,
+            PartitionStrategy::ZOrder,
+        ] {
+            for skip in [true, false] {
+                let opts = RunOptions::new().method(m).partition(p).skipping(skip);
+                let col = columnar
+                    .run(&q, &opts)
+                    .unwrap_or_else(|e| panic!("{m}:{p} skip={skip} columnar: {e}"));
+                let row = row_major
+                    .run(&q, &opts)
+                    .unwrap_or_else(|e| panic!("{m}:{p} skip={skip} row-major: {e}"));
+                assert_eq!(col.output.rows(), row.output.rows(), "{m}:{p}:{skip} rows");
+                assert_eq!(
+                    col.output.schema(),
+                    row.output.schema(),
+                    "{m}:{p}:{skip} schema"
+                );
+                assert_eq!(col.plan, row.plan, "{m}:{p}:{skip} plan");
+                assert_eq!(
+                    sim_fingerprint(&col),
+                    sim_fingerprint(&row),
+                    "{m}:{p}:{skip} simulated metrics"
+                );
+            }
+        }
+    }
+}
+
+/// The engine-level layout switch is observable only through storage
+/// stats — flipping it after load changes nothing already resident.
+#[test]
+fn layout_switch_applies_at_load_time_only() {
+    let engine = Engine::with_units(4);
+    let rel = typed_rel("r", 100, 0);
+    let _ = engine.load_relation(&rel);
+    assert_eq!(engine.stats_snapshot().storage.columnar_relations, 1);
+    // Disabling afterwards must not strip what is already loaded …
+    engine.set_columnar_storage(false);
+    assert_eq!(engine.stats_snapshot().storage.columnar_relations, 1);
+    // … but relations loaded from now on arrive row-major.
+    let _ = engine.load_relation(&typed_rel("r2", 100, 0));
+    let snap = engine.stats_snapshot().storage;
+    assert_eq!(snap.relations, 2);
+    assert_eq!(snap.columnar_relations, 1);
+}
+
+/// Bit-exact `Value` equality: derived `PartialEq` treats -0.0 == 0.0
+/// and NaN != NaN, so doubles are compared by bit pattern instead.
+fn value_bits_eq(a: &Value, b: &Value) -> bool {
+    match (a, b) {
+        (Value::Double(x), Value::Double(y)) => x.to_bits() == y.to_bits(),
+        _ => a == b,
+    }
+}
+
+fn rows_bits_eq(a: &[Tuple], b: &[Tuple]) -> bool {
+    a.len() == b.len()
+        && a.iter().zip(b).all(|(ra, rb)| {
+            ra.values().len() == rb.values().len()
+                && ra
+                    .values()
+                    .iter()
+                    .zip(rb.values())
+                    .all(|(va, vb)| value_bits_eq(va, vb))
+        })
+}
+
+/// One generated cell per column class, exercising the hard cases the
+/// issue names: i64 beyond ±2^53, non-finite and negative-zero
+/// doubles, strings with quotes, commas and embedded newlines, and
+/// NULLs everywhere.
+fn int_cell() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<i64>().prop_map(Value::Int),
+        (-1000i64..1000).prop_map(Value::Int),
+        Just(Value::Int((1i64 << 53) + 1)),
+        Just(Value::Int(i64::MIN)),
+    ]
+}
+
+fn double_cell() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        // Raw bit patterns, with NaN payloads canonicalised: CSV text
+        // spells every NaN "NaN", so only the canonical quiet NaN can
+        // round-trip bit-exactly (the columnar store itself preserves
+        // whatever bits the parser produced).
+        any::<f64>().prop_map(|d| Value::Double(if d.is_nan() { f64::NAN } else { d })),
+        Just(Value::Double(f64::NAN)),
+        Just(Value::Double(f64::INFINITY)),
+        Just(Value::Double(f64::NEG_INFINITY)),
+        Just(Value::Double(-0.0)),
+    ]
+}
+
+fn str_cell() -> impl Strategy<Value = Value> {
+    // Never empty: the CSV dialect spells both NULL and the empty
+    // string as an empty field, so only non-empty strings round-trip.
+    prop_oneof![
+        Just(Value::Null),
+        "[a-c]{1,3}".prop_map(Value::str),
+        prop::collection::vec(
+            prop_oneof![
+                Just('"'),
+                Just(','),
+                Just('\n'),
+                Just('x'),
+                Just('é'),
+                Just(' ')
+            ],
+            1..6
+        )
+        .prop_map(|cs| Value::str(cs.into_iter().collect::<String>())),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// CSV text → streaming column builders → row gather is an exact
+    /// round trip: the parsed relation's gathered columnar rows equal
+    /// its row-major rows bit-for-bit, and both equal the source rows.
+    #[test]
+    fn csv_column_builders_round_trip(
+        rows in prop::collection::vec((int_cell(), double_cell(), str_cell()), 0..40)
+    ) {
+        let schema = Schema::from_pairs(
+            "t",
+            &[("a", DataType::Int), ("d", DataType::Double), ("s", DataType::Str)],
+        );
+        let source: Vec<Tuple> = rows
+            .into_iter()
+            .map(|(a, d, s)| Tuple::new(vec![a, d, s]))
+            .collect();
+        let reference = Relation::from_rows_unchecked(schema.clone(), source.clone());
+        let text = to_csv(&reference);
+        let parsed = parse_csv(&schema, &text).expect("generated CSV must parse");
+        prop_assert!(rows_bits_eq(parsed.rows(), &source), "parsed rows differ");
+        let cols = parsed.columns().expect("parse_csv must attach columnar backing");
+        prop_assert!(
+            rows_bits_eq(&cols.gather_rows(), parsed.rows()),
+            "gathered columnar rows differ from row-major rows"
+        );
+        prop_assert_eq!(cols.len(), source.len());
+        prop_assert_eq!(cols.layout(), parsed.layout().unwrap());
+    }
+
+    /// Dictionary-encoded string comparisons agree with `Value::Str`
+    /// semantics: resolving two codes through the shared dictionary and
+    /// comparing the `&str`s gives exactly `sql_cmp` / `total_cmp` of
+    /// the original values.
+    #[test]
+    fn dictionary_order_matches_value_order(
+        cells in prop::collection::vec(str_cell(), 1..30)
+    ) {
+        let rows: Vec<Tuple> = cells.iter().map(|v| Tuple::new(vec![v.clone()])).collect();
+        let cols = Columns::from_rows(vec![DataType::Str], &rows).unwrap();
+        let col = cols.column(0);
+        let ColumnData::Str { codes, dict } = col.data() else {
+            panic!("Str column must dictionary-encode");
+        };
+        for i in 0..cells.len() {
+            for j in 0..cells.len() {
+                let via_dict: Option<Ordering> = if col.is_null(i) || col.is_null(j) {
+                    None
+                } else {
+                    Some(dict.get(codes[i]).as_ref().cmp(dict.get(codes[j]).as_ref()))
+                };
+                prop_assert_eq!(
+                    via_dict,
+                    cells[i].sql_cmp(&cells[j]),
+                    "sql_cmp disagreement at ({}, {})", i, j
+                );
+                if let Some(ord) = via_dict {
+                    prop_assert_eq!(
+                        ord,
+                        cells[i].total_cmp(&cells[j]),
+                        "total_cmp disagreement at ({}, {})", i, j
+                    );
+                }
+                // Equal codes ⇔ SQL-equal strings: the dictionary never
+                // splits one string across two codes or merges two.
+                if !col.is_null(i) && !col.is_null(j) {
+                    prop_assert_eq!(
+                        codes[i] == codes[j],
+                        cells[i].sql_cmp(&cells[j]) == Some(Ordering::Equal)
+                    );
+                }
+            }
+        }
+    }
+}
